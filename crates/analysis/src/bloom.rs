@@ -1,0 +1,75 @@
+//! The §2.1 Bloom-filter error formulas (self-contained; the `spectral-
+//! bloom` crate carries operational copies so neither depends on the
+//! other).
+
+/// `E_b = (1 − e^{−kn/m})^k`: the probability an arbitrary key's `k`
+/// counters are all stepped over.
+pub fn bloom_error(n: usize, m: usize, k: usize) -> f64 {
+    if m == 0 {
+        return 1.0;
+    }
+    let g = gamma(n, m, k);
+    (1.0 - (-g).exp()).powi(k as i32)
+}
+
+/// `γ = nk/m` (optimal ≈ ln 2).
+pub fn gamma(n: usize, m: usize, k: usize) -> f64 {
+    if m == 0 {
+        return f64::INFINITY;
+    }
+    n as f64 * k as f64 / m as f64
+}
+
+/// `k = ln2 · m/n`, rounded, at least 1.
+pub fn optimal_k(n: usize, m: usize) -> usize {
+    if n == 0 {
+        return 1;
+    }
+    (((m as f64 / n as f64) * std::f64::consts::LN_2).round() as usize).max(1)
+}
+
+/// Error at the optimal `k`: `(0.6185)^{m/n}` (§2.1).
+pub fn optimal_error(n: usize, m: usize) -> f64 {
+    0.5f64.powf((m as f64 / n as f64) * std::f64::consts::LN_2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_optimal_case_for_table1() {
+        // Table 1 row γ = 0.7: E_b ≈ 0.032 at k = 5, γ = 0.7.
+        // γ = nk/m = 0.7 → n/m = 0.14.
+        let e = bloom_error(140, 1000, 5);
+        assert!((0.025..0.04).contains(&e), "E_b = {e}");
+    }
+
+    #[test]
+    fn optimal_error_closed_form_matches() {
+        let (n, m) = (1000, 8000);
+        let k = optimal_k(n, m);
+        let direct = bloom_error(n, m, k);
+        let closed = optimal_error(n, m);
+        // k is rounded, so allow slack.
+        assert!((direct - closed).abs() < 0.01, "{direct} vs {closed}");
+    }
+
+    #[test]
+    fn gamma_of_table1_rows() {
+        // The paper's Table 1 γ values arise from m sweeps at n=1000, k=5.
+        for (m, want) in [(5000, 1.0), (6024, 0.83), (7143, 0.7), (8000, 0.625), (10_000, 0.5)] {
+            let g = gamma(1000, m, 5);
+            assert!((g - want).abs() < 0.01, "m={m}: γ={g}");
+        }
+    }
+
+    #[test]
+    fn error_increases_with_gamma() {
+        let errors: Vec<f64> = [10_000, 7143, 5000, 4000]
+            .iter()
+            .map(|&m| bloom_error(1000, m, 5))
+            .collect();
+        assert!(errors.windows(2).all(|w| w[0] < w[1]));
+    }
+}

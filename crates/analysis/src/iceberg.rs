@@ -1,0 +1,170 @@
+//! The iceberg error-rate curve of §5.2 (Figure 4).
+//!
+//! For threshold queries, an error needs more than a Bloom collision: the
+//! colliding mass must be large enough to push a below-threshold item over
+//! `T`. With `d(f)` the fraction of items of frequency `f` and
+//! `D_g = n·Σ_{i≥g} d(i)` the number of items at frequency ≥ g:
+//!
+//! ```text
+//! E = Σ_{f=0}^{T−1} d(f) · (1 − e^{−k·D_{T−f}/m})^k
+//! ```
+//!
+//! — always at most the raw Bloom error, and exhibiting the rise-peak-fall
+//! shape over `T` that Figure 4 plots.
+
+/// Computes the iceberg error rate from an explicit frequency profile.
+///
+/// `frequencies[i]` is the frequency of item `i` (zeros allowed — items in
+/// the queried universe that never occur). `m`, `k` are the SBF parameters
+/// and `threshold` the iceberg cutoff `T ≥ 1`.
+pub fn iceberg_error_from_frequencies(
+    frequencies: &[u64],
+    m: usize,
+    k: usize,
+    threshold: u64,
+) -> f64 {
+    assert!(threshold >= 1, "threshold must be at least 1");
+    if frequencies.is_empty() || m == 0 {
+        return 0.0;
+    }
+    // Sort descending once; D_g is then a partition-point query.
+    let mut sorted: Vec<u64> = frequencies.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let n = frequencies.len() as f64;
+    let kf = k as f64;
+    let mf = m as f64;
+    let heavy_count = |g: u64| -> f64 {
+        // Number of items with frequency ≥ g.
+        sorted.partition_point(|&f| f >= g) as f64
+    };
+    let mut err = 0.0;
+    for &f in frequencies {
+        if f >= threshold {
+            continue; // above threshold: reported regardless, not an error
+        }
+        let d = heavy_count(threshold - f);
+        let p = (1.0 - (-kf * d / mf).exp()).powi(k as i32);
+        err += p / n;
+    }
+    err
+}
+
+/// Figure 4 convenience: iceberg error for a Zipfian profile of `n` items
+/// and `total` occurrences at skew `z`, using expected (real-valued)
+/// frequencies rounded to integers.
+pub fn iceberg_error_zipf(
+    n: usize,
+    total: u64,
+    z: f64,
+    m: usize,
+    k: usize,
+    threshold: u64,
+) -> f64 {
+    let norm: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(z)).sum();
+    let freqs: Vec<u64> = (1..=n)
+        .map(|i| ((total as f64) * (1.0 / (i as f64).powf(z)) / norm).round() as u64)
+        .collect();
+    iceberg_error_from_frequencies(&freqs, m, k, threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bloom::bloom_error;
+
+    const N: usize = 1000;
+    const TOTAL: u64 = 100_000;
+    const K: usize = 5;
+
+    #[test]
+    fn never_exceeds_bloom_error() {
+        // §5.2: "the error is only a subset of the usual Bloom Error".
+        let m = N * K; // γ = 1, the Figure 4 setting
+        let eb = bloom_error(N, m, K);
+        for z in [0.0, 0.4, 0.8, 1.2] {
+            for t_pct in [1u64, 10, 30, 60, 90] {
+                let max_f = (TOTAL as f64 / (1..=N).map(|i| 1.0 / (i as f64).powf(z)).sum::<f64>()).round() as u64;
+                let t = (max_f * t_pct / 100).max(1);
+                let e = iceberg_error_zipf(N, TOTAL, z, m, K, t);
+                assert!(e <= eb + 1e-9, "z={z} T={t}: {e} > E_b {eb}");
+            }
+        }
+    }
+
+    #[test]
+    fn figure4_iceberg_error_stays_below_bloom_error() {
+        // The paper's headline for Figure 4: at k = 5, γ = 1 the raw Bloom
+        // error is 0.1, while the iceberg error is substantially smaller
+        // "at most relevant thresholds". (The figure's absolute peak of
+        // 0.025 depends on an unstated per-curve normalization; the shape
+        // and the dominance by E_b are the reproducible claims — see
+        // EXPERIMENTS.md.)
+        let m = N * K;
+        let eb = bloom_error(N, m, K);
+        let mut peak = 0.0f64;
+        let mut skewed_high_t_max = 0.0f64;
+        for z in [0.2, 0.4, 0.6, 0.8, 1.0, 1.2] {
+            let norm: f64 = (1..=N).map(|i| 1.0 / (i as f64).powf(z)).sum();
+            let max_f = (TOTAL as f64 / norm).round() as u64;
+            for pct in 1..=100u64 {
+                let t = (max_f * pct / 100).max(1);
+                let e = iceberg_error_zipf(N, TOTAL, z, m, K, t);
+                peak = peak.max(e);
+                if pct >= 50 && z >= 0.6 {
+                    skewed_high_t_max = skewed_high_t_max.max(e);
+                }
+            }
+        }
+        assert!(peak <= eb + 1e-9, "peak {peak} exceeds E_b {eb}");
+        assert!(peak > 0.003, "peak {peak} suspiciously tiny");
+        // For skewed data at high thresholds only the few head items can
+        // push anything over T, so the error collapses well below E_b.
+        // (Near-uniform data at T ≈ max has everyone just below threshold,
+        // where any colliding item crosses it — there the error genuinely
+        // approaches E_b under the literal Eq. of §5.2.)
+        assert!(
+            skewed_high_t_max < 0.012,
+            "skewed curves must drop below ~0.01 at high thresholds: {skewed_high_t_max}"
+        );
+    }
+
+    #[test]
+    fn skewed_curves_fall_at_high_thresholds() {
+        // "the error rate increases for very small T, reaches a maximum and
+        // drops as T continues to increase" — pin the interior peak and the
+        // fall toward T = 100%.
+        let m = N * K;
+        let z = 1.0;
+        let norm: f64 = (1..=N).map(|i| 1.0 / (i as f64).powf(z)).sum();
+        let max_f = (TOTAL as f64 / norm).round() as u64;
+        let curve: Vec<f64> = (1..=100u64)
+            .map(|pct| iceberg_error_zipf(N, TOTAL, z, m, K, (max_f * pct / 100).max(1)))
+            .collect();
+        let (peak_idx, peak) = curve
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("non-empty");
+        assert!(peak_idx < 60, "peak should sit at low-to-mid thresholds, got {peak_idx}");
+        assert!(curve[99] < peak * 0.5, "curve must fall toward T = 100%");
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert_eq!(iceberg_error_from_frequencies(&[], 100, 5, 1), 0.0);
+        assert_eq!(iceberg_error_from_frequencies(&[5, 5], 0, 5, 1), 0.0);
+        // All items above threshold → no possible error.
+        let e = iceberg_error_from_frequencies(&[10, 20, 30], 100, 5, 5);
+        assert_eq!(e, 0.0);
+    }
+
+    #[test]
+    fn zero_frequency_items_count_as_error_candidates() {
+        // Universe of 10 items, one heavy; querying the 9 absent ones at
+        // T = 1 can false-positive.
+        let mut freqs = vec![0u64; 10];
+        freqs[0] = 1000;
+        let e = iceberg_error_from_frequencies(&freqs, 8, 2, 1);
+        assert!(e > 0.0);
+    }
+}

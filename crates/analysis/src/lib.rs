@@ -1,0 +1,31 @@
+//! Closed-form error analysis from the SBF paper.
+//!
+//! * [`bloom`] — the Bloom error `E_b`, optimal `k`, load ratio `γ` (§2.1),
+//! * [`zipf_error`] — Lemma 2's relative-error machinery for Zipfian data:
+//!   the per-rank expected relative error of Figure 1, the all-items bound
+//!   of Eq. (2) with its minimizing skew `z_min = (k+1)/2`, and the
+//!   threshold-exceedance probability,
+//! * [`iceberg`] — the iceberg error-rate curve of §5.2 / Figure 4,
+//! * [`variance`] — the §3.1.1 median-of-means feasibility arithmetic.
+//!
+//! These are the *analytic* halves of the reproduced figures; the `repro`
+//! harness plots them next to the measured values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod iceberg;
+pub mod variance;
+pub mod zipf_error;
+
+pub use bloom::{bloom_error, gamma, optimal_k};
+pub use iceberg::{iceberg_error_from_frequencies, iceberg_error_zipf};
+pub use variance::{
+    boosting_is_feasible, counter_error_variance, groups_for_confidence,
+    group_size_for_tolerance, max_supported_items,
+};
+pub use zipf_error::{
+    expected_relative_error_all_items, expected_relative_error_bound, relative_error_tail_bound,
+    z_min, z_min_as_printed,
+};

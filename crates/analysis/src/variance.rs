@@ -1,0 +1,111 @@
+//! Variance boosting for the unbiased estimator (§3.1.1).
+//!
+//! The Lemma 3 estimator's per-counter error is binomial with variance
+//! `≈ (N − f_x)·k/m` — about as large as its mean, useless for single
+//! queries. §3.1.1 applies the classic mean-of-groups/median device:
+//! split the `k` counters into `k₂` groups of `k₁`, average within groups
+//! (dividing the variance by `k₁`), and take the median. Chebyshev pins
+//! the per-group failure probability at ¼ when `N·k / (m·t²·k₁) = ¼`, and
+//! Chernoff gives `P(median off by > t) < e^{−k₂/24}`.
+//!
+//! The paper's punchline is *negative*: the constants are impractical
+//! (`k₂ = 24·ln(1/ε)` ≈ 55 for ε = 0.1, and `N ≤ m·t²/4` caps the data
+//! size). These helpers make that arithmetic executable so the conclusion
+//! is checkable rather than folklore.
+
+/// Approximate variance of a single counter's error: `(N − f_x)·k/m`
+/// (§3.1.1, with the `(1 − 1/m)` factor dropped as the paper does).
+pub fn counter_error_variance(total_items: u64, f_x: u64, m: usize, k: usize) -> f64 {
+    if m == 0 {
+        return f64::INFINITY;
+    }
+    (total_items.saturating_sub(f_x)) as f64 * k as f64 / m as f64
+}
+
+/// Number of median groups needed for failure probability `ε`:
+/// `k₂ = 24·ln(1/ε)` (from `P < e^{−k₂/24}`).
+pub fn groups_for_confidence(epsilon: f64) -> f64 {
+    assert!(epsilon > 0.0 && epsilon < 1.0, "confidence must be in (0,1)");
+    24.0 * (1.0 / epsilon).ln()
+}
+
+/// Per-group size `k₁` needed so a group mean lies within `t` of its
+/// expectation with probability ¾: `k₁ = 4·N·k / (m·t²)` (Chebyshev set
+/// to ¼).
+pub fn group_size_for_tolerance(total_items: u64, m: usize, k: usize, t: f64) -> f64 {
+    assert!(t > 0.0, "tolerance must be positive");
+    assert!(m > 0, "m must be positive");
+    4.0 * total_items as f64 * k as f64 / (m as f64 * t * t)
+}
+
+/// The feasibility cap: boosting requires `k₁ < k`, i.e.
+/// `4N/(m·t²) < 1` ⇒ `N < m·t²/4`. Returns the largest supported `N`.
+pub fn max_supported_items(m: usize, t: f64) -> f64 {
+    m as f64 * t * t / 4.0
+}
+
+/// Whether the §3.1.1 construction is *practical* for the given demands:
+/// both `k₂` groups of `k₁` counters must fit into a filter with `k` hash
+/// functions.
+pub fn boosting_is_feasible(total_items: u64, m: usize, k: usize, t: f64, epsilon: f64) -> bool {
+    let k1 = group_size_for_tolerance(total_items, m, k, t);
+    let k2 = groups_for_confidence(epsilon);
+    (k1 * k2).ceil() as usize <= k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_k2_55() {
+        // §3.1.1: "For error of 0.1, this gives a k2 of 55 which is not
+        // very practical."
+        let k2 = groups_for_confidence(0.1);
+        assert_eq!(k2.floor() as usize, 55, "24·ln(10) = {k2}");
+    }
+
+    #[test]
+    fn paper_example_n_at_most_4m() {
+        // §3.1.1: "If, for example, we allow t = 4, N cannot exceed 4m."
+        let cap = max_supported_items(1000, 4.0);
+        assert_eq!(cap, 4.0 * 1000.0);
+    }
+
+    #[test]
+    fn boosting_infeasible_at_realistic_parameters() {
+        // The paper's conclusion: with k = 5 hash functions and realistic
+        // loads, the construction never fits.
+        assert!(!boosting_is_feasible(100_000, 7143, 5, 4.0, 0.1));
+        // Even with an absurd k = 16 it stays infeasible at these loads.
+        assert!(!boosting_is_feasible(100_000, 7143, 16, 4.0, 0.1));
+    }
+
+    #[test]
+    fn boosting_feasible_only_in_toy_regimes() {
+        // Tiny data, huge tolerance, weak confidence: feasible in principle.
+        assert!(boosting_is_feasible(10, 100_000, 16, 100.0, 0.9));
+    }
+
+    #[test]
+    fn variance_tracks_load() {
+        // Doubling the data doubles the variance; doubling m halves it.
+        let v = counter_error_variance(10_000, 0, 5_000, 5);
+        assert!((v - 10.0).abs() < 1e-9);
+        assert!((counter_error_variance(20_000, 0, 5_000, 5) - 2.0 * v).abs() < 1e-9);
+        assert!((counter_error_variance(10_000, 0, 10_000, 5) - v / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_size_shrinks_with_tolerance() {
+        let tight = group_size_for_tolerance(50_000, 10_000, 5, 1.0);
+        let loose = group_size_for_tolerance(50_000, 10_000, 5, 10.0);
+        assert!((tight / loose - 100.0).abs() < 1e-9, "k₁ ∝ 1/t²");
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn invalid_epsilon_rejected() {
+        let _ = groups_for_confidence(1.5);
+    }
+}

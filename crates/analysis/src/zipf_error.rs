@@ -1,0 +1,151 @@
+//! Lemma 2: the size of relative errors under Zipfian data (§2.3).
+//!
+//! All formulas condition on a Bloom error having occurred — they describe
+//! *how big* the error is, not how likely. The probability is `E_b` from
+//! [`crate::bloom`].
+
+/// `S_z = Σ_{j=1}^{n} j^{k−z−1}` — the rank sum in Eq. (1).
+fn s_z(n: usize, k: usize, z: f64) -> f64 {
+    let e = k as f64 - z - 1.0;
+    (1..=n).map(|j| (j as f64).powf(e)).sum()
+}
+
+/// The Figure 1 curve: the bound `E′(RE_i^z) = i^z · k/(n−k)^k · S_z` on
+/// the expected relative error of the rank-`i` item (Eq. 1), computed in
+/// log space to survive `(n−k)^k` for `n = 10,000`.
+pub fn expected_relative_error_bound(n: usize, k: usize, z: f64, rank: usize) -> f64 {
+    assert!(rank >= 1 && rank <= n, "rank out of range");
+    assert!(n > k, "need n > k");
+    let log_sz = s_z(n, k, z).ln();
+    let log_val = z * (rank as f64).ln() + (k as f64).ln() + log_sz
+        - k as f64 * ((n - k) as f64).ln();
+    log_val.exp()
+}
+
+/// Eq. (2): the closed-form bound on the expected relative error averaged
+/// over *all* items, `k(n+1)^{k+1} / (n(k−z)(z+1)(n−k)^k)`. Valid for
+/// `z < k`.
+pub fn expected_relative_error_all_items(n: usize, k: usize, z: f64) -> f64 {
+    assert!(n > k, "need n > k");
+    assert!(z < k as f64, "Eq. (2) requires z < k");
+    let nf = n as f64;
+    let kf = k as f64;
+    let log_val = kf.ln() + (kf + 1.0) * (nf + 1.0).ln()
+        - (nf.ln() + (kf - z).ln() + (z + 1.0).ln() + kf * (nf - kf).ln());
+    log_val.exp()
+}
+
+/// The skew minimizing Eq. (2).
+///
+/// The paper states `z_min = (k+1)/2`, but Eq. (2)'s z-dependence is
+/// `1/((k−z)(z+1))`, whose denominator `(k−z)(z+1)` is maximized at
+/// `z = (k−1)/2` (set the derivative `k − 1 − 2z` to zero). The paper's
+/// value appears to be an algebra slip — substituting it yields the
+/// `(k−1)(k+3)/4` factor the paper reports, which is strictly smaller than
+/// the true maximum `(k+1)²/4`. We return the correct minimizer; the
+/// discrepancy is recorded in EXPERIMENTS.md and pinned by the tests.
+pub fn z_min(k: usize) -> f64 {
+    (k as f64 - 1.0) / 2.0
+}
+
+/// The paper's stated (slightly off) minimizer `(k+1)/2`, kept for
+/// comparison against the text.
+pub fn z_min_as_printed(k: usize) -> f64 {
+    (k as f64 + 1.0) / 2.0
+}
+
+/// The tail bound `P(RE_i^z > T) ≤ k · (i / ((n−k)·T^{1/z}))^k`, given that
+/// a Bloom error occurred (§2.3's final result). Values above 1 carry no
+/// information (the paper notes this for low ranks).
+pub fn relative_error_tail_bound(n: usize, k: usize, z: f64, rank: usize, threshold: f64) -> f64 {
+    assert!(rank >= 1 && rank <= n, "rank out of range");
+    assert!(n > k, "need n > k");
+    assert!(threshold > 0.0 && z > 0.0);
+    let base = rank as f64 / ((n - k) as f64 * threshold.powf(1.0 / z));
+    k as f64 * base.powi(k as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 10_000;
+    const K: usize = 5;
+
+    #[test]
+    fn figure1_curves_are_monotone_in_rank() {
+        // "this function is rising monotonically as items are less frequent".
+        for z in [0.2, 0.6, 1.0, 1.4, 1.8, 2.0] {
+            let mut last = 0.0;
+            for rank in [1, 10, 100, 1000, 5000, 10_000] {
+                let v = expected_relative_error_bound(N, K, z, rank);
+                assert!(v >= last, "z={z} rank={rank}: {v} < {last}");
+                last = v;
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_has_the_crossover() {
+        // "as the skew increases, the expected error for the frequent items
+        // becomes smaller ... there is a crossover point" — at rank 1 high
+        // skew wins, at rank n low skew wins.
+        let head_low = expected_relative_error_bound(N, K, 0.2, 1);
+        let head_high = expected_relative_error_bound(N, K, 2.0, 1);
+        assert!(head_high < head_low, "high skew should be better at rank 1");
+        let tail_low = expected_relative_error_bound(N, K, 0.2, N);
+        let tail_high = expected_relative_error_bound(N, K, 2.0, N);
+        assert!(tail_high > tail_low, "high skew should be worse at rank n");
+    }
+
+    #[test]
+    fn figure1_magnitudes_match_the_plot() {
+        // The paper's Figure 1 y-axis spans 0..1.8 over 10,000 items.
+        for z in [0.2, 0.6, 1.0, 1.4, 1.8, 2.0] {
+            let v = expected_relative_error_bound(N, K, z, N);
+            assert!(v < 5.0, "z={z}: tail value {v} way above the plotted range");
+            assert!(v > 0.0);
+        }
+    }
+
+    #[test]
+    fn eq2_minimum_at_corrected_z_min() {
+        // True minimizer of Eq. (2): z = (k−1)/2 = 2 for k = 5.
+        assert_eq!(z_min(K), 2.0);
+        let at_min = expected_relative_error_all_items(N, K, 2.0);
+        for z in [0.5, 1.0, 1.5, 2.5, 3.0, 3.5, 4.0] {
+            let v = expected_relative_error_all_items(N, K, z);
+            assert!(v >= at_min, "z={z}: {v} < minimum {at_min}");
+        }
+    }
+
+    #[test]
+    fn papers_printed_z_min_is_suboptimal() {
+        // Documents the algebra slip: the paper's (k+1)/2 gives a strictly
+        // larger bound than the true (k−1)/2.
+        assert_eq!(z_min_as_printed(K), 3.0);
+        let at_paper = expected_relative_error_all_items(N, K, z_min_as_printed(K));
+        let at_true = expected_relative_error_all_items(N, K, z_min(K));
+        assert!(at_true < at_paper);
+    }
+
+    #[test]
+    fn tail_bound_paper_example() {
+        // §2.3: n = 1000, k = 5, z = 1, T = 0.5 →
+        // P ≤ 5·(i/497.5)^5, exceeding 1 for i > 360.
+        let p_360 = relative_error_tail_bound(1000, 5, 1.0, 360, 0.5);
+        let p_361 = relative_error_tail_bound(1000, 5, 1.0, 361, 0.5);
+        assert!(p_360 <= 1.0, "P(360) = {p_360}");
+        assert!(p_361 > 1.0, "P(361) = {p_361}");
+    }
+
+    #[test]
+    fn tail_bound_decreases_with_threshold() {
+        let mut last = f64::INFINITY;
+        for t in [0.1, 0.5, 1.0, 5.0] {
+            let p = relative_error_tail_bound(1000, 5, 1.0, 100, t);
+            assert!(p < last);
+            last = p;
+        }
+    }
+}

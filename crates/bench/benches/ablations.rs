@@ -1,0 +1,117 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * blocked (external-memory) vs flat hashing — locality vs accuracy,
+//! * multiplicative (paper-faithful) vs mixing hash families,
+//! * dynamic-array slack budget — update cost vs storage,
+//! * the compact §4.5 representation vs the indexed §4.3 one on lookups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sbf_hash::{BlockedFamily, MixFamily, MultiplyFamily, SplitMix64};
+use sbf_sai::{CompactCounterArray, DynamicConfig, DynamicCounterArray, StaticCounterArray};
+use spectral_bloom::{MsSbf, MultisetSketch, PlainCounters};
+
+fn bench_blocked_vs_flat(c: &mut Criterion) {
+    let n_keys = 20_000u64;
+    let mut group = c.benchmark_group("blocked_vs_flat");
+    group.throughput(Throughput::Elements(n_keys));
+
+    group.bench_function("flat", |b| {
+        b.iter(|| {
+            let mut sbf: MsSbf<MixFamily, PlainCounters> =
+                MsSbf::from_family(MixFamily::new(1 << 17, 5, 3));
+            for key in 0..n_keys {
+                sbf.insert(&key);
+            }
+            sbf
+        })
+    });
+    group.bench_function("blocked_512", |b| {
+        b.iter(|| {
+            let fam = BlockedFamily::new(MixFamily::new(512, 5, 3), (1 << 17) / 512, 3);
+            let mut sbf: MsSbf<_, PlainCounters> = MsSbf::from_family(fam);
+            for key in 0..n_keys {
+                sbf.insert(&key);
+            }
+            sbf
+        })
+    });
+    group.finish();
+}
+
+fn bench_hash_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_family");
+    let keys: Vec<u64> = (0..100_000u64).collect();
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.bench_function("multiply_paper", |b| {
+        let fam = MultiplyFamily::new(1 << 16, 5, 9);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &key in &keys {
+                acc = acc.wrapping_add(sbf_hash::HashFamily::indexes(&fam, &key)[0]);
+            }
+            acc
+        })
+    });
+    group.bench_function("mix_default", |b| {
+        let fam = MixFamily::new(1 << 16, 5, 9);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &key in &keys {
+                acc = acc.wrapping_add(sbf_hash::HashFamily::indexes(&fam, &key)[0]);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_slack_budget(c: &mut Criterion) {
+    // More slack → fewer slides/rebuilds on growth-heavy updates.
+    let n = 20_000usize;
+    let mut group = c.benchmark_group("slack_budget");
+    group.throughput(Throughput::Elements(5 * n as u64));
+    for slack in [0usize, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(slack), &slack, |b, &slack| {
+            b.iter(|| {
+                let cfg = DynamicConfig {
+                    group_size: 32,
+                    slack_bits_per_group: slack,
+                    waste_rebuild_fraction: 0.25,
+                };
+                let mut arr = DynamicCounterArray::with_config(n, cfg);
+                let mut rng = SplitMix64::new(5);
+                for _ in 0..5 * n {
+                    arr.increment(rng.next_below(n as u64) as usize, 7);
+                }
+                arr
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_static_vs_compact_lookup(c: &mut Criterion) {
+    let n = 100_000usize;
+    let counters: Vec<u64> = {
+        let mut rng = SplitMix64::new(11);
+        (0..n).map(|_| rng.next_below(500)).collect()
+    };
+    let stat = StaticCounterArray::from_counters(&counters);
+    let compact = CompactCounterArray::from_counters(&counters);
+    let mut group = c.benchmark_group("static_vs_compact_lookup");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("static_o1", |b| {
+        b.iter(|| (0..n).map(|i| stat.get(i)).sum::<u64>())
+    });
+    group.bench_function("compact_loglog", |b| {
+        b.iter(|| (0..n).map(|i| compact.get(i)).sum::<u64>())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_blocked_vs_flat, bench_hash_families, bench_slack_budget, bench_static_vs_compact_lookup
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Encode/decode throughput of the §4.5 prefix-free codes, plus the size
+//! sweep behind Figure 10.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sbf_bitvec::BitReader;
+use sbf_encoding::{Codec, EliasDelta, EliasGamma, StepsCode};
+use sbf_hash::SplitMix64;
+
+fn counters(n: usize, avg: u64) -> Vec<u64> {
+    let mut rng = SplitMix64::new(avg ^ 0xe11a5);
+    (0..n)
+        .map(|_| {
+            let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            (-(1.0 - u).ln() * avg as f64).round() as u64
+        })
+        .collect()
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let data = counters(50_000, 10);
+    let mut group = c.benchmark_group("encoding");
+    group.throughput(Throughput::Elements(data.len() as u64));
+
+    group.bench_function("elias_delta/encode", |b| b.iter(|| EliasDelta.encode_all(&data)));
+    group.bench_function("elias_gamma/encode", |b| b.iter(|| EliasGamma.encode_all(&data)));
+    let steps = StepsCode::new(&[1, 2]);
+    group.bench_function("steps12/encode", |b| b.iter(|| steps.encode_all(&data)));
+
+    let delta_bits = EliasDelta.encode_all(&data);
+    group.bench_function("elias_delta/decode", |b| {
+        b.iter(|| {
+            let mut r = BitReader::new(&delta_bits);
+            EliasDelta.decode_all(&mut r, data.len()).expect("valid stream")
+        })
+    });
+    let steps_bits = steps.encode_all(&data);
+    group.bench_function("steps12/decode", |b| {
+        b.iter(|| {
+            let mut r = BitReader::new(&steps_bits);
+            steps.decode_all(&mut r, data.len()).expect("valid stream")
+        })
+    });
+    group.finish();
+}
+
+fn bench_size_sweep(c: &mut Criterion) {
+    // Figure 10's size comparison as a (cheap) benchmark over avg freq.
+    let mut group = c.benchmark_group("encoding_size_sweep");
+    for avg in [1u64, 10, 100] {
+        let data = counters(20_000, avg);
+        group.bench_with_input(BenchmarkId::new("elias_len", avg), &avg, |b, _| {
+            b.iter(|| data.iter().map(|&v| EliasDelta.encoded_len(v)).sum::<usize>())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_codecs, bench_size_sweep
+}
+criterion_main!(benches);

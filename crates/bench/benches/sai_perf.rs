@@ -1,0 +1,60 @@
+//! Figure 11 as a Criterion bench: String-Array-Index build, update and
+//! lookup cost across array sizes — the claims are O(n) build and O(1)
+//! amortized per-operation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sbf_hash::SplitMix64;
+use sbf_sai::{DynamicCounterArray, StaticCounterArray};
+
+fn bench_dynamic(c: &mut Criterion) {
+    let sizes = [1_000usize, 10_000, 100_000];
+    let mut group = c.benchmark_group("sai_dynamic");
+    for &n in &sizes {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("init", n), &n, |b, &n| {
+            b.iter(|| DynamicCounterArray::new(n))
+        });
+        group.bench_with_input(BenchmarkId::new("insert_10n", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut arr = DynamicCounterArray::new(n);
+                let mut rng = SplitMix64::new(n as u64);
+                for _ in 0..10 * n {
+                    arr.increment(rng.next_below(n as u64) as usize, 1);
+                }
+                arr
+            })
+        });
+        // Pre-populated lookups.
+        let mut arr = DynamicCounterArray::new(n);
+        let mut rng = SplitMix64::new(n as u64);
+        for _ in 0..10 * n {
+            arr.increment(rng.next_below(n as u64) as usize, 1);
+        }
+        group.bench_with_input(BenchmarkId::new("lookup_n", n), &n, |b, &n| {
+            b.iter(|| (0..n).map(|i| arr.get(i)).sum::<u64>())
+        });
+    }
+    group.finish();
+}
+
+fn bench_static_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sai_static_build");
+    for &n in &[10_000usize, 100_000] {
+        let counters: Vec<u64> = {
+            let mut rng = SplitMix64::new(7);
+            (0..n).map(|_| rng.next_below(1000)).collect()
+        };
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| StaticCounterArray::from_counters(&counters))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dynamic, bench_static_build
+}
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Microbenchmarks of the SBF operations: insert and query throughput for
+//! each algorithm (MS / MI / RM) and each storage backend.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sbf_hash::MixFamily;
+use sbf_workloads::ZipfWorkload;
+use spectral_bloom::{CompactCounters, CompressedCounters, MiSbf, MsSbf, MultisetSketch, RmSbf};
+
+const M: usize = 1 << 16;
+const K: usize = 5;
+
+fn workload() -> ZipfWorkload {
+    ZipfWorkload::generate(8_192, 50_000, 1.0, 42)
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let w = workload();
+    let mut group = c.benchmark_group("insert");
+    group.throughput(Throughput::Elements(w.stream.len() as u64));
+
+    group.bench_function("ms/plain", |b| {
+        b.iter(|| {
+            let mut sbf = MsSbf::new(M, K, 1);
+            for &x in &w.stream {
+                sbf.insert(&x);
+            }
+            sbf
+        })
+    });
+    group.bench_function("mi/plain", |b| {
+        b.iter(|| {
+            let mut sbf = MiSbf::new(M, K, 1);
+            for &x in &w.stream {
+                sbf.insert(&x);
+            }
+            sbf
+        })
+    });
+    group.bench_function("rm/plain", |b| {
+        b.iter(|| {
+            let mut sbf = RmSbf::new(M, K, 1);
+            for &x in &w.stream {
+                sbf.insert(&x);
+            }
+            sbf
+        })
+    });
+    group.bench_function("ms/compressed", |b| {
+        b.iter(|| {
+            let mut sbf: MsSbf<MixFamily, CompressedCounters> =
+                MsSbf::from_family(MixFamily::new(M, K, 1));
+            for &x in &w.stream {
+                sbf.insert(&x);
+            }
+            sbf
+        })
+    });
+    group.bench_function("ms/compact", |b| {
+        b.iter(|| {
+            let mut sbf: MsSbf<MixFamily, CompactCounters> =
+                MsSbf::from_family(MixFamily::new(M, K, 1));
+            for &x in &w.stream {
+                sbf.insert(&x);
+            }
+            sbf
+        })
+    });
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let w = workload();
+    let mut ms = MsSbf::new(M, K, 1);
+    let mut packed: MsSbf<MixFamily, CompressedCounters> =
+        MsSbf::from_family(MixFamily::new(M, K, 1));
+    let mut rm = RmSbf::new(M, K, 1);
+    for &x in &w.stream {
+        ms.insert(&x);
+        packed.insert(&x);
+        rm.insert(&x);
+    }
+    let mut group = c.benchmark_group("query");
+    group.throughput(Throughput::Elements(8_192));
+    group.bench_function("ms/plain", |b| {
+        b.iter(|| (0u64..8_192).map(|key| ms.estimate(&key)).sum::<u64>())
+    });
+    group.bench_function("ms/compressed", |b| {
+        b.iter(|| (0u64..8_192).map(|key| packed.estimate(&key)).sum::<u64>())
+    });
+    group.bench_function("rm/plain", |b| {
+        b.iter(|| (0u64..8_192).map(|key| rm.estimate(&key)).sum::<u64>())
+    });
+    group.finish();
+}
+
+fn bench_k_scaling(c: &mut Criterion) {
+    let w = workload();
+    let mut group = c.benchmark_group("insert_k_scaling");
+    group.throughput(Throughput::Elements(w.stream.len() as u64));
+    for k in [1usize, 3, 5, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut sbf = MsSbf::new(M, k, 1);
+                for &x in &w.stream {
+                    sbf.insert(&x);
+                }
+                sbf
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_inserts, bench_queries, bench_k_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Figure 12 as a Criterion bench: compressed SBF vs the chained hash
+//! table, identical hash functions, identical load. The paper's expected
+//! shape: the hash table is faster but only by a small constant (≈ 2×, not
+//! the naive k×), and it degrades as chains grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sbf_db::ChainedHashTable;
+use sbf_hash::{MixFamily, SplitMix64};
+use spectral_bloom::{CompressedCounters, MsSbf, MultisetSketch};
+
+fn bench_pair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sbf_vs_hash");
+    for &m in &[10_000usize, 100_000] {
+        let n_keys = (m / 10) as u64;
+        group.throughput(Throughput::Elements(10 * n_keys));
+        group.bench_with_input(BenchmarkId::new("sbf_insert", m), &m, |b, &m| {
+            b.iter(|| {
+                let mut sbf: MsSbf<MixFamily, CompressedCounters> =
+                    MsSbf::from_family(MixFamily::new(m, 5, 42));
+                let mut rng = SplitMix64::new(m as u64);
+                for _ in 0..10 * n_keys {
+                    sbf.insert(&rng.next_below(n_keys));
+                }
+                sbf
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hash_insert", m), &m, |b, &m| {
+            b.iter(|| {
+                let mut t = ChainedHashTable::new(m, 42);
+                let mut rng = SplitMix64::new(m as u64);
+                for _ in 0..10 * n_keys {
+                    t.increment(&rng.next_below(n_keys), 1);
+                }
+                t
+            })
+        });
+
+        // Lookups on populated structures.
+        let mut sbf: MsSbf<MixFamily, CompressedCounters> =
+            MsSbf::from_family(MixFamily::new(m, 5, 42));
+        let mut table = ChainedHashTable::new(m, 42);
+        let mut rng = SplitMix64::new(m as u64);
+        for _ in 0..10 * n_keys {
+            let key = rng.next_below(n_keys);
+            sbf.insert(&key);
+            table.increment(&key, 1);
+        }
+        group.throughput(Throughput::Elements(n_keys));
+        group.bench_with_input(BenchmarkId::new("sbf_lookup", m), &m, |b, _| {
+            b.iter(|| (0..n_keys).map(|key| sbf.estimate(&key)).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("hash_lookup", m), &m, |b, _| {
+            b.iter(|| (0..n_keys).map(|key| table.get(&key)).sum::<u64>())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pair
+}
+criterion_main!(benches);

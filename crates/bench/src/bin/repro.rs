@@ -1,0 +1,57 @@
+//! `repro` — regenerates every table and figure of the SBF paper.
+//!
+//! ```text
+//! cargo run -p sbf-bench --release --bin repro -- all        # everything
+//! cargo run -p sbf-bench --release --bin repro -- quick      # scaled-down
+//! cargo run -p sbf-bench --release --bin repro -- fig6 table1 …
+//! ```
+
+use sbf_bench::experiments as exp;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <target>...\n\
+         targets: all | quick | fig1 | table1 | table2 | fig4 | fig6 | fig6c | fig7 |\n\
+         \x20        fig8 | fig9 | fig10 | fig11 | fig12 | fig13 | fig14 | fig15 |\n\
+         \x20        bloomjoin | bifocal | range | paged | reduced | apps | hashes"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    for arg in &args {
+        let report = match arg.as_str() {
+            "all" => exp::all_reports(false),
+            "quick" => exp::all_reports(true),
+            "fig1" => exp::fig1(),
+            "table1" => exp::table1(),
+            "table2" => exp::table2(),
+            "fig4" => exp::fig4(),
+            "fig6" => exp::fig6ab(),
+            "fig6c" => exp::fig6c(),
+            "fig7" => exp::fig7(1),
+            "fig7quick" => exp::fig7(20),
+            "fig8" => exp::fig8(),
+            "fig9" => exp::fig9(),
+            "fig10" => exp::fig10(),
+            "fig11" => exp::fig11(1),
+            "fig12" => exp::fig12(1),
+            "fig13" => exp::fig13(),
+            "fig14" => exp::fig14(),
+            "fig15" => exp::fig15(),
+            "bloomjoin" => exp::bloomjoin_report(),
+            "paged" => exp::paged_report(),
+            "reduced" => exp::reduced_sai_report(),
+            "apps" => exp::applications_report(),
+            "hashes" => exp::hash_quality_report(),
+            "bifocal" => exp::bifocal_report(),
+            "range" => exp::range_report(),
+            _ => usage(),
+        };
+        println!("{report}");
+    }
+}

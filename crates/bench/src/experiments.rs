@@ -1,0 +1,1048 @@
+//! One generator per table/figure of the paper's evaluation.
+//!
+//! Each function returns the report as a `String` (so integration tests
+//! can smoke them); the `repro` binary prints them. Experiment parameters
+//! follow §6; every randomized experiment averages over [`SEEDS`]
+//! independent seeds, matching the paper's "average over 5 independent
+//! experiments with the same parameters".
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use sbf_analysis as analysis;
+use sbf_db::{bifocal, bloomjoin, ship_all_join, spectral_bloomjoin, ChainedHashTable, JoinPlan, Relation};
+use sbf_encoding::{Codec, EliasDelta, StepsCode};
+use sbf_hash::SplitMix64;
+use sbf_sai::{DynamicCounterArray, StaticCounterArray};
+use sbf_workloads::{
+    forest, DeletionPhaseStream, SlidingWindowStream, ZipfWorkload,
+};
+use spectral_bloom::{ad_hoc_iceberg, MsSbf, MultisetSketch, RangeTreeSketch, RmSbf};
+
+use crate::metrics::{run_events, run_inserts, AccuracyMetrics, Algo};
+
+/// Seeds used for averaged experiments (the paper uses 5 runs).
+pub const SEEDS: [u64; 5] = [101, 202, 303, 404, 505];
+
+/// Paper-wide defaults for the synthetic accuracy experiments (§6.1):
+/// 1000 distinct values, 100,000 items, k = 5.
+pub const N_DISTINCT: usize = 1000;
+/// Total stream length `M`.
+pub const M_ITEMS: usize = 100_000;
+/// Hash-function count.
+pub const K: usize = 5;
+
+fn m_for_gamma(n: usize, k: usize, gamma: f64) -> usize {
+    ((n * k) as f64 / gamma).round() as usize
+}
+
+// ---------------------------------------------------------------- Figure 1
+
+/// Figure 1: analytic expected relative error `E′(RE_i^z)` vs item rank for
+/// skews 0.2–2 over 10,000 items, k = 5.
+pub fn fig1() -> String {
+    let n = 10_000;
+    let k = 5;
+    let skews = [0.2, 0.6, 1.0, 1.4, 1.8, 2.0];
+    let ranks = [1usize, 100, 500, 1000, 2000, 4000, 6000, 8000, 10_000];
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 1 — expected relative error bound E'(RE_i^z), n={n}, k={k}");
+    let _ = write!(out, "{:>8}", "rank");
+    for z in skews {
+        let _ = write!(out, "  z={z:<6}");
+    }
+    let _ = writeln!(out);
+    for rank in ranks {
+        let _ = write!(out, "{rank:>8}");
+        for z in skews {
+            let v = analysis::expected_relative_error_bound(n, k, z, rank);
+            let _ = write!(out, "  {v:<8.4}");
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(
+        out,
+        "Eq.(2) all-items bound minimized at z=(k-1)/2={} (paper prints (k+1)/2={}; see EXPERIMENTS.md)",
+        analysis::z_min(k),
+        analysis::z_min_as_printed(k)
+    );
+    out
+}
+
+// ----------------------------------------------------------------- Table 1
+
+/// Measured RM decomposition for one configuration: returns
+/// `(P(Rx), P(Ex|Rx), gamma_s, Eb_s, E_RM_calc, E_RM_measured)`.
+///
+/// `E_RM_calc = P(Rx)·P(Ex|Rx) + (1−P(Rx))·Eb_s` is the paper's Table 1
+/// formula (their E_RM column is *calculated* from the measured
+/// decomposition); `E_RM_measured` is the end-to-end error ratio, which
+/// also pays for late-detection contamination the formula ignores.
+fn rm_decomposition(m_primary: usize, m_secondary: usize, skew: f64) -> (f64, f64, f64, f64, f64, f64) {
+    let mut p_rx = 0.0;
+    let mut p_ex_given_rx = 0.0;
+    let mut e_meas = 0.0;
+    for &seed in &SEEDS {
+        let w = ZipfWorkload::generate(N_DISTINCT, M_ITEMS, skew, seed);
+        let mut rm = RmSbf::with_split(m_primary, m_secondary, K, seed);
+        for &x in &w.stream {
+            rm.insert(&x);
+        }
+        let mut rx = 0usize;
+        let mut ex_rx = 0usize;
+        let mut errors = 0usize;
+        for (key, &f) in w.truth.iter().enumerate() {
+            let key = key as u64;
+            let recurring = rm.has_recurring_min(&key);
+            let err = rm.estimate(&key) != f;
+            if recurring {
+                rx += 1;
+                if err {
+                    ex_rx += 1;
+                }
+            }
+            if err {
+                errors += 1;
+            }
+        }
+        p_rx += rx as f64 / N_DISTINCT as f64;
+        p_ex_given_rx += if rx > 0 { ex_rx as f64 / rx as f64 } else { 0.0 };
+        e_meas += errors as f64 / N_DISTINCT as f64;
+    }
+    let runs = SEEDS.len() as f64;
+    p_rx /= runs;
+    p_ex_given_rx /= runs;
+    e_meas /= runs;
+    let gamma_s = N_DISTINCT as f64 * (1.0 - p_rx) * K as f64 / m_secondary as f64;
+    let eb_s = (1.0 - (-gamma_s).exp()).powi(K as i32);
+    let e_calc = p_rx * p_ex_given_rx + (1.0 - p_rx) * eb_s;
+    (p_rx, p_ex_given_rx, gamma_s, eb_s, e_calc, e_meas)
+}
+
+/// Table 1: Recurring Minimum error decomposition at k = 5, n = 1000,
+/// skew 0.5, secondary SBF of size m/2, for γ ∈ {1, 0.83, 0.7, 0.625, 0.5}.
+pub fn table1() -> String {
+    let gammas = [1.0, 0.83, 0.7, 0.625, 0.5];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 1 — RM error decomposition (k={K}, n={N_DISTINCT}, skew 0.5, secondary m/2, avg of {} seeds)",
+        SEEDS.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:>6} {:>8} {:>8} {:>10} {:>8} {:>10} {:>10} {:>9} | {:>10} {:>9}",
+        "gamma", "Eb", "P(Rx)", "P(Ex|Rx)", "gamma_s", "Eb_s", "E_RM calc", "gain", "E_RM meas", "gain"
+    );
+    for gamma in gammas {
+        let m = m_for_gamma(N_DISTINCT, K, gamma);
+        let (p_rx, p_ex, g_s, eb_s, e_calc, e_meas) = rm_decomposition(m, m / 2, 0.5);
+        let eb = analysis::bloom_error(N_DISTINCT, m, K);
+        let gain_c = if e_calc > 0.0 { eb / e_calc } else { f64::INFINITY };
+        let gain_m = if e_meas > 0.0 { eb / e_meas } else { f64::INFINITY };
+        let _ = writeln!(
+            out,
+            "{gamma:>6.3} {eb:>8.4} {p_rx:>8.3} {p_ex:>10.4} {g_s:>8.3} {eb_s:>10.2e} {e_calc:>10.2e} {gain_c:>9.1} | {e_meas:>10.4} {gain_m:>9.2}"
+        );
+    }
+    out
+}
+
+// ----------------------------------------------------------------- Table 2
+
+/// Table 2: spend extra memory on a bigger MS filter (k re-optimized,
+/// γ ≈ 0.7) vs. on an RM secondary; report the MS/RM error-ratio quotient.
+pub fn table2() -> String {
+    let fractions = [1.0, 0.5, 0.33, 0.25, 0.2, 0.1];
+    let base_m = m_for_gamma(N_DISTINCT, K, 0.7);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 2 — extra memory as bigger-MS vs RM-secondary (base m={base_m}, k={K}, skew 0.5)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>6} {:>6} {:>10} {:>12} {:>12} {:>11} {:>11}",
+        "mem+", "k_MS", "E_MS", "E_RM calc", "E_RM meas", "ratio calc", "ratio meas"
+    );
+    for frac in fractions {
+        let extra = (base_m as f64 * frac) as usize;
+        let ms_m = base_m + extra;
+        // Keep γ ≈ 0.7 in the enlarged MS filter: k' = ⌊0.7·m'/n⌋ — this
+        // reproduces the paper's "Modified k" row of 10, 7, 6, 6, 6, 5.
+        let ms_k = ((0.7 * ms_m as f64 / N_DISTINCT as f64).floor() as usize).clamp(1, 16);
+        let mut e_ms = Vec::new();
+        for &seed in &SEEDS {
+            let w = ZipfWorkload::generate(N_DISTINCT, M_ITEMS, 0.5, seed);
+            e_ms.push(run_inserts(Algo::Ms, ms_m, ms_k, seed, &w.stream, &w.truth).error_ratio);
+        }
+        let e_ms = e_ms.iter().sum::<f64>() / e_ms.len() as f64;
+        let (_, _, _, _, e_calc, e_meas) = rm_decomposition(base_m, extra.max(1), 0.5);
+        let ratio_c = if e_calc > 0.0 { e_ms / e_calc } else { f64::INFINITY };
+        let ratio_m = if e_meas > 0.0 { e_ms / e_meas } else { f64::INFINITY };
+        let _ = writeln!(
+            out,
+            "{frac:>6.2} {ms_k:>6} {e_ms:>10.4} {e_calc:>12.2e} {e_meas:>12.4} {ratio_c:>11.2} {ratio_m:>11.3}"
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------- Figure 4
+
+/// Figure 4: iceberg error rate vs threshold (% of max frequency) for
+/// Zipfian skews 0–1.2, k = 5, γ = 1 — analytic curve plus an empirical
+/// check at skew 1.
+pub fn fig4() -> String {
+    let m = N_DISTINCT * K; // γ = 1
+    let skews = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2];
+    let pcts = [1u64, 5, 10, 20, 30, 50, 70, 90, 100];
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 4 — iceberg error rates (analytic), n={N_DISTINCT}, M={M_ITEMS}, k={K}, gamma=1");
+    let _ = write!(out, "{:>8}", "T(%max)");
+    for z in skews {
+        let _ = write!(out, "  z={z:<7}");
+    }
+    let _ = writeln!(out);
+    for pct in pcts {
+        let _ = write!(out, "{pct:>8}");
+        for z in skews {
+            let norm: f64 = (1..=N_DISTINCT).map(|i| 1.0 / (i as f64).powf(z)).sum();
+            let max_f = (M_ITEMS as f64 / norm).round() as u64;
+            let t = (max_f * pct / 100).max(1);
+            let e = analysis::iceberg_error_zipf(N_DISTINCT, M_ITEMS as u64, z, m, K, t);
+            let _ = write!(out, "  {e:<9.5}");
+        }
+        let _ = writeln!(out);
+    }
+    // Empirical spot-check at skew 1, T = 10% of max.
+    let z = 1.0;
+    let w = ZipfWorkload::generate(N_DISTINCT, M_ITEMS, z, SEEDS[0]);
+    let max_f = *w.truth.iter().max().expect("non-empty");
+    let t = (max_f / 10).max(1);
+    let mut sbf = MsSbf::new(m, K, SEEDS[0]);
+    for &x in &w.stream {
+        sbf.insert(&x);
+    }
+    let reported = ad_hoc_iceberg(&sbf, 0..N_DISTINCT as u64, t);
+    let true_heavy = w.truth.iter().filter(|&&f| f >= t).count();
+    let fp = reported.iter().filter(|&&key| w.truth[key as usize] < t).count();
+    let missed = w
+        .truth
+        .iter()
+        .enumerate()
+        .filter(|&(key, &f)| f >= t && !reported.contains(&(key as u64)))
+        .count();
+    let _ = writeln!(
+        out,
+        "Empirical (z=1, T=10%max={t}): {} reported, {true_heavy} truly heavy, {fp} false positives, {missed} missed (must be 0)",
+        reported.len()
+    );
+    out
+}
+
+// ------------------------------------------------------------- Figure 6a/b
+
+/// Figure 6a/b: additive error and error ratio of MS/RM/MI vs γ, at k = 5,
+/// skew 0.5, space-fair total memory.
+pub fn fig6ab() -> String {
+    let gammas = [0.2, 0.4, 0.6, 0.7, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 6a/b — accuracy vs gamma (k={K}, n={N_DISTINCT}, M={M_ITEMS}, skew 0.5, total space m)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>6} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10}",
+        "gamma", "MS E_add", "RM E_add", "MI E_add", "MS ratio", "RM ratio", "MI ratio"
+    );
+    for gamma in gammas {
+        let m = m_for_gamma(N_DISTINCT, K, gamma);
+        let mut per_algo: HashMap<&str, Vec<AccuracyMetrics>> = HashMap::new();
+        for &seed in &SEEDS {
+            let w = ZipfWorkload::generate(N_DISTINCT, M_ITEMS, 0.5, seed);
+            for algo in Algo::ALL {
+                let m_run = run_inserts(algo, m, K, seed, &w.stream, &w.truth);
+                per_algo.entry(algo.label()).or_default().push(m_run);
+            }
+        }
+        let ms = AccuracyMetrics::mean(&per_algo[Algo::Ms.label()]);
+        let rm = AccuracyMetrics::mean(&per_algo[Algo::Rm.label()]);
+        let mi = AccuracyMetrics::mean(&per_algo[Algo::Mi.label()]);
+        let _ = writeln!(
+            out,
+            "{gamma:>6.2} | {:>10.3} {:>10.3} {:>10.3} | {:>10.4} {:>10.4} {:>10.4}",
+            ms.additive_error, rm.additive_error, mi.additive_error,
+            ms.error_ratio, rm.error_ratio, mi.error_ratio
+        );
+    }
+    out
+}
+
+/// Figure 6c: additive error vs k at γ = 0.7, skew 0.5.
+pub fn fig6c() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 6c — additive error vs k (gamma=0.7, skew 0.5)");
+    let _ = writeln!(out, "{:>4} | {:>10} {:>10} {:>10}", "k", "MS", "RM", "MI");
+    for k in 1..=6usize {
+        let m = m_for_gamma(N_DISTINCT, k, 0.7);
+        let mut res: HashMap<&str, Vec<AccuracyMetrics>> = HashMap::new();
+        for &seed in &SEEDS {
+            let w = ZipfWorkload::generate(N_DISTINCT, M_ITEMS, 0.5, seed);
+            for algo in Algo::ALL {
+                res.entry(algo.label()).or_default().push(run_inserts(algo, m, k, seed, &w.stream, &w.truth));
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{k:>4} | {:>10.3} {:>10.3} {:>10.3}",
+            AccuracyMetrics::mean(&res[Algo::Ms.label()]).additive_error,
+            AccuracyMetrics::mean(&res[Algo::Rm.label()]).additive_error,
+            AccuracyMetrics::mean(&res[Algo::Mi.label()]).additive_error,
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------- Figure 7
+
+/// Figure 7: the Forest-Cover elevation surrogate — distribution summary
+/// plus MS/RM/MI accuracy vs γ.
+///
+/// `scale` shrinks the dataset for quick runs (1 = the full 581,012
+/// records).
+pub fn fig7(scale: usize) -> String {
+    let records = forest::FOREST_RECORDS / scale.max(1);
+    let distinct = forest::FOREST_DISTINCT;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 7 — Forest Cover elevation surrogate ({records} records, {distinct} distinct; substitution per DESIGN.md)"
+    );
+    let column = forest::synthetic_elevation_sized(records, distinct, SEEDS[0]);
+    let truth = forest::frequencies(&column, distinct);
+    let peak = *truth.iter().max().expect("non-empty");
+    let present = truth.iter().filter(|&&f| f > 0).count();
+    let _ = writeln!(out, "(a) distribution: peak frequency {peak}, {present} values present");
+    let _ = writeln!(
+        out,
+        "{:>6} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10}",
+        "gamma", "MS E_add", "RM E_add", "MI E_add", "MS ratio", "RM ratio", "MI ratio"
+    );
+    for gamma in [0.2, 0.4, 0.6, 0.7, 0.8, 1.0, 1.2, 1.4] {
+        let m = m_for_gamma(present, K, gamma);
+        let mut res: HashMap<&str, Vec<AccuracyMetrics>> = HashMap::new();
+        for &seed in &SEEDS[..3] {
+            let col = forest::synthetic_elevation_sized(records, distinct, seed);
+            let tr = forest::frequencies(&col, distinct);
+            for algo in Algo::ALL {
+                res.entry(algo.label()).or_default().push(run_inserts(algo, m, K, seed, &col, &tr));
+            }
+        }
+        let ms = AccuracyMetrics::mean(&res[Algo::Ms.label()]);
+        let rm = AccuracyMetrics::mean(&res[Algo::Rm.label()]);
+        let mi = AccuracyMetrics::mean(&res[Algo::Mi.label()]);
+        let _ = writeln!(
+            out,
+            "{gamma:>6.2} | {:>10.3} {:>10.3} {:>10.3} | {:>10.4} {:>10.4} {:>10.4}",
+            ms.additive_error, rm.additive_error, mi.additive_error,
+            ms.error_ratio, rm.error_ratio, mi.error_ratio
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------- Figure 8
+
+/// Figure 8: skew sweep with and without deletion phases; additive error,
+/// error ratio, and MI's false-negative share.
+pub fn fig8() -> String {
+    let skews = [0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0];
+    let m = m_for_gamma(N_DISTINCT, K, 0.7);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 8 — deletions experiment (gamma=0.7, k={K}; 5% of items fully deleted per phase)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>5} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} | {:>8}",
+        "skew", "MS+del", "RM+del", "MI+del", "MS", "RM", "MI", "MI FN%"
+    );
+    for skew in skews {
+        let mut with_del: HashMap<&str, Vec<AccuracyMetrics>> = HashMap::new();
+        let mut without: HashMap<&str, Vec<AccuracyMetrics>> = HashMap::new();
+        for &seed in &SEEDS {
+            let w = ZipfWorkload::generate(N_DISTINCT, M_ITEMS, skew, seed);
+            let del = DeletionPhaseStream::from_zipf(&w, 10, seed);
+            for algo in Algo::ALL {
+                without.entry(algo.label()).or_default().push(run_inserts(algo, m, K, seed, &w.stream, &w.truth));
+                with_del.entry(algo.label()).or_default().push(run_events(algo, m, K, seed, &del.events, &del.truth));
+            }
+        }
+        let d_ms = AccuracyMetrics::mean(&with_del[Algo::Ms.label()]);
+        let d_rm = AccuracyMetrics::mean(&with_del[Algo::Rm.label()]);
+        let d_mi = AccuracyMetrics::mean(&with_del[Algo::Mi.label()]);
+        let p_ms = AccuracyMetrics::mean(&without[Algo::Ms.label()]);
+        let p_rm = AccuracyMetrics::mean(&without[Algo::Rm.label()]);
+        let p_mi = AccuracyMetrics::mean(&without[Algo::Mi.label()]);
+        let _ = writeln!(
+            out,
+            "{skew:>5.2} | {:>9.3} {:>9.3} {:>9.3} | {:>9.3} {:>9.3} {:>9.3} | {:>8.3}",
+            d_ms.additive_error, d_rm.additive_error, d_mi.additive_error,
+            p_ms.additive_error, p_rm.additive_error, p_mi.additive_error,
+            d_mi.fn_share_of_errors
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------- Figure 9
+
+/// Figure 9: sliding window (window = M/5) over a skew sweep.
+pub fn fig9() -> String {
+    let skews = [0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0];
+    let m = m_for_gamma(N_DISTINCT, K, 0.7);
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 9 — sliding window M/5 (gamma=0.7, k={K})");
+    let _ = writeln!(
+        out,
+        "{:>5} | {:>10} {:>10} {:>10} | {:>9} {:>9} {:>9}",
+        "skew", "MS E_add", "RM E_add", "MI E_add", "MS ratio", "RM ratio", "MI ratio"
+    );
+    for skew in skews {
+        let mut res: HashMap<&str, Vec<AccuracyMetrics>> = HashMap::new();
+        for &seed in &SEEDS {
+            let w = ZipfWorkload::generate(N_DISTINCT, M_ITEMS, skew, seed);
+            let sw = SlidingWindowStream::from_zipf(&w, M_ITEMS / 5);
+            for algo in Algo::ALL {
+                res.entry(algo.label()).or_default().push(run_events(algo, m, K, seed, &sw.events, &sw.truth));
+            }
+        }
+        let ms = AccuracyMetrics::mean(&res[Algo::Ms.label()]);
+        let rm = AccuracyMetrics::mean(&res[Algo::Rm.label()]);
+        let mi = AccuracyMetrics::mean(&res[Algo::Mi.label()]);
+        let _ = writeln!(
+            out,
+            "{skew:>5.2} | {:>10.3} {:>10.3} {:>10.3} | {:>9.4} {:>9.4} {:>9.4}",
+            ms.additive_error, rm.additive_error, mi.additive_error,
+            ms.error_ratio, rm.error_ratio, mi.error_ratio
+        );
+    }
+    out
+}
+
+// --------------------------------------------------------------- Figure 10
+
+/// Figure 10: encoded size vs average counter frequency for the log-counter
+/// optimum, Elias δ, and two steps configurations.
+pub fn fig10() -> String {
+    let m = 20_000usize;
+    let avg_freqs = [1u64, 2, 5, 10, 20, 50, 100];
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 10 — encoding sizes (bits) for {m} counters vs average frequency");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>12} {:>12} {:>12} {:>12}",
+        "avg f", "log-counters", "Elias", "steps(1,2)", "steps(2,3)"
+    );
+    let s12 = StepsCode::new(&[1, 2]);
+    let s23 = StepsCode::new(&[2, 3]);
+    for avg in avg_freqs {
+        // Geometric-flavoured counters with the requested mean: half the
+        // mass at small values, a tail reaching ~6× the mean (an "almost
+        // set" at avg 1, counter-heavy at avg 100).
+        let mut rng = SplitMix64::new(avg ^ 0x000f_1610);
+        let counters: Vec<u64> = (0..m)
+            .map(|_| {
+                let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                // Exponential with mean `avg`, discretized.
+                (-(1.0 - u).ln() * avg as f64).round() as u64
+            })
+            .collect();
+        let log_bits: usize = counters.iter().map(|&c| sbf_encoding::bit_len(c).max(1)).sum();
+        let elias: usize = counters.iter().map(|&c| EliasDelta.encoded_len(c)).sum();
+        let b12: usize = counters.iter().map(|&c| s12.encoded_len(c)).sum();
+        let b23: usize = counters.iter().map(|&c| s23.encoded_len(c)).sum();
+        let _ = writeln!(out, "{avg:>8} {log_bits:>12} {elias:>12} {b12:>12} {b23:>12}");
+    }
+    out
+}
+
+// --------------------------------------------------------------- Figure 11
+
+/// Figure 11: String-Array Index build / update / lookup time vs array
+/// size (`scale` divides the largest sizes for quick runs).
+pub fn fig11(scale: usize) -> String {
+    let sizes: Vec<usize> = [1_000usize, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000]
+        .iter()
+        .map(|&s| (s / scale.max(1)).max(1000))
+        .collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 11 — dynamic string-array performance (times in ms; per-action in µs)");
+    let _ = writeln!(
+        out,
+        "{:>9} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
+        "n", "init ms", "10n ins", "n lookups", "init/op", "ins/op", "look/op"
+    );
+    for &n in &sizes {
+        let t0 = Instant::now();
+        let mut arr = DynamicCounterArray::new(n);
+        let init = t0.elapsed();
+        let mut rng = SplitMix64::new(n as u64);
+        let t1 = Instant::now();
+        for _ in 0..10 * n {
+            arr.increment(rng.next_below(n as u64) as usize, 1);
+        }
+        let ins = t1.elapsed();
+        let t2 = Instant::now();
+        let mut sink = 0u64;
+        for i in 0..n {
+            sink = sink.wrapping_add(arr.get(i));
+        }
+        let looks = t2.elapsed();
+        assert_eq!(sink, 10 * n as u64, "lookup mass must match inserts");
+        let _ = writeln!(
+            out,
+            "{n:>9} | {:>9.2} {:>9.2} {:>9.2} | {:>9.3} {:>9.3} {:>9.3}",
+            init.as_secs_f64() * 1e3,
+            ins.as_secs_f64() * 1e3,
+            looks.as_secs_f64() * 1e3,
+            init.as_secs_f64() * 1e6 / n as f64,
+            ins.as_secs_f64() * 1e6 / (10 * n) as f64,
+            looks.as_secs_f64() * 1e6 / n as f64,
+        );
+    }
+    out
+}
+
+// --------------------------------------------------------------- Figure 12
+
+/// Figure 12: compressed SBF (k = 5) vs a chained hash table with the same
+/// hash functions: build / update / lookup times.
+pub fn fig12(scale: usize) -> String {
+    let sizes: Vec<usize> = [10_000usize, 50_000, 100_000, 500_000, 1_000_000]
+        .iter()
+        .map(|&s| (s / scale.max(1)).max(1000))
+        .collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 12 — SBF (compressed, k=5) vs chained hash table (same table size)");
+    let _ = writeln!(
+        out,
+        "{:>9} | {:>11} {:>11} {:>11} | {:>11} {:>11} {:>11}",
+        "size", "SBF init", "SBF ins", "SBF look", "hash init", "hash ins", "hash look"
+    );
+    for &m in &sizes {
+        let n_keys = m / 10; // avg frequency 10 over distinct keys
+        use spectral_bloom::{CompressedCounters, MsSbf};
+        use sbf_hash::MixFamily;
+        let t0 = Instant::now();
+        let mut sbf: MsSbf<MixFamily, CompressedCounters> =
+            MsSbf::from_family(MixFamily::new(m, 5, 42));
+        let sbf_init = t0.elapsed();
+        let mut rng = SplitMix64::new(m as u64);
+        let t1 = Instant::now();
+        for _ in 0..10 * n_keys {
+            sbf.insert(&rng.next_below(n_keys as u64));
+        }
+        let sbf_ins = t1.elapsed();
+        let t2 = Instant::now();
+        let mut sink = 0u64;
+        for key in 0..n_keys as u64 {
+            sink = sink.wrapping_add(sbf.estimate(&key));
+        }
+        let sbf_look = t2.elapsed();
+
+        let t3 = Instant::now();
+        let mut table = ChainedHashTable::new(m, 42);
+        let tab_init = t3.elapsed();
+        let mut rng = SplitMix64::new(m as u64);
+        let t4 = Instant::now();
+        for _ in 0..10 * n_keys {
+            table.increment(&rng.next_below(n_keys as u64), 1);
+        }
+        let tab_ins = t4.elapsed();
+        let t5 = Instant::now();
+        for key in 0..n_keys as u64 {
+            sink = sink.wrapping_add(table.get(&key));
+        }
+        let tab_look = t5.elapsed();
+        std::hint::black_box(sink);
+        let _ = writeln!(
+            out,
+            "{m:>9} | {:>11.2} {:>11.2} {:>11.2} | {:>11.2} {:>11.2} {:>11.2}",
+            sbf_init.as_secs_f64() * 1e3,
+            sbf_ins.as_secs_f64() * 1e3,
+            sbf_look.as_secs_f64() * 1e3,
+            tab_init.as_secs_f64() * 1e3,
+            tab_ins.as_secs_f64() * 1e3,
+            tab_look.as_secs_f64() * 1e3,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(times in ms; the SBF pays k=5 compressed-counter probes per op. The paper saw only ~2x \
+because its multiplicative hashes degraded the chained table at scale; with well-mixed hashes \
+the table stays fast and the gap is nearer the probe count — see EXPERIMENTS.md)"
+    );
+    out
+}
+
+// ------------------------------------------------------- Figures 13/14/15
+
+fn populated_counters(n: usize, avg_freq: usize, seed: u64) -> Vec<u64> {
+    let mut counters = vec![0u64; n];
+    if avg_freq > 0 {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..n * avg_freq {
+            counters[rng.next_below(n as u64) as usize] += 1;
+        }
+    }
+    counters
+}
+
+/// Figure 13: string-array-index total size vs raw bit-vector size, for
+/// average frequencies 0 and 10.
+pub fn fig13() -> String {
+    let sizes = [1_000usize, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000];
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 13 — SAI size vs raw bit vector (bits; slack 0.5/item in the dynamic array)");
+    let _ = writeln!(
+        out,
+        "{:>8} | {:>12} {:>12} {:>8} | {:>12} {:>12} {:>8}",
+        "n", "raw f=0", "SAI f=0", "ratio", "raw f=10", "SAI f=10", "ratio"
+    );
+    for &n in &sizes {
+        let empty = StaticCounterArray::from_counters(&populated_counters(n, 0, 7));
+        let full = StaticCounterArray::from_counters(&populated_counters(n, 10, 7));
+        let se = empty.size_breakdown();
+        let sf = full.size_breakdown();
+        let _ = writeln!(
+            out,
+            "{n:>8} | {:>12} {:>12} {:>8.2} | {:>12} {:>12} {:>8.2}",
+            se.base_bits,
+            se.total_bits(),
+            se.total_bits() as f64 / se.base_bits.max(1) as f64,
+            sf.base_bits,
+            sf.total_bits(),
+            sf.total_bits() as f64 / sf.base_bits.max(1) as f64,
+        );
+    }
+    out
+}
+
+/// Figure 14: breakdown of SAI storage into its components, for average
+/// frequencies 0 and 10.
+pub fn fig14() -> String {
+    let sizes = [1_000usize, 10_000, 50_000, 100_000, 500_000];
+    let mut out = String::new();
+    for avg in [0usize, 10] {
+        let _ = writeln!(out, "Figure 14 — SAI component breakdown (bits), average frequency {avg}");
+        let _ = writeln!(
+            out,
+            "{:>8} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "n", "base", "C1", "L2", "L3", "table", "flags"
+        );
+        for &n in &sizes {
+            let arr = StaticCounterArray::from_counters(&populated_counters(n, avg, 11));
+            let s = arr.size_breakdown();
+            let _ = writeln!(
+                out,
+                "{n:>8} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                s.base_bits, s.c1_bits, s.l2_bits, s.l3_bits, s.table_bits, s.flags_bits
+            );
+        }
+    }
+    out
+}
+
+/// Figure 15: SAI index overhead vs hash-table key storage (`m log m`
+/// loose, `Σ log i` tight).
+pub fn fig15() -> String {
+    let sizes = [1_000usize, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000];
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 15 — index overhead vs hash-table key storage (bits)");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>14} {:>14} {:>14} {:>14}",
+        "n", "SAI f=0", "SAI f=10", "hash m·log m", "hash Σlog i"
+    );
+    for &n in &sizes {
+        let s0 = StaticCounterArray::from_counters(&populated_counters(n, 0, 13)).size_breakdown();
+        let s10 = StaticCounterArray::from_counters(&populated_counters(n, 10, 13)).size_breakdown();
+        let logm = sbf_encoding::bit_len(n as u64);
+        let loose = n * logm;
+        let tight: usize = (1..=n as u64).map(|i| sbf_encoding::bit_len(i).max(1)).sum();
+        let _ = writeln!(
+            out,
+            "{n:>8} {:>14} {:>14} {loose:>14} {tight:>14}",
+            s0.index_bits(),
+            s10.index_bits()
+        );
+    }
+    out
+}
+
+// ------------------------------------------------------------ Applications
+
+/// §5.3: the distributed-join comparison — bytes, messages and accuracy of
+/// ship-all vs Bloomjoin vs Spectral Bloomjoin.
+pub fn bloomjoin_report() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Spectral Bloomjoin (§5.3) — two-site join, network accounting");
+    let _ = writeln!(
+        out,
+        "{:>24} {:>10} {:>10} {:>8} {:>10} {:>10}",
+        "strategy", "bytes", "messages", "exact", "groups", "spurious"
+    );
+    // R: dimension table, 2000 unique keys; S: fact table, 20k rows over
+    // half of R's keys plus 10k rows with foreign keys (no R partner).
+    let r = Relation::from_keys("R", &(0..2000u64).collect::<Vec<_>>(), 32);
+    let mut s_keys = Vec::new();
+    let mut rng = SplitMix64::new(99);
+    for _ in 0..20_000 {
+        s_keys.push(rng.next_below(1000));
+    }
+    for _ in 0..10_000 {
+        s_keys.push(10_000 + rng.next_below(5000));
+    }
+    let s = Relation::from_keys("S", &s_keys, 32);
+    // Size for the total distinct-key population across both sites (~8k:
+    // 2k dimension keys + ~5k distinct archived foreign keys).
+    let plan = JoinPlan::sized_for(8000, 5);
+    let exact = ship_all_join(&r, &s, &plan);
+    for (label, outcome) in [
+        ("ship-all", exact.clone()),
+        ("bloomjoin", bloomjoin(&r, &s, &plan)),
+        ("spectral bloomjoin", spectral_bloomjoin(&r, &s, &plan)),
+    ] {
+        let spurious = outcome.groups.keys().filter(|k| !exact.groups.contains_key(k)).count();
+        let _ = writeln!(
+            out,
+            "{label:>24} {:>10} {:>10} {:>8} {:>10} {spurious:>10}",
+            outcome.network.bytes, outcome.network.messages, outcome.exact, outcome.groups.len()
+        );
+    }
+    out
+}
+
+/// §5.4: bifocal sampling with an SBF t-index vs the exact join size.
+pub fn bifocal_report() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Bifocal sampling (§5.4) — join-size estimates, SBF t-index");
+    let mut r_keys = Vec::new();
+    for key in 0u64..20 {
+        for _ in 0..500 {
+            r_keys.push(key);
+        }
+    }
+    for key in 20u64..5000 {
+        r_keys.push(key);
+    }
+    let mut rng = SplitMix64::new(7);
+    for i in (1..r_keys.len()).rev() {
+        let j = rng.next_below((i + 1) as u64) as usize;
+        r_keys.swap(i, j);
+    }
+    let r = Relation::from_keys("R", &r_keys, 16);
+    let s_keys: Vec<u64> = (0..4000u64).flat_map(|key| std::iter::repeat_n(key, 1 + (key % 4) as usize)).collect();
+    let s = Relation::from_keys("S", &s_keys, 16);
+    let exact = bifocal::exact_join_size(&r, &s);
+    let _ = writeln!(out, "exact |R⋈S| = {exact}");
+    let _ = writeln!(out, "{:>6} {:>12} {:>10} {:>10}", "seed", "estimate", "rel.err", "dense");
+    for &seed in &SEEDS {
+        let cfg = bifocal::BifocalConfig { sample_size: 800, ..bifocal::BifocalConfig::sized_for(&r, &s, seed) };
+        let (est, dense) = bifocal::bifocal_estimate(&r, &s, &cfg);
+        let rel = (est - exact as f64).abs() / exact as f64;
+        let _ = writeln!(out, "{seed:>6} {est:>12.0} {rel:>10.3} {dense:>10}");
+    }
+    out
+}
+
+/// §5.5: range-tree queries — lookup counts vs the Theorem 11 bound and
+/// estimate accuracy.
+pub fn range_report() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Range queries (§5.5) — dyadic range tree over an RM-SBF");
+    let domain = 1u64 << 14;
+    let mut tree = RangeTreeSketch::new(RmSbf::new(1 << 18, 5, 31), 0, domain);
+    let mut truth = vec![0u64; domain as usize];
+    let mut rng = SplitMix64::new(17);
+    for _ in 0..20_000 {
+        let v = rng.next_below(domain);
+        tree.insert(v);
+        truth[v as usize] += 1;
+    }
+    let _ = writeln!(out, "{:>18} {:>10} {:>10} {:>9} {:>14}", "range", "true", "estimate", "lookups", "2*log2|Q|+4");
+    for (a, b) in [(0u64, domain), (100, 200), (1000, 9000), (5, 6), (12_345, 12_999)] {
+        let want: u64 = truth[a as usize..b as usize].iter().sum();
+        let got = tree.count_range(a, b);
+        let bound = 2 * (64 - (b - a).leading_zeros()) as usize + 4;
+        let _ = writeln!(
+            out,
+            "{:>18} {want:>10} {:>10} {:>9} {bound:>14}",
+            format!("[{a},{b})"),
+            got.estimate,
+            got.lookups
+        );
+    }
+    out
+}
+
+
+// ------------------------------------------------------- Extended systems
+
+/// External-memory ablation (§2.2): I/O cost of flat vs blocked hashing
+/// over the paged store, plus the accuracy price of blocking.
+pub fn paged_report() -> String {
+    use sbf_hash::{BlockedFamily, MixFamily};
+    use spectral_bloom::{MsSbf, PagedCounters};
+    let mut out = String::new();
+    let _ = writeln!(out, "External-memory SBF (§2.2) — page faults per operation, flat vs blocked hashing");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>12} {:>14} {:>14} {:>12} {:>12}",
+        "page", "ops", "flat faults", "blocked faults", "flat err", "blocked err"
+    );
+    let m = 1 << 15;
+    let n_keys = 3000u64;
+    for page in [128usize, 512, 2048] {
+        let flat_fam = MixFamily::new(m, K, 3);
+        let mut flat: MsSbf<MixFamily, PagedCounters> =
+            MsSbf::with_parts(flat_fam, PagedCounters::with_page_size(m, page));
+        let blocked_fam = BlockedFamily::new(MixFamily::new(page, K, 3), m / page, 3);
+        let mut blocked: MsSbf<BlockedFamily<MixFamily>, PagedCounters> =
+            MsSbf::with_parts(blocked_fam, PagedCounters::with_page_size(m, page));
+        for key in 0..n_keys {
+            flat.insert_by(&key, 3);
+            blocked.insert_by(&key, 3);
+        }
+        let f_io = flat.core().store().io_stats().page_faults;
+        let b_io = blocked.core().store().io_stats().page_faults;
+        let f_err: u64 = (0..n_keys).map(|k| flat.estimate(&k).saturating_sub(3)).sum();
+        let b_err: u64 = (0..n_keys).map(|k| blocked.estimate(&k).saturating_sub(3)).sum();
+        let _ = writeln!(
+            out,
+            "{page:>10} {n_keys:>12} {f_io:>14} {b_io:>14} {f_err:>12} {b_err:>12}"
+        );
+    }
+    let _ = writeln!(out, "(blocked hashing: ~1 fault/op; accuracy loss negligible for large blocks, per [MW94])");
+    out
+}
+
+/// Theorem 9 ablation: storage-reduced SAI sizes and access correctness
+/// across reduction exponents.
+pub fn reduced_sai_report() -> String {
+    use sbf_sai::StringArrayIndex;
+    let mut out = String::new();
+    let _ = writeln!(out, "Storage-reduced string-array index (§4.6, Theorem 9)");
+    let _ = writeln!(out, "{:>4} {:>14} {:>12} {:>10}", "c", "index bits", "bits/item", "vs c=0");
+    let counters = populated_counters(200_000, 10, 21);
+    let lengths: Vec<usize> = counters.iter().map(|&v| sbf_encoding::counter_width(v)).collect();
+    let base = StringArrayIndex::build_reduced(&lengths, 0).size_breakdown().index_bits();
+    // Prefix offsets for the correctness spot-check.
+    let mut prefix = Vec::with_capacity(lengths.len() + 1);
+    let mut acc = 0usize;
+    prefix.push(0);
+    for &l in &lengths {
+        acc += l;
+        prefix.push(acc);
+    }
+    for c in 0..=3u32 {
+        let idx = StringArrayIndex::build_reduced(&lengths, c);
+        for i in (0..lengths.len()).step_by(997) {
+            let r = idx.locate(i);
+            assert_eq!(r.start, prefix[i], "c={c} item {i}");
+            assert_eq!(r.end, prefix[i + 1], "c={c} item {i}");
+        }
+        let bits = idx.size_breakdown().index_bits();
+        let _ = writeln!(
+            out,
+            "{c:>4} {bits:>14} {:>12.2} {:>10.2}",
+            bits as f64 / lengths.len() as f64,
+            bits as f64 / base as f64
+        );
+    }
+    out
+}
+
+/// Summary-Cache + differential-file demonstration (§1.1.1–§1.1.2):
+/// probe and byte accounting for the filter-guarded schemes.
+pub fn applications_report() -> String {
+    use sbf_db::{GuardedStore, SummaryCacheCluster};
+    let mut out = String::new();
+    let _ = writeln!(out, "Filter-guarded applications (§1.1)");
+
+    // Summary cache: 8 nodes × 500 objects each.
+    let mut cluster = SummaryCacheCluster::new(8, 1 << 14, K, 9);
+    for obj in 0u64..4000 {
+        cluster.node_mut((obj % 8) as usize).store(obj);
+    }
+    cluster.exchange_summaries();
+    let mut probes = 0usize;
+    let mut hits = 0usize;
+    for obj in (0u64..4000).step_by(3) {
+        let outk = cluster.lookup(0, obj);
+        probes += outk.probes;
+        hits += usize::from(outk.found_at.is_some());
+    }
+    let mut wasted_misses = 0usize;
+    for obj in 100_000u64..101_000 {
+        wasted_misses += cluster.lookup(0, obj).probes;
+    }
+    let _ = writeln!(
+        out,
+        "summary cache: {hits} hits via {probes} probes; {wasted_misses} wasted probes \
+on 1000 absent objects; {} bytes of summaries broadcast",
+        cluster.summary_bytes
+    );
+
+    // Differential file: 1% of keys dirty.
+    let mut store = GuardedStore::new(1 << 14, K, 11);
+    store.load_main((0..10_000u64).map(|k| (k, k)));
+    for key in 0u64..100 {
+        store.write(key, key + 1);
+    }
+    for key in 0u64..10_000 {
+        let _ = store.read(key);
+    }
+    let st = store.stats();
+    let _ = writeln!(
+        out,
+        "differential file: {} delta hits, {} wasted probes, {} probes avoided of 10000 reads",
+        st.delta_hits, st.wasted_probes, st.probes_avoided
+    );
+    out
+}
+
+
+/// Hash-family diagnostics (§6.4's clustering observation, quantified):
+/// uniformity ratio and stride correlation for each family.
+pub fn hash_quality_report() -> String {
+    use sbf_hash::{
+        stride_correlation, uniformity, MixFamily, MultiplyFamily, TabulationFamily,
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "Hash-family quality (§6.4): chi²/df on sequential keys; stride correlation (top-2 mass)");
+    let _ = writeln!(
+        out,
+        "{:>14} {:>10} {:>12} {:>12} {:>12}",
+        "family", "chi²/df", "corr d=1", "corr d=17", "corr d=4096"
+    );
+    let m = 256;
+    let mult = MultiplyFamily::new(m, 1, 5);
+    let mix = MixFamily::new(m, 1, 5);
+    let tab = TabulationFamily::new(m, 1, 5);
+    let row = |name: &str, u: f64, c1: f64, c17: f64, c4096: f64| {
+        format!("{name:>14} {u:>10.3} {c1:>12.3} {c17:>12.3} {c4096:>12.3}\n")
+    };
+    out.push_str(&row(
+        "multiply",
+        uniformity(&mult, 0u64..100_000).ratio,
+        stride_correlation(&mult, 1, 20_000),
+        stride_correlation(&mult, 17, 20_000),
+        stride_correlation(&mult, 4096, 20_000),
+    ));
+    out.push_str(&row(
+        "mix",
+        uniformity(&mix, 0u64..100_000).ratio,
+        stride_correlation(&mix, 1, 20_000),
+        stride_correlation(&mix, 17, 20_000),
+        stride_correlation(&mix, 4096, 20_000),
+    ));
+    out.push_str(&row(
+        "tabulation",
+        uniformity(&tab, 0u64..100_000).ratio,
+        stride_correlation(&tab, 1, 20_000),
+        stride_correlation(&tab, 17, 20_000),
+        stride_correlation(&tab, 4096, 20_000),
+    ));
+    let _ = writeln!(
+        out,
+        "(the paper-faithful multiplicative family keeps uniform marginals but carries\n\
+ arithmetic structure between related keys — the clustering §6.4 observed)"
+    );
+    out
+}
+
+/// Everything, in paper order.
+pub fn all_reports(quick: bool) -> String {
+    let scale = if quick { 10 } else { 1 };
+    let mut out = String::new();
+    for section in [
+        fig1(),
+        table1(),
+        table2(),
+        fig4(),
+        fig6ab(),
+        fig6c(),
+        fig7(if quick { 20 } else { 1 }),
+        fig8(),
+        fig9(),
+        fig10(),
+        fig11(scale),
+        fig12(scale),
+        fig13(),
+        fig14(),
+        fig15(),
+        bloomjoin_report(),
+        bifocal_report(),
+        range_report(),
+        paged_report(),
+        reduced_sai_report(),
+        applications_report(),
+        hash_quality_report(),
+    ] {
+        out.push_str(&section);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Smoke tests: every report generator runs and yields plausible text.
+    // (Full-scale accuracy is exercised by the repro binary; these keep the
+    // harness itself from rotting.)
+
+    #[test]
+    fn fig1_smoke() {
+        let s = fig1();
+        assert!(s.contains("Figure 1"));
+        assert!(s.lines().count() > 10);
+    }
+
+    #[test]
+    fn fig10_smoke() {
+        let s = fig10();
+        assert!(s.contains("steps(1,2)"));
+    }
+
+    #[test]
+    fn fig13_shows_sublinear_overhead() {
+        let s = fig13();
+        assert!(s.contains("Figure 13"));
+    }
+
+    #[test]
+    fn reports_with_math_only_are_fast() {
+        let _ = fig15();
+        let _ = fig14();
+    }
+
+    #[test]
+    fn bloomjoin_report_smoke() {
+        let s = bloomjoin_report();
+        assert!(s.contains("spectral bloomjoin"));
+    }
+
+    #[test]
+    fn range_report_smoke() {
+        let s = range_report();
+        assert!(s.contains("lookups"));
+    }
+}

@@ -1,0 +1,242 @@
+//! Error metrics and algorithm runners shared by the experiments.
+
+use spectral_bloom::{MiSbf, MsSbf, MultisetSketch, RmSbf};
+use sbf_workloads::StreamEvent;
+
+/// The two error measures of §6.1, plus the false-negative split §6.2
+/// needs.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AccuracyMetrics {
+    /// `√(Σ_{i} (f̂_i − f_i)² / n)` over the distinct key universe.
+    pub additive_error: f64,
+    /// Fraction of keys whose estimate is wrong (`E_ratio`).
+    pub error_ratio: f64,
+    /// Fraction of keys with `f̂ < f` (only MI under deletions produces
+    /// these).
+    pub false_negative_ratio: f64,
+    /// False negatives as a fraction of all errors (the paper's Figure 8c).
+    pub fn_share_of_errors: f64,
+}
+
+impl AccuracyMetrics {
+    /// Computes the metrics from per-key estimates against ground truth.
+    pub fn from_estimates(estimates: &[u64], truth: &[u64]) -> Self {
+        assert_eq!(estimates.len(), truth.len());
+        let n = truth.len();
+        if n == 0 {
+            return AccuracyMetrics::default();
+        }
+        let mut sq = 0.0f64;
+        let mut errors = 0usize;
+        let mut fns = 0usize;
+        for (&e, &f) in estimates.iter().zip(truth) {
+            let diff = e.abs_diff(f);
+            sq += (diff as f64) * (diff as f64);
+            if diff > 0 {
+                errors += 1;
+                if e < f {
+                    fns += 1;
+                }
+            }
+        }
+        AccuracyMetrics {
+            additive_error: (sq / n as f64).sqrt(),
+            error_ratio: errors as f64 / n as f64,
+            false_negative_ratio: fns as f64 / n as f64,
+            fn_share_of_errors: if errors > 0 { fns as f64 / errors as f64 } else { 0.0 },
+        }
+    }
+
+    /// Averages a set of runs component-wise (the paper averages over 5
+    /// independent experiments).
+    pub fn mean(runs: &[AccuracyMetrics]) -> Self {
+        if runs.is_empty() {
+            return AccuracyMetrics::default();
+        }
+        let n = runs.len() as f64;
+        AccuracyMetrics {
+            additive_error: runs.iter().map(|r| r.additive_error).sum::<f64>() / n,
+            error_ratio: runs.iter().map(|r| r.error_ratio).sum::<f64>() / n,
+            false_negative_ratio: runs.iter().map(|r| r.false_negative_ratio).sum::<f64>() / n,
+            fn_share_of_errors: runs.iter().map(|r| r.fn_share_of_errors).sum::<f64>() / n,
+        }
+    }
+}
+
+/// The three lookup schemes under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Minimum Selection (§2.2).
+    Ms,
+    /// Minimal Increase (§3.2). Deletions are performed unchecked, as in
+    /// the paper's negative result.
+    Mi,
+    /// Recurring Minimum (§3.3), total space split ⅔ primary / ⅓ secondary.
+    Rm,
+}
+
+impl Algo {
+    /// All three, in the paper's reporting order.
+    pub const ALL: [Algo; 3] = [Algo::Ms, Algo::Rm, Algo::Mi];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algo::Ms => "Minimum Selection",
+            Algo::Rm => "Recurring Minimum",
+            Algo::Mi => "Minimal Increase",
+        }
+    }
+}
+
+/// A uniform driver over the three algorithms so every experiment feeds
+/// them identical event streams under the same *total* space `m_total`.
+pub enum AnySbf {
+    /// Minimum Selection.
+    Ms(MsSbf),
+    /// Minimal Increase (unchecked deletions enabled).
+    Mi(MiSbf),
+    /// Recurring Minimum.
+    Rm(RmSbf),
+}
+
+impl AnySbf {
+    /// Builds the chosen algorithm with `m_total` counters of total space.
+    pub fn build(algo: Algo, m_total: usize, k: usize, seed: u64) -> Self {
+        match algo {
+            Algo::Ms => AnySbf::Ms(MsSbf::new(m_total, k, seed)),
+            Algo::Mi => AnySbf::Mi(MiSbf::new(m_total, k, seed).with_unchecked_deletions()),
+            Algo::Rm => AnySbf::Rm(RmSbf::new(m_total, k, seed)),
+        }
+    }
+
+    /// Inserts one occurrence.
+    pub fn insert(&mut self, key: u64) {
+        match self {
+            AnySbf::Ms(s) => s.insert(&key),
+            AnySbf::Mi(s) => s.insert(&key),
+            AnySbf::Rm(s) => s.insert(&key),
+        }
+    }
+
+    /// Deletes one occurrence (MI: unchecked, reproducing its breakdown).
+    pub fn delete(&mut self, key: u64) {
+        match self {
+            AnySbf::Ms(s) => {
+                let _ = s.remove(&key);
+            }
+            AnySbf::Mi(s) => s.remove_unchecked(&key, 1),
+            AnySbf::Rm(s) => {
+                let _ = s.remove(&key);
+            }
+        }
+    }
+
+    /// Estimates a key's multiplicity.
+    pub fn estimate(&self, key: u64) -> u64 {
+        match self {
+            AnySbf::Ms(s) => s.estimate(&key),
+            AnySbf::Mi(s) => s.estimate(&key),
+            AnySbf::Rm(s) => s.estimate(&key),
+        }
+    }
+}
+
+/// Feeds `events` to `algo` (total space `m_total`) and scores the final
+/// estimates against `truth` (indexed by key `0..n`).
+pub fn run_events(
+    algo: Algo,
+    m_total: usize,
+    k: usize,
+    seed: u64,
+    events: &[StreamEvent],
+    truth: &[u64],
+) -> AccuracyMetrics {
+    let mut sbf = AnySbf::build(algo, m_total, k, seed);
+    for &e in events {
+        match e {
+            StreamEvent::Insert(x) => sbf.insert(x),
+            StreamEvent::Delete(x) => sbf.delete(x),
+        }
+    }
+    let estimates: Vec<u64> = (0..truth.len() as u64).map(|key| sbf.estimate(key)).collect();
+    AccuracyMetrics::from_estimates(&estimates, truth)
+}
+
+/// Insert-only convenience over a raw key stream.
+pub fn run_inserts(
+    algo: Algo,
+    m_total: usize,
+    k: usize,
+    seed: u64,
+    stream: &[u64],
+    truth: &[u64],
+) -> AccuracyMetrics {
+    let mut sbf = AnySbf::build(algo, m_total, k, seed);
+    for &x in stream {
+        sbf.insert(x);
+    }
+    let estimates: Vec<u64> = (0..truth.len() as u64).map(|key| sbf.estimate(key)).collect();
+    AccuracyMetrics::from_estimates(&estimates, truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_from_exact_estimates_are_zero() {
+        let m = AccuracyMetrics::from_estimates(&[1, 2, 3], &[1, 2, 3]);
+        assert_eq!(m.additive_error, 0.0);
+        assert_eq!(m.error_ratio, 0.0);
+    }
+
+    #[test]
+    fn metrics_capture_false_negatives() {
+        let m = AccuracyMetrics::from_estimates(&[5, 1, 3], &[3, 2, 3]);
+        // one over (err 2), one under (err 1), one exact
+        assert!((m.additive_error - ((4.0f64 + 1.0) / 3.0).sqrt()).abs() < 1e-12);
+        assert!((m.error_ratio - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.false_negative_ratio - 1.0 / 3.0).abs() < 1e-12);
+        assert!((m.fn_share_of_errors - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_averages_componentwise() {
+        let a = AccuracyMetrics { additive_error: 2.0, error_ratio: 0.2, false_negative_ratio: 0.0, fn_share_of_errors: 0.0 };
+        let b = AccuracyMetrics { additive_error: 4.0, error_ratio: 0.4, false_negative_ratio: 0.2, fn_share_of_errors: 1.0 };
+        let m = AccuracyMetrics::mean(&[a, b]);
+        assert_eq!(m.additive_error, 3.0);
+        assert!((m.error_ratio - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn runners_agree_with_direct_use() {
+        let stream: Vec<u64> = (0..2000).map(|i| i % 100).collect();
+        let truth = vec![20u64; 100];
+        for algo in Algo::ALL {
+            let m = run_inserts(algo, 2000, 5, 1, &stream, &truth);
+            assert!(m.error_ratio < 0.2, "{}: {m:?}", algo.label());
+        }
+    }
+
+    #[test]
+    fn mi_under_deletions_produces_false_negatives() {
+        // The Figure 8 phenomenon in miniature.
+        use sbf_workloads::{DeletionPhaseStream, ZipfWorkload};
+        let w = ZipfWorkload::generate(300, 30_000, 1.0, 5);
+        let s = DeletionPhaseStream::from_zipf(&w, 8, 5);
+        let mi = run_events(Algo::Mi, 2100, 5, 2, &s.events, &s.truth);
+        let rm = run_events(Algo::Rm, 2100, 5, 2, &s.events, &s.truth);
+        assert!(mi.false_negative_ratio > 0.0, "MI must show false negatives");
+        // RM can rarely under-estimate via stale secondary values, but the
+        // paper's Figure 8 ordering must hold: MI's false negatives dwarf
+        // RM's.
+        assert!(
+            mi.false_negative_ratio > 3.0 * rm.false_negative_ratio,
+            "MI {} vs RM {}",
+            mi.false_negative_ratio,
+            rm.false_negative_ratio
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Fixed-width packed integer arrays.
+//!
+//! The String-Array Index stores its offset vectors as arrays of fixed-width
+//! integers packed back-to-back in a bit vector (§4.7.1: "each offset
+//! inhabits log N bits"). [`PackedVec`] is that representation: `width` bits
+//! per entry, random access by multiplication, honest size accounting via
+//! [`PackedVec::bits`].
+
+use crate::bits::BitVec;
+
+/// A vector of unsigned integers, each stored in exactly `width` bits.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PackedVec {
+    bits: BitVec,
+    width: usize,
+    len: usize,
+}
+
+impl PackedVec {
+    /// An empty vector with entries of `width` bits (`width ≤ 64`).
+    ///
+    /// `width == 0` is allowed and stores nothing; every entry reads as 0.
+    pub fn new(width: usize) -> Self {
+        assert!(width <= 64, "entry width above 64 bits");
+        PackedVec { bits: BitVec::new(), width, len: 0 }
+    }
+
+    /// An empty vector with room for `cap` entries.
+    pub fn with_capacity(width: usize, cap: usize) -> Self {
+        assert!(width <= 64, "entry width above 64 bits");
+        PackedVec { bits: BitVec::with_capacity(width * cap), width, len: 0 }
+    }
+
+    /// Entry width in bits.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether there are no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total storage in bits (the honest cost used by the size reports).
+    #[inline]
+    pub fn bits(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Appends `value`, which must fit in `width` bits.
+    pub fn push(&mut self, value: u64) {
+        debug_assert!(
+            self.width == 64 || value < (1u64 << self.width),
+            "value {value} wider than {} bits", self.width
+        );
+        let pos = self.bits.len();
+        self.bits.resize(pos + self.width);
+        if self.width > 0 {
+            self.bits.write_bits(pos, self.width, value);
+        }
+        self.len += 1;
+    }
+
+    /// Reads entry `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len, "index {i} out of range {}", self.len);
+        if self.width == 0 {
+            return 0;
+        }
+        self.bits.read_bits(i * self.width, self.width)
+    }
+
+    /// Overwrites entry `i` with `value`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: u64) {
+        debug_assert!(i < self.len, "index {i} out of range {}", self.len);
+        debug_assert!(self.width == 64 || value < (1u64 << self.width));
+        if self.width > 0 {
+            self.bits.write_bits(i * self.width, self.width, value);
+        }
+    }
+
+    /// Builds from a slice, using the given width.
+    pub fn from_slice(width: usize, values: &[u64]) -> Self {
+        let mut v = PackedVec::with_capacity(width, values.len());
+        for &x in values {
+            v.push(x);
+        }
+        v
+    }
+
+    /// Iterates over all entries.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_roundtrip_odd_width() {
+        let mut v = PackedVec::new(13);
+        let vals: Vec<u64> = (0..500).map(|i| (i * 37) % (1 << 13)).collect();
+        for &x in &vals {
+            v.push(x);
+        }
+        assert_eq!(v.len(), 500);
+        assert_eq!(v.bits(), 500 * 13);
+        for (i, &x) in vals.iter().enumerate() {
+            assert_eq!(v.get(i), x, "entry {i}");
+        }
+    }
+
+    #[test]
+    fn set_overwrites_in_place() {
+        let mut v = PackedVec::from_slice(7, &[1, 2, 3, 4]);
+        v.set(2, 100);
+        assert_eq!(v.iter().collect::<Vec<_>>(), vec![1, 2, 100, 4]);
+    }
+
+    #[test]
+    fn width_64_roundtrip() {
+        let mut v = PackedVec::new(64);
+        v.push(u64::MAX);
+        v.push(0);
+        v.push(0x0123_4567_89AB_CDEF);
+        assert_eq!(v.get(0), u64::MAX);
+        assert_eq!(v.get(1), 0);
+        assert_eq!(v.get(2), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn width_zero_stores_nothing() {
+        let mut v = PackedVec::new(0);
+        v.push(0);
+        v.push(0);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.bits(), 0);
+        assert_eq!(v.get(1), 0);
+    }
+
+    #[test]
+    fn width_one_is_a_bitvec() {
+        let mut v = PackedVec::new(1);
+        for i in 0..100 {
+            v.push(u64::from(i % 3 == 0));
+        }
+        for i in 0..100 {
+            assert_eq!(v.get(i), u64::from(i % 3 == 0));
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Constant-time rank and logarithmic-time select over a frozen bit vector.
+//!
+//! The paper leans on two classic succinct primitives (§4.2, §4.7.2):
+//!
+//! * `rank(V, j)` — the number of 1 bits at positions `≤ j`; used to
+//!   translate subgroup indices to "offset-vector only" indices via the `F`
+//!   flag vector,
+//! * `select(V, i)` — the position of the `i`th 1 bit; the classic
+//!   reduction of the variable-length access problem builds a vector with a
+//!   1 at the start of every string and answers accesses with `select`.
+//!
+//! We use a two-level rank directory (cumulative counts per 512-bit
+//! superblock plus 9-bit offsets per 64-bit word) giving O(1) `rank` in
+//! `o(n)` extra bits, and answer `select` by binary search over the
+//! directory followed by an in-word scan — O(log n) worst case, which is
+//! plenty for a reference implementation.
+
+use crate::bits::BitVec;
+
+const WORDS_PER_SUPER: usize = 8; // 512-bit superblocks
+
+/// Rank/select directory over an immutable [`BitVec`].
+#[derive(Debug, Clone)]
+pub struct RankSelect {
+    bits: BitVec,
+    /// Cumulative count of ones before each superblock.
+    super_ranks: Vec<u64>,
+    /// Count of ones before each word, relative to its superblock (fits u16).
+    word_ranks: Vec<u16>,
+    total_ones: usize,
+}
+
+impl RankSelect {
+    /// Builds the directory; `O(n / 64)` time.
+    pub fn new(bits: BitVec) -> Self {
+        let words = bits.words();
+        let n_super = words.len().div_ceil(WORDS_PER_SUPER);
+        let mut super_ranks = Vec::with_capacity(n_super + 1);
+        let mut word_ranks = Vec::with_capacity(words.len());
+        let mut total = 0u64;
+        for (i, chunk) in words.chunks(WORDS_PER_SUPER).enumerate() {
+            debug_assert_eq!(i, super_ranks.len());
+            super_ranks.push(total);
+            let mut within = 0u16;
+            for w in chunk {
+                word_ranks.push(within);
+                within += w.count_ones() as u16;
+            }
+            total += u64::from(within);
+        }
+        super_ranks.push(total);
+        RankSelect { bits, super_ranks, word_ranks, total_ones: total as usize }
+    }
+
+    /// The underlying bits.
+    pub fn bits(&self) -> &BitVec {
+        &self.bits
+    }
+
+    /// Storage cost of the rank directory alone, in bits (superblock
+    /// counters at 64 bits, per-word offsets at 16 bits). Used by the
+    /// honest size reports.
+    pub fn directory_bits(&self) -> usize {
+        self.super_ranks.len() * 64 + self.word_ranks.len() * 16
+    }
+
+    /// Total number of 1 bits.
+    pub fn count_ones(&self) -> usize {
+        self.total_ones
+    }
+
+    /// Number of 1 bits in positions `0 .. pos` (exclusive of `pos`).
+    ///
+    /// `pos` may equal `len`, giving the total count.
+    pub fn rank1(&self, pos: usize) -> usize {
+        assert!(pos <= self.bits.len(), "rank position out of range");
+        if pos == 0 {
+            return 0;
+        }
+        let word = pos / 64;
+        let bit = pos % 64;
+        let in_word = if word < self.bits.words().len() && bit > 0 {
+            (self.bits.words()[word] & ((1u64 << bit) - 1)).count_ones() as usize
+        } else {
+            0
+        };
+        let super_idx = word / WORDS_PER_SUPER;
+        let base = self.super_ranks[super_idx] as usize;
+        let word_off = if word < self.word_ranks.len() {
+            self.word_ranks[word] as usize
+        } else {
+            // pos == len and len is a multiple of 64·WORDS_PER_SUPER
+            return self.total_ones;
+        };
+        base + word_off + in_word
+    }
+
+    /// Number of 0 bits in positions `0 .. pos`.
+    pub fn rank0(&self, pos: usize) -> usize {
+        pos - self.rank1(pos)
+    }
+
+    /// Position of the `i`th 1 bit (0-indexed: `select1(0)` is the first).
+    ///
+    /// Returns `None` if there are fewer than `i + 1` ones.
+    pub fn select1(&self, i: usize) -> Option<usize> {
+        if i >= self.total_ones {
+            return None;
+        }
+        let target = (i + 1) as u64;
+        // Binary search: find last superblock with super_ranks < target.
+        let sb = match self.super_ranks.partition_point(|&r| r < target) {
+            0 => 0,
+            p => p - 1,
+        };
+        let mut remaining = target - self.super_ranks[sb];
+        let first_word = sb * WORDS_PER_SUPER;
+        let last_word = (first_word + WORDS_PER_SUPER).min(self.bits.words().len());
+        for w in first_word..last_word {
+            let ones = self.bits.words()[w].count_ones() as u64;
+            if remaining <= ones {
+                return Some(w * 64 + select_in_word(self.bits.words()[w], remaining as u32));
+            }
+            remaining -= ones;
+        }
+        unreachable!("directory accounting broken");
+    }
+
+    /// Position of the `i`th 0 bit (0-indexed). `O(log n)`.
+    pub fn select0(&self, i: usize) -> Option<usize> {
+        let total_zeros = self.bits.len() - self.total_ones;
+        if i >= total_zeros {
+            return None;
+        }
+        // Binary search on rank0 over bit positions.
+        let (mut lo, mut hi) = (0usize, self.bits.len());
+        // Invariant: rank0(lo) <= i < rank0(hi).
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.rank0(mid) <= i {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(lo)
+    }
+}
+
+/// Position (0-63) of the `r`th set bit of `w`, 1-indexed `r`.
+#[inline]
+fn select_in_word(mut w: u64, mut r: u32) -> usize {
+    debug_assert!(r >= 1 && r <= w.count_ones());
+    loop {
+        let tz = w.trailing_zeros();
+        if r == 1 {
+            return tz as usize;
+        }
+        w &= w - 1; // clear lowest set bit
+        r -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(n: usize, f: impl Fn(usize) -> bool) -> BitVec {
+        let bools: Vec<bool> = (0..n).map(f).collect();
+        BitVec::from_bools(&bools)
+    }
+
+    fn naive_rank1(bits: &BitVec, pos: usize) -> usize {
+        (0..pos).filter(|&i| bits.get(i)).count()
+    }
+
+    #[test]
+    fn rank_matches_naive_on_varied_patterns() {
+        for (n, f) in [
+            (1000usize, Box::new(|i: usize| i.is_multiple_of(7)) as Box<dyn Fn(usize) -> bool>),
+            (513, Box::new(|_| true)),
+            (513, Box::new(|_| false)),
+            (2048, Box::new(|i| (i * i) % 13 < 5)),
+            (64, Box::new(|i| i % 2 == 0)),
+            (1, Box::new(|_| true)),
+        ] {
+            let bits = pattern(n, f);
+            let rs = RankSelect::new(bits.clone());
+            for pos in 0..=n {
+                assert_eq!(rs.rank1(pos), naive_rank1(&bits, pos), "n={n} pos={pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn rank0_plus_rank1_equals_pos() {
+        let bits = pattern(3000, |i| i % 3 == 1);
+        let rs = RankSelect::new(bits);
+        for pos in [0, 1, 63, 64, 65, 511, 512, 513, 2999, 3000] {
+            assert_eq!(rs.rank0(pos) + rs.rank1(pos), pos);
+        }
+    }
+
+    #[test]
+    fn select1_inverts_rank1() {
+        let bits = pattern(5000, |i| i % 11 == 3 || i % 97 == 0);
+        let rs = RankSelect::new(bits.clone());
+        let ones = rs.count_ones();
+        for i in 0..ones {
+            let p = rs.select1(i).unwrap();
+            assert!(bits.get(p), "select1({i}) = {p} is not a 1 bit");
+            assert_eq!(rs.rank1(p), i, "rank before the ith one must be i");
+        }
+        assert_eq!(rs.select1(ones), None);
+    }
+
+    #[test]
+    fn select0_inverts_rank0() {
+        let bits = pattern(2500, |i| i % 4 != 0);
+        let rs = RankSelect::new(bits.clone());
+        let zeros = bits.len() - rs.count_ones();
+        for i in (0..zeros).step_by(7) {
+            let p = rs.select0(i).unwrap();
+            assert!(!bits.get(p));
+            assert_eq!(rs.rank0(p), i);
+        }
+        assert_eq!(rs.select0(zeros), None);
+    }
+
+    #[test]
+    fn select_on_all_ones_is_identity() {
+        let rs = RankSelect::new(pattern(700, |_| true));
+        for i in [0usize, 1, 63, 64, 511, 512, 699] {
+            assert_eq!(rs.select1(i), Some(i));
+        }
+    }
+
+    #[test]
+    fn empty_vector_edge_cases() {
+        let rs = RankSelect::new(BitVec::new());
+        assert_eq!(rs.rank1(0), 0);
+        assert_eq!(rs.select1(0), None);
+        assert_eq!(rs.select0(0), None);
+    }
+
+    #[test]
+    fn select_in_word_is_correct() {
+        let w = 0b1011_0100u64;
+        assert_eq!(select_in_word(w, 1), 2);
+        assert_eq!(select_in_word(w, 2), 4);
+        assert_eq!(select_in_word(w, 3), 5);
+        assert_eq!(select_in_word(w, 4), 7);
+        assert_eq!(select_in_word(u64::MAX, 64), 63);
+        assert_eq!(select_in_word(1u64 << 63, 1), 63);
+    }
+
+    #[test]
+    fn exact_superblock_boundary_lengths() {
+        // len divisible by 512: the word_ranks lookup at pos == len must not
+        // index out of bounds.
+        let bits = pattern(1024, |i| i % 2 == 0);
+        let rs = RankSelect::new(bits);
+        assert_eq!(rs.rank1(1024), 512);
+    }
+}

@@ -1,0 +1,193 @@
+//! Sequential bit writer and reader over a [`BitVec`].
+//!
+//! The prefix-free encodings of §4.5 (Elias γ/δ and the "steps" method) are
+//! written and decoded sequentially; these cursors keep that code free of
+//! index bookkeeping.
+
+use crate::bits::BitVec;
+
+/// Append-only bit writer producing a [`BitVec`].
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bits: BitVec,
+}
+
+impl BitWriter {
+    /// A fresh writer.
+    pub fn new() -> Self {
+        BitWriter { bits: BitVec::new() }
+    }
+
+    /// Appends the low `width` bits of `value`, LSB first (`width ≤ 64`).
+    pub fn write(&mut self, value: u64, width: usize) {
+        debug_assert!(width <= 64);
+        debug_assert!(width == 64 || value < (1u64 << width), "value wider than field");
+        let pos = self.bits.len();
+        self.bits.resize(pos + width);
+        self.bits.write_bits(pos, width, value);
+    }
+
+    /// Appends a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        self.bits.push(bit);
+    }
+
+    /// Appends `count` copies of `bit`.
+    pub fn write_run(&mut self, bit: bool, count: usize) {
+        for _ in 0..count {
+            self.bits.push(bit);
+        }
+    }
+
+    /// Number of bits written so far.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Finishes and returns the bits.
+    pub fn finish(self) -> BitVec {
+        self.bits
+    }
+}
+
+/// Sequential bit reader over a [`BitVec`] slice of the caller.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bits: &'a BitVec,
+    pos: usize,
+    end: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Reads from the start of `bits`.
+    pub fn new(bits: &'a BitVec) -> Self {
+        BitReader { bits, pos: 0, end: bits.len() }
+    }
+
+    /// Reads the sub-range `start .. end` of `bits`.
+    pub fn with_range(bits: &'a BitVec, start: usize, end: usize) -> Self {
+        assert!(start <= end && end <= bits.len(), "reader range out of bounds");
+        BitReader { bits, pos: start, end }
+    }
+
+    /// Current absolute bit position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bits left to read.
+    pub fn remaining(&self) -> usize {
+        self.end - self.pos
+    }
+
+    /// Reads `width` bits (`width ≤ 64`), advancing the cursor.
+    ///
+    /// Returns `None` if fewer than `width` bits remain.
+    pub fn read(&mut self, width: usize) -> Option<u64> {
+        if width > self.remaining() {
+            return None;
+        }
+        let v = self.bits.read_bits(self.pos, width);
+        self.pos += width;
+        Some(v)
+    }
+
+    /// Reads one bit.
+    pub fn read_bit(&mut self) -> Option<bool> {
+        if self.remaining() == 0 {
+            return None;
+        }
+        let b = self.bits.get(self.pos);
+        self.pos += 1;
+        Some(b)
+    }
+
+    /// Counts and consumes leading zero bits up to the next 1 bit.
+    ///
+    /// The 1 bit itself is *not* consumed. Returns `None` if the stream
+    /// is exhausted before a 1 bit appears (a truncated Elias code).
+    pub fn read_unary_zeros(&mut self) -> Option<usize> {
+        let mut n = 0;
+        while self.pos < self.end {
+            if self.bits.get(self.pos) {
+                return Some(n);
+            }
+            self.pos += 1;
+            n += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write(0b101, 3);
+        w.write(0xFFFF, 16);
+        w.write(0, 7);
+        w.write(u64::MAX, 64);
+        let bits = w.finish();
+        let mut r = BitReader::new(&bits);
+        assert_eq!(r.read(3), Some(0b101));
+        assert_eq!(r.read(16), Some(0xFFFF));
+        assert_eq!(r.read(7), Some(0));
+        assert_eq!(r.read(64), Some(u64::MAX));
+        assert_eq!(r.read(1), None);
+    }
+
+    #[test]
+    fn read_past_end_returns_none_without_advancing() {
+        let mut w = BitWriter::new();
+        w.write(0b11, 2);
+        let bits = w.finish();
+        let mut r = BitReader::new(&bits);
+        assert_eq!(r.read(3), None);
+        assert_eq!(r.position(), 0);
+        assert_eq!(r.read(2), Some(0b11));
+    }
+
+    #[test]
+    fn unary_zero_runs() {
+        let mut w = BitWriter::new();
+        w.write_run(false, 5);
+        w.write_bit(true);
+        w.write_run(false, 2);
+        let bits = w.finish();
+        let mut r = BitReader::new(&bits);
+        assert_eq!(r.read_unary_zeros(), Some(5));
+        assert_eq!(r.read_bit(), Some(true));
+        // Exhausts without finding a 1:
+        assert_eq!(r.read_unary_zeros(), None);
+    }
+
+    #[test]
+    fn ranged_reader_respects_bounds() {
+        let mut w = BitWriter::new();
+        w.write(0xABCD, 16);
+        let bits = w.finish();
+        let mut r = BitReader::with_range(&bits, 4, 12);
+        assert_eq!(r.remaining(), 8);
+        assert_eq!(r.read(8), Some((0xABCD >> 4) & 0xFF));
+        assert_eq!(r.read_bit(), None);
+    }
+
+    #[test]
+    fn write_bit_interleaves_with_write() {
+        let mut w = BitWriter::new();
+        w.write_bit(true);
+        w.write(0b10, 2);
+        w.write_bit(false);
+        let bits = w.finish();
+        assert_eq!(bits.len(), 4);
+        assert_eq!(bits.read_bits(0, 4), 0b0101);
+    }
+}

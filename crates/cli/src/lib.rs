@@ -1,0 +1,408 @@
+//! The `sbf` command-line tool: build, query, merge and inspect Spectral
+//! Bloom Filter files.
+//!
+//! Filter files are [`sbf_db::wire::FilterEnvelope`] frames — the same
+//! self-describing message format the distributed join machinery ships
+//! between sites — so a file written by one process can be united or
+//! multiplied with a compatible one by another.
+//!
+//! ```text
+//! sbf build --out words.sbf --m 65536 --k 5 --seed 42 < words.txt
+//! sbf query --filter words.sbf --threshold 3 < candidates.txt
+//! sbf merge --out all.sbf shard1.sbf shard2.sbf
+//! sbf info  words.sbf
+//! ```
+//!
+//! Keys are read one per line; the whole trimmed line is the key.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::{BufRead, Write};
+
+use sbf_db::wire::{FilterEnvelope, FilterKind};
+use spectral_bloom::{CounterStore, DefaultFamily, MiSbf, MsSbf, MultisetSketch};
+
+/// Errors surfaced to the user with exit code 1.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Usage(String),
+    /// I/O trouble.
+    Io(std::io::Error),
+    /// A filter file failed to parse.
+    BadFilter(String),
+    /// Incompatible filters for a merge.
+    Incompatible(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::BadFilter(msg) => write!(f, "bad filter file: {msg}"),
+            CliError::Incompatible(msg) => write!(f, "incompatible filters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Parsed `build` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildOpts {
+    /// Output path.
+    pub out: String,
+    /// Counters.
+    pub m: usize,
+    /// Hash functions.
+    pub k: usize,
+    /// Hash seed.
+    pub seed: u64,
+    /// Algorithm: Minimum Selection or Minimal Increase.
+    pub kind: FilterKind,
+}
+
+/// Simple `--flag value` scanner shared by the subcommands.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        return None;
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
+}
+
+/// Parses `build` arguments.
+pub fn parse_build(mut args: Vec<String>) -> Result<BuildOpts, CliError> {
+    let out = take_flag(&mut args, "--out")
+        .ok_or_else(|| CliError::Usage("build requires --out <path>".into()))?;
+    let m = take_flag(&mut args, "--m")
+        .ok_or_else(|| CliError::Usage("build requires --m <counters>".into()))?
+        .parse::<usize>()
+        .map_err(|_| CliError::Usage("--m must be an integer".into()))?;
+    let k = take_flag(&mut args, "--k").map_or(Ok(5), |v| {
+        v.parse::<usize>().map_err(|_| CliError::Usage("--k must be an integer".into()))
+    })?;
+    let seed = take_flag(&mut args, "--seed").map_or(Ok(42), |v| {
+        v.parse::<u64>().map_err(|_| CliError::Usage("--seed must be an integer".into()))
+    })?;
+    let kind = match take_flag(&mut args, "--algo").as_deref() {
+        None | Some("ms") => FilterKind::MinimumSelection,
+        Some("mi") => FilterKind::MinimalIncrease,
+        Some(other) => {
+            return Err(CliError::Usage(format!("unknown --algo {other} (ms|mi)")));
+        }
+    };
+    if !args.is_empty() {
+        return Err(CliError::Usage(format!("unrecognized arguments: {args:?}")));
+    }
+    if m == 0 || k == 0 {
+        return Err(CliError::Usage("--m and --k must be positive".into()));
+    }
+    Ok(BuildOpts { out, m, k, seed, kind })
+}
+
+/// Builds a filter from keys on `input`, returning the envelope.
+pub fn build_filter(opts: &BuildOpts, input: impl BufRead) -> Result<FilterEnvelope, CliError> {
+    enum Either {
+        Ms(MsSbf),
+        Mi(MiSbf),
+    }
+    let mut filter = match opts.kind {
+        FilterKind::MinimalIncrease => Either::Mi(MiSbf::new(opts.m, opts.k, opts.seed)),
+        _ => Either::Ms(MsSbf::new(opts.m, opts.k, opts.seed)),
+    };
+    for line in input.lines() {
+        let line = line?;
+        let key = line.trim();
+        if key.is_empty() {
+            continue;
+        }
+        match &mut filter {
+            Either::Ms(f) => f.insert(&key),
+            Either::Mi(f) => f.insert(&key),
+        }
+    }
+    let counters = match &filter {
+        Either::Ms(f) => (0..opts.m).map(|i| f.core().store().get(i)).collect(),
+        Either::Mi(f) => (0..opts.m).map(|i| f.core().store().get(i)).collect(),
+    };
+    Ok(FilterEnvelope { kind: opts.kind, k: opts.k as u32, seed: opts.seed, counters })
+}
+
+/// Rehydrates a queryable MS filter from an envelope (all kinds query the
+/// same way: minimum over the key's counters).
+pub fn rehydrate(env: &FilterEnvelope) -> MsSbf {
+    let mut sbf: MsSbf = MsSbf::from_family(DefaultFamily::new(
+        env.counters.len().max(1),
+        env.k.max(1) as usize,
+        env.seed,
+    ));
+    for (i, &c) in env.counters.iter().enumerate() {
+        sbf.core_mut().store_mut().set(i, c);
+    }
+    sbf
+}
+
+/// Runs `query`: prints `key<TAB>estimate` for every input key whose
+/// estimate reaches `threshold` (0 = print all).
+pub fn run_query(
+    env: &FilterEnvelope,
+    threshold: u64,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> Result<usize, CliError> {
+    let sbf = rehydrate(env);
+    let mut printed = 0;
+    for line in input.lines() {
+        let line = line?;
+        let key = line.trim();
+        if key.is_empty() {
+            continue;
+        }
+        let est = sbf.estimate(&key);
+        if est >= threshold.max(1) || threshold == 0 {
+            writeln!(output, "{key}\t{est}")?;
+            printed += 1;
+        }
+    }
+    Ok(printed)
+}
+
+/// Merges envelopes by counter addition (the §2.2 distributed union).
+/// All inputs must agree on `m`, `k`, `seed` and kind.
+pub fn merge_envelopes(envelopes: &[FilterEnvelope]) -> Result<FilterEnvelope, CliError> {
+    let first = envelopes
+        .first()
+        .ok_or_else(|| CliError::Usage("merge needs at least one input".into()))?;
+    let mut counters = first.counters.clone();
+    for env in &envelopes[1..] {
+        if env.counters.len() != first.counters.len()
+            || env.k != first.k
+            || env.seed != first.seed
+            || env.kind != first.kind
+        {
+            return Err(CliError::Incompatible(
+                "all inputs must share m, k, seed and algorithm".into(),
+            ));
+        }
+        for (a, &b) in counters.iter_mut().zip(&env.counters) {
+            *a = a.checked_add(b).ok_or_else(|| {
+                CliError::Incompatible("counter overflow during merge".into())
+            })?;
+        }
+    }
+    Ok(FilterEnvelope { kind: first.kind, k: first.k, seed: first.seed, counters })
+}
+
+/// Renders `info` for an envelope.
+pub fn info_string(env: &FilterEnvelope) -> String {
+    let m = env.counters.len();
+    let nonzero = env.counters.iter().filter(|&&c| c > 0).count();
+    let total: u64 = env.counters.iter().sum();
+    let wire = env.encode().len();
+    format!(
+        "kind: {:?}\nm: {m}\nk: {}\nseed: {}\nnon-zero counters: {nonzero} ({:.1}%)\n\
+         counter mass: {total} (≈ {} insertions)\nwire size: {wire} bytes",
+        env.kind,
+        env.k,
+        env.seed,
+        100.0 * nonzero as f64 / m.max(1) as f64,
+        total / u64::from(env.k.max(1)),
+    )
+}
+
+/// Dispatches a full command line (without the program name). Returns the
+/// text to print on success.
+pub fn run(
+    args: Vec<String>,
+    stdin: impl BufRead,
+    mut stdout: impl Write,
+) -> Result<String, CliError> {
+    let mut args = args;
+    if args.is_empty() {
+        return Err(CliError::Usage(USAGE.into()));
+    }
+    let cmd = args.remove(0);
+    match cmd.as_str() {
+        "build" => {
+            let opts = parse_build(args)?;
+            let env = build_filter(&opts, stdin)?;
+            std::fs::write(&opts.out, env.encode())?;
+            Ok(format!("wrote {} ({} counters)", opts.out, env.counters.len()))
+        }
+        "query" => {
+            let mut args = args;
+            let filter = take_flag(&mut args, "--filter")
+                .ok_or_else(|| CliError::Usage("query requires --filter <path>".into()))?;
+            let threshold = take_flag(&mut args, "--threshold").map_or(Ok(0u64), |v| {
+                v.parse().map_err(|_| CliError::Usage("--threshold must be an integer".into()))
+            })?;
+            let bytes = std::fs::read(&filter)?;
+            let env = FilterEnvelope::decode(&bytes)
+                .map_err(|e| CliError::BadFilter(e.to_string()))?;
+            let n = run_query(&env, threshold, stdin, stdout)?;
+            Ok(format!("{n} keys reported"))
+        }
+        "merge" => {
+            let mut args = args;
+            let out = take_flag(&mut args, "--out")
+                .ok_or_else(|| CliError::Usage("merge requires --out <path>".into()))?;
+            if args.is_empty() {
+                return Err(CliError::Usage("merge needs input filter files".into()));
+            }
+            let mut envelopes = Vec::new();
+            for path in &args {
+                let bytes = std::fs::read(path)?;
+                envelopes.push(
+                    FilterEnvelope::decode(&bytes)
+                        .map_err(|e| CliError::BadFilter(format!("{path}: {e}")))?,
+                );
+            }
+            let merged = merge_envelopes(&envelopes)?;
+            std::fs::write(&out, merged.encode())?;
+            Ok(format!("merged {} filters into {out}", envelopes.len()))
+        }
+        "info" => {
+            let path = args
+                .first()
+                .ok_or_else(|| CliError::Usage("info requires a filter file".into()))?;
+            let bytes = std::fs::read(path)?;
+            let env = FilterEnvelope::decode(&bytes)
+                .map_err(|e| CliError::BadFilter(e.to_string()))?;
+            writeln!(stdout, "{}", info_string(&env))?;
+            Ok(String::new())
+        }
+        other => Err(CliError::Usage(format!("unknown command {other}\n{USAGE}"))),
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "usage: sbf <build|query|merge|info> [options]\n\
+  build --out <path> --m <counters> [--k 5] [--seed 42] [--algo ms|mi]   keys on stdin\n\
+  query --filter <path> [--threshold T]                                   keys on stdin\n\
+  merge --out <path> <in1.sbf> <in2.sbf> ...\n\
+  info  <path>";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn opts(kind: FilterKind) -> BuildOpts {
+        BuildOpts { out: "unused".into(), m: 4096, k: 5, seed: 7, kind }
+    }
+
+    #[test]
+    fn parse_build_full_and_defaults() {
+        let o = parse_build(
+            ["--out", "f.sbf", "--m", "1000", "--k", "4", "--seed", "9", "--algo", "mi"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        )
+        .unwrap();
+        assert_eq!(o, BuildOpts { out: "f.sbf".into(), m: 1000, k: 4, seed: 9, kind: FilterKind::MinimalIncrease });
+        let o = parse_build(["--out", "f", "--m", "10"].iter().map(|s| s.to_string()).collect()).unwrap();
+        assert_eq!(o.k, 5);
+        assert_eq!(o.kind, FilterKind::MinimumSelection);
+    }
+
+    #[test]
+    fn parse_build_rejects_junk() {
+        assert!(parse_build(vec!["--m".into(), "10".into()]).is_err(), "missing --out");
+        assert!(parse_build(vec!["--out".into(), "f".into(), "--m".into(), "x".into()]).is_err());
+        assert!(parse_build(
+            ["--out", "f", "--m", "10", "--algo", "zzz"].iter().map(|s| s.to_string()).collect()
+        )
+        .is_err());
+        assert!(parse_build(
+            ["--out", "f", "--m", "10", "stray"].iter().map(|s| s.to_string()).collect()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn build_then_query_roundtrip() {
+        let keys = "apple\napple\nbanana\n\napple\n";
+        let env = build_filter(&opts(FilterKind::MinimumSelection), Cursor::new(keys)).unwrap();
+        let mut out = Vec::new();
+        let n = run_query(&env, 2, Cursor::new("apple\nbanana\ncherry\n"), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(n, 1);
+        assert!(text.contains("apple\t3"), "got: {text}");
+        assert!(!text.contains("banana"), "banana is below threshold 2");
+    }
+
+    #[test]
+    fn mi_build_counts_too() {
+        let env = build_filter(&opts(FilterKind::MinimalIncrease), Cursor::new("x\nx\nx\n")).unwrap();
+        let sbf = rehydrate(&env);
+        assert_eq!(sbf.estimate(&"x"), 3);
+    }
+
+    #[test]
+    fn merge_requires_compatibility() {
+        let a = build_filter(&opts(FilterKind::MinimumSelection), Cursor::new("p\n")).unwrap();
+        let b = build_filter(&opts(FilterKind::MinimumSelection), Cursor::new("q\nq\n")).unwrap();
+        let merged = merge_envelopes(&[a.clone(), b]).unwrap();
+        let sbf = rehydrate(&merged);
+        assert!(sbf.estimate(&"p") >= 1);
+        assert_eq!(sbf.estimate(&"q"), 2);
+
+        let mut alien = a;
+        alien.seed ^= 1;
+        let b2 = build_filter(&opts(FilterKind::MinimumSelection), Cursor::new("q\n")).unwrap();
+        assert!(matches!(merge_envelopes(&[alien, b2]), Err(CliError::Incompatible(_))));
+    }
+
+    #[test]
+    fn info_reports_parameters() {
+        let env = build_filter(&opts(FilterKind::MinimumSelection), Cursor::new("a\nb\n")).unwrap();
+        let info = info_string(&env);
+        assert!(info.contains("m: 4096"));
+        assert!(info.contains("k: 5"));
+        assert!(info.contains("≈ 2 insertions"));
+    }
+
+    #[test]
+    fn end_to_end_through_files() {
+        let dir = std::env::temp_dir().join(format!("sbf-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.sbf");
+        let msg = run(
+            vec![
+                "build".into(),
+                "--out".into(),
+                path.to_str().unwrap().into(),
+                "--m".into(),
+                "2048".into(),
+            ],
+            Cursor::new("k1\nk2\nk1\n"),
+            Vec::new(),
+        )
+        .unwrap();
+        assert!(msg.contains("wrote"));
+        let mut out = Vec::new();
+        let msg = run(
+            vec!["query".into(), "--filter".into(), path.to_str().unwrap().into()],
+            Cursor::new("k1\nk3\n"),
+            &mut out,
+        )
+        .unwrap();
+        assert!(msg.contains("keys reported"));
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("k1\t2"));
+        assert!(text.contains("k3\t0"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

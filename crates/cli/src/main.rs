@@ -1,0 +1,20 @@
+//! `sbf` — Spectral Bloom Filters on the command line.
+
+use std::io::{BufReader, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    match sbf_cli::run(args, BufReader::new(stdin.lock()), stdout.lock()) {
+        Ok(message) => {
+            let mut err = std::io::stderr();
+            let _ = writeln!(err, "{message}");
+        }
+        Err(e) => {
+            let mut err = std::io::stderr();
+            let _ = writeln!(err, "sbf: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! End-to-end tests driving the real `sbf` binary through pipes and files.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn sbf_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_sbf")
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sbf-e2e-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn run_with_stdin(args: &[&str], stdin: &str) -> (String, String, bool) {
+    let mut child = Command::new(sbf_bin())
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn sbf");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("wait");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn build_query_merge_info_pipeline() {
+    let dir = tmpdir("pipeline");
+    let shard1 = dir.join("s1.sbf");
+    let shard2 = dir.join("s2.sbf");
+    let merged = dir.join("all.sbf");
+
+    // Two shards with overlapping keys, identical parameters.
+    let (_, err, ok) = run_with_stdin(
+        &["build", "--out", shard1.to_str().unwrap(), "--m", "4096", "--seed", "7"],
+        "alpha\nbeta\nalpha\n",
+    );
+    assert!(ok, "build 1 failed: {err}");
+    let (_, err, ok) = run_with_stdin(
+        &["build", "--out", shard2.to_str().unwrap(), "--m", "4096", "--seed", "7"],
+        "alpha\ngamma\n",
+    );
+    assert!(ok, "build 2 failed: {err}");
+
+    // Merge = distributed union.
+    let (_, err, ok) = run_with_stdin(
+        &[
+            "merge",
+            "--out",
+            merged.to_str().unwrap(),
+            shard1.to_str().unwrap(),
+            shard2.to_str().unwrap(),
+        ],
+        "",
+    );
+    assert!(ok, "merge failed: {err}");
+
+    // Query the union.
+    let (stdout, err, ok) = run_with_stdin(
+        &["query", "--filter", merged.to_str().unwrap()],
+        "alpha\nbeta\ngamma\nabsent\n",
+    );
+    assert!(ok, "query failed: {err}");
+    assert!(stdout.contains("alpha\t3"), "union must sum shard counts: {stdout}");
+    assert!(stdout.contains("beta\t1"));
+    assert!(stdout.contains("gamma\t1"));
+    assert!(stdout.contains("absent\t0"));
+
+    // Info renders the parameters.
+    let (stdout, err, ok) = run_with_stdin(&["info", merged.to_str().unwrap()], "");
+    assert!(ok, "info failed: {err}");
+    assert!(stdout.contains("m: 4096"), "info output: {stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn threshold_query_filters_output() {
+    let dir = tmpdir("threshold");
+    let filter = dir.join("f.sbf");
+    run_with_stdin(
+        &["build", "--out", filter.to_str().unwrap(), "--m", "2048"],
+        "hot\nhot\nhot\ncold\n",
+    );
+    let (stdout, _, ok) = run_with_stdin(
+        &["query", "--filter", filter.to_str().unwrap(), "--threshold", "2"],
+        "hot\ncold\n",
+    );
+    assert!(ok);
+    assert!(stdout.contains("hot\t3"));
+    assert!(!stdout.contains("cold"), "below-threshold keys must be suppressed");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let (_, err, ok) = run_with_stdin(&["frobnicate"], "");
+    assert!(!ok);
+    assert!(err.contains("usage"), "stderr: {err}");
+
+    let (_, err, ok) = run_with_stdin(&["build", "--m", "10"], "");
+    assert!(!ok);
+    assert!(err.contains("--out"), "stderr: {err}");
+}
+
+#[test]
+fn corrupt_filter_file_is_reported() {
+    let dir = tmpdir("corrupt");
+    let path = dir.join("junk.sbf");
+    std::fs::write(&path, b"this is not a filter").expect("write junk");
+    let (_, err, ok) = run_with_stdin(&["info", path.to_str().unwrap()], "");
+    assert!(!ok);
+    assert!(err.contains("bad filter"), "stderr: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}

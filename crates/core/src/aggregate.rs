@@ -1,0 +1,106 @@
+//! Aggregate queries over specified items (§5.1).
+//!
+//! The SBF "behaves very much like a histogram where each item has its own
+//! bucket": given any set of keys, `count`, `sum`, `avg` and `max`
+//! aggregates come straight from per-key estimates, with one-sided error
+//! `E_SBF` per key. These helpers implement the `SELECT count(a1) FROM R
+//! WHERE a1 = v`-style usage the paper sketches.
+
+use sbf_hash::Key;
+
+use crate::sketch::MultisetSketch;
+
+/// Summary statistics over the estimated multiplicities of a key set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggregateResult {
+    /// Number of keys queried.
+    pub keys: usize,
+    /// Keys with non-zero estimates (approximate distinct-present count).
+    pub present: usize,
+    /// Σ of estimates.
+    pub sum: u64,
+    /// Max estimate.
+    pub max: u64,
+    /// Mean estimate over *present* keys (0 if none).
+    pub avg_present: f64,
+}
+
+/// Computes count/sum/avg/max aggregates over `keys` against `sketch`.
+///
+/// Because per-key errors are one-sided, `sum` and `max` are upper bounds
+/// on the truth, and `present` may only over-count.
+pub fn aggregate_over_keys<SK, K, I>(sketch: &SK, keys: I) -> AggregateResult
+where
+    SK: MultisetSketch,
+    K: Key,
+    I: IntoIterator<Item = K>,
+{
+    let mut n = 0usize;
+    let mut present = 0usize;
+    let mut sum = 0u64;
+    let mut max = 0u64;
+    for key in keys {
+        n += 1;
+        let est = sketch.estimate(&key);
+        if est > 0 {
+            present += 1;
+            sum += est;
+            max = max.max(est);
+        }
+    }
+    AggregateResult {
+        keys: n,
+        present,
+        sum,
+        max,
+        avg_present: if present > 0 { sum as f64 / present as f64 } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ms::MsSbf;
+
+    #[test]
+    fn aggregates_match_truth_at_light_load() {
+        let mut sbf = MsSbf::new(8192, 5, 1);
+        for key in 0u64..100 {
+            sbf.insert_by(&key, key + 1);
+        }
+        let agg = aggregate_over_keys(&sbf, 0u64..100);
+        assert_eq!(agg.keys, 100);
+        assert_eq!(agg.present, 100);
+        assert_eq!(agg.sum, (1..=100).sum::<u64>());
+        assert_eq!(agg.max, 100);
+        assert!((agg.avg_present - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_is_an_upper_bound() {
+        let mut sbf = MsSbf::new(300, 5, 2); // heavy load → collisions
+        for key in 0u64..300 {
+            sbf.insert_by(&key, 2);
+        }
+        let agg = aggregate_over_keys(&sbf, 0u64..300);
+        assert!(agg.sum >= 600, "one-sided errors can only inflate the sum");
+    }
+
+    #[test]
+    fn absent_keys_do_not_contribute() {
+        let mut sbf = MsSbf::new(8192, 5, 3);
+        sbf.insert_by(&1u64, 10);
+        let agg = aggregate_over_keys(&sbf, 100u64..200);
+        assert_eq!(agg.present, 0);
+        assert_eq!(agg.sum, 0);
+        assert_eq!(agg.avg_present, 0.0);
+    }
+
+    #[test]
+    fn empty_key_set() {
+        let sbf = MsSbf::new(64, 3, 4);
+        let agg = aggregate_over_keys(&sbf, std::iter::empty::<u64>());
+        assert_eq!(agg.keys, 0);
+        assert_eq!(agg.max, 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! A thread-safe wrapper for ingesting streams from multiple producers.
+//!
+//! The paper's streaming scenario (§1.1.4) has data arriving faster than a
+//! single consumer comfortably handles; [`SharedSketch`] wraps any
+//! [`MultisetSketch`] in an `Arc<RwLock<…>>` so several ingest threads can
+//! feed one filter while query threads read it. Writes take the exclusive
+//! lock (SBF inserts touch `k` scattered counters, so finer-grained locking
+//! would buy little without sharding); reads share.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use sbf_hash::Key;
+
+use crate::sketch::MultisetSketch;
+use crate::store::RemoveError;
+
+/// A cheaply-cloneable, thread-safe handle to a sketch.
+#[derive(Debug, Default)]
+pub struct SharedSketch<SK> {
+    inner: Arc<RwLock<SK>>,
+}
+
+impl<SK> Clone for SharedSketch<SK> {
+    fn clone(&self) -> Self {
+        SharedSketch { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<SK: MultisetSketch> SharedSketch<SK> {
+    /// Wraps a sketch.
+    pub fn new(sketch: SK) -> Self {
+        SharedSketch { inner: Arc::new(RwLock::new(sketch)) }
+    }
+
+    /// Adds `count` occurrences of `key`.
+    pub fn insert_by<K: Key + ?Sized>(&self, key: &K, count: u64) {
+        self.inner.write().insert_by(key, count);
+    }
+
+    /// Adds one occurrence of `key`.
+    pub fn insert<K: Key + ?Sized>(&self, key: &K) {
+        self.insert_by(key, 1);
+    }
+
+    /// Removes `count` occurrences of `key`.
+    pub fn remove_by<K: Key + ?Sized>(&self, key: &K, count: u64) -> Result<(), RemoveError> {
+        self.inner.write().remove_by(key, count)
+    }
+
+    /// Removes one occurrence of `key`.
+    pub fn remove<K: Key + ?Sized>(&self, key: &K) -> Result<(), RemoveError> {
+        self.remove_by(key, 1)
+    }
+
+    /// Estimates the multiplicity of `key`.
+    pub fn estimate<K: Key + ?Sized>(&self, key: &K) -> u64 {
+        self.inner.read().estimate(key)
+    }
+
+    /// Spectral threshold test.
+    pub fn passes_threshold<K: Key + ?Sized>(&self, key: &K, threshold: u64) -> bool {
+        self.inner.read().passes_threshold(key, threshold)
+    }
+
+    /// Total multiplicity represented.
+    pub fn total_count(&self) -> u64 {
+        self.inner.read().total_count()
+    }
+
+    /// Runs `f` with shared read access to the sketch (for bulk queries
+    /// without per-call lock traffic).
+    pub fn with_read<R>(&self, f: impl FnOnce(&SK) -> R) -> R {
+        f(&self.inner.read())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ms::MsSbf;
+
+    #[test]
+    fn concurrent_inserts_account_everything() {
+        let shared = SharedSketch::new(MsSbf::new(1 << 14, 5, 1));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let h = shared.clone();
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.insert(&(t * 10_000 + i));
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.total_count(), 4000);
+        for t in 0..4u64 {
+            assert!(shared.estimate(&(t * 10_000)) >= 1);
+        }
+    }
+
+    #[test]
+    fn readers_run_alongside_writers() {
+        let shared = SharedSketch::new(MsSbf::new(4096, 5, 2));
+        shared.insert_by(&7u64, 3);
+        std::thread::scope(|scope| {
+            let w = shared.clone();
+            scope.spawn(move || {
+                for _ in 0..500 {
+                    w.insert(&7u64);
+                }
+            });
+            let r = shared.clone();
+            scope.spawn(move || {
+                for _ in 0..500 {
+                    assert!(r.estimate(&7u64) >= 3);
+                }
+            });
+        });
+        assert!(shared.estimate(&7u64) >= 503);
+    }
+
+    #[test]
+    fn with_read_gives_bulk_access() {
+        let shared = SharedSketch::new(MsSbf::new(1024, 4, 3));
+        shared.insert_by(&1u64, 5);
+        let total: u64 = shared.with_read(|s| (0u64..10).map(|k| s.estimate(&k)).sum());
+        assert!(total >= 5);
+    }
+}

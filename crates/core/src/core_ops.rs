@@ -1,0 +1,373 @@
+//! The shared machinery under every SBF algorithm: `k` hashed counters,
+//! bulk increment/decrement, minima inspection, union and multiply.
+
+use sbf_hash::{HashFamily, IndexBuf, Key, MAX_K};
+
+use crate::store::{CounterStore, RemoveError};
+use crate::DefaultFamily;
+
+/// The counter values of one key, in hash-function order, plus the derived
+/// minimum statistics the algorithms of §2–§3 decide on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyCounters {
+    /// The `k` counter indices.
+    pub indexes: IndexBuf,
+    values: [u64; MAX_K],
+    k: usize,
+}
+
+impl KeyCounters {
+    /// The `k` counter values.
+    pub fn values(&self) -> &[u64] {
+        &self.values[..self.k]
+    }
+
+    /// The minimal counter value `m_x` — the Minimum Selection estimate.
+    pub fn min(&self) -> u64 {
+        self.values().iter().copied().min().unwrap_or(0)
+    }
+
+    /// How many of the `k` counters hold the minimum.
+    pub fn min_multiplicity(&self) -> usize {
+        let m = self.min();
+        self.values().iter().filter(|&&v| v == m).count()
+    }
+
+    /// Whether the minimum recurs (appears in ≥ 2 counters) — the
+    /// error-detection signal of the Recurring Minimum method (§3.3).
+    pub fn has_recurring_min(&self) -> bool {
+        self.min_multiplicity() >= 2
+    }
+
+    /// The position (within the `k` functions) of the single minimum, when
+    /// there is exactly one.
+    pub fn single_min_slot(&self) -> Option<usize> {
+        let m = self.min();
+        let mut found = None;
+        for (slot, &v) in self.values().iter().enumerate() {
+            if v == m {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(slot);
+            }
+        }
+        found
+    }
+
+    /// Mean of the `k` counter values (used by the unbiased estimator).
+    pub fn mean(&self) -> f64 {
+        if self.k == 0 {
+            return 0.0;
+        }
+        self.values().iter().map(|&v| v as f64).sum::<f64>() / self.k as f64
+    }
+}
+
+/// Hash family + counter store + multiplicity accounting.
+///
+/// Every SBF algorithm in this crate owns one (the Recurring Minimum
+/// variants own two). The core does not choose an estimation policy; it
+/// provides the operations the policies are written in.
+#[derive(Debug, Clone)]
+pub struct SbfCore<F: HashFamily = DefaultFamily, S: CounterStore = crate::PlainCounters> {
+    family: F,
+    store: S,
+    total_count: u64,
+}
+
+impl<F: HashFamily, S: CounterStore> SbfCore<F, S> {
+    /// Assembles a core from a hash family and a fresh store of matching
+    /// length.
+    pub fn from_family(family: F) -> Self {
+        let store = S::with_len(family.m());
+        SbfCore { family, store, total_count: 0 }
+    }
+
+    /// Assembles from explicit parts. `store.len()` must equal `family.m()`.
+    pub fn with_parts(family: F, store: S) -> Self {
+        assert_eq!(family.m(), store.len(), "hash range and store length disagree");
+        let total_count = 0;
+        SbfCore { family, store, total_count }
+    }
+
+    /// Number of counters `m`.
+    pub fn m(&self) -> usize {
+        self.family.m()
+    }
+
+    /// Number of hash functions `k`.
+    pub fn k(&self) -> usize {
+        self.family.k()
+    }
+
+    /// The hash family.
+    pub fn family(&self) -> &F {
+        &self.family
+    }
+
+    /// The counter store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Mutable counter store (for algorithm internals).
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
+    /// Total multiplicity currently represented (Σ inserts − Σ removes);
+    /// the `N` of the unbiased estimator (Lemma 3).
+    pub fn total_count(&self) -> u64 {
+        self.total_count
+    }
+
+    /// The load factor `γ = (total k-increments)/m` would need the distinct
+    /// count; this reports the *occupancy*: fraction of non-zero counters.
+    pub fn occupancy(&self) -> f64 {
+        if self.store.len() == 0 {
+            return 0.0;
+        }
+        let nz = (0..self.store.len()).filter(|&i| self.store.get(i) > 0).count();
+        nz as f64 / self.store.len() as f64
+    }
+
+    /// Reads the key's counters and minimum statistics.
+    pub fn key_counters<K: Key + ?Sized>(&self, key: &K) -> KeyCounters {
+        let indexes = self.family.indexes(key);
+        let mut values = [0u64; MAX_K];
+        for (slot, &i) in indexes.as_slice().iter().enumerate() {
+            values[slot] = self.store.get(i);
+        }
+        KeyCounters { indexes, values, k: indexes.len() }
+    }
+
+    /// Increments all `k` counters of `key` by `by` (duplicate indices are
+    /// incremented once per occurrence, as in the paper's model).
+    pub fn increment_all<K: Key + ?Sized>(&mut self, key: &K, by: u64) {
+        let idx = self.family.indexes(key);
+        for &i in idx.as_slice() {
+            self.store.increment(i, by);
+        }
+        self.total_count += by;
+    }
+
+    /// Decrements all `k` counters by `by`; fails atomically (no counter is
+    /// changed) if any would underflow.
+    ///
+    /// Duplicate indices (two hash functions landing on the same counter)
+    /// are handled like the insert side: the counter is decremented once
+    /// per occurrence, and the pre-check accounts for the multiplicity.
+    pub fn decrement_all<K: Key + ?Sized>(&mut self, key: &K, by: u64) -> Result<(), RemoveError> {
+        let idx = self.family.indexes(key);
+        let slice = idx.as_slice();
+        for (slot, &i) in slice.iter().enumerate() {
+            if slice[..slot].contains(&i) {
+                continue; // multiplicity already accounted at first sight
+            }
+            let mult = slice.iter().filter(|&&j| j == i).count() as u64;
+            let need = by.checked_mul(mult).ok_or(RemoveError { index: i })?;
+            if self.store.get(i) < need {
+                return Err(RemoveError { index: i });
+            }
+        }
+        for &i in slice {
+            self.store
+                .decrement(i, by)
+                .expect("pre-checked decrement cannot underflow");
+        }
+        self.total_count = self.total_count.saturating_sub(by);
+        Ok(())
+    }
+
+    /// Decrements all `k` counters by `by`, clamping at zero. Used to
+    /// reproduce Minimal Increase's behaviour under deletions (§3.2), where
+    /// counters may legitimately sit below the amount being removed.
+    pub fn decrement_all_saturating<K: Key + ?Sized>(&mut self, key: &K, by: u64) {
+        let idx = self.family.indexes(key);
+        for &i in idx.as_slice() {
+            self.store.decrement_saturating(i, by);
+        }
+        self.total_count = self.total_count.saturating_sub(by);
+    }
+
+    /// Raises every counter of `key` to at least `floor` — the batch form
+    /// of Minimal Increase (§3.2): *"increase the smallest counter(s) by r,
+    /// and update every other counter to the maximum of its old value and
+    /// m_x + r"*.
+    pub fn raise_to_floor<K: Key + ?Sized>(&mut self, key: &K, floor: u64) {
+        let idx = self.family.indexes(key);
+        for &i in idx.as_slice() {
+            if self.store.get(i) < floor {
+                self.store.set(i, floor);
+            }
+        }
+    }
+
+    /// Bumps the internal multiplicity account (for algorithms that bypass
+    /// [`Self::increment_all`]).
+    pub fn add_to_total(&mut self, by: u64) {
+        self.total_count += by;
+    }
+
+    /// Lowers the internal multiplicity account.
+    pub fn sub_from_total(&mut self, by: u64) {
+        self.total_count = self.total_count.saturating_sub(by);
+    }
+
+    /// Whether `other` was built with identical parameters and hash
+    /// functions — the precondition for union and multiply (§2.2).
+    pub fn compatible<S2: CounterStore>(&self, other: &SbfCore<F, S2>) -> bool
+    where
+        F: PartialEq,
+    {
+        self.family == other.family
+    }
+
+    /// Counter-wise addition: the distributed union of §2.2 (*"SBFs can be
+    /// united simply by addition of their counter vectors"*).
+    pub fn union_assign<S2: CounterStore>(&mut self, other: &SbfCore<F, S2>)
+    where
+        F: PartialEq,
+    {
+        assert!(self.compatible(other), "union requires identical parameters and hash functions");
+        for i in 0..self.store.len() {
+            let o = other.store.get(i);
+            if o > 0 {
+                self.store.increment(i, o);
+            }
+        }
+        self.total_count += other.total_count;
+    }
+
+    /// Counter-wise multiplication: the join synopsis of §2.2 (*"the
+    /// counter vectors are linearly multiplied to generate an SBF
+    /// representing the join of the two relations"*).
+    pub fn multiply_assign<S2: CounterStore>(&mut self, other: &SbfCore<F, S2>)
+    where
+        F: PartialEq,
+    {
+        assert!(self.compatible(other), "multiply requires identical parameters and hash functions");
+        let mut total = 0u64;
+        for i in 0..self.store.len() {
+            let v = self.store.get(i).checked_mul(other.store.get(i)).expect("join counter overflow");
+            self.store.set(i, v);
+            total = total.saturating_add(v);
+        }
+        // Multiplicity accounting is heuristic after a multiply; expose the
+        // counter mass divided by k as the best available figure.
+        self.total_count = total / self.k().max(1) as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::PlainCounters;
+    use sbf_hash::MixFamily;
+
+    type Core = SbfCore<MixFamily, PlainCounters>;
+
+    fn core(m: usize, k: usize, seed: u64) -> Core {
+        SbfCore::from_family(MixFamily::new(m, k, seed))
+    }
+
+    #[test]
+    fn increment_then_min_is_at_least_count() {
+        let mut c = core(1024, 5, 1);
+        c.increment_all(&7u64, 3);
+        c.increment_all(&7u64, 2);
+        assert!(c.key_counters(&7u64).min() >= 5);
+        assert_eq!(c.total_count(), 5);
+    }
+
+    #[test]
+    fn decrement_is_atomic_on_underflow() {
+        let mut c = core(64, 4, 2);
+        c.increment_all(&1u64, 2);
+        let before: Vec<u64> = (0..64).map(|i| c.store().get(i)).collect();
+        assert!(c.decrement_all(&1u64, 3).is_err());
+        let after: Vec<u64> = (0..64).map(|i| c.store().get(i)).collect();
+        assert_eq!(before, after, "failed removal must not change any counter");
+        assert!(c.decrement_all(&1u64, 2).is_ok());
+        assert_eq!(c.key_counters(&1u64).min(), 0);
+    }
+
+    #[test]
+    fn recurring_minimum_detection() {
+        let mut c = core(4096, 5, 3);
+        c.increment_all(&99u64, 10);
+        let kc = c.key_counters(&99u64);
+        // With an empty filter all k counters are exactly 10.
+        assert_eq!(kc.min(), 10);
+        assert!(kc.has_recurring_min());
+        assert_eq!(kc.single_min_slot(), None);
+        assert_eq!(kc.min_multiplicity(), 5);
+    }
+
+    #[test]
+    fn single_min_slot_identified() {
+        let mut c = core(4096, 3, 4);
+        c.increment_all(&5u64, 1);
+        // Manually bump two of the three counters to fabricate a single min.
+        let idx = c.family().indexes(&5u64);
+        c.store_mut().increment(idx[0], 7);
+        c.store_mut().increment(idx[1], 7);
+        let kc = c.key_counters(&5u64);
+        assert_eq!(kc.single_min_slot(), Some(2));
+        assert!(!kc.has_recurring_min());
+    }
+
+    #[test]
+    fn union_adds_counters() {
+        let mut a = core(512, 4, 9);
+        let mut b = core(512, 4, 9);
+        a.increment_all(&10u64, 3);
+        b.increment_all(&10u64, 4);
+        b.increment_all(&20u64, 1);
+        a.union_assign(&b);
+        assert!(a.key_counters(&10u64).min() >= 7);
+        assert!(a.key_counters(&20u64).min() >= 1);
+        assert_eq!(a.total_count(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical parameters")]
+    fn union_rejects_different_seeds() {
+        let mut a = core(512, 4, 9);
+        let b = core(512, 4, 10);
+        a.union_assign(&b);
+    }
+
+    #[test]
+    fn multiply_zeroes_disjoint_keys() {
+        let mut a = core(2048, 5, 11);
+        let mut b = core(2048, 5, 11);
+        a.increment_all(&1u64, 5);
+        b.increment_all(&1u64, 3);
+        a.increment_all(&2u64, 5); // only in a
+        b.increment_all(&3u64, 4); // only in b
+        a.multiply_assign(&b);
+        assert!(a.key_counters(&1u64).min() >= 15);
+        assert_eq!(a.key_counters(&2u64).min(), 0);
+        assert_eq!(a.key_counters(&3u64).min(), 0);
+    }
+
+    #[test]
+    fn raise_to_floor_only_raises() {
+        let mut c = core(256, 4, 5);
+        c.increment_all(&8u64, 10);
+        c.raise_to_floor(&8u64, 6); // below current values: no-op
+        assert_eq!(c.key_counters(&8u64).min(), 10);
+        c.raise_to_floor(&8u64, 12);
+        assert_eq!(c.key_counters(&8u64).min(), 12);
+    }
+
+    #[test]
+    fn occupancy_counts_nonzero() {
+        let mut c = core(100, 1, 6);
+        assert_eq!(c.occupancy(), 0.0);
+        c.increment_all(&1u64, 1);
+        assert!((c.occupancy() - 0.01).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,221 @@
+//! The unbiased probabilistic estimator of §3.1 and its variance boosting.
+//!
+//! Lemma 3: with `N` the total multiplicity in the filter,
+//! `f̄_x = (v̄_x − kN/m) / (1 − k/m)` is an unbiased estimator of `f_x`
+//! (`v̄_x` is the mean of `x`'s `k` counters). The paper is explicit that
+//! this estimator is a poor choice for individual queries — high variance,
+//! and it introduces false negatives by "fixing" counters that were exact —
+//! but valuable for *aggregates*, where the zero-mean errors cancel.
+//!
+//! §3.1.1 boosts confidence by the classic median-of-means device: split
+//! the `k` counters into `k₂` groups of `k₁`, average within groups and
+//! take the median of the group estimates.
+
+use sbf_hash::{HashFamily, Key};
+
+use crate::core_ops::SbfCore;
+use crate::store::CounterStore;
+
+/// The Lemma 3 unbiased estimate of `f_key` from any SBF core.
+///
+/// May be negative (the estimator trades one-sidedness for zero bias).
+pub fn unbiased_estimate<F, S, K>(core: &SbfCore<F, S>, key: &K) -> f64
+where
+    F: HashFamily,
+    S: CounterStore,
+    K: Key + ?Sized,
+{
+    let m = core.m() as f64;
+    let k = core.k() as f64;
+    let n_total = core.total_count() as f64;
+    let mean = core.key_counters(key).mean();
+    if (1.0 - k / m).abs() < f64::EPSILON {
+        return mean; // degenerate k = m; no de-biasing possible
+    }
+    (mean - k * n_total / m) / (1.0 - k / m)
+}
+
+/// Median-of-means variant (§3.1.1): the `k` counters are split into
+/// `groups` contiguous groups; each group's mean is de-biased as in
+/// Lemma 3, and the median of the group estimates is returned.
+///
+/// `groups` must be in `1..=k`. With `groups = 1` this equals
+/// [`unbiased_estimate`].
+pub fn median_of_means_estimate<F, S, K>(core: &SbfCore<F, S>, key: &K, groups: usize) -> f64
+where
+    F: HashFamily,
+    S: CounterStore,
+    K: Key + ?Sized,
+{
+    let k = core.k();
+    assert!(groups >= 1 && groups <= k, "groups must be in 1..=k");
+    let m = core.m() as f64;
+    let n_total = core.total_count() as f64;
+    let kc = core.key_counters(key);
+    let values = kc.values();
+    let per = k / groups;
+    let mut estimates: Vec<f64> = Vec::with_capacity(groups);
+    for g in 0..groups {
+        let lo = g * per;
+        let hi = if g == groups - 1 { k } else { lo + per };
+        let mean: f64 = values[lo..hi].iter().map(|&v| v as f64).sum::<f64>() / (hi - lo) as f64;
+        let kf = core.k() as f64;
+        let est = if (1.0 - kf / m).abs() < f64::EPSILON {
+            mean
+        } else {
+            (mean - kf * n_total / m) / (1.0 - kf / m)
+        };
+        estimates.push(est);
+    }
+    estimates.sort_by(|a, b| a.partial_cmp(b).expect("estimates are finite"));
+    let mid = estimates.len() / 2;
+    if estimates.len() % 2 == 1 {
+        estimates[mid]
+    } else {
+        (estimates[mid - 1] + estimates[mid]) / 2.0
+    }
+}
+
+
+/// The §3.1 hybrid: use the Recurring Minimum signal to decide *when* the
+/// unbiased estimator is worth its false-negative risk.
+///
+/// "The Recurring Minimum method allows us to recognize potential
+/// problematic cases (i.e. counters that are erroneous), in which cases we
+/// might activate the unbiased estimator to produce an estimate. In all
+/// other cases we do not use the estimator, and thus refrain from
+/// generating false-negative errors."
+///
+/// Returns the plain minimum for recurring-minimum keys (almost surely
+/// exact) and the de-biased estimate — clamped to `[0, m_x]`, since the
+/// minimum is a sound upper bound — for single-minimum keys.
+pub fn rm_combined_estimate<F, S, K>(core: &SbfCore<F, S>, key: &K) -> f64
+where
+    F: HashFamily,
+    S: CounterStore,
+    K: Key + ?Sized,
+{
+    let kc = core.key_counters(key);
+    if kc.has_recurring_min() {
+        return kc.min() as f64;
+    }
+    unbiased_estimate(core, key).clamp(0.0, kc.min() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::PlainCounters;
+    use sbf_hash::MixFamily;
+
+    type Core = SbfCore<MixFamily, PlainCounters>;
+
+    fn loaded_core(m: usize, k: usize, seed: u64, n_keys: u64, f: impl Fn(u64) -> u64) -> Core {
+        let mut c = Core::from_family(MixFamily::new(m, k, seed));
+        for key in 0..n_keys {
+            c.increment_all(&key, f(key));
+        }
+        c
+    }
+
+    #[test]
+    fn unbiased_on_average_across_keys() {
+        // Uniform frequencies: the mean signed error across many keys should
+        // be near zero, unlike the MS estimator whose error is one-sided.
+        let f = 5u64;
+        let core = loaded_core(2000, 5, 1, 1000, |_| f);
+        let mut signed = 0.0;
+        let mut ms_signed = 0.0;
+        for key in 0u64..1000 {
+            signed += unbiased_estimate(&core, &key) - f as f64;
+            ms_signed += core.key_counters(&key).min() as f64 - f as f64;
+        }
+        let bias = signed / 1000.0;
+        let ms_bias = ms_signed / 1000.0;
+        assert!(bias.abs() < 0.6, "unbiased estimator drifts: {bias}");
+        assert!(ms_bias > bias.abs(), "MS bias {ms_bias} should dominate");
+    }
+
+    #[test]
+    fn produces_false_negatives_by_design() {
+        // §3.1: "All counters whose error rate is below the average error
+        // will turn into false-negatives."
+        let core = loaded_core(1000, 5, 2, 800, |k| if k == 0 { 1000 } else { 1 });
+        let fn_count = (1u64..800)
+            .filter(|k| unbiased_estimate(&core, k) < 1.0)
+            .count();
+        assert!(fn_count > 0, "skewed data should push small items negative");
+    }
+
+    #[test]
+    fn aggregate_sum_is_accurate() {
+        let core = loaded_core(3000, 5, 3, 1500, |k| k % 10 + 1);
+        let truth: f64 = (0u64..1500).map(|k| (k % 10 + 1) as f64).sum();
+        let est: f64 = (0u64..1500).map(|k| unbiased_estimate(&core, &k)).sum();
+        let rel = (est - truth).abs() / truth;
+        assert!(rel < 0.05, "aggregate relative error {rel}");
+    }
+
+    #[test]
+    fn median_of_means_reduces_spread() {
+        let core = loaded_core(1200, 6, 4, 1000, |_| 3);
+        let spread = |est: &dyn Fn(&Core, &u64) -> f64| -> f64 {
+            let vals: Vec<f64> = (0u64..1000).map(|k| est(&core, &k)).collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt()
+        };
+        let s1 = spread(&|c, k| unbiased_estimate(c, k));
+        let s3 = spread(&|c, k| median_of_means_estimate(c, k, 3));
+        // The median is more robust; it should not be wildly worse, and the
+        // two must be finite and sane.
+        assert!(s1.is_finite() && s3.is_finite());
+        assert!(s3 <= s1 * 1.5, "median-of-means spread {s3} vs mean {s1}");
+    }
+
+
+    #[test]
+    fn rm_combined_beats_both_parents_on_skewed_data() {
+        // Skewed load: MS over-estimates the tail, the raw unbiased
+        // estimator drags exact keys negative; the hybrid avoids both.
+        let core = loaded_core(900, 5, 11, 700, |k| if k < 10 { 500 } else { 2 });
+        let truth = |k: u64| if k < 10 { 500.0 } else { 2.0 };
+        let mut err_ms = 0.0;
+        let mut err_unbiased = 0.0;
+        let mut err_hybrid = 0.0;
+        for key in 0u64..700 {
+            let t = truth(key);
+            err_ms += (core.key_counters(&key).min() as f64 - t).abs();
+            err_unbiased += (unbiased_estimate(&core, &key) - t).abs();
+            err_hybrid += (rm_combined_estimate(&core, &key) - t).abs();
+        }
+        assert!(err_hybrid <= err_ms, "hybrid {err_hybrid} vs MS {err_ms}");
+        assert!(err_hybrid <= err_unbiased, "hybrid {err_hybrid} vs unbiased {err_unbiased}");
+    }
+
+    #[test]
+    fn rm_combined_never_exceeds_the_minimum() {
+        let core = loaded_core(500, 5, 12, 400, |k| k % 6);
+        for key in 0u64..400 {
+            let est = rm_combined_estimate(&core, &key);
+            assert!(est <= core.key_counters(&key).min() as f64 + 1e-9);
+            assert!(est >= 0.0);
+        }
+    }
+
+    #[test]
+    fn groups_one_equals_plain_estimator() {
+        let core = loaded_core(500, 5, 5, 300, |k| k % 4);
+        for key in 0u64..50 {
+            let a = unbiased_estimate(&core, &key);
+            let b = median_of_means_estimate(&core, &key, 1);
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "groups must be")]
+    fn too_many_groups_rejected() {
+        let core = loaded_core(100, 3, 6, 10, |_| 1);
+        let _ = median_of_means_estimate(&core, &1u64, 4);
+    }
+}

@@ -1,0 +1,83 @@
+//! **Spectral Bloom Filters** — a faithful, production-grade implementation
+//! of Cohen & Matias, *Spectral Bloom Filters*, SIGMOD 2003.
+//!
+//! A Spectral Bloom Filter (SBF) replaces the bit vector of a Bloom filter
+//! with a vector of `m` counters, turning set membership into *multiset
+//! multiplicity*: for any key `x` the filter returns an estimate
+//! `f̂_x ≥ f_x` that is exact except with probability roughly the Bloom
+//! error `E_b = (1 − e^{−kn/m})^k`. Errors are strictly one-sided, so a
+//! threshold test `f_x ≥ T` never yields false negatives — the property
+//! the paper's ad-hoc iceberg queries, spectral Bloomjoins and bifocal
+//! sampling all build on.
+//!
+//! # Choosing an algorithm
+//!
+//! | Type | Paper § | Inserts | Deletes | Accuracy |
+//! |---|---|---|---|---|
+//! | [`MsSbf`] | 2.2 | ✔ | ✔ | baseline (Minimum Selection) |
+//! | [`MiSbf`] | 3.2 | ✔ | ✖ (false negatives!) | best for insert-only |
+//! | [`RmSbf`] | 3.3 | ✔ | ✔ | much better than MS, supports deletes |
+//! | [`TrappingRmSbf`] | 3.3.1 | ✔ | ✔ | RM + late-detection compensation |
+//!
+//! All algorithms implement [`MultisetSketch`], are generic over the hash
+//! family (`sbf-hash`) and over the counter storage — [`PlainCounters`]
+//! (one word per counter, fastest) or [`CompressedCounters`] (the §4
+//! String-Array-Index representation at `N + o(N) + O(m)` bits).
+//!
+//! # Quick start
+//!
+//! ```
+//! use spectral_bloom::{MsSbf, MultisetSketch};
+//!
+//! let mut sbf = MsSbf::new(8 * 1024, 5, 42); // m counters, k hashes, seed
+//! sbf.insert(&"apple");
+//! sbf.insert_by(&"apple", 99);
+//! sbf.insert(&"pear");
+//! assert!(sbf.estimate(&"apple") >= 100);    // one-sided
+//! assert_eq!(sbf.estimate(&"plum"), 0);      // w.h.p.
+//! sbf.remove(&"pear").unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod bloom;
+pub mod concurrent;
+pub mod core_ops;
+pub mod estimator;
+pub mod iceberg;
+pub mod mi;
+pub mod ms;
+pub mod paged;
+pub mod params;
+pub mod range;
+pub mod rm;
+pub mod sketch;
+pub mod spectrum;
+pub mod store;
+pub mod trap;
+pub mod window;
+
+pub use bloom::BloomFilter;
+pub use concurrent::SharedSketch;
+pub use core_ops::SbfCore;
+pub use estimator::{median_of_means_estimate, rm_combined_estimate, unbiased_estimate};
+pub use iceberg::{
+    ad_hoc_iceberg, adaptive_multiscan_iceberg, multiscan_iceberg, MultiscanConfig,
+    StreamingIceberg, TopKTracker,
+};
+pub use mi::MiSbf;
+pub use ms::MsSbf;
+pub use paged::{IoStats, PagedCounters};
+pub use params::{bloom_error_rate, optimal_k, SbfParams};
+pub use range::RangeTreeSketch;
+pub use rm::RmSbf;
+pub use sketch::MultisetSketch;
+pub use spectrum::{frequency_histogram, profile, SpectrumProfile};
+pub use store::{CompactCounters, CompressedCounters, CounterStore, PlainCounters, RemoveError};
+pub use trap::TrappingRmSbf;
+pub use window::SlidingWindowSbf;
+
+/// The default hash family used by the convenience constructors.
+pub type DefaultFamily = sbf_hash::MixFamily;

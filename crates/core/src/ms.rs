@@ -1,0 +1,175 @@
+//! Minimum Selection — the basic SBF of §2.2.
+
+use sbf_hash::{HashFamily, Key};
+
+use crate::core_ops::SbfCore;
+use crate::sketch::MultisetSketch;
+use crate::store::{CounterStore, PlainCounters, RemoveError};
+use crate::DefaultFamily;
+
+/// The basic Spectral Bloom Filter with the Minimum Selection estimator:
+/// insert increments all `k` counters, the estimate is their minimum.
+///
+/// Claim 1 of the paper: `f_x ≤ m_x` always, and `f_x ≠ m_x` only with the
+/// Bloom-error probability `E_b ≈ (1 − e^{−kn/m})^k`. Supports deletions
+/// and updates by decrementing, and sliding windows by deleting out-of-date
+/// items.
+#[derive(Debug, Clone)]
+pub struct MsSbf<F: HashFamily = DefaultFamily, S: CounterStore = PlainCounters> {
+    core: SbfCore<F, S>,
+}
+
+impl MsSbf<DefaultFamily, PlainCounters> {
+    /// An MS filter with `m` counters, `k` hash functions and the default
+    /// hash family, plain storage.
+    pub fn new(m: usize, k: usize, seed: u64) -> Self {
+        Self::from_family(DefaultFamily::new(m, k, seed))
+    }
+}
+
+impl<F: HashFamily, S: CounterStore> MsSbf<F, S> {
+    /// Builds over an explicit hash family, with a fresh store.
+    pub fn from_family(family: F) -> Self {
+        MsSbf { core: SbfCore::from_family(family) }
+    }
+
+    /// Builds from explicit parts.
+    pub fn with_parts(family: F, store: S) -> Self {
+        MsSbf { core: SbfCore::with_parts(family, store) }
+    }
+
+    /// The underlying core (counters, family, totals).
+    pub fn core(&self) -> &SbfCore<F, S> {
+        &self.core
+    }
+
+    /// Mutable core access (for estimators and tests).
+    pub fn core_mut(&mut self) -> &mut SbfCore<F, S> {
+        &mut self.core
+    }
+
+    /// Unites another MS filter into this one (counter addition, §2.2).
+    pub fn union_assign<S2: CounterStore>(&mut self, other: &MsSbf<F, S2>)
+    where
+        F: PartialEq,
+    {
+        self.core.union_assign(&other.core);
+    }
+
+    /// Multiplies counter-wise, forming the join synopsis of §2.2.
+    pub fn multiply_assign<S2: CounterStore>(&mut self, other: &MsSbf<F, S2>)
+    where
+        F: PartialEq,
+    {
+        self.core.multiply_assign(&other.core);
+    }
+}
+
+impl<F: HashFamily, S: CounterStore> MultisetSketch for MsSbf<F, S> {
+    fn insert_by<K: Key + ?Sized>(&mut self, key: &K, count: u64) {
+        self.core.increment_all(key, count);
+    }
+
+    fn remove_by<K: Key + ?Sized>(&mut self, key: &K, count: u64) -> Result<(), RemoveError> {
+        self.core.decrement_all(key, count)
+    }
+
+    fn estimate<K: Key + ?Sized>(&self, key: &K) -> u64 {
+        self.core.key_counters(key).min()
+    }
+
+    fn total_count(&self) -> u64 {
+        self.core.total_count()
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.core.store().storage_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::CompressedCounters;
+    use sbf_hash::MixFamily;
+
+    #[test]
+    fn estimate_is_upper_bound_and_usually_exact() {
+        let mut sbf = MsSbf::new(4096, 5, 1);
+        for key in 0u64..200 {
+            sbf.insert_by(&key, key + 1);
+        }
+        let mut exact = 0;
+        for key in 0u64..200 {
+            let est = sbf.estimate(&key);
+            assert!(est > key, "one-sidedness violated for {key}");
+            if est == key + 1 {
+                exact += 1;
+            }
+        }
+        // At γ = 200·5/4096 ≈ 0.24 the error probability is tiny.
+        assert!(exact >= 195, "only {exact}/200 exact");
+    }
+
+    #[test]
+    fn absent_keys_mostly_report_zero() {
+        let mut sbf = MsSbf::new(8192, 5, 2);
+        for key in 0u64..500 {
+            sbf.insert(&key);
+        }
+        let false_pos = (10_000u64..11_000).filter(|k| sbf.contains(k)).count();
+        assert!(false_pos < 20, "{false_pos} false positives out of 1000");
+    }
+
+    #[test]
+    fn delete_restores_zero() {
+        let mut sbf = MsSbf::new(1024, 4, 3);
+        sbf.insert_by(&7u64, 5);
+        sbf.remove_by(&7u64, 5).unwrap();
+        assert_eq!(sbf.estimate(&7u64), 0);
+        assert_eq!(sbf.total_count(), 0);
+    }
+
+    #[test]
+    fn update_is_delete_then_insert() {
+        let mut sbf = MsSbf::new(1024, 4, 4);
+        sbf.insert_by(&"session", 10);
+        // Update 10 → 6 (§2.2: "updates are also allowed").
+        sbf.remove_by(&"session", 10).unwrap();
+        sbf.insert_by(&"session", 6);
+        assert_eq!(sbf.estimate(&"session"), 6);
+    }
+
+    #[test]
+    fn works_over_compressed_store() {
+        let family = MixFamily::new(2048, 5, 7);
+        let mut sbf: MsSbf<MixFamily, CompressedCounters> = MsSbf::from_family(family);
+        for key in 0u64..100 {
+            sbf.insert_by(&key, 3);
+        }
+        for key in 0u64..100 {
+            assert!(sbf.estimate(&key) >= 3);
+        }
+        // Compressed storage beats 64 bits/counter comfortably here.
+        assert!(sbf.storage_bits() < 2048 * 64);
+    }
+
+    #[test]
+    fn sliding_window_by_deletion() {
+        // §2.2: maintain a window of the last W items by deleting leavers.
+        let mut sbf = MsSbf::new(4096, 5, 8);
+        let stream: Vec<u64> = (0..1000).map(|i| i % 50).collect();
+        let w = 100;
+        for (t, &x) in stream.iter().enumerate() {
+            sbf.insert(&x);
+            if t >= w {
+                sbf.remove(&stream[t - w]).unwrap();
+            }
+        }
+        assert_eq!(sbf.total_count(), w as u64);
+        // Every key still occurs exactly w/50 = 2 times in the window.
+        for key in 0u64..50 {
+            assert!(sbf.estimate(&key) >= 2);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Parameter selection: the error formulas of §2.1 and a builder that
+//! turns capacity/error targets into `(m, k)`.
+
+/// The Bloom error `E_b = (1 − e^{−kn/m})^k` (§2.1) — the probability the
+/// basic SBF misestimates an arbitrary key.
+pub fn bloom_error_rate(n: usize, m: usize, k: usize) -> f64 {
+    if m == 0 {
+        return 1.0;
+    }
+    let gamma = k as f64 * n as f64 / m as f64;
+    (1.0 - (-gamma).exp()).powi(k as i32)
+}
+
+/// The error-minimizing number of hash functions `k = ln 2 · m/n` (§2.1),
+/// at least 1.
+pub fn optimal_k(n: usize, m: usize) -> usize {
+    if n == 0 {
+        return 1;
+    }
+    let k = (m as f64 / n as f64) * std::f64::consts::LN_2;
+    (k.round() as usize).max(1)
+}
+
+/// The load ratio `γ = nk/m` of §2.1 (optimal ≈ ln 2 ≈ 0.693).
+pub fn gamma(n: usize, m: usize, k: usize) -> f64 {
+    if m == 0 {
+        return f64::INFINITY;
+    }
+    n as f64 * k as f64 / m as f64
+}
+
+/// Sizing helper: capacity and error-rate targets → `(m, k)`.
+///
+/// ```
+/// use spectral_bloom::SbfParams;
+///
+/// let p = SbfParams::for_capacity(10_000).with_target_error(0.01);
+/// let (m, k) = p.dimensions();
+/// assert!(spectral_bloom::bloom_error_rate(10_000, m, k) <= 0.011);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SbfParams {
+    n: usize,
+    target_error: f64,
+}
+
+impl SbfParams {
+    /// Starts from the expected number of *distinct* keys.
+    pub fn for_capacity(n: usize) -> Self {
+        SbfParams { n, target_error: 0.01 }
+    }
+
+    /// Sets the acceptable Bloom-error probability (default 1%).
+    pub fn with_target_error(mut self, e: f64) -> Self {
+        assert!(e > 0.0 && e < 1.0, "error target must be in (0,1)");
+        self.target_error = e;
+        self
+    }
+
+    /// Computes `(m, k)`: at the optimum, `E_b = (1/2)^k = 0.6185^{m/n}`,
+    /// so `m/n = log₂(1/E)/ln 2` and `k = ln 2 · m/n`.
+    pub fn dimensions(&self) -> (usize, usize) {
+        let bits_per_key = -self.target_error.log2() / std::f64::consts::LN_2;
+        let m = ((self.n as f64) * bits_per_key).ceil() as usize;
+        let m = m.max(8);
+        (m, optimal_k(self.n.max(1), m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_c8() {
+        // §2.1: "For c = 8, the false positive error rate is slightly larger
+        // than 2%" (with optimal k).
+        let n = 1000;
+        let m = 8 * n;
+        let k = optimal_k(n, m);
+        assert_eq!(k, 6, "ln2·8 ≈ 5.5 rounds to 6");
+        let e = bloom_error_rate(n, m, k);
+        assert!((0.02..0.03).contains(&e), "E_b = {e}");
+    }
+
+    #[test]
+    fn optimal_gamma_near_ln2() {
+        let n = 1000;
+        let m = 8 * n;
+        let k = optimal_k(n, m);
+        let g = gamma(n, m, k);
+        assert!((0.6..0.8).contains(&g), "γ = {g}");
+    }
+
+    #[test]
+    fn error_is_monotone_in_n() {
+        let mut last = 0.0;
+        for n in [100, 200, 400, 800, 1600] {
+            let e = bloom_error_rate(n, 8000, 5);
+            assert!(e >= last);
+            last = e;
+        }
+    }
+
+    #[test]
+    fn dimensions_meet_target() {
+        for (n, target) in [(1000, 0.05), (10_000, 0.01), (100_000, 0.001)] {
+            let (m, k) = SbfParams::for_capacity(n).with_target_error(target).dimensions();
+            let e = bloom_error_rate(n, m, k);
+            assert!(e <= target * 1.15, "n={n}: E_b {e} exceeds {target}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(bloom_error_rate(0, 100, 5), 0.0);
+        assert_eq!(bloom_error_rate(10, 0, 5), 1.0);
+        assert_eq!(optimal_k(0, 100), 1);
+        assert!(gamma(10, 0, 5).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "error target")]
+    fn zero_error_target_rejected() {
+        let _ = SbfParams::for_capacity(10).with_target_error(0.0);
+    }
+}

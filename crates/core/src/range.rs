@@ -1,0 +1,297 @@
+//! Range queries over an SBF via range-tree hashing (§5.5).
+//!
+//! Theorem 11: for an attribute domain `R` of size `r`, hash both the
+//! values and a hierarchy of dyadic ranges; inserts and deletes touch
+//! `log_p r` tree nodes and a range-count query over `Q ⊆ R` costs
+//! `O(p·log_p |Q|)` SBF lookups (≤ 2 per level for the binary tree).
+//!
+//! Node keys are drawn from a namespace disjoint from the value domain
+//! (`V ∩ R = ∅` in the paper) by mixing the node's `(level, index)` with a
+//! tree-private tag.
+
+use sbf_hash::Key;
+
+use crate::sketch::MultisetSketch;
+use crate::store::RemoveError;
+
+/// Key for an internal tree node, disjoint from leaf value keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct NodeKey(u64);
+
+impl Key for NodeKey {
+    fn canonical(&self) -> u64 {
+        self.0
+    }
+}
+
+/// An SBF wrapped with a dyadic range hierarchy over `[lo, hi)`.
+///
+/// Any [`MultisetSketch`] works underneath; the Recurring Minimum filter is
+/// the natural choice since range maintenance relies on deletions.
+///
+/// ```
+/// use spectral_bloom::{MsSbf, RangeTreeSketch};
+///
+/// let mut tree = RangeTreeSketch::new(MsSbf::new(1 << 14, 5, 3), 0, 256);
+/// tree.insert_by(10, 4);
+/// tree.insert(200);
+/// let r = tree.count_range(0, 100);
+/// assert!(r.estimate >= 4);             // one-sided
+/// assert!(r.lookups <= 2 * 8 + 4);      // ≤ 2·log₂|Q| + O(1)
+/// ```
+#[derive(Debug, Clone)]
+pub struct RangeTreeSketch<SK: MultisetSketch> {
+    sketch: SK,
+    lo: u64,
+    hi: u64,
+    /// Branching factor `p` (2 = the paper's binary tree).
+    degree: u64,
+    /// Number of internal levels (level 0 = unit ranges are the raw values).
+    levels: u32,
+    tag: u64,
+}
+
+impl<SK: MultisetSketch> RangeTreeSketch<SK> {
+    /// Wraps `sketch` with a binary range tree over the domain `[lo, hi)`.
+    pub fn new(sketch: SK, lo: u64, hi: u64) -> Self {
+        Self::with_degree(sketch, lo, hi, 2)
+    }
+
+    /// Wraps with a `degree`-ary tree (`degree ≥ 2`); higher degrees trade
+    /// cheaper updates (`log_p r` inserts) for more lookups per level.
+    pub fn with_degree(sketch: SK, lo: u64, hi: u64, degree: u64) -> Self {
+        assert!(hi > lo, "empty domain");
+        assert!(degree >= 2, "tree degree must be ≥ 2");
+        let r = hi - lo;
+        let mut levels = 0u32;
+        let mut span = 1u64;
+        while span < r {
+            span = span.saturating_mul(degree);
+            levels += 1;
+        }
+        RangeTreeSketch { sketch, lo, hi, degree, levels, tag: 0x5bf_7e3e_0000_0000 }
+    }
+
+    /// The wrapped sketch.
+    pub fn sketch(&self) -> &SK {
+        &self.sketch
+    }
+
+    /// Number of internal tree levels.
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    fn node_key(&self, level: u32, index: u64) -> NodeKey {
+        // fmix64 over a tagged (level, index) pair: keys are disjoint from
+        // raw u64 values with overwhelming probability and stable across
+        // filters built with the same parameters.
+        NodeKey(sbf_hash::fmix64(
+            self.tag ^ (u64::from(level) << 52) ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        ))
+    }
+
+    /// Span of one node at `level` (level 1 covers `degree` values).
+    fn span(&self, level: u32) -> u64 {
+        self.degree.saturating_pow(level)
+    }
+
+    /// Inserts `count` occurrences of `value` — the leaf plus one node per
+    /// level (`log_p r` SBF inserts, Theorem 11).
+    pub fn insert_by(&mut self, value: u64, count: u64) {
+        assert!((self.lo..self.hi).contains(&value), "value outside domain");
+        self.sketch.insert_by(&value, count);
+        let off = value - self.lo;
+        for level in 1..=self.levels {
+            let idx = off / self.span(level);
+            self.sketch.insert_by(&self.node_key(level, idx), count);
+        }
+    }
+
+    /// Inserts one occurrence.
+    pub fn insert(&mut self, value: u64) {
+        self.insert_by(value, 1);
+    }
+
+    /// Deletes `count` occurrences of `value` from the leaf and every
+    /// ancestor. Fails atomically at the first underflowing level.
+    pub fn remove_by(&mut self, value: u64, count: u64) -> Result<(), RemoveError> {
+        assert!((self.lo..self.hi).contains(&value), "value outside domain");
+        self.sketch.remove_by(&value, count)?;
+        let off = value - self.lo;
+        for level in 1..=self.levels {
+            let idx = off / self.span(level);
+            self.sketch.remove_by(&self.node_key(level, idx), count)?;
+        }
+        Ok(())
+    }
+
+    /// Point query: one SBF lookup ("there is no need to traverse the
+    /// tree").
+    pub fn count_value(&self, value: u64) -> u64 {
+        self.sketch.estimate(&value)
+    }
+
+    /// Estimated number of items with value in `[a, b)`.
+    ///
+    /// Decomposes the query into maximal tree nodes; the estimate inherits
+    /// the SBF's one-sidedness (never an undercount for MS/RM-family
+    /// sketches). Also returns the number of SBF lookups performed so the
+    /// Theorem 11 bound is checkable.
+    pub fn count_range(&self, a: u64, b: u64) -> RangeEstimate {
+        let a = a.max(self.lo);
+        let b = b.min(self.hi);
+        if a >= b {
+            return RangeEstimate { estimate: 0, lookups: 0 };
+        }
+        let mut estimate = 0u64;
+        let mut lookups = 0usize;
+        // Greedy dyadic cover, bottom-up symmetric walk.
+        let mut lo = a - self.lo;
+        let mut hi = b - self.lo; // exclusive
+        let mut level = 0u32;
+        while lo < hi {
+            let span = self.span(level);
+            let next_span = span.saturating_mul(self.degree);
+            // Left edge: children of the next level's node that stick out.
+            while lo < hi && (!lo.is_multiple_of(next_span) || lo + next_span > hi) {
+                estimate += self.query_node(level, lo / span);
+                lookups += 1;
+                lo += span;
+            }
+            // Right edge.
+            while hi > lo && (!hi.is_multiple_of(next_span) || hi < lo + next_span) {
+                hi -= span;
+                estimate += self.query_node(level, hi / span);
+                lookups += 1;
+            }
+            level += 1;
+            if level > self.levels {
+                break;
+            }
+        }
+        RangeEstimate { estimate, lookups }
+    }
+
+    fn query_node(&self, level: u32, index: u64) -> u64 {
+        if level == 0 {
+            let value = self.lo + index;
+            self.sketch.estimate(&value)
+        } else {
+            self.sketch.estimate(&self.node_key(level, index))
+        }
+    }
+}
+
+/// Result of a range count: the estimate and the number of SBF lookups the
+/// dyadic decomposition needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeEstimate {
+    /// Estimated item count in the range (one-sided for MS/RM sketches).
+    pub estimate: u64,
+    /// SBF lookups performed (Theorem 11: ≤ `p·log_p |Q|` + O(1) levels).
+    pub lookups: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ms::MsSbf;
+
+    fn tree(m: usize, lo: u64, hi: u64) -> RangeTreeSketch<MsSbf> {
+        RangeTreeSketch::new(MsSbf::new(m, 5, 42), lo, hi)
+    }
+
+    #[test]
+    fn point_counts() {
+        let mut t = tree(8192, 0, 1024);
+        t.insert_by(7, 5);
+        t.insert(900);
+        assert!(t.count_value(7) >= 5);
+        assert!(t.count_value(900) >= 1);
+        assert_eq!(t.count_value(8), 0);
+    }
+
+    #[test]
+    fn range_counts_match_truth_on_light_load() {
+        let mut t = tree(1 << 16, 0, 256);
+        let mut truth = vec![0u64; 256];
+        let mut x = 7u64;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let v = (x >> 33) % 256;
+            t.insert(v);
+            truth[v as usize] += 1;
+        }
+        for (a, b) in [(0u64, 256u64), (0, 1), (10, 20), (13, 200), (255, 256), (128, 129), (100, 100)] {
+            let want: u64 = truth[a as usize..b as usize].iter().sum();
+            let got = t.count_range(a, b);
+            assert!(got.estimate >= want, "range [{a},{b}): {} < {want}", got.estimate);
+            // Light load: estimate should be exact almost surely.
+            assert_eq!(got.estimate, want, "range [{a},{b})");
+        }
+    }
+
+    #[test]
+    fn lookup_count_is_logarithmic() {
+        let mut t = tree(1 << 18, 0, 1 << 16);
+        t.insert(12_345);
+        // |Q| = 60_000 → binary tree bound ≈ 2·log₂|Q| ≈ 32, plus edge slop.
+        let r = t.count_range(100, 60_100);
+        assert!(r.lookups <= 2 * 17 + 4, "lookups {} exceed 2·log|Q|", r.lookups);
+    }
+
+    #[test]
+    fn deletes_update_ranges() {
+        let mut t = tree(1 << 14, 0, 64);
+        for v in 0..64 {
+            t.insert_by(v, 3);
+        }
+        assert!(t.count_range(0, 64).estimate >= 192);
+        for v in 0..32 {
+            t.remove_by(v, 3).unwrap();
+        }
+        let left = t.count_range(0, 32).estimate;
+        let right = t.count_range(32, 64).estimate;
+        assert!(left <= 5, "left half should be ~0, got {left}");
+        assert!(right >= 96);
+    }
+
+    #[test]
+    fn degree_four_tree_works() {
+        let mut t = RangeTreeSketch::with_degree(MsSbf::new(1 << 15, 5, 9), 0, 4096, 4);
+        let mut truth = 0u64;
+        for v in (0..4096).step_by(17) {
+            t.insert(v);
+            if (100..2000).contains(&v) {
+                truth += 1;
+            }
+        }
+        let got = t.count_range(100, 2000);
+        assert!(got.estimate >= truth);
+        assert!(got.estimate <= truth + 3, "overshoot {} vs {truth}", got.estimate);
+    }
+
+    #[test]
+    fn nonzero_domain_offset() {
+        let mut t = tree(1 << 14, 1000, 2000);
+        t.insert_by(1500, 7);
+        assert!(t.count_range(1400, 1600).estimate >= 7);
+        assert_eq!(t.count_range(1000, 1400).estimate, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn out_of_domain_insert_panics() {
+        let mut t = tree(64, 0, 10);
+        t.insert(10);
+    }
+
+    #[test]
+    fn clamped_and_empty_ranges() {
+        let mut t = tree(4096, 0, 100);
+        t.insert_by(50, 2);
+        assert_eq!(t.count_range(60, 40).estimate, 0);
+        assert!(t.count_range(0, 1_000_000).estimate >= 2, "range clamped to domain");
+    }
+}

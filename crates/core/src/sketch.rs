@@ -1,0 +1,54 @@
+//! The `MultisetSketch` abstraction shared by all SBF algorithms.
+
+use sbf_hash::Key;
+
+use crate::store::RemoveError;
+
+/// A sketch answering multiplicity queries over a dynamic multiset.
+///
+/// Every SBF variant implements this, so applications — iceberg queries,
+/// range trees, Bloomjoins, bifocal sampling — are written once and run
+/// under any estimation policy. The contract mirrors the paper's claims:
+///
+/// * **One-sided for MS/RM**: `estimate(x) ≥ f_x` always holds for the
+///   Minimum Selection and Recurring Minimum families; Minimal Increase
+///   preserves it only while no removals occur (§3.2).
+/// * `remove` of a key truly present `count` times always succeeds for the
+///   MS/RM families.
+pub trait MultisetSketch {
+    /// Adds `count` occurrences of `key`.
+    fn insert_by<K: Key + ?Sized>(&mut self, key: &K, count: u64);
+
+    /// Adds one occurrence of `key`.
+    fn insert<K: Key + ?Sized>(&mut self, key: &K) {
+        self.insert_by(key, 1);
+    }
+
+    /// Removes `count` occurrences of `key`.
+    fn remove_by<K: Key + ?Sized>(&mut self, key: &K, count: u64) -> Result<(), RemoveError>;
+
+    /// Removes one occurrence of `key`.
+    fn remove<K: Key + ?Sized>(&mut self, key: &K) -> Result<(), RemoveError> {
+        self.remove_by(key, 1)
+    }
+
+    /// Estimates the multiplicity `f̂_key`.
+    fn estimate<K: Key + ?Sized>(&self, key: &K) -> u64;
+
+    /// Membership test: `f̂ > 0` (identical to a plain Bloom filter, §2.2).
+    fn contains<K: Key + ?Sized>(&self, key: &K) -> bool {
+        self.estimate(key) > 0
+    }
+
+    /// Spectral threshold test: `f̂ ≥ threshold`, false positives only (for
+    /// the one-sided algorithms).
+    fn passes_threshold<K: Key + ?Sized>(&self, key: &K, threshold: u64) -> bool {
+        self.estimate(key) >= threshold
+    }
+
+    /// Total multiplicity currently represented.
+    fn total_count(&self) -> u64;
+
+    /// Storage footprint in bits.
+    fn storage_bits(&self) -> usize;
+}

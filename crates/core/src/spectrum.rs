@@ -1,0 +1,174 @@
+//! Multiset demographics from the counter vector alone (§7: the SBF "can
+//! be used for maintaining demographics of a multiset or set, and allow
+//! data profiling").
+//!
+//! Some profile questions don't need per-key queries at all — the counter
+//! vector itself is a statistic:
+//!
+//! * **distinct-count estimation**: the fraction of zero counters after
+//!   `n` distinct insertions is `(1 − 1/m)^{kn} ≈ e^{−kn/m}`, so
+//!   `n̂ = −(m/k)·ln(z/m)` where `z` counters are zero — the classic
+//!   Bloom-filter cardinality estimator, applicable verbatim to the SBF,
+//! * **total multiplicity**: counter mass divided by `k` (exact),
+//! * **load diagnostics**: the observed `γ̂` and predicted Bloom error,
+//!   so operators can tell when a filter is running outside its accuracy
+//!   envelope,
+//! * **frequency demographics** over a candidate key set: a
+//!   frequency-of-frequencies histogram, the "high-granularity histogram"
+//!   view of §1.
+//!
+//! Everything here reads any [`SbfCore`], regardless of algorithm or
+//! storage backend.
+
+use sbf_hash::{HashFamily, Key};
+
+use crate::core_ops::SbfCore;
+use crate::store::CounterStore;
+
+/// Vector-level profile of a filter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectrumProfile {
+    /// Counters equal to zero.
+    pub zero_counters: usize,
+    /// Estimated number of distinct keys (`−(m/k)·ln(z/m)`), `None` when
+    /// every counter is occupied (the estimator saturates).
+    pub distinct_estimate: Option<f64>,
+    /// Exact total multiplicity (`Σ counters / k`).
+    pub total_multiplicity: u64,
+    /// Observed load `γ̂ = k·n̂/m`.
+    pub gamma_estimate: Option<f64>,
+    /// Predicted Bloom error at the estimated load.
+    pub predicted_error: Option<f64>,
+}
+
+/// Profiles the counter vector of `core`.
+pub fn profile<F: HashFamily, S: CounterStore>(core: &SbfCore<F, S>) -> SpectrumProfile {
+    let m = core.m();
+    let k = core.k();
+    let mut zeros = 0usize;
+    let mut mass = 0u64;
+    for i in 0..m {
+        let c = core.store().get(i);
+        if c == 0 {
+            zeros += 1;
+        }
+        mass += c;
+    }
+    let distinct = if zeros == 0 || m == 0 {
+        None
+    } else {
+        Some(-(m as f64 / k as f64) * (zeros as f64 / m as f64).ln())
+    };
+    let gamma = distinct.map(|n| n * k as f64 / m as f64);
+    let err = gamma.map(|g| (1.0 - (-g).exp()).powi(k as i32));
+    SpectrumProfile {
+        zero_counters: zeros,
+        distinct_estimate: distinct,
+        total_multiplicity: mass / k.max(1) as u64,
+        gamma_estimate: gamma,
+        predicted_error: err,
+    }
+}
+
+/// Frequency-of-frequencies histogram over a candidate key set: bucket `b`
+/// counts the keys whose estimate falls in `[bounds[b], bounds[b+1])`,
+/// with a final unbounded bucket. Estimates come from the provided
+/// estimator (pass `|key| sketch.estimate(key)`), so any algorithm works.
+pub fn frequency_histogram<K, I>(
+    estimate: impl Fn(&K) -> u64,
+    keys: I,
+    bounds: &[u64],
+) -> Vec<u64>
+where
+    K: Key,
+    I: IntoIterator<Item = K>,
+{
+    assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must be strictly increasing");
+    let mut hist = vec![0u64; bounds.len() + 1];
+    for key in keys {
+        let f = estimate(&key);
+        let b = bounds.partition_point(|&lo| lo <= f);
+        hist[b] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ms::MsSbf;
+    use crate::sketch::MultisetSketch;
+
+    #[test]
+    fn distinct_estimate_tracks_truth() {
+        let mut sbf = MsSbf::new(20_000, 5, 1);
+        for key in 0u64..1500 {
+            sbf.insert_by(&key, 1 + key % 9); // multiplicities don't matter
+        }
+        let p = profile(sbf.core());
+        let n_hat = p.distinct_estimate.expect("zeros remain");
+        let rel = (n_hat - 1500.0).abs() / 1500.0;
+        assert!(rel < 0.05, "distinct estimate {n_hat} vs 1500");
+        // Total multiplicity is exact.
+        let truth: u64 = (0..1500u64).map(|k| 1 + k % 9).sum();
+        assert_eq!(p.total_multiplicity, truth);
+    }
+
+    #[test]
+    fn gamma_and_error_prediction_are_consistent() {
+        let mut sbf = MsSbf::new(7143, 5, 2);
+        for key in 0u64..1000 {
+            sbf.insert(&key);
+        }
+        let p = profile(sbf.core());
+        let g = p.gamma_estimate.expect("not saturated");
+        assert!((g - 0.7).abs() < 0.05, "γ̂ = {g}");
+        let e = p.predicted_error.expect("not saturated");
+        let direct = crate::params::bloom_error_rate(1000, 7143, 5);
+        assert!((e - direct).abs() < 0.01);
+    }
+
+    #[test]
+    fn saturated_filter_reports_none() {
+        let mut sbf = MsSbf::new(8, 2, 3);
+        for key in 0u64..200 {
+            sbf.insert(&key);
+        }
+        let p = profile(sbf.core());
+        assert_eq!(p.zero_counters, 0);
+        assert!(p.distinct_estimate.is_none());
+    }
+
+    #[test]
+    fn empty_filter_profile() {
+        let sbf = MsSbf::new(64, 3, 4);
+        let p = profile(sbf.core());
+        assert_eq!(p.zero_counters, 64);
+        assert_eq!(p.distinct_estimate, Some(0.0));
+        assert_eq!(p.total_multiplicity, 0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_estimate() {
+        let mut sbf = MsSbf::new(8192, 5, 5);
+        for key in 0u64..100 {
+            sbf.insert_by(&key, 1);
+        }
+        for key in 100u64..110 {
+            sbf.insert_by(&key, 50);
+        }
+        let hist = frequency_histogram(|k: &u64| sbf.estimate(k), 0u64..200, &[1, 10, 100]);
+        // Buckets: [0,1), [1,10), [10,100), [100,∞)
+        assert_eq!(hist.len(), 4);
+        assert_eq!(hist[0], 90, "90 of the queried 200 keys are absent");
+        assert_eq!(hist[1], 100, "the singletons");
+        assert_eq!(hist[2], 10, "the heavy keys");
+        assert_eq!(hist[3], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn bad_bounds_rejected() {
+        let _ = frequency_histogram(|_: &u64| 0, 0u64..1, &[5, 5]);
+    }
+}

@@ -1,0 +1,320 @@
+//! The Trapping Recurring Minimum algorithm (§3.3.1).
+//!
+//! RM's residual weakness is *late detection*: an item is recognized as
+//! having a single minimum only after all of its counters were already
+//! contaminated, so the value transferred to the secondary SBF carries the
+//! contamination along. The trapping refinement attaches a one-bit **trap**
+//! to every primary counter and a lookup table `L` mapping a sprung trap to
+//! the item that set it:
+//!
+//! * When an item `Z` is moved to the secondary SBF, the trap on its single
+//!   minimal counter `C_i` is armed and `L(i) = Z` recorded.
+//! * When a later *recurring-minimum* item `X` steps on that trap, we learn
+//!   that `Z`'s transferred value was inflated by `X`'s mass sitting in
+//!   `C_i`: `Z`'s secondary counters are reduced by `X`'s current estimate
+//!   `m_x` (clamped to keep the secondary non-negative), compensating the
+//!   earlier error, and the trap is released.
+//!
+//! Deviation from the paper's pseudocode, documented here: the pseudocode
+//! also moves `m_x` *out of* `Z`'s primary counters on transfer and back on
+//! compensation. Doing so corrupts the counts of unrelated keys sharing
+//! those counters (their minima drop below their true frequencies), so this
+//! implementation keeps the primary SBF untouched — compensation acts on
+//! the secondary only, bounded so it can never underflow. Accuracy-wise
+//! this is strictly conservative: estimates stay one-sided except for the
+//! same late-detection collisions plain RM has.
+//!
+//! The paper notes two rare uncovered cases, reproduced in the tests: the
+//! *palindrome* stream where the stepping item never reappears after the
+//! victim moves, and twin stepped-over counters faking a recurring minimum.
+
+use std::collections::{HashMap, HashSet};
+
+use sbf_hash::{HashFamily, Key};
+
+use crate::core_ops::SbfCore;
+use crate::sketch::MultisetSketch;
+use crate::store::{CounterStore, PlainCounters, RemoveError};
+use crate::DefaultFamily;
+
+/// Recurring Minimum with trap-based compensation for late detection.
+#[derive(Debug, Clone)]
+pub struct TrappingRmSbf<F: HashFamily = DefaultFamily, S: CounterStore = PlainCounters> {
+    primary: SbfCore<F, S>,
+    secondary: SbfCore<F, S>,
+    /// Trap bit per primary counter.
+    traps: Vec<bool>,
+    /// Armed-trap owners: counter index → canonical key (the table `L`).
+    owners: HashMap<usize, u64>,
+    /// Canonical keys currently mirrored in the secondary SBF.
+    moved: HashSet<u64>,
+    /// Compensations applied (exposed for experiments).
+    compensations: u64,
+}
+
+impl TrappingRmSbf<DefaultFamily, PlainCounters> {
+    /// Splits `m_total` counters ⅔ primary / ⅓ secondary, like
+    /// [`crate::RmSbf::new`].
+    pub fn new(m_total: usize, k: usize, seed: u64) -> Self {
+        let m_secondary = (m_total / 3).max(1);
+        let m_primary = (m_total - m_secondary).max(1);
+        TrappingRmSbf {
+            primary: SbfCore::from_family(DefaultFamily::new(m_primary, k, seed)),
+            secondary: SbfCore::from_family(DefaultFamily::new(m_secondary, k, seed ^ 0x7a4b_11d3)),
+            traps: vec![false; m_primary],
+            owners: HashMap::new(),
+            moved: HashSet::new(),
+            compensations: 0,
+        }
+    }
+}
+
+impl<F: HashFamily, S: CounterStore> TrappingRmSbf<F, S> {
+    /// Number of compensation events (trap firings) so far.
+    pub fn compensations(&self) -> u64 {
+        self.compensations
+    }
+
+    /// Number of currently armed traps.
+    pub fn armed_traps(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// The primary SBF core.
+    pub fn primary(&self) -> &SbfCore<F, S> {
+        &self.primary
+    }
+
+    /// The secondary SBF core.
+    pub fn secondary(&self) -> &SbfCore<F, S> {
+        &self.secondary
+    }
+
+    /// Fires any traps the (recurring-minimum) item `x` steps on: reduces
+    /// the owner's secondary counters by `x`'s estimate, clamped so the
+    /// secondary never underflows.
+    fn fire_traps<K: Key + ?Sized>(&mut self, key: &K, mx: u64) {
+        let canon = key.canonical();
+        let idxs = self.primary.family().indexes(key);
+        for &i in idxs.as_slice() {
+            if !self.traps[i] {
+                continue;
+            }
+            let Some(&owner) = self.owners.get(&i) else { continue };
+            if owner == canon {
+                continue;
+            }
+            // Safe compensation bound: per counter, value divided by how
+            // many of the owner's hash functions land on it (a decrement
+            // hits a duplicated counter once per occurrence).
+            let okc = self.secondary.key_counters(&owner);
+            let oidx = okc.indexes;
+            let cap = oidx
+                .as_slice()
+                .iter()
+                .enumerate()
+                .map(|(slot, &i)| {
+                    let mult = oidx.as_slice().iter().filter(|&&j| j == i).count() as u64;
+                    okc.values()[slot] / mult
+                })
+                .min()
+                .unwrap_or(0);
+            let back = mx.min(cap);
+            if back > 0 {
+                self.secondary
+                    .decrement_all(&owner, back)
+                    .expect("bounded by the owner's per-counter capacity");
+                self.compensations += 1;
+            }
+            self.traps[i] = false;
+            self.owners.remove(&i);
+        }
+    }
+}
+
+impl<F: HashFamily, S: CounterStore> MultisetSketch for TrappingRmSbf<F, S> {
+    fn insert_by<K: Key + ?Sized>(&mut self, key: &K, count: u64) {
+        self.primary.increment_all(key, count);
+        let canon = key.canonical();
+        if self.moved.contains(&canon) {
+            self.secondary.increment_all(key, count);
+            return;
+        }
+        let kc = self.primary.key_counters(key);
+        if kc.has_recurring_min() {
+            let mx = kc.min();
+            self.fire_traps(key, mx);
+            return;
+        }
+        // Single minimum: mirror into the secondary with the current
+        // estimate, arm the trap on the minimal counter.
+        let mx = kc.min();
+        let slot = kc.single_min_slot().expect("single minimum by branch");
+        let min_counter = kc.indexes[slot];
+        self.secondary.increment_all(key, mx);
+        self.traps[min_counter] = true;
+        self.owners.insert(min_counter, canon);
+        self.moved.insert(canon);
+    }
+
+    fn remove_by<K: Key + ?Sized>(&mut self, key: &K, count: u64) -> Result<(), RemoveError> {
+        self.primary.decrement_all(key, count)?;
+        if self.moved.contains(&key.canonical()) {
+            let s_min = self.secondary.key_counters(key).min();
+            if s_min >= count {
+                self.secondary
+                    .decrement_all(key, count)
+                    .expect("secondary min pre-checked");
+            }
+        }
+        Ok(())
+    }
+
+    fn estimate<K: Key + ?Sized>(&self, key: &K) -> u64 {
+        let kc = self.primary.key_counters(key);
+        if self.moved.contains(&key.canonical()) {
+            let s = self.secondary.key_counters(key).min();
+            // The secondary value is usually tighter (compensated); the
+            // primary min stays a sound upper bound.
+            return if s > 0 { s.min(kc.min()) } else { kc.min() };
+        }
+        if kc.has_recurring_min() {
+            return kc.min();
+        }
+        let s = self.secondary.key_counters(key).min();
+        if s > 0 {
+            s.min(kc.min())
+        } else {
+            kc.min()
+        }
+    }
+
+    fn total_count(&self) -> u64 {
+        self.primary.total_count()
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.primary.store().storage_bits()
+            + self.secondary.store().storage_bits()
+            + self.traps.len()
+            // The lookup table L: one (index, key) pair per armed trap.
+            + self.owners.len() * 128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_counts_are_preserved() {
+        let mut t = TrappingRmSbf::new(3000, 5, 1);
+        for key in 0u64..300 {
+            t.insert_by(&key, key % 13 + 1);
+        }
+        for key in 0u64..300 {
+            let est = t.estimate(&key);
+            assert!(est > key % 13, "false negative for {key}: {est}");
+        }
+    }
+
+    #[test]
+    fn deletion_roundtrip() {
+        let mut t = TrappingRmSbf::new(1200, 5, 2);
+        for key in 0u64..100 {
+            t.insert_by(&key, 8);
+        }
+        for key in 0u64..100 {
+            t.remove_by(&key, 3).unwrap();
+        }
+        for key in 0u64..100 {
+            assert!(t.estimate(&key) >= 5, "false negative after delete for {key}");
+        }
+    }
+
+    #[test]
+    fn compensation_fires_under_load() {
+        // Densely loaded filter: single minima and re-appearing steppers are
+        // common, so traps must actually fire.
+        let mut t = TrappingRmSbf::new(400, 5, 3);
+        for round in 0..20u64 {
+            for key in 0u64..200 {
+                t.insert_by(&key, 1 + round % 3);
+            }
+        }
+        assert!(t.compensations() > 0, "expected trap compensations under heavy load");
+    }
+
+    #[test]
+    fn compensation_tightens_overestimates() {
+        // Same heavy stream through plain RM and trapping RM: the trapping
+        // variant's total overestimate must not exceed plain RM's.
+        use crate::rm::RmSbf;
+        let mut rm = RmSbf::new(600, 5, 7);
+        let mut tr = TrappingRmSbf::new(600, 5, 7);
+        let mut truth = std::collections::HashMap::new();
+        for round in 0..10u64 {
+            for key in 0u64..300 {
+                let c = 1 + (key + round) % 4;
+                rm.insert_by(&key, c);
+                tr.insert_by(&key, c);
+                *truth.entry(key).or_insert(0u64) += c;
+            }
+        }
+        let rm_err: u64 = truth.iter().map(|(k, &f)| rm.estimate(k).saturating_sub(f)).sum();
+        let tr_err: u64 = truth.iter().map(|(k, &f)| tr.estimate(k).saturating_sub(f)).sum();
+        // Compensation is a heuristic: it wins on the late-detection cases
+        // it targets but can misfire (firing with mass that never
+        // contaminated the victim), so allow a small tolerance instead of
+        // strict dominance.
+        assert!(
+            tr_err as f64 <= rm_err as f64 * 1.15,
+            "trapping RM overestimate {tr_err} far exceeds RM's {rm_err}"
+        );
+    }
+
+    #[test]
+    fn palindrome_stream_is_the_documented_weakness() {
+        // §3.3.1: v₁ v₂ … v_{n/2} v_{n/2} … v₂ v₁ — the adversarial order
+        // the paper singles out: victims move to the secondary late, and
+        // their steppers either never fire the traps or fire them with mass
+        // that was never part of the contamination, so small residual
+        // errors (in both directions) persist. The structure must stay
+        // *sound*: counts conserved, estimates never zero for present keys,
+        // and the damage confined to a small fraction of keys.
+        let n = 400u64;
+        let mut t = TrappingRmSbf::new(900, 5, 4);
+        let forward: Vec<u64> = (0..n / 2).collect();
+        let backward: Vec<u64> = (0..n / 2).rev().collect();
+        for &v in forward.iter().chain(&backward) {
+            t.insert(&v);
+        }
+        let mut below_truth = 0usize;
+        for v in 0..n / 2 {
+            let est = t.estimate(&v);
+            assert!(est >= 1, "present key {v} reported absent");
+            if est < 2 {
+                below_truth += 1;
+            }
+        }
+        assert!(
+            below_truth <= (n / 2) as usize / 10,
+            "{below_truth} of {} keys under-estimated",
+            n / 2
+        );
+        assert_eq!(t.total_count(), n);
+    }
+
+    #[test]
+    fn total_count_is_conserved_through_moves() {
+        let mut t = TrappingRmSbf::new(300, 5, 5);
+        for key in 0u64..150 {
+            t.insert_by(&key, 4);
+        }
+        assert_eq!(t.total_count(), 600);
+        for key in 0u64..150 {
+            t.remove_by(&key, 2).unwrap();
+        }
+        assert_eq!(t.total_count(), 300);
+    }
+}

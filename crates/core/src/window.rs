@@ -1,0 +1,136 @@
+//! First-class sliding windows (§2.2 "Deletions and sliding window
+//! maintenance").
+//!
+//! The paper's recipe — "the sliding window can be maintained simply by
+//! performing deletions of the out-of-date data" — assumes the departing
+//! items are available. [`SlidingWindowSbf`] packages that assumption: it
+//! keeps the window's raw keys in a ring buffer (they must be retained
+//! *somewhere* for the recipe to work) and drives the wrapped sketch's
+//! insert/remove pair on every arrival past capacity.
+
+use std::collections::VecDeque;
+
+use sbf_hash::Key;
+
+use crate::sketch::MultisetSketch;
+
+/// A sketch restricted to the last `capacity` items of a stream.
+#[derive(Debug, Clone)]
+pub struct SlidingWindowSbf<SK: MultisetSketch> {
+    sketch: SK,
+    window: VecDeque<u64>,
+    capacity: usize,
+}
+
+impl<SK: MultisetSketch> SlidingWindowSbf<SK> {
+    /// Wraps `sketch` with a window of `capacity` items.
+    ///
+    /// The sketch should support deletions soundly — Recurring Minimum or
+    /// Minimum Selection; Minimal Increase will corrupt (§3.2), which the
+    /// wrapper cannot prevent.
+    pub fn new(sketch: SK, capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        SlidingWindowSbf { sketch, window: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Ingests one item; evicts (and deletes) the oldest when full.
+    /// Returns the evicted key, if any.
+    pub fn push<K: Key + ?Sized>(&mut self, key: &K) -> Option<u64> {
+        let canon = key.canonical();
+        self.sketch.insert(&canon);
+        self.window.push_back(canon);
+        if self.window.len() > self.capacity {
+            let leaver = self.window.pop_front().expect("over capacity");
+            self.sketch
+                .remove(&leaver)
+                .expect("window leavers were inserted on arrival");
+            return Some(leaver);
+        }
+        None
+    }
+
+    /// Estimated multiplicity of `key` within the current window.
+    pub fn estimate<K: Key + ?Sized>(&self, key: &K) -> u64 {
+        self.sketch.estimate(&key.canonical())
+    }
+
+    /// Items currently inside the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Window capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The wrapped sketch.
+    pub fn sketch(&self) -> &SK {
+        &self.sketch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ms::MsSbf;
+    use crate::rm::RmSbf;
+
+    #[test]
+    fn window_counts_only_recent_items() {
+        let mut w = SlidingWindowSbf::new(MsSbf::new(4096, 5, 1), 100);
+        // 0..50 arrive, then 500 other items flush them out.
+        for key in 0u64..50 {
+            w.push(&key);
+        }
+        for key in 1000u64..1500 {
+            w.push(&key);
+        }
+        assert_eq!(w.len(), 100);
+        for key in 0u64..50 {
+            assert_eq!(w.estimate(&key), 0, "flushed key {key} still counted");
+        }
+        for key in 1400u64..1500 {
+            assert!(w.estimate(&key) >= 1, "recent key {key} missing");
+        }
+    }
+
+    #[test]
+    fn eviction_returns_the_leaver_in_order() {
+        let mut w = SlidingWindowSbf::new(MsSbf::new(1024, 4, 2), 3);
+        assert_eq!(w.push(&1u64), None);
+        assert_eq!(w.push(&2u64), None);
+        assert_eq!(w.push(&3u64), None);
+        assert_eq!(w.push(&4u64), Some(1));
+        assert_eq!(w.push(&5u64), Some(2));
+    }
+
+    #[test]
+    fn repeated_keys_count_per_occurrence() {
+        let mut w = SlidingWindowSbf::new(RmSbf::new(2048, 5, 3), 10);
+        for _ in 0..7 {
+            w.push(&"flow");
+        }
+        assert!(w.estimate(&"flow") >= 7);
+        // Push 10 other items: all "flow" occurrences leave.
+        for key in 0u64..10 {
+            w.push(&key);
+        }
+        assert_eq!(w.estimate(&"flow"), 0);
+    }
+
+    #[test]
+    fn totals_match_window_size() {
+        let mut w = SlidingWindowSbf::new(MsSbf::new(8192, 5, 4), 250);
+        for key in 0u64..1000 {
+            w.push(&(key % 63));
+        }
+        assert_eq!(w.len(), 250);
+        assert_eq!(w.sketch().total_count(), 250);
+    }
+}

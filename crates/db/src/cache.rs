@@ -1,0 +1,361 @@
+//! Distributed cache summaries (§1.1.1 context: Summary Cache [FCAB98]
+//! and Attenuated Bloom Filters [RK02]).
+//!
+//! The paper motivates the SBF with distributed-cache deployments: each
+//! proxy keeps a compact summary of every peer's cache and asks a peer
+//! only when the summary says the object is there. Two schemes are built
+//! here, both on this workspace's filters:
+//!
+//! * [`SummaryCacheCluster`] — the flat Summary-Cache scheme: every node
+//!   broadcasts a Bloom filter of its contents; a requester consults the
+//!   summaries and probes the claimed holders. False positives cost a
+//!   wasted probe; false negatives cannot happen for up-to-date summaries.
+//! * [`AttenuatedFilter`] — the [RK02] routing structure: level `d` of a
+//!   node's filter summarizes everything reachable within `d` hops along
+//!   a path of peers, so a query can be routed toward the *closest*
+//!   claimed copy.
+
+use spectral_bloom::BloomFilter;
+use std::collections::HashSet;
+
+/// One cache node: its actual contents plus the Bloom summary it last
+/// published.
+#[derive(Debug, Clone)]
+pub struct CacheNode {
+    /// Node identifier.
+    pub id: usize,
+    contents: HashSet<u64>,
+    summary: BloomFilter,
+    summary_stale: bool,
+}
+
+impl CacheNode {
+    /// An empty node whose summaries use `m` bits and `k` hashes.
+    pub fn new(id: usize, m: usize, k: usize, seed: u64) -> Self {
+        CacheNode {
+            id,
+            contents: HashSet::new(),
+            summary: BloomFilter::new(m, k, seed),
+            summary_stale: false,
+        }
+    }
+
+    /// Caches an object locally (the summary is updated in place — Bloom
+    /// filters absorb insertions without rebuilds).
+    pub fn store(&mut self, object: u64) {
+        self.contents.insert(object);
+        self.summary.insert(&object);
+    }
+
+    /// Evicts an object. Plain Bloom summaries cannot delete, so the
+    /// summary goes stale until the next publish — exactly the drift
+    /// Summary Cache tolerates (and the SBF's deletable counters fix).
+    pub fn evict(&mut self, object: u64) {
+        if self.contents.remove(&object) {
+            self.summary_stale = true;
+        }
+    }
+
+    /// Whether the node actually holds `object`.
+    pub fn holds(&self, object: u64) -> bool {
+        self.contents.contains(&object)
+    }
+
+    /// Rebuilds the summary from current contents (a publish cycle).
+    pub fn publish(&mut self, seed: u64) -> &BloomFilter {
+        if self.summary_stale {
+            let mut fresh = BloomFilter::new(self.summary.m(), self.summary.k(), seed);
+            for &obj in &self.contents {
+                fresh.insert(&obj);
+            }
+            self.summary = fresh;
+            self.summary_stale = false;
+        }
+        &self.summary
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.contents.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.contents.is_empty()
+    }
+}
+
+/// Outcome of a routed lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupOutcome {
+    /// Node that returned the object, if any.
+    pub found_at: Option<usize>,
+    /// Remote probes performed (wasted ones are `probes - found_at.is_some()`).
+    pub probes: usize,
+}
+
+/// A flat cluster of cache nodes exchanging Bloom summaries.
+#[derive(Debug, Clone)]
+pub struct SummaryCacheCluster {
+    nodes: Vec<CacheNode>,
+    seed: u64,
+    /// Bytes spent broadcasting summaries so far.
+    pub summary_bytes: usize,
+}
+
+impl SummaryCacheCluster {
+    /// `n` empty nodes with `m`-bit, `k`-hash summaries.
+    pub fn new(n: usize, m: usize, k: usize, seed: u64) -> Self {
+        let nodes = (0..n).map(|id| CacheNode::new(id, m, k, seed)).collect();
+        SummaryCacheCluster { nodes, seed, summary_bytes: 0 }
+    }
+
+    /// Mutable access to node `id` (to store/evict objects).
+    pub fn node_mut(&mut self, id: usize) -> &mut CacheNode {
+        &mut self.nodes[id]
+    }
+
+    /// Runs a publish cycle: every node refreshes and "broadcasts" its
+    /// summary (each summary travels to `n − 1` peers).
+    pub fn exchange_summaries(&mut self) {
+        let n = self.nodes.len();
+        let seed = self.seed;
+        for node in &mut self.nodes {
+            let summary = node.publish(seed);
+            self.summary_bytes += summary.storage_bits().div_ceil(8) * (n - 1);
+        }
+    }
+
+    /// Looks up `object` on behalf of `requester`: local first, then every
+    /// peer whose summary claims the object (false positives are paid as
+    /// wasted probes, exactly the Summary-Cache cost model).
+    pub fn lookup(&self, requester: usize, object: u64) -> LookupOutcome {
+        if self.nodes[requester].holds(object) {
+            return LookupOutcome { found_at: Some(requester), probes: 0 };
+        }
+        let mut probes = 0;
+        for node in &self.nodes {
+            if node.id == requester {
+                continue;
+            }
+            if node.summary.contains(&object) {
+                probes += 1;
+                if node.holds(object) {
+                    return LookupOutcome { found_at: Some(node.id), probes };
+                }
+            }
+        }
+        LookupOutcome { found_at: None, probes }
+    }
+}
+
+/// An attenuated Bloom filter: `levels[d]` summarizes the objects stored
+/// `d` hops away along a chain of peers (level 0 = the node itself).
+#[derive(Debug, Clone)]
+pub struct AttenuatedFilter {
+    levels: Vec<BloomFilter>,
+}
+
+impl AttenuatedFilter {
+    /// Builds a node's attenuated filter over a path of caches:
+    /// `path[d]` holds the object sets of the node `d` hops away.
+    pub fn build(path: &[&HashSet<u64>], m: usize, k: usize, seed: u64) -> Self {
+        let levels = path
+            .iter()
+            .map(|contents| {
+                let mut bf = BloomFilter::new(m, k, seed);
+                for &obj in contents.iter() {
+                    bf.insert(&obj);
+                }
+                bf
+            })
+            .collect();
+        AttenuatedFilter { levels }
+    }
+
+    /// Number of levels (the filter's horizon in hops).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The smallest hop count at which the object is claimed, if any —
+    /// the routing decision of [RK02]: forward toward the nearest claim.
+    pub fn nearest_claim(&self, object: u64) -> Option<usize> {
+        self.levels.iter().position(|bf| bf.contains(&object))
+    }
+}
+
+
+/// A cache node whose summary is an SBF instead of a plain Bloom filter.
+///
+/// This closes the loop on the paper's №1 motivating lineage: Fan et al.
+/// attached counters to Summary Cache's bits precisely so evictions could
+/// update summaries in place, and the SBF generalizes those counters. With
+/// an [`SbfCacheNode`] an eviction withdraws the claim *immediately* — no
+/// stale window, no republish cycle.
+#[derive(Debug, Clone)]
+pub struct SbfCacheNode {
+    /// Node identifier.
+    pub id: usize,
+    contents: HashSet<u64>,
+    summary: spectral_bloom::MsSbf,
+}
+
+impl SbfCacheNode {
+    /// An empty node with an `m`-counter, `k`-hash SBF summary.
+    pub fn new(id: usize, m: usize, k: usize, seed: u64) -> Self {
+        use spectral_bloom::MsSbf;
+        SbfCacheNode { id, contents: HashSet::new(), summary: MsSbf::new(m, k, seed) }
+    }
+
+    /// Caches an object; the summary is updated in place.
+    pub fn store(&mut self, object: u64) {
+        use spectral_bloom::MultisetSketch;
+        if self.contents.insert(object) {
+            self.summary.insert(&object);
+        }
+    }
+
+    /// Evicts an object; the summary withdraws the claim *now* (the SBF's
+    /// deletion support — a plain Bloom summary would go stale).
+    pub fn evict(&mut self, object: u64) {
+        use spectral_bloom::MultisetSketch;
+        if self.contents.remove(&object) {
+            self.summary
+                .remove(&object)
+                .expect("every stored object was inserted into the summary");
+        }
+    }
+
+    /// Whether the node actually holds `object`.
+    pub fn holds(&self, object: u64) -> bool {
+        self.contents.contains(&object)
+    }
+
+    /// Whether the current summary claims `object`.
+    pub fn summary_claims(&self, object: u64) -> bool {
+        use spectral_bloom::MultisetSketch;
+        self.summary.contains(&object)
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.contents.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.contents.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated_cluster() -> SummaryCacheCluster {
+        let mut c = SummaryCacheCluster::new(4, 8192, 5, 42);
+        for obj in 0u64..300 {
+            c.node_mut((obj % 4) as usize).store(obj);
+        }
+        c.exchange_summaries();
+        c
+    }
+
+    #[test]
+    fn lookups_find_remote_objects() {
+        let c = populated_cluster();
+        for obj in 0u64..300 {
+            let out = c.lookup(0, obj);
+            assert_eq!(out.found_at, Some((obj % 4) as usize), "object {obj}");
+            // The holder was among the claimed nodes; probes ≤ peers.
+            assert!(out.probes <= 3);
+        }
+    }
+
+    #[test]
+    fn absent_objects_cost_few_wasted_probes() {
+        let c = populated_cluster();
+        let mut wasted = 0usize;
+        for obj in 10_000u64..11_000 {
+            let out = c.lookup(0, obj);
+            assert_eq!(out.found_at, None);
+            wasted += out.probes;
+        }
+        // Per query: 3 peers × E_b(300/4 keys in 8192 bits, k=5) ≈ 0 — a
+        // handful over 1000 queries at most.
+        assert!(wasted < 30, "{wasted} wasted probes");
+    }
+
+    #[test]
+    fn eviction_goes_stale_then_republishes() {
+        let mut c = populated_cluster();
+        c.node_mut(1).evict(1);
+        // Stale summary still claims object 1 → a wasted probe.
+        let out = c.lookup(0, 1);
+        assert_eq!(out.found_at, None);
+        assert!(out.probes >= 1, "stale summary should cost a probe");
+        // After a publish cycle the claim disappears.
+        c.exchange_summaries();
+        let out = c.lookup(0, 1);
+        assert_eq!(out.probes, 0);
+    }
+
+    #[test]
+    fn summary_broadcast_bytes_are_accounted() {
+        let mut c = SummaryCacheCluster::new(3, 8000, 5, 1);
+        c.exchange_summaries();
+        assert_eq!(c.summary_bytes, 1000 * 2 * 3);
+    }
+
+
+    #[test]
+    fn sbf_summary_withdraws_claims_on_eviction() {
+        // The plain-Bloom node goes stale on evict (tested above); the SBF
+        // node does not — the counting-filter lineage the paper extends.
+        let mut node = SbfCacheNode::new(0, 4096, 5, 11);
+        for obj in 0u64..200 {
+            node.store(obj);
+        }
+        assert!(node.summary_claims(7));
+        node.evict(7);
+        assert!(!node.holds(7));
+        assert!(!node.summary_claims(7), "SBF summary must withdraw immediately");
+        // Other claims survive the eviction.
+        for obj in (0u64..200).filter(|&o| o != 7) {
+            assert!(node.summary_claims(obj), "claim for {obj} lost");
+        }
+    }
+
+    #[test]
+    fn sbf_summary_survives_churn() {
+        let mut node = SbfCacheNode::new(1, 8192, 5, 12);
+        // LRU-ish churn: store 0..1000, keep only the last 200 alive.
+        for obj in 0u64..1000 {
+            node.store(obj);
+            if obj >= 200 {
+                node.evict(obj - 200);
+            }
+        }
+        assert_eq!(node.len(), 200);
+        let stale_claims = (0u64..800).filter(|&o| node.summary_claims(o)).count();
+        assert!(stale_claims <= 8, "{stale_claims} stale claims after churn");
+        for obj in 800u64..1000 {
+            assert!(node.summary_claims(obj));
+        }
+    }
+
+    #[test]
+    fn attenuated_filter_routes_to_nearest_copy() {
+        let near: HashSet<u64> = [1, 2].into_iter().collect();
+        let mid: HashSet<u64> = [3].into_iter().collect();
+        let far: HashSet<u64> = [3, 4].into_iter().collect();
+        let own: HashSet<u64> = HashSet::new();
+        let filter = AttenuatedFilter::build(&[&own, &near, &mid, &far], 1024, 4, 7);
+        assert_eq!(filter.depth(), 4);
+        assert_eq!(filter.nearest_claim(1), Some(1));
+        assert_eq!(filter.nearest_claim(3), Some(2), "mid copy beats far copy");
+        assert_eq!(filter.nearest_claim(4), Some(3));
+        assert_eq!(filter.nearest_claim(99), None);
+    }
+}

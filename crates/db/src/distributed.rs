@@ -1,0 +1,171 @@
+//! Partitioned relations and union-based global queries (§2.2,
+//! "Distributed processing").
+//!
+//! "This happens frequently in distributed data base systems, where a
+//! single relation is partitioned to several sites, each containing a
+//! fraction of the entire data-set... SBFs can be united simply by
+//! addition of their counter vectors." Each site builds an SBF over its
+//! shard with shared parameters; the coordinator collects the wire-encoded
+//! filters, adds the counters, and answers global multiplicity and
+//! threshold queries without touching a single remote tuple.
+
+use spectral_bloom::{CounterStore, MsSbf, MultisetSketch};
+
+use crate::network::Network;
+use crate::relation::Relation;
+use crate::wire;
+
+/// A relation horizontally partitioned across sites.
+#[derive(Debug, Clone)]
+pub struct PartitionedRelation {
+    /// The shards, one per site.
+    pub shards: Vec<Relation>,
+}
+
+impl PartitionedRelation {
+    /// Hash-partitions `keys` across `sites` shards.
+    pub fn partition(name: &str, keys: &[u64], sites: usize, tuple_bytes: usize) -> Self {
+        assert!(sites > 0, "need at least one site");
+        let mut per_site: Vec<Vec<u64>> = vec![Vec::new(); sites];
+        for &key in keys {
+            per_site[(sbf_hash::fmix64(key) % sites as u64) as usize].push(key);
+        }
+        let shards = per_site
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard)| Relation::from_keys(format!("{name}[{i}]"), &shard, tuple_bytes))
+            .collect();
+        PartitionedRelation { shards }
+    }
+
+    /// Total tuples across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(Relation::len).sum()
+    }
+
+    /// Whether all shards are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Exact global frequency of `key` (ground truth for tests).
+    pub fn global_count(&self, key: u64) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.tuples.iter().filter(|t| t.key == key).count() as u64)
+            .sum()
+    }
+}
+
+/// The coordinator's view: a united SBF plus the network cost of
+/// assembling it.
+#[derive(Debug)]
+pub struct GlobalSynopsis {
+    /// The union filter (counter-added shard filters).
+    pub filter: MsSbf,
+    /// Bytes/messages spent collecting the shard filters.
+    pub network: Network,
+}
+
+/// Builds per-shard SBFs with shared parameters, ships them (wire-encoded)
+/// to the coordinator, and unites them by counter addition.
+pub fn build_global_synopsis(
+    relation: &PartitionedRelation,
+    m: usize,
+    k: usize,
+    seed: u64,
+) -> GlobalSynopsis {
+    let mut network = Network::new();
+    let mut union: MsSbf = MsSbf::new(m, k, seed);
+    for shard in &relation.shards {
+        // Site-local build.
+        let mut local: MsSbf = MsSbf::new(m, k, seed);
+        for t in &shard.tuples {
+            local.insert(&t.key);
+        }
+        // Ship and unite. (The union precondition — identical parameters
+        // and hash functions — is guaranteed by the shared plan.)
+        let frame =
+            wire::encode_counters((0..m).map(|i| local.core().store().get(i)));
+        network.send(frame.len());
+        let decoded = wire::decode_counters(&frame).expect("self-produced frame");
+        let mut remote: MsSbf = MsSbf::new(m, k, seed);
+        for (i, &c) in decoded.iter().enumerate() {
+            remote.core_mut().store_mut().set(i, c);
+        }
+        // Totals travel implicitly: counter mass / k.
+        let mass: u64 = decoded.iter().sum();
+        remote.core_mut().add_to_total(mass / k.max(1) as u64);
+        union.union_assign(&remote);
+    }
+    GlobalSynopsis { filter: union, network }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbf_hash::SplitMix64;
+
+    fn skewed_keys(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| {
+                let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                ((u * u * u) * 2000.0) as u64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn union_answers_global_queries() {
+        let keys = skewed_keys(30_000, 1);
+        let rel = PartitionedRelation::partition("events", &keys, 5, 32);
+        assert_eq!(rel.len(), 30_000);
+        let g = build_global_synopsis(&rel, 20_000, 5, 9);
+        assert_eq!(g.filter.total_count(), 30_000);
+        // Global estimates dominate the exact global counts (one-sided).
+        for key in (0u64..2000).step_by(97) {
+            let truth = rel.global_count(key);
+            assert!(g.filter.estimate(&key) >= truth, "key {key}");
+        }
+        // And are mostly exact at this load.
+        let exact = (0u64..2000)
+            .filter(|&k| g.filter.estimate(&k) == rel.global_count(k))
+            .count();
+        assert!(exact >= 1900, "only {exact}/2000 exact");
+    }
+
+    #[test]
+    fn synopsis_is_cheaper_than_centralizing_tuples() {
+        let keys = skewed_keys(30_000, 2);
+        let rel = PartitionedRelation::partition("events", &keys, 5, 32);
+        let g = build_global_synopsis(&rel, 20_000, 5, 9);
+        let centralize: usize = rel.shards.iter().map(Relation::ship_all_bytes).sum();
+        assert!(
+            g.network.bytes < centralize / 5,
+            "synopses {} vs centralizing {}",
+            g.network.bytes,
+            centralize
+        );
+        assert_eq!(g.network.messages, 5, "one message per site");
+    }
+
+    #[test]
+    fn partitioning_is_disjoint_and_complete() {
+        let keys: Vec<u64> = (0..1000).collect();
+        let rel = PartitionedRelation::partition("r", &keys, 4, 8);
+        let total: usize = rel.shards.iter().map(Relation::len).sum();
+        assert_eq!(total, 1000);
+        for key in 0u64..1000 {
+            assert_eq!(rel.global_count(key), 1);
+        }
+    }
+
+    #[test]
+    fn single_site_degenerates_gracefully() {
+        let rel = PartitionedRelation::partition("r", &[1, 1, 2], 1, 8);
+        let g = build_global_synopsis(&rel, 256, 4, 3);
+        assert_eq!(g.filter.estimate(&1u64), 2);
+        assert_eq!(g.filter.estimate(&2u64), 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! A chained hash table with pluggable hash functions — the LEDA stand-in.
+//!
+//! §6.4 compares the SBF's speed and storage against "the hash table
+//! implementation found in LEDA, which uses chaining for collision
+//! resolving", with "the same hash functions used in the SBF plugged in".
+//! This table reproduces that setup: one bucket array, separate chaining,
+//! a single hash function drawn from any `sbf-hash` family. Unlike the
+//! SBF it must store the *keys* to resolve collisions — the storage the
+//! paper's Figure 15 charges against it.
+
+use sbf_hash::{HashFamily, Key, MixFamily};
+
+/// A counting hash table: key → u64 count, separate chaining.
+#[derive(Debug, Clone)]
+pub struct ChainedHashTable<F: HashFamily = MixFamily> {
+    family: F,
+    buckets: Vec<Vec<(u64, u64)>>,
+    items: usize,
+}
+
+impl ChainedHashTable<MixFamily> {
+    /// A table with `buckets` buckets and the default hash family.
+    pub fn new(buckets: usize, seed: u64) -> Self {
+        Self::from_family(MixFamily::new(buckets, 1, seed))
+    }
+}
+
+impl<F: HashFamily> ChainedHashTable<F> {
+    /// Builds over an explicit family (only its first hash function is
+    /// used — a table needs one).
+    pub fn from_family(family: F) -> Self {
+        let buckets = vec![Vec::new(); family.m()];
+        ChainedHashTable { family, buckets, items: 0 }
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Number of distinct keys stored.
+    pub fn len(&self) -> usize {
+        self.items
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    #[inline]
+    fn bucket_of<K: Key + ?Sized>(&self, key: &K) -> usize {
+        self.family.indexes(key)[0]
+    }
+
+    /// Adds `by` to `key`'s count (inserting it at 0 first if new).
+    pub fn increment<K: Key + ?Sized>(&mut self, key: &K, by: u64) {
+        let canon = key.canonical();
+        let b = self.bucket_of(key);
+        for entry in &mut self.buckets[b] {
+            if entry.0 == canon {
+                entry.1 += by;
+                return;
+            }
+        }
+        self.buckets[b].push((canon, by));
+        self.items += 1;
+    }
+
+    /// The exact count of `key` (0 if absent).
+    pub fn get<K: Key + ?Sized>(&self, key: &K) -> u64 {
+        let canon = key.canonical();
+        self.buckets[self.bucket_of(key)]
+            .iter()
+            .find(|e| e.0 == canon)
+            .map_or(0, |e| e.1)
+    }
+
+    /// Subtracts `by`, removing the key when it reaches 0. Returns `false`
+    /// if the key is absent or holds less than `by`.
+    pub fn decrement<K: Key + ?Sized>(&mut self, key: &K, by: u64) -> bool {
+        let canon = key.canonical();
+        let b = self.bucket_of(key);
+        let bucket = &mut self.buckets[b];
+        if let Some(pos) = bucket.iter().position(|e| e.0 == canon) {
+            if bucket[pos].1 < by {
+                return false;
+            }
+            bucket[pos].1 -= by;
+            if bucket[pos].1 == 0 {
+                bucket.swap_remove(pos);
+                self.items -= 1;
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Length of the longest chain (the collision-degradation §6.4 observes
+    /// on large tables with weak hash functions).
+    pub fn max_chain(&self) -> usize {
+        self.buckets.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Storage in bits: bucket headers + stored `(key, count)` pairs.
+    /// The key storage is the structural cost Figure 15 compares against
+    /// the string-array index.
+    pub fn storage_bits(&self) -> usize {
+        self.buckets.len() * 64 + self.items * 128
+    }
+
+    /// Iterates over all `(key, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().flatten().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_exact() {
+        let mut t = ChainedHashTable::new(64, 1);
+        for key in 0u64..1000 {
+            t.increment(&key, key % 7 + 1);
+        }
+        assert_eq!(t.len(), 1000);
+        for key in 0u64..1000 {
+            assert_eq!(t.get(&key), key % 7 + 1, "key {key}");
+        }
+        assert_eq!(t.get(&5000u64), 0);
+    }
+
+    #[test]
+    fn chains_absorb_collisions() {
+        let mut t = ChainedHashTable::new(4, 2); // 1000 keys → 4 buckets
+        for key in 0u64..1000 {
+            t.increment(&key, 1);
+        }
+        assert!(t.max_chain() >= 200, "chains must be long: {}", t.max_chain());
+        assert_eq!(t.iter().count(), 1000);
+    }
+
+    #[test]
+    fn decrement_removes_at_zero() {
+        let mut t = ChainedHashTable::new(16, 3);
+        t.increment(&1u64, 5);
+        assert!(t.decrement(&1u64, 3));
+        assert_eq!(t.get(&1u64), 2);
+        assert!(!t.decrement(&1u64, 10), "over-decrement must fail");
+        assert!(t.decrement(&1u64, 2));
+        assert_eq!(t.get(&1u64), 0);
+        assert_eq!(t.len(), 0);
+        assert!(!t.decrement(&1u64, 1), "absent key");
+    }
+
+    #[test]
+    fn string_keys() {
+        let mut t = ChainedHashTable::new(32, 4);
+        t.increment(&"alpha", 2);
+        t.increment(&"beta", 3);
+        assert_eq!(t.get(&"alpha"), 2);
+        assert_eq!(t.get(&"beta"), 3);
+        assert_eq!(t.get(&"gamma"), 0);
+    }
+
+    #[test]
+    fn storage_grows_with_items() {
+        let mut t = ChainedHashTable::new(128, 5);
+        let empty = t.storage_bits();
+        for key in 0u64..100 {
+            t.increment(&key, 1);
+        }
+        assert_eq!(t.storage_bits(), empty + 100 * 128);
+    }
+}

@@ -1,0 +1,119 @@
+//! Relations: named collections of `(join-key, payload)` tuples.
+
+use std::collections::HashMap;
+
+use sbf_hash::SplitMix64;
+
+/// One tuple: the join attribute plus an opaque payload standing in for the
+/// rest of the row (its size is what shipping a tuple costs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tuple {
+    /// The join-attribute value.
+    pub key: u64,
+    /// Opaque payload (row id / rest-of-row surrogate).
+    pub payload: u64,
+}
+
+/// A relation with a designated join attribute.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    /// Human-readable name (for reports).
+    pub name: String,
+    /// The tuples.
+    pub tuples: Vec<Tuple>,
+    /// Bytes one shipped tuple costs on the wire.
+    pub tuple_bytes: usize,
+}
+
+impl Relation {
+    /// An empty relation; shipped tuples cost `tuple_bytes` each (the paper
+    /// never fixes row width, so it is a parameter).
+    pub fn new(name: impl Into<String>, tuple_bytes: usize) -> Self {
+        Relation { name: name.into(), tuples: Vec::new(), tuple_bytes }
+    }
+
+    /// Builds from raw join-key values (payload = row index).
+    pub fn from_keys(name: impl Into<String>, keys: &[u64], tuple_bytes: usize) -> Self {
+        let tuples = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &key)| Tuple { key, payload: i as u64 })
+            .collect();
+        Relation { name: name.into(), tuples, tuple_bytes }
+    }
+
+    /// Synthesizes a relation with `rows` tuples whose keys are drawn
+    /// uniformly from `0..key_space`, deterministic in `seed`.
+    pub fn synthetic_uniform(
+        name: impl Into<String>,
+        rows: usize,
+        key_space: u64,
+        tuple_bytes: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0x4e1a_0007u64);
+        let keys: Vec<u64> = (0..rows).map(|_| rng.next_below(key_space)).collect();
+        Self::from_keys(name, &keys, tuple_bytes)
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Exact group counts over the join attribute.
+    pub fn group_counts(&self) -> HashMap<u64, u64> {
+        let mut counts = HashMap::new();
+        for t in &self.tuples {
+            *counts.entry(t.key).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Number of distinct join-attribute values.
+    pub fn distinct_keys(&self) -> usize {
+        self.group_counts().len()
+    }
+
+    /// Cost of shipping the whole relation, in bytes.
+    pub fn ship_all_bytes(&self) -> usize {
+        self.len() * self.tuple_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_counts_are_exact() {
+        let r = Relation::from_keys("r", &[1, 2, 2, 3, 3, 3], 16);
+        let g = r.group_counts();
+        assert_eq!(g[&1], 1);
+        assert_eq!(g[&2], 2);
+        assert_eq!(g[&3], 3);
+        assert_eq!(r.distinct_keys(), 3);
+        assert_eq!(r.ship_all_bytes(), 6 * 16);
+    }
+
+    #[test]
+    fn synthetic_is_deterministic() {
+        let a = Relation::synthetic_uniform("a", 1000, 100, 8, 1);
+        let b = Relation::synthetic_uniform("b", 1000, 100, 8, 1);
+        assert_eq!(a.tuples, b.tuples);
+        assert!(a.distinct_keys() <= 100);
+        assert!(a.distinct_keys() > 90, "1000 draws should hit most of 100 keys");
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = Relation::new("empty", 8);
+        assert!(r.is_empty());
+        assert!(r.group_counts().is_empty());
+    }
+}

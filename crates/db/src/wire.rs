@@ -1,0 +1,265 @@
+//! Wire encoding of SBF counter vectors.
+//!
+//! §4.7.1 motivates keeping the filter in "one continuous block" so it can
+//! be shipped between sites as a message. This module provides that wire
+//! form for the distributed join algorithms: counters are Elias-δ coded
+//! back-to-back (so a lightly-loaded SBF costs far less than `m` words) and
+//! framed with the counter count. Hash parameters travel out of band — the
+//! paper's precondition for union/multiply is that both sites already
+//! agreed on `(m, k, seed)`.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use sbf_encoding::{Codec, EliasDelta};
+
+/// Encodes a counter vector into a framed byte message.
+pub fn encode_counters(counters: impl ExactSizeIterator<Item = u64>) -> Bytes {
+    let m = counters.len() as u64;
+    let values: Vec<u64> = counters.collect();
+    let bits = EliasDelta.encode_all(&values);
+    let mut buf = BytesMut::with_capacity(16 + bits.words().len() * 8);
+    buf.put_u64_le(m);
+    buf.put_u64_le(bits.len() as u64);
+    for &w in bits.words() {
+        buf.put_u64_le(w);
+    }
+    buf.freeze()
+}
+
+/// Decoding failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame is shorter than its header claims.
+    Truncated,
+    /// A counter codeword was malformed.
+    BadCodeword,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire frame truncated"),
+            WireError::BadCodeword => write!(f, "malformed counter codeword"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Decodes a framed counter vector.
+pub fn decode_counters(frame: &[u8]) -> Result<Vec<u64>, WireError> {
+    if frame.len() < 16 {
+        return Err(WireError::Truncated);
+    }
+    let m = u64::from_le_bytes(frame[0..8].try_into().expect("sized slice")) as usize;
+    let bit_len = u64::from_le_bytes(frame[8..16].try_into().expect("sized slice")) as usize;
+    let need_words = bit_len.div_ceil(64);
+    if frame.len() < 16 + need_words * 8 {
+        return Err(WireError::Truncated);
+    }
+    let mut bits = sbf_bitvec_from_words(&frame[16..16 + need_words * 8], bit_len);
+    let mut reader = sbf_bitvec::BitReader::new(&bits);
+    let out = EliasDelta
+        .decode_all(&mut reader, m)
+        .ok_or(WireError::BadCodeword)?;
+    // Tail bits past the last codeword must be empty padding only.
+    bits.resize(bit_len);
+    Ok(out)
+}
+
+fn sbf_bitvec_from_words(bytes: &[u8], bit_len: usize) -> sbf_bitvec::BitVec {
+    let mut v = sbf_bitvec::BitVec::zeros(bit_len);
+    for (w, chunk) in bytes.chunks_exact(8).enumerate() {
+        let word = u64::from_le_bytes(chunk.try_into().expect("sized chunk"));
+        let lo = w * 64;
+        if lo >= bit_len {
+            break;
+        }
+        let width = 64.min(bit_len - lo);
+        let masked = if width == 64 { word } else { word & ((1u64 << width) - 1) };
+        v.write_bits(lo, width, masked);
+    }
+    v
+}
+
+/// Wire size in bytes of a counter vector without materializing the frame.
+pub fn encoded_size(counters: impl Iterator<Item = u64>) -> usize {
+    let bits: usize = counters.map(|c| EliasDelta.encoded_len(c)).sum();
+    16 + bits.div_ceil(64) * 8
+}
+
+
+/// Algorithm tag carried in a [`FilterEnvelope`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterKind {
+    /// A plain Bloom filter (bit vector shipped as 0/1 counters).
+    Bloom,
+    /// A Minimum Selection SBF.
+    MinimumSelection,
+    /// A Minimal Increase SBF.
+    MinimalIncrease,
+    /// A Recurring Minimum SBF (primary counters only; the secondary
+    /// travels as its own envelope).
+    RecurringMinimum,
+}
+
+impl FilterKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            FilterKind::Bloom => 0,
+            FilterKind::MinimumSelection => 1,
+            FilterKind::MinimalIncrease => 2,
+            FilterKind::RecurringMinimum => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(FilterKind::Bloom),
+            1 => Some(FilterKind::MinimumSelection),
+            2 => Some(FilterKind::MinimalIncrease),
+            3 => Some(FilterKind::RecurringMinimum),
+            _ => None,
+        }
+    }
+}
+
+/// A self-describing filter message: algorithm, parameters and counters.
+///
+/// This is the "Bloom filter as a message" of §1.1.1/§4.7.1 made concrete:
+/// the receiving site can reconstruct a compatible filter (same `m`, `k`,
+/// `seed` — the union/multiply precondition) without out-of-band
+/// agreement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterEnvelope {
+    /// Which algorithm produced the counters.
+    pub kind: FilterKind,
+    /// Number of hash functions.
+    pub k: u32,
+    /// Hash seed both sites must share.
+    pub seed: u64,
+    /// The counter vector (length `m`).
+    pub counters: Vec<u64>,
+}
+
+impl FilterEnvelope {
+    /// Serializes: magic, version, kind, k, seed, then the counter frame.
+    pub fn encode(&self) -> Bytes {
+        let payload = encode_counters(self.counters.iter().copied());
+        let mut buf = BytesMut::with_capacity(24 + payload.len());
+        buf.put_u32_le(0x5BF0_CAFE); // magic
+        buf.put_u8(1); // version
+        buf.put_u8(self.kind.to_byte());
+        buf.put_u32_le(self.k);
+        buf.put_u64_le(self.seed);
+        buf.extend_from_slice(&payload);
+        buf.freeze()
+    }
+
+    /// Deserializes, validating magic/version/kind and the counter frame.
+    /// Never panics on malformed input (fuzzed in the tests).
+    pub fn decode(frame: &[u8]) -> Result<Self, WireError> {
+        if frame.len() < 18 {
+            return Err(WireError::Truncated);
+        }
+        let magic = u32::from_le_bytes(frame[0..4].try_into().expect("sized"));
+        if magic != 0x5BF0_CAFE {
+            return Err(WireError::BadCodeword);
+        }
+        if frame[4] != 1 {
+            return Err(WireError::BadCodeword); // unknown version
+        }
+        let kind = FilterKind::from_byte(frame[5]).ok_or(WireError::BadCodeword)?;
+        let k = u32::from_le_bytes(frame[6..10].try_into().expect("sized"));
+        let seed = u64::from_le_bytes(frame[10..18].try_into().expect("sized"));
+        let counters = decode_counters(&frame[18..])?;
+        Ok(FilterEnvelope { kind, k, seed, counters })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::prop_assert_eq;
+
+    #[test]
+    fn roundtrip() {
+        let counters: Vec<u64> = (0..5000).map(|i| (i * i) % 97).collect();
+        let frame = encode_counters(counters.iter().copied());
+        let back = decode_counters(&frame).unwrap();
+        assert_eq!(back, counters);
+    }
+
+    #[test]
+    fn sparse_filters_are_tiny_on_the_wire() {
+        // 10k counters, 100 of them 3, rest 0: Elias-δ spends 1 bit per zero.
+        let counters: Vec<u64> = (0..10_000).map(|i| if i % 100 == 0 { 3 } else { 0 }).collect();
+        let frame = encode_counters(counters.iter().copied());
+        assert!(frame.len() < 10_000 / 4, "frame {} bytes", frame.len());
+        assert_eq!(frame.len(), encoded_size(counters.iter().copied()));
+        assert_eq!(decode_counters(&frame).unwrap(), counters);
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let counters: Vec<u64> = (0..100).collect();
+        let frame = encode_counters(counters.iter().copied());
+        assert_eq!(decode_counters(&frame[..8]), Err(WireError::Truncated));
+        assert_eq!(decode_counters(&frame[..frame.len() - 8]), Err(WireError::Truncated));
+    }
+
+
+    #[test]
+    fn envelope_roundtrip() {
+        let env = FilterEnvelope {
+            kind: FilterKind::MinimumSelection,
+            k: 5,
+            seed: 0xDEADBEEF,
+            counters: (0..2000).map(|i| i % 13).collect(),
+        };
+        let frame = env.encode();
+        assert_eq!(FilterEnvelope::decode(&frame).unwrap(), env);
+    }
+
+    #[test]
+    fn envelope_rejects_garbage_headers() {
+        let env = FilterEnvelope {
+            kind: FilterKind::Bloom,
+            k: 3,
+            seed: 7,
+            counters: vec![1, 0, 1],
+        };
+        let mut frame = env.encode().to_vec();
+        frame[0] ^= 0xFF; // corrupt magic
+        assert_eq!(FilterEnvelope::decode(&frame), Err(WireError::BadCodeword));
+        let mut frame = env.encode().to_vec();
+        frame[4] = 9; // unknown version
+        assert_eq!(FilterEnvelope::decode(&frame), Err(WireError::BadCodeword));
+        let mut frame = env.encode().to_vec();
+        frame[5] = 200; // unknown kind
+        assert_eq!(FilterEnvelope::decode(&frame), Err(WireError::BadCodeword));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(256))]
+
+        /// Decoders must never panic on arbitrary bytes — they are the
+        /// network-facing surface of the distributed schemes.
+        #[test]
+        fn decode_never_panics_on_fuzz(bytes in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..400)) {
+            let _ = decode_counters(&bytes);
+            let _ = FilterEnvelope::decode(&bytes);
+        }
+
+        #[test]
+        fn counter_roundtrip_prop(counters in proptest::collection::vec(0u64..(1u64 << 50), 0..300)) {
+            let frame = encode_counters(counters.iter().copied());
+            prop_assert_eq!(decode_counters(&frame).unwrap(), counters);
+        }
+    }
+
+    #[test]
+    fn empty_vector() {
+        let frame = encode_counters(std::iter::empty::<u64>().collect::<Vec<_>>().iter().copied());
+        assert_eq!(decode_counters(&frame).unwrap(), Vec::<u64>::new());
+    }
+}

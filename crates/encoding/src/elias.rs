@@ -1,0 +1,212 @@
+//! Elias γ and δ universal codes (Elias 1975).
+//!
+//! Both codes are defined over positive integers. Following the paper's
+//! footnote, the public codecs accept any `u64` value `v` and internally
+//! code `v + 1`, so 0 is representable and the advertised lengths match the
+//! paper's `L₂(n)` formula shifted by one.
+
+use crate::codec::Codec;
+use crate::bit_len;
+use sbf_bitvec::{BitReader, BitWriter};
+
+/// Writes the binary digits of `v` MSB-first, `width` of them.
+#[inline]
+fn write_msb(v: u64, width: usize, w: &mut BitWriter) {
+    for i in (0..width).rev() {
+        w.write_bit((v >> i) & 1 == 1);
+    }
+}
+
+/// Reads `width` bits MSB-first.
+#[inline]
+fn read_msb(width: usize, r: &mut BitReader<'_>) -> Option<u64> {
+    let mut v = 0u64;
+    for _ in 0..width {
+        v = (v << 1) | u64::from(r.read_bit()?);
+    }
+    Some(v)
+}
+
+/// Encodes positive `n`: `⌊log₂n⌋` zeros, then `n` MSB-first (leading 1
+/// included). Length `2⌊log₂n⌋ + 1`.
+fn gamma_encode_pos(n: u64, w: &mut BitWriter) {
+    debug_assert!(n >= 1);
+    let len = bit_len(n);
+    w.write_run(false, len - 1);
+    write_msb(n, len, w);
+}
+
+fn gamma_decode_pos(r: &mut BitReader<'_>) -> Option<u64> {
+    let zeros = r.read_unary_zeros()?;
+    // The next bit is the leading 1; read it plus `zeros` more.
+    read_msb(zeros + 1, r)
+}
+
+/// Elias γ over `u64` (internally coding `v + 1`).
+///
+/// γ spends `2⌊log₂(v+1)⌋ + 1` bits; optimal when values follow a
+/// `P(v) ∝ 1/v²`-ish law — it is also the header that δ uses for lengths.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EliasGamma;
+
+impl Codec for EliasGamma {
+    fn encode(&self, value: u64, w: &mut BitWriter) {
+        assert!(value <= self.max_value(), "value out of EliasGamma domain");
+        gamma_encode_pos(value + 1, w);
+    }
+
+    fn decode(&self, r: &mut BitReader<'_>) -> Option<u64> {
+        gamma_decode_pos(r).map(|n| n - 1)
+    }
+
+    fn encoded_len(&self, value: u64) -> usize {
+        2 * bit_len(value + 1) - 1
+    }
+
+    fn max_value(&self) -> u64 {
+        u64::MAX - 1
+    }
+}
+
+/// Elias δ over `u64` (internally coding `v + 1`).
+///
+/// δ writes γ(bitlen(n)) followed by the `bitlen(n) − 1` low bits of `n`;
+/// total length `⌊log₂n⌋ + 2⌊log₂(⌊log₂n⌋+1)⌋ + 1` — the `L₂(n)` of §4.5.
+/// Asymptotically optimal for any power-law and the workhorse of the
+/// compact counter representation.
+///
+/// ```
+/// use sbf_encoding::{Codec, EliasDelta};
+/// use sbf_bitvec::BitReader;
+///
+/// let bits = EliasDelta.encode_all(&[0, 1, 1000]);
+/// let mut r = BitReader::new(&bits);
+/// assert_eq!(EliasDelta.decode_all(&mut r, 3), Some(vec![0, 1, 1000]));
+/// assert_eq!(EliasDelta.encoded_len(0), 1); // value 0 costs one bit
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EliasDelta;
+
+impl Codec for EliasDelta {
+    fn encode(&self, value: u64, w: &mut BitWriter) {
+        assert!(value <= self.max_value(), "value out of EliasDelta domain");
+        let n = value + 1;
+        let len = bit_len(n) as u64;
+        gamma_encode_pos(len, w);
+        // n without its leading 1 bit, MSB first.
+        write_msb(n & !(1 << (len - 1)), (len - 1) as usize, w);
+    }
+
+    fn decode(&self, r: &mut BitReader<'_>) -> Option<u64> {
+        let len = gamma_decode_pos(r)?;
+        if len == 0 || len > 64 {
+            return None;
+        }
+        let rest = read_msb((len - 1) as usize, r)?;
+        let n = (1u64 << (len - 1)) | rest;
+        Some(n - 1)
+    }
+
+    fn encoded_len(&self, value: u64) -> usize {
+        let len = bit_len(value + 1);
+        (len - 1) + (2 * bit_len(len as u64) - 1)
+    }
+
+    fn max_value(&self) -> u64 {
+        u64::MAX - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::test_support::roundtrip;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gamma_known_codewords() {
+        // γ(1) = "1", γ(2) = "010", γ(3) = "011", γ(4) = "00100".
+        // The codec encodes v+1, so value 0 → γ(1) etc.
+        let g = EliasGamma;
+        let bits = g.encode_all(&[0]);
+        assert_eq!(bits.len(), 1);
+        assert!(bits.get(0));
+        let bits = g.encode_all(&[1]); // γ(2) = 0 1 0
+        let s: Vec<bool> = bits.iter().collect();
+        assert_eq!(s, [false, true, false]);
+        let bits = g.encode_all(&[3]); // γ(4) = 0 0 1 0 0
+        let s: Vec<bool> = bits.iter().collect();
+        assert_eq!(s, [false, false, true, false, false]);
+    }
+
+    #[test]
+    fn delta_known_lengths_match_paper_formula() {
+        // L₂(n) = ⌊log₂n⌋ + 2⌊log₂(⌊log₂n⌋+1)⌋ + 1 for the coded n = v+1.
+        let d = EliasDelta;
+        for v in [0u64, 1, 2, 3, 7, 8, 100, 1000, 65_535, 1 << 40] {
+            let n = v + 1;
+            let log = bit_len(n) - 1;
+            let expect = log + 2 * (bit_len(log as u64 + 1) - 1) + 1;
+            assert_eq!(d.encoded_len(v), expect, "v={v}");
+        }
+    }
+
+    #[test]
+    fn delta_encodes_one_in_one_bit() {
+        // The paper's concern: δ(1) = "1" (a single bit) — value 0 here.
+        assert_eq!(EliasDelta.encoded_len(0), 1);
+        // ... but value 1 (coded 2) costs 4 bits: "0100".
+        assert_eq!(EliasDelta.encoded_len(1), 4);
+    }
+
+    #[test]
+    fn gamma_roundtrip_small_and_boundary() {
+        let vals: Vec<u64> = (0..200)
+            .chain([254, 255, 256, 1023, 1024, (1 << 32) - 1, 1 << 32, (1 << 62)])
+            .collect();
+        roundtrip(&EliasGamma, &vals);
+    }
+
+    #[test]
+    fn delta_roundtrip_small_and_boundary() {
+        let vals: Vec<u64> = (0..200)
+            .chain([254, 255, 256, 1023, 1024, (1 << 32) - 1, 1 << 32, (1 << 62), u64::MAX - 1])
+            .collect();
+        roundtrip(&EliasDelta, &vals);
+    }
+
+    #[test]
+    fn delta_beats_gamma_for_large_values() {
+        for v in [1_000u64, 1_000_000, 1 << 40] {
+            assert!(EliasDelta.encoded_len(v) < EliasGamma.encoded_len(v));
+        }
+    }
+
+    #[test]
+    fn truncated_streams_decode_to_none() {
+        let d = EliasDelta;
+        let bits = d.encode_all(&[123_456]);
+        for cut in 0..bits.len() {
+            let mut r = sbf_bitvec::BitReader::with_range(&bits, 0, cut);
+            assert_eq!(d.decode(&mut r), None, "cut at {cut}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn gamma_roundtrip_prop(vals in prop::collection::vec(0u64..u64::MAX - 1, 0..50)) {
+            roundtrip(&EliasGamma, &vals);
+        }
+
+        #[test]
+        fn delta_roundtrip_prop(vals in prop::collection::vec(0u64..u64::MAX - 1, 0..50)) {
+            roundtrip(&EliasDelta, &vals);
+        }
+
+        #[test]
+        fn delta_len_is_monotone_in_magnitude_class(v in 0u64..(1 << 60)) {
+            // Doubling a value never shrinks its code.
+            prop_assert!(EliasDelta.encoded_len(v.saturating_mul(2)) >= EliasDelta.encoded_len(v));
+        }
+    }
+}

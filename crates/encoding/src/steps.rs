@@ -1,0 +1,205 @@
+//! The paper's "steps" method: cheap codes for tiny counters, Elias escape.
+//!
+//! §4.5: *"we use a Huffman-like compact encoding for small numbers. For
+//! example, using 0 to represent 0, 10 to represent 1 and 11 means the
+//! number is bigger than 1, with the Elias encoding of this number
+//! following the prefix."*
+//!
+//! The generalization implemented here takes a list of step widths
+//! `w₁, …, w_j`. Step `i` (0-based) covers the next `2^{wᵢ}` values and
+//! costs `i` one-bits + one zero-bit + `wᵢ` payload bits. Values beyond all
+//! steps are escaped with `j` one-bits followed by the Elias δ code of the
+//! remainder. The paper's example is `steps(0, 0)`; Figure 10 evaluates
+//! configurations labelled "1,2" and "2,3", i.e. `steps(1, 2)` and
+//! `steps(2, 3)`.
+
+use crate::codec::Codec;
+use crate::elias::EliasDelta;
+use sbf_bitvec::{BitReader, BitWriter};
+
+/// A steps code with configurable step widths and an Elias δ escape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepsCode {
+    widths: Vec<usize>,
+    /// `offsets[i]` is the first value of step `i`; `offsets[len]` is the
+    /// first escaped value.
+    offsets: Vec<u64>,
+    escape: EliasDelta,
+}
+
+impl StepsCode {
+    /// Creates a steps code. Each width must be `≤ 32`; the total coverage
+    /// of the steps must fit in `u64`.
+    pub fn new(widths: &[usize]) -> Self {
+        assert!(widths.iter().all(|&w| w <= 32), "step width > 32 is surely a bug");
+        let mut offsets = Vec::with_capacity(widths.len() + 1);
+        let mut acc = 0u64;
+        offsets.push(acc);
+        for &w in widths {
+            acc = acc.checked_add(1u64 << w).expect("steps cover more than u64");
+            offsets.push(acc);
+        }
+        StepsCode { widths: widths.to_vec(), offsets, escape: EliasDelta }
+    }
+
+    /// The paper's example configuration: `0 ↦ "0"`, `1 ↦ "10"`, escape
+    /// `"11" + Elias δ`.
+    pub fn paper_example() -> Self {
+        StepsCode::new(&[0, 0])
+    }
+
+    /// The step widths.
+    pub fn widths(&self) -> &[usize] {
+        &self.widths
+    }
+
+    /// A short label like `"steps(1,2)"` for reports.
+    pub fn label(&self) -> String {
+        let ws: Vec<String> = self.widths.iter().map(|w| w.to_string()).collect();
+        format!("steps({})", ws.join(","))
+    }
+}
+
+impl Codec for StepsCode {
+    fn encode(&self, value: u64, w: &mut BitWriter) {
+        for (i, &width) in self.widths.iter().enumerate() {
+            if value < self.offsets[i + 1] {
+                w.write_run(true, i);
+                w.write_bit(false);
+                w.write(value - self.offsets[i], width);
+                return;
+            }
+        }
+        w.write_run(true, self.widths.len());
+        self.escape.encode(value - self.offsets[self.widths.len()], w);
+    }
+
+    fn decode(&self, r: &mut BitReader<'_>) -> Option<u64> {
+        let mut step = 0usize;
+        while step < self.widths.len() {
+            match r.read_bit()? {
+                false => {
+                    let payload = r.read(self.widths[step])?;
+                    return Some(self.offsets[step] + payload);
+                }
+                true => step += 1,
+            }
+        }
+        let rest = self.escape.decode(r)?;
+        rest.checked_add(self.offsets[self.widths.len()])
+    }
+
+    fn encoded_len(&self, value: u64) -> usize {
+        for (i, &width) in self.widths.iter().enumerate() {
+            if value < self.offsets[i + 1] {
+                return i + 1 + width;
+            }
+        }
+        self.widths.len() + self.escape.encoded_len(value - self.offsets[self.widths.len()])
+    }
+
+    fn max_value(&self) -> u64 {
+        // Escape covers EliasDelta's domain shifted by the step coverage.
+        self.escape.max_value().saturating_add(self.offsets[self.widths.len()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::test_support::roundtrip;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example_codewords() {
+        let c = StepsCode::paper_example();
+        // 0 ↦ "0" (1 bit), 1 ↦ "10" (2 bits), v ≥ 2 ↦ "11" + δ(v−2).
+        assert_eq!(c.encoded_len(0), 1);
+        assert_eq!(c.encoded_len(1), 2);
+        assert_eq!(c.encoded_len(2), 2 + EliasDelta.encoded_len(0));
+        let bits = c.encode_all(&[0, 1, 2]);
+        let s: Vec<bool> = bits.iter().collect();
+        // "0" then "10" then "11" + δ(0)= "1"
+        assert_eq!(s, [false, true, false, true, true, true]);
+    }
+
+    #[test]
+    fn paper_example_average_for_almost_sets() {
+        // §4.5: with half the counters 0 and half 1, average 1.5 bits.
+        let c = StepsCode::paper_example();
+        let avg = (c.encoded_len(0) + c.encoded_len(1)) as f64 / 2.0;
+        assert!((avg - 1.5).abs() < f64::EPSILON);
+        // Elias δ on the same data costs (1 + 4)/2 = 2.5 bits.
+        let elias_avg = (EliasDelta.encoded_len(0) + EliasDelta.encoded_len(1)) as f64 / 2.0;
+        assert!((elias_avg - 2.5).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn steps_1_2_layout() {
+        let c = StepsCode::new(&[1, 2]);
+        // Step 0: values 0..2, "0" + 1 bit = 2 bits.
+        assert_eq!(c.encoded_len(0), 2);
+        assert_eq!(c.encoded_len(1), 2);
+        // Step 1: values 2..6, "10" + 2 bits = 4 bits.
+        assert_eq!(c.encoded_len(2), 4);
+        assert_eq!(c.encoded_len(5), 4);
+        // Escape: "11" + δ(v − 6).
+        assert_eq!(c.encoded_len(6), 2 + EliasDelta.encoded_len(0));
+    }
+
+    #[test]
+    fn roundtrip_various_configs() {
+        let vals: Vec<u64> = (0..100).chain([1000, 65_536, 1 << 40]).collect();
+        for widths in [&[][..], &[0], &[0, 0], &[1, 2], &[2, 3], &[4], &[8, 8, 8]] {
+            roundtrip(&StepsCode::new(widths), &vals);
+        }
+    }
+
+    #[test]
+    fn empty_steps_is_pure_elias() {
+        let c = StepsCode::new(&[]);
+        for v in [0u64, 1, 5, 1000] {
+            assert_eq!(c.encoded_len(v), EliasDelta.encoded_len(v));
+        }
+        roundtrip(&c, &[0, 1, 2, 3, 1000]);
+    }
+
+    #[test]
+    fn label_formats() {
+        assert_eq!(StepsCode::new(&[1, 2]).label(), "steps(1,2)");
+        assert_eq!(StepsCode::new(&[]).label(), "steps()");
+    }
+
+    #[test]
+    fn truncated_stream_is_detected() {
+        let c = StepsCode::new(&[1, 2]);
+        let bits = c.encode_all(&[12_345]);
+        for cut in 0..bits.len() {
+            let mut r = sbf_bitvec::BitReader::with_range(&bits, 0, cut);
+            assert_eq!(c.decode(&mut r), None, "cut at {cut}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn steps_roundtrip_prop(
+            vals in prop::collection::vec(0u64..(1 << 62), 0..40),
+            w1 in 0usize..8,
+            w2 in 0usize..8,
+        ) {
+            roundtrip(&StepsCode::new(&[w1, w2]), &vals);
+        }
+
+        #[test]
+        fn codewords_are_prefix_free(a in 0u64..10_000, b in 0u64..10_000) {
+            // Encode a then b; decoding must return exactly (a, b) — i.e. the
+            // code for `a` is never a prefix of a longer parse ambiguity.
+            let c = StepsCode::new(&[1, 2]);
+            let bits = c.encode_all(&[a, b]);
+            let mut r = sbf_bitvec::BitReader::new(&bits);
+            prop_assert_eq!(c.decode(&mut r), Some(a));
+            prop_assert_eq!(c.decode(&mut r), Some(b));
+            prop_assert_eq!(r.remaining(), 0);
+        }
+    }
+}

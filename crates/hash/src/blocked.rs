@@ -1,0 +1,138 @@
+//! Blocked (external-memory) hashing, after Manber & Wu.
+//!
+//! Section 2.2 of the paper ("External memory SBF") recalls the multi-level
+//! scheme of [MW94]: a first-level hash assigns each key to a *block*, and
+//! the `k` Bloom hash functions then hash only *within* that block. A lookup
+//! therefore touches a single block — one page of external storage — instead
+//! of up to `k` random pages. The paper notes that accuracy degrades only
+//! negligibly for large enough blocks; the `blocked_vs_flat` ablation bench
+//! measures exactly that.
+
+use crate::family::HashFamily;
+use crate::key::Key;
+use crate::mix::fmix64;
+
+/// A two-level hash family: key → block, then `k` functions within the block.
+///
+/// Wraps an inner family that spans a single block of `block_size` counters;
+/// the final index is `block_base + inner_index`. The total range is
+/// `num_blocks · block_size`.
+#[derive(Debug, Clone)]
+pub struct BlockedFamily<F: HashFamily> {
+    inner: F,
+    num_blocks: usize,
+    block_seed: u64,
+}
+
+impl<F: HashFamily> BlockedFamily<F> {
+    /// Creates a blocked family.
+    ///
+    /// `inner` must span exactly one block (`inner.m()` is the block size);
+    /// the overall range becomes `num_blocks * inner.m()`.
+    pub fn new(inner: F, num_blocks: usize, seed: u64) -> Self {
+        assert!(num_blocks > 0, "need at least one block");
+        assert!(
+            inner.m().checked_mul(num_blocks).is_some(),
+            "num_blocks * block_size overflows usize"
+        );
+        BlockedFamily { inner, num_blocks, block_seed: seed ^ 0x626c_6f63_6b65_6421 }
+    }
+
+    /// Number of blocks.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// Counters per block.
+    #[inline]
+    pub fn block_size(&self) -> usize {
+        self.inner.m()
+    }
+
+    /// The block a key falls into.
+    #[inline]
+    pub fn block_of<K: Key + ?Sized>(&self, key: &K) -> usize {
+        let h = fmix64(key.canonical() ^ self.block_seed);
+        ((u128::from(h) * self.num_blocks as u128) >> 64) as usize
+    }
+}
+
+impl<F: HashFamily> HashFamily for BlockedFamily<F> {
+    #[inline]
+    fn k(&self) -> usize {
+        self.inner.k()
+    }
+
+    #[inline]
+    fn m(&self) -> usize {
+        self.inner.m() * self.num_blocks
+    }
+
+    #[inline]
+    fn indexes_into<K: Key + ?Sized>(&self, key: &K, out: &mut [usize]) {
+        let base = self.block_of(key) * self.inner.m();
+        self.inner.indexes_into(key, out);
+        for slot in out.iter_mut().take(self.inner.k()) {
+            *slot += base;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::MixFamily;
+
+    fn blocked(block_size: usize, blocks: usize, k: usize) -> BlockedFamily<MixFamily> {
+        BlockedFamily::new(MixFamily::new(block_size, k, 17), blocks, 17)
+    }
+
+    #[test]
+    fn all_indices_land_in_one_block() {
+        let f = blocked(128, 32, 5);
+        for key in 0u64..1000 {
+            let b = f.block_of(&key);
+            for &idx in f.indexes(&key).iter() {
+                assert_eq!(idx / 128, b, "index escaped its block");
+            }
+        }
+    }
+
+    #[test]
+    fn total_range_is_blocks_times_block_size() {
+        let f = blocked(128, 32, 5);
+        assert_eq!(f.m(), 128 * 32);
+        assert_eq!(f.k(), 5);
+        for key in 0u64..1000 {
+            for &idx in f.indexes(&key).iter() {
+                assert!(idx < f.m());
+            }
+        }
+    }
+
+    #[test]
+    fn keys_spread_over_blocks() {
+        let f = blocked(64, 16, 3);
+        let mut seen = [false; 16];
+        for key in 0u64..500 {
+            seen[f.block_of(&key)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "500 keys should touch all 16 blocks");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = blocked(64, 8, 4);
+        let b = blocked(64, 8, 4);
+        for key in 0u64..100 {
+            assert_eq!(a.indexes(&key).as_slice(), b.indexes(&key).as_slice());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_blocks_rejected() {
+        let _ = blocked(64, 0, 4);
+    }
+}

@@ -1,0 +1,114 @@
+//! Canonicalization of application keys to 64-bit values.
+
+/// Types usable as SBF keys.
+///
+/// A key is reduced to a single `u64`; the hash families then derive the
+/// `k` counter positions from that value. For integers the reduction is the
+/// identity (so the paper's multiplicative family sees the raw value, as in
+/// the original experiments over integer data); for byte strings it is an
+/// FNV-1a fold, which is enough because the families re-mix the value.
+pub trait Key {
+    /// Canonical 64-bit representation of the key.
+    fn canonical(&self) -> u64;
+}
+
+macro_rules! impl_key_for_int {
+    ($($t:ty),*) => {
+        $(impl Key for $t {
+            #[inline]
+            fn canonical(&self) -> u64 {
+                *self as u64
+            }
+        })*
+    };
+}
+
+impl_key_for_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice.
+#[inline]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+impl Key for [u8] {
+    #[inline]
+    fn canonical(&self) -> u64 {
+        fnv1a(self)
+    }
+}
+
+impl Key for str {
+    #[inline]
+    fn canonical(&self) -> u64 {
+        fnv1a(self.as_bytes())
+    }
+}
+
+impl Key for String {
+    #[inline]
+    fn canonical(&self) -> u64 {
+        fnv1a(self.as_bytes())
+    }
+}
+
+impl Key for Vec<u8> {
+    #[inline]
+    fn canonical(&self) -> u64 {
+        fnv1a(self)
+    }
+}
+
+impl<T: Key + ?Sized> Key for &T {
+    #[inline]
+    fn canonical(&self) -> u64 {
+        (**self).canonical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_keys_are_identity() {
+        assert_eq!(42u64.canonical(), 42);
+        assert_eq!(42u32.canonical(), 42);
+        assert_eq!(7i64.canonical(), 7);
+    }
+
+    #[test]
+    fn negative_integers_wrap_consistently() {
+        assert_eq!((-1i64).canonical(), u64::MAX);
+        // The same logical value keyed twice must agree.
+        assert_eq!((-5i32).canonical(), (-5i32).canonical());
+    }
+
+    #[test]
+    fn string_keys_match_byte_keys() {
+        assert_eq!("abc".canonical(), b"abc".as_slice().canonical());
+        assert_eq!(String::from("abc").canonical(), "abc".canonical());
+    }
+
+    #[test]
+    fn distinct_strings_hash_distinctly() {
+        // FNV is not collision-free, but these short keys must differ.
+        assert_ne!("a".canonical(), "b".canonical());
+        assert_ne!("ab".canonical(), "ba".canonical());
+        assert_ne!("".canonical(), "a".canonical());
+    }
+
+    #[test]
+    fn reference_key_delegates() {
+        let s = "hello";
+        assert_eq!((&s).canonical(), s.canonical());
+    }
+}

@@ -1,0 +1,141 @@
+//! Hash-function families for Bloom filters and Spectral Bloom Filters.
+//!
+//! The SBF paper (Cohen & Matias, SIGMOD 2003) uses `k` hash functions
+//! `h_1 .. h_k` mapping keys from a universe `U` into counter positions
+//! `{0 .. m-1}`. This crate provides:
+//!
+//! * [`Key`] — a trait turning application keys (integers, strings, byte
+//!   slices) into a canonical 64-bit value,
+//! * [`HashFamily`] — the abstraction the filter crates program against,
+//! * [`MultiplyFamily`] — the paper's "modulo/multiply" family
+//!   `H(v) = ⌈m·(αv mod 1)⌉` realized in 64-bit fixed point,
+//! * [`MixFamily`] — a SplitMix64-based family with much better diffusion
+//!   (the recommended default),
+//! * [`DoubleHashFamily`] — Kirsch–Mitzenmacher double hashing, deriving all
+//!   `k` indices from two base hashes,
+//! * [`TabulationFamily`] — simple tabulation (3-independent with
+//!   Chernoff-grade concentration), the provable-guarantees option,
+//! * [`BlockedFamily`] — the external-memory scheme of Manber & Wu
+//!   (§2.2 "External memory SBF"): a first-level hash picks a block, the
+//!   `k` functions hash within that block, confining each lookup to one
+//!   block of storage.
+//!
+//! All families are deterministic given their seed, so filters built with
+//! equal parameters can be united or multiplied counter-wise as the paper
+//! requires for distributed processing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocked;
+pub mod family;
+pub mod key;
+pub mod mix;
+pub mod quality;
+pub mod tabulation;
+
+pub use blocked::BlockedFamily;
+pub use family::{DoubleHashFamily, HashFamily, MixFamily, MultiplyFamily};
+pub use key::Key;
+pub use mix::{fmix64, splitmix64, SplitMix64};
+pub use quality::{collision_rate, stride_correlation, uniformity, UniformityReport};
+pub use tabulation::TabulationFamily;
+
+/// Maximum number of hash functions supported without heap allocation.
+///
+/// The paper's experiments use `k ≤ 10`; 16 leaves generous headroom while
+/// letting callers keep index buffers on the stack.
+pub const MAX_K: usize = 16;
+
+/// A fixed-capacity buffer of counter indices produced by a [`HashFamily`].
+///
+/// Using a stack buffer keeps per-operation allocations at zero, which
+/// matters because every insert/lookup of the SBF computes `k` indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexBuf {
+    buf: [usize; MAX_K],
+    len: usize,
+}
+
+impl IndexBuf {
+    /// An empty buffer.
+    #[inline]
+    pub const fn new() -> Self {
+        IndexBuf { buf: [0; MAX_K], len: 0 }
+    }
+
+    /// Pushes an index. Panics if the buffer is full (`k > MAX_K`).
+    #[inline]
+    pub fn push(&mut self, idx: usize) {
+        assert!(self.len < MAX_K, "more than MAX_K hash functions requested");
+        self.buf[self.len] = idx;
+        self.len += 1;
+    }
+
+    /// Number of indices stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds no indices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The indices as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[usize] {
+        &self.buf[..self.len]
+    }
+}
+
+impl Default for IndexBuf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for IndexBuf {
+    type Target = [usize];
+
+    #[inline]
+    fn deref(&self) -> &[usize] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a IndexBuf {
+    type Item = usize;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, usize>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_buf_push_and_read() {
+        let mut b = IndexBuf::new();
+        assert!(b.is_empty());
+        b.push(3);
+        b.push(7);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.as_slice(), &[3, 7]);
+        assert_eq!((&b).into_iter().collect::<Vec<_>>(), vec![3, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_K")]
+    fn index_buf_overflow_panics() {
+        let mut b = IndexBuf::new();
+        for i in 0..=MAX_K {
+            b.push(i);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Low-level 64-bit mixing primitives.
+//!
+//! These are the building blocks of the [`crate::MixFamily`] and of seed
+//! derivation throughout the workspace. They are deliberately dependency-free
+//! so that two sites that agree on a seed always agree on hash values — a
+//! requirement for the distributed union/multiply operations of the paper.
+
+/// The SplitMix64 output function (Steele, Lea & Flood 2014).
+///
+/// A bijection on `u64` with excellent avalanche properties; the standard
+/// finalizer used to stretch one seed into a stream of independent-looking
+/// values.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// MurmurHash3's 64-bit finalizer (`fmix64`).
+///
+/// A fast bijective mixer: flipping any input bit flips each output bit with
+/// probability ≈ 1/2. Used to decorrelate per-function hashes.
+#[inline]
+pub fn fmix64(mut k: u64) -> u64 {
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    k ^= k >> 33;
+    k
+}
+
+/// A tiny deterministic PRNG based on [`splitmix64`].
+///
+/// Used wherever the workspace needs reproducible parameter draws (e.g. the
+/// random `α` multipliers of the paper's modulo/multiply family) without
+/// pulling a full RNG dependency into hot paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    #[inline]
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    /// Next odd 64-bit value (never zero), suitable as a multiplicative
+    /// hashing constant.
+    #[inline]
+    pub fn next_odd_u64(&mut self) -> u64 {
+        self.next_u64() | 1
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+    ///
+    /// Uses the widening-multiply technique (Lemire 2016); the modulo bias is
+    /// at most `bound / 2^64`, negligible for every `bound` we use.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(1234);
+        let mut b = SplitMix64::new(1234);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fmix64_is_bijective_on_samples() {
+        // A bijection cannot collide; sample a few thousand inputs.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(fmix64(i)));
+        }
+    }
+
+    #[test]
+    fn fmix64_avalanche() {
+        // Flipping one input bit should flip ~32 of 64 output bits.
+        let x = 0xdead_beef_cafe_f00du64;
+        let base = fmix64(x);
+        let mut total = 0u32;
+        for bit in 0..64 {
+            total += (base ^ fmix64(x ^ (1 << bit))).count_ones();
+        }
+        let avg = f64::from(total) / 64.0;
+        assert!((24.0..40.0).contains(&avg), "poor avalanche: {avg}");
+    }
+
+    #[test]
+    fn next_odd_is_odd() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(rng.next_odd_u64() & 1, 1);
+        }
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = SplitMix64::new(99);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX] {
+            for _ in 0..200 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_covers_small_range() {
+        let mut rng = SplitMix64::new(5);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.next_below(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues of a small bound should appear");
+    }
+}

@@ -1,0 +1,162 @@
+//! Statistical quality diagnostics for hash families.
+//!
+//! §6.4 of the paper traces a performance anomaly to its hash functions
+//! ("the hash functions are not perfectly random, and have some effect of
+//! clustering"). These diagnostics make that observation measurable for
+//! any [`HashFamily`]: a chi-square uniformity score over bucket
+//! occupancy, a collision-rate probe, and a pairwise stride-correlation
+//! probe. The tests pin the expected verdicts — the paper-faithful
+//! multiplicative family keeps uniform marginals yet carries arithmetic
+//! structure between related keys; the mixing and tabulation families
+//! destroy both.
+
+use crate::family::HashFamily;
+
+/// Result of a uniformity probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformityReport {
+    /// Pearson chi-square statistic over the bucket occupancy.
+    pub chi_square: f64,
+    /// Degrees of freedom (`buckets − 1`).
+    pub degrees: usize,
+    /// `chi_square / degrees`; ≈ 1.0 for a uniform hash, ≫ 1 for
+    /// clustering.
+    pub ratio: f64,
+}
+
+/// Hashes `keys` through function 0 of `family` and scores the bucket
+/// occupancy against the uniform expectation.
+pub fn uniformity<F, I>(family: &F, keys: I) -> UniformityReport
+where
+    F: HashFamily,
+    I: IntoIterator<Item = u64>,
+{
+    let m = family.m();
+    assert!(m >= 2, "need at least two buckets");
+    let mut counts = vec![0u64; m];
+    let mut n = 0u64;
+    for key in keys {
+        counts[family.indexes(&key)[0]] += 1;
+        n += 1;
+    }
+    let expect = n as f64 / m as f64;
+    let chi: f64 = counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expect;
+            d * d / expect.max(f64::MIN_POSITIVE)
+        })
+        .sum();
+    UniformityReport { chi_square: chi, degrees: m - 1, ratio: chi / (m - 1) as f64 }
+}
+
+/// Fraction of key pairs (within a sample) that collide on function 0 —
+/// should be ≈ `pairs/m` for a uniform hash.
+pub fn collision_rate<F: HashFamily>(family: &F, keys: &[u64]) -> f64 {
+    if keys.len() < 2 {
+        return 0.0;
+    }
+    let mut buckets = std::collections::HashMap::new();
+    for &key in keys {
+        *buckets.entry(family.indexes(&key)[0]).or_insert(0u64) += 1;
+    }
+    let colliding_pairs: u64 = buckets.values().map(|&c| c * (c - 1) / 2).sum();
+    let total_pairs = keys.len() as u64 * (keys.len() as u64 - 1) / 2;
+    colliding_pairs as f64 / total_pairs as f64
+}
+
+/// Pairwise-structure probe: the fraction of sampled keys `v` for which
+/// `H(v + stride) − H(v) (mod m)` equals the most common such difference.
+///
+/// Purely multiplicative hashing maps arithmetic progressions to
+/// arithmetic progressions — the difference concentrates on the two
+/// integers bracketing `m·frac(α·stride)` (the floor splits it), so this
+/// score approaches 1.0. A well-mixed family scores ≈ a few/m. This is the
+/// precise sense in which the paper's §6.4 hashes "have some effect of
+/// clustering" despite uniform marginals. The score sums the two most
+/// common differences.
+pub fn stride_correlation<F: HashFamily>(family: &F, stride: u64, samples: u64) -> f64 {
+    assert!(samples > 0);
+    let m = family.m() as i64;
+    let mut diffs = std::collections::HashMap::new();
+    for v in 0..samples {
+        let a = family.indexes(&v)[0] as i64;
+        let b = family.indexes(&(v + stride))[0] as i64;
+        let d = (b - a).rem_euclid(m);
+        *diffs.entry(d).or_insert(0u64) += 1;
+    }
+    let mut counts: Vec<u64> = diffs.values().copied().collect();
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    let top2: u64 = counts.iter().take(2).sum();
+    top2 as f64 / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::{MixFamily, MultiplyFamily};
+    use crate::tabulation::TabulationFamily;
+
+    const BUCKETS: usize = 256;
+
+    fn sequential() -> impl Iterator<Item = u64> {
+        0u64..100_000
+    }
+
+
+    #[test]
+    fn mixing_family_is_uniform() {
+        let f = MixFamily::new(BUCKETS, 1, 5);
+        assert!(uniformity(&f, sequential()).ratio < 1.6);
+    }
+
+    #[test]
+    fn tabulation_family_is_uniform() {
+        let f = TabulationFamily::new(BUCKETS, 1, 5);
+        assert!(uniformity(&f, sequential()).ratio < 1.6);
+    }
+
+    #[test]
+    fn multiplicative_family_is_marginally_uniform_too() {
+        // Marginal occupancy is fine even for the paper-faithful family —
+        // its weakness is *pairwise* structure, probed below.
+        let f = MultiplyFamily::new(BUCKETS, 1, 5);
+        assert!(uniformity(&f, sequential()).ratio < 1.6);
+    }
+
+    #[test]
+    fn multiplicative_family_preserves_stride_structure() {
+        // H(v+d) − H(v) is (nearly) constant for multiplicative hashing:
+        // arithmetic progressions stay arithmetic — the §6.4 "clustering".
+        let mult = MultiplyFamily::new(BUCKETS, 1, 5);
+        let mix = MixFamily::new(BUCKETS, 1, 5);
+        for stride in [1u64, 17, 4096] {
+            let c_mult = stride_correlation(&mult, stride, 20_000);
+            let c_mix = stride_correlation(&mix, stride, 20_000);
+            assert!(c_mult > 0.9, "stride {stride}: multiplicative correlation {c_mult}");
+            assert!(c_mix < 0.1, "stride {stride}: mixing correlation {c_mix}");
+        }
+    }
+
+    #[test]
+    fn tabulation_breaks_stride_structure() {
+        let f = TabulationFamily::new(BUCKETS, 1, 5);
+        assert!(stride_correlation(&f, 4096, 20_000) < 0.1);
+    }
+
+    #[test]
+    fn collision_rate_tracks_birthday_math() {
+        let f = MixFamily::new(1 << 16, 1, 7);
+        let keys: Vec<u64> = (0..2000).collect();
+        let rate = collision_rate(&f, &keys);
+        let expect = 1.0 / (1 << 16) as f64;
+        assert!(rate < expect * 3.0, "rate {rate} vs expected {expect}");
+    }
+
+    #[test]
+    fn empty_and_single_key_edge_cases() {
+        let f = MixFamily::new(16, 1, 1);
+        assert_eq!(collision_rate(&f, &[]), 0.0);
+        assert_eq!(collision_rate(&f, &[42]), 0.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! The "alternative approach" of §4.5: coarse index levels plus
+//! sequentially-decodable prefix-free counters.
+//!
+//! *"The data structure can be made more compact, while sacrificing lookup
+//! performance, by using the C¹ and C² indexes and not building any further
+//! structures. Once the problem is reduced to log log N items, we allow a
+//! serial scan of the sub-group."*
+//!
+//! Counters are stored under any prefix-free [`Codec`] (Elias δ by default,
+//! or a [`sbf_encoding::StepsCode`] for "almost-set" data); an access costs
+//! one C¹ probe, one C² probe, and at most `g₂ − 1` sequential decodes —
+//! `O(log log N)` on average, for `N + o(m)` bits of storage.
+
+use sbf_bitvec::{BitReader, BitVec, PackedVec};
+use sbf_encoding::{bit_len, Codec, EliasDelta};
+
+use crate::static_index::IndexParams;
+
+/// A compact, scan-decoded counter array (static).
+#[derive(Debug, Clone)]
+pub struct CompactCounterArray<C: Codec = EliasDelta> {
+    codec: C,
+    payload: BitVec,
+    /// Absolute start of each group of `g1` items.
+    c1: PackedVec,
+    /// Start of each chunk of `g2` items, relative to its group.
+    c2: PackedVec,
+    params: IndexParams,
+}
+
+impl<C: Codec> CompactCounterArray<C> {
+    /// Encodes `counters` under `codec` and builds the two coarse levels.
+    pub fn from_counters_with(codec: C, counters: &[u64]) -> Self {
+        let m = counters.len();
+        // First pass: codeword lengths → total bits and offsets.
+        let mut total = 0usize;
+        let mut item_off = Vec::with_capacity(m + 1);
+        item_off.push(0);
+        for &c in counters {
+            total += codec.encoded_len(c);
+            item_off.push(total);
+        }
+        let params = IndexParams::compute(total, m);
+
+        let mut w = sbf_bitvec::BitWriter::new();
+        for &c in counters {
+            codec.encode(c, &mut w);
+        }
+        let payload = w.finish();
+        debug_assert_eq!(payload.len(), total);
+
+        let abs_w = bit_len(total as u64).max(1);
+        let n_groups = params.n_groups();
+        let mut c1 = PackedVec::with_capacity(abs_w, n_groups);
+        // Relative offsets within a group are < the group's bit extent; the
+        // group extent is unbounded here (no complete-vector split), so use
+        // the widest group to size entries.
+        let mut max_rel = 0usize;
+        for j in 0..n_groups {
+            let lo = j * params.g1;
+            let hi = ((j + 1) * params.g1).min(m);
+            max_rel = max_rel.max(item_off[hi] - item_off[lo]);
+        }
+        let rel_w = bit_len(max_rel as u64).max(1);
+        let mut c2 = PackedVec::with_capacity(rel_w, n_groups * params.chunks_per_group);
+        for j in 0..n_groups {
+            let g_lo = j * params.g1;
+            let g_hi = ((j + 1) * params.g1).min(m);
+            c1.push(item_off[g_lo] as u64);
+            for c in 0..params.chunks_per_group {
+                let c_lo = (g_lo + c * params.g2).min(g_hi);
+                c2.push((item_off[c_lo] - item_off[g_lo]) as u64);
+            }
+        }
+
+        CompactCounterArray { codec, payload, c1, c2, params }
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.params.m
+    }
+
+    /// Whether the array holds no counters.
+    pub fn is_empty(&self) -> bool {
+        self.params.m == 0
+    }
+
+    /// Reads counter `i`: two index probes + `≤ g₂` sequential decodes.
+    pub fn get(&self, i: usize) -> u64 {
+        assert!(i < self.params.m, "item {i} out of range {}", self.params.m);
+        let p = &self.params;
+        let j = i / p.g1;
+        let r = i % p.g1;
+        let c = r / p.g2;
+        let q = r % p.g2;
+        let start = self.c1.get(j) as usize + self.c2.get(j * p.chunks_per_group + c) as usize;
+        let mut reader = BitReader::with_range(&self.payload, start, self.payload.len());
+        for _ in 0..q {
+            self.codec.decode(&mut reader).expect("payload truncated");
+        }
+        self.codec.decode(&mut reader).expect("payload truncated")
+    }
+
+    /// Bits of encoded payload (the "N" of this representation).
+    pub fn payload_bits(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Bits of the two coarse index levels.
+    pub fn index_bits(&self) -> usize {
+        self.c1.bits() + self.c2.bits()
+    }
+
+    /// Total storage.
+    pub fn total_bits(&self) -> usize {
+        self.payload_bits() + self.index_bits()
+    }
+}
+
+impl CompactCounterArray<EliasDelta> {
+    /// Builds with the default Elias δ codec.
+    pub fn from_counters(counters: &[u64]) -> Self {
+        Self::from_counters_with(EliasDelta, counters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sbf_encoding::StepsCode;
+
+    #[test]
+    fn roundtrips_with_elias() {
+        let counters: Vec<u64> = (0..2500).map(|i| (i * 31) % 1000).collect();
+        let arr = CompactCounterArray::from_counters(&counters);
+        for (i, &c) in counters.iter().enumerate() {
+            assert_eq!(arr.get(i), c, "counter {i}");
+        }
+    }
+
+    #[test]
+    fn roundtrips_with_steps() {
+        let counters: Vec<u64> = (0..1000).map(|i| u64::from(i % 3 == 0)).collect();
+        let arr = CompactCounterArray::from_counters_with(StepsCode::paper_example(), &counters);
+        for (i, &c) in counters.iter().enumerate() {
+            assert_eq!(arr.get(i), c);
+        }
+    }
+
+    #[test]
+    fn steps_beats_elias_on_almost_sets() {
+        // Half zeros, half ones — §4.5's motivating distribution.
+        let counters: Vec<u64> = (0..10_000).map(|i| u64::from(i % 2 == 0)).collect();
+        let steps = CompactCounterArray::from_counters_with(StepsCode::paper_example(), &counters);
+        let elias = CompactCounterArray::from_counters(&counters);
+        assert!(
+            steps.payload_bits() < elias.payload_bits(),
+            "steps {} !< elias {}",
+            steps.payload_bits(),
+            elias.payload_bits()
+        );
+    }
+
+    #[test]
+    fn index_is_small_relative_to_items() {
+        let counters: Vec<u64> = (0..50_000).map(|i| i % 100).collect();
+        let arr = CompactCounterArray::from_counters(&counters);
+        // o(m) coarse levels: far fewer bits than one word per item.
+        assert!(arr.index_bits() < 64 * counters.len() / 4);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let arr = CompactCounterArray::from_counters(&[]);
+        assert!(arr.is_empty());
+        let arr = CompactCounterArray::from_counters(&[42]);
+        assert_eq!(arr.get(0), 42);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn matches_counters_prop(counters in prop::collection::vec(0u64..(1 << 50), 0..300)) {
+            let arr = CompactCounterArray::from_counters(&counters);
+            for (i, &c) in counters.iter().enumerate() {
+                prop_assert_eq!(arr.get(i), c);
+            }
+        }
+    }
+}

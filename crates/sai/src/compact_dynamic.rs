@@ -1,0 +1,370 @@
+//! Dynamic maintenance for the compact (§4.5) representation.
+//!
+//! §4.5 closes with: *"The same approach that is described in Section 4.4
+//! can be used to allow dynamic maintenance of the structure."* This module
+//! is that combination: counters are stored under a prefix-free codec
+//! (Elias δ by default) in per-group regions with slack, exactly like
+//! [`crate::DynamicCounterArray`] — but with **no per-item bookkeeping at
+//! all**. An access decodes sequentially from the group start (≤
+//! `group_size` codewords); an update re-encodes the group's suffix in
+//! place, borrowing slack from neighbors or rebuilding when a region
+//! overflows.
+//!
+//! This is the most compact mutable backend in the workspace: total
+//! storage is the Elias-coded payload + slack + three words per group. The
+//! `static_vs_compact_lookup` ablation bench measures what the missing
+//! index costs in access time.
+
+use sbf_bitvec::{BitReader, BitVec, BitWriter};
+use sbf_encoding::{Codec, EliasDelta};
+
+use crate::dynamic::Underflow;
+
+/// Tuning for [`DynamicCompactArray`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactConfig {
+    /// Items per group (decode cost per access is ≤ this).
+    pub group_size: usize,
+    /// Slack bits per group region.
+    pub slack_bits_per_group: usize,
+}
+
+impl Default for CompactConfig {
+    fn default() -> Self {
+        // Larger groups than the width-based array: the per-group words are
+        // this structure's only fixed cost, so amortizing them over 32
+        // items keeps total overhead near one bit per idle counter.
+        CompactConfig { group_size: 32, slack_bits_per_group: 32 }
+    }
+}
+
+/// Maintenance statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Full rebuilds.
+    pub rebuilds: usize,
+    /// Cross-group slack borrows.
+    pub region_shifts: u64,
+}
+
+/// A mutable, prefix-free-coded counter array with per-group slack.
+#[derive(Debug, Clone)]
+pub struct DynamicCompactArray<C: Codec = EliasDelta> {
+    codec: C,
+    base: BitVec,
+    cfg: CompactConfig,
+    m: usize,
+    starts: Vec<usize>,
+    caps: Vec<usize>,
+    used: Vec<usize>,
+    stats: CompactStats,
+}
+
+impl DynamicCompactArray<EliasDelta> {
+    /// `m` zero counters under Elias δ and the default configuration.
+    pub fn new(m: usize) -> Self {
+        Self::with_config(EliasDelta, m, CompactConfig::default())
+    }
+}
+
+impl<C: Codec> DynamicCompactArray<C> {
+    /// `m` zero counters under `codec` and `cfg`.
+    pub fn with_config(codec: C, m: usize, cfg: CompactConfig) -> Self {
+        assert!(cfg.group_size > 0, "group_size must be positive");
+        let mut arr = DynamicCompactArray {
+            codec,
+            base: BitVec::new(),
+            cfg,
+            m,
+            starts: Vec::new(),
+            caps: Vec::new(),
+            used: Vec::new(),
+            stats: CompactStats::default(),
+        };
+        let zeros = vec![0u64; m];
+        arr.layout(&zeros, cfg.slack_bits_per_group);
+        arr
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.m
+    }
+
+    /// Whether the array holds no counters.
+    pub fn is_empty(&self) -> bool {
+        self.m == 0
+    }
+
+    /// Maintenance statistics.
+    pub fn stats(&self) -> CompactStats {
+        self.stats
+    }
+
+    fn n_groups(&self) -> usize {
+        self.m.div_ceil(self.cfg.group_size)
+    }
+
+    fn group_range(&self, g: usize) -> (usize, usize) {
+        let lo = g * self.cfg.group_size;
+        let hi = ((g + 1) * self.cfg.group_size).min(self.m);
+        (lo, hi)
+    }
+
+    fn layout(&mut self, counters: &[u64], slack: usize) {
+        let n_groups = counters.len().div_ceil(self.cfg.group_size);
+        self.starts.clear();
+        self.caps.clear();
+        self.used.clear();
+        let mut writer = BitWriter::new();
+        let mut group_bits = Vec::with_capacity(n_groups);
+        // First encode everything to learn each group's payload size.
+        for g in 0..n_groups {
+            let lo = g * self.cfg.group_size;
+            let hi = ((g + 1) * self.cfg.group_size).min(counters.len());
+            let before = writer.len();
+            for &c in &counters[lo..hi] {
+                self.codec.encode(c, &mut writer);
+            }
+            group_bits.push(writer.len() - before);
+        }
+        let payload = writer.finish();
+        let total: usize = group_bits.iter().map(|b| b + slack).sum();
+        let mut base = BitVec::zeros(total);
+        let mut src = 0usize;
+        let mut dst = 0usize;
+        for &bits in &group_bits {
+            self.starts.push(dst);
+            self.used.push(bits);
+            self.caps.push(bits + slack);
+            // Copy this group's payload into its region.
+            let mut done = 0;
+            while done < bits {
+                let chunk = (bits - done).min(64);
+                let v = payload.read_bits(src + done, chunk);
+                base.write_bits(dst + done, chunk, v);
+                done += chunk;
+            }
+            src += bits;
+            dst += bits + slack;
+        }
+        self.base = base;
+    }
+
+    /// Decodes all counters of group `g`.
+    fn decode_group(&self, g: usize) -> Vec<u64> {
+        let (lo, hi) = self.group_range(g);
+        let mut reader =
+            BitReader::with_range(&self.base, self.starts[g], self.starts[g] + self.used[g]);
+        (lo..hi)
+            .map(|_| self.codec.decode(&mut reader).expect("group payload intact"))
+            .collect()
+    }
+
+    /// Reads counter `i`: sequential decode of ≤ `group_size` codewords.
+    pub fn get(&self, i: usize) -> u64 {
+        assert!(i < self.m, "counter {i} out of range {}", self.m);
+        let g = i / self.cfg.group_size;
+        let (lo, _) = self.group_range(g);
+        let mut reader =
+            BitReader::with_range(&self.base, self.starts[g], self.starts[g] + self.used[g]);
+        for _ in lo..i {
+            self.codec.decode(&mut reader).expect("group payload intact");
+        }
+        self.codec.decode(&mut reader).expect("group payload intact")
+    }
+
+    /// All values.
+    pub fn to_vec(&self) -> Vec<u64> {
+        (0..self.n_groups()).flat_map(|g| self.decode_group(g)).collect()
+    }
+
+    /// Writes counter `i` to `v`, re-encoding its group.
+    pub fn set(&mut self, i: usize, v: u64) {
+        assert!(i < self.m, "counter {i} out of range {}", self.m);
+        loop {
+            let g = i / self.cfg.group_size;
+            let (lo, _) = self.group_range(g);
+            let mut values = self.decode_group(g);
+            if values[i - lo] == v {
+                return;
+            }
+            values[i - lo] = v;
+            let mut w = BitWriter::new();
+            for &c in &values {
+                self.codec.encode(c, &mut w);
+            }
+            let payload = w.finish();
+            if payload.len() <= self.caps[g] {
+                let mut done = 0;
+                while done < payload.len() {
+                    let chunk = (payload.len() - done).min(64);
+                    let bits = payload.read_bits(done, chunk);
+                    self.base.write_bits(self.starts[g] + done, chunk, bits);
+                    done += chunk;
+                }
+                self.used[g] = payload.len();
+                return;
+            }
+            let need = payload.len() - self.caps[g];
+            if self.try_slide(g, need) {
+                continue;
+            }
+            // Refresh the whole array with enough fresh slack.
+            let mut counters = self.to_vec();
+            counters[i] = v;
+            let slack = self.cfg.slack_bits_per_group.max(need);
+            self.layout(&counters, slack);
+            self.stats.rebuilds += 1;
+            return;
+        }
+    }
+
+    /// Adds `by`; panics on overflow.
+    pub fn increment(&mut self, i: usize, by: u64) {
+        let v = self.get(i).checked_add(by).expect("counter overflow");
+        self.set(i, v);
+    }
+
+    /// Subtracts `by`, failing cleanly on underflow.
+    pub fn decrement(&mut self, i: usize, by: u64) -> Result<(), Underflow> {
+        let v = self.get(i);
+        if by > v {
+            return Err(Underflow { index: i, value: v, by });
+        }
+        self.set(i, v - by);
+        Ok(())
+    }
+
+    /// Borrows `need` bits of slack from the nearest group to the right
+    /// (bounded search, as in the §4.4 array).
+    fn try_slide(&mut self, g: usize, need: usize) -> bool {
+        let limit = (g + 1 + 32).min(self.n_groups());
+        let mut h = g + 1;
+        while h < limit {
+            if self.caps[h] - self.used[h] >= need {
+                break;
+            }
+            h += 1;
+        }
+        if h >= limit {
+            return false;
+        }
+        let src = self.starts[g + 1];
+        let count = self.starts[h] + self.used[h] - src;
+        self.base.copy_within(src, src + need, count);
+        for s in self.starts.iter_mut().take(h + 1).skip(g + 1) {
+            *s += need;
+        }
+        self.caps[g] += need;
+        self.caps[h] -= need;
+        self.stats.region_shifts += 1;
+        true
+    }
+
+    /// Total bits: payload + slack + three words per group. No per-item
+    /// term at all — the difference from [`crate::DynamicCounterArray`].
+    pub fn total_bits(&self) -> usize {
+        self.base.len() + self.starts.len() * 3 * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zeros_then_roundtrip() {
+        let mut arr = DynamicCompactArray::new(500);
+        for i in 0..500 {
+            assert_eq!(arr.get(i), 0);
+        }
+        for i in 0..500 {
+            arr.set(i, (i as u64) * 37 % 10_000);
+        }
+        for i in 0..500 {
+            assert_eq!(arr.get(i), (i as u64) * 37 % 10_000, "counter {i}");
+        }
+    }
+
+    #[test]
+    fn growth_through_slack_and_rebuilds() {
+        let mut arr = DynamicCompactArray::with_config(
+            EliasDelta,
+            64,
+            CompactConfig { group_size: 8, slack_bits_per_group: 4 },
+        );
+        for step in 0..30u64 {
+            arr.increment(9, 1 << step.min(40));
+        }
+        let expected: u64 = (0..30u64).map(|s| 1u64 << s.min(40)).sum();
+        assert_eq!(arr.get(9), expected);
+        let st = arr.stats();
+        assert!(st.rebuilds > 0 || st.region_shifts > 0, "growth must exercise maintenance: {st:?}");
+    }
+
+    #[test]
+    fn decrement_and_underflow() {
+        let mut arr = DynamicCompactArray::new(10);
+        arr.increment(3, 50);
+        arr.decrement(3, 20).unwrap();
+        assert_eq!(arr.get(3), 30);
+        assert!(arr.decrement(3, 31).is_err());
+        assert_eq!(arr.get(3), 30);
+    }
+
+    #[test]
+    fn smaller_than_width_based_dynamic_array() {
+        // Mostly-idle counters: Elias δ pays 1 bit per zero and no per-item
+        // width byte, so the compact form wins clearly once the per-group
+        // words amortize (group_size 64).
+        let mut compact = DynamicCompactArray::with_config(
+            EliasDelta,
+            20_000,
+            CompactConfig { group_size: 64, slack_bits_per_group: 32 },
+        );
+        let mut widthful = crate::DynamicCounterArray::new(20_000);
+        for i in (0..20_000).step_by(50) {
+            compact.set(i, 12);
+            widthful.set(i, 12);
+        }
+        assert_eq!(compact.to_vec(), widthful.to_vec());
+        assert!(
+            compact.total_bits() * 2 < widthful.total_bits(),
+            "compact {} vs widthful {}",
+            compact.total_bits(),
+            widthful.total_bits()
+        );
+    }
+
+    #[test]
+    fn empty_array() {
+        let arr = DynamicCompactArray::new(0);
+        assert!(arr.is_empty());
+        assert_eq!(arr.to_vec(), Vec::<u64>::new());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn matches_vec_model(
+            m in 1usize..60,
+            ops in prop::collection::vec((0usize..60, 0u64..(1 << 30)), 1..150),
+            gs in 1usize..10,
+            slack in 0usize..12,
+        ) {
+            let cfg = CompactConfig { group_size: gs, slack_bits_per_group: slack };
+            let mut arr = DynamicCompactArray::with_config(EliasDelta, m, cfg);
+            let mut model = vec![0u64; m];
+            for (i, v) in ops {
+                let i = i % m;
+                arr.set(i, v);
+                model[i] = v;
+                prop_assert_eq!(arr.get(i), v);
+            }
+            prop_assert_eq!(arr.to_vec(), model);
+        }
+    }
+}

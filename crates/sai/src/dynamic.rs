@@ -1,0 +1,549 @@
+//! The dynamic counter array of §4.4: slack bits, push-to-slack expansion,
+//! amortized O(1) updates, periodic rebuilds.
+//!
+//! The paper's scheme: the base array carries `εm` slack bits; a counter
+//! that outgrows its field "pushes the item next to it, which in turn
+//! pushes the next item, until a slack is encountered" (expected distance
+//! `O(1/ε)` by Lemma 8), and after enough churn "the base array is
+//! refreshed by moving counters so that slacks are again placed in 1/ε
+//! intervals". Deletions leave counters in place (their positions never
+//! move) and a long deletion sequence triggers a compacting rebuild, for
+//! amortized O(1) per operation.
+//!
+//! Implementation shape: items are partitioned into fixed *groups*; each
+//! group owns a contiguous bit region with its slack at the end. Per item
+//! only its allocated field *width* is kept (one byte); an item's offset
+//! inside its group is the prefix sum of at most `group_size` widths — a
+//! short, cache-friendly scan that keeps the bookkeeping at `O(m)` bits
+//! (≈ 11 bits/item at the default group size), the `O(m)` term of
+//! Theorem 6. An expansion first consumes the group's own slack; when the group is
+//! full, whole group regions are slid toward the nearest group with spare
+//! bits (the cross-group push); when no slack remains anywhere to the
+//! right, the array is rebuilt with fresh slack.
+
+use sbf_bitvec::BitVec;
+use sbf_encoding::counter_width;
+
+/// Tuning for [`DynamicCounterArray`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicConfig {
+    /// Items per group. Small groups mean shorter in-group shifts but more
+    /// region bookkeeping.
+    pub group_size: usize,
+    /// Slack bits appended to each group region at (re)build time — the
+    /// paper's `ε·m` budget, expressed per group. With `group_size = 32`
+    /// and 16 slack bits this is the 0.5-bits-per-item slack ratio used in
+    /// the paper's Figure 13 measurements.
+    pub slack_bits_per_group: usize,
+    /// Rebuild (compacting) when wasted bits exceed this fraction of the
+    /// occupied bits. Waste accrues from deletions, which shrink values but
+    /// not their allocated fields.
+    pub waste_rebuild_fraction: f64,
+}
+
+impl Default for DynamicConfig {
+    fn default() -> Self {
+        DynamicConfig { group_size: 32, slack_bits_per_group: 16, waste_rebuild_fraction: 0.25 }
+    }
+}
+
+/// Counters were asked to go below zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Underflow {
+    /// The counter index.
+    pub index: usize,
+    /// Its value at the time of the failed decrement.
+    pub value: u64,
+    /// The amount that was to be subtracted.
+    pub by: u64,
+}
+
+impl std::fmt::Display for Underflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "counter {} holds {} — cannot subtract {}", self.index, self.value, self.by)
+    }
+}
+
+impl std::error::Error for Underflow {}
+
+/// Maintenance statistics, exposed for the failure-injection tests and the
+/// amortized-cost benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DynamicStats {
+    /// Full rebuilds of the base array.
+    pub rebuilds: usize,
+    /// Counter-field expansions (width growth events).
+    pub expansions: u64,
+    /// Cross-group region slides (a push that had to leave its own group).
+    pub region_shifts: u64,
+    /// Total groups traversed by cross-group slides (push distance).
+    pub shift_distance: u64,
+}
+
+/// A mutable array of `m` counters stored in near-minimal width with slack.
+///
+/// ```
+/// use sbf_sai::DynamicCounterArray;
+///
+/// let mut arr = DynamicCounterArray::new(1000);
+/// arr.increment(7, 1_000_000);          // field grows in place
+/// arr.decrement(7, 1).unwrap();
+/// assert_eq!(arr.get(7), 999_999);
+/// assert!(arr.base_bits() < 1000 * 8, "≈1 bit per idle counter");
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicCounterArray {
+    base: BitVec,
+    cfg: DynamicConfig,
+    m: usize,
+    /// Absolute bit start of each group region; regions are contiguous:
+    /// `starts[g+1] == starts[g] + caps[g]`.
+    starts: Vec<usize>,
+    /// Region capacities in bits.
+    caps: Vec<usize>,
+    /// Occupied bits per region (counter fields, no slack).
+    used: Vec<usize>,
+    /// Per-item allocated field width; offsets are prefix sums within the
+    /// group.
+    widths: Vec<u8>,
+    /// Σ over items of (allocated width − minimal width).
+    waste: usize,
+    /// Σ of `used` (maintained incrementally; rebuild-trigger arithmetic
+    /// must not rescan all groups on the hot path).
+    occupied: usize,
+    stats: DynamicStats,
+}
+
+impl DynamicCounterArray {
+    /// `m` zero counters under the default configuration.
+    pub fn new(m: usize) -> Self {
+        Self::with_config(m, DynamicConfig::default())
+    }
+
+    /// `m` zero counters under `cfg`.
+    pub fn with_config(m: usize, cfg: DynamicConfig) -> Self {
+        assert!(cfg.group_size > 0, "group_size must be positive");
+        let zeros = vec![0u64; m];
+        Self::from_counters_with(&zeros, cfg)
+    }
+
+    /// Builds from existing counter values (default configuration).
+    pub fn from_counters(counters: &[u64]) -> Self {
+        Self::from_counters_with(counters, DynamicConfig::default())
+    }
+
+    /// Builds from existing counter values under `cfg`.
+    pub fn from_counters_with(counters: &[u64], cfg: DynamicConfig) -> Self {
+        assert!(cfg.group_size > 0, "group_size must be positive");
+        let m = counters.len();
+        let mut arr = DynamicCounterArray {
+            base: BitVec::new(),
+            cfg,
+            m,
+            starts: Vec::new(),
+            caps: Vec::new(),
+            used: Vec::new(),
+            widths: vec![0; m],
+            waste: 0,
+            occupied: 0,
+            stats: DynamicStats::default(),
+        };
+        arr.layout(counters, cfg.slack_bits_per_group);
+        arr
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.m
+    }
+
+    /// Whether the array holds no counters.
+    pub fn is_empty(&self) -> bool {
+        self.m == 0
+    }
+
+    /// Maintenance statistics so far.
+    pub fn stats(&self) -> DynamicStats {
+        self.stats
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> DynamicConfig {
+        self.cfg
+    }
+
+    fn n_groups(&self) -> usize {
+        self.m.div_ceil(self.cfg.group_size)
+    }
+
+    /// Lays the counters out afresh with `slack` bits of headroom per group.
+    fn layout(&mut self, counters: &[u64], slack: usize) {
+        let gs = self.cfg.group_size;
+        let n_groups = counters.len().div_ceil(gs);
+        self.starts.clear();
+        self.caps.clear();
+        self.used.clear();
+        let mut total = 0usize;
+        for g in 0..n_groups {
+            let lo = g * gs;
+            let hi = ((g + 1) * gs).min(counters.len());
+            let mut bits = 0usize;
+            for (i, &c) in counters.iter().enumerate().take(hi).skip(lo) {
+                let w = counter_width(c);
+                self.widths[i] = w as u8;
+                bits += w;
+            }
+            self.starts.push(total);
+            self.used.push(bits);
+            self.caps.push(bits + slack);
+            total += bits + slack;
+        }
+        self.occupied = self.used.iter().sum();
+        self.base = BitVec::zeros(total);
+        let mut pos = 0usize;
+        for (i, &c) in counters.iter().enumerate() {
+            let g = i / gs;
+            if i % gs == 0 {
+                pos = self.starts[g];
+            }
+            self.base.write_bits(pos, self.widths[i] as usize, c);
+            pos += self.widths[i] as usize;
+        }
+        self.waste = 0;
+    }
+
+    /// Bit offset of item `i` inside its group region: a prefix-sum scan
+    /// over at most `group_size` byte-sized widths.
+    #[inline]
+    fn rel_of(&self, i: usize) -> usize {
+        let g_lo = (i / self.cfg.group_size) * self.cfg.group_size;
+        self.widths[g_lo..i].iter().map(|&w| w as usize).sum()
+    }
+
+    /// Reads counter `i` (O(group_size), a constant).
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        assert!(i < self.m, "counter {i} out of range {}", self.m);
+        let g = i / self.cfg.group_size;
+        self.base.read_bits(self.starts[g] + self.rel_of(i), self.widths[i] as usize)
+    }
+
+    /// All current values (used by rebuilds, reports and tests).
+    pub fn to_vec(&self) -> Vec<u64> {
+        (0..self.m).map(|i| self.get(i)).collect()
+    }
+
+    /// Writes counter `i` to `v`, expanding or recording waste as needed.
+    pub fn set(&mut self, i: usize, v: u64) {
+        assert!(i < self.m, "counter {i} out of range {}", self.m);
+        let new_w = counter_width(v);
+        loop {
+            let g = i / self.cfg.group_size;
+            let old_v = self.get(i);
+            if old_v == v {
+                return;
+            }
+            let cur_w = self.widths[i] as usize;
+            let cur_waste = cur_w - counter_width(old_v);
+            if new_w <= cur_w {
+                // In-place write inside the existing field; positions never
+                // move on shrink (§4.4: "delete operations ... do not affect
+                // their positions").
+                self.base.write_bits(self.starts[g] + self.rel_of(i), cur_w, v);
+                let grew = (cur_w - new_w) > cur_waste;
+                self.waste = self.waste - cur_waste + (cur_w - new_w);
+                if grew {
+                    self.maybe_compact();
+                }
+                return;
+            }
+            let d = new_w - cur_w;
+            if self.used[g] + d <= self.caps[g] {
+                // In-group expansion: shift the tail of the region right.
+                self.stats.expansions += 1;
+                let rel = self.rel_of(i);
+                let pos = self.starts[g] + rel;
+                let tail_src = pos + cur_w;
+                let tail_len = self.used[g] - (rel + cur_w);
+                self.base.copy_within(tail_src, tail_src + d, tail_len);
+                self.used[g] += d;
+                self.occupied += d;
+                self.widths[i] = new_w as u8;
+                self.base.write_bits(pos, new_w, v);
+                self.waste -= cur_waste;
+                return;
+            }
+            if self.try_slide(g, d) {
+                continue; // room borrowed from a neighbor's slack
+            }
+            // §4.4: "the base array is refreshed by moving counters so that
+            // slacks are again placed in 1/ε intervals". Sizing the fresh
+            // slack at ≥ new_w guarantees the retry succeeds in-group.
+            let counters = self.to_vec();
+            self.layout(&counters, self.cfg.slack_bits_per_group.max(new_w));
+            self.stats.rebuilds += 1;
+        }
+    }
+
+    /// Adds `by` to counter `i`. Panics on `u64` overflow.
+    pub fn increment(&mut self, i: usize, by: u64) {
+        let v = self.get(i).checked_add(by).expect("counter overflow");
+        self.set(i, v);
+    }
+
+    /// Subtracts `by` from counter `i`, failing cleanly on underflow.
+    pub fn decrement(&mut self, i: usize, by: u64) -> Result<(), Underflow> {
+        let v = self.get(i);
+        if by > v {
+            return Err(Underflow { index: i, value: v, by });
+        }
+        self.set(i, v - by);
+        Ok(())
+    }
+
+    /// Farthest neighbor (in groups) a push may reach before we prefer a
+    /// full refresh. Lemma 8 puts the *expected* distance at O(1/ε); the
+    /// bound keeps the worst-case slide cost flat when local slack runs
+    /// dry near the end of a fill cycle.
+    const MAX_SLIDE_GROUPS: usize = 32;
+
+    /// Tries to borrow `d` bits of slack from the nearest group to the
+    /// right, sliding the regions in between (the cross-group push of
+    /// §4.4). Returns `false` when no group within reach has the slack.
+    fn try_slide(&mut self, g: usize, d: usize) -> bool {
+        let limit = (g + 1 + Self::MAX_SLIDE_GROUPS).min(self.n_groups());
+        let mut h = g + 1;
+        while h < limit {
+            if self.caps[h] - self.used[h] >= d {
+                break;
+            }
+            h += 1;
+        }
+        if h >= limit {
+            return false;
+        }
+        // Slide the occupied stretch of regions g+1..=h right by d. The
+        // stretch includes dead slack between regions; moving it is harmless
+        // and keeps this a single bounded memmove.
+        let src = self.starts[g + 1];
+        let count = self.starts[h] + self.used[h] - src;
+        self.base.copy_within(src, src + d, count);
+        for s in self.starts.iter_mut().take(h + 1).skip(g + 1) {
+            *s += d;
+        }
+        self.caps[g] += d;
+        self.caps[h] -= d;
+        self.stats.region_shifts += 1;
+        self.stats.shift_distance += (h - g) as u64;
+        true
+    }
+
+    fn maybe_compact(&mut self) {
+        let threshold = (self.occupied as f64 * self.cfg.waste_rebuild_fraction) as usize;
+        if self.waste > threshold.max(64) {
+            let counters = self.to_vec();
+            self.layout(&counters, self.cfg.slack_bits_per_group);
+            self.stats.rebuilds += 1;
+        }
+    }
+
+    /// Bits in the base array (counters + slack) — the paper's `N + ε′m`.
+    pub fn base_bits(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Bits of per-item and per-group bookkeeping (the `O(m)` term):
+    /// one byte of width per item and three words per group.
+    pub fn bookkeeping_bits(&self) -> usize {
+        self.widths.len() * 8 + self.starts.len() * 3 * 64
+    }
+
+    /// Total storage in bits.
+    pub fn total_bits(&self) -> usize {
+        self.base_bits() + self.bookkeeping_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Deterministic LCG for the Lemma 8 measurement.
+    pub(crate) struct TestRng(u64);
+    impl TestRng {
+        pub(crate) fn new(seed: u64) -> Self {
+            TestRng(seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1))
+        }
+        pub(crate) fn below(&mut self, bound: usize) -> usize {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((self.0 >> 33) as usize) % bound
+        }
+    }
+
+
+    #[test]
+    fn starts_at_zero() {
+        let arr = DynamicCounterArray::new(100);
+        for i in 0..100 {
+            assert_eq!(arr.get(i), 0);
+        }
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut arr = DynamicCounterArray::new(200);
+        for i in 0..200 {
+            arr.set(i, (i as u64) * 977);
+        }
+        for i in 0..200 {
+            assert_eq!(arr.get(i), (i as u64) * 977, "counter {i}");
+        }
+    }
+
+    #[test]
+    fn increments_grow_fields_across_slack() {
+        let mut arr = DynamicCounterArray::with_config(
+            64,
+            DynamicConfig { group_size: 8, slack_bits_per_group: 2, waste_rebuild_fraction: 0.25 },
+        );
+        // Hammer one counter so its field must expand repeatedly, spilling
+        // over its group's 2 slack bits into neighbors and rebuilds.
+        for step in 0..40 {
+            arr.increment(5, 1 << step.min(30));
+        }
+        let expected: u64 = (0..40).map(|s: u64| 1u64 << s.min(30)).sum();
+        assert_eq!(arr.get(5), expected);
+        // Everyone else untouched.
+        for i in (0..64).filter(|&i| i != 5) {
+            assert_eq!(arr.get(i), 0);
+        }
+        assert!(arr.stats().expansions > 0);
+    }
+
+    #[test]
+    fn cross_group_push_moves_regions() {
+        let cfg = DynamicConfig { group_size: 4, slack_bits_per_group: 1, waste_rebuild_fraction: 0.25 };
+        let mut arr = DynamicCounterArray::with_config(32, cfg);
+        // Fill group 0 beyond its slack while later groups stay slim.
+        arr.set(0, u64::MAX >> 1);
+        arr.set(1, u64::MAX >> 1);
+        assert_eq!(arr.get(0), u64::MAX >> 1);
+        assert_eq!(arr.get(1), u64::MAX >> 1);
+        let s = arr.stats();
+        assert!(s.region_shifts > 0 || s.rebuilds > 0, "expected slack borrowing: {s:?}");
+        for i in 2..32 {
+            assert_eq!(arr.get(i), 0);
+        }
+    }
+
+    #[test]
+    fn decrement_and_underflow() {
+        let mut arr = DynamicCounterArray::new(10);
+        arr.increment(3, 100);
+        assert!(arr.decrement(3, 60).is_ok());
+        assert_eq!(arr.get(3), 40);
+        let err = arr.decrement(3, 41).unwrap_err();
+        assert_eq!(err, Underflow { index: 3, value: 40, by: 41 });
+        assert_eq!(arr.get(3), 40, "failed decrement must not change the value");
+    }
+
+    #[test]
+    fn deletion_churn_triggers_compaction() {
+        let cfg = DynamicConfig { group_size: 16, slack_bits_per_group: 8, waste_rebuild_fraction: 0.1 };
+        let mut arr = DynamicCounterArray::with_config(256, cfg);
+        for i in 0..256 {
+            arr.set(i, 1 << 20);
+        }
+        for i in 0..256 {
+            arr.set(i, 1); // massive shrink → waste → compaction
+        }
+        assert!(arr.stats().rebuilds > 0, "expected a compacting rebuild");
+        for i in 0..256 {
+            assert_eq!(arr.get(i), 1);
+        }
+        // After compaction the base array is back near minimal size.
+        assert!(arr.base_bits() < 256 * 4, "base still bloated: {} bits", arr.base_bits());
+    }
+
+    #[test]
+    fn from_counters_matches_source() {
+        let vals: Vec<u64> = (0..500).map(|i| (i * i * 31) % 100_000).collect();
+        let arr = DynamicCounterArray::from_counters(&vals);
+        assert_eq!(arr.to_vec(), vals);
+    }
+
+    #[test]
+    fn empty_array_is_fine() {
+        let arr = DynamicCounterArray::new(0);
+        assert!(arr.is_empty());
+        assert_eq!(arr.base_bits(), 0);
+    }
+
+    #[test]
+    fn sliding_pattern_interleaved_inserts_and_deletes() {
+        let mut arr = DynamicCounterArray::new(64);
+        let mut model = vec![0u64; 64];
+        let mut x = 123_456_789u64;
+        for step in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let i = (x >> 33) as usize % 64;
+            if step % 3 == 2 && model[i] > 0 {
+                let by = 1 + (x % model[i]);
+                arr.decrement(i, by).unwrap();
+                model[i] -= by;
+            } else {
+                let by = 1 + (x % 1000);
+                arr.increment(i, by);
+                model[i] += by;
+            }
+        }
+        assert_eq!(arr.to_vec(), model);
+    }
+
+
+    #[test]
+    fn lemma8_push_distance_is_small_on_random_inserts() {
+        // Lemma 8: with random item placement, the expected distance from
+        // an expanding counter to the nearest slack is O(1/ε). Measured:
+        // the average cross-group slide should span very few groups.
+        let mut arr = DynamicCounterArray::with_config(
+            10_000,
+            DynamicConfig { group_size: 32, slack_bits_per_group: 16, waste_rebuild_fraction: 0.25 },
+        );
+        let mut rng = crate::dynamic::tests::TestRng::new(7);
+        for _ in 0..100_000 {
+            arr.increment(rng.below(10_000), 1);
+        }
+        let st = arr.stats();
+        if st.region_shifts > 0 {
+            let avg = st.shift_distance as f64 / st.region_shifts as f64;
+            assert!(avg < 8.0, "average push distance {avg} groups");
+        }
+        // Amortization sanity: rebuilds stay rare relative to operations.
+        assert!(st.rebuilds < 50, "{} rebuilds for 100k increments", st.rebuilds);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn random_ops_match_vec_model(
+            m in 1usize..80,
+            ops in prop::collection::vec((0usize..80, 0u64..(1 << 34)), 1..200),
+            gs in 1usize..12,
+            slack in 0usize..6,
+        ) {
+            let cfg = DynamicConfig { group_size: gs, slack_bits_per_group: slack, waste_rebuild_fraction: 0.25 };
+            let mut arr = DynamicCounterArray::with_config(m, cfg);
+            let mut model = vec![0u64; m];
+            for (i, v) in ops {
+                let i = i % m;
+                arr.set(i, v);
+                model[i] = v;
+                prop_assert_eq!(arr.get(i), v);
+            }
+            prop_assert_eq!(arr.to_vec(), model);
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! The general variable-length access problem (§4.1), dynamic (§4.4) —
+//! for *arbitrary* bit strings, not just counters.
+//!
+//! [`crate::DynamicCounterArray`] specializes the paper's scheme to
+//! counters (width = `⌈log C⌉`). This structure drops the specialization:
+//! each of the `m` slots holds an arbitrary bit string that can be
+//! replaced by one of any other length. Growth pushes toward per-group
+//! slack exactly as in §4.4; shrink reclaims bits into the group's slack
+//! immediately (no waste tracking needed — strings carry explicit
+//! lengths).
+
+use sbf_bitvec::BitVec;
+
+/// A mutable array of `m` arbitrary-length bit strings.
+#[derive(Debug, Clone)]
+pub struct DynamicStringArray {
+    base: BitVec,
+    group_size: usize,
+    slack: usize,
+    m: usize,
+    starts: Vec<usize>,
+    caps: Vec<usize>,
+    used: Vec<usize>,
+    /// Per-item bit length.
+    lengths: Vec<u32>,
+    rebuilds: usize,
+}
+
+impl DynamicStringArray {
+    /// `m` empty strings; groups of `group_size` items with `slack` spare
+    /// bits each.
+    pub fn new(m: usize, group_size: usize, slack: usize) -> Self {
+        assert!(group_size > 0, "group_size must be positive");
+        let n_groups = m.div_ceil(group_size);
+        let mut starts = Vec::with_capacity(n_groups);
+        let mut caps = Vec::with_capacity(n_groups);
+        for g in 0..n_groups {
+            starts.push(g * slack);
+            caps.push(slack);
+        }
+        DynamicStringArray {
+            base: BitVec::zeros(n_groups * slack),
+            group_size,
+            slack,
+            m,
+            starts,
+            caps,
+            used: vec![0; n_groups],
+            lengths: vec![0; m],
+            rebuilds: 0,
+        }
+    }
+
+    /// Number of strings.
+    pub fn len(&self) -> usize {
+        self.m
+    }
+
+    /// Whether the array holds no strings.
+    pub fn is_empty(&self) -> bool {
+        self.m == 0
+    }
+
+    /// Bit length of string `i`.
+    pub fn length_of(&self, i: usize) -> usize {
+        self.lengths[i] as usize
+    }
+
+    /// Full rebuilds performed so far.
+    pub fn rebuilds(&self) -> usize {
+        self.rebuilds
+    }
+
+    /// Total storage (base array + per-item lengths + group words).
+    pub fn total_bits(&self) -> usize {
+        self.base.len() + self.lengths.len() * 32 + self.starts.len() * 3 * 64
+    }
+
+    fn n_groups(&self) -> usize {
+        self.m.div_ceil(self.group_size)
+    }
+
+    fn rel_of(&self, i: usize) -> usize {
+        let lo = (i / self.group_size) * self.group_size;
+        self.lengths[lo..i].iter().map(|&l| l as usize).sum()
+    }
+
+    /// Reads string `i` as a fresh [`BitVec`].
+    pub fn get(&self, i: usize) -> BitVec {
+        assert!(i < self.m, "item {i} out of range {}", self.m);
+        let g = i / self.group_size;
+        let pos = self.starts[g] + self.rel_of(i);
+        let len = self.lengths[i] as usize;
+        let mut out = BitVec::zeros(len);
+        let mut done = 0;
+        while done < len {
+            let chunk = (len - done).min(64);
+            out.write_bits(done, chunk, self.base.read_bits(pos + done, chunk));
+            done += chunk;
+        }
+        out
+    }
+
+    /// Replaces string `i` with `bits`, growing or shrinking its slot.
+    pub fn set(&mut self, i: usize, bits: &BitVec) {
+        assert!(i < self.m, "item {i} out of range {}", self.m);
+        let new_len = bits.len();
+        assert!(new_len <= u32::MAX as usize, "string too long");
+        loop {
+            let g = i / self.group_size;
+            let old_len = self.lengths[i] as usize;
+            let rel = self.rel_of(i);
+            let pos = self.starts[g] + rel;
+            let tail = self.used[g] - (rel + old_len);
+            if new_len <= old_len {
+                // Shrink: write, pull the tail left, reclaim into slack.
+                let d = old_len - new_len;
+                self.write_string(pos, bits);
+                if d > 0 {
+                    self.base.copy_within(pos + old_len, pos + new_len, tail);
+                    self.used[g] -= d;
+                }
+                self.lengths[i] = new_len as u32;
+                return;
+            }
+            let d = new_len - old_len;
+            if self.used[g] + d <= self.caps[g] {
+                // Grow in place: push the tail right, then write.
+                self.base.copy_within(pos + old_len, pos + new_len, tail);
+                self.used[g] += d;
+                self.lengths[i] = new_len as u32;
+                self.write_string(pos, bits);
+                return;
+            }
+            if self.try_slide(g, d) {
+                continue;
+            }
+            self.rebuild_with(i, bits);
+            return;
+        }
+    }
+
+    fn write_string(&mut self, pos: usize, bits: &BitVec) {
+        let mut done = 0;
+        while done < bits.len() {
+            let chunk = (bits.len() - done).min(64);
+            self.base.write_bits(pos + done, chunk, bits.read_bits(done, chunk));
+            done += chunk;
+        }
+    }
+
+    fn try_slide(&mut self, g: usize, d: usize) -> bool {
+        let limit = (g + 1 + 32).min(self.n_groups());
+        let mut h = g + 1;
+        while h < limit {
+            if self.caps[h] - self.used[h] >= d {
+                break;
+            }
+            h += 1;
+        }
+        if h >= limit {
+            return false;
+        }
+        let src = self.starts[g + 1];
+        let count = self.starts[h] + self.used[h] - src;
+        self.base.copy_within(src, src + d, count);
+        for s in self.starts.iter_mut().take(h + 1).skip(g + 1) {
+            *s += d;
+        }
+        self.caps[g] += d;
+        self.caps[h] -= d;
+        true
+    }
+
+    fn rebuild_with(&mut self, i: usize, replacement: &BitVec) {
+        let mut strings: Vec<BitVec> = (0..self.m).map(|j| self.get(j)).collect();
+        strings[i] = replacement.clone();
+        let slack = self.slack.max(replacement.len());
+        let n_groups = self.n_groups();
+        let mut starts = Vec::with_capacity(n_groups);
+        let mut caps = Vec::with_capacity(n_groups);
+        let mut used = Vec::with_capacity(n_groups);
+        let mut total = 0usize;
+        for g in 0..n_groups {
+            let lo = g * self.group_size;
+            let hi = ((g + 1) * self.group_size).min(self.m);
+            let bits: usize = strings[lo..hi].iter().map(BitVec::len).sum();
+            starts.push(total);
+            used.push(bits);
+            caps.push(bits + slack);
+            total += bits + slack;
+        }
+        let mut base = BitVec::zeros(total);
+        let mut pos;
+        for (g, &g_start) in starts.iter().enumerate() {
+            pos = g_start;
+            let lo = g * self.group_size;
+            let hi = ((g + 1) * self.group_size).min(self.m);
+            for (j, s) in strings[lo..hi].iter().enumerate() {
+                self.lengths[lo + j] = s.len() as u32;
+                let mut done = 0;
+                while done < s.len() {
+                    let chunk = (s.len() - done).min(64);
+                    base.write_bits(pos + done, chunk, s.read_bits(done, chunk));
+                    done += chunk;
+                }
+                pos += s.len();
+            }
+        }
+        self.base = base;
+        self.starts = starts;
+        self.caps = caps;
+        self.used = used;
+        self.rebuilds += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn bv(bits: &[bool]) -> BitVec {
+        BitVec::from_bools(bits)
+    }
+
+    #[test]
+    fn set_get_various_lengths() {
+        let mut arr = DynamicStringArray::new(50, 8, 16);
+        let payloads: Vec<BitVec> = (0..50)
+            .map(|i| bv(&(0..(i * 3) % 70).map(|j| (i + j) % 3 == 0).collect::<Vec<_>>()))
+            .collect();
+        for (i, p) in payloads.iter().enumerate() {
+            arr.set(i, p);
+        }
+        for (i, p) in payloads.iter().enumerate() {
+            assert_eq!(&arr.get(i), p, "string {i}");
+            assert_eq!(arr.length_of(i), p.len());
+        }
+    }
+
+    #[test]
+    fn replace_with_longer_and_shorter() {
+        let mut arr = DynamicStringArray::new(10, 4, 8);
+        let long = bv(&vec![true; 200]);
+        let short = bv(&[true, false, true]);
+        arr.set(3, &long);
+        assert_eq!(arr.get(3), long);
+        arr.set(3, &short);
+        assert_eq!(arr.get(3), short);
+        arr.set(3, &long);
+        assert_eq!(arr.get(3), long);
+        // Neighbors untouched throughout.
+        assert_eq!(arr.get(2).len(), 0);
+        assert_eq!(arr.get(4).len(), 0);
+    }
+
+    #[test]
+    fn growth_beyond_slack_rebuilds() {
+        let mut arr = DynamicStringArray::new(64, 8, 2);
+        for i in 0..64 {
+            arr.set(i, &bv(&vec![i % 2 == 0; 100]));
+        }
+        assert!(arr.rebuilds() > 0, "tiny slack must force rebuilds");
+        for i in 0..64 {
+            assert_eq!(arr.get(i).len(), 100);
+            assert_eq!(arr.get(i).get(0), i % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn empty_strings_roundtrip() {
+        let mut arr = DynamicStringArray::new(5, 2, 4);
+        arr.set(0, &bv(&[true]));
+        arr.set(1, &BitVec::new());
+        arr.set(2, &bv(&[false, true]));
+        assert_eq!(arr.get(1), BitVec::new());
+        assert_eq!(arr.get(2), bv(&[false, true]));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn matches_vec_model(
+            m in 1usize..40,
+            ops in prop::collection::vec(
+                (0usize..40, prop::collection::vec(any::<bool>(), 0..120)),
+                1..100,
+            ),
+            gs in 1usize..8,
+            slack in 0usize..20,
+        ) {
+            let mut arr = DynamicStringArray::new(m, gs, slack);
+            let mut model: Vec<Vec<bool>> = vec![Vec::new(); m];
+            for (i, payload) in ops {
+                let i = i % m;
+                let b = BitVec::from_bools(&payload);
+                arr.set(i, &b);
+                model[i] = payload;
+                prop_assert_eq!(arr.get(i), b);
+            }
+            for (i, payload) in model.iter().enumerate() {
+                prop_assert_eq!(arr.get(i), BitVec::from_bools(payload), "item {}", i);
+            }
+        }
+    }
+}

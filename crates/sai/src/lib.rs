@@ -1,0 +1,49 @@
+//! The **String-Array Index** (SAI) of the Spectral Bloom Filter paper
+//! (Cohen & Matias, SIGMOD 2003, Section 4), plus the surrounding cast of
+//! counter-array representations.
+//!
+//! # The variable-length access problem (§4.1)
+//!
+//! Given binary strings `s₁ … s_m` of arbitrary lengths concatenated into
+//! `S = s₁s₂…s_m` of `N` bits, return the position (and extent) of `s_i`
+//! for any `i` — in O(1) time and `o(N) + O(m)` extra bits.
+//!
+//! # What this crate provides
+//!
+//! | Type | Paper section | Contract |
+//! |---|---|---|
+//! | [`StringArrayIndex`] | §4.3 | static index over item lengths: O(1) [`StringArrayIndex::locate`], built in O(m) |
+//! | [`StaticCounterArray`] | §4.3 | counters packed at `⌈log C⌉` bits + a `StringArrayIndex` |
+//! | [`DynamicCounterArray`] | §4.4, §4.7 | mutable counters with slack bits, push-to-slack expansion, amortized O(1) updates, periodic rebuilds |
+//! | [`CompactCounterArray`] | §4.5 | the "alternative approach": coarse levels only + prefix-free codes, O(log log N) sequential-scan access, `N + o(m)` bits |
+//! | [`DynamicCompactArray`] | §4.5 (closing remark) | the compact form made *mutable*: per-group slack + re-encode-on-update, no per-item bookkeeping |
+//! | [`DynamicStringArray`] | §4.1 + §4.4 | the *general* problem, mutable: arbitrary bit strings replaced at arbitrary lengths |
+//! | [`SelectCounterArray`] | §4.2 | the classic select-reduction reference solution, used to cross-check the SAI |
+//!
+//! Size accounting is honest: every component reports its in-memory bit
+//! count, and [`SizeBreakdown`] reproduces the storage figures (13–15) of
+//! the paper's evaluation. The whole static structure serializes into one
+//! continuous buffer for node-to-node shipping (§4.7.1, [`serialize`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compact;
+pub mod compact_dynamic;
+pub mod dynamic;
+pub mod dynamic_strings;
+pub mod select_ref;
+pub mod serialize;
+pub mod size;
+pub mod static_array;
+pub mod static_index;
+
+pub use compact::CompactCounterArray;
+pub use compact_dynamic::{CompactConfig, CompactStats, DynamicCompactArray};
+pub use dynamic::{DynamicConfig, DynamicCounterArray};
+pub use dynamic_strings::DynamicStringArray;
+pub use select_ref::SelectCounterArray;
+pub use serialize::SerializeError;
+pub use size::SizeBreakdown;
+pub use static_array::StaticCounterArray;
+pub use static_index::{IndexParams, StringArrayIndex};

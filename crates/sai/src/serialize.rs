@@ -1,0 +1,189 @@
+//! Continuous-memory serialization of the static counter array (§4.7.1).
+//!
+//! "One of the popular uses of Bloom Filters is in distributed systems,
+//! where the filter is often sent from one node to the other as a message
+//! ... The goal is to create the data structure as one continuous block
+//! and when it is needed to be sent, simply transmit the contents of the
+//! memory block that includes all the information needed to fully
+//! reproduce the string-array index."
+//!
+//! [`crate::StaticCounterArray::to_bytes`] flattens the base array and
+//! every index component — `C¹`, the complete/coarse level-2 vectors, the
+//! level-3 offset and length vectors, pattern ids, the lookup table, and
+//! both flag vectors — into one self-describing buffer;
+//! [`crate::StaticCounterArray::from_bytes`] reproduces a byte-identical
+//! structure on the receiving node (the lookup table travels too; the
+//! paper notes it "can be omitted ... and generated in the receiving
+//! node", but shipping it trades a few bytes for zero rebuild work).
+
+use sbf_bitvec::{BitVec, PackedVec};
+
+/// Serialization-format errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SerializeError {
+    /// Buffer ended before its contents did.
+    Truncated,
+    /// Magic/version mismatch or an impossible field.
+    Malformed,
+}
+
+impl std::fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SerializeError::Truncated => write!(f, "buffer truncated"),
+            SerializeError::Malformed => write!(f, "malformed string-array-index block"),
+        }
+    }
+}
+
+impl std::error::Error for SerializeError {}
+
+pub(crate) struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub(crate) fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    pub(crate) fn bitvec(&mut self, bits: &BitVec) {
+        self.usize(bits.len());
+        for &w in bits.words() {
+            self.u64(w);
+        }
+    }
+
+    pub(crate) fn packed(&mut self, v: &PackedVec) {
+        self.usize(v.width());
+        self.usize(v.len());
+        for i in 0..v.len() {
+            // Entries re-packed on read; values are what matters.
+            self.u64(v.get(i));
+        }
+    }
+
+    pub(crate) fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, SerializeError> {
+        let end = self.pos.checked_add(8).ok_or(SerializeError::Malformed)?;
+        if end > self.buf.len() {
+            return Err(SerializeError::Truncated);
+        }
+        let v = u64::from_le_bytes(self.buf[self.pos..end].try_into().expect("sized"));
+        self.pos = end;
+        Ok(v)
+    }
+
+    pub(crate) fn usize_checked(&mut self, cap: usize) -> Result<usize, SerializeError> {
+        let v = self.u64()?;
+        if v > cap as u64 {
+            return Err(SerializeError::Malformed);
+        }
+        Ok(v as usize)
+    }
+
+    pub(crate) fn bitvec(&mut self) -> Result<BitVec, SerializeError> {
+        // A bit length beyond 2^40 would mean a >128 GiB filter; reject.
+        let len = self.usize_checked(1 << 40)?;
+        let mut bits = BitVec::zeros(len);
+        let words = len.div_ceil(64);
+        for w in 0..words {
+            let word = self.u64()?;
+            let lo = w * 64;
+            let width = 64.min(len - lo);
+            let masked = if width == 64 { word } else { word & ((1u64 << width) - 1) };
+            bits.write_bits(lo, width, masked);
+        }
+        Ok(bits)
+    }
+
+    pub(crate) fn packed(&mut self) -> Result<PackedVec, SerializeError> {
+        let width = self.usize_checked(64)?;
+        let len = self.usize_checked(1 << 36)?;
+        let mut v = PackedVec::with_capacity(width, len);
+        let cap = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        for _ in 0..len {
+            let x = self.u64()?;
+            if x > cap {
+                return Err(SerializeError::Malformed);
+            }
+            v.push(x);
+        }
+        Ok(v)
+    }
+
+    pub(crate) fn done(&self) -> Result<(), SerializeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(SerializeError::Malformed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut w = Writer::new();
+        w.u64(42);
+        let bits = BitVec::from_bools(&[true, false, true, true]);
+        w.bitvec(&bits);
+        let packed = PackedVec::from_slice(7, &[1, 2, 3, 100]);
+        w.packed(&packed);
+        let buf = w.finish();
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u64().unwrap(), 42);
+        assert_eq!(r.bitvec().unwrap(), bits);
+        assert_eq!(r.packed().unwrap(), packed);
+        r.done().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut w = Writer::new();
+        w.bitvec(&BitVec::zeros(200));
+        let buf = w.finish();
+        for cut in [0, 7, 8, 15, buf.len() - 1] {
+            let mut r = Reader::new(&buf[..cut]);
+            assert!(r.bitvec().is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn overwide_packed_entry_is_malformed() {
+        // width 3 but an entry of 9: hand-craft the buffer.
+        let mut w = Writer::new();
+        w.usize(3); // width
+        w.usize(1); // len
+        w.u64(9); // entry too wide
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.packed(), Err(SerializeError::Malformed));
+    }
+}

@@ -1,0 +1,206 @@
+//! A read-only counter array backed by the static String-Array Index.
+
+use sbf_bitvec::BitVec;
+use sbf_encoding::counter_width;
+
+use crate::serialize::{Reader, SerializeError, Writer};
+use crate::size::SizeBreakdown;
+use crate::static_index::StringArrayIndex;
+
+/// `m` counters packed at `⌈log C⌉` bits each (1-bit minimum), with a
+/// [`StringArrayIndex`] for O(1) access — the static SBF base array of
+/// Theorem 6.
+#[derive(Debug, Clone)]
+pub struct StaticCounterArray {
+    base: BitVec,
+    index: StringArrayIndex,
+}
+
+impl StaticCounterArray {
+    /// Packs `counters` and builds the index. `O(N)` time.
+    pub fn from_counters(counters: &[u64]) -> Self {
+        let lengths: Vec<usize> = counters.iter().map(|&c| counter_width(c)).collect();
+        Self::assemble(counters, StringArrayIndex::build(&lengths))
+    }
+
+    /// Packs `counters` behind the §4.6 storage-reduced index with
+    /// reduction exponent `c` (Theorem 9).
+    pub fn from_counters_reduced(counters: &[u64], c: u32) -> Self {
+        let lengths: Vec<usize> = counters.iter().map(|&v| counter_width(v)).collect();
+        Self::assemble(counters, StringArrayIndex::build_reduced(&lengths, c))
+    }
+
+    fn assemble(counters: &[u64], index: StringArrayIndex) -> Self {
+        let mut base = BitVec::zeros(index.n_bits());
+        let mut pos = 0usize;
+        for &v in counters {
+            let w = counter_width(v);
+            base.write_bits(pos, w, v);
+            pos += w;
+        }
+        StaticCounterArray { base, index }
+    }
+
+
+    /// Serializes base array + index into one continuous buffer (§4.7.1).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bitvec(&self.base);
+        let idx = self.index.to_bytes();
+        w.usize(idx.len());
+        let mut buf = w.finish();
+        buf.extend_from_slice(&idx);
+        buf
+    }
+
+    /// Reconstructs from [`Self::to_bytes`] output.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, SerializeError> {
+        let mut r = Reader::new(buf);
+        let base = r.bitvec()?;
+        let idx_len = r.usize_checked(buf.len())?;
+        let consumed = buf.len() - idx_len;
+        // The index occupies exactly the tail.
+        let index = StringArrayIndex::from_bytes(&buf[consumed..])?;
+        if index.n_bits() != base.len() {
+            return Err(SerializeError::Malformed);
+        }
+        Ok(StaticCounterArray { base, index })
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the array holds no counters.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Reads counter `i` in O(1).
+    pub fn get(&self, i: usize) -> u64 {
+        let r = self.index.locate(i);
+        self.base.read_bits(r.start, r.end - r.start)
+    }
+
+    /// The index (for parameter/size introspection).
+    pub fn index(&self) -> &StringArrayIndex {
+        &self.index
+    }
+
+    /// Full storage breakdown, base array included.
+    pub fn size_breakdown(&self) -> SizeBreakdown {
+        let mut sz = self.index.size_breakdown();
+        sz.base_bits = self.base.len();
+        sz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrips_varied_counters() {
+        let counters: Vec<u64> = (0..3000).map(|i| match i % 7 {
+            0 => 0,
+            1 => 1,
+            2 => 2,
+            3 => 100,
+            4 => 65_535,
+            5 => 1 << 40,
+            _ => 3,
+        }).collect();
+        let arr = StaticCounterArray::from_counters(&counters);
+        assert_eq!(arr.len(), counters.len());
+        for (i, &c) in counters.iter().enumerate() {
+            assert_eq!(arr.get(i), c, "counter {i}");
+        }
+    }
+
+    #[test]
+    fn zero_counters_take_one_bit_each() {
+        let arr = StaticCounterArray::from_counters(&vec![0u64; 512]);
+        let sz = arr.size_breakdown();
+        assert_eq!(sz.base_bits, 512);
+        for i in 0..512 {
+            assert_eq!(arr.get(i), 0);
+        }
+    }
+
+    #[test]
+    fn base_bits_match_paper_n() {
+        // N = Σ ⌈log C⌉ with the 1-bit floor.
+        let counters = [0u64, 1, 2, 3, 4, 255, 256];
+        let arr = StaticCounterArray::from_counters(&counters);
+        let n: usize = counters.iter().map(|&c| sbf_encoding::counter_width(c)).sum();
+        assert_eq!(arr.size_breakdown().base_bits, n);
+    }
+
+
+    #[test]
+    fn reduced_variant_roundtrips_and_shrinks() {
+        let counters: Vec<u64> = (0..20_000).map(|i| (i * 31) % 500).collect();
+        let classic = StaticCounterArray::from_counters(&counters);
+        let reduced = StaticCounterArray::from_counters_reduced(&counters, 2);
+        for i in (0..counters.len()).step_by(373) {
+            assert_eq!(reduced.get(i), counters[i], "counter {i}");
+        }
+        assert!(
+            reduced.size_breakdown().index_bits() < classic.size_breakdown().index_bits(),
+            "reduced index must be smaller"
+        );
+    }
+
+
+    #[test]
+    fn continuous_block_roundtrip() {
+        // §4.7.1: one buffer out, identical structure in.
+        let counters: Vec<u64> = (0..5000).map(|i| (i * 17) % 300).collect();
+        let arr = StaticCounterArray::from_counters(&counters);
+        let buf = arr.to_bytes();
+        let back = StaticCounterArray::from_bytes(&buf).expect("self-produced buffer");
+        assert_eq!(back.len(), arr.len());
+        for (i, &c) in counters.iter().enumerate() {
+            assert_eq!(back.get(i), c, "counter {i}");
+        }
+        assert_eq!(back.size_breakdown().base_bits, arr.size_breakdown().base_bits);
+    }
+
+    #[test]
+    fn corrupt_blocks_are_rejected_not_panicked() {
+        let arr = StaticCounterArray::from_counters(&[1, 2, 3, 400]);
+        let buf = arr.to_bytes();
+        for cut in [0, 1, 8, buf.len() / 2, buf.len() - 1] {
+            assert!(StaticCounterArray::from_bytes(&buf[..cut]).is_err(), "cut {cut}");
+        }
+        let mut bad = buf.clone();
+        bad[0] ^= 0xFF;
+        assert!(StaticCounterArray::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn empty_array() {
+        let arr = StaticCounterArray::from_counters(&[]);
+        assert!(arr.is_empty());
+        assert_eq!(arr.size_breakdown().base_bits, 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn from_bytes_never_panics_on_fuzz(bytes in prop::collection::vec(any::<u8>(), 0..500)) {
+            let _ = StaticCounterArray::from_bytes(&bytes);
+        }
+
+        #[test]
+        fn get_matches_source_prop(counters in prop::collection::vec(0u64..u64::MAX, 0..300)) {
+            let arr = StaticCounterArray::from_counters(&counters);
+            for (i, &c) in counters.iter().enumerate() {
+                prop_assert_eq!(arr.get(i), c);
+            }
+        }
+    }
+}

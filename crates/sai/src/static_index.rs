@@ -1,0 +1,725 @@
+//! The static String-Array Index (§4.3 of the paper).
+//!
+//! Three levels of offset information over the concatenation `S` of `m`
+//! variable-length strings totalling `N` bits:
+//!
+//! 1. **`C¹`** — a coarse vector with the absolute start of every group of
+//!    `⌈log N⌉` items (`m/log N` offsets of `log N` bits ⇒ ~`m` bits).
+//! 2. Per group: if the group is *large* (> `log³N` bits) a **complete
+//!    offset vector** of per-item absolute offsets (affordable because the
+//!    group is large); otherwise a **level-2 coarse vector** with the
+//!    relative start of every chunk of `⌈log log N⌉` items.
+//! 3. Per chunk of a chunked group: if the chunk is *large*
+//!    (> `(log log N)³` bits) an **offset vector** of per-item relative
+//!    offsets; if its length pattern recurs, an entry in the **global
+//!    lookup table**, keyed by the chunk's sequence of item lengths
+//!    (`L(S'')` in the paper), mapping `(pattern, q)` to the `q`-th item's
+//!    offset inside the chunk; otherwise (small chunk, one-off pattern) an
+//!    **inline length vector**, decoded by a bounded prefix-sum scan.
+//!
+//! Indicator vectors with rank directories (the `F`-vector trick of
+//! §4.7.2) translate group/chunk ordinals into positions inside the
+//! packed component arrays, so the whole index lives in flat, contiguous
+//! storage — the "continuous memory" implementation of §4.7.1.
+
+use sbf_bitvec::{BitVec, PackedVec, RankSelect};
+use sbf_encoding::bit_len;
+
+use crate::serialize::{Reader, SerializeError, Writer};
+use crate::size::SizeBreakdown;
+
+/// Derived parameters of a [`StringArrayIndex`]; all group/threshold
+/// choices follow §4.3 (with floors so degenerate sizes stay well-formed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexParams {
+    /// Total bits `N` of the concatenated strings.
+    pub n_bits: usize,
+    /// Number of strings `m`.
+    pub m: usize,
+    /// `⌈log₂ N⌉`, floored at 2.
+    pub lg: usize,
+    /// `⌈log₂ lg⌉`, floored at 1.
+    pub llg: usize,
+    /// Items per level-1 group (`lg` classic; `lg^{1+c}` reduced).
+    pub g1: usize,
+    /// Items per level-2 chunk (`llg` classic; `llg^{1+c}` reduced).
+    pub g2: usize,
+    /// Chunk slots per chunked group (`⌈g1/g2⌉`).
+    pub chunks_per_group: usize,
+    /// Groups larger than this (bits) get complete offset vectors
+    /// (`lg³` classic; `(3+6c)·lg^{1+c}·llg^{1+c}` reduced).
+    pub big_group_bits: usize,
+    /// Chunks larger than this (bits) get offset vectors
+    /// (`llg³` classic; `(3+6c)·llg^{2+2c}` reduced).
+    pub big_chunk_bits: usize,
+}
+
+impl IndexParams {
+    /// Computes parameters for `m` strings totalling `n_bits`.
+    pub fn compute(n_bits: usize, m: usize) -> Self {
+        let lg = bit_len(n_bits as u64).max(2);
+        let llg = bit_len(lg as u64).max(1);
+        let g1 = lg;
+        let g2 = llg;
+        IndexParams {
+            n_bits,
+            m,
+            lg,
+            llg,
+            g1,
+            g2,
+            chunks_per_group: g1.div_ceil(g2),
+            big_group_bits: lg * lg * lg,
+            big_chunk_bits: llg * llg * llg,
+        }
+    }
+
+    /// Parameters for the §4.6 storage-reduced index (Theorem 9).
+    ///
+    /// With reduction exponent `c ≥ 0` the level-1 groups grow to
+    /// `(log N)^{1+c}` items and level-2 chunks to `(log log N)^{1+c}`,
+    /// with the complete-vector thresholds loosened per Claim 10 to
+    /// `(3+6c)·(log N)^{1+c}·(log log N)^{1+c}` bits for groups and
+    /// `(3+6c)·(log log N)^{2+2c}` for chunks — shrinking the whole index
+    /// to `o(N/(log log N)^c) + O(m/(log log N)^c)` bits at the cost of a
+    /// constant-factor longer third-level structure walk. `c = 0` gives a
+    /// slightly tighter variant of the classic layout.
+    pub fn compute_reduced(n_bits: usize, m: usize, c: u32) -> Self {
+        let lg = bit_len(n_bits as u64).max(2);
+        let llg = bit_len(lg as u64).max(1);
+        let pow = |base: usize, e: u32| -> usize {
+            base.saturating_pow(e).max(1)
+        };
+        let g1 = pow(lg, 1 + c).min(m.max(1));
+        let g2 = pow(llg, 1 + c).min(g1);
+        let factor = 3 + 6 * c as usize;
+        IndexParams {
+            n_bits,
+            m,
+            lg,
+            llg,
+            g1,
+            g2,
+            chunks_per_group: g1.div_ceil(g2),
+            big_group_bits: factor.saturating_mul(pow(lg, 1 + c)).saturating_mul(pow(llg, 1 + c)),
+            big_chunk_bits: factor.saturating_mul(pow(llg, 2 + 2 * c)),
+        }
+    }
+
+    /// Number of level-1 groups.
+    pub fn n_groups(&self) -> usize {
+        self.m.div_ceil(self.g1)
+    }
+}
+
+/// The global lookup table shared by all small chunks.
+///
+/// One entry per distinct length-pattern; an entry stores the `g2 + 1`
+/// prefix offsets of the pattern (so both the offset and the length of any
+/// item inside such a chunk come from one probe).
+#[derive(Debug, Clone)]
+struct LookupTable {
+    /// Flattened offsets, `g2 + 1` per pattern.
+    offsets: PackedVec,
+    entries_per_pattern: usize,
+    n_patterns: usize,
+}
+
+impl LookupTable {
+    fn offset(&self, pattern: usize, q: usize) -> usize {
+        debug_assert!(q < self.entries_per_pattern);
+        self.offsets.get(pattern * self.entries_per_pattern + q) as usize
+    }
+
+    fn bits(&self) -> usize {
+        self.offsets.bits()
+    }
+}
+
+/// Static String-Array Index: O(1) [`Self::locate`] over the concatenation
+/// of `m` variable-length strings.
+///
+/// Built once from the item lengths; the strings themselves live wherever
+/// the caller keeps them (see [`crate::StaticCounterArray`] for the
+/// counters instantiation).
+///
+/// ```
+/// use sbf_sai::StringArrayIndex;
+///
+/// let idx = StringArrayIndex::build(&[3, 0, 7, 1]);
+/// assert_eq!(idx.locate(0), 0..3);
+/// assert_eq!(idx.locate(1), 3..3);      // zero-length strings are fine
+/// assert_eq!(idx.locate(2), 3..10);
+/// assert_eq!(idx.n_bits(), 11);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StringArrayIndex {
+    params: IndexParams,
+    /// Absolute start of each group.
+    c1: PackedVec,
+    /// 1 = group has a complete offset vector.
+    group_flags: RankSelect,
+    /// Concatenated complete vectors (absolute offsets), `g1` per group.
+    complete: PackedVec,
+    /// Concatenated level-2 coarse vectors (chunk starts relative to group
+    /// start), `chunks_per_group` per chunked group.
+    coarse2: PackedVec,
+    /// 1 = chunk is *big* (> `big_chunk_bits`) and has an explicit offset
+    /// vector (indexed per chunk slot of chunked groups).
+    big_chunk_flags: RankSelect,
+    /// Among the small chunks: 1 = answered by the lookup table (its length
+    /// pattern recurs), 0 = answered by an inline length vector.
+    table_flags: RankSelect,
+    /// Concatenated level-3 offset vectors (item starts relative to chunk
+    /// start), `g2` per big chunk.
+    l3: PackedVec,
+    /// Concatenated length vectors for small unique-pattern chunks, `g2`
+    /// entries each; an item's offset is the prefix sum of at most `g2`
+    /// lengths (a constant-bounded scan, as in the §4.5 alternative).
+    l4: PackedVec,
+    /// Pattern ids for table chunks.
+    pattern_ids: PackedVec,
+    table: LookupTable,
+}
+
+impl StringArrayIndex {
+    /// Builds the index from item lengths (bits). `O(m)` time.
+    pub fn build(lengths: &[usize]) -> Self {
+        let m = lengths.len();
+        // Prefix offsets: off[i] = start of item i; off[m] = N.
+        let mut off = Vec::with_capacity(m + 1);
+        let mut acc = 0usize;
+        off.push(0);
+        for &l in lengths {
+            acc = acc.checked_add(l).expect("total bit length overflows usize");
+            off.push(acc);
+        }
+        let n_bits = acc;
+        let params = IndexParams::compute(n_bits, m);
+        Self::build_with_params(params, &off)
+    }
+
+    /// Builds the §4.6 storage-reduced variant with reduction exponent `c`
+    /// (Theorem 9). Same O(1) access algorithm over coarser levels; the
+    /// index shrinks roughly geometrically in `c`.
+    pub fn build_reduced(lengths: &[usize], c: u32) -> Self {
+        let m = lengths.len();
+        let mut off = Vec::with_capacity(m + 1);
+        let mut acc = 0usize;
+        off.push(0);
+        for &l in lengths {
+            acc = acc.checked_add(l).expect("total bit length overflows usize");
+            off.push(acc);
+        }
+        let params = IndexParams::compute_reduced(acc, m, c);
+        Self::build_with_params(params, &off)
+    }
+
+    /// Builds with explicit parameters (used by tests to force degenerate
+    /// thresholds); `off` is the `m + 1` prefix-offset array.
+    pub(crate) fn build_with_params(params: IndexParams, off: &[usize]) -> Self {
+        let m = params.m;
+        debug_assert_eq!(off.len(), m + 1);
+        let n_groups = params.n_groups();
+
+        let mut c1_vals = Vec::with_capacity(n_groups);
+        let mut gflags = BitVec::with_capacity(n_groups);
+        let mut complete_vals = Vec::new();
+        let mut coarse2_vals = Vec::new();
+        let mut cflags = BitVec::new();
+        let mut l3_vals = Vec::new();
+        let mut pattern_vals = Vec::new();
+
+        // Pattern interning for the lookup table.
+        let mut pattern_map: std::collections::HashMap<Vec<u32>, usize> =
+            std::collections::HashMap::new();
+        let mut patterns: Vec<Vec<u32>> = Vec::new();
+
+        // Pass 1 over chunks of chunked groups: collect each chunk's length
+        // pattern and how often every pattern occurs. Only *recurring*
+        // patterns earn a lookup-table entry — a single-use pattern would
+        // cost more as a table row + id than as a plain offset vector
+        // (one of the §4.7 engineering notes: "several of the structures
+        // could be eliminated or altered due to practical considerations").
+        struct ChunkInfo {
+            c_lo: usize,
+            c_hi: usize,
+            rel_start: u64,
+            /// `None` marks a big chunk (forced offset vector).
+            pat: Option<Vec<u32>>,
+        }
+        let mut chunks: Vec<ChunkInfo> = Vec::new();
+        let mut pattern_counts: std::collections::HashMap<Vec<u32>, usize> =
+            std::collections::HashMap::new();
+
+        for j in 0..n_groups {
+            let g_lo = j * params.g1;
+            let g_hi = ((j + 1) * params.g1).min(m);
+            let g_start = off[g_lo];
+            let g_bits = off[g_hi] - g_start;
+            c1_vals.push(g_start as u64);
+            let is_complete = g_bits > params.big_group_bits;
+            gflags.push(is_complete);
+            if is_complete {
+                // Absolute per-item offsets, padded to g1 entries.
+                for r in 0..params.g1 {
+                    let i = (g_lo + r).min(g_hi);
+                    complete_vals.push(off[i] as u64);
+                }
+            } else {
+                for c in 0..params.chunks_per_group {
+                    let c_lo = (g_lo + c * params.g2).min(g_hi);
+                    let c_hi = (g_lo + (c + 1) * params.g2).min(g_hi);
+                    let c_start = off[c_lo];
+                    let c_bits = off[c_hi] - c_start;
+                    let big = c_bits > params.big_chunk_bits;
+                    let pat = if big {
+                        None
+                    } else {
+                        let p: Vec<u32> =
+                            (c_lo..c_hi).map(|i| (off[i + 1] - off[i]) as u32).collect();
+                        *pattern_counts.entry(p.clone()).or_insert(0) += 1;
+                        Some(p)
+                    };
+                    chunks.push(ChunkInfo {
+                        c_lo,
+                        c_hi,
+                        rel_start: (c_start - g_start) as u64,
+                        pat,
+                    });
+                }
+            }
+        }
+
+        // Pass 2: big chunks get offset vectors; small chunks whose length
+        // pattern recurs intern it in the table; small chunks with a
+        // one-off pattern store their lengths inline (cheaper than offsets
+        // because lengths are bounded by the chunk extent, and accessed by
+        // a prefix-sum scan of at most g2 entries).
+        let mut l4_vals: Vec<u64> = Vec::new();
+        let mut tflags = BitVec::new();
+        for chunk in &chunks {
+            coarse2_vals.push(chunk.rel_start);
+            match &chunk.pat {
+                None => {
+                    cflags.push(true);
+                    let c_start = off[chunk.c_lo];
+                    for q in 0..params.g2 {
+                        let i = (chunk.c_lo + q).min(chunk.c_hi);
+                        l3_vals.push((off[i] - c_start) as u64);
+                    }
+                }
+                Some(pat) => {
+                    cflags.push(false);
+                    if pattern_counts[pat] >= 2 {
+                        tflags.push(true);
+                        let next = patterns.len();
+                        let pid = *pattern_map.entry(pat.clone()).or_insert_with(|| {
+                            patterns.push(pat.clone());
+                            next
+                        });
+                        pattern_vals.push(pid as u64);
+                    } else {
+                        tflags.push(false);
+                        for q in 0..params.g2 {
+                            l4_vals.push(u64::from(pat.get(q).copied().unwrap_or(0)));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Pack everything at its final width. Offsets inside groups/chunks
+        // are bounded by the thresholds (`lg³`, `llg³`), but the *observed*
+        // maxima are usually far smaller, so entries are sized from the
+        // data (the §4.7.2 engineering latitude; lookups are unaffected
+        // because widths are stored once per component).
+        let abs_w = bit_len(params.n_bits as u64).max(1);
+        let grp_w = bit_len(coarse2_vals.iter().chain(&l3_vals).copied().max().unwrap_or(0)).max(1);
+        let len_w = bit_len(l4_vals.iter().copied().max().unwrap_or(0)).max(1);
+        let pat_w = bit_len(patterns.len().saturating_sub(1) as u64).max(1);
+        let tbl_w = bit_len(
+            patterns
+                .iter()
+                .map(|p| p.iter().map(|&l| u64::from(l)).sum::<u64>())
+                .max()
+                .unwrap_or(0),
+        )
+        .max(1);
+
+        let mut table_offsets = PackedVec::with_capacity(tbl_w, patterns.len() * (params.g2 + 1));
+        for pat in &patterns {
+            let mut acc = 0u64;
+            // g2 + 1 prefix offsets; short patterns pad with the end offset.
+            for q in 0..=params.g2 {
+                table_offsets.push(acc);
+                if q < pat.len() {
+                    acc += u64::from(pat[q]);
+                }
+            }
+        }
+
+        StringArrayIndex {
+            params,
+            c1: PackedVec::from_slice(abs_w, &c1_vals),
+            group_flags: RankSelect::new(gflags),
+            complete: PackedVec::from_slice(abs_w, &complete_vals),
+            coarse2: PackedVec::from_slice(grp_w, &coarse2_vals),
+            big_chunk_flags: RankSelect::new(cflags),
+            table_flags: RankSelect::new(tflags),
+            l3: PackedVec::from_slice(grp_w, &l3_vals),
+            l4: PackedVec::from_slice(len_w, &l4_vals),
+            pattern_ids: PackedVec::from_slice(pat_w, &pattern_vals),
+            table: LookupTable {
+                offsets: table_offsets,
+                entries_per_pattern: params.g2 + 1,
+                n_patterns: patterns.len(),
+            },
+        }
+    }
+
+
+    /// Flattens the whole index into one continuous buffer (§4.7.1), ready
+    /// to ship between nodes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(0x5A1_0001); // magic + version
+        let p = &self.params;
+        for v in [
+            p.n_bits,
+            p.m,
+            p.lg,
+            p.llg,
+            p.g1,
+            p.g2,
+            p.chunks_per_group,
+            p.big_group_bits,
+            p.big_chunk_bits,
+        ] {
+            w.usize(v);
+        }
+        w.packed(&self.c1);
+        w.bitvec(self.group_flags.bits());
+        w.packed(&self.complete);
+        w.packed(&self.coarse2);
+        w.bitvec(self.big_chunk_flags.bits());
+        w.bitvec(self.table_flags.bits());
+        w.packed(&self.l3);
+        w.packed(&self.l4);
+        w.packed(&self.pattern_ids);
+        w.usize(self.table.entries_per_pattern);
+        w.usize(self.table.n_patterns);
+        w.packed(&self.table.offsets);
+        w.finish()
+    }
+
+    /// Reconstructs an index from [`Self::to_bytes`] output. The rank
+    /// directories are rebuilt locally (cheaper than shipping them).
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, SerializeError> {
+        let mut r = Reader::new(buf);
+        if r.u64()? != 0x5A1_0001 {
+            return Err(SerializeError::Malformed);
+        }
+        let cap = 1usize << 40;
+        let params = IndexParams {
+            n_bits: r.usize_checked(cap)?,
+            m: r.usize_checked(cap)?,
+            lg: r.usize_checked(64)?,
+            llg: r.usize_checked(64)?,
+            g1: r.usize_checked(cap)?,
+            g2: r.usize_checked(cap)?,
+            chunks_per_group: r.usize_checked(cap)?,
+            big_group_bits: r.usize_checked(usize::MAX - 1)?,
+            big_chunk_bits: r.usize_checked(usize::MAX - 1)?,
+        };
+        let c1 = r.packed()?;
+        let group_flags = RankSelect::new(r.bitvec()?);
+        let complete = r.packed()?;
+        let coarse2 = r.packed()?;
+        let big_chunk_flags = RankSelect::new(r.bitvec()?);
+        let table_flags = RankSelect::new(r.bitvec()?);
+        let l3 = r.packed()?;
+        let l4 = r.packed()?;
+        let pattern_ids = r.packed()?;
+        let entries_per_pattern = r.usize_checked(cap)?;
+        let n_patterns = r.usize_checked(cap)?;
+        let offsets = r.packed()?;
+        r.done()?;
+        if offsets.len() != entries_per_pattern.saturating_mul(n_patterns) {
+            return Err(SerializeError::Malformed);
+        }
+        Ok(StringArrayIndex {
+            params,
+            c1,
+            group_flags,
+            complete,
+            coarse2,
+            big_chunk_flags,
+            table_flags,
+            l3,
+            l4,
+            pattern_ids,
+            table: LookupTable { offsets, entries_per_pattern, n_patterns },
+        })
+    }
+
+    /// The derived parameters.
+    pub fn params(&self) -> &IndexParams {
+        &self.params
+    }
+
+    /// Number of strings indexed.
+    pub fn len(&self) -> usize {
+        self.params.m
+    }
+
+    /// Whether the index covers no strings.
+    pub fn is_empty(&self) -> bool {
+        self.params.m == 0
+    }
+
+    /// Total bits `N` of the indexed strings.
+    pub fn n_bits(&self) -> usize {
+        self.params.n_bits
+    }
+
+    /// Number of distinct length-patterns interned in the lookup table.
+    pub fn n_patterns(&self) -> usize {
+        self.table.n_patterns
+    }
+
+    /// Absolute start position of item `i`; `start(m) = N`.
+    pub fn start(&self, i: usize) -> usize {
+        assert!(i <= self.params.m, "item {i} out of range {}", self.params.m);
+        if i == self.params.m {
+            return self.params.n_bits;
+        }
+        let p = &self.params;
+        let j = i / p.g1;
+        let r = i % p.g1;
+        let g_start = self.c1.get(j) as usize;
+        if self.group_flags.bits().get(j) {
+            let gi = self.group_flags.rank1(j);
+            self.complete.get(gi * p.g1 + r) as usize
+        } else {
+            let gi = self.group_flags.rank0(j);
+            let c = r / p.g2;
+            let q = r % p.g2;
+            let cg = gi * p.chunks_per_group + c;
+            let chunk_start = g_start + self.coarse2.get(cg) as usize;
+            if self.big_chunk_flags.bits().get(cg) {
+                let ci = self.big_chunk_flags.rank1(cg);
+                chunk_start + self.l3.get(ci * p.g2 + q) as usize
+            } else {
+                let small = self.big_chunk_flags.rank0(cg);
+                if self.table_flags.bits().get(small) {
+                    let ti = self.table_flags.rank1(small);
+                    let pid = self.pattern_ids.get(ti) as usize;
+                    chunk_start + self.table.offset(pid, q)
+                } else {
+                    // Inline length vector: prefix-sum at most g2 lengths.
+                    let base = self.table_flags.rank0(small) * p.g2;
+                    let mut offset = 0usize;
+                    for j in 0..q {
+                        offset += self.l4.get(base + j) as usize;
+                    }
+                    chunk_start + offset
+                }
+            }
+        }
+    }
+
+    /// The bit range `start .. end` of item `i` in the concatenation.
+    pub fn locate(&self, i: usize) -> std::ops::Range<usize> {
+        assert!(i < self.params.m, "item {i} out of range {}", self.params.m);
+        self.start(i)..self.start(i + 1)
+    }
+
+    /// Storage breakdown (index components only; `base_bits` is zero here —
+    /// the owning array fills it in).
+    pub fn size_breakdown(&self) -> SizeBreakdown {
+        SizeBreakdown {
+            base_bits: 0,
+            c1_bits: self.c1.bits(),
+            l2_bits: self.complete.bits() + self.coarse2.bits(),
+            l3_bits: self.l3.bits() + self.l4.bits(),
+            table_bits: self.pattern_ids.bits() + self.table.bits(),
+            flags_bits: self.group_flags.bits().len()
+                + self.group_flags.directory_bits()
+                + self.big_chunk_flags.bits().len()
+                + self.big_chunk_flags.directory_bits()
+                + self.table_flags.bits().len()
+                + self.table_flags.directory_bits(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn check_against_prefix_sums(lengths: &[usize]) {
+        let idx = StringArrayIndex::build(lengths);
+        let mut start = 0usize;
+        for (i, &l) in lengths.iter().enumerate() {
+            let r = idx.locate(i);
+            assert_eq!(r.start, start, "item {i} start");
+            assert_eq!(r.end - r.start, l, "item {i} length");
+            start += l;
+        }
+        assert_eq!(idx.start(lengths.len()), start, "sentinel start");
+        assert_eq!(idx.n_bits(), start);
+    }
+
+    #[test]
+    fn uniform_small_lengths() {
+        check_against_prefix_sums(&vec![1usize; 1000]);
+        check_against_prefix_sums(&vec![7usize; 333]);
+    }
+
+    #[test]
+    fn mixed_lengths_with_zeroes() {
+        let lengths: Vec<usize> = (0..500).map(|i| match i % 5 {
+            0 => 0,
+            1 => 1,
+            2 => 13,
+            3 => 64,
+            _ => 3,
+        }).collect();
+        check_against_prefix_sums(&lengths);
+    }
+
+    #[test]
+    fn skewed_lengths_force_complete_groups() {
+        // A few enormous strings make their groups exceed lg³ bits, so the
+        // complete-offset-vector path is exercised.
+        let mut lengths = vec![2usize; 2000];
+        for i in (0..2000).step_by(97) {
+            lengths[i] = 5000;
+        }
+        check_against_prefix_sums(&lengths);
+        let idx = StringArrayIndex::build(&lengths);
+        assert!(idx.group_flags_count() > 0, "expected at least one complete group");
+    }
+
+    #[test]
+    fn all_huge_strings() {
+        check_against_prefix_sums(&vec![10_000usize; 64]);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        check_against_prefix_sums(&[]);
+        check_against_prefix_sums(&[0]);
+        check_against_prefix_sums(&[5]);
+        check_against_prefix_sums(&[0, 0, 0]);
+        check_against_prefix_sums(&[1, 2]);
+    }
+
+    #[test]
+    fn ragged_last_group_is_handled() {
+        // m chosen so the final group is partially filled at every level.
+        for m in [1usize, 9, 10, 11, 31, 63, 64, 65, 100, 1001] {
+            let lengths: Vec<usize> = (0..m).map(|i| (i % 9) + 1).collect();
+            check_against_prefix_sums(&lengths);
+        }
+    }
+
+    #[test]
+    fn pattern_table_deduplicates() {
+        // 10_000 identical 1-bit counters should intern very few patterns.
+        let idx = StringArrayIndex::build(&vec![1usize; 10_000]);
+        assert!(idx.n_patterns() <= 4, "got {} patterns", idx.n_patterns());
+    }
+
+    #[test]
+    fn size_breakdown_is_sublinear_for_uniform_data() {
+        // o(N) + O(m): for 100k 8-bit items (N = 800k bits) the index should
+        // be well under N bits.
+        let lengths = vec![8usize; 100_000];
+        let idx = StringArrayIndex::build(&lengths);
+        let sz = idx.size_breakdown();
+        assert!(sz.index_bits() < 800_000, "index too large: {} bits", sz.index_bits());
+        // And every component is accounted.
+        assert_eq!(
+            sz.index_bits(),
+            sz.c1_bits + sz.l2_bits + sz.l3_bits + sz.table_bits + sz.flags_bits
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn locate_out_of_range_panics() {
+        let idx = StringArrayIndex::build(&[1, 2, 3]);
+        let _ = idx.locate(3);
+    }
+
+    impl StringArrayIndex {
+        fn group_flags_count(&self) -> usize {
+            self.group_flags.count_ones()
+        }
+    }
+
+    #[test]
+    fn reduced_variant_is_correct_for_all_c() {
+        let lengths: Vec<usize> = (0..4000).map(|i| (i % 11) + (i % 3) * 20).collect();
+        for c in 0..=3u32 {
+            let idx = StringArrayIndex::build_reduced(&lengths, c);
+            let mut start = 0usize;
+            for (i, &l) in lengths.iter().enumerate() {
+                let r = idx.locate(i);
+                assert_eq!(r.start, start, "c={c} item {i}");
+                assert_eq!(r.end - r.start, l, "c={c} item {i} len");
+                start += l;
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_variant_shrinks_with_c() {
+        // Theorem 9: the index shrinks as the reduction exponent grows.
+        let lengths = vec![6usize; 200_000];
+        let sizes: Vec<usize> = (0..=2u32)
+            .map(|c| StringArrayIndex::build_reduced(&lengths, c).size_breakdown().index_bits())
+            .collect();
+        assert!(sizes[1] < sizes[0], "c=1 ({}) !< c=0 ({})", sizes[1], sizes[0]);
+        assert!(sizes[2] < sizes[1], "c=2 ({}) !< c=1 ({})", sizes[2], sizes[1]);
+        // And the reduction is substantial, not cosmetic.
+        assert!(sizes[2] * 2 < sizes[0], "c=2 should at least halve the index");
+    }
+
+    #[test]
+    fn reduced_handles_degenerate_inputs() {
+        for c in 0..=3u32 {
+            let idx = StringArrayIndex::build_reduced(&[], c);
+            assert!(idx.is_empty());
+            let idx = StringArrayIndex::build_reduced(&[0, 5, 0], c);
+            assert_eq!(idx.locate(1), 0..5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn locate_matches_prefix_sums_prop(
+            lengths in prop::collection::vec(0usize..200, 0..400)
+        ) {
+            check_against_prefix_sums(&lengths);
+        }
+
+        #[test]
+        fn locate_matches_prefix_sums_heavy_tail(
+            lengths in prop::collection::vec(
+                prop_oneof![
+                    9 => 0usize..4,
+                    1 => 1000usize..20_000,
+                ],
+                0..200,
+            )
+        ) {
+            check_against_prefix_sums(&lengths);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Deterministic workload generators for the SBF paper's experiments.
+//!
+//! Section 6 evaluates the filters on:
+//!
+//! * synthetic integer data with **Zipfian** frequencies (skews 0–2,
+//!   n = 1000 distinct values, M = 100,000 items) — [`zipf`],
+//! * streams with **deletion phases** (5% of items fully deleted per phase)
+//!   and **sliding windows** (track the last M/5 items) — [`stream`],
+//! * the **Forest Cover Type** database's elevation attribute — we cannot
+//!   ship UCI data, so [`forest`] synthesizes a surrogate with the same
+//!   record count, cardinality and distribution shape (the substitution is
+//!   documented in `DESIGN.md`).
+//!
+//! Everything is seeded and reproducible; experiments average over
+//! independent seeds exactly like the paper's "average over 5 independent
+//! experiments".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod forest;
+pub mod stream;
+pub mod zipf;
+
+pub use forest::synthetic_elevation;
+pub use stream::{DeletionPhaseStream, DriftStream, SlidingWindowStream, StreamEvent};
+pub use zipf::{ZipfDistribution, ZipfWorkload};

@@ -1,0 +1,235 @@
+//! Stream scenarios: deletion phases, sliding windows, and the palindrome
+//! adversary.
+
+use sbf_hash::SplitMix64;
+
+use crate::zipf::ZipfWorkload;
+
+/// One event in a maintained stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamEvent {
+    /// Insert one occurrence of the key.
+    Insert(u64),
+    /// Delete one occurrence of the key.
+    Delete(u64),
+}
+
+/// The §6.2 deletion experiment: "a series of insertions, followed by a
+/// series of deletions and so on. In every deletion phase, 5% of the items
+/// were randomly chosen and were entirely deleted".
+#[derive(Debug, Clone)]
+pub struct DeletionPhaseStream {
+    /// The full event sequence.
+    pub events: Vec<StreamEvent>,
+    /// Final ground-truth frequencies per key (`0..n`).
+    pub truth: Vec<u64>,
+}
+
+impl DeletionPhaseStream {
+    /// Builds from a Zipf workload: `phases` rounds, each inserting
+    /// `1/phases` of the stream then fully deleting a random 5% of the
+    /// currently-present keys.
+    pub fn from_zipf(workload: &ZipfWorkload, phases: usize, seed: u64) -> Self {
+        assert!(phases > 0);
+        let n = workload.n();
+        let mut events = Vec::with_capacity(workload.stream.len() * 2);
+        let mut live = vec![0u64; n];
+        let mut rng = SplitMix64::new(seed ^ 0x00de_1e7e_5eed);
+        let chunk = workload.stream.len().div_ceil(phases);
+        for phase in workload.stream.chunks(chunk) {
+            for &x in phase {
+                events.push(StreamEvent::Insert(x));
+                live[x as usize] += 1;
+            }
+            // Pick 5% of present keys and delete all their occurrences.
+            let present: Vec<usize> = (0..n).filter(|&i| live[i] > 0).collect();
+            let victims = (present.len() / 20).max(1);
+            for _ in 0..victims {
+                if present.is_empty() {
+                    break;
+                }
+                let v = present[rng.next_below(present.len() as u64) as usize];
+                let count = live[v];
+                for _ in 0..count {
+                    events.push(StreamEvent::Delete(v as u64));
+                }
+                live[v] = 0;
+            }
+        }
+        DeletionPhaseStream { events, truth: live }
+    }
+}
+
+/// The §6.2 sliding-window experiment: "a total of M items were inserted,
+/// but the SBFs only kept track of the M/5 most recent items, with data
+/// leaving the window explicitly deleted".
+#[derive(Debug, Clone)]
+pub struct SlidingWindowStream {
+    /// Event sequence: inserts interleaved with the deletes of expiring
+    /// items.
+    pub events: Vec<StreamEvent>,
+    /// Frequencies of keys inside the final window.
+    pub truth: Vec<u64>,
+    /// Window length in items.
+    pub window: usize,
+}
+
+impl SlidingWindowStream {
+    /// Builds from a Zipf workload with a window of `window` items.
+    pub fn from_zipf(workload: &ZipfWorkload, window: usize) -> Self {
+        assert!(window > 0);
+        let n = workload.n();
+        let mut events = Vec::with_capacity(workload.stream.len() * 2);
+        let mut truth = vec![0u64; n];
+        for (t, &x) in workload.stream.iter().enumerate() {
+            events.push(StreamEvent::Insert(x));
+            truth[x as usize] += 1;
+            if t >= window {
+                let leaver = workload.stream[t - window];
+                events.push(StreamEvent::Delete(leaver));
+                truth[leaver as usize] -= 1;
+            }
+        }
+        SlidingWindowStream { events, truth, window }
+    }
+}
+
+/// The §3.3.1 palindrome adversary: `v₁ v₂ … v_{n/2} v_{n/2} … v₂ v₁`.
+/// Every key occurs exactly twice; the trapping-RM traps set on the way in
+/// are never triggered on the way out.
+pub fn palindrome_stream(half: u64) -> Vec<u64> {
+    (0..half).chain((0..half).rev()).collect()
+}
+
+
+/// A concept-drift stream: Zipfian arrivals whose rank→key mapping rotates
+/// every `phase_len` items, so yesterday's heavy hitters fade and new ones
+/// emerge — the regime sliding windows exist for.
+#[derive(Debug, Clone)]
+pub struct DriftStream {
+    /// The item stream in arrival order.
+    pub stream: Vec<u64>,
+    /// Ground-truth frequencies of the final `window` items.
+    pub window_truth: Vec<u64>,
+    /// The window length the truth refers to.
+    pub window: usize,
+}
+
+impl DriftStream {
+    /// `total` items over `n` keys at `skew`, with the rank permutation
+    /// rotated by `n/4` every `phase_len` arrivals.
+    pub fn generate(
+        n: usize,
+        total: usize,
+        skew: f64,
+        phase_len: usize,
+        window: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(phase_len > 0 && window > 0 && window <= total);
+        let dist = crate::zipf::ZipfDistribution::new(n, skew);
+        let mut rng = SplitMix64::new(seed ^ 0x00d1_f7d1_f7d1);
+        let mut stream = Vec::with_capacity(total);
+        for t in 0..total {
+            let rank = dist.sample(&mut rng);
+            let rotation = (t / phase_len) * (n / 4);
+            let key = ((rank - 1 + rotation) % n) as u64;
+            stream.push(key);
+        }
+        let mut window_truth = vec![0u64; n];
+        for &x in &stream[total - window..] {
+            window_truth[x as usize] += 1;
+        }
+        DriftStream { stream, window_truth, window }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> ZipfWorkload {
+        ZipfWorkload::generate(200, 20_000, 0.8, 11)
+    }
+
+    #[test]
+    fn deletion_phases_conserve_counts() {
+        let w = workload();
+        let s = DeletionPhaseStream::from_zipf(&w, 10, 1);
+        let mut live = vec![0i64; w.n()];
+        for &e in &s.events {
+            match e {
+                StreamEvent::Insert(x) => live[x as usize] += 1,
+                StreamEvent::Delete(x) => {
+                    live[x as usize] -= 1;
+                    assert!(live[x as usize] >= 0, "deleted below zero");
+                }
+            }
+        }
+        let replayed: Vec<u64> = live.iter().map(|&v| v as u64).collect();
+        assert_eq!(replayed, s.truth);
+        // Deletions actually happened.
+        assert!(s.events.iter().any(|e| matches!(e, StreamEvent::Delete(_))));
+    }
+
+    #[test]
+    fn deletion_phases_fully_remove_victims() {
+        let w = workload();
+        let s = DeletionPhaseStream::from_zipf(&w, 5, 2);
+        // Some keys present in the raw workload must end at zero.
+        let zeroed = (0..w.n())
+            .filter(|&i| w.truth[i] > 0 && s.truth[i] == 0)
+            .count();
+        assert!(zeroed > 0, "no key was fully deleted");
+    }
+
+    #[test]
+    fn sliding_window_tracks_last_items() {
+        let w = workload();
+        let window = w.stream.len() / 5;
+        let s = SlidingWindowStream::from_zipf(&w, window);
+        assert_eq!(s.truth.iter().sum::<u64>(), window as u64);
+        // Replaying events reproduces the final window truth.
+        let mut live = vec![0i64; w.n()];
+        for &e in &s.events {
+            match e {
+                StreamEvent::Insert(x) => live[x as usize] += 1,
+                StreamEvent::Delete(x) => live[x as usize] -= 1,
+            }
+        }
+        let replayed: Vec<u64> = live.iter().map(|&v| v as u64).collect();
+        assert_eq!(replayed, s.truth);
+    }
+
+
+    #[test]
+    fn drift_stream_rotates_heavy_hitters() {
+        let d = DriftStream::generate(400, 40_000, 1.2, 10_000, 8_000, 3);
+        assert_eq!(d.stream.len(), 40_000);
+        // The head key of the first phase should NOT be the head of the
+        // last phase (rotation moved the hot ranks).
+        let mut first = vec![0u64; 400];
+        for &x in &d.stream[..10_000] {
+            first[x as usize] += 1;
+        }
+        let head_first = (0..400).max_by_key(|&i| first[i]).expect("non-empty");
+        let head_last = (0..400).max_by_key(|&i| d.window_truth[i]).expect("non-empty");
+        assert_ne!(head_first, head_last, "drift must move the head");
+        assert_eq!(d.window_truth.iter().sum::<u64>(), 8_000);
+    }
+
+    #[test]
+    fn palindrome_has_every_key_twice() {
+        let p = palindrome_stream(100);
+        assert_eq!(p.len(), 200);
+        let mut counts = vec![0u32; 100];
+        for &x in &p {
+            counts[x as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 2));
+        // Symmetric: reversal equals itself.
+        let mut rev = p.clone();
+        rev.reverse();
+        assert_eq!(p, rev);
+    }
+}

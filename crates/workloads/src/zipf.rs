@@ -1,0 +1,195 @@
+//! Zipfian frequency distributions and materialized workloads.
+//!
+//! §2.3: "In a Zipfian distribution, the probability of the iᵗʰ most
+//! frequent item in the data-set to appear is equal to `p_i = c/i^z`". The
+//! generator here supports skew `z = 0` (uniform) through the paper's
+//! `z = 2`, sampling by inverse-CDF binary search over the exact cumulative
+//! weights, so frequencies match the law and stay reproducible.
+
+use sbf_hash::SplitMix64;
+
+/// An exact discrete Zipf(z) distribution over ranks `1..=n`.
+#[derive(Debug, Clone)]
+pub struct ZipfDistribution {
+    cumulative: Vec<f64>,
+    skew: f64,
+}
+
+impl ZipfDistribution {
+    /// Builds the distribution for `n` distinct items with skew `z ≥ 0`.
+    pub fn new(n: usize, skew: f64) -> Self {
+        assert!(n > 0, "need at least one item");
+        assert!(skew >= 0.0, "negative skew is not Zipfian");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(skew);
+            cumulative.push(acc);
+        }
+        ZipfDistribution { cumulative, skew }
+    }
+
+    /// Number of distinct ranks.
+    pub fn n(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// The skew parameter `z`.
+    pub fn skew(&self) -> f64 {
+        self.skew
+    }
+
+    /// Probability of rank `i` (1-based).
+    pub fn probability(&self, rank: usize) -> f64 {
+        assert!(rank >= 1 && rank <= self.n(), "rank out of range");
+        let total = *self.cumulative.last().expect("non-empty");
+        let lo = if rank == 1 { 0.0 } else { self.cumulative[rank - 2] };
+        (self.cumulative[rank - 1] - lo) / total
+    }
+
+    /// Expected frequency of rank `i` among `total_items` draws.
+    pub fn expected_frequency(&self, rank: usize, total_items: u64) -> f64 {
+        self.probability(rank) * total_items as f64
+    }
+
+    /// Samples one rank (1-based) using the provided generator.
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * total;
+        match self.cumulative.partition_point(|&c| c < u) {
+            p if p >= self.n() => self.n(),
+            p => p + 1,
+        }
+    }
+}
+
+/// A materialized Zipfian workload: a stream of keys plus exact ground
+/// truth, matching the paper's setup (integer values, rank `i` keyed as
+/// `i − 1`).
+///
+/// ```
+/// use sbf_workloads::ZipfWorkload;
+///
+/// let w = ZipfWorkload::generate(100, 10_000, 1.0, 42);
+/// assert_eq!(w.stream.len(), 10_000);
+/// assert_eq!(w.truth.iter().sum::<u64>(), 10_000);
+/// assert!(w.truth[0] > w.truth[99], "rank 1 dominates the tail");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfWorkload {
+    /// The item stream in arrival order; keys are `0..n`.
+    pub stream: Vec<u64>,
+    /// `truth[key]` = exact frequency of `key` in `stream`.
+    pub truth: Vec<u64>,
+    /// Skew used.
+    pub skew: f64,
+}
+
+impl ZipfWorkload {
+    /// Draws `total_items` samples over `n` distinct keys at `skew`,
+    /// deterministically from `seed`.
+    pub fn generate(n: usize, total_items: usize, skew: f64, seed: u64) -> Self {
+        let dist = ZipfDistribution::new(n, skew);
+        let mut rng = SplitMix64::new(seed ^ 0x7a1f_77ab_c0de_5eed);
+        let mut stream = Vec::with_capacity(total_items);
+        let mut truth = vec![0u64; n];
+        for _ in 0..total_items {
+            let rank = dist.sample(&mut rng);
+            let key = (rank - 1) as u64;
+            stream.push(key);
+            truth[rank - 1] += 1;
+        }
+        ZipfWorkload { stream, truth, skew }
+    }
+
+    /// Number of distinct keys in the key space.
+    pub fn n(&self) -> usize {
+        self.truth.len()
+    }
+
+    /// Number of keys that actually occur.
+    pub fn distinct_present(&self) -> usize {
+        self.truth.iter().filter(|&&f| f > 0).count()
+    }
+
+    /// Total items `M`.
+    pub fn total_items(&self) -> u64 {
+        self.truth.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        for skew in [0.0, 0.5, 1.0, 2.0] {
+            let d = ZipfDistribution::new(100, skew);
+            let sum: f64 = (1..=100).map(|i| d.probability(i)).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "skew {skew}: Σp = {sum}");
+        }
+    }
+
+    #[test]
+    fn uniform_at_skew_zero() {
+        let d = ZipfDistribution::new(50, 0.0);
+        for i in 1..=50 {
+            assert!((d.probability(i) - 0.02).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn higher_ranks_are_less_frequent() {
+        let d = ZipfDistribution::new(1000, 1.0);
+        for i in 1..1000 {
+            assert!(d.probability(i) >= d.probability(i + 1));
+        }
+        // Zipf(1): p₁/p₂ = 2.
+        assert!((d.probability(1) / d.probability(2) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_matches_expectation() {
+        let n = 100;
+        let total = 200_000;
+        let w = ZipfWorkload::generate(n, total, 1.0, 42);
+        assert_eq!(w.stream.len(), total);
+        assert_eq!(w.total_items(), total as u64);
+        let d = ZipfDistribution::new(n, 1.0);
+        // The head item's observed frequency should be near expectation.
+        let expect = d.expected_frequency(1, total as u64);
+        let got = w.truth[0] as f64;
+        assert!(
+            (got - expect).abs() / expect < 0.05,
+            "rank 1: got {got}, expected {expect}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ZipfWorkload::generate(50, 10_000, 0.5, 7);
+        let b = ZipfWorkload::generate(50, 10_000, 0.5, 7);
+        let c = ZipfWorkload::generate(50, 10_000, 0.5, 8);
+        assert_eq!(a.stream, b.stream);
+        assert_ne!(a.stream, c.stream);
+    }
+
+    #[test]
+    fn truth_matches_stream() {
+        let w = ZipfWorkload::generate(30, 5000, 1.5, 9);
+        let mut recount = vec![0u64; 30];
+        for &x in &w.stream {
+            recount[x as usize] += 1;
+        }
+        assert_eq!(recount, w.truth);
+    }
+
+    #[test]
+    fn high_skew_concentrates_mass() {
+        let w = ZipfWorkload::generate(1000, 100_000, 2.0, 10);
+        // At z = 2, rank 1 holds ≈ 61% of the mass (1/ζ(2) = 6/π²).
+        let share = w.truth[0] as f64 / 100_000.0;
+        assert!((0.55..0.68).contains(&share), "rank-1 share {share}");
+    }
+}

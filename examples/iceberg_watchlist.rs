@@ -1,0 +1,74 @@
+//! Ad-hoc iceberg queries over a clickstream (§5.2 of the paper).
+//!
+//! A support desk tracks customer contact events. Analysts ask "who has
+//! contacted us more than T times?" — but T changes between queries
+//! (churn-risk thresholds are recalibrated all the time). Classic iceberg
+//! machinery needs T *before* scanning the data; the SBF keeps the whole
+//! spectrum, so new thresholds are free.
+//!
+//! Run with: `cargo run --example iceberg_watchlist`
+
+use sbf_hash::SplitMix64;
+use sbf_workloads::ZipfWorkload;
+use spectral_bloom::{ad_hoc_iceberg, multiscan_iceberg, MsSbf, MultiscanConfig, MultisetSketch};
+
+fn main() {
+    // 50k contact events over 5k customers, heavy-tailed (a few customers
+    // contact support constantly).
+    let workload = ZipfWorkload::generate(5_000, 50_000, 1.1, 7);
+    println!(
+        "stream: {} events, {} distinct customers, busiest made {} contacts",
+        workload.stream.len(),
+        workload.distinct_present(),
+        workload.truth.iter().max().expect("non-empty"),
+    );
+
+    // One pass builds the spectrum.
+    let mut sbf = MsSbf::new(36_000, 5, 42);
+    for &customer in &workload.stream {
+        sbf.insert(&customer);
+    }
+    println!("SBF built: {} KiB", sbf.storage_bits() / 8 / 1024);
+
+    // Ad-hoc thresholds — no rescan, no rebuild.
+    for threshold in [1000u64, 300, 100, 25] {
+        let watchlist = ad_hoc_iceberg(&sbf, 0..5_000u64, threshold);
+        let truly = workload.truth.iter().filter(|&&f| f >= threshold).count();
+        let fp = watchlist.iter().filter(|&&c| workload.truth[c as usize] < threshold).count();
+        println!(
+            "T = {threshold:>5}: {:>4} flagged ({truly} truly above, {fp} false positives, 0 missed)",
+            watchlist.len()
+        );
+        // One-sidedness: nobody above the threshold is ever missed.
+        for (customer, &f) in workload.truth.iter().enumerate() {
+            if f >= threshold {
+                assert!(
+                    watchlist.contains(&(customer as u64)),
+                    "missed heavy customer {customer}"
+                );
+            }
+        }
+    }
+
+    // When T *is* known up front and memory is tight, the multiscan variant
+    // uses a fraction of the space (several small lossy stages).
+    let config = MultiscanConfig { stages: vec![(1_024, 3), (512, 3)], seed: 43 };
+    let survivors = multiscan_iceberg(&workload.stream, 300, &config);
+    let truly = workload.truth.iter().filter(|&&f| f >= 300).count();
+    println!(
+        "\nmultiscan (1.5k counters total) at T = 300: {} candidates for {truly} true heavy hitters",
+        survivors.len()
+    );
+
+    // The spectrum also answers point queries about specific customers.
+    let mut rng = SplitMix64::new(1);
+    println!("\nspot checks:");
+    for _ in 0..5 {
+        let customer = rng.next_below(5_000);
+        println!(
+            "  customer {customer:>4}: estimated {} contacts (true {})",
+            sbf.estimate(&customer),
+            workload.truth[customer as usize]
+        );
+    }
+}

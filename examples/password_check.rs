@@ -1,0 +1,69 @@
+//! Password / dictionary screening with a Bloom filter — the Manber & Wu
+//! application the paper surveys in §1.1.2: "checking validity of proposed
+//! passwords against previous passwords used and a dictionary... can
+//! quickly and efficiently prevent users from reusing old passwords or
+//! using dictionary words".
+//!
+//! Run with: `cargo run --example password_check`
+
+use spectral_bloom::{BloomFilter, SbfParams};
+
+fn main() {
+    // "Dictionary": common passwords plus simple transformations.
+    let dictionary: Vec<String> = {
+        let bases = [
+            "password", "letmein", "qwerty", "dragon", "monkey", "admin", "welcome", "login",
+            "master", "sunshine", "princess", "football",
+        ];
+        let mut out = Vec::new();
+        for base in bases {
+            out.push(base.to_string());
+            out.push(format!("{base}1"));
+            out.push(format!("{base}123"));
+            out.push(format!("{base}!"));
+            out.push(base.to_uppercase());
+        }
+        out
+    };
+    // "Previous passwords" of this account.
+    let history = ["correct-horse-battery", "tr0ub4dor&3"];
+
+    let (m, k) = SbfParams::for_capacity(dictionary.len() + history.len())
+        .with_target_error(0.001)
+        .dimensions();
+    let mut screen = BloomFilter::new(m, k, 0x5ec3e7);
+    for word in &dictionary {
+        screen.insert(&word.as_str());
+    }
+    for old in history {
+        screen.insert(&old);
+    }
+    println!(
+        "screening filter: {} bits, {k} hashes over {} banned strings ({} bytes total)",
+        m,
+        dictionary.len() + history.len(),
+        screen.storage_bits() / 8
+    );
+
+    let proposals = [
+        ("password123", false),
+        ("tr0ub4dor&3", false),
+        ("PASSWORD", false),
+        ("xkcd-style-long-unique-phrase", true),
+        ("9$kQz!rW2m", true),
+    ];
+    println!("\nproposal screening (no banned password is ever admitted):");
+    for (candidate, should_pass) in proposals {
+        let rejected = screen.contains(&candidate);
+        println!(
+            "  {candidate:>30} → {}",
+            if rejected { "REJECTED" } else { "accepted" }
+        );
+        // No false negatives: banned strings are always rejected. Accepted
+        // strings may very rarely be false-positive rejections — never the
+        // other way around.
+        if !should_pass {
+            assert!(rejected, "banned password slipped through");
+        }
+    }
+}

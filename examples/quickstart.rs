@@ -1,0 +1,56 @@
+//! Quickstart: build a Spectral Bloom Filter, insert a multiset, query
+//! multiplicities, delete, and compare algorithm variants.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use spectral_bloom::{
+    bloom_error_rate, MiSbf, MsSbf, MultisetSketch, RmSbf, SbfParams,
+};
+
+fn main() {
+    // --- Sizing -----------------------------------------------------------
+    // Plan for ~10k distinct keys at a 1% error target.
+    let (m, k) = SbfParams::for_capacity(10_000).with_target_error(0.01).dimensions();
+    println!("sized SBF: m = {m} counters, k = {k} hash functions");
+    println!("predicted Bloom error: {:.4}", bloom_error_rate(10_000, m, k));
+
+    // --- The basic SBF (Minimum Selection) --------------------------------
+    let mut sbf = MsSbf::new(m, k, 0xC0FFEE);
+    for (word, count) in [("apple", 3u64), ("banana", 1), ("cherry", 120)] {
+        sbf.insert_by(&word, count);
+    }
+    println!("\nMinimum Selection estimates:");
+    for word in ["apple", "banana", "cherry", "durian"] {
+        println!("  f({word:>7}) ≈ {}", sbf.estimate(&word));
+    }
+
+    // Spectral queries: threshold tests with one-sided error.
+    println!("\nitems with multiplicity ≥ 100:");
+    for word in ["apple", "banana", "cherry"] {
+        if sbf.passes_threshold(&word, 100) {
+            println!("  {word}");
+        }
+    }
+
+    // Deletions and updates.
+    sbf.remove_by(&"cherry", 120).expect("cherry is present 120 times");
+    sbf.insert_by(&"cherry", 7);
+    println!("\nafter updating cherry to 7: f(cherry) ≈ {}", sbf.estimate(&"cherry"));
+
+    // --- Algorithm variants ------------------------------------------------
+    // Minimal Increase: best accuracy, insert-only.
+    let mut mi = MiSbf::new(m, k, 0xC0FFEE);
+    // Recurring Minimum: near-MI accuracy *and* deletions.
+    let mut rm = RmSbf::new(m, k, 0xC0FFEE);
+    for i in 0u64..5000 {
+        let key = i % 1000; // each key 5 times
+        mi.insert(&key);
+        rm.insert(&key);
+    }
+    let mi_exact = (0u64..1000).filter(|key| mi.estimate(key) == 5).count();
+    let rm_exact = (0u64..1000).filter(|key| rm.estimate(key) == 5).count();
+    println!("\nexact estimates out of 1000 keys: MI {mi_exact}, RM {rm_exact}");
+    assert!(rm.remove(&7u64).is_ok(), "RM supports deletion");
+    assert!(mi.remove(&7u64).is_err(), "MI refuses deletion (it would corrupt)");
+    println!("RM deleted one occurrence of key 7: f(7) ≈ {}", rm.estimate(&7u64));
+}

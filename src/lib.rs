@@ -1,0 +1,17 @@
+//! Workspace root for the Spectral Bloom Filter reproduction.
+//!
+//! This crate exists to host the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`); it re-exports every member
+//! crate under short names for convenience. Library users should depend
+//! on the member crates directly (`spectral-bloom` first).
+
+#![forbid(unsafe_code)]
+
+pub use sbf_analysis as analysis;
+pub use sbf_bitvec as bitvec;
+pub use sbf_db as db;
+pub use sbf_encoding as encoding;
+pub use sbf_hash as hash;
+pub use sbf_sai as sai;
+pub use sbf_workloads as workloads;
+pub use spectral_bloom as sbf;

@@ -1,0 +1,68 @@
+//! Theory-practice bridges: the closed-form analysis crate against the
+//! measured behaviour of the real filters on the same frequency profiles.
+
+use sbf_analysis as analysis;
+use sbf_workloads::ZipfWorkload;
+use spectral_bloom::{ad_hoc_iceberg, bloom_error_rate, MsSbf, MultisetSketch};
+
+/// The §5.2 iceberg error formula, fed the *empirical* frequency profile,
+/// must track the measured false-positive rate of a real filter at the
+/// same threshold.
+#[test]
+fn iceberg_formula_tracks_measured_false_positives() {
+    let n = 1000usize;
+    let k = 5usize;
+    let m = n * k; // γ = 1
+    let mut predicted_sum = 0.0;
+    let mut measured_sum = 0.0;
+    for seed in 0..5u64 {
+        let w = ZipfWorkload::generate(n, 100_000, 0.8, seed);
+        let max_f = *w.truth.iter().max().expect("non-empty");
+        let t = (max_f / 20).max(2); // 5% of max: inside the active regime
+        let predicted = analysis::iceberg_error_from_frequencies(&w.truth, m, k, t);
+        let mut sbf = MsSbf::new(m, k, seed);
+        for &x in &w.stream {
+            sbf.insert(&x);
+        }
+        let reported = ad_hoc_iceberg(&sbf, 0..n as u64, t);
+        let fp = reported
+            .iter()
+            .filter(|&&key| w.truth[key as usize] < t)
+            .count();
+        predicted_sum += predicted;
+        measured_sum += fp as f64 / n as f64;
+    }
+    let predicted = predicted_sum / 5.0;
+    let measured = measured_sum / 5.0;
+    // Same order of magnitude, and both far below the raw Bloom error.
+    let eb = bloom_error_rate(n, m, k);
+    assert!(measured < eb, "iceberg FP rate {measured} should undercut E_b {eb}");
+    assert!(
+        measured <= predicted * 4.0 + 0.002,
+        "measured {measured} far above predicted {predicted}"
+    );
+    assert!(
+        predicted <= measured * 6.0 + 0.002,
+        "predicted {predicted} far above measured {measured}"
+    );
+}
+
+/// The Bloom-error formula against the measured membership false-positive
+/// rate of a Bloom filter built on a real workload.
+#[test]
+fn bloom_formula_tracks_measured_fp_rate() {
+    for (n, m, k) in [(500usize, 4096usize, 5usize), (1000, 5000, 5), (2000, 8192, 4)] {
+        let mut bf = spectral_bloom::BloomFilter::new(m, k, 3);
+        for key in 0..n as u64 {
+            bf.insert(&key);
+        }
+        let trials = 20_000u64;
+        let fp = (1_000_000..1_000_000 + trials).filter(|key| bf.contains(key)).count();
+        let measured = fp as f64 / trials as f64;
+        let theory = analysis::bloom_error(n, m, k);
+        assert!(
+            (measured - theory).abs() < theory.max(0.005),
+            "n={n} m={m} k={k}: measured {measured:.4} vs theory {theory:.4}"
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Application-level integration: the §5 use cases running across crates.
+
+use sbf_db::{
+    bifocal, bloomjoin, ship_all_join, spectral_bloomjoin, JoinPlan, Relation,
+};
+use sbf_hash::SplitMix64;
+use sbf_workloads::forest;
+use spectral_bloom::aggregate::aggregate_over_keys;
+use spectral_bloom::{MsSbf, MultisetSketch, RangeTreeSketch, RmSbf};
+
+#[test]
+fn aggregate_index_over_forest_attribute() {
+    // §5.1: the SBF as an aggregate index over a real-shaped attribute.
+    let column = forest::synthetic_elevation_sized(80_000, 500, 1);
+    let truth = forest::frequencies(&column, 500);
+    let mut sbf = MsSbf::new(4_000, 5, 1);
+    for &v in &column {
+        sbf.insert(&v);
+    }
+    let agg = aggregate_over_keys(&sbf, 0..500u64);
+    let true_sum: u64 = truth.iter().sum();
+    assert!(agg.sum >= true_sum, "sum is one-sided");
+    let overshoot = (agg.sum - true_sum) as f64 / true_sum as f64;
+    assert!(overshoot < 0.05, "aggregate overshoot {overshoot}");
+    let true_max = *truth.iter().max().expect("non-empty");
+    assert!(agg.max >= true_max);
+}
+
+#[test]
+fn range_tree_over_rm_supports_window_maintenance() {
+    // §5.5 + §2.2: range queries stay correct as values are deleted.
+    let mut tree = RangeTreeSketch::new(RmSbf::new(1 << 16, 5, 2), 0, 1024);
+    let mut rng = SplitMix64::new(3);
+    let mut window: Vec<u64> = Vec::new();
+    let mut truth = vec![0u64; 1024];
+    for t in 0..5000 {
+        let v = rng.next_below(1024);
+        tree.insert(v);
+        window.push(v);
+        truth[v as usize] += 1;
+        if t >= 2000 {
+            let leaver = window[t - 2000];
+            tree.remove_by(leaver, 1).expect("leaver present");
+            truth[leaver as usize] -= 1;
+        }
+    }
+    let live: u64 = truth.iter().sum();
+    assert_eq!(live, 2000);
+    let est = tree.count_range(0, 1024);
+    assert!(est.estimate >= live);
+    assert!(est.estimate <= live + live / 10, "gross over-estimate {}", est.estimate);
+    // A sub-range.
+    let want: u64 = truth[100..400].iter().sum();
+    let got = tree.count_range(100, 400);
+    assert!(got.estimate >= want);
+}
+
+#[test]
+fn join_strategies_on_zipfian_relations() {
+    // Heavier-tailed S side, as in warehouse fact tables.
+    let r = Relation::from_keys("dim", &(0..1500u64).collect::<Vec<_>>(), 48);
+    let mut s_keys = Vec::new();
+    let mut rng = SplitMix64::new(4);
+    for _ in 0..30_000 {
+        // Zipf-flavored: small keys much more frequent.
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let key = ((u * u) * 3000.0) as u64;
+        s_keys.push(key);
+    }
+    let s = Relation::from_keys("fact", &s_keys, 48);
+    let plan = JoinPlan::sized_for(3000, 5);
+    let exact = ship_all_join(&r, &s, &plan);
+    let bj = bloomjoin(&r, &s, &plan);
+    let sj = spectral_bloomjoin(&r, &s, &plan);
+    assert_eq!(exact.groups, bj.groups);
+    for (key, &count) in &exact.groups {
+        assert!(sj.groups.get(key).copied().unwrap_or(0) >= count);
+    }
+    assert!(sj.network.bytes < exact.network.bytes / 10);
+}
+
+#[test]
+fn bifocal_uses_less_data_than_exact() {
+    let r = Relation::synthetic_uniform("r", 20_000, 3_000, 24, 5);
+    let s = Relation::synthetic_uniform("s", 20_000, 3_000, 24, 6);
+    let exact = bifocal::exact_join_size(&r, &s) as f64;
+    let cfg = bifocal::BifocalConfig::sized_for(&r, &s, 7);
+    let (est, _) = bifocal::bifocal_estimate(&r, &s, &cfg);
+    let rel = (est - exact).abs() / exact;
+    assert!(rel < 0.35, "relative error {rel} (est {est} vs exact {exact})");
+}

@@ -1,0 +1,64 @@
+//! Concept drift through a sliding window: the scenario the paper's
+//! sliding-window machinery (§2.2, Figure 9) exists for, end to end —
+//! heavy hitters change over time and the window-restricted SBF tracks the
+//! *current* ones while the whole-stream filter stays stuck on history.
+
+use sbf_workloads::DriftStream;
+use spectral_bloom::{ad_hoc_iceberg, MsSbf, MultisetSketch, RmSbf, SlidingWindowSbf};
+
+#[test]
+fn windowed_sbf_tracks_drifting_heavy_hitters() {
+    let n = 500;
+    let drift = DriftStream::generate(n, 50_000, 1.2, 12_500, 10_000, 7);
+
+    // Whole-stream filter vs window-restricted filter, same space.
+    let mut whole = MsSbf::new(6_000, 5, 1);
+    let mut windowed = SlidingWindowSbf::new(RmSbf::new(6_000, 5, 1), drift.window);
+    for &x in &drift.stream {
+        whole.insert(&x);
+        windowed.push(&x);
+    }
+
+    // Current (final-window) heavy hitters.
+    let threshold = 300u64;
+    let current_heavy: Vec<u64> = (0..n as u64)
+        .filter(|&k| drift.window_truth[k as usize] >= threshold)
+        .collect();
+    assert!(!current_heavy.is_empty(), "drift stream must have heavy keys");
+
+    // The windowed filter reports all of them (one-sided within the window).
+    for &key in &current_heavy {
+        assert!(
+            windowed.estimate(&key) >= threshold,
+            "windowed filter missed current heavy key {key}"
+        );
+    }
+
+    // The whole-stream filter over-reports retired heavy hitters: keys hot
+    // in the first phase but cold in the window.
+    let mut first_phase = vec![0u64; n];
+    for &x in &drift.stream[..12_500] {
+        first_phase[x as usize] += 1;
+    }
+    let retired: Vec<u64> = (0..n as u64)
+        .filter(|&k| first_phase[k as usize] >= 500 && drift.window_truth[k as usize] < 100)
+        .collect();
+    assert!(!retired.is_empty(), "rotation must retire some heavy keys");
+    for &key in &retired {
+        assert!(
+            whole.estimate(&key) >= 500,
+            "whole-stream filter forgot history for {key}?"
+        );
+        assert!(
+            windowed.estimate(&key) < 300,
+            "windowed filter still reports retired key {key} as heavy"
+        );
+    }
+
+    // Ad-hoc iceberg over the windowed sketch has full recall on the
+    // window truth.
+    let reported = ad_hoc_iceberg(windowed.sketch(), 0..n as u64, threshold);
+    for &key in &current_heavy {
+        assert!(reported.contains(&key));
+    }
+}

@@ -1,0 +1,226 @@
+//! The paper's headline claims, pinned as executable assertions.
+
+use proptest::prelude::*;
+use sbf_workloads::{DeletionPhaseStream, ZipfWorkload};
+use spectral_bloom::{
+    ad_hoc_iceberg, bloom_error_rate, unbiased_estimate, MiSbf, MsSbf, MultisetSketch, RmSbf,
+};
+
+/// Claim 1 (§2.2): `f_x ≤ m_x` for all keys, under arbitrary insert
+/// sequences — the one-sidedness everything else builds on.
+#[test]
+fn claim1_ms_estimates_are_upper_bounds() {
+    for seed in 0..3u64 {
+        let w = ZipfWorkload::generate(800, 40_000, 1.0, seed);
+        let mut sbf = MsSbf::new(3000, 5, seed);
+        for &x in &w.stream {
+            sbf.insert(&x);
+        }
+        for (key, &f) in w.truth.iter().enumerate() {
+            assert!(sbf.estimate(&(key as u64)) >= f, "seed {seed}, key {key}");
+        }
+    }
+}
+
+/// Claim 1 continued: the error *probability* tracks the Bloom error
+/// `(1 − e^{−γ})^k` (within sampling noise).
+#[test]
+fn claim1_error_rate_tracks_bloom_error() {
+    let n = 1000usize;
+    let k = 5usize;
+    for gamma_x10 in [5usize, 7, 10] {
+        let m = n * k * 10 / gamma_x10;
+        let w = ZipfWorkload::generate(n, 100_000, 0.5, 42);
+        let mut sbf = MsSbf::new(m, k, 42);
+        for &x in &w.stream {
+            sbf.insert(&x);
+        }
+        let wrong = w
+            .truth
+            .iter()
+            .enumerate()
+            .filter(|&(key, &f)| sbf.estimate(&(key as u64)) != f)
+            .count();
+        let measured = wrong as f64 / n as f64;
+        let theory = bloom_error_rate(n, m, k);
+        assert!(
+            (measured - theory).abs() < theory.max(0.01),
+            "γ={:.1}: measured {measured:.4} vs theory {theory:.4}",
+            gamma_x10 as f64 / 10.0
+        );
+    }
+}
+
+/// Claim 4 (§3.2): per-key, Minimal Increase errs no more (and no larger)
+/// than Minimum Selection on the same insert stream.
+#[test]
+fn claim4_mi_dominates_ms_per_key() {
+    for seed in 0..3u64 {
+        let w = ZipfWorkload::generate(600, 50_000, 1.2, seed);
+        let m = 2500;
+        let mut ms = MsSbf::new(m, 5, seed);
+        let mut mi = MiSbf::new(m, 5, seed);
+        for &x in &w.stream {
+            ms.insert(&x);
+            mi.insert(&x);
+        }
+        for (key, &f) in w.truth.iter().enumerate() {
+            let key = key as u64;
+            let e_ms = ms.estimate(&key) - f; // MS is one-sided
+            let e_mi = mi.estimate(&key).saturating_sub(f);
+            assert!(e_mi <= e_ms, "seed {seed} key {key}: MI {e_mi} > MS {e_ms}");
+        }
+    }
+}
+
+
+/// Claim 5 (§3.2): on uniform data, Minimal Increase cuts the expected
+/// error *size* by roughly a factor of `k` relative to Minimum Selection
+/// (the claim's proof bounds the error expectancy at `F/k` against MS's
+/// `F`, under an idealized round-robin interleaving).
+#[test]
+fn claim5_mi_uniform_error_size_reduction() {
+    let n = 1000usize;
+    let k = 5usize;
+    let m = n * k; // γ = 1 so MS errs often enough to measure
+    let mut ratios = Vec::new();
+    for seed in 0..5u64 {
+        let w = ZipfWorkload::generate(n, 100_000, 0.0, seed); // uniform
+        let mut ms = MsSbf::new(m, k, seed);
+        let mut mi = MiSbf::new(m, k, seed);
+        for &x in &w.stream {
+            ms.insert(&x);
+            mi.insert(&x);
+        }
+        let total_err = |est: &dyn Fn(u64) -> u64| {
+            w.truth
+                .iter()
+                .enumerate()
+                .map(|(key, &f)| est(key as u64).abs_diff(f))
+                .sum::<u64>() as f64
+        };
+        let e_ms = total_err(&|key| ms.estimate(&key));
+        let e_mi = total_err(&|key| mi.estimate(&key));
+        if e_mi > 0.0 {
+            ratios.push(e_ms / e_mi);
+        }
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
+    // Real Poisson-ish arrivals are rougher than the claim's idealized
+    // interleaving; require at least half the claimed factor.
+    assert!(
+        mean >= k as f64 / 2.0,
+        "MI error-size reduction {mean:.2} far below the claimed ≈{k}"
+    );
+}
+
+/// §3.2/§6.2: deletions break MI (false negatives) but not MS/RM.
+#[test]
+fn deletions_break_mi_not_ms_rm() {
+    let w = ZipfWorkload::generate(500, 50_000, 1.0, 9);
+    let stream = DeletionPhaseStream::from_zipf(&w, 10, 9);
+    let m = 3500;
+
+    let mut ms = MsSbf::new(m, 5, 1);
+    let mut rm = RmSbf::new(m, 5, 1);
+    let mut mi = MiSbf::new(m, 5, 1).with_unchecked_deletions();
+    for &e in &stream.events {
+        match e {
+            sbf_workloads::StreamEvent::Insert(x) => {
+                ms.insert(&x);
+                rm.insert(&x);
+                mi.insert(&x);
+            }
+            sbf_workloads::StreamEvent::Delete(x) => {
+                ms.remove(&x).expect("present");
+                rm.remove(&x).expect("present");
+                mi.remove_unchecked(&x, 1);
+            }
+        }
+    }
+    let count_fn = |est: &dyn Fn(u64) -> u64| -> usize {
+        stream
+            .truth
+            .iter()
+            .enumerate()
+            .filter(|&(key, &f)| est(key as u64) < f)
+            .count()
+    };
+    let fn_ms = count_fn(&|k| ms.estimate(&k));
+    let fn_mi = count_fn(&|k| mi.estimate(&k));
+    assert_eq!(fn_ms, 0, "MS must stay one-sided under deletions");
+    assert!(fn_mi > 0, "MI must break under deletions (the paper's point)");
+}
+
+/// §5.2: ad-hoc iceberg queries have recall 1 at any post-hoc threshold.
+#[test]
+fn iceberg_recall_is_one_at_every_threshold() {
+    let w = ZipfWorkload::generate(2000, 80_000, 1.1, 4);
+    let mut sbf = MsSbf::new(15_000, 5, 4);
+    for &x in &w.stream {
+        sbf.insert(&x);
+    }
+    for threshold in [1u64, 5, 50, 500, 5000] {
+        let result = ad_hoc_iceberg(&sbf, 0..2000u64, threshold);
+        for (key, &f) in w.truth.iter().enumerate() {
+            if f >= threshold {
+                assert!(
+                    result.contains(&(key as u64)),
+                    "T={threshold}: missed key {key} (f={f})"
+                );
+            }
+        }
+    }
+}
+
+/// §3.1 (Lemma 3): the probabilistic estimator is unbiased — its mean
+/// signed error across many keys vanishes, while MS's bias is positive.
+#[test]
+fn lemma3_unbiased_vs_ms_bias() {
+    let w = ZipfWorkload::generate(1500, 60_000, 0.3, 8);
+    let m = 4000;
+    let mut sbf = MsSbf::new(m, 5, 8);
+    for &x in &w.stream {
+        sbf.insert(&x);
+    }
+    let mut signed = 0.0;
+    let mut ms_signed = 0.0;
+    for (key, &f) in w.truth.iter().enumerate() {
+        let key = key as u64;
+        signed += unbiased_estimate(sbf.core(), &key) - f as f64;
+        ms_signed += sbf.estimate(&key) as f64 - f as f64;
+    }
+    let bias = signed / w.truth.len() as f64;
+    let ms_bias = ms_signed / w.truth.len() as f64;
+    assert!(ms_bias > 0.5, "MS should be visibly biased here: {ms_bias}");
+    assert!(bias.abs() < ms_bias / 3.0, "unbiased {bias} vs MS {ms_bias}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// One-sidedness survives arbitrary interleavings of inserts and
+    /// (valid) removals for MS.
+    #[test]
+    fn ms_one_sided_under_random_valid_ops(
+        ops in prop::collection::vec((0u64..50, 1u64..5, prop::bool::ANY), 1..300)
+    ) {
+        let mut sbf = MsSbf::new(1024, 4, 99);
+        let mut truth = std::collections::HashMap::new();
+        for (key, count, is_insert) in ops {
+            if is_insert {
+                sbf.insert_by(&key, count);
+                *truth.entry(key).or_insert(0u64) += count;
+            } else {
+                let have = truth.get(&key).copied().unwrap_or(0);
+                if have >= count {
+                    sbf.remove_by(&key, count).expect("removing present items");
+                    *truth.get_mut(&key).expect("present") -= count;
+                }
+            }
+        }
+        for (&key, &f) in &truth {
+            prop_assert!(sbf.estimate(&key) >= f);
+        }
+    }
+}

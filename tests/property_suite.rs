@@ -1,0 +1,167 @@
+//! Cross-crate property tests: the paper's invariants under arbitrary
+//! (generated) inputs.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use spectral_bloom::{
+    ad_hoc_iceberg, multiscan_iceberg, BloomFilter, MiSbf, MsSbf, MultiscanConfig,
+    MultisetSketch, RangeTreeSketch, RmSbf,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Bloom filters never lose an inserted key, whatever the keys and
+    /// parameters.
+    #[test]
+    fn bloom_no_false_negatives(
+        keys in prop::collection::vec(any::<u64>(), 0..300),
+        m in 64usize..4096,
+        k in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut bf = BloomFilter::new(m, k, seed);
+        for key in &keys {
+            bf.insert(key);
+        }
+        for key in &keys {
+            prop_assert!(bf.contains(key));
+        }
+    }
+
+    /// The range tree's estimate dominates the truth for every queried
+    /// range, under random inserts and valid removes.
+    #[test]
+    fn range_tree_dominates_model(
+        ops in prop::collection::vec((0u64..128, prop::bool::ANY), 1..250),
+        queries in prop::collection::vec((0u64..128, 0u64..129), 1..20),
+    ) {
+        let mut tree = RangeTreeSketch::new(MsSbf::new(1 << 13, 4, 5), 0, 128);
+        let mut model = vec![0u64; 128];
+        for (v, insert) in ops {
+            if insert || model[v as usize] == 0 {
+                tree.insert(v);
+                model[v as usize] += 1;
+            } else {
+                tree.remove_by(v, 1).expect("value present in model");
+                model[v as usize] -= 1;
+            }
+        }
+        for (a, b) in queries {
+            let (a, b) = (a.min(b), a.max(b));
+            let want: u64 = model[a as usize..b as usize].iter().sum();
+            prop_assert!(tree.count_range(a, b).estimate >= want, "range [{a},{b})");
+        }
+    }
+
+    /// Ad-hoc iceberg recall is 1 at any threshold, any stream.
+    #[test]
+    fn iceberg_recall_prop(
+        stream in prop::collection::vec(0u64..100, 1..600),
+        threshold in 1u64..20,
+    ) {
+        let mut sbf = MsSbf::new(4096, 5, 11);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &x in &stream {
+            sbf.insert(&x);
+            *truth.entry(x).or_insert(0) += 1;
+        }
+        let out = ad_hoc_iceberg(&sbf, stream.iter().copied(), threshold);
+        for (&key, &f) in &truth {
+            if f >= threshold {
+                prop_assert!(out.contains(&key), "missed {key} (f={f}, T={threshold})");
+            }
+        }
+    }
+
+    /// Multiscan recall is 1 even through deliberately lossy stages.
+    #[test]
+    fn multiscan_recall_prop(
+        stream in prop::collection::vec(0u64..60, 1..400),
+        threshold in 2u64..10,
+        seed in any::<u64>(),
+    ) {
+        let config = MultiscanConfig { stages: vec![(32, 2), (16, 2)], seed };
+        let out = multiscan_iceberg(&stream, threshold, &config);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &x in &stream {
+            *truth.entry(x).or_insert(0) += 1;
+        }
+        for (&key, &f) in &truth {
+            if f >= threshold {
+                prop_assert!(out.contains(&key));
+            }
+        }
+    }
+
+    /// MS, MI, and RM all dominate the truth on arbitrary insert-only
+    /// streams (Claim 1 / Claim 4 / §3.3).
+    #[test]
+    fn all_algorithms_one_sided_on_inserts(
+        stream in prop::collection::vec(0u64..80, 1..500),
+    ) {
+        let mut ms = MsSbf::new(2048, 5, 3);
+        let mut mi = MiSbf::new(2048, 5, 3);
+        let mut rm = RmSbf::new(2048, 5, 3);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &x in &stream {
+            ms.insert(&x);
+            mi.insert(&x);
+            rm.insert(&x);
+            *truth.entry(x).or_insert(0) += 1;
+        }
+        for (&key, &f) in &truth {
+            prop_assert!(ms.estimate(&key) >= f, "MS under-counted {key}");
+            prop_assert!(mi.estimate(&key) >= f, "MI under-counted {key}");
+            prop_assert!(rm.estimate(&key) >= f, "RM under-counted {key}");
+        }
+    }
+
+    /// The MI ≤ MS per-key error dominance (Claim 4) holds on arbitrary
+    /// insert streams, not just the curated ones.
+    #[test]
+    fn mi_error_never_exceeds_ms_prop(
+        stream in prop::collection::vec(0u64..40, 1..400),
+    ) {
+        // A deliberately small filter so collisions actually occur.
+        let mut ms = MsSbf::new(128, 4, 9);
+        let mut mi = MiSbf::new(128, 4, 9);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &x in &stream {
+            ms.insert(&x);
+            mi.insert(&x);
+            *truth.entry(x).or_insert(0) += 1;
+        }
+        for (&key, &f) in &truth {
+            let e_ms = ms.estimate(&key) - f;
+            let e_mi = mi.estimate(&key) - f;
+            prop_assert!(e_mi <= e_ms, "key {key}: MI {e_mi} > MS {e_ms}");
+        }
+    }
+
+    /// Union semantics: the united filter dominates the merged truth, for
+    /// arbitrary partitions.
+    #[test]
+    fn union_dominates_merged_truth(
+        part_a in prop::collection::vec(0u64..50, 0..200),
+        part_b in prop::collection::vec(0u64..50, 0..200),
+    ) {
+        let mut a = MsSbf::new(1024, 4, 17);
+        let mut b = MsSbf::new(1024, 4, 17);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &x in &part_a {
+            a.insert(&x);
+            *truth.entry(x).or_insert(0) += 1;
+        }
+        for &x in &part_b {
+            b.insert(&x);
+            *truth.entry(x).or_insert(0) += 1;
+        }
+        a.union_assign(&b);
+        prop_assert_eq!(a.total_count(), (part_a.len() + part_b.len()) as u64);
+        for (&key, &f) in &truth {
+            prop_assert!(a.estimate(&key) >= f);
+        }
+    }
+}
