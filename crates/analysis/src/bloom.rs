@@ -58,7 +58,13 @@ mod tests {
     #[test]
     fn gamma_of_table1_rows() {
         // The paper's Table 1 γ values arise from m sweeps at n=1000, k=5.
-        for (m, want) in [(5000, 1.0), (6024, 0.83), (7143, 0.7), (8000, 0.625), (10_000, 0.5)] {
+        for (m, want) in [
+            (5000, 1.0),
+            (6024, 0.83),
+            (7143, 0.7),
+            (8000, 0.625),
+            (10_000, 0.5),
+        ] {
             let g = gamma(1000, m, 5);
             assert!((g - want).abs() < 0.01, "m={m}: γ={g}");
         }

@@ -52,14 +52,7 @@ pub fn iceberg_error_from_frequencies(
 /// Figure 4 convenience: iceberg error for a Zipfian profile of `n` items
 /// and `total` occurrences at skew `z`, using expected (real-valued)
 /// frequencies rounded to integers.
-pub fn iceberg_error_zipf(
-    n: usize,
-    total: u64,
-    z: f64,
-    m: usize,
-    k: usize,
-    threshold: u64,
-) -> f64 {
+pub fn iceberg_error_zipf(n: usize, total: u64, z: f64, m: usize, k: usize, threshold: u64) -> f64 {
     let norm: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(z)).sum();
     let freqs: Vec<u64> = (1..=n)
         .map(|i| ((total as f64) * (1.0 / (i as f64).powf(z)) / norm).round() as u64)
@@ -83,7 +76,8 @@ mod tests {
         let eb = bloom_error(N, m, K);
         for z in [0.0, 0.4, 0.8, 1.2] {
             for t_pct in [1u64, 10, 30, 60, 90] {
-                let max_f = (TOTAL as f64 / (1..=N).map(|i| 1.0 / (i as f64).powf(z)).sum::<f64>()).round() as u64;
+                let max_f = (TOTAL as f64 / (1..=N).map(|i| 1.0 / (i as f64).powf(z)).sum::<f64>())
+                    .round() as u64;
                 let t = (max_f * t_pct / 100).max(1);
                 let e = iceberg_error_zipf(N, TOTAL, z, m, K, t);
                 assert!(e <= eb + 1e-9, "z={z} T={t}: {e} > E_b {eb}");
@@ -145,7 +139,10 @@ mod tests {
             .enumerate()
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
             .expect("non-empty");
-        assert!(peak_idx < 60, "peak should sit at low-to-mid thresholds, got {peak_idx}");
+        assert!(
+            peak_idx < 60,
+            "peak should sit at low-to-mid thresholds, got {peak_idx}"
+        );
         assert!(curve[99] < peak * 0.5, "curve must fall toward T = 100%");
     }
 

@@ -22,8 +22,8 @@ pub mod zipf_error;
 pub use bloom::{bloom_error, gamma, optimal_k};
 pub use iceberg::{iceberg_error_from_frequencies, iceberg_error_zipf};
 pub use variance::{
-    boosting_is_feasible, counter_error_variance, groups_for_confidence,
-    group_size_for_tolerance, max_supported_items,
+    boosting_is_feasible, counter_error_variance, group_size_for_tolerance, groups_for_confidence,
+    max_supported_items,
 };
 pub use zipf_error::{
     expected_relative_error_all_items, expected_relative_error_bound, relative_error_tail_bound,

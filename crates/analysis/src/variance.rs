@@ -25,7 +25,10 @@ pub fn counter_error_variance(total_items: u64, f_x: u64, m: usize, k: usize) ->
 /// Number of median groups needed for failure probability `ε`:
 /// `k₂ = 24·ln(1/ε)` (from `P < e^{−k₂/24}`).
 pub fn groups_for_confidence(epsilon: f64) -> f64 {
-    assert!(epsilon > 0.0 && epsilon < 1.0, "confidence must be in (0,1)");
+    assert!(
+        epsilon > 0.0 && epsilon < 1.0,
+        "confidence must be in (0,1)"
+    );
     24.0 * (1.0 / epsilon).ln()
 }
 

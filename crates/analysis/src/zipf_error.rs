@@ -17,8 +17,8 @@ pub fn expected_relative_error_bound(n: usize, k: usize, z: f64, rank: usize) ->
     assert!(rank >= 1 && rank <= n, "rank out of range");
     assert!(n > k, "need n > k");
     let log_sz = s_z(n, k, z).ln();
-    let log_val = z * (rank as f64).ln() + (k as f64).ln() + log_sz
-        - k as f64 * ((n - k) as f64).ln();
+    let log_val =
+        z * (rank as f64).ln() + (k as f64).ln() + log_sz - k as f64 * ((n - k) as f64).ln();
     log_val.exp()
 }
 

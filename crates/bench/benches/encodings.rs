@@ -21,8 +21,12 @@ fn bench_codecs(c: &mut Criterion) {
     let mut group = c.benchmark_group("encoding");
     group.throughput(Throughput::Elements(data.len() as u64));
 
-    group.bench_function("elias_delta/encode", |b| b.iter(|| EliasDelta.encode_all(&data)));
-    group.bench_function("elias_gamma/encode", |b| b.iter(|| EliasGamma.encode_all(&data)));
+    group.bench_function("elias_delta/encode", |b| {
+        b.iter(|| EliasDelta.encode_all(&data))
+    });
+    group.bench_function("elias_gamma/encode", |b| {
+        b.iter(|| EliasGamma.encode_all(&data))
+    });
     let steps = StepsCode::new(&[1, 2]);
     group.bench_function("steps12/encode", |b| b.iter(|| steps.encode_all(&data)));
 
@@ -30,7 +34,9 @@ fn bench_codecs(c: &mut Criterion) {
     group.bench_function("elias_delta/decode", |b| {
         b.iter(|| {
             let mut r = BitReader::new(&delta_bits);
-            EliasDelta.decode_all(&mut r, data.len()).expect("valid stream")
+            EliasDelta
+                .decode_all(&mut r, data.len())
+                .expect("valid stream")
         })
     });
     let steps_bits = steps.encode_all(&data);
@@ -49,7 +55,11 @@ fn bench_size_sweep(c: &mut Criterion) {
     for avg in [1u64, 10, 100] {
         let data = counters(20_000, avg);
         group.bench_with_input(BenchmarkId::new("elias_len", avg), &avg, |b, _| {
-            b.iter(|| data.iter().map(|&v| EliasDelta.encoded_len(v)).sum::<usize>())
+            b.iter(|| {
+                data.iter()
+                    .map(|&v| EliasDelta.encoded_len(v))
+                    .sum::<usize>()
+            })
         });
     }
     group.finish();

@@ -11,13 +11,13 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use sbf_analysis as analysis;
-use sbf_db::{bifocal, bloomjoin, ship_all_join, spectral_bloomjoin, ChainedHashTable, JoinPlan, Relation};
+use sbf_db::{
+    bifocal, bloomjoin, ship_all_join, spectral_bloomjoin, ChainedHashTable, JoinPlan, Relation,
+};
 use sbf_encoding::{Codec, EliasDelta, StepsCode};
 use sbf_hash::SplitMix64;
 use sbf_sai::{DynamicCounterArray, StaticCounterArray};
-use sbf_workloads::{
-    forest, DeletionPhaseStream, SlidingWindowStream, ZipfWorkload,
-};
+use sbf_workloads::{forest, DeletionPhaseStream, SlidingWindowStream, ZipfWorkload};
 use spectral_bloom::{ad_hoc_iceberg, MsSbf, MultisetSketch, RangeTreeSketch, RmSbf};
 
 use crate::metrics::{run_events, run_inserts, AccuracyMetrics, Algo};
@@ -47,7 +47,10 @@ pub fn fig1() -> String {
     let skews = [0.2, 0.6, 1.0, 1.4, 1.8, 2.0];
     let ranks = [1usize, 100, 500, 1000, 2000, 4000, 6000, 8000, 10_000];
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 1 — expected relative error bound E'(RE_i^z), n={n}, k={k}");
+    let _ = writeln!(
+        out,
+        "Figure 1 — expected relative error bound E'(RE_i^z), n={n}, k={k}"
+    );
     let _ = write!(out, "{:>8}", "rank");
     for z in skews {
         let _ = write!(out, "  z={z:<6}");
@@ -79,7 +82,11 @@ pub fn fig1() -> String {
 /// formula (their E_RM column is *calculated* from the measured
 /// decomposition); `E_RM_measured` is the end-to-end error ratio, which
 /// also pays for late-detection contamination the formula ignores.
-fn rm_decomposition(m_primary: usize, m_secondary: usize, skew: f64) -> (f64, f64, f64, f64, f64, f64) {
+fn rm_decomposition(
+    m_primary: usize,
+    m_secondary: usize,
+    skew: f64,
+) -> (f64, f64, f64, f64, f64, f64) {
     let mut p_rx = 0.0;
     let mut p_ex_given_rx = 0.0;
     let mut e_meas = 0.0;
@@ -107,7 +114,11 @@ fn rm_decomposition(m_primary: usize, m_secondary: usize, skew: f64) -> (f64, f6
             }
         }
         p_rx += rx as f64 / N_DISTINCT as f64;
-        p_ex_given_rx += if rx > 0 { ex_rx as f64 / rx as f64 } else { 0.0 };
+        p_ex_given_rx += if rx > 0 {
+            ex_rx as f64 / rx as f64
+        } else {
+            0.0
+        };
         e_meas += errors as f64 / N_DISTINCT as f64;
     }
     let runs = SEEDS.len() as f64;
@@ -133,14 +144,31 @@ pub fn table1() -> String {
     let _ = writeln!(
         out,
         "{:>6} {:>8} {:>8} {:>10} {:>8} {:>10} {:>10} {:>9} | {:>10} {:>9}",
-        "gamma", "Eb", "P(Rx)", "P(Ex|Rx)", "gamma_s", "Eb_s", "E_RM calc", "gain", "E_RM meas", "gain"
+        "gamma",
+        "Eb",
+        "P(Rx)",
+        "P(Ex|Rx)",
+        "gamma_s",
+        "Eb_s",
+        "E_RM calc",
+        "gain",
+        "E_RM meas",
+        "gain"
     );
     for gamma in gammas {
         let m = m_for_gamma(N_DISTINCT, K, gamma);
         let (p_rx, p_ex, g_s, eb_s, e_calc, e_meas) = rm_decomposition(m, m / 2, 0.5);
         let eb = analysis::bloom_error(N_DISTINCT, m, K);
-        let gain_c = if e_calc > 0.0 { eb / e_calc } else { f64::INFINITY };
-        let gain_m = if e_meas > 0.0 { eb / e_meas } else { f64::INFINITY };
+        let gain_c = if e_calc > 0.0 {
+            eb / e_calc
+        } else {
+            f64::INFINITY
+        };
+        let gain_m = if e_meas > 0.0 {
+            eb / e_meas
+        } else {
+            f64::INFINITY
+        };
         let _ = writeln!(
             out,
             "{gamma:>6.3} {eb:>8.4} {p_rx:>8.3} {p_ex:>10.4} {g_s:>8.3} {eb_s:>10.2e} {e_calc:>10.2e} {gain_c:>9.1} | {e_meas:>10.4} {gain_m:>9.2}"
@@ -179,8 +207,16 @@ pub fn table2() -> String {
         }
         let e_ms = e_ms.iter().sum::<f64>() / e_ms.len() as f64;
         let (_, _, _, _, e_calc, e_meas) = rm_decomposition(base_m, extra.max(1), 0.5);
-        let ratio_c = if e_calc > 0.0 { e_ms / e_calc } else { f64::INFINITY };
-        let ratio_m = if e_meas > 0.0 { e_ms / e_meas } else { f64::INFINITY };
+        let ratio_c = if e_calc > 0.0 {
+            e_ms / e_calc
+        } else {
+            f64::INFINITY
+        };
+        let ratio_m = if e_meas > 0.0 {
+            e_ms / e_meas
+        } else {
+            f64::INFINITY
+        };
         let _ = writeln!(
             out,
             "{frac:>6.2} {ms_k:>6} {e_ms:>10.4} {e_calc:>12.2e} {e_meas:>12.4} {ratio_c:>11.2} {ratio_m:>11.3}"
@@ -199,7 +235,10 @@ pub fn fig4() -> String {
     let skews = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2];
     let pcts = [1u64, 5, 10, 20, 30, 50, 70, 90, 100];
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 4 — iceberg error rates (analytic), n={N_DISTINCT}, M={M_ITEMS}, k={K}, gamma=1");
+    let _ = writeln!(
+        out,
+        "Figure 4 — iceberg error rates (analytic), n={N_DISTINCT}, M={M_ITEMS}, k={K}, gamma=1"
+    );
     let _ = write!(out, "{:>8}", "T(%max)");
     for z in skews {
         let _ = write!(out, "  z={z:<7}");
@@ -227,7 +266,10 @@ pub fn fig4() -> String {
     }
     let reported = ad_hoc_iceberg(&sbf, 0..N_DISTINCT as u64, t);
     let true_heavy = w.truth.iter().filter(|&&f| f >= t).count();
-    let fp = reported.iter().filter(|&&key| w.truth[key as usize] < t).count();
+    let fp = reported
+        .iter()
+        .filter(|&&key| w.truth[key as usize] < t)
+        .count();
     let missed = w
         .truth
         .iter()
@@ -274,8 +316,12 @@ pub fn fig6ab() -> String {
         let _ = writeln!(
             out,
             "{gamma:>6.2} | {:>10.3} {:>10.3} {:>10.3} | {:>10.4} {:>10.4} {:>10.4}",
-            ms.additive_error, rm.additive_error, mi.additive_error,
-            ms.error_ratio, rm.error_ratio, mi.error_ratio
+            ms.additive_error,
+            rm.additive_error,
+            mi.additive_error,
+            ms.error_ratio,
+            rm.error_ratio,
+            mi.error_ratio
         );
     }
     out
@@ -292,7 +338,9 @@ pub fn fig6c() -> String {
         for &seed in &SEEDS {
             let w = ZipfWorkload::generate(N_DISTINCT, M_ITEMS, 0.5, seed);
             for algo in Algo::ALL {
-                res.entry(algo.label()).or_default().push(run_inserts(algo, m, k, seed, &w.stream, &w.truth));
+                res.entry(algo.label())
+                    .or_default()
+                    .push(run_inserts(algo, m, k, seed, &w.stream, &w.truth));
             }
         }
         let _ = writeln!(
@@ -325,7 +373,10 @@ pub fn fig7(scale: usize) -> String {
     let truth = forest::frequencies(&column, distinct);
     let peak = *truth.iter().max().expect("non-empty");
     let present = truth.iter().filter(|&&f| f > 0).count();
-    let _ = writeln!(out, "(a) distribution: peak frequency {peak}, {present} values present");
+    let _ = writeln!(
+        out,
+        "(a) distribution: peak frequency {peak}, {present} values present"
+    );
     let _ = writeln!(
         out,
         "{:>6} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10}",
@@ -338,7 +389,9 @@ pub fn fig7(scale: usize) -> String {
             let col = forest::synthetic_elevation_sized(records, distinct, seed);
             let tr = forest::frequencies(&col, distinct);
             for algo in Algo::ALL {
-                res.entry(algo.label()).or_default().push(run_inserts(algo, m, K, seed, &col, &tr));
+                res.entry(algo.label())
+                    .or_default()
+                    .push(run_inserts(algo, m, K, seed, &col, &tr));
             }
         }
         let ms = AccuracyMetrics::mean(&res[Algo::Ms.label()]);
@@ -347,8 +400,12 @@ pub fn fig7(scale: usize) -> String {
         let _ = writeln!(
             out,
             "{gamma:>6.2} | {:>10.3} {:>10.3} {:>10.3} | {:>10.4} {:>10.4} {:>10.4}",
-            ms.additive_error, rm.additive_error, mi.additive_error,
-            ms.error_ratio, rm.error_ratio, mi.error_ratio
+            ms.additive_error,
+            rm.additive_error,
+            mi.additive_error,
+            ms.error_ratio,
+            rm.error_ratio,
+            mi.error_ratio
         );
     }
     out
@@ -378,8 +435,18 @@ pub fn fig8() -> String {
             let w = ZipfWorkload::generate(N_DISTINCT, M_ITEMS, skew, seed);
             let del = DeletionPhaseStream::from_zipf(&w, 10, seed);
             for algo in Algo::ALL {
-                without.entry(algo.label()).or_default().push(run_inserts(algo, m, K, seed, &w.stream, &w.truth));
-                with_del.entry(algo.label()).or_default().push(run_events(algo, m, K, seed, &del.events, &del.truth));
+                without
+                    .entry(algo.label())
+                    .or_default()
+                    .push(run_inserts(algo, m, K, seed, &w.stream, &w.truth));
+                with_del.entry(algo.label()).or_default().push(run_events(
+                    algo,
+                    m,
+                    K,
+                    seed,
+                    &del.events,
+                    &del.truth,
+                ));
             }
         }
         let d_ms = AccuracyMetrics::mean(&with_del[Algo::Ms.label()]);
@@ -391,8 +458,12 @@ pub fn fig8() -> String {
         let _ = writeln!(
             out,
             "{skew:>5.2} | {:>9.3} {:>9.3} {:>9.3} | {:>9.3} {:>9.3} {:>9.3} | {:>8.3}",
-            d_ms.additive_error, d_rm.additive_error, d_mi.additive_error,
-            p_ms.additive_error, p_rm.additive_error, p_mi.additive_error,
+            d_ms.additive_error,
+            d_rm.additive_error,
+            d_mi.additive_error,
+            p_ms.additive_error,
+            p_rm.additive_error,
+            p_mi.additive_error,
             d_mi.fn_share_of_errors
         );
     }
@@ -418,7 +489,9 @@ pub fn fig9() -> String {
             let w = ZipfWorkload::generate(N_DISTINCT, M_ITEMS, skew, seed);
             let sw = SlidingWindowStream::from_zipf(&w, M_ITEMS / 5);
             for algo in Algo::ALL {
-                res.entry(algo.label()).or_default().push(run_events(algo, m, K, seed, &sw.events, &sw.truth));
+                res.entry(algo.label())
+                    .or_default()
+                    .push(run_events(algo, m, K, seed, &sw.events, &sw.truth));
             }
         }
         let ms = AccuracyMetrics::mean(&res[Algo::Ms.label()]);
@@ -427,8 +500,12 @@ pub fn fig9() -> String {
         let _ = writeln!(
             out,
             "{skew:>5.2} | {:>10.3} {:>10.3} {:>10.3} | {:>9.4} {:>9.4} {:>9.4}",
-            ms.additive_error, rm.additive_error, mi.additive_error,
-            ms.error_ratio, rm.error_ratio, mi.error_ratio
+            ms.additive_error,
+            rm.additive_error,
+            mi.additive_error,
+            ms.error_ratio,
+            rm.error_ratio,
+            mi.error_ratio
         );
     }
     out
@@ -442,7 +519,10 @@ pub fn fig10() -> String {
     let m = 20_000usize;
     let avg_freqs = [1u64, 2, 5, 10, 20, 50, 100];
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 10 — encoding sizes (bits) for {m} counters vs average frequency");
+    let _ = writeln!(
+        out,
+        "Figure 10 — encoding sizes (bits) for {m} counters vs average frequency"
+    );
     let _ = writeln!(
         out,
         "{:>8} {:>12} {:>12} {:>12} {:>12}",
@@ -462,11 +542,17 @@ pub fn fig10() -> String {
                 (-(1.0 - u).ln() * avg as f64).round() as u64
             })
             .collect();
-        let log_bits: usize = counters.iter().map(|&c| sbf_encoding::bit_len(c).max(1)).sum();
+        let log_bits: usize = counters
+            .iter()
+            .map(|&c| sbf_encoding::bit_len(c).max(1))
+            .sum();
         let elias: usize = counters.iter().map(|&c| EliasDelta.encoded_len(c)).sum();
         let b12: usize = counters.iter().map(|&c| s12.encoded_len(c)).sum();
         let b23: usize = counters.iter().map(|&c| s23.encoded_len(c)).sum();
-        let _ = writeln!(out, "{avg:>8} {log_bits:>12} {elias:>12} {b12:>12} {b23:>12}");
+        let _ = writeln!(
+            out,
+            "{avg:>8} {log_bits:>12} {elias:>12} {b12:>12} {b23:>12}"
+        );
     }
     out
 }
@@ -476,12 +562,17 @@ pub fn fig10() -> String {
 /// Figure 11: String-Array Index build / update / lookup time vs array
 /// size (`scale` divides the largest sizes for quick runs).
 pub fn fig11(scale: usize) -> String {
-    let sizes: Vec<usize> = [1_000usize, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000]
-        .iter()
-        .map(|&s| (s / scale.max(1)).max(1000))
-        .collect();
+    let sizes: Vec<usize> = [
+        1_000usize, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000,
+    ]
+    .iter()
+    .map(|&s| (s / scale.max(1)).max(1000))
+    .collect();
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 11 — dynamic string-array performance (times in ms; per-action in µs)");
+    let _ = writeln!(
+        out,
+        "Figure 11 — dynamic string-array performance (times in ms; per-action in µs)"
+    );
     let _ = writeln!(
         out,
         "{:>9} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
@@ -528,7 +619,10 @@ pub fn fig12(scale: usize) -> String {
         .map(|&s| (s / scale.max(1)).max(1000))
         .collect();
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 12 — SBF (compressed, k=5) vs chained hash table (same table size)");
+    let _ = writeln!(
+        out,
+        "Figure 12 — SBF (compressed, k=5) vs chained hash table (same table size)"
+    );
     let _ = writeln!(
         out,
         "{:>9} | {:>11} {:>11} {:>11} | {:>11} {:>11} {:>11}",
@@ -536,8 +630,8 @@ pub fn fig12(scale: usize) -> String {
     );
     for &m in &sizes {
         let n_keys = m / 10; // avg frequency 10 over distinct keys
-        use spectral_bloom::{CompressedCounters, MsSbf};
         use sbf_hash::MixFamily;
+        use spectral_bloom::{CompressedCounters, MsSbf};
         let t0 = Instant::now();
         let mut sbf: MsSbf<MixFamily, CompressedCounters> =
             MsSbf::from_family(MixFamily::new(m, 5, 42));
@@ -606,9 +700,14 @@ fn populated_counters(n: usize, avg_freq: usize, seed: u64) -> Vec<u64> {
 /// Figure 13: string-array-index total size vs raw bit-vector size, for
 /// average frequencies 0 and 10.
 pub fn fig13() -> String {
-    let sizes = [1_000usize, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000];
+    let sizes = [
+        1_000usize, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    ];
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 13 — SAI size vs raw bit vector (bits; slack 0.5/item in the dynamic array)");
+    let _ = writeln!(
+        out,
+        "Figure 13 — SAI size vs raw bit vector (bits; slack 0.5/item in the dynamic array)"
+    );
     let _ = writeln!(
         out,
         "{:>8} | {:>12} {:>12} {:>8} | {:>12} {:>12} {:>8}",
@@ -639,7 +738,10 @@ pub fn fig14() -> String {
     let sizes = [1_000usize, 10_000, 50_000, 100_000, 500_000];
     let mut out = String::new();
     for avg in [0usize, 10] {
-        let _ = writeln!(out, "Figure 14 — SAI component breakdown (bits), average frequency {avg}");
+        let _ = writeln!(
+            out,
+            "Figure 14 — SAI component breakdown (bits), average frequency {avg}"
+        );
         let _ = writeln!(
             out,
             "{:>8} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10}",
@@ -661,9 +763,14 @@ pub fn fig14() -> String {
 /// Figure 15: SAI index overhead vs hash-table key storage (`m log m`
 /// loose, `Σ log i` tight).
 pub fn fig15() -> String {
-    let sizes = [1_000usize, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000];
+    let sizes = [
+        1_000usize, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    ];
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 15 — index overhead vs hash-table key storage (bits)");
+    let _ = writeln!(
+        out,
+        "Figure 15 — index overhead vs hash-table key storage (bits)"
+    );
     let _ = writeln!(
         out,
         "{:>8} {:>14} {:>14} {:>14} {:>14}",
@@ -671,10 +778,13 @@ pub fn fig15() -> String {
     );
     for &n in &sizes {
         let s0 = StaticCounterArray::from_counters(&populated_counters(n, 0, 13)).size_breakdown();
-        let s10 = StaticCounterArray::from_counters(&populated_counters(n, 10, 13)).size_breakdown();
+        let s10 =
+            StaticCounterArray::from_counters(&populated_counters(n, 10, 13)).size_breakdown();
         let logm = sbf_encoding::bit_len(n as u64);
         let loose = n * logm;
-        let tight: usize = (1..=n as u64).map(|i| sbf_encoding::bit_len(i).max(1)).sum();
+        let tight: usize = (1..=n as u64)
+            .map(|i| sbf_encoding::bit_len(i).max(1))
+            .sum();
         let _ = writeln!(
             out,
             "{n:>8} {:>14} {:>14} {loose:>14} {tight:>14}",
@@ -691,7 +801,10 @@ pub fn fig15() -> String {
 /// ship-all vs Bloomjoin vs Spectral Bloomjoin.
 pub fn bloomjoin_report() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Spectral Bloomjoin (§5.3) — two-site join, network accounting");
+    let _ = writeln!(
+        out,
+        "Spectral Bloomjoin (§5.3) — two-site join, network accounting"
+    );
     let _ = writeln!(
         out,
         "{:>24} {:>10} {:>10} {:>8} {:>10} {:>10}",
@@ -718,11 +831,18 @@ pub fn bloomjoin_report() -> String {
         ("bloomjoin", bloomjoin(&r, &s, &plan)),
         ("spectral bloomjoin", spectral_bloomjoin(&r, &s, &plan)),
     ] {
-        let spurious = outcome.groups.keys().filter(|k| !exact.groups.contains_key(k)).count();
+        let spurious = outcome
+            .groups
+            .keys()
+            .filter(|k| !exact.groups.contains_key(k))
+            .count();
         let _ = writeln!(
             out,
             "{label:>24} {:>10} {:>10} {:>8} {:>10} {spurious:>10}",
-            outcome.network.bytes, outcome.network.messages, outcome.exact, outcome.groups.len()
+            outcome.network.bytes,
+            outcome.network.messages,
+            outcome.exact,
+            outcome.groups.len()
         );
     }
     out
@@ -731,7 +851,10 @@ pub fn bloomjoin_report() -> String {
 /// §5.4: bifocal sampling with an SBF t-index vs the exact join size.
 pub fn bifocal_report() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Bifocal sampling (§5.4) — join-size estimates, SBF t-index");
+    let _ = writeln!(
+        out,
+        "Bifocal sampling (§5.4) — join-size estimates, SBF t-index"
+    );
     let mut r_keys = Vec::new();
     for key in 0u64..20 {
         for _ in 0..500 {
@@ -747,13 +870,22 @@ pub fn bifocal_report() -> String {
         r_keys.swap(i, j);
     }
     let r = Relation::from_keys("R", &r_keys, 16);
-    let s_keys: Vec<u64> = (0..4000u64).flat_map(|key| std::iter::repeat_n(key, 1 + (key % 4) as usize)).collect();
+    let s_keys: Vec<u64> = (0..4000u64)
+        .flat_map(|key| std::iter::repeat_n(key, 1 + (key % 4) as usize))
+        .collect();
     let s = Relation::from_keys("S", &s_keys, 16);
     let exact = bifocal::exact_join_size(&r, &s);
     let _ = writeln!(out, "exact |R⋈S| = {exact}");
-    let _ = writeln!(out, "{:>6} {:>12} {:>10} {:>10}", "seed", "estimate", "rel.err", "dense");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>12} {:>10} {:>10}",
+        "seed", "estimate", "rel.err", "dense"
+    );
     for &seed in &SEEDS {
-        let cfg = bifocal::BifocalConfig { sample_size: 800, ..bifocal::BifocalConfig::sized_for(&r, &s, seed) };
+        let cfg = bifocal::BifocalConfig {
+            sample_size: 800,
+            ..bifocal::BifocalConfig::sized_for(&r, &s, seed)
+        };
         let (est, dense) = bifocal::bifocal_estimate(&r, &s, &cfg);
         let rel = (est - exact as f64).abs() / exact as f64;
         let _ = writeln!(out, "{seed:>6} {est:>12.0} {rel:>10.3} {dense:>10}");
@@ -765,7 +897,10 @@ pub fn bifocal_report() -> String {
 /// estimate accuracy.
 pub fn range_report() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Range queries (§5.5) — dyadic range tree over an RM-SBF");
+    let _ = writeln!(
+        out,
+        "Range queries (§5.5) — dyadic range tree over an RM-SBF"
+    );
     let domain = 1u64 << 14;
     let mut tree = RangeTreeSketch::new(RmSbf::new(1 << 18, 5, 31), 0, domain);
     let mut truth = vec![0u64; domain as usize];
@@ -775,8 +910,18 @@ pub fn range_report() -> String {
         tree.insert(v);
         truth[v as usize] += 1;
     }
-    let _ = writeln!(out, "{:>18} {:>10} {:>10} {:>9} {:>14}", "range", "true", "estimate", "lookups", "2*log2|Q|+4");
-    for (a, b) in [(0u64, domain), (100, 200), (1000, 9000), (5, 6), (12_345, 12_999)] {
+    let _ = writeln!(
+        out,
+        "{:>18} {:>10} {:>10} {:>9} {:>14}",
+        "range", "true", "estimate", "lookups", "2*log2|Q|+4"
+    );
+    for (a, b) in [
+        (0u64, domain),
+        (100, 200),
+        (1000, 9000),
+        (5, 6),
+        (12_345, 12_999),
+    ] {
         let want: u64 = truth[a as usize..b as usize].iter().sum();
         let got = tree.count_range(a, b);
         let bound = 2 * (64 - (b - a).leading_zeros()) as usize + 4;
@@ -791,7 +936,6 @@ pub fn range_report() -> String {
     out
 }
 
-
 // ------------------------------------------------------- Extended systems
 
 /// External-memory ablation (§2.2): I/O cost of flat vs blocked hashing
@@ -800,7 +944,10 @@ pub fn paged_report() -> String {
     use sbf_hash::{BlockedFamily, MixFamily};
     use spectral_bloom::{MsSbf, PagedCounters};
     let mut out = String::new();
-    let _ = writeln!(out, "External-memory SBF (§2.2) — page faults per operation, flat vs blocked hashing");
+    let _ = writeln!(
+        out,
+        "External-memory SBF (§2.2) — page faults per operation, flat vs blocked hashing"
+    );
     let _ = writeln!(
         out,
         "{:>10} {:>12} {:>14} {:>14} {:>12} {:>12}",
@@ -821,14 +968,21 @@ pub fn paged_report() -> String {
         }
         let f_io = flat.core().store().io_stats().page_faults;
         let b_io = blocked.core().store().io_stats().page_faults;
-        let f_err: u64 = (0..n_keys).map(|k| flat.estimate(&k).saturating_sub(3)).sum();
-        let b_err: u64 = (0..n_keys).map(|k| blocked.estimate(&k).saturating_sub(3)).sum();
+        let f_err: u64 = (0..n_keys)
+            .map(|k| flat.estimate(&k).saturating_sub(3))
+            .sum();
+        let b_err: u64 = (0..n_keys)
+            .map(|k| blocked.estimate(&k).saturating_sub(3))
+            .sum();
         let _ = writeln!(
             out,
             "{page:>10} {n_keys:>12} {f_io:>14} {b_io:>14} {f_err:>12} {b_err:>12}"
         );
     }
-    let _ = writeln!(out, "(blocked hashing: ~1 fault/op; accuracy loss negligible for large blocks, per [MW94])");
+    let _ = writeln!(
+        out,
+        "(blocked hashing: ~1 fault/op; accuracy loss negligible for large blocks, per [MW94])"
+    );
     out
 }
 
@@ -838,10 +992,19 @@ pub fn reduced_sai_report() -> String {
     use sbf_sai::StringArrayIndex;
     let mut out = String::new();
     let _ = writeln!(out, "Storage-reduced string-array index (§4.6, Theorem 9)");
-    let _ = writeln!(out, "{:>4} {:>14} {:>12} {:>10}", "c", "index bits", "bits/item", "vs c=0");
+    let _ = writeln!(
+        out,
+        "{:>4} {:>14} {:>12} {:>10}",
+        "c", "index bits", "bits/item", "vs c=0"
+    );
     let counters = populated_counters(200_000, 10, 21);
-    let lengths: Vec<usize> = counters.iter().map(|&v| sbf_encoding::counter_width(v)).collect();
-    let base = StringArrayIndex::build_reduced(&lengths, 0).size_breakdown().index_bits();
+    let lengths: Vec<usize> = counters
+        .iter()
+        .map(|&v| sbf_encoding::counter_width(v))
+        .collect();
+    let base = StringArrayIndex::build_reduced(&lengths, 0)
+        .size_breakdown()
+        .index_bits();
     // Prefix offsets for the correctness spot-check.
     let mut prefix = Vec::with_capacity(lengths.len() + 1);
     let mut acc = 0usize;
@@ -917,15 +1080,15 @@ on 1000 absent objects; {} bytes of summaries broadcast",
     out
 }
 
-
 /// Hash-family diagnostics (§6.4's clustering observation, quantified):
 /// uniformity ratio and stride correlation for each family.
 pub fn hash_quality_report() -> String {
-    use sbf_hash::{
-        stride_correlation, uniformity, MixFamily, MultiplyFamily, TabulationFamily,
-    };
+    use sbf_hash::{stride_correlation, uniformity, MixFamily, MultiplyFamily, TabulationFamily};
     let mut out = String::new();
-    let _ = writeln!(out, "Hash-family quality (§6.4): chi²/df on sequential keys; stride correlation (top-2 mass)");
+    let _ = writeln!(
+        out,
+        "Hash-family quality (§6.4): chi²/df on sequential keys; stride correlation (top-2 mass)"
+    );
     let _ = writeln!(
         out,
         "{:>14} {:>10} {:>12} {:>12} {:>12}",

@@ -1,7 +1,7 @@
 //! Error metrics and algorithm runners shared by the experiments.
 
-use spectral_bloom::{MiSbf, MsSbf, MultisetSketch, RmSbf};
 use sbf_workloads::StreamEvent;
+use spectral_bloom::{MiSbf, MsSbf, MultisetSketch, RmSbf};
 
 /// The two error measures of §6.1, plus the false-negative split §6.2
 /// needs.
@@ -43,7 +43,11 @@ impl AccuracyMetrics {
             additive_error: (sq / n as f64).sqrt(),
             error_ratio: errors as f64 / n as f64,
             false_negative_ratio: fns as f64 / n as f64,
-            fn_share_of_errors: if errors > 0 { fns as f64 / errors as f64 } else { 0.0 },
+            fn_share_of_errors: if errors > 0 {
+                fns as f64 / errors as f64
+            } else {
+                0.0
+            },
         }
     }
 
@@ -159,7 +163,9 @@ pub fn run_events(
             StreamEvent::Delete(x) => sbf.delete(x),
         }
     }
-    let estimates: Vec<u64> = (0..truth.len() as u64).map(|key| sbf.estimate(key)).collect();
+    let estimates: Vec<u64> = (0..truth.len() as u64)
+        .map(|key| sbf.estimate(key))
+        .collect();
     AccuracyMetrics::from_estimates(&estimates, truth)
 }
 
@@ -176,7 +182,9 @@ pub fn run_inserts(
     for &x in stream {
         sbf.insert(x);
     }
-    let estimates: Vec<u64> = (0..truth.len() as u64).map(|key| sbf.estimate(key)).collect();
+    let estimates: Vec<u64> = (0..truth.len() as u64)
+        .map(|key| sbf.estimate(key))
+        .collect();
     AccuracyMetrics::from_estimates(&estimates, truth)
 }
 
@@ -203,8 +211,18 @@ mod tests {
 
     #[test]
     fn mean_averages_componentwise() {
-        let a = AccuracyMetrics { additive_error: 2.0, error_ratio: 0.2, false_negative_ratio: 0.0, fn_share_of_errors: 0.0 };
-        let b = AccuracyMetrics { additive_error: 4.0, error_ratio: 0.4, false_negative_ratio: 0.2, fn_share_of_errors: 1.0 };
+        let a = AccuracyMetrics {
+            additive_error: 2.0,
+            error_ratio: 0.2,
+            false_negative_ratio: 0.0,
+            fn_share_of_errors: 0.0,
+        };
+        let b = AccuracyMetrics {
+            additive_error: 4.0,
+            error_ratio: 0.4,
+            false_negative_ratio: 0.2,
+            fn_share_of_errors: 1.0,
+        };
         let m = AccuracyMetrics::mean(&[a, b]);
         assert_eq!(m.additive_error, 3.0);
         assert!((m.error_ratio - 0.3).abs() < 1e-12);
@@ -228,7 +246,10 @@ mod tests {
         let s = DeletionPhaseStream::from_zipf(&w, 8, 5);
         let mi = run_events(Algo::Mi, 2100, 5, 2, &s.events, &s.truth);
         let rm = run_events(Algo::Rm, 2100, 5, 2, &s.events, &s.truth);
-        assert!(mi.false_negative_ratio > 0.0, "MI must show false negatives");
+        assert!(
+            mi.false_negative_ratio > 0.0,
+            "MI must show false negatives"
+        );
         // RM can rarely under-estimate via stale secondary values, but the
         // paper's Figure 8 ordering must hold: MI's false negatives dwarf
         // RM's.

@@ -31,17 +31,26 @@ impl std::fmt::Debug for BitVec {
 impl BitVec {
     /// An empty bit vector.
     pub fn new() -> Self {
-        BitVec { words: Vec::new(), len: 0 }
+        BitVec {
+            words: Vec::new(),
+            len: 0,
+        }
     }
 
     /// An empty bit vector with room for `bits` bits.
     pub fn with_capacity(bits: usize) -> Self {
-        BitVec { words: Vec::with_capacity(bits.div_ceil(WORD_BITS)), len: 0 }
+        BitVec {
+            words: Vec::with_capacity(bits.div_ceil(WORD_BITS)),
+            len: 0,
+        }
     }
 
     /// A bit vector of `bits` zero bits.
     pub fn zeros(bits: usize) -> Self {
-        BitVec { words: vec![0; bits.div_ceil(WORD_BITS)], len: bits }
+        BitVec {
+            words: vec![0; bits.div_ceil(WORD_BITS)],
+            len: bits,
+        }
     }
 
     /// Builds from a slice of booleans (index 0 becomes bit 0).
@@ -130,7 +139,11 @@ impl BitVec {
     #[inline]
     pub fn read_bits(&self, pos: usize, width: usize) -> u64 {
         debug_assert!(width <= 64);
-        debug_assert!(pos + width <= self.len, "read past end: {pos}+{width} > {}", self.len);
+        debug_assert!(
+            pos + width <= self.len,
+            "read past end: {pos}+{width} > {}",
+            self.len
+        );
         if width == 0 {
             return 0;
         }
@@ -155,15 +168,26 @@ impl BitVec {
     #[inline]
     pub fn write_bits(&mut self, pos: usize, width: usize, value: u64) {
         debug_assert!(width <= 64);
-        debug_assert!(pos + width <= self.len, "write past end: {pos}+{width} > {}", self.len);
-        debug_assert!(width == 64 || value < (1u64 << width), "value wider than field");
+        debug_assert!(
+            pos + width <= self.len,
+            "write past end: {pos}+{width} > {}",
+            self.len
+        );
+        debug_assert!(
+            width == 64 || value < (1u64 << width),
+            "value wider than field"
+        );
         if width == 0 {
             return;
         }
         let (w, b) = (pos / WORD_BITS, pos % WORD_BITS);
         let got = WORD_BITS - b;
         if width <= got {
-            let mask = if width == 64 { u64::MAX } else { ((1u64 << width) - 1) << b };
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                ((1u64 << width) - 1) << b
+            };
             self.words[w] = (self.words[w] & !mask) | ((value << b) & mask);
         } else {
             // Low part into word w, high part into word w+1.
@@ -182,7 +206,10 @@ impl BitVec {
     /// This is the primitive behind the §4.4 slack-push: when a counter
     /// grows, every following counter up to the nearest slack is shifted.
     pub fn copy_within(&mut self, src: usize, dst: usize, count: usize) {
-        assert!(src + count <= self.len && dst + count <= self.len, "copy_within out of range");
+        assert!(
+            src + count <= self.len && dst + count <= self.len,
+            "copy_within out of range"
+        );
         if count == 0 || src == dst {
             return;
         }
@@ -334,7 +361,15 @@ mod tests {
         // Exhaustive-ish cross-check against a Vec<bool> model.
         let n = 230;
         let base: Vec<bool> = (0..n).map(|i| (i * 7 + 3) % 5 < 2).collect();
-        for (src, dst, count) in [(0, 1, 100), (1, 0, 100), (13, 77, 64), (77, 13, 64), (5, 6, 1), (100, 40, 130), (40, 100, 130)] {
+        for (src, dst, count) in [
+            (0, 1, 100),
+            (1, 0, 100),
+            (13, 77, 64),
+            (77, 13, 64),
+            (5, 6, 1),
+            (100, 40, 130),
+            (40, 100, 130),
+        ] {
             let mut v = BitVec::from_bools(&base);
             let mut model = base.clone();
             model.copy_within(src..src + count, dst);

@@ -22,13 +22,21 @@ impl PackedVec {
     /// `width == 0` is allowed and stores nothing; every entry reads as 0.
     pub fn new(width: usize) -> Self {
         assert!(width <= 64, "entry width above 64 bits");
-        PackedVec { bits: BitVec::new(), width, len: 0 }
+        PackedVec {
+            bits: BitVec::new(),
+            width,
+            len: 0,
+        }
     }
 
     /// An empty vector with room for `cap` entries.
     pub fn with_capacity(width: usize, cap: usize) -> Self {
         assert!(width <= 64, "entry width above 64 bits");
-        PackedVec { bits: BitVec::with_capacity(width * cap), width, len: 0 }
+        PackedVec {
+            bits: BitVec::with_capacity(width * cap),
+            width,
+            len: 0,
+        }
     }
 
     /// Entry width in bits.
@@ -59,7 +67,8 @@ impl PackedVec {
     pub fn push(&mut self, value: u64) {
         debug_assert!(
             self.width == 64 || value < (1u64 << self.width),
-            "value {value} wider than {} bits", self.width
+            "value {value} wider than {} bits",
+            self.width
         );
         let pos = self.bits.len();
         self.bits.resize(pos + self.width);

@@ -49,7 +49,12 @@ impl RankSelect {
             total += u64::from(within);
         }
         super_ranks.push(total);
-        RankSelect { bits, super_ranks, word_ranks, total_ones: total as usize }
+        RankSelect {
+            bits,
+            super_ranks,
+            word_ranks,
+            total_ones: total as usize,
+        }
     }
 
     /// The underlying bits.
@@ -177,7 +182,10 @@ mod tests {
     #[test]
     fn rank_matches_naive_on_varied_patterns() {
         for (n, f) in [
-            (1000usize, Box::new(|i: usize| i.is_multiple_of(7)) as Box<dyn Fn(usize) -> bool>),
+            (
+                1000usize,
+                Box::new(|i: usize| i.is_multiple_of(7)) as Box<dyn Fn(usize) -> bool>,
+            ),
             (513, Box::new(|_| true)),
             (513, Box::new(|_| false)),
             (2048, Box::new(|i| (i * i) % 13 < 5)),

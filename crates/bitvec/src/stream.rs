@@ -15,13 +15,18 @@ pub struct BitWriter {
 impl BitWriter {
     /// A fresh writer.
     pub fn new() -> Self {
-        BitWriter { bits: BitVec::new() }
+        BitWriter {
+            bits: BitVec::new(),
+        }
     }
 
     /// Appends the low `width` bits of `value`, LSB first (`width ≤ 64`).
     pub fn write(&mut self, value: u64, width: usize) {
         debug_assert!(width <= 64);
-        debug_assert!(width == 64 || value < (1u64 << width), "value wider than field");
+        debug_assert!(
+            width == 64 || value < (1u64 << width),
+            "value wider than field"
+        );
         let pos = self.bits.len();
         self.bits.resize(pos + width);
         self.bits.write_bits(pos, width, value);
@@ -66,13 +71,24 @@ pub struct BitReader<'a> {
 impl<'a> BitReader<'a> {
     /// Reads from the start of `bits`.
     pub fn new(bits: &'a BitVec) -> Self {
-        BitReader { bits, pos: 0, end: bits.len() }
+        BitReader {
+            bits,
+            pos: 0,
+            end: bits.len(),
+        }
     }
 
     /// Reads the sub-range `start .. end` of `bits`.
     pub fn with_range(bits: &'a BitVec, start: usize, end: usize) -> Self {
-        assert!(start <= end && end <= bits.len(), "reader range out of bounds");
-        BitReader { bits, pos: start, end }
+        assert!(
+            start <= end && end <= bits.len(),
+            "reader range out of bounds"
+        );
+        BitReader {
+            bits,
+            pos: start,
+            end,
+        }
     }
 
     /// Current absolute bit position.

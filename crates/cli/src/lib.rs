@@ -21,7 +21,10 @@
 use std::io::{BufRead, Write};
 
 use sbf_db::wire::{FilterEnvelope, FilterKind};
-use spectral_bloom::{CounterStore, DefaultFamily, MiSbf, MsSbf, MultisetSketch};
+use spectral_bloom::{
+    AtomicMsSbf, ConcurrentCounterStore, CounterStore, DefaultFamily, MiSbf, MsSbf, MultisetSketch,
+    ShardedSketch,
+};
 
 /// Errors surfaced to the user with exit code 1.
 #[derive(Debug)]
@@ -68,6 +71,10 @@ pub struct BuildOpts {
     pub seed: u64,
     /// Algorithm: Minimum Selection or Minimal Increase.
     pub kind: FilterKind,
+    /// Ingest parallelism: 1 = classic single-threaded build; `N > 1`
+    /// fans keys out over `N` threads (lock-free atomic counters for MS,
+    /// a hash-sharded filter for MI, unioned per §5 before writing).
+    pub ingest_threads: usize,
 }
 
 /// Simple `--flag value` scanner shared by the subcommands.
@@ -90,10 +97,12 @@ pub fn parse_build(mut args: Vec<String>) -> Result<BuildOpts, CliError> {
         .parse::<usize>()
         .map_err(|_| CliError::Usage("--m must be an integer".into()))?;
     let k = take_flag(&mut args, "--k").map_or(Ok(5), |v| {
-        v.parse::<usize>().map_err(|_| CliError::Usage("--k must be an integer".into()))
+        v.parse::<usize>()
+            .map_err(|_| CliError::Usage("--k must be an integer".into()))
     })?;
     let seed = take_flag(&mut args, "--seed").map_or(Ok(42), |v| {
-        v.parse::<u64>().map_err(|_| CliError::Usage("--seed must be an integer".into()))
+        v.parse::<u64>()
+            .map_err(|_| CliError::Usage("--seed must be an integer".into()))
     })?;
     let kind = match take_flag(&mut args, "--algo").as_deref() {
         None | Some("ms") => FilterKind::MinimumSelection,
@@ -102,17 +111,39 @@ pub fn parse_build(mut args: Vec<String>) -> Result<BuildOpts, CliError> {
             return Err(CliError::Usage(format!("unknown --algo {other} (ms|mi)")));
         }
     };
+    let ingest_threads = take_flag(&mut args, "--ingest-threads").map_or(Ok(1), |v| {
+        v.parse::<usize>()
+            .map_err(|_| CliError::Usage("--ingest-threads must be an integer".into()))
+    })?;
     if !args.is_empty() {
         return Err(CliError::Usage(format!("unrecognized arguments: {args:?}")));
     }
     if m == 0 || k == 0 {
         return Err(CliError::Usage("--m and --k must be positive".into()));
     }
-    Ok(BuildOpts { out, m, k, seed, kind })
+    if ingest_threads == 0 {
+        return Err(CliError::Usage("--ingest-threads must be positive".into()));
+    }
+    Ok(BuildOpts {
+        out,
+        m,
+        k,
+        seed,
+        kind,
+        ingest_threads,
+    })
 }
 
 /// Builds a filter from keys on `input`, returning the envelope.
+///
+/// With `ingest_threads > 1` the keys are buffered and fanned out: the MS
+/// build uses [`AtomicMsSbf`] (lock-free increments), the MI build a
+/// [`ShardedSketch`] with one shard per thread, unioned by §5 counter
+/// addition before encoding. The envelope is wire-compatible either way.
 pub fn build_filter(opts: &BuildOpts, input: impl BufRead) -> Result<FilterEnvelope, CliError> {
+    if opts.ingest_threads > 1 {
+        return build_filter_parallel(opts, input);
+    }
     enum Either {
         Ms(MsSbf),
         Mi(MiSbf),
@@ -136,7 +167,64 @@ pub fn build_filter(opts: &BuildOpts, input: impl BufRead) -> Result<FilterEnvel
         Either::Ms(f) => (0..opts.m).map(|i| f.core().store().get(i)).collect(),
         Either::Mi(f) => (0..opts.m).map(|i| f.core().store().get(i)).collect(),
     };
-    Ok(FilterEnvelope { kind: opts.kind, k: opts.k as u32, seed: opts.seed, counters })
+    Ok(FilterEnvelope {
+        kind: opts.kind,
+        k: opts.k as u32,
+        seed: opts.seed,
+        counters,
+    })
+}
+
+/// The `--ingest-threads N` build path: buffer keys, split across threads.
+fn build_filter_parallel(
+    opts: &BuildOpts,
+    input: impl BufRead,
+) -> Result<FilterEnvelope, CliError> {
+    let mut keys: Vec<String> = Vec::new();
+    for line in input.lines() {
+        let line = line?;
+        let key = line.trim();
+        if !key.is_empty() {
+            keys.push(key.to_string());
+        }
+    }
+    let threads = opts.ingest_threads.min(keys.len().max(1));
+    let chunk = keys.len().div_ceil(threads);
+    let counters = match opts.kind {
+        FilterKind::MinimalIncrease => {
+            // MI inserts are read-modify-write, so each thread owns a shard
+            // (per-shard locks are uncontended with one batch per thread).
+            let sketch =
+                ShardedSketch::with_shards(threads, |_| MiSbf::new(opts.m, opts.k, opts.seed));
+            std::thread::scope(|scope| {
+                for batch in keys.chunks(chunk.max(1)) {
+                    let sketch = &sketch;
+                    scope.spawn(move || sketch.insert_batch(batch));
+                }
+            });
+            let merged = sketch.snapshot();
+            (0..opts.m).map(|i| merged.core().store().get(i)).collect()
+        }
+        _ => {
+            // MS increments commute, so all threads share one lock-free
+            // atomic filter.
+            let sbf: AtomicMsSbf =
+                AtomicMsSbf::from_family(DefaultFamily::new(opts.m, opts.k, opts.seed));
+            std::thread::scope(|scope| {
+                for batch in keys.chunks(chunk.max(1)) {
+                    let sbf = &sbf;
+                    scope.spawn(move || sbf.insert_batch(batch));
+                }
+            });
+            (0..opts.m).map(|i| sbf.store().load(i)).collect()
+        }
+    };
+    Ok(FilterEnvelope {
+        kind: opts.kind,
+        k: opts.k as u32,
+        seed: opts.seed,
+        counters,
+    })
 }
 
 /// Rehydrates a queryable MS filter from an envelope (all kinds query the
@@ -196,12 +284,17 @@ pub fn merge_envelopes(envelopes: &[FilterEnvelope]) -> Result<FilterEnvelope, C
             ));
         }
         for (a, &b) in counters.iter_mut().zip(&env.counters) {
-            *a = a.checked_add(b).ok_or_else(|| {
-                CliError::Incompatible("counter overflow during merge".into())
-            })?;
+            *a = a
+                .checked_add(b)
+                .ok_or_else(|| CliError::Incompatible("counter overflow during merge".into()))?;
         }
     }
-    Ok(FilterEnvelope { kind: first.kind, k: first.k, seed: first.seed, counters })
+    Ok(FilterEnvelope {
+        kind: first.kind,
+        k: first.k,
+        seed: first.seed,
+        counters,
+    })
 }
 
 /// Renders `info` for an envelope.
@@ -238,18 +331,23 @@ pub fn run(
             let opts = parse_build(args)?;
             let env = build_filter(&opts, stdin)?;
             std::fs::write(&opts.out, env.encode())?;
-            Ok(format!("wrote {} ({} counters)", opts.out, env.counters.len()))
+            Ok(format!(
+                "wrote {} ({} counters)",
+                opts.out,
+                env.counters.len()
+            ))
         }
         "query" => {
             let mut args = args;
             let filter = take_flag(&mut args, "--filter")
                 .ok_or_else(|| CliError::Usage("query requires --filter <path>".into()))?;
             let threshold = take_flag(&mut args, "--threshold").map_or(Ok(0u64), |v| {
-                v.parse().map_err(|_| CliError::Usage("--threshold must be an integer".into()))
+                v.parse()
+                    .map_err(|_| CliError::Usage("--threshold must be an integer".into()))
             })?;
             let bytes = std::fs::read(&filter)?;
-            let env = FilterEnvelope::decode(&bytes)
-                .map_err(|e| CliError::BadFilter(e.to_string()))?;
+            let env =
+                FilterEnvelope::decode(&bytes).map_err(|e| CliError::BadFilter(e.to_string()))?;
             let n = run_query(&env, threshold, stdin, stdout)?;
             Ok(format!("{n} keys reported"))
         }
@@ -277,8 +375,8 @@ pub fn run(
                 .first()
                 .ok_or_else(|| CliError::Usage("info requires a filter file".into()))?;
             let bytes = std::fs::read(path)?;
-            let env = FilterEnvelope::decode(&bytes)
-                .map_err(|e| CliError::BadFilter(e.to_string()))?;
+            let env =
+                FilterEnvelope::decode(&bytes).map_err(|e| CliError::BadFilter(e.to_string()))?;
             writeln!(stdout, "{}", info_string(&env))?;
             Ok(String::new())
         }
@@ -288,7 +386,8 @@ pub fn run(
 
 /// Top-level usage text.
 pub const USAGE: &str = "usage: sbf <build|query|merge|info> [options]\n\
-  build --out <path> --m <counters> [--k 5] [--seed 42] [--algo ms|mi]   keys on stdin\n\
+  build --out <path> --m <counters> [--k 5] [--seed 42] [--algo ms|mi]\n\
+        [--ingest-threads 1]                                              keys on stdin\n\
   query --filter <path> [--threshold T]                                   keys on stdin\n\
   merge --out <path> <in1.sbf> <in2.sbf> ...\n\
   info  <path>";
@@ -299,34 +398,95 @@ mod tests {
     use std::io::Cursor;
 
     fn opts(kind: FilterKind) -> BuildOpts {
-        BuildOpts { out: "unused".into(), m: 4096, k: 5, seed: 7, kind }
+        BuildOpts {
+            out: "unused".into(),
+            m: 4096,
+            k: 5,
+            seed: 7,
+            kind,
+            ingest_threads: 1,
+        }
     }
 
     #[test]
     fn parse_build_full_and_defaults() {
         let o = parse_build(
-            ["--out", "f.sbf", "--m", "1000", "--k", "4", "--seed", "9", "--algo", "mi"]
+            [
+                "--out", "f.sbf", "--m", "1000", "--k", "4", "--seed", "9", "--algo", "mi",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        )
+        .unwrap();
+        assert_eq!(
+            o,
+            BuildOpts {
+                out: "f.sbf".into(),
+                m: 1000,
+                k: 4,
+                seed: 9,
+                kind: FilterKind::MinimalIncrease,
+                ingest_threads: 1,
+            }
+        );
+        let o = parse_build(
+            ["--out", "f", "--m", "10"]
                 .iter()
                 .map(|s| s.to_string())
                 .collect(),
         )
         .unwrap();
-        assert_eq!(o, BuildOpts { out: "f.sbf".into(), m: 1000, k: 4, seed: 9, kind: FilterKind::MinimalIncrease });
-        let o = parse_build(["--out", "f", "--m", "10"].iter().map(|s| s.to_string()).collect()).unwrap();
         assert_eq!(o.k, 5);
         assert_eq!(o.kind, FilterKind::MinimumSelection);
+        assert_eq!(o.ingest_threads, 1);
+    }
+
+    #[test]
+    fn parse_build_ingest_threads() {
+        let o = parse_build(
+            ["--out", "f", "--m", "10", "--ingest-threads", "8"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        )
+        .unwrap();
+        assert_eq!(o.ingest_threads, 8);
+        assert!(parse_build(
+            ["--out", "f", "--m", "10", "--ingest-threads", "0"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        )
+        .is_err());
+        assert!(parse_build(
+            ["--out", "f", "--m", "10", "--ingest-threads", "many"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        )
+        .is_err());
     }
 
     #[test]
     fn parse_build_rejects_junk() {
-        assert!(parse_build(vec!["--m".into(), "10".into()]).is_err(), "missing --out");
+        assert!(
+            parse_build(vec!["--m".into(), "10".into()]).is_err(),
+            "missing --out"
+        );
         assert!(parse_build(vec!["--out".into(), "f".into(), "--m".into(), "x".into()]).is_err());
         assert!(parse_build(
-            ["--out", "f", "--m", "10", "--algo", "zzz"].iter().map(|s| s.to_string()).collect()
+            ["--out", "f", "--m", "10", "--algo", "zzz"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
         )
         .is_err());
         assert!(parse_build(
-            ["--out", "f", "--m", "10", "stray"].iter().map(|s| s.to_string()).collect()
+            ["--out", "f", "--m", "10", "stray"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
         )
         .is_err());
     }
@@ -344,8 +504,32 @@ mod tests {
     }
 
     #[test]
+    fn parallel_ms_build_matches_serial() {
+        let keys = "a\nb\na\nc\na\nb\nd\n".repeat(50);
+        let serial = build_filter(&opts(FilterKind::MinimumSelection), Cursor::new(&keys)).unwrap();
+        let mut par_opts = opts(FilterKind::MinimumSelection);
+        par_opts.ingest_threads = 4;
+        let parallel = build_filter(&par_opts, Cursor::new(&keys)).unwrap();
+        // MS counters are pure sums, so the parallel build is bit-identical.
+        assert_eq!(serial.counters, parallel.counters);
+    }
+
+    #[test]
+    fn parallel_mi_build_stays_one_sided() {
+        let keys = "x\ny\nx\nz\nx\ny\n".repeat(40);
+        let mut par_opts = opts(FilterKind::MinimalIncrease);
+        par_opts.ingest_threads = 4;
+        let env = build_filter(&par_opts, Cursor::new(&keys)).unwrap();
+        let sbf = rehydrate(&env);
+        assert!(sbf.estimate(&"x") >= 120);
+        assert!(sbf.estimate(&"y") >= 80);
+        assert!(sbf.estimate(&"z") >= 40);
+    }
+
+    #[test]
     fn mi_build_counts_too() {
-        let env = build_filter(&opts(FilterKind::MinimalIncrease), Cursor::new("x\nx\nx\n")).unwrap();
+        let env =
+            build_filter(&opts(FilterKind::MinimalIncrease), Cursor::new("x\nx\nx\n")).unwrap();
         let sbf = rehydrate(&env);
         assert_eq!(sbf.estimate(&"x"), 3);
     }
@@ -362,7 +546,10 @@ mod tests {
         let mut alien = a;
         alien.seed ^= 1;
         let b2 = build_filter(&opts(FilterKind::MinimumSelection), Cursor::new("q\n")).unwrap();
-        assert!(matches!(merge_envelopes(&[alien, b2]), Err(CliError::Incompatible(_))));
+        assert!(matches!(
+            merge_envelopes(&[alien, b2]),
+            Err(CliError::Incompatible(_))
+        ));
     }
 
     #[test]
@@ -394,7 +581,11 @@ mod tests {
         assert!(msg.contains("wrote"));
         let mut out = Vec::new();
         let msg = run(
-            vec!["query".into(), "--filter".into(), path.to_str().unwrap().into()],
+            vec![
+                "query".into(),
+                "--filter".into(),
+                path.to_str().unwrap().into(),
+            ],
             Cursor::new("k1\nk3\n"),
             &mut out,
         )

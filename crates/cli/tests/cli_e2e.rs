@@ -44,12 +44,28 @@ fn build_query_merge_info_pipeline() {
 
     // Two shards with overlapping keys, identical parameters.
     let (_, err, ok) = run_with_stdin(
-        &["build", "--out", shard1.to_str().unwrap(), "--m", "4096", "--seed", "7"],
+        &[
+            "build",
+            "--out",
+            shard1.to_str().unwrap(),
+            "--m",
+            "4096",
+            "--seed",
+            "7",
+        ],
         "alpha\nbeta\nalpha\n",
     );
     assert!(ok, "build 1 failed: {err}");
     let (_, err, ok) = run_with_stdin(
-        &["build", "--out", shard2.to_str().unwrap(), "--m", "4096", "--seed", "7"],
+        &[
+            "build",
+            "--out",
+            shard2.to_str().unwrap(),
+            "--m",
+            "4096",
+            "--seed",
+            "7",
+        ],
         "alpha\ngamma\n",
     );
     assert!(ok, "build 2 failed: {err}");
@@ -73,7 +89,10 @@ fn build_query_merge_info_pipeline() {
         "alpha\nbeta\ngamma\nabsent\n",
     );
     assert!(ok, "query failed: {err}");
-    assert!(stdout.contains("alpha\t3"), "union must sum shard counts: {stdout}");
+    assert!(
+        stdout.contains("alpha\t3"),
+        "union must sum shard counts: {stdout}"
+    );
     assert!(stdout.contains("beta\t1"));
     assert!(stdout.contains("gamma\t1"));
     assert!(stdout.contains("absent\t0"));
@@ -95,12 +114,21 @@ fn threshold_query_filters_output() {
         "hot\nhot\nhot\ncold\n",
     );
     let (stdout, _, ok) = run_with_stdin(
-        &["query", "--filter", filter.to_str().unwrap(), "--threshold", "2"],
+        &[
+            "query",
+            "--filter",
+            filter.to_str().unwrap(),
+            "--threshold",
+            "2",
+        ],
         "hot\ncold\n",
     );
     assert!(ok);
     assert!(stdout.contains("hot\t3"));
-    assert!(!stdout.contains("cold"), "below-threshold keys must be suppressed");
+    assert!(
+        !stdout.contains("cold"),
+        "below-threshold keys must be suppressed"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -53,7 +53,11 @@ where
         present,
         sum,
         max,
-        avg_present: if present > 0 { sum as f64 / present as f64 } else { 0.0 },
+        avg_present: if present > 0 {
+            sum as f64 / present as f64
+        } else {
+            0.0
+        },
     }
 }
 

@@ -34,7 +34,11 @@ impl<F: HashFamily> BloomFilter<F> {
     /// Builds over an explicit hash family.
     pub fn from_family(family: F) -> Self {
         let bits = BitVec::zeros(family.m());
-        BloomFilter { family, bits, inserted: 0 }
+        BloomFilter {
+            family,
+            bits,
+            inserted: 0,
+        }
     }
 
     /// Number of bits `m`.
@@ -63,7 +67,30 @@ impl<F: HashFamily> BloomFilter<F> {
     /// Whether all `k` bits of `key` are set (no false negatives; false
     /// positives with probability `≈ (1 − e^{−kn/m})^k`).
     pub fn contains<K: Key + ?Sized>(&self, key: &K) -> bool {
-        self.family.indexes(key).as_slice().iter().all(|&i| self.bits.get(i))
+        self.family
+            .indexes(key)
+            .as_slice()
+            .iter()
+            .all(|&i| self.bits.get(i))
+    }
+
+    /// Unites another filter into this one (bitwise OR) — the Bloom
+    /// analogue of the SBF's §5 counter-addition union. Both filters must
+    /// share parameters and hash functions.
+    pub fn union_assign(&mut self, other: &BloomFilter<F>)
+    where
+        F: PartialEq,
+    {
+        assert!(
+            self.family == other.family,
+            "union requires identical parameters and hash functions"
+        );
+        for (i, bit) in other.bits.iter().enumerate() {
+            if bit {
+                self.bits.set(i, true);
+            }
+        }
+        self.inserted += other.inserted;
     }
 
     /// Fraction of set bits (the fill that determines the error rate).
@@ -103,7 +130,9 @@ mod tests {
             bf.insert(&key);
         }
         let trials = 20_000u64;
-        let fp = (1_000_000..1_000_000 + trials).filter(|k| bf.contains(k)).count();
+        let fp = (1_000_000..1_000_000 + trials)
+            .filter(|k| bf.contains(k))
+            .count();
         let rate = fp as f64 / trials as f64;
         let theory = crate::params::bloom_error_rate(400, 4096, 5);
         assert!(

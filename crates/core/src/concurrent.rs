@@ -1,41 +1,73 @@
 //! A thread-safe wrapper for ingesting streams from multiple producers.
 //!
 //! The paper's streaming scenario (§1.1.4) has data arriving faster than a
-//! single consumer comfortably handles; [`SharedSketch`] wraps any
-//! [`MultisetSketch`] in an `Arc<RwLock<…>>` so several ingest threads can
-//! feed one filter while query threads read it. Writes take the exclusive
-//! lock (SBF inserts touch `k` scattered counters, so finer-grained locking
-//! would buy little without sharding); reads share.
+//! single consumer comfortably handles; [`SharedSketch`] is a cheaply
+//! cloneable handle over a [`ShardedSketch`], so several ingest threads can
+//! feed one logical filter while query threads read it.
+//!
+//! With [`SharedSketch::new`] there is a single shard and the behaviour is
+//! the classic `Arc<RwLock<…>>`: writes take the exclusive lock, reads
+//! share. With [`SharedSketch::with_shards`] keys are hash-partitioned and
+//! each shard has its own lock, so producers on different shards never
+//! contend — the right shape for MI/RM whose inserts are read-modify-write
+//! and cannot go lock-free. For Minimum Selection, which *can* go
+//! lock-free, prefer [`crate::AtomicMsSbf`].
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
 use sbf_hash::Key;
 
+use crate::sharded::{ShardMerge, ShardedSketch};
 use crate::sketch::MultisetSketch;
 use crate::store::RemoveError;
 
-/// A cheaply-cloneable, thread-safe handle to a sketch.
-#[derive(Debug, Default)]
+/// A cheaply-cloneable, thread-safe handle to a (possibly sharded) sketch.
+#[derive(Debug)]
 pub struct SharedSketch<SK> {
-    inner: Arc<RwLock<SK>>,
+    inner: Arc<ShardedSketch<SK>>,
 }
 
 impl<SK> Clone for SharedSketch<SK> {
     fn clone(&self) -> Self {
-        SharedSketch { inner: Arc::clone(&self.inner) }
+        SharedSketch {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
 impl<SK: MultisetSketch> SharedSketch<SK> {
-    /// Wraps a sketch.
+    /// Wraps a sketch behind a single lock (one shard).
     pub fn new(sketch: SK) -> Self {
-        SharedSketch { inner: Arc::new(RwLock::new(sketch)) }
+        Self::sharded(ShardedSketch::from_shards(vec![sketch]))
     }
 
-    /// Adds `count` occurrences of `key`.
+    /// Builds `n` hash-partitioned shards from a constructor called with
+    /// each shard index; the constructor must produce identically
+    /// parameterised sketches (see [`ShardedSketch::with_shards`]).
+    pub fn with_shards(n: usize, make: impl FnMut(usize) -> SK) -> Self {
+        Self::sharded(ShardedSketch::with_shards(n, make))
+    }
+
+    /// Wraps an existing sharded sketch.
+    pub fn sharded(sketch: ShardedSketch<SK>) -> Self {
+        SharedSketch {
+            inner: Arc::new(sketch),
+        }
+    }
+
+    /// Number of shards behind this handle.
+    pub fn num_shards(&self) -> usize {
+        self.inner.num_shards()
+    }
+
+    /// The underlying sharded sketch.
+    pub fn inner(&self) -> &ShardedSketch<SK> {
+        &self.inner
+    }
+
+    /// Adds `count` occurrences of `key` (locks only the owning shard).
     pub fn insert_by<K: Key + ?Sized>(&self, key: &K, count: u64) {
-        self.inner.write().insert_by(key, count);
+        self.inner.insert_by(key, count);
     }
 
     /// Adds one occurrence of `key`.
@@ -43,9 +75,14 @@ impl<SK: MultisetSketch> SharedSketch<SK> {
         self.insert_by(key, 1);
     }
 
+    /// Adds a batch of keys, grouped per shard to amortise lock traffic.
+    pub fn insert_batch<K: Key>(&self, keys: &[K]) {
+        self.inner.insert_batch(keys);
+    }
+
     /// Removes `count` occurrences of `key`.
     pub fn remove_by<K: Key + ?Sized>(&self, key: &K, count: u64) -> Result<(), RemoveError> {
-        self.inner.write().remove_by(key, count)
+        self.inner.remove_by(key, count)
     }
 
     /// Removes one occurrence of `key`.
@@ -55,29 +92,45 @@ impl<SK: MultisetSketch> SharedSketch<SK> {
 
     /// Estimates the multiplicity of `key`.
     pub fn estimate<K: Key + ?Sized>(&self, key: &K) -> u64 {
-        self.inner.read().estimate(key)
+        self.inner.estimate(key)
     }
 
     /// Spectral threshold test.
     pub fn passes_threshold<K: Key + ?Sized>(&self, key: &K, threshold: u64) -> bool {
-        self.inner.read().passes_threshold(key, threshold)
+        self.inner.passes_threshold(key, threshold)
     }
 
-    /// Total multiplicity represented.
+    /// Total multiplicity represented (sums shard totals).
     pub fn total_count(&self) -> u64 {
-        self.inner.read().total_count()
+        self.inner.total_count()
+    }
+
+    /// Unions the shards into one sketch by §5 counter addition.
+    pub fn snapshot(&self) -> SK
+    where
+        SK: ShardMerge + Clone,
+    {
+        self.inner.snapshot()
     }
 
     /// Runs `f` with shared read access to the sketch (for bulk queries
-    /// without per-call lock traffic).
+    /// without per-call lock traffic). Only valid on single-shard handles —
+    /// with multiple shards there is no one sketch to borrow; use
+    /// [`SharedSketch::snapshot`] or [`ShardedSketch::with_shard_read`].
     pub fn with_read<R>(&self, f: impl FnOnce(&SK) -> R) -> R {
-        f(&self.inner.read())
+        assert_eq!(
+            self.inner.num_shards(),
+            1,
+            "with_read requires a single shard; snapshot() a sharded sketch instead"
+        );
+        self.inner.with_shard_read(0, f)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mi::MiSbf;
     use crate::ms::MsSbf;
 
     #[test]
@@ -126,5 +179,29 @@ mod tests {
         shared.insert_by(&1u64, 5);
         let total: u64 = shared.with_read(|s| (0u64..10).map(|k| s.estimate(&k)).sum());
         assert!(total >= 5);
+    }
+
+    #[test]
+    fn sharded_handle_batches_and_snapshots() {
+        let shared = SharedSketch::with_shards(4, |_| MiSbf::new(8192, 5, 6));
+        let keys: Vec<u64> = (0..2000).map(|i| i % 250).collect();
+        std::thread::scope(|scope| {
+            for chunk in keys.chunks(500) {
+                let h = shared.clone();
+                scope.spawn(move || h.insert_batch(chunk));
+            }
+        });
+        assert_eq!(shared.total_count(), 2000);
+        let merged = shared.snapshot();
+        for key in 0u64..250 {
+            assert!(merged.estimate(&key) >= 8, "undercount for {key}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "single shard")]
+    fn with_read_rejects_multiple_shards() {
+        let shared = SharedSketch::with_shards(2, |_| MsSbf::new(256, 4, 1));
+        shared.with_read(|s| s.total_count());
     }
 }

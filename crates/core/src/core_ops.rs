@@ -81,14 +81,26 @@ impl<F: HashFamily, S: CounterStore> SbfCore<F, S> {
     /// length.
     pub fn from_family(family: F) -> Self {
         let store = S::with_len(family.m());
-        SbfCore { family, store, total_count: 0 }
+        SbfCore {
+            family,
+            store,
+            total_count: 0,
+        }
     }
 
     /// Assembles from explicit parts. `store.len()` must equal `family.m()`.
     pub fn with_parts(family: F, store: S) -> Self {
-        assert_eq!(family.m(), store.len(), "hash range and store length disagree");
+        assert_eq!(
+            family.m(),
+            store.len(),
+            "hash range and store length disagree"
+        );
         let total_count = 0;
-        SbfCore { family, store, total_count }
+        SbfCore {
+            family,
+            store,
+            total_count,
+        }
     }
 
     /// Number of counters `m`.
@@ -128,7 +140,9 @@ impl<F: HashFamily, S: CounterStore> SbfCore<F, S> {
         if self.store.len() == 0 {
             return 0.0;
         }
-        let nz = (0..self.store.len()).filter(|&i| self.store.get(i) > 0).count();
+        let nz = (0..self.store.len())
+            .filter(|&i| self.store.get(i) > 0)
+            .count();
         nz as f64 / self.store.len() as f64
     }
 
@@ -139,7 +153,11 @@ impl<F: HashFamily, S: CounterStore> SbfCore<F, S> {
         for (slot, &i) in indexes.as_slice().iter().enumerate() {
             values[slot] = self.store.get(i);
         }
-        KeyCounters { indexes, values, k: indexes.len() }
+        KeyCounters {
+            indexes,
+            values,
+            k: indexes.len(),
+        }
     }
 
     /// Increments all `k` counters of `key` by `by` (duplicate indices are
@@ -166,9 +184,11 @@ impl<F: HashFamily, S: CounterStore> SbfCore<F, S> {
                 continue; // multiplicity already accounted at first sight
             }
             let mult = slice.iter().filter(|&&j| j == i).count() as u64;
-            let need = by.checked_mul(mult).ok_or(RemoveError { index: i })?;
+            let need = by
+                .checked_mul(mult)
+                .ok_or(RemoveError::Underflow { index: i })?;
             if self.store.get(i) < need {
-                return Err(RemoveError { index: i });
+                return Err(RemoveError::Underflow { index: i });
             }
         }
         for &i in slice {
@@ -230,7 +250,10 @@ impl<F: HashFamily, S: CounterStore> SbfCore<F, S> {
     where
         F: PartialEq,
     {
-        assert!(self.compatible(other), "union requires identical parameters and hash functions");
+        assert!(
+            self.compatible(other),
+            "union requires identical parameters and hash functions"
+        );
         for i in 0..self.store.len() {
             let o = other.store.get(i);
             if o > 0 {
@@ -247,10 +270,17 @@ impl<F: HashFamily, S: CounterStore> SbfCore<F, S> {
     where
         F: PartialEq,
     {
-        assert!(self.compatible(other), "multiply requires identical parameters and hash functions");
+        assert!(
+            self.compatible(other),
+            "multiply requires identical parameters and hash functions"
+        );
         let mut total = 0u64;
         for i in 0..self.store.len() {
-            let v = self.store.get(i).checked_mul(other.store.get(i)).expect("join counter overflow");
+            let v = self
+                .store
+                .get(i)
+                .checked_mul(other.store.get(i))
+                .expect("join counter overflow");
             self.store.set(i, v);
             total = total.saturating_add(v);
         }

@@ -76,7 +76,6 @@ where
     }
 }
 
-
 /// The §3.1 hybrid: use the Recurring Minimum signal to decide *when* the
 /// unbiased estimator is worth its false-negative risk.
 ///
@@ -172,7 +171,6 @@ mod tests {
         assert!(s3 <= s1 * 1.5, "median-of-means spread {s3} vs mean {s1}");
     }
 
-
     #[test]
     fn rm_combined_beats_both_parents_on_skewed_data() {
         // Skewed load: MS over-estimates the tail, the raw unbiased
@@ -189,7 +187,10 @@ mod tests {
             err_hybrid += (rm_combined_estimate(&core, &key) - t).abs();
         }
         assert!(err_hybrid <= err_ms, "hybrid {err_hybrid} vs MS {err_ms}");
-        assert!(err_hybrid <= err_unbiased, "hybrid {err_hybrid} vs unbiased {err_unbiased}");
+        assert!(
+            err_hybrid <= err_unbiased,
+            "hybrid {err_hybrid} vs unbiased {err_unbiased}"
+        );
     }
 
     #[test]

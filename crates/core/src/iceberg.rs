@@ -104,7 +104,6 @@ pub fn multiscan_iceberg(data: &[u64], threshold: u64, config: &MultiscanConfig)
     out
 }
 
-
 /// Adaptive multiscan (§5.2's on-the-fly refinement): "we can calculate
 /// the average count over the buckets of the current SBF, and if it
 /// exceeds the threshold we know that the filtering will be very weak,
@@ -171,7 +170,11 @@ impl<SK: MultisetSketch> StreamingIceberg<SK> {
     /// Wraps a sketch with a crossing threshold.
     pub fn new(sketch: SK, threshold: u64) -> Self {
         assert!(threshold >= 1, "threshold must be at least 1");
-        StreamingIceberg { sketch, threshold, flagged: HashSet::new() }
+        StreamingIceberg {
+            sketch,
+            threshold,
+            flagged: HashSet::new(),
+        }
     }
 
     /// Ingests one occurrence; returns `true` exactly when this occurrence
@@ -227,7 +230,11 @@ impl<SK: MultisetSketch> TopKTracker<SK> {
     /// Tracks the `capacity` hottest keys through `sketch`.
     pub fn new(sketch: SK, capacity: usize) -> Self {
         assert!(capacity >= 1, "need room for at least one candidate");
-        TopKTracker { sketch, capacity, candidates: std::collections::HashMap::new() }
+        TopKTracker {
+            sketch,
+            capacity,
+            candidates: std::collections::HashMap::new(),
+        }
     }
 
     /// Ingests one occurrence of `key`.
@@ -332,25 +339,38 @@ mod tests {
         }
         let result = ad_hoc_iceberg(&sbf, data.iter().copied(), 50);
         let fp = result.iter().filter(|k| truth[k] < 50).count();
-        assert!(fp * 20 <= result.len().max(20), "{fp} false positives in {}", result.len());
+        assert!(
+            fp * 20 <= result.len().max(20),
+            "{fp} false positives in {}",
+            result.len()
+        );
     }
 
     #[test]
     fn multiscan_keeps_recall_with_tiny_stages() {
         let (data, truth) = heavy_tail_stream();
-        let config = MultiscanConfig { stages: vec![(256, 3), (128, 3)], seed: 4 };
+        let config = MultiscanConfig {
+            stages: vec![(256, 3), (128, 3)],
+            seed: 4,
+        };
         let result = multiscan_iceberg(&data, 50, &config);
         let result_set: HashSet<u64> = result.iter().copied().collect();
         for (&key, &f) in &truth {
             if f >= 50 {
-                assert!(result_set.contains(&key), "multiscan missed heavy key {key}");
+                assert!(
+                    result_set.contains(&key),
+                    "multiscan missed heavy key {key}"
+                );
             }
         }
         // Lossy stages admit false positives, but should still filter out
         // the vast majority of the 1900 light keys.
-        assert!(result.len() < 500, "result barely filtered: {}", result.len());
+        assert!(
+            result.len() < 500,
+            "result barely filtered: {}",
+            result.len()
+        );
     }
-
 
     #[test]
     fn streaming_iceberg_flags_on_crossing() {
@@ -408,7 +428,6 @@ mod tests {
         assert!(tracker.top().len() <= 3);
     }
 
-
     #[test]
     fn adaptive_multiscan_keeps_recall_and_adapts() {
         let (data, truth) = heavy_tail_stream();
@@ -423,7 +442,10 @@ mod tests {
         // Stage 0 is overloaded (mean count ≥ T) on this stream, so the
         // scheme must have grown a later stage.
         assert!(trace[0].1 >= 50.0, "stage 0 mean {}", trace[0].1);
-        assert!(trace[1].0 > trace[0].0, "stage 1 should be enlarged: {trace:?}");
+        assert!(
+            trace[1].0 > trace[0].0,
+            "stage 1 should be enlarged: {trace:?}"
+        );
     }
 
     #[test]
@@ -433,7 +455,10 @@ mod tests {
         let data: Vec<u64> = (0..500u64).collect(); // every key once, T=5
         let (out, trace) = adaptive_multiscan_iceberg(&data, 5, 4096, 3, 8, 3);
         assert!(out.len() <= 5, "nothing passes T=5: {out:?}");
-        assert!(trace[1].0 < trace[0].0, "stage sizes should shrink: {trace:?}");
+        assert!(
+            trace[1].0 < trace[0].0,
+            "stage sizes should shrink: {trace:?}"
+        );
     }
 
     #[test]

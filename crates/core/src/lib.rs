@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod atomic_store;
 pub mod bloom;
 pub mod concurrent;
 pub mod core_ops;
@@ -53,12 +54,14 @@ pub mod paged;
 pub mod params;
 pub mod range;
 pub mod rm;
+pub mod sharded;
 pub mod sketch;
 pub mod spectrum;
 pub mod store;
 pub mod trap;
 pub mod window;
 
+pub use atomic_store::{AtomicCounters, AtomicMsSbf, ConcurrentCounterStore};
 pub use bloom::BloomFilter;
 pub use concurrent::SharedSketch;
 pub use core_ops::SbfCore;
@@ -73,6 +76,7 @@ pub use paged::{IoStats, PagedCounters};
 pub use params::{bloom_error_rate, optimal_k, SbfParams};
 pub use range::RangeTreeSketch;
 pub use rm::RmSbf;
+pub use sharded::{ShardMerge, ShardedSketch};
 pub use sketch::MultisetSketch;
 pub use spectrum::{frequency_histogram, profile, SpectrumProfile};
 pub use store::{CompactCounters, CompressedCounters, CounterStore, PlainCounters, RemoveError};

@@ -16,8 +16,9 @@ use crate::DefaultFamily;
 /// factor of `k`. The price (§3.2, "Minimal Increase and deletions"): the
 /// method cannot support deletions — removing items introduces *false
 /// negatives*. [`MultisetSketch::remove_by`] therefore returns
-/// [`RemoveError`] by default; the experiments that reproduce the paper's
-/// Figure 8/9 breakdown call [`MiSbf::remove_unchecked`] explicitly.
+/// [`RemoveError::Unsupported`] by default; the experiments that reproduce
+/// the paper's Figure 8/9 breakdown call [`MiSbf::remove_unchecked`]
+/// explicitly.
 ///
 /// ```
 /// use spectral_bloom::{MiSbf, MultisetSketch};
@@ -44,7 +45,10 @@ impl MiSbf<DefaultFamily, PlainCounters> {
 impl<F: HashFamily, S: CounterStore> MiSbf<F, S> {
     /// Builds over an explicit hash family.
     pub fn from_family(family: F) -> Self {
-        MiSbf { core: SbfCore::from_family(family), allow_deletions: false }
+        MiSbf {
+            core: SbfCore::from_family(family),
+            allow_deletions: false,
+        }
     }
 
     /// Opts in to (unsound) deletions, reproducing the paper's negative
@@ -58,6 +62,20 @@ impl<F: HashFamily, S: CounterStore> MiSbf<F, S> {
     /// The underlying core.
     pub fn core(&self) -> &SbfCore<F, S> {
         &self.core
+    }
+
+    /// Unites another MI filter into this one by counter addition (§5).
+    ///
+    /// The sum is not the filter MI itself would have built over the
+    /// combined stream (MI's floor rule is order-dependent), but every
+    /// counter still dominates each key's combined true count, so
+    /// estimates stay one-sided upper bounds — this is what lets
+    /// [`crate::ShardedSketch`] union MI shards.
+    pub fn union_assign<S2: CounterStore>(&mut self, other: &MiSbf<F, S2>)
+    where
+        F: PartialEq,
+    {
+        self.core.union_assign(&other.core);
     }
 
     /// Deletes by decrementing all counters, clamping at zero — the
@@ -79,9 +97,7 @@ impl<F: HashFamily, S: CounterStore> MultisetSketch for MiSbf<F, S> {
 
     fn remove_by<K: Key + ?Sized>(&mut self, key: &K, count: u64) -> Result<(), RemoveError> {
         if !self.allow_deletions {
-            // MI cannot delete soundly; signal with counter index m (i.e.
-            // "no specific counter").
-            return Err(RemoveError { index: self.core.m() });
+            return Err(RemoveError::Unsupported);
         }
         self.remove_unchecked(key, count);
         Ok(())
@@ -165,7 +181,9 @@ mod tests {
     fn remove_is_refused_by_default() {
         let mut mi = MiSbf::new(128, 4, 4);
         mi.insert(&1u64);
-        assert!(mi.remove(&1u64).is_err());
+        // The refusal is `Unsupported`, not an `Underflow` with a
+        // fabricated counter index a caller could mistakenly index with.
+        assert_eq!(mi.remove(&1u64), Err(RemoveError::Unsupported));
         assert_eq!(mi.estimate(&1u64), 1, "refused remove must not mutate");
     }
 

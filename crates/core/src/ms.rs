@@ -30,12 +30,16 @@ impl MsSbf<DefaultFamily, PlainCounters> {
 impl<F: HashFamily, S: CounterStore> MsSbf<F, S> {
     /// Builds over an explicit hash family, with a fresh store.
     pub fn from_family(family: F) -> Self {
-        MsSbf { core: SbfCore::from_family(family) }
+        MsSbf {
+            core: SbfCore::from_family(family),
+        }
     }
 
     /// Builds from explicit parts.
     pub fn with_parts(family: F, store: S) -> Self {
-        MsSbf { core: SbfCore::with_parts(family, store) }
+        MsSbf {
+            core: SbfCore::with_parts(family, store),
+        }
     }
 
     /// The underlying core (counters, family, totals).

@@ -67,7 +67,10 @@ impl PagedCounters {
 
     /// The I/O ledger.
     pub fn io_stats(&self) -> IoStats {
-        IoStats { page_faults: self.faults.get(), accesses: self.accesses.get() }
+        IoStats {
+            page_faults: self.faults.get(),
+            accesses: self.accesses.get(),
+        }
     }
 
     /// Resets the I/O ledger (e.g. after a build phase, before measuring
@@ -113,7 +116,7 @@ impl CounterStore for PagedCounters {
         self.touch(i);
         let v = self.counters[i];
         if by > v {
-            return Err(RemoveError { index: i });
+            return Err(RemoveError::Underflow { index: i });
         }
         self.counters[i] = v - by;
         Ok(())
@@ -177,7 +180,10 @@ mod tests {
 
         // At most one page per blocked insert (consecutive keys landing in
         // the same block reuse the buffer, so slightly fewer).
-        assert!(blocked_faults <= n_ops, "blocked faults {blocked_faults} exceed one per op");
+        assert!(
+            blocked_faults <= n_ops,
+            "blocked faults {blocked_faults} exceed one per op"
+        );
         assert!(blocked_faults >= n_ops * 9 / 10);
         assert!(
             flat_faults > 4 * n_ops,

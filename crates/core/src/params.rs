@@ -47,7 +47,10 @@ pub struct SbfParams {
 impl SbfParams {
     /// Starts from the expected number of *distinct* keys.
     pub fn for_capacity(n: usize) -> Self {
-        SbfParams { n, target_error: 0.01 }
+        SbfParams {
+            n,
+            target_error: 0.01,
+        }
     }
 
     /// Sets the acceptable Bloom-error probability (default 1%).
@@ -105,7 +108,9 @@ mod tests {
     #[test]
     fn dimensions_meet_target() {
         for (n, target) in [(1000, 0.05), (10_000, 0.01), (100_000, 0.001)] {
-            let (m, k) = SbfParams::for_capacity(n).with_target_error(target).dimensions();
+            let (m, k) = SbfParams::for_capacity(n)
+                .with_target_error(target)
+                .dimensions();
             let e = bloom_error_rate(n, m, k);
             assert!(e <= target * 1.15, "n={n}: E_b {e} exceeds {target}");
         }

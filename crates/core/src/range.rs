@@ -69,7 +69,14 @@ impl<SK: MultisetSketch> RangeTreeSketch<SK> {
             span = span.saturating_mul(degree);
             levels += 1;
         }
-        RangeTreeSketch { sketch, lo, hi, degree, levels, tag: 0x5bf_7e3e_0000_0000 }
+        RangeTreeSketch {
+            sketch,
+            lo,
+            hi,
+            degree,
+            levels,
+            tag: 0x5bf_7e3e_0000_0000,
+        }
     }
 
     /// The wrapped sketch.
@@ -142,7 +149,10 @@ impl<SK: MultisetSketch> RangeTreeSketch<SK> {
         let a = a.max(self.lo);
         let b = b.min(self.hi);
         if a >= b {
-            return RangeEstimate { estimate: 0, lookups: 0 };
+            return RangeEstimate {
+                estimate: 0,
+                lookups: 0,
+            };
         }
         let mut estimate = 0u64;
         let mut lookups = 0usize;
@@ -223,10 +233,22 @@ mod tests {
             t.insert(v);
             truth[v as usize] += 1;
         }
-        for (a, b) in [(0u64, 256u64), (0, 1), (10, 20), (13, 200), (255, 256), (128, 129), (100, 100)] {
+        for (a, b) in [
+            (0u64, 256u64),
+            (0, 1),
+            (10, 20),
+            (13, 200),
+            (255, 256),
+            (128, 129),
+            (100, 100),
+        ] {
             let want: u64 = truth[a as usize..b as usize].iter().sum();
             let got = t.count_range(a, b);
-            assert!(got.estimate >= want, "range [{a},{b}): {} < {want}", got.estimate);
+            assert!(
+                got.estimate >= want,
+                "range [{a},{b}): {} < {want}",
+                got.estimate
+            );
             // Light load: estimate should be exact almost surely.
             assert_eq!(got.estimate, want, "range [{a},{b})");
         }
@@ -238,7 +260,11 @@ mod tests {
         t.insert(12_345);
         // |Q| = 60_000 → binary tree bound ≈ 2·log₂|Q| ≈ 32, plus edge slop.
         let r = t.count_range(100, 60_100);
-        assert!(r.lookups <= 2 * 17 + 4, "lookups {} exceed 2·log|Q|", r.lookups);
+        assert!(
+            r.lookups <= 2 * 17 + 4,
+            "lookups {} exceed 2·log|Q|",
+            r.lookups
+        );
     }
 
     #[test]
@@ -269,7 +295,11 @@ mod tests {
         }
         let got = t.count_range(100, 2000);
         assert!(got.estimate >= truth);
-        assert!(got.estimate <= truth + 3, "overshoot {} vs {truth}", got.estimate);
+        assert!(
+            got.estimate <= truth + 3,
+            "overshoot {} vs {truth}",
+            got.estimate
+        );
     }
 
     #[test]
@@ -292,6 +322,9 @@ mod tests {
         let mut t = tree(4096, 0, 100);
         t.insert_by(50, 2);
         assert_eq!(t.count_range(60, 40).estimate, 0);
-        assert!(t.count_range(0, 1_000_000).estimate >= 2, "range clamped to domain");
+        assert!(
+            t.count_range(0, 1_000_000).estimate >= 2,
+            "range clamped to domain"
+        );
     }
 }

@@ -111,6 +111,28 @@ impl<F: HashFamily, S: CounterStore> RmSbf<F, S> {
         self.primary.key_counters(key).has_recurring_min()
     }
 
+    /// Unites another RM filter into this one: primary and secondary by
+    /// counter addition (§5), markers by bitwise OR.
+    ///
+    /// Sound when each key's occurrences all live in **one** of the two
+    /// filters — the invariant [`crate::ShardedSketch`]'s hash routing
+    /// maintains — because then the other filter contributes only collision
+    /// mass, which can only raise counters. (Splitting one key's mass
+    /// across both inputs could under-read through the secondary, which is
+    /// why this is not exposed as a general multiset union.)
+    pub fn union_assign(&mut self, other: &RmSbf<F, S>)
+    where
+        F: PartialEq,
+    {
+        self.primary.union_assign(&other.primary);
+        self.secondary.union_assign(&other.secondary);
+        match (&mut self.marker, &other.marker) {
+            (Some(mine), Some(theirs)) => mine.union_assign(theirs),
+            (None, None) => {}
+            _ => panic!("union requires both RM filters to agree on the marker refinement"),
+        }
+    }
+
     fn in_secondary<K: Key + ?Sized>(&self, key: &K) -> bool {
         if let Some(marker) = &self.marker {
             return marker.contains(key);
@@ -226,7 +248,10 @@ mod tests {
             rm.remove_by(&key, 4).unwrap();
         }
         for key in 0u64..200 {
-            assert!(rm.estimate(&key) >= 6, "false negative after deletes for {key}");
+            assert!(
+                rm.estimate(&key) >= 6,
+                "false negative after deletes for {key}"
+            );
         }
         // Full removal drives estimates to zero for most keys.
         for key in 0u64..200 {

@@ -1,0 +1,345 @@
+//! Hash-partitioned concurrent sketches: per-shard locks instead of one
+//! global lock.
+//!
+//! Minimal Increase and Recurring Minimum inserts are read-modify-write
+//! over several counters (MI reads the minimum before raising, RM decides
+//! between primary and secondary), so unlike Minimum Selection they cannot
+//! run lock-free — see [`crate::AtomicMsSbf`] for that path. What *can* be
+//! removed is the global lock: [`ShardedSketch`] hash-partitions keys
+//! across `S` independent sub-filters, each behind its own `RwLock`, so
+//! producers working on different shards never contend.
+//!
+//! Because every occurrence of a key routes to the same shard, each shard
+//! is an exact sketch of its own sub-multiset, and §5's distributed union
+//! ("SBFs can be united simply by addition of their counter vectors")
+//! rebuilds a single filter of the whole stream: [`ShardedSketch::snapshot`]
+//! adds the shard counter vectors. Queries don't need the union — they
+//! route to the owning shard, touching one lock in read mode.
+
+use std::sync::RwLock;
+
+use sbf_hash::{fmix64, HashFamily, Key};
+
+use crate::mi::MiSbf;
+use crate::ms::MsSbf;
+use crate::rm::RmSbf;
+use crate::sketch::MultisetSketch;
+use crate::store::{CounterStore, RemoveError};
+
+/// Sketches that can absorb a disjoint peer by counter addition (§5).
+///
+/// `absorb` requires both sketches to share parameters and hash functions,
+/// and is exact when the two inputs hold disjoint key sets (the sharding
+/// invariant); see each implementation for what addition means when keys
+/// overlap.
+pub trait ShardMerge {
+    /// Adds `other`'s counters into `self`.
+    fn absorb(&mut self, other: &Self);
+}
+
+impl<F: HashFamily + PartialEq, S: CounterStore> ShardMerge for MsSbf<F, S> {
+    fn absorb(&mut self, other: &Self) {
+        self.union_assign(other);
+    }
+}
+
+impl<F: HashFamily + PartialEq, S: CounterStore> ShardMerge for MiSbf<F, S> {
+    fn absorb(&mut self, other: &Self) {
+        self.union_assign(other);
+    }
+}
+
+impl<F: HashFamily + PartialEq, S: CounterStore> ShardMerge for RmSbf<F, S> {
+    fn absorb(&mut self, other: &Self) {
+        self.union_assign(other);
+    }
+}
+
+/// `S` independent sub-filters with per-shard read/write locks.
+///
+/// All shards must be built with **identical parameters** (`m`, `k`, seed)
+/// so their counter vectors are addable per §5; [`ShardedSketch::with_shards`]
+/// enforces this by construction. The router hash is independent of the
+/// sketches' own hash family, so shard assignment does not bias which
+/// counters a key touches.
+///
+/// ```
+/// use spectral_bloom::{MiSbf, MultisetSketch, ShardedSketch};
+///
+/// let sketch = ShardedSketch::with_shards(8, |_| MiSbf::new(4096, 5, 7));
+/// std::thread::scope(|s| {
+///     for t in 0..4u64 {
+///         let h = &sketch;
+///         s.spawn(move || {
+///             let keys: Vec<u64> = (0..1000).map(|i| t * 10_000 + i).collect();
+///             h.insert_batch(&keys);
+///         });
+///     }
+/// });
+/// assert_eq!(sketch.total_count(), 4000);
+/// assert!(sketch.estimate(&10_001u64) >= 1);
+/// ```
+#[derive(Debug)]
+pub struct ShardedSketch<SK> {
+    shards: Vec<RwLock<SK>>,
+    route_seed: u64,
+}
+
+impl<SK> ShardedSketch<SK> {
+    /// Builds `n` shards from a constructor called with each shard index.
+    ///
+    /// The constructor must produce sketches with identical parameters
+    /// (same `m`, `k`, hash seed) — pass the index only for bookkeeping,
+    /// not to vary the filter shape, or [`ShardedSketch::snapshot`] will
+    /// refuse to union the shards.
+    pub fn with_shards(n: usize, make: impl FnMut(usize) -> SK) -> Self {
+        assert!(n > 0, "sharded sketch needs at least one shard");
+        Self::from_shards((0..n).map(make).collect())
+    }
+
+    /// Wraps pre-built shards (all with identical parameters).
+    pub fn from_shards(shards: Vec<SK>) -> Self {
+        assert!(
+            !shards.is_empty(),
+            "sharded sketch needs at least one shard"
+        );
+        ShardedSketch {
+            shards: shards.into_iter().map(RwLock::new).collect(),
+            // Fixed and family-independent: routing must not correlate with
+            // the counter indices the sketches derive from their own seeds.
+            route_seed: 0x5ba2_d911_c3b1_70a4,
+        }
+    }
+
+    /// Number of shards `S`.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard owns `key`.
+    #[inline]
+    pub fn shard_of<K: Key + ?Sized>(&self, key: &K) -> usize {
+        let h = fmix64(key.canonical() ^ self.route_seed);
+        // Widening multiply maps uniformly onto {0..S-1} without modulo bias.
+        ((u128::from(h) * self.shards.len() as u128) >> 64) as usize
+    }
+
+    /// Runs `f` with shared read access to shard `i` (bulk queries against
+    /// one shard without per-call lock traffic).
+    pub fn with_shard_read<R>(&self, i: usize, f: impl FnOnce(&SK) -> R) -> R {
+        f(&self.shards[i].read().expect("shard lock poisoned"))
+    }
+}
+
+impl<SK: MultisetSketch> ShardedSketch<SK> {
+    /// Adds `count` occurrences of `key` (locks the owning shard only).
+    pub fn insert_by<K: Key + ?Sized>(&self, key: &K, count: u64) {
+        let shard = self.shard_of(key);
+        self.shards[shard]
+            .write()
+            .expect("shard lock poisoned")
+            .insert_by(key, count);
+    }
+
+    /// Adds one occurrence of `key`.
+    pub fn insert<K: Key + ?Sized>(&self, key: &K) {
+        self.insert_by(key, 1);
+    }
+
+    /// Adds a batch of keys, grouped per shard so each shard's lock is
+    /// taken once per batch instead of once per key. Grouping also improves
+    /// locality: consecutive inserts touch one shard's counters.
+    pub fn insert_batch<K: Key>(&self, keys: &[K]) {
+        if self.shards.len() == 1 {
+            let mut shard = self.shards[0].write().expect("shard lock poisoned");
+            for key in keys {
+                shard.insert(key);
+            }
+            return;
+        }
+        let mut buckets: Vec<Vec<&K>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for key in keys {
+            buckets[self.shard_of(key)].push(key);
+        }
+        for (shard, bucket) in self.shards.iter().zip(buckets) {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut shard = shard.write().expect("shard lock poisoned");
+            for key in bucket {
+                shard.insert(key);
+            }
+        }
+    }
+
+    /// Removes `count` occurrences of `key` from its owning shard.
+    pub fn remove_by<K: Key + ?Sized>(&self, key: &K, count: u64) -> Result<(), RemoveError> {
+        let shard = self.shard_of(key);
+        self.shards[shard]
+            .write()
+            .expect("shard lock poisoned")
+            .remove_by(key, count)
+    }
+
+    /// Removes one occurrence of `key`.
+    pub fn remove<K: Key + ?Sized>(&self, key: &K) -> Result<(), RemoveError> {
+        self.remove_by(key, 1)
+    }
+
+    /// Estimates the multiplicity of `key` (read-locks the owning shard).
+    pub fn estimate<K: Key + ?Sized>(&self, key: &K) -> u64 {
+        let shard = self.shard_of(key);
+        self.shards[shard]
+            .read()
+            .expect("shard lock poisoned")
+            .estimate(key)
+    }
+
+    /// Membership test: `f̂ > 0`.
+    pub fn contains<K: Key + ?Sized>(&self, key: &K) -> bool {
+        self.estimate(key) > 0
+    }
+
+    /// Spectral threshold test against the owning shard.
+    pub fn passes_threshold<K: Key + ?Sized>(&self, key: &K, threshold: u64) -> bool {
+        let shard = self.shard_of(key);
+        self.shards[shard]
+            .read()
+            .expect("shard lock poisoned")
+            .passes_threshold(key, threshold)
+    }
+
+    /// Total multiplicity across all shards.
+    ///
+    /// Shards are read-locked one at a time, so the total is a consistent
+    /// sum of per-shard pasts, not an instantaneous global cut — fine for
+    /// monitoring, and exact once producers quiesce.
+    pub fn total_count(&self) -> u64 {
+        self.shard_totals().iter().sum()
+    }
+
+    /// Per-shard multiplicity totals (for load-balance inspection).
+    pub fn shard_totals(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned").total_count())
+            .collect()
+    }
+
+    /// Total storage across shards.
+    pub fn storage_bits(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned").storage_bits())
+            .sum()
+    }
+
+    /// Unions all shards into one sketch by counter addition (§5) — the
+    /// bridge back to the single-threaded world (serialization, further
+    /// union/multiply, compressed re-encoding).
+    pub fn snapshot(&self) -> SK
+    where
+        SK: ShardMerge + Clone,
+    {
+        let mut merged = self.shards[0].read().expect("shard lock poisoned").clone();
+        for shard in &self.shards[1..] {
+            merged.absorb(&shard.read().expect("shard lock poisoned"));
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        let sketch = ShardedSketch::with_shards(8, |_| MsSbf::new(1024, 4, 1));
+        for key in 0u64..1000 {
+            let s = sketch.shard_of(&key);
+            assert!(s < 8);
+            assert_eq!(s, sketch.shard_of(&key), "routing must be deterministic");
+        }
+        // All shards should receive some keys.
+        let mut hit = [false; 8];
+        for key in 0u64..1000 {
+            hit[sketch.shard_of(&key)] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "1000 keys must touch all 8 shards");
+    }
+
+    #[test]
+    fn sharded_ms_matches_unsharded_after_snapshot() {
+        let sharded = ShardedSketch::with_shards(4, |_| MsSbf::new(2048, 5, 9));
+        let mut flat = MsSbf::new(2048, 5, 9);
+        for key in 0u64..400 {
+            sharded.insert_by(&key, key % 5 + 1);
+            flat.insert_by(&key, key % 5 + 1);
+        }
+        let merged = sharded.snapshot();
+        for key in 0u64..400 {
+            assert_eq!(merged.estimate(&key), flat.estimate(&key), "key {key}");
+        }
+        assert_eq!(merged.total_count(), flat.total_count());
+    }
+
+    #[test]
+    fn estimates_route_to_owning_shard() {
+        let sketch = ShardedSketch::with_shards(4, |_| MiSbf::new(4096, 5, 3));
+        for key in 0u64..300 {
+            sketch.insert_by(&key, key % 7 + 1);
+        }
+        for key in 0u64..300 {
+            assert!(sketch.estimate(&key) > key % 7, "undercount for {key}");
+        }
+    }
+
+    #[test]
+    fn insert_batch_equals_singles() {
+        let batched = ShardedSketch::with_shards(4, |_| MsSbf::new(1024, 4, 5));
+        let singles = ShardedSketch::with_shards(4, |_| MsSbf::new(1024, 4, 5));
+        let keys: Vec<u64> = (0..500).map(|i| i % 100).collect();
+        batched.insert_batch(&keys);
+        for key in &keys {
+            singles.insert(key);
+        }
+        for key in 0u64..100 {
+            assert_eq!(batched.estimate(&key), singles.estimate(&key));
+        }
+        assert_eq!(batched.total_count(), 500);
+    }
+
+    #[test]
+    fn removals_stay_within_shard() {
+        let sketch = ShardedSketch::with_shards(4, |_| RmSbf::new(3000, 5, 2));
+        for key in 0u64..100 {
+            sketch.insert_by(&key, 10);
+        }
+        for key in 0u64..100 {
+            sketch.remove_by(&key, 4).unwrap();
+        }
+        for key in 0u64..100 {
+            assert!(sketch.estimate(&key) >= 6, "false negative for {key}");
+        }
+        assert_eq!(sketch.total_count(), 600);
+    }
+
+    #[test]
+    fn snapshot_of_rm_shards_keeps_upper_bound() {
+        let sketch = ShardedSketch::with_shards(4, |_| RmSbf::new(6000, 5, 8));
+        for key in 0u64..200 {
+            sketch.insert_by(&key, key % 9 + 1);
+        }
+        let merged = sketch.snapshot();
+        for key in 0u64..200 {
+            assert!(merged.estimate(&key) > key % 9, "undercount for {key}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardedSketch::<MsSbf>::from_shards(Vec::new());
+    }
+}

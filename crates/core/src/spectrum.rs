@@ -74,16 +74,15 @@ pub fn profile<F: HashFamily, S: CounterStore>(core: &SbfCore<F, S>) -> Spectrum
 /// counts the keys whose estimate falls in `[bounds[b], bounds[b+1])`,
 /// with a final unbounded bucket. Estimates come from the provided
 /// estimator (pass `|key| sketch.estimate(key)`), so any algorithm works.
-pub fn frequency_histogram<K, I>(
-    estimate: impl Fn(&K) -> u64,
-    keys: I,
-    bounds: &[u64],
-) -> Vec<u64>
+pub fn frequency_histogram<K, I>(estimate: impl Fn(&K) -> u64, keys: I, bounds: &[u64]) -> Vec<u64>
 where
     K: Key,
     I: IntoIterator<Item = K>,
 {
-    assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must be strictly increasing");
+    assert!(
+        bounds.windows(2).all(|w| w[0] < w[1]),
+        "bounds must be strictly increasing"
+    );
     let mut hist = vec![0u64; bounds.len() + 1];
     for key in keys {
         let f = estimate(&key);

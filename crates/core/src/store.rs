@@ -14,16 +14,33 @@
 
 use sbf_sai::{CompactConfig, DynamicCompactArray, DynamicConfig, DynamicCounterArray};
 
-/// Error from removing more occurrences than a counter holds.
+/// Error from a removal the sketch cannot perform.
+///
+/// Distinguishes the two failure modes the paper's algorithms exhibit: a
+/// counter that would go negative (MS/RM refuse such removals atomically),
+/// and an algorithm that does not support deletions at all (Minimal
+/// Increase, §3.2 — deleting would introduce false negatives).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RemoveError {
-    /// Index of the counter that would underflow.
-    pub index: usize,
+pub enum RemoveError {
+    /// The removal would drive the counter at `index` below zero.
+    Underflow {
+        /// Index of the counter that would underflow.
+        index: usize,
+    },
+    /// The sketch's algorithm cannot delete soundly (Minimal Increase).
+    Unsupported,
 }
 
 impl std::fmt::Display for RemoveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "removal would drive counter {} below zero", self.index)
+        match self {
+            RemoveError::Underflow { index } => {
+                write!(f, "removal would drive counter {index} below zero")
+            }
+            RemoveError::Unsupported => {
+                write!(f, "this sketch algorithm does not support deletions")
+            }
+        }
     }
 }
 
@@ -48,17 +65,25 @@ pub trait CounterStore {
     /// Overwrites counter `i`.
     fn set(&mut self, i: usize, v: u64);
 
-    /// Adds `by` to counter `i`.
+    /// Adds `by` to counter `i`, saturating at `u64::MAX`.
+    ///
+    /// Saturating (rather than panicking) semantics are deliberate: the
+    /// ingest path runs behind server locks, and a hostile or merely
+    /// long-running stream must not be able to panic a thread mid-insert.
+    /// Saturation preserves the paper's one-sided contract — a pinned
+    /// counter can only *over*-estimate — and is unreachable in practice
+    /// (2⁶⁴ increments). Debug builds still flag it loudly.
     fn increment(&mut self, i: usize, by: u64) {
-        let v = self.get(i).checked_add(by).expect("counter overflow");
-        self.set(i, v);
+        let v = self.get(i);
+        debug_assert!(v.checked_add(by).is_some(), "counter {i} overflow");
+        self.set(i, v.saturating_add(by));
     }
 
     /// Subtracts `by` from counter `i`, failing on underflow.
     fn decrement(&mut self, i: usize, by: u64) -> Result<(), RemoveError> {
         let v = self.get(i);
         if by > v {
-            return Err(RemoveError { index: i });
+            return Err(RemoveError::Underflow { index: i });
         }
         self.set(i, v - by);
         Ok(())
@@ -97,7 +122,9 @@ impl PlainCounters {
 
 impl CounterStore for PlainCounters {
     fn with_len(m: usize) -> Self {
-        PlainCounters { counters: vec![0; m] }
+        PlainCounters {
+            counters: vec![0; m],
+        }
     }
 
     #[inline]
@@ -117,7 +144,9 @@ impl CounterStore for PlainCounters {
 
     #[inline]
     fn increment(&mut self, i: usize, by: u64) {
-        self.counters[i] = self.counters[i].checked_add(by).expect("counter overflow");
+        let v = self.counters[i];
+        debug_assert!(v.checked_add(by).is_some(), "counter {i} overflow");
+        self.counters[i] = v.saturating_add(by);
     }
 
     fn storage_bits(&self) -> usize {
@@ -135,7 +164,9 @@ pub struct CompressedCounters {
 impl CompressedCounters {
     /// Creates with an explicit dynamic-array configuration.
     pub fn with_config(m: usize, cfg: DynamicConfig) -> Self {
-        CompressedCounters { inner: DynamicCounterArray::with_config(m, cfg) }
+        CompressedCounters {
+            inner: DynamicCounterArray::with_config(m, cfg),
+        }
     }
 
     /// The underlying dynamic array (for maintenance statistics).
@@ -146,7 +177,9 @@ impl CompressedCounters {
 
 impl CounterStore for CompressedCounters {
     fn with_len(m: usize) -> Self {
-        CompressedCounters { inner: DynamicCounterArray::new(m) }
+        CompressedCounters {
+            inner: DynamicCounterArray::new(m),
+        }
     }
 
     fn len(&self) -> usize {
@@ -162,7 +195,9 @@ impl CounterStore for CompressedCounters {
     }
 
     fn decrement(&mut self, i: usize, by: u64) -> Result<(), RemoveError> {
-        self.inner.decrement(i, by).map_err(|_| RemoveError { index: i })
+        self.inner
+            .decrement(i, by)
+            .map_err(|_| RemoveError::Underflow { index: i })
     }
 
     fn storage_bits(&self) -> usize {
@@ -181,7 +216,9 @@ pub struct CompactCounters {
 impl CompactCounters {
     /// Creates with an explicit configuration.
     pub fn with_config(m: usize, cfg: CompactConfig) -> Self {
-        CompactCounters { inner: DynamicCompactArray::with_config(sbf_encoding::EliasDelta, m, cfg) }
+        CompactCounters {
+            inner: DynamicCompactArray::with_config(sbf_encoding::EliasDelta, m, cfg),
+        }
     }
 
     /// The underlying array (for maintenance statistics).
@@ -192,7 +229,9 @@ impl CompactCounters {
 
 impl CounterStore for CompactCounters {
     fn with_len(m: usize) -> Self {
-        CompactCounters { inner: DynamicCompactArray::new(m) }
+        CompactCounters {
+            inner: DynamicCompactArray::new(m),
+        }
     }
 
     fn len(&self) -> usize {
@@ -208,7 +247,9 @@ impl CounterStore for CompactCounters {
     }
 
     fn decrement(&mut self, i: usize, by: u64) -> Result<(), RemoveError> {
-        self.inner.decrement(i, by).map_err(|_| RemoveError { index: i })
+        self.inner
+            .decrement(i, by)
+            .map_err(|_| RemoveError::Underflow { index: i })
     }
 
     fn storage_bits(&self) -> usize {

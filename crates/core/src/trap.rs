@@ -100,7 +100,9 @@ impl<F: HashFamily, S: CounterStore> TrappingRmSbf<F, S> {
             if !self.traps[i] {
                 continue;
             }
-            let Some(&owner) = self.owners.get(&i) else { continue };
+            let Some(&owner) = self.owners.get(&i) else {
+                continue;
+            };
             if owner == canon {
                 continue;
             }
@@ -228,7 +230,10 @@ mod tests {
             t.remove_by(&key, 3).unwrap();
         }
         for key in 0u64..100 {
-            assert!(t.estimate(&key) >= 5, "false negative after delete for {key}");
+            assert!(
+                t.estimate(&key) >= 5,
+                "false negative after delete for {key}"
+            );
         }
     }
 
@@ -242,7 +247,10 @@ mod tests {
                 t.insert_by(&key, 1 + round % 3);
             }
         }
-        assert!(t.compensations() > 0, "expected trap compensations under heavy load");
+        assert!(
+            t.compensations() > 0,
+            "expected trap compensations under heavy load"
+        );
     }
 
     #[test]
@@ -261,8 +269,14 @@ mod tests {
                 *truth.entry(key).or_insert(0u64) += c;
             }
         }
-        let rm_err: u64 = truth.iter().map(|(k, &f)| rm.estimate(k).saturating_sub(f)).sum();
-        let tr_err: u64 = truth.iter().map(|(k, &f)| tr.estimate(k).saturating_sub(f)).sum();
+        let rm_err: u64 = truth
+            .iter()
+            .map(|(k, &f)| rm.estimate(k).saturating_sub(f))
+            .sum();
+        let tr_err: u64 = truth
+            .iter()
+            .map(|(k, &f)| tr.estimate(k).saturating_sub(f))
+            .sum();
         // Compensation is a heuristic: it wins on the late-detection cases
         // it targets but can misfire (firing with mass that never
         // contaminated the victim), so allow a small tolerance instead of

@@ -30,7 +30,11 @@ impl<SK: MultisetSketch> SlidingWindowSbf<SK> {
     /// wrapper cannot prevent.
     pub fn new(sketch: SK, capacity: usize) -> Self {
         assert!(capacity > 0, "window capacity must be positive");
-        SlidingWindowSbf { sketch, window: VecDeque::with_capacity(capacity), capacity }
+        SlidingWindowSbf {
+            sketch,
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Ingests one item; evicts (and deletes) the oldest when full.

@@ -148,9 +148,15 @@ mod tests {
         let exact = exact_join_size(&r, &s) as f64;
         let mut rel_errors = Vec::new();
         for seed in 0..5 {
-            let cfg = BifocalConfig { sample_size: 600, ..BifocalConfig::sized_for(&r, &s, seed) };
+            let cfg = BifocalConfig {
+                sample_size: 600,
+                ..BifocalConfig::sized_for(&r, &s, seed)
+            };
             let (est, dense) = bifocal_estimate(&r, &s, &cfg);
-            assert!(dense >= 8, "the 10 dense keys should be discovered, got {dense}");
+            assert!(
+                dense >= 8,
+                "the 10 dense keys should be discovered, got {dense}"
+            );
             rel_errors.push((est - exact).abs() / exact);
         }
         let mean_rel = rel_errors.iter().sum::<f64>() / rel_errors.len() as f64;
@@ -164,7 +170,12 @@ mod tests {
         // inflation is ≤ (1 + γ).
         let (r, s) = skewed_relations(2);
         let exact = exact_join_size(&r, &s) as f64;
-        let cfg = BifocalConfig { sample_size: 800, sbf_m: 40_000, sbf_k: 5, seed: 3 };
+        let cfg = BifocalConfig {
+            sample_size: 800,
+            sbf_m: 40_000,
+            sbf_k: 5,
+            seed: 3,
+        };
         let (est, _) = bifocal_estimate(&r, &s, &cfg);
         assert!(est <= exact * 1.4, "estimate {est} vs exact {exact}");
         assert!(est >= exact * 0.6);
@@ -185,7 +196,10 @@ mod tests {
     fn empty_inputs() {
         let e = Relation::new("e", 8);
         let s = Relation::from_keys("S", &[1, 2], 8);
-        assert_eq!(bifocal_estimate(&e, &s, &BifocalConfig::sized_for(&e, &s, 5)).0, 0.0);
+        assert_eq!(
+            bifocal_estimate(&e, &s, &BifocalConfig::sized_for(&e, &s, 5)).0,
+            0.0
+        );
         assert_eq!(exact_join_size(&e, &s), 0);
     }
 }

@@ -107,7 +107,11 @@ impl SummaryCacheCluster {
     /// `n` empty nodes with `m`-bit, `k`-hash summaries.
     pub fn new(n: usize, m: usize, k: usize, seed: u64) -> Self {
         let nodes = (0..n).map(|id| CacheNode::new(id, m, k, seed)).collect();
-        SummaryCacheCluster { nodes, seed, summary_bytes: 0 }
+        SummaryCacheCluster {
+            nodes,
+            seed,
+            summary_bytes: 0,
+        }
     }
 
     /// Mutable access to node `id` (to store/evict objects).
@@ -131,7 +135,10 @@ impl SummaryCacheCluster {
     /// wasted probes, exactly the Summary-Cache cost model).
     pub fn lookup(&self, requester: usize, object: u64) -> LookupOutcome {
         if self.nodes[requester].holds(object) {
-            return LookupOutcome { found_at: Some(requester), probes: 0 };
+            return LookupOutcome {
+                found_at: Some(requester),
+                probes: 0,
+            };
         }
         let mut probes = 0;
         for node in &self.nodes {
@@ -141,11 +148,17 @@ impl SummaryCacheCluster {
             if node.summary.contains(&object) {
                 probes += 1;
                 if node.holds(object) {
-                    return LookupOutcome { found_at: Some(node.id), probes };
+                    return LookupOutcome {
+                        found_at: Some(node.id),
+                        probes,
+                    };
                 }
             }
         }
-        LookupOutcome { found_at: None, probes }
+        LookupOutcome {
+            found_at: None,
+            probes,
+        }
     }
 }
 
@@ -185,7 +198,6 @@ impl AttenuatedFilter {
     }
 }
 
-
 /// A cache node whose summary is an SBF instead of a plain Bloom filter.
 ///
 /// This closes the loop on the paper's №1 motivating lineage: Fan et al.
@@ -205,7 +217,11 @@ impl SbfCacheNode {
     /// An empty node with an `m`-counter, `k`-hash SBF summary.
     pub fn new(id: usize, m: usize, k: usize, seed: u64) -> Self {
         use spectral_bloom::MsSbf;
-        SbfCacheNode { id, contents: HashSet::new(), summary: MsSbf::new(m, k, seed) }
+        SbfCacheNode {
+            id,
+            contents: HashSet::new(),
+            summary: MsSbf::new(m, k, seed),
+        }
     }
 
     /// Caches an object; the summary is updated in place.
@@ -308,7 +324,6 @@ mod tests {
         assert_eq!(c.summary_bytes, 1000 * 2 * 3);
     }
 
-
     #[test]
     fn sbf_summary_withdraws_claims_on_eviction() {
         // The plain-Bloom node goes stale on evict (tested above); the SBF
@@ -320,7 +335,10 @@ mod tests {
         assert!(node.summary_claims(7));
         node.evict(7);
         assert!(!node.holds(7));
-        assert!(!node.summary_claims(7), "SBF summary must withdraw immediately");
+        assert!(
+            !node.summary_claims(7),
+            "SBF summary must withdraw immediately"
+        );
         // Other claims survive the eviction.
         for obj in (0u64..200).filter(|&o| o != 7) {
             assert!(node.summary_claims(obj), "claim for {obj} lost");

@@ -125,7 +125,11 @@ mod tests {
         let st = s.stats();
         assert_eq!(st.delta_hits, 20);
         // 980 clean reads: nearly all skip the differential.
-        assert!(st.probes_avoided > 950, "avoided only {}", st.probes_avoided);
+        assert!(
+            st.probes_avoided > 950,
+            "avoided only {}",
+            st.probes_avoided
+        );
         assert!(st.wasted_probes < 30, "wasted {}", st.wasted_probes);
     }
 

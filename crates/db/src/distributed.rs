@@ -85,8 +85,7 @@ pub fn build_global_synopsis(
         }
         // Ship and unite. (The union precondition — identical parameters
         // and hash functions — is guaranteed by the shared plan.)
-        let frame =
-            wire::encode_counters((0..m).map(|i| local.core().store().get(i)));
+        let frame = wire::encode_counters((0..m).map(|i| local.core().store().get(i)));
         network.send(frame.len());
         let decoded = wire::decode_counters(&frame).expect("self-produced frame");
         let mut remote: MsSbf = MsSbf::new(m, k, seed);
@@ -98,7 +97,10 @@ pub fn build_global_synopsis(
         remote.core_mut().add_to_total(mass / k.max(1) as u64);
         union.union_assign(&remote);
     }
-    GlobalSynopsis { filter: union, network }
+    GlobalSynopsis {
+        filter: union,
+        network,
+    }
 }
 
 #[cfg(test)]

@@ -30,7 +30,11 @@ impl<F: HashFamily> ChainedHashTable<F> {
     /// used — a table needs one).
     pub fn from_family(family: F) -> Self {
         let buckets = vec![Vec::new(); family.m()];
-        ChainedHashTable { family, buckets, items: 0 }
+        ChainedHashTable {
+            family,
+            buckets,
+            items: 0,
+        }
     }
 
     /// Number of buckets.
@@ -138,7 +142,11 @@ mod tests {
         for key in 0u64..1000 {
             t.increment(&key, 1);
         }
-        assert!(t.max_chain() >= 200, "chains must be long: {}", t.max_chain());
+        assert!(
+            t.max_chain() >= 200,
+            "chains must be long: {}",
+            t.max_chain()
+        );
         assert_eq!(t.iter().count(), 1000);
     }
 

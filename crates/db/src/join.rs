@@ -49,7 +49,12 @@ pub struct JoinPlan {
 impl JoinPlan {
     /// A plan sized for roughly `distinct` distinct join values at γ ≈ 0.7.
     pub fn sized_for(distinct: usize, seed: u64) -> Self {
-        JoinPlan { m: (distinct * 5 * 10 / 7).max(64), k: 5, seed, threshold: None }
+        JoinPlan {
+            m: (distinct * 5 * 10 / 7).max(64),
+            k: 5,
+            seed,
+            threshold: None,
+        }
     }
 
     /// Adds a `HAVING count(*) >= threshold` clause.
@@ -89,7 +94,11 @@ fn exact_groups(r: &Relation, s: &Relation, threshold: Option<u64>) -> HashMap<u
 pub fn ship_all_join(r: &Relation, s: &Relation, plan: &JoinPlan) -> JoinOutcome {
     let mut network = Network::new();
     network.send(s.ship_all_bytes());
-    JoinOutcome { groups: exact_groups(r, s, plan.threshold), network, exact: true }
+    JoinOutcome {
+        groups: exact_groups(r, s, plan.threshold),
+        network,
+        exact: true,
+    }
 }
 
 /// Classic Bloomjoin [ML86]: site 1 sends `BF(R.a)` (m bits); site 2 ships
@@ -120,7 +129,11 @@ pub fn bloomjoin(r: &Relation, s: &Relation, plan: &JoinPlan) -> JoinOutcome {
             }
         }
     }
-    JoinOutcome { groups, network, exact: true }
+    JoinOutcome {
+        groups,
+        network,
+        exact: true,
+    }
 }
 
 /// Spectral Bloomjoin (§5.3): site 2 sends one Elias-coded SBF of `S.a`;
@@ -162,9 +175,12 @@ pub fn spectral_bloomjoin(r: &Relation, s: &Relation, plan: &JoinPlan) -> JoinOu
             groups.insert(*key, est);
         }
     }
-    JoinOutcome { groups, network, exact: false }
+    JoinOutcome {
+        groups,
+        network,
+        exact: false,
+    }
 }
-
 
 /// Spectral Bloomjoin with the verification pass of §5.3: "since the
 /// errors are one-sided, they can be eliminated by retrieving the accurate
@@ -195,9 +211,12 @@ pub fn spectral_bloomjoin_verified(r: &Relation, s: &Relation, plan: &JoinPlan) 
             groups.insert(*key, count);
         }
     }
-    JoinOutcome { groups, network, exact: true }
+    JoinOutcome {
+        groups,
+        network,
+        exact: true,
+    }
 }
-
 
 /// Multi-way spectral join: the §2.2 "Queries over joins of sets"
 /// multiplication generalized to any number of relations.
@@ -208,10 +227,7 @@ pub fn spectral_bloomjoin_verified(r: &Relation, s: &Relation, plan: &JoinPlan) 
 /// every factor ("the number of distinct items in a join is bounded by the
 /// maximal number of distinct items in the relations, resulting in an SBF
 /// with fewer values, and hence better accuracy").
-pub fn multiway_spectral_join(
-    relations: &[&Relation],
-    plan: &JoinPlan,
-) -> JoinOutcome {
+pub fn multiway_spectral_join(relations: &[&Relation], plan: &JoinPlan) -> JoinOutcome {
     assert!(relations.len() >= 2, "a join needs at least two relations");
     let mut network = Network::new();
     // The first relation is local to the coordinator.
@@ -243,7 +259,11 @@ pub fn multiway_spectral_join(
             groups.insert(*key, est);
         }
     }
-    JoinOutcome { groups, network, exact: false }
+    JoinOutcome {
+        groups,
+        network,
+        exact: false,
+    }
 }
 
 #[cfg(test)]
@@ -280,7 +300,11 @@ mod tests {
             assert!(got >= count, "group {key}: {got} < {count}");
         }
         // And few spurious groups.
-        let spurious = sj.groups.keys().filter(|k| !exact.groups.contains_key(k)).count();
+        let spurious = sj
+            .groups
+            .keys()
+            .filter(|k| !exact.groups.contains_key(k))
+            .count();
         assert!(spurious <= 400 / 20, "{spurious} spurious groups");
     }
 
@@ -296,7 +320,12 @@ mod tests {
         assert_eq!(bj.network.messages, 2);
         assert_eq!(ship.network.messages, 1);
         // Spectral ships only a synopsis — far less than shipping tuples.
-        assert!(sj.network.bytes < ship.network.bytes / 2, "sbf {} vs ship {}", sj.network.bytes, ship.network.bytes);
+        assert!(
+            sj.network.bytes < ship.network.bytes / 2,
+            "sbf {} vs ship {}",
+            sj.network.bytes,
+            ship.network.bytes
+        );
         // Every tuple of S matches R here, so Bloomjoin filters nothing and
         // pays only the filter itself on top (its win appears when S has
         // non-matching tuples — see bloomjoin_filters_nonmatching_tuples).
@@ -310,10 +339,12 @@ mod tests {
         let exact = ship_all_join(&r, &s, &plan);
         let sj = spectral_bloomjoin(&r, &s, &plan);
         for key in exact.groups.keys() {
-            assert!(sj.groups.contains_key(key), "HAVING filter dropped true group {key}");
+            assert!(
+                sj.groups.contains_key(key),
+                "HAVING filter dropped true group {key}"
+            );
         }
     }
-
 
     #[test]
     fn verified_spectral_join_is_exact_and_still_cheap() {
@@ -322,8 +353,14 @@ mod tests {
         let exact = ship_all_join(&r, &s, &plan);
         let verified = spectral_bloomjoin_verified(&r, &s, &plan);
         assert!(verified.exact);
-        assert_eq!(verified.groups, exact.groups, "verification must remove all error");
-        assert_eq!(verified.network.messages, 3, "one synopsis + two verification legs");
+        assert_eq!(
+            verified.groups, exact.groups,
+            "verification must remove all error"
+        );
+        assert_eq!(
+            verified.network.messages, 3,
+            "one synopsis + two verification legs"
+        );
         assert!(
             verified.network.bytes < exact.network.bytes / 3,
             "verified spectral {} vs ship-all {}",
@@ -331,7 +368,6 @@ mod tests {
             exact.network.bytes
         );
     }
-
 
     #[test]
     fn multiway_join_intersects_three_relations() {

@@ -29,7 +29,11 @@ impl Relation {
     /// An empty relation; shipped tuples cost `tuple_bytes` each (the paper
     /// never fixes row width, so it is a parameter).
     pub fn new(name: impl Into<String>, tuple_bytes: usize) -> Self {
-        Relation { name: name.into(), tuples: Vec::new(), tuple_bytes }
+        Relation {
+            name: name.into(),
+            tuples: Vec::new(),
+            tuple_bytes,
+        }
     }
 
     /// Builds from raw join-key values (payload = row index).
@@ -37,9 +41,16 @@ impl Relation {
         let tuples = keys
             .iter()
             .enumerate()
-            .map(|(i, &key)| Tuple { key, payload: i as u64 })
+            .map(|(i, &key)| Tuple {
+                key,
+                payload: i as u64,
+            })
             .collect();
-        Relation { name: name.into(), tuples, tuple_bytes }
+        Relation {
+            name: name.into(),
+            tuples,
+            tuple_bytes,
+        }
     }
 
     /// Synthesizes a relation with `rows` tuples whose keys are drawn
@@ -107,7 +118,10 @@ mod tests {
         let b = Relation::synthetic_uniform("b", 1000, 100, 8, 1);
         assert_eq!(a.tuples, b.tuples);
         assert!(a.distinct_keys() <= 100);
-        assert!(a.distinct_keys() > 90, "1000 draws should hit most of 100 keys");
+        assert!(
+            a.distinct_keys() > 90,
+            "1000 draws should hit most of 100 keys"
+        );
     }
 
     #[test]

@@ -8,21 +8,20 @@
 //! paper's precondition for union/multiply is that both sites already
 //! agreed on `(m, k, seed)`.
 
-use bytes::{BufMut, Bytes, BytesMut};
 use sbf_encoding::{Codec, EliasDelta};
 
 /// Encodes a counter vector into a framed byte message.
-pub fn encode_counters(counters: impl ExactSizeIterator<Item = u64>) -> Bytes {
+pub fn encode_counters(counters: impl ExactSizeIterator<Item = u64>) -> Vec<u8> {
     let m = counters.len() as u64;
     let values: Vec<u64> = counters.collect();
     let bits = EliasDelta.encode_all(&values);
-    let mut buf = BytesMut::with_capacity(16 + bits.words().len() * 8);
-    buf.put_u64_le(m);
-    buf.put_u64_le(bits.len() as u64);
+    let mut buf = Vec::with_capacity(16 + bits.words().len() * 8);
+    buf.extend_from_slice(&m.to_le_bytes());
+    buf.extend_from_slice(&(bits.len() as u64).to_le_bytes());
     for &w in bits.words() {
-        buf.put_u64_le(w);
+        buf.extend_from_slice(&w.to_le_bytes());
     }
-    buf.freeze()
+    buf
 }
 
 /// Decoding failure.
@@ -75,7 +74,11 @@ fn sbf_bitvec_from_words(bytes: &[u8], bit_len: usize) -> sbf_bitvec::BitVec {
             break;
         }
         let width = 64.min(bit_len - lo);
-        let masked = if width == 64 { word } else { word & ((1u64 << width) - 1) };
+        let masked = if width == 64 {
+            word
+        } else {
+            word & ((1u64 << width) - 1)
+        };
         v.write_bits(lo, width, masked);
     }
     v
@@ -86,7 +89,6 @@ pub fn encoded_size(counters: impl Iterator<Item = u64>) -> usize {
     let bits: usize = counters.map(|c| EliasDelta.encoded_len(c)).sum();
     16 + bits.div_ceil(64) * 8
 }
-
 
 /// Algorithm tag carried in a [`FilterEnvelope`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,16 +145,16 @@ pub struct FilterEnvelope {
 
 impl FilterEnvelope {
     /// Serializes: magic, version, kind, k, seed, then the counter frame.
-    pub fn encode(&self) -> Bytes {
+    pub fn encode(&self) -> Vec<u8> {
         let payload = encode_counters(self.counters.iter().copied());
-        let mut buf = BytesMut::with_capacity(24 + payload.len());
-        buf.put_u32_le(0x5BF0_CAFE); // magic
-        buf.put_u8(1); // version
-        buf.put_u8(self.kind.to_byte());
-        buf.put_u32_le(self.k);
-        buf.put_u64_le(self.seed);
+        let mut buf = Vec::with_capacity(24 + payload.len());
+        buf.extend_from_slice(&0x5BF0_CAFEu32.to_le_bytes()); // magic
+        buf.push(1); // version
+        buf.push(self.kind.to_byte());
+        buf.extend_from_slice(&self.k.to_le_bytes());
+        buf.extend_from_slice(&self.seed.to_le_bytes());
         buf.extend_from_slice(&payload);
-        buf.freeze()
+        buf
     }
 
     /// Deserializes, validating magic/version/kind and the counter frame.
@@ -172,7 +174,12 @@ impl FilterEnvelope {
         let k = u32::from_le_bytes(frame[6..10].try_into().expect("sized"));
         let seed = u64::from_le_bytes(frame[10..18].try_into().expect("sized"));
         let counters = decode_counters(&frame[18..])?;
-        Ok(FilterEnvelope { kind, k, seed, counters })
+        Ok(FilterEnvelope {
+            kind,
+            k,
+            seed,
+            counters,
+        })
     }
 }
 
@@ -192,7 +199,9 @@ mod tests {
     #[test]
     fn sparse_filters_are_tiny_on_the_wire() {
         // 10k counters, 100 of them 3, rest 0: Elias-δ spends 1 bit per zero.
-        let counters: Vec<u64> = (0..10_000).map(|i| if i % 100 == 0 { 3 } else { 0 }).collect();
+        let counters: Vec<u64> = (0..10_000)
+            .map(|i| if i % 100 == 0 { 3 } else { 0 })
+            .collect();
         let frame = encode_counters(counters.iter().copied());
         assert!(frame.len() < 10_000 / 4, "frame {} bytes", frame.len());
         assert_eq!(frame.len(), encoded_size(counters.iter().copied()));
@@ -204,9 +213,11 @@ mod tests {
         let counters: Vec<u64> = (0..100).collect();
         let frame = encode_counters(counters.iter().copied());
         assert_eq!(decode_counters(&frame[..8]), Err(WireError::Truncated));
-        assert_eq!(decode_counters(&frame[..frame.len() - 8]), Err(WireError::Truncated));
+        assert_eq!(
+            decode_counters(&frame[..frame.len() - 8]),
+            Err(WireError::Truncated)
+        );
     }
-
 
     #[test]
     fn envelope_roundtrip() {
@@ -259,7 +270,12 @@ mod tests {
 
     #[test]
     fn empty_vector() {
-        let frame = encode_counters(std::iter::empty::<u64>().collect::<Vec<_>>().iter().copied());
+        let frame = encode_counters(
+            std::iter::empty::<u64>()
+                .collect::<Vec<_>>()
+                .iter()
+                .copied(),
+        );
         assert_eq!(decode_counters(&frame).unwrap(), Vec::<u64>::new());
     }
 }

@@ -48,9 +48,15 @@ pub(crate) mod test_support {
     pub fn roundtrip<C: Codec>(codec: &C, values: &[u64]) {
         let bits = codec.encode_all(values);
         let expected_len: usize = values.iter().map(|&v| codec.encoded_len(v)).sum();
-        assert_eq!(bits.len(), expected_len, "encoded_len must match actual encoding");
+        assert_eq!(
+            bits.len(),
+            expected_len,
+            "encoded_len must match actual encoding"
+        );
         let mut r = BitReader::new(&bits);
-        let decoded = codec.decode_all(&mut r, values.len()).expect("decode failed");
+        let decoded = codec
+            .decode_all(&mut r, values.len())
+            .expect("decode failed");
         assert_eq!(decoded, values);
         assert_eq!(r.remaining(), 0, "decoder must consume exactly the stream");
     }

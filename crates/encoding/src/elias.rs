@@ -5,8 +5,8 @@
 //! code `v + 1`, so 0 is representable and the advertised lengths match the
 //! paper's `L₂(n)` formula shifted by one.
 
-use crate::codec::Codec;
 use crate::bit_len;
+use crate::codec::Codec;
 use sbf_bitvec::{BitReader, BitWriter};
 
 /// Writes the binary digits of `v` MSB-first, `width` of them.
@@ -170,7 +170,17 @@ mod tests {
     #[test]
     fn delta_roundtrip_small_and_boundary() {
         let vals: Vec<u64> = (0..200)
-            .chain([254, 255, 256, 1023, 1024, (1 << 32) - 1, 1 << 32, (1 << 62), u64::MAX - 1])
+            .chain([
+                254,
+                255,
+                256,
+                1023,
+                1024,
+                (1 << 32) - 1,
+                1 << 32,
+                (1 << 62),
+                u64::MAX - 1,
+            ])
             .collect();
         roundtrip(&EliasDelta, &vals);
     }

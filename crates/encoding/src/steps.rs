@@ -31,15 +31,24 @@ impl StepsCode {
     /// Creates a steps code. Each width must be `≤ 32`; the total coverage
     /// of the steps must fit in `u64`.
     pub fn new(widths: &[usize]) -> Self {
-        assert!(widths.iter().all(|&w| w <= 32), "step width > 32 is surely a bug");
+        assert!(
+            widths.iter().all(|&w| w <= 32),
+            "step width > 32 is surely a bug"
+        );
         let mut offsets = Vec::with_capacity(widths.len() + 1);
         let mut acc = 0u64;
         offsets.push(acc);
         for &w in widths {
-            acc = acc.checked_add(1u64 << w).expect("steps cover more than u64");
+            acc = acc
+                .checked_add(1u64 << w)
+                .expect("steps cover more than u64");
             offsets.push(acc);
         }
-        StepsCode { widths: widths.to_vec(), offsets, escape: EliasDelta }
+        StepsCode {
+            widths: widths.to_vec(),
+            offsets,
+            escape: EliasDelta,
+        }
     }
 
     /// The paper's example configuration: `0 ↦ "0"`, `1 ↦ "10"`, escape
@@ -71,7 +80,8 @@ impl Codec for StepsCode {
             }
         }
         w.write_run(true, self.widths.len());
-        self.escape.encode(value - self.offsets[self.widths.len()], w);
+        self.escape
+            .encode(value - self.offsets[self.widths.len()], w);
     }
 
     fn decode(&self, r: &mut BitReader<'_>) -> Option<u64> {
@@ -95,12 +105,17 @@ impl Codec for StepsCode {
                 return i + 1 + width;
             }
         }
-        self.widths.len() + self.escape.encoded_len(value - self.offsets[self.widths.len()])
+        self.widths.len()
+            + self
+                .escape
+                .encoded_len(value - self.offsets[self.widths.len()])
     }
 
     fn max_value(&self) -> u64 {
         // Escape covers EliasDelta's domain shifted by the step coverage.
-        self.escape.max_value().saturating_add(self.offsets[self.widths.len()])
+        self.escape
+            .max_value()
+            .saturating_add(self.offsets[self.widths.len()])
     }
 }
 

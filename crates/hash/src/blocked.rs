@@ -35,7 +35,11 @@ impl<F: HashFamily> BlockedFamily<F> {
             inner.m().checked_mul(num_blocks).is_some(),
             "num_blocks * block_size overflows usize"
         );
-        BlockedFamily { inner, num_blocks, block_seed: seed ^ 0x626c_6f63_6b65_6421 }
+        BlockedFamily {
+            inner,
+            num_blocks,
+            block_seed: seed ^ 0x626c_6f63_6b65_6421,
+        }
     }
 
     /// Number of blocks.
@@ -118,7 +122,10 @@ mod tests {
         for key in 0u64..500 {
             seen[f.block_of(&key)] = true;
         }
-        assert!(seen.iter().all(|&s| s), "500 keys should touch all 16 blocks");
+        assert!(
+            seen.iter().all(|&s| s),
+            "500 keys should touch all 16 blocks"
+        );
     }
 
     #[test]

@@ -39,7 +39,10 @@ pub trait HashFamily: Clone {
 fn validate_params(m: usize, k: usize) {
     assert!(m > 0, "hash family needs m > 0");
     assert!(k > 0, "hash family needs k > 0");
-    assert!(k <= MAX_K, "hash family supports at most {MAX_K} functions, got {k}");
+    assert!(
+        k <= MAX_K,
+        "hash family supports at most {MAX_K} functions, got {k}"
+    );
 }
 
 /// The paper's "modulo/multiply" family: `H(v) = ⌊m · (α v mod 1)⌋`.
@@ -161,7 +164,12 @@ impl DoubleHashFamily {
     pub fn new(m: usize, k: usize, seed: u64) -> Self {
         validate_params(m, k);
         let mut rng = SplitMix64::new(seed ^ 0x646f_7562_6c65_6873); // "doublehs"
-        DoubleHashFamily { m, k, seed1: rng.next_u64(), seed2: rng.next_u64() }
+        DoubleHashFamily {
+            m,
+            k,
+            seed1: rng.next_u64(),
+            seed2: rng.next_u64(),
+        }
     }
 }
 
@@ -214,7 +222,12 @@ mod tests {
         for m in [1usize, 2, 3, 17, 1000, 1 << 20] {
             let (f1, f2, f3) = families(m, 5);
             for key in 0u64..500 {
-                for idx in f1.indexes(&key).iter().chain(f2.indexes(&key).iter()).chain(f3.indexes(&key).iter()) {
+                for idx in f1
+                    .indexes(&key)
+                    .iter()
+                    .chain(f2.indexes(&key).iter())
+                    .chain(f3.indexes(&key).iter())
+                {
                     assert!(*idx < m, "index {idx} out of range for m={m}");
                 }
             }
@@ -234,7 +247,9 @@ mod tests {
     fn different_seeds_differ() {
         let a = MixFamily::new(1 << 16, 5, 1);
         let b = MixFamily::new(1 << 16, 5, 2);
-        let diff = (0..100u64).filter(|v| a.indexes(v).as_slice() != b.indexes(v).as_slice()).count();
+        let diff = (0..100u64)
+            .filter(|v| a.indexes(v).as_slice() != b.indexes(v).as_slice())
+            .count();
         assert!(diff > 90);
     }
 
@@ -299,7 +314,10 @@ mod tests {
         let a = f.indexes(&"hello");
         let b = f.indexes(&String::from("hello"));
         assert_eq!(a.as_slice(), b.as_slice());
-        assert_ne!(f.indexes(&"hello").as_slice(), f.indexes(&"world").as_slice());
+        assert_ne!(
+            f.indexes(&"hello").as_slice(),
+            f.indexes(&"world").as_slice()
+        );
     }
 
     #[test]

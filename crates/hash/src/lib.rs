@@ -61,7 +61,10 @@ impl IndexBuf {
     /// An empty buffer.
     #[inline]
     pub const fn new() -> Self {
-        IndexBuf { buf: [0; MAX_K], len: 0 }
+        IndexBuf {
+            buf: [0; MAX_K],
+            len: 0,
+        }
     }
 
     /// Pushes an index. Panics if the buffer is full (`k > MAX_K`).

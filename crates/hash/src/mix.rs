@@ -142,6 +142,9 @@ mod tests {
         for _ in 0..1000 {
             seen[rng.next_below(8) as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all residues of a small bound should appear");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all residues of a small bound should appear"
+        );
     }
 }

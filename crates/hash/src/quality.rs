@@ -47,7 +47,11 @@ where
             d * d / expect.max(f64::MIN_POSITIVE)
         })
         .sum();
-    UniformityReport { chi_square: chi, degrees: m - 1, ratio: chi / (m - 1) as f64 }
+    UniformityReport {
+        chi_square: chi,
+        degrees: m - 1,
+        ratio: chi / (m - 1) as f64,
+    }
 }
 
 /// Fraction of key pairs (within a sample) that collide on function 0 —
@@ -103,7 +107,6 @@ mod tests {
         0u64..100_000
     }
 
-
     #[test]
     fn mixing_family_is_uniform() {
         let f = MixFamily::new(BUCKETS, 1, 5);
@@ -133,7 +136,10 @@ mod tests {
         for stride in [1u64, 17, 4096] {
             let c_mult = stride_correlation(&mult, stride, 20_000);
             let c_mix = stride_correlation(&mix, stride, 20_000);
-            assert!(c_mult > 0.9, "stride {stride}: multiplicative correlation {c_mult}");
+            assert!(
+                c_mult > 0.9,
+                "stride {stride}: multiplicative correlation {c_mult}"
+            );
             assert!(c_mix < 0.1, "stride {stride}: mixing correlation {c_mix}");
         }
     }

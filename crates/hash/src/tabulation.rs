@@ -107,7 +107,10 @@ mod tests {
                 idx[0] == idx[1]
             })
             .count();
-        assert!(collisions <= 2, "{collisions} same-index pairs in 2000 keys");
+        assert!(
+            collisions <= 2,
+            "{collisions} same-index pairs in 2000 keys"
+        );
     }
 
     #[test]
@@ -134,6 +137,9 @@ mod tests {
                 moved += 1;
             }
         }
-        assert!(moved >= 7, "flipping any byte should move the hash: {moved}/8");
+        assert!(
+            moved >= 7,
+            "flipping any byte should move the hash: {moved}/8"
+        );
     }
 }

@@ -73,7 +73,13 @@ impl<C: Codec> CompactCounterArray<C> {
             }
         }
 
-        CompactCounterArray { codec, payload, c1, c2, params }
+        CompactCounterArray {
+            codec,
+            payload,
+            c1,
+            c2,
+            params,
+        }
     }
 
     /// Number of counters.

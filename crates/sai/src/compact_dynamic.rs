@@ -34,7 +34,10 @@ impl Default for CompactConfig {
         // Larger groups than the width-based array: the per-group words are
         // this structure's only fixed cost, so amortizing them over 32
         // items keeps total overhead near one bit per idle counter.
-        CompactConfig { group_size: 32, slack_bits_per_group: 32 }
+        CompactConfig {
+            group_size: 32,
+            slack_bits_per_group: 32,
+        }
     }
 }
 
@@ -157,7 +160,11 @@ impl<C: Codec> DynamicCompactArray<C> {
         let mut reader =
             BitReader::with_range(&self.base, self.starts[g], self.starts[g] + self.used[g]);
         (lo..hi)
-            .map(|_| self.codec.decode(&mut reader).expect("group payload intact"))
+            .map(|_| {
+                self.codec
+                    .decode(&mut reader)
+                    .expect("group payload intact")
+            })
             .collect()
     }
 
@@ -169,14 +176,20 @@ impl<C: Codec> DynamicCompactArray<C> {
         let mut reader =
             BitReader::with_range(&self.base, self.starts[g], self.starts[g] + self.used[g]);
         for _ in lo..i {
-            self.codec.decode(&mut reader).expect("group payload intact");
+            self.codec
+                .decode(&mut reader)
+                .expect("group payload intact");
         }
-        self.codec.decode(&mut reader).expect("group payload intact")
+        self.codec
+            .decode(&mut reader)
+            .expect("group payload intact")
     }
 
     /// All values.
     pub fn to_vec(&self) -> Vec<u64> {
-        (0..self.n_groups()).flat_map(|g| self.decode_group(g)).collect()
+        (0..self.n_groups())
+            .flat_map(|g| self.decode_group(g))
+            .collect()
     }
 
     /// Writes counter `i` to `v`, re-encoding its group.
@@ -230,7 +243,11 @@ impl<C: Codec> DynamicCompactArray<C> {
     pub fn decrement(&mut self, i: usize, by: u64) -> Result<(), Underflow> {
         let v = self.get(i);
         if by > v {
-            return Err(Underflow { index: i, value: v, by });
+            return Err(Underflow {
+                index: i,
+                value: v,
+                by,
+            });
         }
         self.set(i, v - by);
         Ok(())
@@ -293,7 +310,10 @@ mod tests {
         let mut arr = DynamicCompactArray::with_config(
             EliasDelta,
             64,
-            CompactConfig { group_size: 8, slack_bits_per_group: 4 },
+            CompactConfig {
+                group_size: 8,
+                slack_bits_per_group: 4,
+            },
         );
         for step in 0..30u64 {
             arr.increment(9, 1 << step.min(40));
@@ -301,7 +321,10 @@ mod tests {
         let expected: u64 = (0..30u64).map(|s| 1u64 << s.min(40)).sum();
         assert_eq!(arr.get(9), expected);
         let st = arr.stats();
-        assert!(st.rebuilds > 0 || st.region_shifts > 0, "growth must exercise maintenance: {st:?}");
+        assert!(
+            st.rebuilds > 0 || st.region_shifts > 0,
+            "growth must exercise maintenance: {st:?}"
+        );
     }
 
     #[test]
@@ -322,7 +345,10 @@ mod tests {
         let mut compact = DynamicCompactArray::with_config(
             EliasDelta,
             20_000,
-            CompactConfig { group_size: 64, slack_bits_per_group: 32 },
+            CompactConfig {
+                group_size: 64,
+                slack_bits_per_group: 32,
+            },
         );
         let mut widthful = crate::DynamicCounterArray::new(20_000);
         for i in (0..20_000).step_by(50) {

@@ -43,7 +43,11 @@ pub struct DynamicConfig {
 
 impl Default for DynamicConfig {
     fn default() -> Self {
-        DynamicConfig { group_size: 32, slack_bits_per_group: 16, waste_rebuild_fraction: 0.25 }
+        DynamicConfig {
+            group_size: 32,
+            slack_bits_per_group: 16,
+            waste_rebuild_fraction: 0.25,
+        }
     }
 }
 
@@ -60,7 +64,11 @@ pub struct Underflow {
 
 impl std::fmt::Display for Underflow {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "counter {} holds {} — cannot subtract {}", self.index, self.value, self.by)
+        write!(
+            f,
+            "counter {} holds {} — cannot subtract {}",
+            self.index, self.value, self.by
+        )
     }
 }
 
@@ -225,7 +233,8 @@ impl DynamicCounterArray {
     pub fn get(&self, i: usize) -> u64 {
         assert!(i < self.m, "counter {i} out of range {}", self.m);
         let g = i / self.cfg.group_size;
-        self.base.read_bits(self.starts[g] + self.rel_of(i), self.widths[i] as usize)
+        self.base
+            .read_bits(self.starts[g] + self.rel_of(i), self.widths[i] as usize)
     }
 
     /// All current values (used by rebuilds, reports and tests).
@@ -249,7 +258,8 @@ impl DynamicCounterArray {
                 // In-place write inside the existing field; positions never
                 // move on shrink (§4.4: "delete operations ... do not affect
                 // their positions").
-                self.base.write_bits(self.starts[g] + self.rel_of(i), cur_w, v);
+                self.base
+                    .write_bits(self.starts[g] + self.rel_of(i), cur_w, v);
                 let grew = (cur_w - new_w) > cur_waste;
                 self.waste = self.waste - cur_waste + (cur_w - new_w);
                 if grew {
@@ -295,7 +305,11 @@ impl DynamicCounterArray {
     pub fn decrement(&mut self, i: usize, by: u64) -> Result<(), Underflow> {
         let v = self.get(i);
         if by > v {
-            return Err(Underflow { index: i, value: v, by });
+            return Err(Underflow {
+                index: i,
+                value: v,
+                by,
+            });
         }
         self.set(i, v - by);
         Ok(())
@@ -376,11 +390,13 @@ mod tests {
             TestRng(seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1))
         }
         pub(crate) fn below(&mut self, bound: usize) -> usize {
-            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((self.0 >> 33) as usize) % bound
         }
     }
-
 
     #[test]
     fn starts_at_zero() {
@@ -405,7 +421,11 @@ mod tests {
     fn increments_grow_fields_across_slack() {
         let mut arr = DynamicCounterArray::with_config(
             64,
-            DynamicConfig { group_size: 8, slack_bits_per_group: 2, waste_rebuild_fraction: 0.25 },
+            DynamicConfig {
+                group_size: 8,
+                slack_bits_per_group: 2,
+                waste_rebuild_fraction: 0.25,
+            },
         );
         // Hammer one counter so its field must expand repeatedly, spilling
         // over its group's 2 slack bits into neighbors and rebuilds.
@@ -423,7 +443,11 @@ mod tests {
 
     #[test]
     fn cross_group_push_moves_regions() {
-        let cfg = DynamicConfig { group_size: 4, slack_bits_per_group: 1, waste_rebuild_fraction: 0.25 };
+        let cfg = DynamicConfig {
+            group_size: 4,
+            slack_bits_per_group: 1,
+            waste_rebuild_fraction: 0.25,
+        };
         let mut arr = DynamicCounterArray::with_config(32, cfg);
         // Fill group 0 beyond its slack while later groups stay slim.
         arr.set(0, u64::MAX >> 1);
@@ -431,7 +455,10 @@ mod tests {
         assert_eq!(arr.get(0), u64::MAX >> 1);
         assert_eq!(arr.get(1), u64::MAX >> 1);
         let s = arr.stats();
-        assert!(s.region_shifts > 0 || s.rebuilds > 0, "expected slack borrowing: {s:?}");
+        assert!(
+            s.region_shifts > 0 || s.rebuilds > 0,
+            "expected slack borrowing: {s:?}"
+        );
         for i in 2..32 {
             assert_eq!(arr.get(i), 0);
         }
@@ -444,13 +471,24 @@ mod tests {
         assert!(arr.decrement(3, 60).is_ok());
         assert_eq!(arr.get(3), 40);
         let err = arr.decrement(3, 41).unwrap_err();
-        assert_eq!(err, Underflow { index: 3, value: 40, by: 41 });
+        assert_eq!(
+            err,
+            Underflow {
+                index: 3,
+                value: 40,
+                by: 41
+            }
+        );
         assert_eq!(arr.get(3), 40, "failed decrement must not change the value");
     }
 
     #[test]
     fn deletion_churn_triggers_compaction() {
-        let cfg = DynamicConfig { group_size: 16, slack_bits_per_group: 8, waste_rebuild_fraction: 0.1 };
+        let cfg = DynamicConfig {
+            group_size: 16,
+            slack_bits_per_group: 8,
+            waste_rebuild_fraction: 0.1,
+        };
         let mut arr = DynamicCounterArray::with_config(256, cfg);
         for i in 0..256 {
             arr.set(i, 1 << 20);
@@ -463,7 +501,11 @@ mod tests {
             assert_eq!(arr.get(i), 1);
         }
         // After compaction the base array is back near minimal size.
-        assert!(arr.base_bits() < 256 * 4, "base still bloated: {} bits", arr.base_bits());
+        assert!(
+            arr.base_bits() < 256 * 4,
+            "base still bloated: {} bits",
+            arr.base_bits()
+        );
     }
 
     #[test]
@@ -486,7 +528,9 @@ mod tests {
         let mut model = vec![0u64; 64];
         let mut x = 123_456_789u64;
         for step in 0..5000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let i = (x >> 33) as usize % 64;
             if step % 3 == 2 && model[i] > 0 {
                 let by = 1 + (x % model[i]);
@@ -501,7 +545,6 @@ mod tests {
         assert_eq!(arr.to_vec(), model);
     }
 
-
     #[test]
     fn lemma8_push_distance_is_small_on_random_inserts() {
         // Lemma 8: with random item placement, the expected distance from
@@ -509,7 +552,11 @@ mod tests {
         // the average cross-group slide should span very few groups.
         let mut arr = DynamicCounterArray::with_config(
             10_000,
-            DynamicConfig { group_size: 32, slack_bits_per_group: 16, waste_rebuild_fraction: 0.25 },
+            DynamicConfig {
+                group_size: 32,
+                slack_bits_per_group: 16,
+                waste_rebuild_fraction: 0.25,
+            },
         );
         let mut rng = crate::dynamic::tests::TestRng::new(7);
         for _ in 0..100_000 {
@@ -521,7 +568,11 @@ mod tests {
             assert!(avg < 8.0, "average push distance {avg} groups");
         }
         // Amortization sanity: rebuilds stay rare relative to operations.
-        assert!(st.rebuilds < 50, "{} rebuilds for 100k increments", st.rebuilds);
+        assert!(
+            st.rebuilds < 50,
+            "{} rebuilds for 100k increments",
+            st.rebuilds
+        );
     }
 
     proptest! {

@@ -144,7 +144,8 @@ impl DynamicStringArray {
         let mut done = 0;
         while done < bits.len() {
             let chunk = (bits.len() - done).min(64);
-            self.base.write_bits(pos + done, chunk, bits.read_bits(done, chunk));
+            self.base
+                .write_bits(pos + done, chunk, bits.read_bits(done, chunk));
             done += chunk;
         }
     }
@@ -228,7 +229,11 @@ mod tests {
     fn set_get_various_lengths() {
         let mut arr = DynamicStringArray::new(50, 8, 16);
         let payloads: Vec<BitVec> = (0..50)
-            .map(|i| bv(&(0..(i * 3) % 70).map(|j| (i + j) % 3 == 0).collect::<Vec<_>>()))
+            .map(|i| {
+                bv(&(0..(i * 3) % 70)
+                    .map(|j| (i + j) % 3 == 0)
+                    .collect::<Vec<_>>())
+            })
             .collect();
         for (i, p) in payloads.iter().enumerate() {
             arr.set(i, p);
@@ -242,7 +247,7 @@ mod tests {
     #[test]
     fn replace_with_longer_and_shorter() {
         let mut arr = DynamicStringArray::new(10, 4, 8);
-        let long = bv(&vec![true; 200]);
+        let long = bv(&[true; 200]);
         let short = bv(&[true, false, true]);
         arr.set(3, &long);
         assert_eq!(arr.get(3), long);
@@ -259,7 +264,7 @@ mod tests {
     fn growth_beyond_slack_rebuilds() {
         let mut arr = DynamicStringArray::new(64, 8, 2);
         for i in 0..64 {
-            arr.set(i, &bv(&vec![i % 2 == 0; 100]));
+            arr.set(i, &bv(&[i % 2 == 0; 100]));
         }
         assert!(arr.rebuilds() > 0, "tiny slack must force rebuilds");
         for i in 0..64 {

@@ -39,7 +39,11 @@ impl SelectCounterArray {
             pos += w;
         }
         marks.set(pos + m, true); // sentinel marker at N + m
-        SelectCounterArray { base, markers: RankSelect::new(marks), m }
+        SelectCounterArray {
+            base,
+            markers: RankSelect::new(marks),
+            m,
+        }
     }
 
     /// Number of counters.

@@ -113,7 +113,11 @@ impl<'a> Reader<'a> {
             let word = self.u64()?;
             let lo = w * 64;
             let width = 64.min(len - lo);
-            let masked = if width == 64 { word } else { word & ((1u64 << width) - 1) };
+            let masked = if width == 64 {
+                word
+            } else {
+                word & ((1u64 << width) - 1)
+            };
             bits.write_bits(lo, width, masked);
         }
         Ok(bits)
@@ -123,7 +127,11 @@ impl<'a> Reader<'a> {
         let width = self.usize_checked(64)?;
         let len = self.usize_checked(1 << 36)?;
         let mut v = PackedVec::with_capacity(width, len);
-        let cap = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let cap = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         for _ in 0..len {
             let x = self.u64()?;
             if x > cap {

@@ -89,7 +89,14 @@ mod tests {
 
     #[test]
     fn add_is_componentwise() {
-        let a = SizeBreakdown { base_bits: 1, c1_bits: 2, l2_bits: 3, l3_bits: 4, table_bits: 5, flags_bits: 6 };
+        let a = SizeBreakdown {
+            base_bits: 1,
+            c1_bits: 2,
+            l2_bits: 3,
+            l3_bits: 4,
+            table_bits: 5,
+            flags_bits: 6,
+        };
         let b = a;
         let c = a + b;
         assert_eq!(c.total_bits(), 2 * a.total_bits());

@@ -41,7 +41,6 @@ impl StaticCounterArray {
         StaticCounterArray { base, index }
     }
 
-
     /// Serializes base array + index into one continuous buffer (§4.7.1).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Writer::new();
@@ -103,15 +102,17 @@ mod tests {
 
     #[test]
     fn roundtrips_varied_counters() {
-        let counters: Vec<u64> = (0..3000).map(|i| match i % 7 {
-            0 => 0,
-            1 => 1,
-            2 => 2,
-            3 => 100,
-            4 => 65_535,
-            5 => 1 << 40,
-            _ => 3,
-        }).collect();
+        let counters: Vec<u64> = (0..3000)
+            .map(|i| match i % 7 {
+                0 => 0,
+                1 => 1,
+                2 => 2,
+                3 => 100,
+                4 => 65_535,
+                5 => 1 << 40,
+                _ => 3,
+            })
+            .collect();
         let arr = StaticCounterArray::from_counters(&counters);
         assert_eq!(arr.len(), counters.len());
         for (i, &c) in counters.iter().enumerate() {
@@ -134,10 +135,12 @@ mod tests {
         // N = Σ ⌈log C⌉ with the 1-bit floor.
         let counters = [0u64, 1, 2, 3, 4, 255, 256];
         let arr = StaticCounterArray::from_counters(&counters);
-        let n: usize = counters.iter().map(|&c| sbf_encoding::counter_width(c)).sum();
+        let n: usize = counters
+            .iter()
+            .map(|&c| sbf_encoding::counter_width(c))
+            .sum();
         assert_eq!(arr.size_breakdown().base_bits, n);
     }
-
 
     #[test]
     fn reduced_variant_roundtrips_and_shrinks() {
@@ -153,7 +156,6 @@ mod tests {
         );
     }
 
-
     #[test]
     fn continuous_block_roundtrip() {
         // §4.7.1: one buffer out, identical structure in.
@@ -165,7 +167,10 @@ mod tests {
         for (i, &c) in counters.iter().enumerate() {
             assert_eq!(back.get(i), c, "counter {i}");
         }
-        assert_eq!(back.size_breakdown().base_bits, arr.size_breakdown().base_bits);
+        assert_eq!(
+            back.size_breakdown().base_bits,
+            arr.size_breakdown().base_bits
+        );
     }
 
     #[test]
@@ -173,7 +178,10 @@ mod tests {
         let arr = StaticCounterArray::from_counters(&[1, 2, 3, 400]);
         let buf = arr.to_bytes();
         for cut in [0, 1, 8, buf.len() / 2, buf.len() - 1] {
-            assert!(StaticCounterArray::from_bytes(&buf[..cut]).is_err(), "cut {cut}");
+            assert!(
+                StaticCounterArray::from_bytes(&buf[..cut]).is_err(),
+                "cut {cut}"
+            );
         }
         let mut bad = buf.clone();
         bad[0] ^= 0xFF;

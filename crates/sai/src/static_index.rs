@@ -87,9 +87,7 @@ impl IndexParams {
     pub fn compute_reduced(n_bits: usize, m: usize, c: u32) -> Self {
         let lg = bit_len(n_bits as u64).max(2);
         let llg = bit_len(lg as u64).max(1);
-        let pow = |base: usize, e: u32| -> usize {
-            base.saturating_pow(e).max(1)
-        };
+        let pow = |base: usize, e: u32| -> usize { base.saturating_pow(e).max(1) };
         let g1 = pow(lg, 1 + c).min(m.max(1));
         let g2 = pow(llg, 1 + c).min(g1);
         let factor = 3 + 6 * c as usize;
@@ -101,7 +99,9 @@ impl IndexParams {
             g1,
             g2,
             chunks_per_group: g1.div_ceil(g2),
-            big_group_bits: factor.saturating_mul(pow(lg, 1 + c)).saturating_mul(pow(llg, 1 + c)),
+            big_group_bits: factor
+                .saturating_mul(pow(lg, 1 + c))
+                .saturating_mul(pow(llg, 1 + c)),
             big_chunk_bits: factor.saturating_mul(pow(llg, 2 + 2 * c)),
         }
     }
@@ -191,7 +191,9 @@ impl StringArrayIndex {
         let mut acc = 0usize;
         off.push(0);
         for &l in lengths {
-            acc = acc.checked_add(l).expect("total bit length overflows usize");
+            acc = acc
+                .checked_add(l)
+                .expect("total bit length overflows usize");
             off.push(acc);
         }
         let n_bits = acc;
@@ -208,7 +210,9 @@ impl StringArrayIndex {
         let mut acc = 0usize;
         off.push(0);
         for &l in lengths {
-            acc = acc.checked_add(l).expect("total bit length overflows usize");
+            acc = acc
+                .checked_add(l)
+                .expect("total bit length overflows usize");
             off.push(acc);
         }
         let params = IndexParams::compute_reduced(acc, m, c);
@@ -335,7 +339,15 @@ impl StringArrayIndex {
         // data (the §4.7.2 engineering latitude; lookups are unaffected
         // because widths are stored once per component).
         let abs_w = bit_len(params.n_bits as u64).max(1);
-        let grp_w = bit_len(coarse2_vals.iter().chain(&l3_vals).copied().max().unwrap_or(0)).max(1);
+        let grp_w = bit_len(
+            coarse2_vals
+                .iter()
+                .chain(&l3_vals)
+                .copied()
+                .max()
+                .unwrap_or(0),
+        )
+        .max(1);
         let len_w = bit_len(l4_vals.iter().copied().max().unwrap_or(0)).max(1);
         let pat_w = bit_len(patterns.len().saturating_sub(1) as u64).max(1);
         let tbl_w = bit_len(
@@ -377,7 +389,6 @@ impl StringArrayIndex {
             },
         }
     }
-
 
     /// Flattens the whole index into one continuous buffer (§4.7.1), ready
     /// to ship between nodes.
@@ -459,7 +470,11 @@ impl StringArrayIndex {
             l3,
             l4,
             pattern_ids,
-            table: LookupTable { offsets, entries_per_pattern, n_patterns },
+            table: LookupTable {
+                offsets,
+                entries_per_pattern,
+                n_patterns,
+            },
         })
     }
 
@@ -490,7 +505,11 @@ impl StringArrayIndex {
 
     /// Absolute start position of item `i`; `start(m) = N`.
     pub fn start(&self, i: usize) -> usize {
-        assert!(i <= self.params.m, "item {i} out of range {}", self.params.m);
+        assert!(
+            i <= self.params.m,
+            "item {i} out of range {}",
+            self.params.m
+        );
         if i == self.params.m {
             return self.params.n_bits;
         }
@@ -580,13 +599,15 @@ mod tests {
 
     #[test]
     fn mixed_lengths_with_zeroes() {
-        let lengths: Vec<usize> = (0..500).map(|i| match i % 5 {
-            0 => 0,
-            1 => 1,
-            2 => 13,
-            3 => 64,
-            _ => 3,
-        }).collect();
+        let lengths: Vec<usize> = (0..500)
+            .map(|i| match i % 5 {
+                0 => 0,
+                1 => 1,
+                2 => 13,
+                3 => 64,
+                _ => 3,
+            })
+            .collect();
         check_against_prefix_sums(&lengths);
     }
 
@@ -600,7 +621,10 @@ mod tests {
         }
         check_against_prefix_sums(&lengths);
         let idx = StringArrayIndex::build(&lengths);
-        assert!(idx.group_flags_count() > 0, "expected at least one complete group");
+        assert!(
+            idx.group_flags_count() > 0,
+            "expected at least one complete group"
+        );
     }
 
     #[test]
@@ -640,7 +664,11 @@ mod tests {
         let lengths = vec![8usize; 100_000];
         let idx = StringArrayIndex::build(&lengths);
         let sz = idx.size_breakdown();
-        assert!(sz.index_bits() < 800_000, "index too large: {} bits", sz.index_bits());
+        assert!(
+            sz.index_bits() < 800_000,
+            "index too large: {} bits",
+            sz.index_bits()
+        );
         // And every component is accounted.
         assert_eq!(
             sz.index_bits(),
@@ -681,12 +709,29 @@ mod tests {
         // Theorem 9: the index shrinks as the reduction exponent grows.
         let lengths = vec![6usize; 200_000];
         let sizes: Vec<usize> = (0..=2u32)
-            .map(|c| StringArrayIndex::build_reduced(&lengths, c).size_breakdown().index_bits())
+            .map(|c| {
+                StringArrayIndex::build_reduced(&lengths, c)
+                    .size_breakdown()
+                    .index_bits()
+            })
             .collect();
-        assert!(sizes[1] < sizes[0], "c=1 ({}) !< c=0 ({})", sizes[1], sizes[0]);
-        assert!(sizes[2] < sizes[1], "c=2 ({}) !< c=1 ({})", sizes[2], sizes[1]);
+        assert!(
+            sizes[1] < sizes[0],
+            "c=1 ({}) !< c=0 ({})",
+            sizes[1],
+            sizes[0]
+        );
+        assert!(
+            sizes[2] < sizes[1],
+            "c=2 ({}) !< c=1 ({})",
+            sizes[2],
+            sizes[1]
+        );
         // And the reduction is substantial, not cosmetic.
-        assert!(sizes[2] * 2 < sizes[0], "c=2 should at least halve the index");
+        assert!(
+            sizes[2] * 2 < sizes[0],
+            "c=2 should at least halve the index"
+        );
     }
 
     #[test]

@@ -82,7 +82,10 @@ mod tests {
         let hist = frequencies(&col, FOREST_DISTINCT);
         let present = hist.iter().filter(|&&f| f > 0).count();
         // Nearly all 1,978 values should occur (tails may miss a few).
-        assert!(present > FOREST_DISTINCT * 9 / 10, "only {present} distinct");
+        assert!(
+            present > FOREST_DISTINCT * 9 / 10,
+            "only {present} distinct"
+        );
         // Peak frequency in the right ballpark (paper's 7a peaks ≈ 1,700).
         let peak = *hist.iter().max().expect("non-empty");
         assert!((800..3500).contains(&peak), "peak {peak}");
@@ -105,7 +108,10 @@ mod tests {
             .expect("non-empty");
         assert!(peak_idx > 50 && peak_idx < 450, "peak at edge: {peak_idx}");
         assert!(smooth[0] < peak * 0.2, "left tail too heavy");
-        assert!(smooth[smooth.len() - 1] < peak * 0.2, "right tail too heavy");
+        assert!(
+            smooth[smooth.len() - 1] < peak * 0.2,
+            "right tail too heavy"
+        );
     }
 
     #[test]

@@ -56,7 +56,10 @@ impl DeletionPhaseStream {
                 live[v] = 0;
             }
         }
-        DeletionPhaseStream { events, truth: live }
+        DeletionPhaseStream {
+            events,
+            truth: live,
+        }
     }
 }
 
@@ -90,7 +93,11 @@ impl SlidingWindowStream {
                 truth[leaver as usize] -= 1;
             }
         }
-        SlidingWindowStream { events, truth, window }
+        SlidingWindowStream {
+            events,
+            truth,
+            window,
+        }
     }
 }
 
@@ -100,7 +107,6 @@ impl SlidingWindowStream {
 pub fn palindrome_stream(half: u64) -> Vec<u64> {
     (0..half).chain((0..half).rev()).collect()
 }
-
 
 /// A concept-drift stream: Zipfian arrivals whose rank→key mapping rotates
 /// every `phase_len` items, so yesterday's heavy hitters fade and new ones
@@ -140,7 +146,11 @@ impl DriftStream {
         for &x in &stream[total - window..] {
             window_truth[x as usize] += 1;
         }
-        DriftStream { stream, window_truth, window }
+        DriftStream {
+            stream,
+            window_truth,
+            window,
+        }
     }
 }
 
@@ -201,7 +211,6 @@ mod tests {
         assert_eq!(replayed, s.truth);
     }
 
-
     #[test]
     fn drift_stream_rotates_heavy_hitters() {
         let d = DriftStream::generate(400, 40_000, 1.2, 10_000, 8_000, 3);
@@ -213,7 +222,9 @@ mod tests {
             first[x as usize] += 1;
         }
         let head_first = (0..400).max_by_key(|&i| first[i]).expect("non-empty");
-        let head_last = (0..400).max_by_key(|&i| d.window_truth[i]).expect("non-empty");
+        let head_last = (0..400)
+            .max_by_key(|&i| d.window_truth[i])
+            .expect("non-empty");
         assert_ne!(head_first, head_last, "drift must move the head");
         assert_eq!(d.window_truth.iter().sum::<u64>(), 8_000);
     }

@@ -43,7 +43,11 @@ impl ZipfDistribution {
     pub fn probability(&self, rank: usize) -> f64 {
         assert!(rank >= 1 && rank <= self.n(), "rank out of range");
         let total = *self.cumulative.last().expect("non-empty");
-        let lo = if rank == 1 { 0.0 } else { self.cumulative[rank - 2] };
+        let lo = if rank == 1 {
+            0.0
+        } else {
+            self.cumulative[rank - 2]
+        };
         (self.cumulative[rank - 1] - lo) / total
     }
 
@@ -99,7 +103,11 @@ impl ZipfWorkload {
             stream.push(key);
             truth[rank - 1] += 1;
         }
-        ZipfWorkload { stream, truth, skew }
+        ZipfWorkload {
+            stream,
+            truth,
+            skew,
+        }
     }
 
     /// Number of distinct keys in the key space.

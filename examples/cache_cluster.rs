@@ -46,7 +46,10 @@ fn main() {
     );
     cluster.exchange_summaries();
     let fresh = cluster.lookup(0, 3);
-    println!("after the publish cycle: {} probes (claim withdrawn)", fresh.probes);
+    println!(
+        "after the publish cycle: {} probes (claim withdrawn)",
+        fresh.probes
+    );
 
     // --- Attenuated filters: route toward the nearest copy ---------------
     // A chain of caches; the filter at the origin summarizes each hop.

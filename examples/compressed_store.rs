@@ -13,8 +13,7 @@ fn main() {
     let workload = ZipfWorkload::generate(10_000, 200_000, 1.0, 9);
 
     // The same SBF over two storage backends.
-    let mut plain: MsSbf<MixFamily, PlainCounters> =
-        MsSbf::from_family(MixFamily::new(m, 5, 1));
+    let mut plain: MsSbf<MixFamily, PlainCounters> = MsSbf::from_family(MixFamily::new(m, 5, 1));
     let mut packed: MsSbf<MixFamily, CompressedCounters> =
         MsSbf::from_family(MixFamily::new(m, 5, 1));
     for &x in &workload.stream {
@@ -27,17 +26,23 @@ fn main() {
         assert_eq!(plain.estimate(&key), packed.estimate(&key));
     }
     // ...very different footprints.
-    println!("plain  store: {:>9} bits ({} KiB)", plain.storage_bits(), plain.storage_bits() / 8192);
-    println!("packed store: {:>9} bits ({} KiB)", packed.storage_bits(), packed.storage_bits() / 8192);
+    println!(
+        "plain  store: {:>9} bits ({} KiB)",
+        plain.storage_bits(),
+        plain.storage_bits() / 8192
+    );
+    println!(
+        "packed store: {:>9} bits ({} KiB)",
+        packed.storage_bits(),
+        packed.storage_bits() / 8192
+    );
     println!(
         "compression: {:.1}x",
         plain.storage_bits() as f64 / packed.storage_bits() as f64
     );
 
     // The static representations, frozen from the final counters.
-    let counters: Vec<u64> = (0..m)
-        .map(|i| plain.core().store().get(i))
-        .collect();
+    let counters: Vec<u64> = (0..m).map(|i| plain.core().store().get(i)).collect();
     let static_arr = StaticCounterArray::from_counters(&counters);
     let sz = static_arr.size_breakdown();
     println!("\nstatic string-array index over the frozen counters:");
@@ -47,8 +52,11 @@ fn main() {
     println!("  L3 vectors : {:>9} bits", sz.l3_bits);
     println!("  lookup tbl : {:>9} bits", sz.table_bits);
     println!("  flags+rank : {:>9} bits", sz.flags_bits);
-    println!("  total      : {:>9} bits ({:.2}x the base array)",
-        sz.total_bits(), sz.total_bits() as f64 / sz.base_bits as f64);
+    println!(
+        "  total      : {:>9} bits ({:.2}x the base array)",
+        sz.total_bits(),
+        sz.total_bits() as f64 / sz.base_bits as f64
+    );
 
     // The §4.5 alternative: even smaller, O(log log N) scan-decoded access.
     let compact = CompactCounterArray::from_counters(&counters);

@@ -51,11 +51,21 @@ fn main() {
     let bj = bloomjoin(&customers, &orders, &plan);
     let sj = spectral_bloomjoin(&customers, &orders, &plan);
 
-    println!("\n{:>20} {:>12} {:>9} {:>7} {:>7}", "strategy", "bytes", "messages", "groups", "exact");
-    for (name, o) in [("ship-all", &ship), ("bloomjoin", &bj), ("spectral bloomjoin", &sj)] {
+    println!(
+        "\n{:>20} {:>12} {:>9} {:>7} {:>7}",
+        "strategy", "bytes", "messages", "groups", "exact"
+    );
+    for (name, o) in [
+        ("ship-all", &ship),
+        ("bloomjoin", &bj),
+        ("spectral bloomjoin", &sj),
+    ] {
         println!(
             "{name:>20} {:>12} {:>9} {:>7} {:>7}",
-            o.network.bytes, o.network.messages, o.groups.len(), o.exact
+            o.network.bytes,
+            o.network.messages,
+            o.groups.len(),
+            o.exact
         );
     }
 
@@ -68,7 +78,11 @@ fn main() {
             overcounted += 1;
         }
     }
-    let spurious = sj.groups.keys().filter(|k| !ship.groups.contains_key(k)).count();
+    let spurious = sj
+        .groups
+        .keys()
+        .filter(|k| !ship.groups.contains_key(k))
+        .count();
     println!(
         "\nspectral join: {} true groups all present, {overcounted} overcounted, {spurious} spurious",
         ship.groups.len()

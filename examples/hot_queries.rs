@@ -54,7 +54,5 @@ fn main() {
         f.sort_unstable_by(|a, b| b.cmp(a));
         f.into_iter().take(10).collect()
     };
-    println!(
-        "\ntrue top-10 frequencies: {top_truth:?} — the tracker's list matches the head"
-    );
+    println!("\ntrue top-10 frequencies: {top_truth:?} — the tracker's list matches the head");
 }

@@ -34,7 +34,10 @@ fn main() {
     for threshold in [1000u64, 300, 100, 25] {
         let watchlist = ad_hoc_iceberg(&sbf, 0..5_000u64, threshold);
         let truly = workload.truth.iter().filter(|&&f| f >= threshold).count();
-        let fp = watchlist.iter().filter(|&&c| workload.truth[c as usize] < threshold).count();
+        let fp = watchlist
+            .iter()
+            .filter(|&&c| workload.truth[c as usize] < threshold)
+            .count();
         println!(
             "T = {threshold:>5}: {:>4} flagged ({truly} truly above, {fp} false positives, 0 missed)",
             watchlist.len()
@@ -52,7 +55,10 @@ fn main() {
 
     // When T *is* known up front and memory is tight, the multiscan variant
     // uses a fraction of the space (several small lossy stages).
-    let config = MultiscanConfig { stages: vec![(1_024, 3), (512, 3)], seed: 43 };
+    let config = MultiscanConfig {
+        stages: vec![(1_024, 3), (512, 3)],
+        seed: 43,
+    };
     let survivors = multiscan_iceberg(&workload.stream, 300, &config);
     let truly = workload.truth.iter().filter(|&&f| f >= 300).count();
     println!(

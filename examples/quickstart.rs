@@ -3,16 +3,19 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use spectral_bloom::{
-    bloom_error_rate, MiSbf, MsSbf, MultisetSketch, RmSbf, SbfParams,
-};
+use spectral_bloom::{bloom_error_rate, MiSbf, MsSbf, MultisetSketch, RmSbf, SbfParams};
 
 fn main() {
     // --- Sizing -----------------------------------------------------------
     // Plan for ~10k distinct keys at a 1% error target.
-    let (m, k) = SbfParams::for_capacity(10_000).with_target_error(0.01).dimensions();
+    let (m, k) = SbfParams::for_capacity(10_000)
+        .with_target_error(0.01)
+        .dimensions();
     println!("sized SBF: m = {m} counters, k = {k} hash functions");
-    println!("predicted Bloom error: {:.4}", bloom_error_rate(10_000, m, k));
+    println!(
+        "predicted Bloom error: {:.4}",
+        bloom_error_rate(10_000, m, k)
+    );
 
     // --- The basic SBF (Minimum Selection) --------------------------------
     let mut sbf = MsSbf::new(m, k, 0xC0FFEE);
@@ -33,9 +36,13 @@ fn main() {
     }
 
     // Deletions and updates.
-    sbf.remove_by(&"cherry", 120).expect("cherry is present 120 times");
+    sbf.remove_by(&"cherry", 120)
+        .expect("cherry is present 120 times");
     sbf.insert_by(&"cherry", 7);
-    println!("\nafter updating cherry to 7: f(cherry) ≈ {}", sbf.estimate(&"cherry"));
+    println!(
+        "\nafter updating cherry to 7: f(cherry) ≈ {}",
+        sbf.estimate(&"cherry")
+    );
 
     // --- Algorithm variants ------------------------------------------------
     // Minimal Increase: best accuracy, insert-only.
@@ -51,6 +58,12 @@ fn main() {
     let rm_exact = (0u64..1000).filter(|key| rm.estimate(key) == 5).count();
     println!("\nexact estimates out of 1000 keys: MI {mi_exact}, RM {rm_exact}");
     assert!(rm.remove(&7u64).is_ok(), "RM supports deletion");
-    assert!(mi.remove(&7u64).is_err(), "MI refuses deletion (it would corrupt)");
-    println!("RM deleted one occurrence of key 7: f(7) ≈ {}", rm.estimate(&7u64));
+    assert!(
+        mi.remove(&7u64).is_err(),
+        "MI refuses deletion (it would corrupt)"
+    );
+    println!(
+        "RM deleted one occurrence of key 7: f(7) ≈ {}",
+        rm.estimate(&7u64)
+    );
 }

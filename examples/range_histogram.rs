@@ -28,12 +28,15 @@ fn main() {
         index.levels()
     );
 
-    println!("\n{:>22} {:>10} {:>10} {:>9}", "range", "true", "estimate", "lookups");
+    println!(
+        "\n{:>22} {:>10} {:>10} {:>9}",
+        "range", "true", "estimate", "lookups"
+    );
     for (lo, hi) in [
-        (0u64, distinct as u64),     // everything
-        (900, 1400),                 // the dense mid-elevations
-        (0, 300),                    // sparse low tail
-        (1700, 1900),                // sparse high tail
+        (0u64, distinct as u64), // everything
+        (900, 1400),             // the dense mid-elevations
+        (0, 300),                // sparse low tail
+        (1700, 1900),            // sparse high tail
     ] {
         let true_count: u64 = truth[lo as usize..hi as usize].iter().sum();
         let est = index.count_range(lo, hi);
@@ -49,6 +52,10 @@ fn main() {
     // Point queries hit the leaf directly — a per-value histogram.
     println!("\npoint queries (value → count):");
     for v in [1000u64, 1100, 1200, 50] {
-        println!("  {v:>5} → {} (true {})", index.count_value(v), truth[v as usize]);
+        println!(
+            "  {v:>5} → {} (true {})",
+            index.count_value(v),
+            truth[v as usize]
+        );
     }
 }

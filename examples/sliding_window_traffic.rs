@@ -4,16 +4,19 @@
 //! W packets?" — the data-warehouse sliding window the paper motivates.
 //! Old packets leave the window by explicit deletion, which is why this
 //! example uses the Recurring Minimum SBF (Minimal Increase would corrupt,
-//! as the paper's Figure 9 shows). Ingest runs on several threads through
-//! the `SharedSketch` wrapper, with a crossbeam channel as the packet bus.
+//! as the paper's Figure 9 shows). The window itself is serial — sliding a
+//! window is an ordered operation — but the sketch is a hash-sharded
+//! `SharedSketch`, so the separate long-term-volume tally can ingest the
+//! same packets from 4 producer threads concurrently. An `mpsc` channel is
+//! the packet bus.
 //!
 //! Run with: `cargo run --example sliding_window_traffic`
 
 use std::collections::VecDeque;
+use std::sync::mpsc;
 
-use crossbeam::channel;
 use sbf_workloads::ZipfWorkload;
-use spectral_bloom::{RmSbf, SharedSketch};
+use spectral_bloom::{MultisetSketch, RmSbf, SharedSketch};
 
 const WINDOW: usize = 20_000;
 
@@ -21,19 +24,30 @@ fn main() {
     // 100k packets over 2k flows, heavy-tailed like real traffic.
     let workload = ZipfWorkload::generate(2_000, 100_000, 1.2, 11);
 
-    // Producers push packets onto the bus from 4 threads.
-    let (tx, rx) = channel::bounded::<u64>(1024);
-    let chunks: Vec<Vec<u64>> = workload.stream.chunks(25_000).map(<[u64]>::to_vec).collect();
+    // Producers push packets onto the bus from 4 threads; each also feeds
+    // the sharded whole-stream tally directly (no lock contention across
+    // shards, batched so each shard lock is taken once per batch).
+    let (tx, rx) = mpsc::sync_channel::<u64>(1024);
+    let chunks: Vec<Vec<u64>> = workload
+        .stream
+        .chunks(25_000)
+        .map(<[u64]>::to_vec)
+        .collect();
 
-    let sketch = SharedSketch::new(RmSbf::new(16_000, 5, 3));
-    let window_keeper = sketch.clone();
+    let window_sketch = SharedSketch::new(RmSbf::new(16_000, 5, 3));
+    let window_keeper = window_sketch.clone();
+    let volume_sketch = SharedSketch::with_shards(4, |_| RmSbf::new(16_000, 5, 7));
 
     std::thread::scope(|scope| {
         for chunk in chunks {
             let tx = tx.clone();
+            let volume = volume_sketch.clone();
             scope.spawn(move || {
-                for packet in chunk {
-                    tx.send(packet).expect("bus open");
+                for batch in chunk.chunks(512) {
+                    volume.insert_batch(batch);
+                    for &packet in batch {
+                        tx.send(packet).expect("bus open");
+                    }
                 }
             });
         }
@@ -55,12 +69,20 @@ fn main() {
         });
     });
 
-    println!("window maintained: {} packets currently counted", sketch.total_count());
-    assert_eq!(sketch.total_count(), WINDOW as u64);
+    println!(
+        "window maintained: {} packets currently counted",
+        window_sketch.total_count()
+    );
+    assert_eq!(window_sketch.total_count(), WINDOW as u64);
+    assert_eq!(
+        volume_sketch.total_count(),
+        workload.stream.len() as u64,
+        "every packet lands in exactly one shard"
+    );
 
     // Which flows dominate the current window?
     let mut heavy: Vec<(u64, u64)> = (0..2_000u64)
-        .map(|flow| (flow, sketch.estimate(&flow)))
+        .map(|flow| (flow, window_sketch.estimate(&flow)))
         .filter(|&(_, est)| est >= 200)
         .collect();
     heavy.sort_by_key(|&(_, est)| std::cmp::Reverse(est));
@@ -68,7 +90,10 @@ fn main() {
     for (flow, est) in heavy.iter().take(10) {
         println!("  flow {flow:>4}: ~{est} packets");
     }
-    assert!(!heavy.is_empty(), "a skew-1.2 stream has heavy flows in any window");
+    assert!(
+        !heavy.is_empty(),
+        "a skew-1.2 stream has heavy flows in any window"
+    );
 
     // Because arrivals are i.i.d., window counts are ≈ truth·(W/M); verify
     // the top flow is in the right ballpark (one-sided, so ≥ is exact-ish).
@@ -78,4 +103,14 @@ fn main() {
     println!(
         "\ntop flow {top_flow}: ~{top_est} in window (i.i.d. expectation ≈ {expected_in_window:.0})"
     );
+
+    // The whole-stream tally answers the long-term question; union the
+    // shards (§5 counter addition) and compare against ground truth.
+    let merged = volume_sketch.snapshot();
+    let (est, truth) = (
+        merged.estimate(&top_flow),
+        workload.truth[top_flow as usize],
+    );
+    println!("flow {top_flow} whole-stream: estimate {est} vs truth {truth}");
+    assert!(est >= truth, "sharded RM union must stay one-sided");
 }

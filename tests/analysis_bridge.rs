@@ -36,7 +36,10 @@ fn iceberg_formula_tracks_measured_false_positives() {
     let measured = measured_sum / 5.0;
     // Same order of magnitude, and both far below the raw Bloom error.
     let eb = bloom_error_rate(n, m, k);
-    assert!(measured < eb, "iceberg FP rate {measured} should undercut E_b {eb}");
+    assert!(
+        measured < eb,
+        "iceberg FP rate {measured} should undercut E_b {eb}"
+    );
     assert!(
         measured <= predicted * 4.0 + 0.002,
         "measured {measured} far above predicted {predicted}"
@@ -51,13 +54,19 @@ fn iceberg_formula_tracks_measured_false_positives() {
 /// rate of a Bloom filter built on a real workload.
 #[test]
 fn bloom_formula_tracks_measured_fp_rate() {
-    for (n, m, k) in [(500usize, 4096usize, 5usize), (1000, 5000, 5), (2000, 8192, 4)] {
+    for (n, m, k) in [
+        (500usize, 4096usize, 5usize),
+        (1000, 5000, 5),
+        (2000, 8192, 4),
+    ] {
         let mut bf = spectral_bloom::BloomFilter::new(m, k, 3);
         for key in 0..n as u64 {
             bf.insert(&key);
         }
         let trials = 20_000u64;
-        let fp = (1_000_000..1_000_000 + trials).filter(|key| bf.contains(key)).count();
+        let fp = (1_000_000..1_000_000 + trials)
+            .filter(|key| bf.contains(key))
+            .count();
         let measured = fp as f64 / trials as f64;
         let theory = analysis::bloom_error(n, m, k);
         assert!(

@@ -1,8 +1,6 @@
 //! Application-level integration: the §5 use cases running across crates.
 
-use sbf_db::{
-    bifocal, bloomjoin, ship_all_join, spectral_bloomjoin, JoinPlan, Relation,
-};
+use sbf_db::{bifocal, bloomjoin, ship_all_join, spectral_bloomjoin, JoinPlan, Relation};
 use sbf_hash::SplitMix64;
 use sbf_workloads::forest;
 use spectral_bloom::aggregate::aggregate_over_keys;
@@ -48,7 +46,11 @@ fn range_tree_over_rm_supports_window_maintenance() {
     assert_eq!(live, 2000);
     let est = tree.count_range(0, 1024);
     assert!(est.estimate >= live);
-    assert!(est.estimate <= live + live / 10, "gross over-estimate {}", est.estimate);
+    assert!(
+        est.estimate <= live + live / 10,
+        "gross over-estimate {}",
+        est.estimate
+    );
     // A sub-range.
     let want: u64 = truth[100..400].iter().sum();
     let got = tree.count_range(100, 400);
@@ -87,5 +89,8 @@ fn bifocal_uses_less_data_than_exact() {
     let cfg = bifocal::BifocalConfig::sized_for(&r, &s, 7);
     let (est, _) = bifocal::bifocal_estimate(&r, &s, &cfg);
     let rel = (est - exact).abs() / exact;
-    assert!(rel < 0.35, "relative error {rel} (est {est} vs exact {exact})");
+    assert!(
+        rel < 0.35,
+        "relative error {rel} (est {est} vs exact {exact})"
+    );
 }

@@ -24,7 +24,10 @@ fn windowed_sbf_tracks_drifting_heavy_hitters() {
     let current_heavy: Vec<u64> = (0..n as u64)
         .filter(|&k| drift.window_truth[k as usize] >= threshold)
         .collect();
-    assert!(!current_heavy.is_empty(), "drift stream must have heavy keys");
+    assert!(
+        !current_heavy.is_empty(),
+        "drift stream must have heavy keys"
+    );
 
     // The windowed filter reports all of them (one-sided within the window).
     for &key in &current_heavy {

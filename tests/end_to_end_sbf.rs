@@ -33,7 +33,10 @@ fn compressed_rm_sliding_window() {
     let heavy: Vec<u64> = (0..500u64).filter(|k| rm.passes_threshold(k, 50)).collect();
     for (key, &f) in stream.truth.iter().enumerate() {
         if f >= 50 {
-            assert!(heavy.contains(&(key as u64)), "missed heavy window key {key}");
+            assert!(
+                heavy.contains(&(key as u64)),
+                "missed heavy window key {key}"
+            );
         }
     }
 }
@@ -137,7 +140,11 @@ fn compressed_store_saves_space_under_real_load() {
         packed.insert(&x);
     }
     for key in (0u64..2000).step_by(37) {
-        assert_eq!(plain.estimate(&key), packed.estimate(&key), "estimates must agree");
+        assert_eq!(
+            plain.estimate(&key),
+            packed.estimate(&key),
+            "estimates must agree"
+        );
     }
     assert!(
         packed.storage_bits() * 2 < plain.storage_bits(),

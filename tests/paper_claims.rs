@@ -73,7 +73,6 @@ fn claim4_mi_dominates_ms_per_key() {
     }
 }
 
-
 /// Claim 5 (§3.2): on uniform data, Minimal Increase cuts the expected
 /// error *size* by roughly a factor of `k` relative to Minimum Selection
 /// (the claim's proof bounds the error expectancy at `F/k` against MS's
@@ -149,7 +148,10 @@ fn deletions_break_mi_not_ms_rm() {
     let fn_ms = count_fn(&|k| ms.estimate(&k));
     let fn_mi = count_fn(&|k| mi.estimate(&k));
     assert_eq!(fn_ms, 0, "MS must stay one-sided under deletions");
-    assert!(fn_mi > 0, "MI must break under deletions (the paper's point)");
+    assert!(
+        fn_mi > 0,
+        "MI must break under deletions (the paper's point)"
+    );
 }
 
 /// §5.2: ad-hoc iceberg queries have recall 1 at any post-hoc threshold.
@@ -193,7 +195,10 @@ fn lemma3_unbiased_vs_ms_bias() {
     let bias = signed / w.truth.len() as f64;
     let ms_bias = ms_signed / w.truth.len() as f64;
     assert!(ms_bias > 0.5, "MS should be visibly biased here: {ms_bias}");
-    assert!(bias.abs() < ms_bias / 3.0, "unbiased {bias} vs MS {ms_bias}");
+    assert!(
+        bias.abs() < ms_bias / 3.0,
+        "unbiased {bias} vs MS {ms_bias}"
+    );
 }
 
 proptest! {

@@ -5,8 +5,8 @@ use proptest::prelude::*;
 use std::collections::HashMap;
 
 use spectral_bloom::{
-    ad_hoc_iceberg, multiscan_iceberg, BloomFilter, MiSbf, MsSbf, MultiscanConfig,
-    MultisetSketch, RangeTreeSketch, RmSbf,
+    ad_hoc_iceberg, multiscan_iceberg, BloomFilter, MiSbf, MsSbf, MultiscanConfig, MultisetSketch,
+    RangeTreeSketch, RmSbf,
 };
 
 proptest! {

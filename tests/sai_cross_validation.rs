@@ -58,7 +58,9 @@ fn dynamic_array_converges_to_static_after_mutation() {
     let mut dynamic = DynamicCounterArray::new(2000);
     let mut x = 77u64;
     for step in 0..30_000 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let i = (x >> 33) as usize % 2000;
         if step % 5 == 4 {
             let v = dynamic.get(i);
