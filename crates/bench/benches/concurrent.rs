@@ -123,6 +123,21 @@ fn bench_concurrent_ingest(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    // One non-measured, telemetry-enabled pass so the run leaves a metrics
+    // artifact (shard gauges, op counters) next to the Criterion output.
+    sbf_telemetry::set_enabled(true);
+    let _ = spectral_bloom::core_metrics();
+    let shared = SharedSketch::with_shards(4, |_| RmSbf::new(M, K, SEED));
+    for batch in stream.chunks(BATCH) {
+        shared.insert_batch(batch);
+    }
+    shared.publish_metrics();
+    sbf_telemetry::set_enabled(false);
+    match sbf_bench::telemetry::emit_snapshot("concurrent_ingest") {
+        Ok(path) => println!("telemetry snapshot: {}", path.display()),
+        Err(e) => eprintln!("telemetry snapshot failed: {e}"),
+    }
 }
 
 criterion_group!(benches, bench_concurrent_ingest);

@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sbf_hash::MixFamily;
 use sbf_workloads::ZipfWorkload;
-use spectral_bloom::{CompactCounters, CompressedCounters, MiSbf, MsSbf, MultisetSketch, RmSbf};
+use spectral_bloom::{
+    CompactCounters, CompressedCounters, MiSbf, MsSbf, MultisetSketch, RmSbf, SketchReader,
+};
 
 const M: usize = 1 << 16;
 const K: usize = 5;

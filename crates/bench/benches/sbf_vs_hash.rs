@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sbf_db::ChainedHashTable;
 use sbf_hash::{MixFamily, SplitMix64};
-use spectral_bloom::{CompressedCounters, MsSbf, MultisetSketch};
+use spectral_bloom::{CompressedCounters, MsSbf, MultisetSketch, SketchReader};
 
 fn bench_pair(c: &mut Criterion) {
     let mut group = c.benchmark_group("sbf_vs_hash");

@@ -1,0 +1,164 @@
+//! Guardrail: disabled telemetry must not slow the ingest hot path.
+//!
+//! Every instrumented operation in `spectral-bloom` pays one relaxed
+//! atomic load and a predictable branch when telemetry is off. This binary
+//! measures that cost directly by racing two loops over the same stream:
+//!
+//! * **control** — the ingest inner loop written by hand (hash the key,
+//!   bump `k` counters in a `Vec<u64>`), with no telemetry guard compiled
+//!   anywhere near it;
+//! * **disabled** — `MsSbf::insert`, i.e. the real instrumented path with
+//!   telemetry off.
+//!
+//! The figure of merit is the ratio `control / disabled` of their
+//! throughputs. It bundles the guard with the rest of the insert path's
+//! abstraction cost (trait dispatch, index buffering, bookkeeping), so its
+//! absolute value is > 1; what the check defends is that the ratio does
+//! not *grow* — a growth means the instrumented path got slower relative
+//! to the raw loop on the same machine, which is exactly the regression a
+//! new guard or a misplaced metric update would cause. Comparing ratios
+//! rather than Melem/s keeps the check portable between machines of
+//! different speeds. Control and measured rounds are interleaved so CPU
+//! frequency drift hits both sides equally.
+//!
+//! ```text
+//! telemetry_overhead                               # measure and print
+//! telemetry_overhead --record BENCH_telemetry.json # write the baseline
+//! telemetry_overhead --check  BENCH_telemetry.json # exit 1 on >10% regression
+//! ```
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use sbf_hash::{HashFamily, MixFamily};
+use sbf_workloads::ZipfWorkload;
+use spectral_bloom::{MsSbf, MultisetSketch, SketchReader};
+
+const M: usize = 1 << 16;
+const K: usize = 5;
+const SEED: u64 = 99;
+const STREAM: usize = 400_000;
+const ROUNDS: usize = 9;
+/// Allowed relative growth of the overhead ratio before `--check` fails.
+const TOLERANCE: f64 = 0.10;
+
+struct Measurement {
+    disabled_melem_s: f64,
+    control_melem_s: f64,
+}
+
+impl Measurement {
+    /// `control / disabled` throughput: 1.0 = the instrumented path (with
+    /// telemetry off) keeps pace with the hand-written loop.
+    fn overhead_ratio(&self) -> f64 {
+        self.control_melem_s / self.disabled_melem_s
+    }
+}
+
+fn timed(keys: &[u64], round: impl FnOnce(&[u64])) -> f64 {
+    let start = Instant::now();
+    round(keys);
+    start.elapsed().as_secs_f64()
+}
+
+fn control_round(keys: &[u64]) {
+    let fam = MixFamily::new(M, K, SEED);
+    let mut counters = vec![0u64; M];
+    let mut idx = [0usize; K];
+    for key in keys {
+        fam.indexes_into(key, &mut idx);
+        for &i in &idx {
+            counters[i] += 1;
+        }
+    }
+    black_box(&counters);
+}
+
+fn disabled_round(keys: &[u64]) {
+    let mut sbf = MsSbf::new(M, K, SEED);
+    for key in keys {
+        sbf.insert(key);
+    }
+    black_box(sbf.total_count());
+}
+
+fn measure() -> Measurement {
+    assert!(
+        !sbf_telemetry::enabled(),
+        "overhead measurement requires telemetry off"
+    );
+    let keys = ZipfWorkload::generate(20_000, STREAM, 1.1, 7).stream;
+
+    let mut control_best = f64::INFINITY;
+    let mut disabled_best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        control_best = control_best.min(timed(&keys, control_round));
+        disabled_best = disabled_best.min(timed(&keys, disabled_round));
+    }
+
+    Measurement {
+        disabled_melem_s: keys.len() as f64 / disabled_best / 1e6,
+        control_melem_s: keys.len() as f64 / control_best / 1e6,
+    }
+}
+
+fn to_json(m: &Measurement) -> String {
+    format!(
+        "{{\n  \"disabled_melem_s\": {:.3},\n  \"control_melem_s\": {:.3},\n  \"overhead_ratio\": {:.4}\n}}\n",
+        m.disabled_melem_s,
+        m.control_melem_s,
+        m.overhead_ratio()
+    )
+}
+
+/// Pulls `"name": <number>` out of the baseline file (the JSON here is flat
+/// and self-produced, so a scanner beats a parser dependency).
+fn json_field(text: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"{name}\"");
+    let rest = &text[text.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let m = measure();
+    println!(
+        "control   {:8.2} Melem/s\ndisabled  {:8.2} Melem/s\nratio     {:8.4} (control/disabled)",
+        m.control_melem_s,
+        m.disabled_melem_s,
+        m.overhead_ratio()
+    );
+    match args.first().map(String::as_str) {
+        None => {}
+        Some("--record") => {
+            let path = args.get(1).expect("--record needs a path");
+            std::fs::write(path, to_json(&m)).expect("write baseline");
+            println!("baseline recorded to {path}");
+        }
+        Some("--check") => {
+            let path = args.get(1).expect("--check needs a path");
+            let text = std::fs::read_to_string(path).expect("read baseline");
+            let baseline = json_field(&text, "overhead_ratio").expect("baseline overhead_ratio");
+            let limit = baseline * (1.0 + TOLERANCE);
+            println!("baseline  {baseline:8.4}   limit {limit:8.4}");
+            if m.overhead_ratio() > limit {
+                eprintln!(
+                    "FAIL: disabled-telemetry ingest regressed: ratio {:.4} > {limit:.4} \
+                     (baseline {baseline:.4} + {:.0}%)",
+                    m.overhead_ratio(),
+                    TOLERANCE * 100.0
+                );
+                std::process::exit(1);
+            }
+            println!("OK: disabled-telemetry overhead within tolerance");
+        }
+        Some(other) => {
+            eprintln!("usage: telemetry_overhead [--record <path> | --check <path>] ({other}?)");
+            std::process::exit(2);
+        }
+    }
+}

@@ -18,7 +18,7 @@ use sbf_encoding::{Codec, EliasDelta, StepsCode};
 use sbf_hash::SplitMix64;
 use sbf_sai::{DynamicCounterArray, StaticCounterArray};
 use sbf_workloads::{forest, DeletionPhaseStream, SlidingWindowStream, ZipfWorkload};
-use spectral_bloom::{ad_hoc_iceberg, MsSbf, MultisetSketch, RangeTreeSketch, RmSbf};
+use spectral_bloom::{ad_hoc_iceberg, MsSbf, MultisetSketch, RangeTreeSketch, RmSbf, SketchReader};
 
 use crate::metrics::{run_events, run_inserts, AccuracyMetrics, Algo};
 

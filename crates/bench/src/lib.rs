@@ -16,5 +16,6 @@
 
 pub mod experiments;
 pub mod metrics;
+pub mod telemetry;
 
 pub use metrics::{AccuracyMetrics, Algo};

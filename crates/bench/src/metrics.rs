@@ -1,7 +1,7 @@
 //! Error metrics and algorithm runners shared by the experiments.
 
 use sbf_workloads::StreamEvent;
-use spectral_bloom::{MiSbf, MsSbf, MultisetSketch, RmSbf};
+use spectral_bloom::{MiSbf, MsSbf, MultisetSketch, RmSbf, SketchReader};
 
 /// The two error measures of §6.1, plus the false-negative split §6.2
 /// needs.

@@ -1,0 +1,33 @@
+//! Telemetry snapshot emission for benchmark runs.
+//!
+//! Benchmarks run with telemetry disabled (measuring the real hot path);
+//! a harness that wants an accounting artifact enables telemetry for one
+//! final non-measured pass and calls [`emit_snapshot`] to leave a
+//! Prometheus-style dump next to the Criterion output.
+
+use std::path::{Path, PathBuf};
+
+/// Writes the current global metric snapshot to
+/// `target/telemetry/<tag>.prom` and returns the path.
+pub fn emit_snapshot(tag: &str) -> std::io::Result<PathBuf> {
+    let dir = Path::new("target").join("telemetry");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{tag}.prom"));
+    std::fs::write(&path, sbf_telemetry::global().snapshot().to_prometheus())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_file_is_valid_exposition() {
+        let _ = spectral_bloom::core_metrics();
+        let path = emit_snapshot("unit_test").expect("emit");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let samples = sbf_telemetry::parse_exposition(&text).expect("parse");
+        assert!(samples.iter().any(|(n, _)| n == "sbf_inserts_total"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -11,9 +11,23 @@
 //! sbf query --filter words.sbf --threshold 3 < candidates.txt
 //! sbf merge --out all.sbf shard1.sbf shard2.sbf
 //! sbf info  words.sbf
+//! sbf stats build --out words.sbf --m 65536 < words.txt
+//! sbf --metrics run.prom build --out words.sbf --m 65536 < words.txt
 //! ```
 //!
 //! Keys are read one per line; the whole trimmed line is the key.
+//!
+//! # Telemetry
+//!
+//! Two switches expose the instrumentation of `spectral-bloom` and
+//! `sbf-db` (disabled, and free, by default):
+//!
+//! * `--metrics <path>` — global flag; enables telemetry for the run and
+//!   writes a Prometheus-style exposition dump to `<path>` on success.
+//! * `stats [<command> ...]` — wrapper subcommand; runs the inner command
+//!   with telemetry enabled and prints the exposition on stdout (the
+//!   summary line stays on stderr). With no inner command it prints the
+//!   registered metric schema at zero.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,7 +37,7 @@ use std::io::{BufRead, Write};
 use sbf_db::wire::{FilterEnvelope, FilterKind};
 use spectral_bloom::{
     AtomicMsSbf, ConcurrentCounterStore, CounterStore, DefaultFamily, MiSbf, MsSbf, MultisetSketch,
-    ShardedSketch,
+    ShardedSketch, SketchReader,
 };
 
 /// Errors surfaced to the user with exit code 1.
@@ -266,13 +280,21 @@ pub fn run_query(
     Ok(printed)
 }
 
-/// Merges envelopes by counter addition (the §2.2 distributed union).
+/// Merges envelopes by counter addition (the §5 distributed union).
 /// All inputs must agree on `m`, `k`, `seed` and kind.
+///
+/// The union itself reuses [`ShardedSketch`]: each input envelope is
+/// rehydrated as one shard and the result is the shard union of
+/// [`ShardedSketch::snapshot`] — the same §5 counter-addition path the
+/// concurrent ingest machinery uses, with per-input occupancy gauges
+/// published when telemetry is on. A counter that would overflow
+/// saturates at `u64::MAX` (each clamp counted in
+/// `sbf_counter_saturations_total`) instead of failing the merge;
+/// saturation preserves the one-sided estimate contract.
 pub fn merge_envelopes(envelopes: &[FilterEnvelope]) -> Result<FilterEnvelope, CliError> {
     let first = envelopes
         .first()
         .ok_or_else(|| CliError::Usage("merge needs at least one input".into()))?;
-    let mut counters = first.counters.clone();
     for env in &envelopes[1..] {
         if env.counters.len() != first.counters.len()
             || env.k != first.k
@@ -283,17 +305,17 @@ pub fn merge_envelopes(envelopes: &[FilterEnvelope]) -> Result<FilterEnvelope, C
                 "all inputs must share m, k, seed and algorithm".into(),
             ));
         }
-        for (a, &b) in counters.iter_mut().zip(&env.counters) {
-            *a = a
-                .checked_add(b)
-                .ok_or_else(|| CliError::Incompatible("counter overflow during merge".into()))?;
-        }
     }
+    let sharded = ShardedSketch::from_shards(envelopes.iter().map(rehydrate).collect());
+    sharded.publish_metrics();
+    let merged = sharded.snapshot();
     Ok(FilterEnvelope {
         kind: first.kind,
         k: first.k,
         seed: first.seed,
-        counters,
+        counters: (0..first.counters.len())
+            .map(|i| merged.core().store().get(i))
+            .collect(),
     })
 }
 
@@ -314,23 +336,78 @@ pub fn info_string(env: &FilterEnvelope) -> String {
     )
 }
 
+/// Flips the process-global telemetry switch on and pre-registers every
+/// metric the core and db crates publish, so an exposition dump shows the
+/// full schema (at zero) even for a run that never fires some events.
+pub fn enable_telemetry() {
+    sbf_telemetry::set_enabled(true);
+    let _ = spectral_bloom::core_metrics();
+    let _ = sbf_db::db_metrics();
+}
+
+/// The current metrics as Prometheus-style exposition text.
+pub fn metrics_exposition() -> String {
+    sbf_telemetry::global().snapshot().to_prometheus()
+}
+
 /// Dispatches a full command line (without the program name). Returns the
 /// text to print on success.
+///
+/// The global `--metrics <path>` flag (recognised anywhere on the line)
+/// enables telemetry and writes [`metrics_exposition`] to `<path>` after a
+/// successful command; the `stats` wrapper prints it on stdout instead.
 pub fn run(
     args: Vec<String>,
     stdin: impl BufRead,
     mut stdout: impl Write,
 ) -> Result<String, CliError> {
     let mut args = args;
+    let metrics_path = take_flag(&mut args, "--metrics");
+    if metrics_path.is_some() {
+        enable_telemetry();
+    }
     if args.is_empty() {
         return Err(CliError::Usage(USAGE.into()));
     }
     let cmd = args.remove(0);
-    match cmd.as_str() {
+    let summary = if cmd == "stats" {
+        enable_telemetry();
+        let inner = if args.is_empty() {
+            String::new()
+        } else {
+            let inner_cmd = args.remove(0);
+            dispatch(&inner_cmd, args, stdin, &mut stdout)?
+        };
+        write!(stdout, "{}", metrics_exposition())?;
+        inner
+    } else {
+        dispatch(&cmd, args, stdin, &mut stdout)?
+    };
+    if let Some(path) = metrics_path {
+        std::fs::write(&path, metrics_exposition())?;
+    }
+    Ok(summary)
+}
+
+/// Runs one subcommand (everything but the global flags and the `stats`
+/// wrapper, which [`run`] peels off first).
+fn dispatch(
+    cmd: &str,
+    args: Vec<String>,
+    stdin: impl BufRead,
+    mut stdout: impl Write,
+) -> Result<String, CliError> {
+    match cmd {
         "build" => {
             let opts = parse_build(args)?;
             let env = build_filter(&opts, stdin)?;
             std::fs::write(&opts.out, env.encode())?;
+            if sbf_telemetry::enabled() {
+                // Publish the finished filter's load as shard 0 so a
+                // `--metrics` dump always carries occupancy gauges, whatever
+                // ingest path built it.
+                ShardedSketch::from_shards(vec![rehydrate(&env)]).publish_metrics();
+            }
             Ok(format!(
                 "wrote {} ({} counters)",
                 opts.out,
@@ -385,12 +462,14 @@ pub fn run(
 }
 
 /// Top-level usage text.
-pub const USAGE: &str = "usage: sbf <build|query|merge|info> [options]\n\
+pub const USAGE: &str = "usage: sbf [--metrics <path>] <build|query|merge|info|stats> [options]\n\
   build --out <path> --m <counters> [--k 5] [--seed 42] [--algo ms|mi]\n\
         [--ingest-threads 1]                                              keys on stdin\n\
   query --filter <path> [--threshold T]                                   keys on stdin\n\
   merge --out <path> <in1.sbf> <in2.sbf> ...\n\
-  info  <path>";
+  info  <path>\n\
+  stats [<command> ...]      run <command> with telemetry on; print metrics on stdout\n\
+  --metrics <path>           global: enable telemetry, dump exposition to <path>";
 
 #[cfg(test)]
 mod tests {
@@ -559,6 +638,86 @@ mod tests {
         assert!(info.contains("m: 4096"));
         assert!(info.contains("k: 5"));
         assert!(info.contains("≈ 2 insertions"));
+    }
+
+    #[test]
+    fn merge_uses_saturating_union() {
+        // Overflowing counters clamp at u64::MAX instead of failing the
+        // merge (documented on merge_envelopes). Build the near-overflow
+        // envelope by hand.
+        let a = build_filter(&opts(FilterKind::MinimumSelection), Cursor::new("p\n")).unwrap();
+        let mut b = a.clone();
+        for c in &mut b.counters {
+            *c = u64::MAX - 1;
+        }
+        let merged = merge_envelopes(&[a.clone(), b]).unwrap();
+        assert!(merged.counters.iter().all(|&c| c >= u64::MAX - 1));
+    }
+
+    #[test]
+    fn stats_wrapper_prints_parseable_exposition() {
+        let dir = std::env::temp_dir().join(format!("sbf-cli-stats-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.sbf");
+        let mut out = Vec::new();
+        run(
+            vec![
+                "stats".into(),
+                "build".into(),
+                "--out".into(),
+                path.to_str().unwrap().into(),
+                "--m".into(),
+                "1024".into(),
+            ],
+            Cursor::new("a\nb\na\n"),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let samples = sbf_telemetry::parse_exposition(&text).expect("stats output must parse");
+        // The registry is process-global and tests run in parallel, so
+        // assert presence and minimums, not exact values.
+        let inserts = samples
+            .iter()
+            .find(|(name, _)| name == "sbf_inserts_total")
+            .expect("insert counter exposed");
+        assert!(inserts.1 >= 3.0, "3 keys were ingested: {}", inserts.1);
+        assert!(
+            samples
+                .iter()
+                .any(|(name, _)| name.starts_with("sbf_shard_occupancy_ratio")),
+            "build must publish per-shard occupancy"
+        );
+        assert!(samples
+            .iter()
+            .any(|(name, _)| name == "sbf_counter_saturations_total"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_flag_dumps_to_file() {
+        let dir = std::env::temp_dir().join(format!("sbf-cli-metrics-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let filter = dir.join("f.sbf");
+        let prom = dir.join("run.prom");
+        run(
+            vec![
+                "--metrics".into(),
+                prom.to_str().unwrap().into(),
+                "build".into(),
+                "--out".into(),
+                filter.to_str().unwrap().into(),
+                "--m".into(),
+                "1024".into(),
+            ],
+            Cursor::new("k1\nk2\n"),
+            Vec::new(),
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&prom).expect("exposition file written");
+        let samples = sbf_telemetry::parse_exposition(&text).expect("dump must parse");
+        assert!(samples.iter().any(|(name, _)| name == "sbf_inserts_total"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -133,6 +133,78 @@ fn threshold_query_filters_output() {
 }
 
 #[test]
+fn metrics_flag_writes_exposition_file() {
+    // A fresh process per invocation, so values here are exact.
+    let dir = tmpdir("metrics");
+    let filter = dir.join("f.sbf");
+    let prom = dir.join("run.prom");
+    let (_, err, ok) = run_with_stdin(
+        &[
+            "--metrics",
+            prom.to_str().unwrap(),
+            "build",
+            "--out",
+            filter.to_str().unwrap(),
+            "--m",
+            "2048",
+        ],
+        "a\nb\na\nc\n",
+    );
+    assert!(ok, "build --metrics failed: {err}");
+    let text = std::fs::read_to_string(&prom).expect("exposition file");
+    let samples = sbf_telemetry::parse_exposition(&text).expect("valid exposition");
+    let get = |name: &str| {
+        samples
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("{name} missing from dump:\n{text}"))
+            .1
+    };
+    assert_eq!(get("sbf_inserts_total"), 4.0);
+    assert_eq!(get("sbf_counter_saturations_total"), 0.0);
+    let occ = get("sbf_shard_occupancy_ratio{shard=\"0\"}");
+    assert!(occ > 0.0 && occ <= 1.0, "occupancy gauge: {occ}");
+    // Pre-registered schema: db metrics appear at zero even though this
+    // run never touched the join machinery.
+    assert_eq!(get("sbf_db_wire_bytes_total"), 0.0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_merge_reports_per_input_occupancy() {
+    let dir = tmpdir("stats-merge");
+    let s1 = dir.join("s1.sbf");
+    let s2 = dir.join("s2.sbf");
+    let merged = dir.join("all.sbf");
+    for (path, keys) in [(&s1, "a\nb\n"), (&s2, "c\n")] {
+        let (_, err, ok) = run_with_stdin(
+            &["build", "--out", path.to_str().unwrap(), "--m", "1024"],
+            keys,
+        );
+        assert!(ok, "build failed: {err}");
+    }
+    let (stdout, err, ok) = run_with_stdin(
+        &[
+            "stats",
+            "merge",
+            "--out",
+            merged.to_str().unwrap(),
+            s1.to_str().unwrap(),
+            s2.to_str().unwrap(),
+        ],
+        "",
+    );
+    assert!(ok, "stats merge failed: {err}");
+    let samples = sbf_telemetry::parse_exposition(&stdout).expect("stats output parses");
+    let get = |name: &str| samples.iter().find(|(n, _)| n == name).map(|s| s.1);
+    // One occupancy gauge per input envelope, one §5 union performed.
+    assert!(get("sbf_shard_occupancy_ratio{shard=\"0\"}").unwrap_or(0.0) > 0.0);
+    assert!(get("sbf_shard_occupancy_ratio{shard=\"1\"}").unwrap_or(0.0) > 0.0);
+    assert_eq!(get("sbf_sharded_snapshot_rebuilds_total"), Some(1.0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     let (_, err, ok) = run_with_stdin(&["frobnicate"], "");
     assert!(!ok);

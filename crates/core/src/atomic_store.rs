@@ -22,7 +22,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use sbf_hash::{HashFamily, Key};
 
+use crate::metrics;
 use crate::ms::MsSbf;
+use crate::params::{FromParams, SbfParams};
+use crate::sketch::SketchReader;
 use crate::store::{CounterStore, PlainCounters};
 use crate::DefaultFamily;
 
@@ -109,10 +112,19 @@ impl ConcurrentCounterStore for AtomicCounters {
         let cell = &self.counters[i];
         let mut cur = cell.load(Ordering::Relaxed);
         loop {
-            let next = cur.saturating_add(by);
+            let (next, overflowed) = cur.overflowing_add(by);
+            let next = if overflowed { u64::MAX } else { next };
             match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
-                Ok(_) => return,
-                Err(seen) => cur = seen,
+                Ok(_) => {
+                    if overflowed {
+                        metrics::on(|m| m.saturations.inc());
+                    }
+                    return;
+                }
+                Err(seen) => {
+                    metrics::on(|m| m.cas_retries.inc());
+                    cur = seen;
+                }
             }
         }
     }
@@ -125,7 +137,10 @@ impl ConcurrentCounterStore for AtomicCounters {
             let next = cur.saturating_sub(by);
             match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
                 Ok(_) => return,
-                Err(seen) => cur = seen,
+                Err(seen) => {
+                    metrics::on(|m| m.cas_retries.inc());
+                    cur = seen;
+                }
             }
         }
     }
@@ -172,9 +187,17 @@ pub struct AtomicMsSbf<F: HashFamily = DefaultFamily, S: ConcurrentCounterStore 
 }
 
 impl AtomicMsSbf<DefaultFamily, AtomicCounters> {
-    /// An atomic MS filter with `m` counters, `k` hash functions.
+    /// An atomic MS filter with `m` counters, `k` hash functions. Prefer
+    /// [`FromParams::from_params`] when sizing from a capacity/error target.
     pub fn new(m: usize, k: usize, seed: u64) -> Self {
         Self::from_family(DefaultFamily::new(m, k, seed))
+    }
+}
+
+impl FromParams for AtomicMsSbf<DefaultFamily, AtomicCounters> {
+    fn from_params(params: &SbfParams, seed: u64) -> Self {
+        let (m, k) = params.dimensions();
+        Self::new(m, k, seed)
     }
 }
 
@@ -211,6 +234,7 @@ impl<F: HashFamily, S: ConcurrentCounterStore> AtomicMsSbf<F, S> {
 
     /// Adds `count` occurrences of `key` (lock-free).
     pub fn insert_by<K: Key + ?Sized>(&self, key: &K, count: u64) {
+        metrics::on(|m| m.inserts.inc());
         for &i in self.family.indexes(key).as_slice() {
             self.store.fetch_add(i, count);
         }
@@ -240,6 +264,7 @@ impl<F: HashFamily, S: ConcurrentCounterStore> AtomicMsSbf<F, S> {
     /// available. Removing more than was inserted can introduce false
     /// negatives — the same §3.2 caveat as Minimal Increase deletions.
     pub fn remove_saturating<K: Key + ?Sized>(&self, key: &K, count: u64) {
+        metrics::on(|m| m.removes.inc());
         for &i in self.family.indexes(key).as_slice() {
             self.store.fetch_sub_saturating(i, count);
         }
@@ -254,20 +279,29 @@ impl<F: HashFamily, S: ConcurrentCounterStore> AtomicMsSbf<F, S> {
                 Ordering::Relaxed,
             ) {
                 Ok(_) => break,
-                Err(seen) => cur = seen,
+                Err(seen) => {
+                    metrics::on(|m| m.cas_retries.inc());
+                    cur = seen;
+                }
             }
         }
     }
 
     /// Estimates the multiplicity of `key` (minimum over its counters).
     pub fn estimate<K: Key + ?Sized>(&self, key: &K) -> u64 {
-        self.family
+        let est = self
+            .family
             .indexes(key)
             .as_slice()
             .iter()
             .map(|&i| self.store.load(i))
             .min()
-            .unwrap_or(0)
+            .unwrap_or(0);
+        metrics::on(|m| {
+            m.estimates.inc();
+            m.estimate_values.observe(est);
+        });
+        est
     }
 
     /// Membership test: `f̂ > 0`.
@@ -289,6 +323,36 @@ impl<F: HashFamily, S: ConcurrentCounterStore> AtomicMsSbf<F, S> {
     /// Storage footprint in bits.
     pub fn storage_bits(&self) -> usize {
         self.store.storage_bits()
+    }
+
+    /// Fraction of non-zero counters (a racy but monotone-safe read: each
+    /// counter only grows under the insert-only workload).
+    pub fn occupancy(&self) -> f64 {
+        let m = self.store.len();
+        if m == 0 {
+            return 0.0;
+        }
+        let nonzero = (0..m).filter(|&i| self.store.load(i) > 0).count();
+        nonzero as f64 / m as f64
+    }
+}
+
+impl<F: HashFamily, S: ConcurrentCounterStore> SketchReader for AtomicMsSbf<F, S> {
+    fn estimate<K: Key + ?Sized>(&self, key: &K) -> u64 {
+        // Inherent method resolution picks the instrumented `&self` version.
+        self.estimate(key)
+    }
+
+    fn total_count(&self) -> u64 {
+        self.total_count()
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.storage_bits()
+    }
+
+    fn occupancy(&self) -> f64 {
+        self.occupancy()
     }
 }
 

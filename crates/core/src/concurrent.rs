@@ -17,8 +17,9 @@ use std::sync::Arc;
 
 use sbf_hash::Key;
 
+use crate::params::{FromParams, SbfParams};
 use crate::sharded::{ShardMerge, ShardedSketch};
-use crate::sketch::MultisetSketch;
+use crate::sketch::{MultisetSketch, SketchReader};
 use crate::store::RemoveError;
 
 /// A cheaply-cloneable, thread-safe handle to a (possibly sharded) sketch.
@@ -53,6 +54,15 @@ impl<SK: MultisetSketch> SharedSketch<SK> {
         SharedSketch {
             inner: Arc::new(sketch),
         }
+    }
+
+    /// Builds `n` identically parameterised shards sized by `params` (see
+    /// [`ShardedSketch::from_params`]).
+    pub fn from_params(n: usize, params: &SbfParams, seed: u64) -> Self
+    where
+        SK: FromParams,
+    {
+        Self::sharded(ShardedSketch::from_params(n, params, seed))
     }
 
     /// Number of shards behind this handle.
@@ -113,6 +123,22 @@ impl<SK: MultisetSketch> SharedSketch<SK> {
         self.inner.snapshot()
     }
 
+    /// Cached variant of [`SharedSketch::snapshot`]: reuses the previous
+    /// union until a shard mutates (see
+    /// [`ShardedSketch::snapshot_cached`]).
+    pub fn snapshot_cached(&self) -> Arc<SK>
+    where
+        SK: ShardMerge + Clone,
+    {
+        self.inner.snapshot_cached()
+    }
+
+    /// Publishes per-shard load gauges (see
+    /// [`ShardedSketch::publish_metrics`]).
+    pub fn publish_metrics(&self) {
+        self.inner.publish_metrics();
+    }
+
     /// Runs `f` with shared read access to the sketch (for bulk queries
     /// without per-call lock traffic). Only valid on single-shard handles —
     /// with multiple shards there is no one sketch to borrow; use
@@ -124,6 +150,24 @@ impl<SK: MultisetSketch> SharedSketch<SK> {
             "with_read requires a single shard; snapshot() a sharded sketch instead"
         );
         self.inner.with_shard_read(0, f)
+    }
+}
+
+impl<SK: MultisetSketch> SketchReader for SharedSketch<SK> {
+    fn estimate<K: Key + ?Sized>(&self, key: &K) -> u64 {
+        self.inner.estimate(key)
+    }
+
+    fn total_count(&self) -> u64 {
+        self.inner.total_count()
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.inner.storage_bits()
+    }
+
+    fn occupancy(&self) -> f64 {
+        SketchReader::occupancy(&*self.inner)
     }
 }
 

@@ -1,6 +1,6 @@
 //! Ad-hoc iceberg queries (§5.2).
 //!
-//! Classic iceberg machinery ([FSGM+98], [EV02]) requires the threshold
+//! Classic iceberg machinery (\[FSGM+98\], \[EV02\]) requires the threshold
 //! before the data is scanned. An SBF holds the full spectrum, so the
 //! threshold can arrive *at query time* — lower it and re-ask without
 //! rescanning the data. Two modes:
@@ -18,7 +18,7 @@ use sbf_hash::Key;
 use std::collections::HashSet;
 
 use crate::ms::MsSbf;
-use crate::sketch::MultisetSketch;
+use crate::sketch::{MultisetSketch, SketchReader};
 
 /// Scans `candidates` against a built sketch and returns the distinct keys
 /// whose estimated multiplicity reaches `threshold`.
@@ -28,9 +28,14 @@ use crate::sketch::MultisetSketch;
 /// appear with probability bounded by the iceberg error analysis of §5.2 —
 /// strictly *below* the raw Bloom error, since an error must also be large
 /// enough to cross the threshold.
+///
+/// Bounded on [`SketchReader`], so the scan runs equally over the
+/// single-threaded sketches and the concurrent backends
+/// ([`crate::AtomicMsSbf`], [`crate::ShardedSketch`],
+/// [`crate::SharedSketch`]) without snapshotting first.
 pub fn ad_hoc_iceberg<SK, K, I>(sketch: &SK, candidates: I, threshold: u64) -> Vec<u64>
 where
-    SK: MultisetSketch,
+    SK: SketchReader,
     K: Key,
     I: IntoIterator<Item = K>,
 {

@@ -19,17 +19,24 @@
 //! | [`RmSbf`] | 3.3 | ✔ | ✔ | much better than MS, supports deletes |
 //! | [`TrappingRmSbf`] | 3.3.1 | ✔ | ✔ | RM + late-detection compensation |
 //!
-//! All algorithms implement [`MultisetSketch`], are generic over the hash
-//! family (`sbf-hash`) and over the counter storage — [`PlainCounters`]
-//! (one word per counter, fastest) or [`CompressedCounters`] (the §4
-//! String-Array-Index representation at `N + o(N) + O(m)` bits).
+//! All algorithms implement [`MultisetSketch`] (updates) over the
+//! [`SketchReader`] query supertrait — which the concurrent backends
+//! [`AtomicMsSbf`], [`ShardedSketch`] and [`SharedSketch`] also implement —
+//! and are generic over the hash family (`sbf-hash`) and over the counter
+//! storage: [`PlainCounters`] (one word per counter, fastest) or
+//! [`CompressedCounters`] (the §4 String-Array-Index representation at
+//! `N + o(N) + O(m)` bits).
 //!
 //! # Quick start
 //!
-//! ```
-//! use spectral_bloom::{MsSbf, MultisetSketch};
+//! Prefer sizing through [`SbfParams`] + [`FromParams`] over the positional
+//! `new(m, k, seed)` constructors:
 //!
-//! let mut sbf = MsSbf::new(8 * 1024, 5, 42); // m counters, k hashes, seed
+//! ```
+//! use spectral_bloom::{FromParams, MsSbf, MultisetSketch, SbfParams, SketchReader};
+//!
+//! let params = SbfParams::for_capacity(2_000).with_target_error(0.01);
+//! let mut sbf = MsSbf::from_params(&params, 42);
 //! sbf.insert(&"apple");
 //! sbf.insert_by(&"apple", 99);
 //! sbf.insert(&"pear");
@@ -37,6 +44,13 @@
 //! assert_eq!(sbf.estimate(&"plum"), 0);      // w.h.p.
 //! sbf.remove(&"pear").unwrap();
 //! ```
+//!
+//! # Telemetry
+//!
+//! Hot paths are instrumented behind [`sbf_telemetry::enabled`] (default
+//! off; one relaxed load + predictable branch when disabled). See
+//! [`metrics`] for the metric-name table and
+//! [`ShardedSketch::publish_metrics`] for per-shard gauges.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,6 +62,7 @@ pub mod concurrent;
 pub mod core_ops;
 pub mod estimator;
 pub mod iceberg;
+pub mod metrics;
 pub mod mi;
 pub mod ms;
 pub mod paged;
@@ -70,14 +85,15 @@ pub use iceberg::{
     ad_hoc_iceberg, adaptive_multiscan_iceberg, multiscan_iceberg, MultiscanConfig,
     StreamingIceberg, TopKTracker,
 };
+pub use metrics::{core_metrics, CoreMetrics};
 pub use mi::MiSbf;
 pub use ms::MsSbf;
 pub use paged::{IoStats, PagedCounters};
-pub use params::{bloom_error_rate, optimal_k, SbfParams};
+pub use params::{bloom_error_rate, optimal_k, FromParams, SbfParams};
 pub use range::RangeTreeSketch;
 pub use rm::RmSbf;
 pub use sharded::{ShardMerge, ShardedSketch};
-pub use sketch::MultisetSketch;
+pub use sketch::{MultisetSketch, SketchReader};
 pub use spectrum::{frequency_histogram, profile, SpectrumProfile};
 pub use store::{CompactCounters, CompressedCounters, CounterStore, PlainCounters, RemoveError};
 pub use trap::TrappingRmSbf;

@@ -3,7 +3,9 @@
 use sbf_hash::{HashFamily, Key};
 
 use crate::core_ops::SbfCore;
-use crate::sketch::MultisetSketch;
+use crate::metrics;
+use crate::params::{FromParams, SbfParams};
+use crate::sketch::{MultisetSketch, SketchReader};
 use crate::store::{CounterStore, PlainCounters, RemoveError};
 use crate::DefaultFamily;
 
@@ -21,7 +23,7 @@ use crate::DefaultFamily;
 /// explicitly.
 ///
 /// ```
-/// use spectral_bloom::{MiSbf, MultisetSketch};
+/// use spectral_bloom::{MiSbf, MultisetSketch, SketchReader};
 ///
 /// let mut mi = MiSbf::new(2048, 5, 1);
 /// mi.insert_by(&"query", 41);
@@ -36,9 +38,17 @@ pub struct MiSbf<F: HashFamily = DefaultFamily, S: CounterStore = PlainCounters>
 }
 
 impl MiSbf<DefaultFamily, PlainCounters> {
-    /// An MI filter with `m` counters, `k` hash functions.
+    /// An MI filter with `m` counters, `k` hash functions. Prefer
+    /// [`FromParams::from_params`] when sizing from a capacity/error target.
     pub fn new(m: usize, k: usize, seed: u64) -> Self {
         Self::from_family(DefaultFamily::new(m, k, seed))
+    }
+}
+
+impl FromParams for MiSbf<DefaultFamily, PlainCounters> {
+    fn from_params(params: &SbfParams, seed: u64) -> Self {
+        let (m, k) = params.dimensions();
+        Self::new(m, k, seed)
     }
 }
 
@@ -86,8 +96,32 @@ impl<F: HashFamily, S: CounterStore> MiSbf<F, S> {
     }
 }
 
+impl<F: HashFamily, S: CounterStore> SketchReader for MiSbf<F, S> {
+    fn estimate<K: Key + ?Sized>(&self, key: &K) -> u64 {
+        let est = self.core.key_counters(key).min();
+        metrics::on(|m| {
+            m.estimates.inc();
+            m.estimate_values.observe(est);
+        });
+        est
+    }
+
+    fn total_count(&self) -> u64 {
+        self.core.total_count()
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.core.store().storage_bits()
+    }
+
+    fn occupancy(&self) -> f64 {
+        self.core.occupancy()
+    }
+}
+
 impl<F: HashFamily, S: CounterStore> MultisetSketch for MiSbf<F, S> {
     fn insert_by<K: Key + ?Sized>(&mut self, key: &K, count: u64) {
+        metrics::on(|m| m.inserts.inc());
         // §3.2: "increase the smallest counter(s) by r, and update every
         // other counter to the maximum of its old value and m_x + r".
         let mx = self.core.key_counters(key).min();
@@ -99,20 +133,9 @@ impl<F: HashFamily, S: CounterStore> MultisetSketch for MiSbf<F, S> {
         if !self.allow_deletions {
             return Err(RemoveError::Unsupported);
         }
+        metrics::on(|m| m.removes.inc());
         self.remove_unchecked(key, count);
         Ok(())
-    }
-
-    fn estimate<K: Key + ?Sized>(&self, key: &K) -> u64 {
-        self.core.key_counters(key).min()
-    }
-
-    fn total_count(&self) -> u64 {
-        self.core.total_count()
-    }
-
-    fn storage_bits(&self) -> usize {
-        self.core.store().storage_bits()
     }
 }
 

@@ -3,7 +3,9 @@
 use sbf_hash::{HashFamily, Key};
 
 use crate::core_ops::SbfCore;
-use crate::sketch::MultisetSketch;
+use crate::metrics;
+use crate::params::{FromParams, SbfParams};
+use crate::sketch::{MultisetSketch, SketchReader};
 use crate::store::{CounterStore, PlainCounters, RemoveError};
 use crate::DefaultFamily;
 
@@ -21,9 +23,17 @@ pub struct MsSbf<F: HashFamily = DefaultFamily, S: CounterStore = PlainCounters>
 
 impl MsSbf<DefaultFamily, PlainCounters> {
     /// An MS filter with `m` counters, `k` hash functions and the default
-    /// hash family, plain storage.
+    /// hash family, plain storage. Prefer [`FromParams::from_params`] when
+    /// sizing from a capacity/error target.
     pub fn new(m: usize, k: usize, seed: u64) -> Self {
         Self::from_family(DefaultFamily::new(m, k, seed))
+    }
+}
+
+impl FromParams for MsSbf<DefaultFamily, PlainCounters> {
+    fn from_params(params: &SbfParams, seed: u64) -> Self {
+        let (m, k) = params.dimensions();
+        Self::new(m, k, seed)
     }
 }
 
@@ -69,17 +79,14 @@ impl<F: HashFamily, S: CounterStore> MsSbf<F, S> {
     }
 }
 
-impl<F: HashFamily, S: CounterStore> MultisetSketch for MsSbf<F, S> {
-    fn insert_by<K: Key + ?Sized>(&mut self, key: &K, count: u64) {
-        self.core.increment_all(key, count);
-    }
-
-    fn remove_by<K: Key + ?Sized>(&mut self, key: &K, count: u64) -> Result<(), RemoveError> {
-        self.core.decrement_all(key, count)
-    }
-
+impl<F: HashFamily, S: CounterStore> SketchReader for MsSbf<F, S> {
     fn estimate<K: Key + ?Sized>(&self, key: &K) -> u64 {
-        self.core.key_counters(key).min()
+        let est = self.core.key_counters(key).min();
+        metrics::on(|m| {
+            m.estimates.inc();
+            m.estimate_values.observe(est);
+        });
+        est
     }
 
     fn total_count(&self) -> u64 {
@@ -88,6 +95,22 @@ impl<F: HashFamily, S: CounterStore> MultisetSketch for MsSbf<F, S> {
 
     fn storage_bits(&self) -> usize {
         self.core.store().storage_bits()
+    }
+
+    fn occupancy(&self) -> f64 {
+        self.core.occupancy()
+    }
+}
+
+impl<F: HashFamily, S: CounterStore> MultisetSketch for MsSbf<F, S> {
+    fn insert_by<K: Key + ?Sized>(&mut self, key: &K, count: u64) {
+        metrics::on(|m| m.inserts.inc());
+        self.core.increment_all(key, count);
+    }
+
+    fn remove_by<K: Key + ?Sized>(&mut self, key: &K, count: u64) -> Result<(), RemoveError> {
+        metrics::on(|m| m.removes.inc());
+        self.core.decrement_all(key, count)
     }
 }
 

@@ -16,6 +16,7 @@
 
 use std::cell::Cell;
 
+use crate::metrics;
 use crate::store::{CounterStore, RemoveError};
 
 /// I/O counters for the simulated storage tier.
@@ -85,10 +86,17 @@ impl PagedCounters {
     fn touch(&self, i: usize) {
         let page = i / self.page_size;
         self.accesses.set(self.accesses.get() + 1);
-        if self.resident.get() != Some(page) {
+        let fault = self.resident.get() != Some(page);
+        if fault {
             self.resident.set(Some(page));
             self.faults.set(self.faults.get() + 1);
         }
+        metrics::on(|m| {
+            m.page_accesses.inc();
+            if fault {
+                m.page_faults.inc();
+            }
+        });
     }
 }
 
@@ -131,7 +139,7 @@ impl CounterStore for PagedCounters {
 mod tests {
     use super::*;
     use crate::ms::MsSbf;
-    use crate::sketch::MultisetSketch;
+    use crate::sketch::{MultisetSketch, SketchReader};
     use sbf_hash::{BlockedFamily, MixFamily};
 
     #[test]

@@ -70,6 +70,32 @@ impl SbfParams {
     }
 }
 
+/// Unified construction from capacity/error-rate targets.
+///
+/// Every sketch in this crate implements (or offers an inherent variant
+/// of) `from_params`, so `(m, k)` sizing lives in one place — prefer this
+/// over the positional `new(m, k, seed)` constructors, which are easy to
+/// mis-order and scatter the sizing arithmetic across call sites.
+///
+/// ```
+/// use spectral_bloom::{FromParams, MsSbf, RmSbf, SbfParams, SketchReader};
+///
+/// let params = SbfParams::for_capacity(10_000).with_target_error(0.01);
+/// let mut ms = MsSbf::from_params(&params, 42);
+/// let rm = RmSbf::from_params(&params, 42);
+/// use spectral_bloom::MultisetSketch;
+/// ms.insert(&"key");
+/// assert!(ms.estimate(&"key") >= 1);
+/// assert_eq!(rm.total_count(), 0);
+/// ```
+pub trait FromParams: Sized {
+    /// Builds a sketch sized by `params.dimensions()` with the given hash
+    /// seed. For the Recurring Minimum family the `m` budget is the *total*
+    /// counter budget, split ⅔ primary / ⅓ secondary as in
+    /// [`crate::RmSbf::new`].
+    fn from_params(params: &SbfParams, seed: u64) -> Self;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,7 +4,9 @@ use sbf_hash::{HashFamily, Key};
 
 use crate::bloom::BloomFilter;
 use crate::core_ops::SbfCore;
-use crate::sketch::MultisetSketch;
+use crate::metrics;
+use crate::params::{FromParams, SbfParams};
+use crate::sketch::{MultisetSketch, SketchReader};
 use crate::store::{CounterStore, PlainCounters, RemoveError};
 use crate::DefaultFamily;
 
@@ -24,7 +26,7 @@ use crate::DefaultFamily;
 /// per the paper's arithmetic. It is on by default.
 ///
 /// ```
-/// use spectral_bloom::{RmSbf, MultisetSketch};
+/// use spectral_bloom::{RmSbf, MultisetSketch, SketchReader};
 ///
 /// let mut rm = RmSbf::new(3000, 5, 7); // total space, split ⅔/⅓
 /// for day in 0..30u64 {
@@ -51,7 +53,8 @@ impl RmSbf<DefaultFamily, PlainCounters> {
         Self::with_split(m_primary, m_secondary, k, seed)
     }
 
-    /// Explicit primary/secondary sizes.
+    /// Explicit primary/secondary sizes. Prefer [`FromParams::from_params`]
+    /// when sizing from a capacity/error target.
     ///
     /// The §3.3 marker-filter refinement is enabled by default (a Bloom
     /// filter of `m_primary` *bits* pinning moved items to the secondary):
@@ -70,6 +73,13 @@ impl RmSbf<DefaultFamily, PlainCounters> {
                 seed ^ 0x6d61_726b,
             ))),
         }
+    }
+}
+
+impl FromParams for RmSbf<DefaultFamily, PlainCounters> {
+    fn from_params(params: &SbfParams, seed: u64) -> Self {
+        let (m, k) = params.dimensions();
+        Self::new(m, k, seed)
     }
 }
 
@@ -139,60 +149,8 @@ impl<F: HashFamily, S: CounterStore> RmSbf<F, S> {
         }
         self.secondary.key_counters(key).min() > 0
     }
-}
 
-impl<F: HashFamily, S: CounterStore> MultisetSketch for RmSbf<F, S> {
-    fn insert_by<K: Key + ?Sized>(&mut self, key: &K, count: u64) {
-        // "When adding an item x, increase the counters of x in the primary
-        // SBF. Then check if x has a recurring minimum. If so, continue
-        // normally."
-        self.primary.increment_all(key, count);
-        let kc = self.primary.key_counters(key);
-        if kc.has_recurring_min() && !self.marker.as_ref().is_some_and(|m| m.contains(key)) {
-            return;
-        }
-        // "Otherwise look for x in the secondary SBF. If found, increase
-        // its counters, otherwise add x to the secondary SBF, with an
-        // initial value that equals its minimal value from the primary."
-        // Multiplicity totals are tracked by the primary core alone; the
-        // secondary's internal total is not meaningful and never read.
-        if self.in_secondary(key) && self.secondary.key_counters(key).min() > 0 {
-            self.secondary.increment_all(key, count);
-        } else {
-            let initial = kc.min();
-            self.secondary.increment_all(key, initial);
-            if let Some(marker) = &mut self.marker {
-                marker.insert(key);
-            }
-        }
-    }
-
-    fn remove_by<K: Key + ?Sized>(&mut self, key: &K, count: u64) -> Result<(), RemoveError> {
-        // "Deleting x is essentially reversing the increase operation:
-        // first decrease its counters in the primary SBF, then if it has a
-        // single minimum (or if it exists in Bf) decrease its counters in
-        // the secondary SBF, unless at least one of them is 0."
-        self.primary.decrement_all(key, count)?;
-        let single_min = !self.primary.key_counters(key).has_recurring_min();
-        if single_min || self.in_secondary(key) {
-            let s_min = self.secondary.key_counters(key).min();
-            if s_min >= count {
-                self.secondary
-                    .decrement_all(key, count)
-                    .expect("secondary min pre-checked");
-            }
-        }
-        Ok(())
-    }
-
-    fn estimate<K: Key + ?Sized>(&self, key: &K) -> u64 {
-        // "Check if x has a recurring minimum in the primary SBF. If so
-        // return the minimum. Otherwise perform lookup in the secondary; if
-        // the returned value is greater than 0, return it. Otherwise return
-        // the minimum from the primary SBF."
-        // The secondary answer is capped by the primary minimum: the
-        // primary is a sound upper bound, so the cap only removes
-        // overestimates (secondary collisions can otherwise exceed it).
+    fn estimate_uninstrumented<K: Key + ?Sized>(&self, key: &K) -> u64 {
         let kc = self.primary.key_counters(key);
         if let Some(marker) = &self.marker {
             if marker.contains(key) {
@@ -211,6 +169,24 @@ impl<F: HashFamily, S: CounterStore> MultisetSketch for RmSbf<F, S> {
             kc.min()
         }
     }
+}
+
+impl<F: HashFamily, S: CounterStore> SketchReader for RmSbf<F, S> {
+    fn estimate<K: Key + ?Sized>(&self, key: &K) -> u64 {
+        // "Check if x has a recurring minimum in the primary SBF. If so
+        // return the minimum. Otherwise perform lookup in the secondary; if
+        // the returned value is greater than 0, return it. Otherwise return
+        // the minimum from the primary SBF."
+        // The secondary answer is capped by the primary minimum: the
+        // primary is a sound upper bound, so the cap only removes
+        // overestimates (secondary collisions can otherwise exceed it).
+        let est = self.estimate_uninstrumented(key);
+        metrics::on(|m| {
+            m.estimates.inc();
+            m.estimate_values.observe(est);
+        });
+        est
+    }
 
     fn total_count(&self) -> u64 {
         self.primary.total_count()
@@ -220,6 +196,63 @@ impl<F: HashFamily, S: CounterStore> MultisetSketch for RmSbf<F, S> {
         self.primary.store().storage_bits()
             + self.secondary.store().storage_bits()
             + self.marker.as_ref().map_or(0, BloomFilter::storage_bits)
+    }
+
+    fn occupancy(&self) -> f64 {
+        // The primary carries the load signal; the secondary holds only the
+        // single-minimum spill-over.
+        self.primary.occupancy()
+    }
+}
+
+impl<F: HashFamily, S: CounterStore> MultisetSketch for RmSbf<F, S> {
+    fn insert_by<K: Key + ?Sized>(&mut self, key: &K, count: u64) {
+        metrics::on(|m| {
+            m.inserts.inc();
+            m.rm_inserts.inc();
+        });
+        // "When adding an item x, increase the counters of x in the primary
+        // SBF. Then check if x has a recurring minimum. If so, continue
+        // normally."
+        self.primary.increment_all(key, count);
+        let kc = self.primary.key_counters(key);
+        if kc.has_recurring_min() && !self.marker.as_ref().is_some_and(|m| m.contains(key)) {
+            return;
+        }
+        // "Otherwise look for x in the secondary SBF. If found, increase
+        // its counters, otherwise add x to the secondary SBF, with an
+        // initial value that equals its minimal value from the primary."
+        // Multiplicity totals are tracked by the primary core alone; the
+        // secondary's internal total is not meaningful and never read.
+        metrics::on(|m| m.rm_secondary_spills.inc());
+        if self.in_secondary(key) && self.secondary.key_counters(key).min() > 0 {
+            self.secondary.increment_all(key, count);
+        } else {
+            let initial = kc.min();
+            self.secondary.increment_all(key, initial);
+            if let Some(marker) = &mut self.marker {
+                marker.insert(key);
+            }
+        }
+    }
+
+    fn remove_by<K: Key + ?Sized>(&mut self, key: &K, count: u64) -> Result<(), RemoveError> {
+        metrics::on(|m| m.removes.inc());
+        // "Deleting x is essentially reversing the increase operation:
+        // first decrease its counters in the primary SBF, then if it has a
+        // single minimum (or if it exists in Bf) decrease its counters in
+        // the secondary SBF, unless at least one of them is 0."
+        self.primary.decrement_all(key, count)?;
+        let single_min = !self.primary.key_counters(key).has_recurring_min();
+        if single_min || self.in_secondary(key) {
+            let s_min = self.secondary.key_counters(key).min();
+            if s_min >= count {
+                self.secondary
+                    .decrement_all(key, count)
+                    .expect("secondary min pre-checked");
+            }
+        }
+        Ok(())
     }
 }
 

@@ -16,14 +16,17 @@
 //! adds the shard counter vectors. Queries don't need the union — they
 //! route to the owning shard, touching one lock in read mode.
 
-use std::sync::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use sbf_hash::{fmix64, HashFamily, Key};
 
+use crate::metrics;
 use crate::mi::MiSbf;
 use crate::ms::MsSbf;
+use crate::params::{FromParams, SbfParams};
 use crate::rm::RmSbf;
-use crate::sketch::MultisetSketch;
+use crate::sketch::{MultisetSketch, SketchReader};
 use crate::store::{CounterStore, RemoveError};
 
 /// Sketches that can absorb a disjoint peer by counter addition (§5).
@@ -83,6 +86,19 @@ impl<F: HashFamily + PartialEq, S: CounterStore> ShardMerge for RmSbf<F, S> {
 pub struct ShardedSketch<SK> {
     shards: Vec<RwLock<SK>>,
     route_seed: u64,
+    /// Per-shard mutation counters, bumped inside the shard's write lock
+    /// *after* the data write. [`ShardedSketch::snapshot_cached`] reads all
+    /// versions before read-locking any shard, so a stale stamp can only
+    /// cause a spurious rebuild, never a stale cache hit.
+    versions: Vec<AtomicU64>,
+    snapshot_cache: Mutex<Option<SnapshotCache<SK>>>,
+}
+
+/// A cached §5 union plus the per-shard versions it was built from.
+#[derive(Debug)]
+struct SnapshotCache<SK> {
+    versions: Vec<u64>,
+    merged: Arc<SK>,
 }
 
 impl<SK> ShardedSketch<SK> {
@@ -103,12 +119,28 @@ impl<SK> ShardedSketch<SK> {
             !shards.is_empty(),
             "sharded sketch needs at least one shard"
         );
+        let versions = (0..shards.len()).map(|_| AtomicU64::new(0)).collect();
         ShardedSketch {
             shards: shards.into_iter().map(RwLock::new).collect(),
             // Fixed and family-independent: routing must not correlate with
             // the counter indices the sketches derive from their own seeds.
             route_seed: 0x5ba2_d911_c3b1_70a4,
+            versions,
+            snapshot_cache: Mutex::new(None),
         }
+    }
+
+    /// Builds `n` shards of `SK` sized by `params` — every shard gets
+    /// identical `(m, k, seed)`, the invariant [`ShardedSketch::snapshot`]
+    /// relies on. Note the per-*shard* size is `params.dimensions()`, so
+    /// total space is `n ×` that; size `params` for the per-shard
+    /// sub-multiset.
+    pub fn from_params(n: usize, params: &SbfParams, seed: u64) -> Self
+    where
+        SK: FromParams,
+    {
+        assert!(n > 0, "sharded sketch needs at least one shard");
+        Self::with_shards(n, |_| SK::from_params(params, seed))
     }
 
     /// Number of shards `S`.
@@ -134,11 +166,12 @@ impl<SK> ShardedSketch<SK> {
 impl<SK: MultisetSketch> ShardedSketch<SK> {
     /// Adds `count` occurrences of `key` (locks the owning shard only).
     pub fn insert_by<K: Key + ?Sized>(&self, key: &K, count: u64) {
+        metrics::on(|m| m.sharded_ops.inc());
         let shard = self.shard_of(key);
-        self.shards[shard]
-            .write()
-            .expect("shard lock poisoned")
-            .insert_by(key, count);
+        let mut guard = self.shards[shard].write().expect("shard lock poisoned");
+        guard.insert_by(key, count);
+        self.versions[shard].fetch_add(1, Ordering::Release);
+        drop(guard);
     }
 
     /// Adds one occurrence of `key`.
@@ -150,18 +183,21 @@ impl<SK: MultisetSketch> ShardedSketch<SK> {
     /// taken once per batch instead of once per key. Grouping also improves
     /// locality: consecutive inserts touch one shard's counters.
     pub fn insert_batch<K: Key>(&self, keys: &[K]) {
+        metrics::on(|m| m.sharded_ops.add(keys.len() as u64));
         if self.shards.len() == 1 {
             let mut shard = self.shards[0].write().expect("shard lock poisoned");
             for key in keys {
                 shard.insert(key);
             }
+            drop(shard);
+            self.versions[0].fetch_add(1, Ordering::Release);
             return;
         }
         let mut buckets: Vec<Vec<&K>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
         for key in keys {
             buckets[self.shard_of(key)].push(key);
         }
-        for (shard, bucket) in self.shards.iter().zip(buckets) {
+        for (i, (shard, bucket)) in self.shards.iter().zip(buckets).enumerate() {
             if bucket.is_empty() {
                 continue;
             }
@@ -169,16 +205,22 @@ impl<SK: MultisetSketch> ShardedSketch<SK> {
             for key in bucket {
                 shard.insert(key);
             }
+            drop(shard);
+            self.versions[i].fetch_add(1, Ordering::Release);
         }
     }
 
     /// Removes `count` occurrences of `key` from its owning shard.
     pub fn remove_by<K: Key + ?Sized>(&self, key: &K, count: u64) -> Result<(), RemoveError> {
+        metrics::on(|m| m.sharded_ops.inc());
         let shard = self.shard_of(key);
-        self.shards[shard]
-            .write()
-            .expect("shard lock poisoned")
-            .remove_by(key, count)
+        let mut guard = self.shards[shard].write().expect("shard lock poisoned");
+        let result = guard.remove_by(key, count);
+        drop(guard);
+        if result.is_ok() {
+            self.versions[shard].fetch_add(1, Ordering::Release);
+        }
+        result
     }
 
     /// Removes one occurrence of `key`.
@@ -237,7 +279,55 @@ impl<SK: MultisetSketch> ShardedSketch<SK> {
     /// Unions all shards into one sketch by counter addition (§5) — the
     /// bridge back to the single-threaded world (serialization, further
     /// union/multiply, compressed re-encoding).
+    ///
+    /// This rebuilds the union from scratch on **every call** — `O(m ×
+    /// num_shards)` clone-and-add work even when nothing changed since the
+    /// last call. Callers that snapshot repeatedly between sparse writes
+    /// (monitoring loops, repeated merges) should use
+    /// [`ShardedSketch::snapshot_cached`], which reuses the previous union
+    /// until some shard mutates.
     pub fn snapshot(&self) -> SK
+    where
+        SK: ShardMerge + Clone,
+    {
+        metrics::on(|m| m.snapshot_rebuilds.inc());
+        self.union_shards()
+    }
+
+    /// Like [`ShardedSketch::snapshot`], but cached: the union is rebuilt
+    /// only when a shard has mutated since the previous call, otherwise the
+    /// cached `Arc` is cloned in O(1).
+    ///
+    /// Version stamps are bumped after each shard write completes and read
+    /// here *before* the shard data, so a racing writer can at worst leave
+    /// a fresh union stamped stale (one spurious rebuild later) — a cache
+    /// hit never serves data older than its stamp.
+    pub fn snapshot_cached(&self) -> Arc<SK>
+    where
+        SK: ShardMerge + Clone,
+    {
+        let stamps: Vec<u64> = self
+            .versions
+            .iter()
+            .map(|v| v.load(Ordering::Acquire))
+            .collect();
+        let mut cache = self.snapshot_cache.lock().expect("snapshot cache poisoned");
+        if let Some(c) = cache.as_ref() {
+            if c.versions == stamps {
+                metrics::on(|m| m.snapshot_cache_hits.inc());
+                return Arc::clone(&c.merged);
+            }
+        }
+        metrics::on(|m| m.snapshot_rebuilds.inc());
+        let merged = Arc::new(self.union_shards());
+        *cache = Some(SnapshotCache {
+            versions: stamps,
+            merged: Arc::clone(&merged),
+        });
+        merged
+    }
+
+    fn union_shards(&self) -> SK
     where
         SK: ShardMerge + Clone,
     {
@@ -246,6 +336,57 @@ impl<SK: MultisetSketch> ShardedSketch<SK> {
             merged.absorb(&shard.read().expect("shard lock poisoned"));
         }
         merged
+    }
+
+    /// Publishes per-shard load gauges into the global telemetry registry:
+    /// `sbf_shard_occupancy_ratio{shard="i"}`,
+    /// `sbf_shard_total_count{shard="i"}` and `sbf_shard_ops{shard="i"}`
+    /// (the shard's version stamp, i.e. mutation batches applied). No-op
+    /// while telemetry is disabled.
+    pub fn publish_metrics(&self)
+    where
+        SK: SketchReader,
+    {
+        if !sbf_telemetry::enabled() {
+            return;
+        }
+        let reg = sbf_telemetry::global();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let (occ, total) = {
+                let guard = shard.read().expect("shard lock poisoned");
+                (guard.occupancy(), guard.total_count())
+            };
+            reg.gauge(&format!("sbf_shard_occupancy_ratio{{shard=\"{i}\"}}"))
+                .set(occ);
+            reg.gauge(&format!("sbf_shard_total_count{{shard=\"{i}\"}}"))
+                .set_u64(total);
+            reg.gauge(&format!("sbf_shard_ops{{shard=\"{i}\"}}"))
+                .set_u64(self.versions[i].load(Ordering::Relaxed));
+        }
+    }
+}
+
+impl<SK: MultisetSketch> SketchReader for ShardedSketch<SK> {
+    fn estimate<K: Key + ?Sized>(&self, key: &K) -> u64 {
+        // Inherent resolution picks the instrumented routing methods.
+        self.estimate(key)
+    }
+
+    fn total_count(&self) -> u64 {
+        self.total_count()
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.storage_bits()
+    }
+
+    fn occupancy(&self) -> f64 {
+        let n = self.shards.len();
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned").occupancy())
+            .sum::<f64>()
+            / n as f64
     }
 }
 
@@ -341,5 +482,76 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         let _ = ShardedSketch::<MsSbf>::from_shards(Vec::new());
+    }
+
+    #[test]
+    fn snapshot_cached_reuses_union_until_a_shard_mutates() {
+        let sketch = ShardedSketch::with_shards(4, |_| MsSbf::new(1024, 4, 6));
+        for key in 0u64..200 {
+            sketch.insert(&key);
+        }
+        let first = sketch.snapshot_cached();
+        let second = sketch.snapshot_cached();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "unchanged shards must hit the cache"
+        );
+        sketch.insert(&9999u64);
+        let third = sketch.snapshot_cached();
+        assert!(
+            !Arc::ptr_eq(&second, &third),
+            "a mutation must invalidate the cache"
+        );
+        // The cached union answers exactly like a fresh one.
+        let fresh = sketch.snapshot();
+        for key in 0u64..200 {
+            assert_eq!(third.estimate(&key), fresh.estimate(&key), "key {key}");
+        }
+        assert_eq!(third.total_count(), 201);
+    }
+
+    #[test]
+    fn snapshot_cached_sees_batch_and_remove_mutations() {
+        let sketch = ShardedSketch::with_shards(2, |_| MsSbf::new(512, 4, 3));
+        let keys: Vec<u64> = (0..50).collect();
+        sketch.insert_batch(&keys);
+        let a = sketch.snapshot_cached();
+        assert_eq!(a.total_count(), 50);
+        sketch.remove(&0u64).unwrap();
+        let b = sketch.snapshot_cached();
+        assert!(!Arc::ptr_eq(&a, &b), "remove must invalidate the cache");
+        assert_eq!(b.total_count(), 49);
+        // A refused remove leaves the cache valid.
+        assert!(sketch.remove_by(&0u64, 1_000_000).is_err());
+        let c = sketch.snapshot_cached();
+        assert!(Arc::ptr_eq(&b, &c), "failed remove must not invalidate");
+    }
+
+    #[test]
+    fn from_params_builds_identical_shards() {
+        use crate::params::SbfParams;
+        let params = SbfParams::for_capacity(1000).with_target_error(0.01);
+        let sketch: ShardedSketch<MsSbf> = ShardedSketch::from_params(4, &params, 11);
+        assert_eq!(sketch.num_shards(), 4);
+        for key in 0u64..100 {
+            sketch.insert_by(&key, 2);
+        }
+        // Identical shard parameters: snapshot unions without panicking and
+        // stays one-sided.
+        let merged = sketch.snapshot();
+        for key in 0u64..100 {
+            assert!(merged.estimate(&key) >= 2);
+        }
+    }
+
+    #[test]
+    fn reader_trait_is_object_usable_generically() {
+        fn probe<S: SketchReader>(s: &S, key: u64) -> u64 {
+            s.estimate(&key)
+        }
+        let sketch = ShardedSketch::with_shards(2, |_| MsSbf::new(512, 4, 1));
+        sketch.insert_by(&5u64, 7);
+        assert!(probe(&sketch, 5) >= 7);
+        assert!(SketchReader::occupancy(&sketch) > 0.0);
     }
 }

@@ -1,37 +1,25 @@
-//! The `MultisetSketch` abstraction shared by all SBF algorithms.
+//! The query/update abstractions shared by all SBF algorithms:
+//! [`SketchReader`] for shared-reference queries, [`MultisetSketch`] for
+//! the full update contract.
 
 use sbf_hash::Key;
 
 use crate::store::RemoveError;
 
-/// A sketch answering multiplicity queries over a dynamic multiset.
+/// Read-only multiplicity queries by `&self`.
 ///
-/// Every SBF variant implements this, so applications — iceberg queries,
-/// range trees, Bloomjoins, bifocal sampling — are written once and run
-/// under any estimation policy. The contract mirrors the paper's claims:
+/// This is the half of the sketch contract that concurrent backends can
+/// honour without exclusive access: [`crate::AtomicMsSbf`],
+/// [`crate::SharedSketch`] and [`crate::ShardedSketch`] implement it
+/// alongside the four single-threaded algorithms, so query-side code —
+/// iceberg scans, join candidate filtering — is written once over any
+/// backend.
 ///
-/// * **One-sided for MS/RM**: `estimate(x) ≥ f_x` always holds for the
-///   Minimum Selection and Recurring Minimum families; Minimal Increase
-///   preserves it only while no removals occur (§3.2).
-/// * `remove` of a key truly present `count` times always succeeds for the
-///   MS/RM families.
-pub trait MultisetSketch {
-    /// Adds `count` occurrences of `key`.
-    fn insert_by<K: Key + ?Sized>(&mut self, key: &K, count: u64);
-
-    /// Adds one occurrence of `key`.
-    fn insert<K: Key + ?Sized>(&mut self, key: &K) {
-        self.insert_by(key, 1);
-    }
-
-    /// Removes `count` occurrences of `key`.
-    fn remove_by<K: Key + ?Sized>(&mut self, key: &K, count: u64) -> Result<(), RemoveError>;
-
-    /// Removes one occurrence of `key`.
-    fn remove<K: Key + ?Sized>(&mut self, key: &K) -> Result<(), RemoveError> {
-        self.remove_by(key, 1)
-    }
-
+/// The accuracy contract mirrors the paper's claims: estimates are
+/// one-sided (`estimate(x) ≥ f_x`) for the Minimum Selection and Recurring
+/// Minimum families; Minimal Increase preserves this only while no removals
+/// occur (§3.2).
+pub trait SketchReader {
     /// Estimates the multiplicity `f̂_key`.
     fn estimate<K: Key + ?Sized>(&self, key: &K) -> u64;
 
@@ -51,4 +39,42 @@ pub trait MultisetSketch {
 
     /// Storage footprint in bits.
     fn storage_bits(&self) -> usize;
+
+    /// Fraction of non-zero counters (the load signal telemetry publishes
+    /// per shard; `0.0` for an empty sketch).
+    fn occupancy(&self) -> f64;
+}
+
+/// A sketch answering multiplicity queries over a dynamic multiset, with
+/// updates.
+///
+/// Every single-threaded SBF variant implements this, so applications —
+/// iceberg queries, range trees, Bloomjoins, bifocal sampling — are written
+/// once and run under any estimation policy. Query-only code should bound
+/// on the [`SketchReader`] supertrait instead, which the concurrent
+/// backends also implement. The update contract:
+///
+/// * `remove` of a key truly present `count` times always succeeds for the
+///   MS/RM families; Minimal Increase refuses with
+///   [`RemoveError::Unsupported`].
+///
+/// Prefer constructing implementations through
+/// [`crate::params::FromParams`] (capacity/error-rate sizing in one place)
+/// over the positional `new(m, k, seed)` constructors.
+pub trait MultisetSketch: SketchReader {
+    /// Adds `count` occurrences of `key`.
+    fn insert_by<K: Key + ?Sized>(&mut self, key: &K, count: u64);
+
+    /// Adds one occurrence of `key`.
+    fn insert<K: Key + ?Sized>(&mut self, key: &K) {
+        self.insert_by(key, 1);
+    }
+
+    /// Removes `count` occurrences of `key`.
+    fn remove_by<K: Key + ?Sized>(&mut self, key: &K, count: u64) -> Result<(), RemoveError>;
+
+    /// Removes one occurrence of `key`.
+    fn remove<K: Key + ?Sized>(&mut self, key: &K) -> Result<(), RemoveError> {
+        self.remove_by(key, 1)
+    }
 }

@@ -96,7 +96,7 @@ where
 mod tests {
     use super::*;
     use crate::ms::MsSbf;
-    use crate::sketch::MultisetSketch;
+    use crate::sketch::{MultisetSketch, SketchReader};
 
     #[test]
     fn distinct_estimate_tracks_truth() {

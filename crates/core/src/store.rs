@@ -14,6 +14,8 @@
 
 use sbf_sai::{CompactConfig, DynamicCompactArray, DynamicConfig, DynamicCounterArray};
 
+use crate::metrics;
+
 /// Error from a removal the sketch cannot perform.
 ///
 /// Distinguishes the two failure modes the paper's algorithms exhibit: a
@@ -72,11 +74,18 @@ pub trait CounterStore {
     /// long-running stream must not be able to panic a thread mid-insert.
     /// Saturation preserves the paper's one-sided contract — a pinned
     /// counter can only *over*-estimate — and is unreachable in practice
-    /// (2⁶⁴ increments). Debug builds still flag it loudly.
+    /// (2⁶⁴ increments). Debug builds still flag it loudly, and telemetry
+    /// counts each clamp in `sbf_counter_saturations_total`.
     fn increment(&mut self, i: usize, by: u64) {
         let v = self.get(i);
-        debug_assert!(v.checked_add(by).is_some(), "counter {i} overflow");
-        self.set(i, v.saturating_add(by));
+        let (next, overflowed) = v.overflowing_add(by);
+        if overflowed {
+            metrics::on(|m| m.saturations.inc());
+            debug_assert!(false, "counter {i} overflow");
+            self.set(i, u64::MAX);
+        } else {
+            self.set(i, next);
+        }
     }
 
     /// Subtracts `by` from counter `i`, failing on underflow.
@@ -145,8 +154,14 @@ impl CounterStore for PlainCounters {
     #[inline]
     fn increment(&mut self, i: usize, by: u64) {
         let v = self.counters[i];
-        debug_assert!(v.checked_add(by).is_some(), "counter {i} overflow");
-        self.counters[i] = v.saturating_add(by);
+        let (next, overflowed) = v.overflowing_add(by);
+        if overflowed {
+            metrics::on(|m| m.saturations.inc());
+            debug_assert!(false, "counter {i} overflow");
+            self.counters[i] = u64::MAX;
+        } else {
+            self.counters[i] = next;
+        }
     }
 
     fn storage_bits(&self) -> usize {

@@ -33,7 +33,9 @@ use std::collections::{HashMap, HashSet};
 use sbf_hash::{HashFamily, Key};
 
 use crate::core_ops::SbfCore;
-use crate::sketch::MultisetSketch;
+use crate::metrics;
+use crate::params::{FromParams, SbfParams};
+use crate::sketch::{MultisetSketch, SketchReader};
 use crate::store::{CounterStore, PlainCounters, RemoveError};
 use crate::DefaultFamily;
 
@@ -66,6 +68,13 @@ impl TrappingRmSbf<DefaultFamily, PlainCounters> {
             moved: HashSet::new(),
             compensations: 0,
         }
+    }
+}
+
+impl FromParams for TrappingRmSbf<DefaultFamily, PlainCounters> {
+    fn from_params(params: &SbfParams, seed: u64) -> Self {
+        let (m, k) = params.dimensions();
+        Self::new(m, k, seed)
     }
 }
 
@@ -134,61 +143,33 @@ impl<F: HashFamily, S: CounterStore> TrappingRmSbf<F, S> {
     }
 }
 
-impl<F: HashFamily, S: CounterStore> MultisetSketch for TrappingRmSbf<F, S> {
-    fn insert_by<K: Key + ?Sized>(&mut self, key: &K, count: u64) {
-        self.primary.increment_all(key, count);
-        let canon = key.canonical();
-        if self.moved.contains(&canon) {
-            self.secondary.increment_all(key, count);
-            return;
-        }
-        let kc = self.primary.key_counters(key);
-        if kc.has_recurring_min() {
-            let mx = kc.min();
-            self.fire_traps(key, mx);
-            return;
-        }
-        // Single minimum: mirror into the secondary with the current
-        // estimate, arm the trap on the minimal counter.
-        let mx = kc.min();
-        let slot = kc.single_min_slot().expect("single minimum by branch");
-        let min_counter = kc.indexes[slot];
-        self.secondary.increment_all(key, mx);
-        self.traps[min_counter] = true;
-        self.owners.insert(min_counter, canon);
-        self.moved.insert(canon);
-    }
-
-    fn remove_by<K: Key + ?Sized>(&mut self, key: &K, count: u64) -> Result<(), RemoveError> {
-        self.primary.decrement_all(key, count)?;
-        if self.moved.contains(&key.canonical()) {
-            let s_min = self.secondary.key_counters(key).min();
-            if s_min >= count {
-                self.secondary
-                    .decrement_all(key, count)
-                    .expect("secondary min pre-checked");
-            }
-        }
-        Ok(())
-    }
-
+impl<F: HashFamily, S: CounterStore> SketchReader for TrappingRmSbf<F, S> {
     fn estimate<K: Key + ?Sized>(&self, key: &K) -> u64 {
         let kc = self.primary.key_counters(key);
-        if self.moved.contains(&key.canonical()) {
+        let est = if self.moved.contains(&key.canonical()) {
             let s = self.secondary.key_counters(key).min();
             // The secondary value is usually tighter (compensated); the
             // primary min stays a sound upper bound.
-            return if s > 0 { s.min(kc.min()) } else { kc.min() };
-        }
-        if kc.has_recurring_min() {
-            return kc.min();
-        }
-        let s = self.secondary.key_counters(key).min();
-        if s > 0 {
-            s.min(kc.min())
-        } else {
+            if s > 0 {
+                s.min(kc.min())
+            } else {
+                kc.min()
+            }
+        } else if kc.has_recurring_min() {
             kc.min()
-        }
+        } else {
+            let s = self.secondary.key_counters(key).min();
+            if s > 0 {
+                s.min(kc.min())
+            } else {
+                kc.min()
+            }
+        };
+        metrics::on(|m| {
+            m.estimates.inc();
+            m.estimate_values.observe(est);
+        });
+        est
     }
 
     fn total_count(&self) -> u64 {
@@ -201,6 +182,56 @@ impl<F: HashFamily, S: CounterStore> MultisetSketch for TrappingRmSbf<F, S> {
             + self.traps.len()
             // The lookup table L: one (index, key) pair per armed trap.
             + self.owners.len() * 128
+    }
+
+    fn occupancy(&self) -> f64 {
+        self.primary.occupancy()
+    }
+}
+
+impl<F: HashFamily, S: CounterStore> MultisetSketch for TrappingRmSbf<F, S> {
+    fn insert_by<K: Key + ?Sized>(&mut self, key: &K, count: u64) {
+        metrics::on(|m| {
+            m.inserts.inc();
+            m.rm_inserts.inc();
+        });
+        self.primary.increment_all(key, count);
+        let canon = key.canonical();
+        if self.moved.contains(&canon) {
+            metrics::on(|m| m.rm_secondary_spills.inc());
+            self.secondary.increment_all(key, count);
+            return;
+        }
+        let kc = self.primary.key_counters(key);
+        if kc.has_recurring_min() {
+            let mx = kc.min();
+            self.fire_traps(key, mx);
+            return;
+        }
+        // Single minimum: mirror into the secondary with the current
+        // estimate, arm the trap on the minimal counter.
+        metrics::on(|m| m.rm_secondary_spills.inc());
+        let mx = kc.min();
+        let slot = kc.single_min_slot().expect("single minimum by branch");
+        let min_counter = kc.indexes[slot];
+        self.secondary.increment_all(key, mx);
+        self.traps[min_counter] = true;
+        self.owners.insert(min_counter, canon);
+        self.moved.insert(canon);
+    }
+
+    fn remove_by<K: Key + ?Sized>(&mut self, key: &K, count: u64) -> Result<(), RemoveError> {
+        metrics::on(|m| m.removes.inc());
+        self.primary.decrement_all(key, count)?;
+        if self.moved.contains(&key.canonical()) {
+            let s_min = self.secondary.key_counters(key).min();
+            if s_min >= count {
+                self.secondary
+                    .decrement_all(key, count)
+                    .expect("secondary min pre-checked");
+            }
+        }
+        Ok(())
     }
 }
 

@@ -12,6 +12,7 @@ use std::collections::VecDeque;
 
 use sbf_hash::Key;
 
+use crate::params::{FromParams, SbfParams};
 use crate::sketch::MultisetSketch;
 
 /// A sketch restricted to the last `capacity` items of a stream.
@@ -35,6 +36,15 @@ impl<SK: MultisetSketch> SlidingWindowSbf<SK> {
             window: VecDeque::with_capacity(capacity),
             capacity,
         }
+    }
+
+    /// Builds the inner sketch from sizing `params` and wraps it with a
+    /// window of `capacity` items.
+    pub fn from_params(params: &SbfParams, seed: u64, capacity: usize) -> Self
+    where
+        SK: FromParams,
+    {
+        Self::new(SK::from_params(params, seed), capacity)
     }
 
     /// Ingests one item; evicts (and deletes) the oldest when full.
@@ -84,6 +94,7 @@ mod tests {
     use super::*;
     use crate::ms::MsSbf;
     use crate::rm::RmSbf;
+    use crate::sketch::SketchReader;
 
     #[test]
     fn window_counts_only_recent_items() {

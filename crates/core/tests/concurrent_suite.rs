@@ -6,7 +6,7 @@
 //! least as large as the key's completed-insert count.
 
 use spectral_bloom::{
-    AtomicMsSbf, MiSbf, MsSbf, MultisetSketch, RemoveError, RmSbf, ShardedSketch, SharedSketch,
+    AtomicMsSbf, MiSbf, MsSbf, RemoveError, RmSbf, ShardedSketch, SharedSketch, SketchReader,
 };
 
 /// Lock-free MS never undercounts: with 8 producers hammering overlapping

@@ -1,6 +1,6 @@
 //! Bifocal sampling join-size estimation with an SBF t-index (§5.4).
 //!
-//! Bifocal sampling [GGMS96] estimates `|R ⋈ S|` by splitting each
+//! Bifocal sampling \[GGMS96\] estimates `|R ⋈ S|` by splitting each
 //! relation's values into *dense* and *sparse* groups and combining
 //! dense–dense with sparse–any estimates. The sparse–any procedure needs,
 //! for each sampled tuple of `R`, the frequency of its join value in `S` —
@@ -10,7 +10,7 @@
 //! estimate satisfies `A_s ≤ E(Â_s) ≤ A_s(1 + γ)`.
 
 use sbf_hash::SplitMix64;
-use spectral_bloom::{MsSbf, MultisetSketch};
+use spectral_bloom::{MsSbf, MultisetSketch, SketchReader};
 
 use crate::relation::Relation;
 

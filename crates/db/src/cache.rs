@@ -1,5 +1,5 @@
-//! Distributed cache summaries (§1.1.1 context: Summary Cache [FCAB98]
-//! and Attenuated Bloom Filters [RK02]).
+//! Distributed cache summaries (§1.1.1 context: Summary Cache \[FCAB98\]
+//! and Attenuated Bloom Filters \[RK02\]).
 //!
 //! The paper motivates the SBF with distributed-cache deployments: each
 //! proxy keeps a compact summary of every peer's cache and asks a peer
@@ -10,7 +10,7 @@
 //!   broadcasts a Bloom filter of its contents; a requester consults the
 //!   summaries and probes the claimed holders. False positives cost a
 //!   wasted probe; false negatives cannot happen for up-to-date summaries.
-//! * [`AttenuatedFilter`] — the [RK02] routing structure: level `d` of a
+//! * [`AttenuatedFilter`] — the \[RK02\] routing structure: level `d` of a
 //!   node's filter summarizes everything reachable within `d` hops along
 //!   a path of peers, so a query can be routed toward the *closest*
 //!   claimed copy.
@@ -192,7 +192,7 @@ impl AttenuatedFilter {
     }
 
     /// The smallest hop count at which the object is claimed, if any —
-    /// the routing decision of [RK02]: forward toward the nearest claim.
+    /// the routing decision of \[RK02\]: forward toward the nearest claim.
     pub fn nearest_claim(&self, object: u64) -> Option<usize> {
         self.levels.iter().position(|bf| bf.contains(&object))
     }
@@ -250,7 +250,7 @@ impl SbfCacheNode {
 
     /// Whether the current summary claims `object`.
     pub fn summary_claims(&self, object: u64) -> bool {
-        use spectral_bloom::MultisetSketch;
+        use spectral_bloom::SketchReader;
         self.summary.contains(&object)
     }
 

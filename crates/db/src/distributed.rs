@@ -107,6 +107,7 @@ pub fn build_global_synopsis(
 mod tests {
     use super::*;
     use sbf_hash::SplitMix64;
+    use spectral_bloom::SketchReader;
 
     fn skewed_keys(n: usize, seed: u64) -> Vec<u64> {
         let mut rng = SplitMix64::new(seed);

@@ -25,8 +25,9 @@
 
 use std::collections::HashMap;
 
-use spectral_bloom::{BloomFilter, MsSbf, MultisetSketch};
+use spectral_bloom::{BloomFilter, MsSbf, MultisetSketch, SketchReader};
 
+use crate::metrics;
 use crate::network::Network;
 use crate::relation::Relation;
 use crate::wire;
@@ -90,6 +91,36 @@ fn exact_groups(r: &Relation, s: &Relation, threshold: Option<u64>) -> HashMap<u
     groups
 }
 
+/// The spectral join's final pass, written once over any
+/// [`SketchReader`]: scans `r`'s distinct values against `sketch` (usually
+/// a product SBF) and reports every group whose one-sided estimate clears
+/// `threshold`.
+///
+/// Accepting any reader means the coordinator-side synopsis can just as
+/// well be a concurrent backend — an `AtomicMsSbf` fed by parallel ingest
+/// threads, or a `ShardedSketch`/`SharedSketch` — without a copy into a
+/// single-threaded sketch first.
+pub fn threshold_groups<SK: SketchReader>(
+    sketch: &SK,
+    r: &Relation,
+    threshold: u64,
+) -> HashMap<u64, u64> {
+    let mut groups = HashMap::new();
+    let mut candidates = 0u64;
+    for key in r.group_counts().keys() {
+        candidates += 1;
+        let est = sketch.estimate(key);
+        if est >= threshold {
+            groups.insert(*key, est);
+        }
+    }
+    metrics::on(|m| {
+        m.join_candidates.add(candidates);
+        m.join_reported.add(groups.len() as u64);
+    });
+    groups
+}
+
 /// Baseline: site 2 ships every tuple of `S`; site 1 joins locally.
 pub fn ship_all_join(r: &Relation, s: &Relation, plan: &JoinPlan) -> JoinOutcome {
     let mut network = Network::new();
@@ -101,7 +132,7 @@ pub fn ship_all_join(r: &Relation, s: &Relation, plan: &JoinPlan) -> JoinOutcome
     }
 }
 
-/// Classic Bloomjoin [ML86]: site 1 sends `BF(R.a)` (m bits); site 2 ships
+/// Classic Bloomjoin \[ML86\]: site 1 sends `BF(R.a)` (m bits); site 2 ships
 /// only tuples whose key passes the filter; site 1 completes the join.
 pub fn bloomjoin(r: &Relation, s: &Relation, plan: &JoinPlan) -> JoinOutcome {
     let mut network = Network::new();
@@ -167,14 +198,7 @@ pub fn spectral_bloomjoin(r: &Relation, s: &Relation, plan: &JoinPlan) -> JoinOu
     // Scan R (local), report each distinct value whose product estimate
     // clears the threshold. "Results can be reported immediately since no
     // value is repeated more than once in R['s scan of distinct values]".
-    let threshold = plan.threshold.unwrap_or(1);
-    let mut groups = HashMap::new();
-    for key in r.group_counts().keys() {
-        let est = sbf_rs.estimate(key);
-        if est >= threshold {
-            groups.insert(*key, est);
-        }
-    }
+    let groups = threshold_groups(&sbf_rs, r, plan.threshold.unwrap_or(1));
     JoinOutcome {
         groups,
         network,
@@ -251,14 +275,7 @@ pub fn multiway_spectral_join(relations: &[&Relation], plan: &JoinPlan) -> JoinO
         }
         product.multiply_assign(&remote);
     }
-    let threshold = plan.threshold.unwrap_or(1);
-    let mut groups = HashMap::new();
-    for key in relations[0].group_counts().keys() {
-        let est = product.estimate(key);
-        if est >= threshold {
-            groups.insert(*key, est);
-        }
-    }
+    let groups = threshold_groups(&product, relations[0], plan.threshold.unwrap_or(1));
     JoinOutcome {
         groups,
         network,
@@ -401,6 +418,34 @@ mod tests {
         // Spectral may have rare false positives; with 5 keys in m=64·…
         // counters there are none.
         assert!(spectral_bloomjoin(&r, &s, &plan).groups.is_empty());
+    }
+
+    #[test]
+    fn threshold_groups_accepts_a_concurrent_backend() {
+        // The final scan is generic over SketchReader, so a lock-free
+        // AtomicMsSbf filled by parallel ingest threads can answer the
+        // grouped query directly — no copy into a single-threaded sketch.
+        let (r, s) = test_relations();
+        let plan = JoinPlan::sized_for(400, 17);
+        let atomic = spectral_bloom::AtomicMsSbf::new(plan.m, plan.k, plan.seed);
+        std::thread::scope(|scope| {
+            for chunk in s.tuples.chunks(s.tuples.len().div_ceil(4)) {
+                let handle = &atomic;
+                scope.spawn(move || {
+                    for t in chunk {
+                        handle.insert(&t.key);
+                    }
+                });
+            }
+        });
+        let groups = threshold_groups(&atomic, &r, 1);
+        let s_counts = s.group_counts();
+        for (key, &f_s) in &s_counts {
+            let got = groups.get(key).copied().unwrap_or(0);
+            assert!(got >= f_s, "group {key}: {got} < {f_s}");
+        }
+        let spurious = groups.keys().filter(|k| !s_counts.contains_key(k)).count();
+        assert!(spurious <= 400 / 20, "{spurious} spurious groups");
     }
 
     #[test]

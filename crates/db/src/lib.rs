@@ -14,9 +14,9 @@
 //! * [`wire`] — compact wire encoding of SBF counter vectors (Elias δ), so
 //!   the "filter as a message" scenario of §4.7.1 is exercised end-to-end,
 //! * [`join`] — three distributed join/aggregation strategies over two
-//!   sites: ship-everything, classic Bloomjoin [ML86], and the paper's
+//!   sites: ship-everything, classic Bloomjoin \[ML86\], and the paper's
 //!   Spectral Bloomjoin (one SBF transfer, zero feedback rounds),
-//! * [`bifocal`] — bifocal sampling join-size estimation [GGMS96] with the
+//! * [`bifocal`] — bifocal sampling join-size estimation \[GGMS96\] with the
 //!   SBF replacing the t-index,
 //! * [`cache`] — the Summary-Cache and attenuated-filter distributed cache
 //!   schemes the paper's introduction surveys (§1.1.1),
@@ -31,6 +31,7 @@ pub mod diff_file;
 pub mod distributed;
 pub mod hashtable;
 pub mod join;
+pub mod metrics;
 pub mod network;
 pub mod relation;
 pub mod wire;
@@ -42,7 +43,8 @@ pub use distributed::{build_global_synopsis, GlobalSynopsis, PartitionedRelation
 pub use hashtable::ChainedHashTable;
 pub use join::{
     bloomjoin, multiway_spectral_join, ship_all_join, spectral_bloomjoin,
-    spectral_bloomjoin_verified, JoinOutcome, JoinPlan,
+    spectral_bloomjoin_verified, threshold_groups, JoinOutcome, JoinPlan,
 };
+pub use metrics::{db_metrics, DbMetrics};
 pub use network::Network;
 pub use relation::Relation;

@@ -1,0 +1,75 @@
+//! Database-layer telemetry: wire traffic and join selectivity, published
+//! to the process-global [`sbf_telemetry`] registry.
+//!
+//! Same overhead contract as `spectral_bloom::metrics`: every update is
+//! guarded by [`sbf_telemetry::enabled`] (one relaxed load + a predictable
+//! branch when disabled).
+//!
+//! # Metric names
+//!
+//! | name | kind | measures |
+//! |---|---|---|
+//! | `sbf_db_wire_bytes_total` | counter | payload bytes recorded by [`crate::Network::send`] |
+//! | `sbf_db_wire_messages_total` | counter | site-to-site messages recorded |
+//! | `sbf_db_join_candidates_total` | counter | distinct values scanned in spectral-join final passes |
+//! | `sbf_db_join_reported_total` | counter | groups that cleared the `HAVING` threshold |
+//!
+//! `candidates − reported` over a run measures the spectral filter's
+//! pruning power; `reported / candidates` is the join's selectivity.
+
+use std::sync::{Arc, OnceLock};
+
+use sbf_telemetry::Counter;
+
+/// Handles to every metric this crate publishes (see the module table).
+#[derive(Debug)]
+pub struct DbMetrics {
+    /// `sbf_db_wire_bytes_total`.
+    pub wire_bytes: Arc<Counter>,
+    /// `sbf_db_wire_messages_total`.
+    pub wire_messages: Arc<Counter>,
+    /// `sbf_db_join_candidates_total`.
+    pub join_candidates: Arc<Counter>,
+    /// `sbf_db_join_reported_total`.
+    pub join_reported: Arc<Counter>,
+}
+
+static DB: OnceLock<DbMetrics> = OnceLock::new();
+
+/// The crate's metric handles, registered in [`sbf_telemetry::global`] on
+/// first call. Calling this pre-registers every metric name, so an
+/// exposition dump shows the full schema even before any event fires.
+pub fn db_metrics() -> &'static DbMetrics {
+    DB.get_or_init(|| {
+        let reg = sbf_telemetry::global();
+        DbMetrics {
+            wire_bytes: reg.counter("sbf_db_wire_bytes_total"),
+            wire_messages: reg.counter("sbf_db_wire_messages_total"),
+            join_candidates: reg.counter("sbf_db_join_candidates_total"),
+            join_reported: reg.counter("sbf_db_join_reported_total"),
+        }
+    })
+}
+
+/// Runs `f` against the metric handles iff telemetry is enabled.
+#[inline]
+pub(crate) fn on(f: impl FnOnce(&DbMetrics)) {
+    if sbf_telemetry::enabled() {
+        f(db_metrics());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_registered_once() {
+        let a = db_metrics() as *const DbMetrics;
+        let b = db_metrics() as *const DbMetrics;
+        assert_eq!(a, b);
+        let snap = sbf_telemetry::global().snapshot();
+        assert!(snap.get("sbf_db_wire_bytes_total").is_some());
+        assert!(snap.get("sbf_db_join_candidates_total").is_some());
+    }
+}

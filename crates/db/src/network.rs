@@ -5,6 +5,8 @@
 //! can be compared on the paper's terms ("saves significant transmission
 //! size", "minuscule network usage").
 
+use crate::metrics;
+
 /// A transfer ledger between two (or more) simulated sites.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Network {
@@ -24,6 +26,10 @@ impl Network {
     pub fn send(&mut self, bytes: usize) {
         self.bytes += bytes;
         self.messages += 1;
+        metrics::on(|m| {
+            m.wire_bytes.add(bytes as u64);
+            m.wire_messages.inc();
+        });
     }
 }
 

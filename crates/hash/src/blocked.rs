@@ -1,7 +1,7 @@
 //! Blocked (external-memory) hashing, after Manber & Wu.
 //!
 //! Section 2.2 of the paper ("External memory SBF") recalls the multi-level
-//! scheme of [MW94]: a first-level hash assigns each key to a *block*, and
+//! scheme of \[MW94\]: a first-level hash assigns each key to a *block*, and
 //! the `k` Bloom hash functions then hash only *within* that block. A lookup
 //! therefore touches a single block — one page of external storage — instead
 //! of up to `k` random pages. The paper notes that accuracy degrades only

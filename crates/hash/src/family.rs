@@ -50,7 +50,7 @@ fn validate_params(m: usize, k: usize) {
 /// Section 6.1 of the paper: *"The SBF was implemented using hash functions
 /// of modulo/multiply type: given a value v, its hash value H(v),
 /// 0 ≤ H(v) < m is computed by H(v) = ⌈m(αv mod 1)⌉, where α is taken
-/// uniformly at random from [0,1]."*
+/// uniformly at random from \[0,1\]."*
 ///
 /// We realize `α ∈ [0,1)` as a random odd 64-bit integer `a` interpreted as
 /// the fixed-point fraction `a / 2^64`; then `αv mod 1` is simply the

@@ -5,7 +5,7 @@
 //! that the workspace's property tests actually use, under the same paths:
 //!
 //! * the [`proptest!`] macro (with `#![proptest_config(...)]` support),
-//! * integer-range / tuple / [`Just`] / `any::<T>()` strategies,
+//! * integer-range / tuple / `Just` / `any::<T>()` strategies,
 //! * `proptest::collection::vec` (aliased as `prop::collection::vec`),
 //! * `prop::bool::ANY`,
 //! * weighted [`prop_oneof!`],

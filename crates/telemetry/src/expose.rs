@@ -1,0 +1,110 @@
+//! A minimal parser for the Prometheus text exposition format — enough to
+//! round-trip what [`crate::Snapshot::to_prometheus`] writes, so tests and
+//! tooling can assert on dumped metrics without string-scraping.
+
+/// A malformed exposition line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "exposition line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses Prometheus text exposition into `(series name, value)` pairs.
+///
+/// Comment (`#`) and blank lines are skipped; every other line must be
+/// `name[{labels}] value`. Series names keep their label part verbatim.
+///
+/// ```
+/// let pairs = sbf_telemetry::parse_exposition(
+///     "# TYPE x counter\nx 3\ny{shard=\"0\"} 1.5\n",
+/// ).unwrap();
+/// assert_eq!(pairs[0], ("x".to_string(), 3.0));
+/// assert_eq!(pairs[1], ("y{shard=\"0\"}".to_string(), 1.5));
+/// ```
+pub fn parse_exposition(text: &str) -> Result<Vec<(String, f64)>, ParseError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((name, value)) = line.rsplit_once(char::is_whitespace) else {
+            return Err(ParseError {
+                line: i + 1,
+                message: format!("expected `name value`, got {line:?}"),
+            });
+        };
+        let name = name.trim_end();
+        if name.is_empty() {
+            return Err(ParseError {
+                line: i + 1,
+                message: "empty metric name".into(),
+            });
+        }
+        let value = match value {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            v => v.parse::<f64>().map_err(|_| ParseError {
+                line: i + 1,
+                message: format!("bad sample value {v:?}"),
+            })?,
+        };
+        out.push((name.to_string(), value));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn roundtrips_a_full_snapshot() {
+        let r = Registry::new();
+        r.counter("inserts_total").add(100);
+        r.gauge("occupancy{shard=\"2\"}").set(0.125);
+        let h = r.histogram("sizes");
+        h.observe(5);
+        h.observe(9);
+        let text = r.snapshot().to_prometheus();
+        let pairs = parse_exposition(&text).unwrap();
+        let get = |n: &str| {
+            pairs
+                .iter()
+                .find(|(name, _)| name == n)
+                .map(|&(_, v)| v)
+                .unwrap_or_else(|| panic!("missing series {n} in:\n{text}"))
+        };
+        assert_eq!(get("inserts_total"), 100.0);
+        assert_eq!(get("occupancy{shard=\"2\"}"), 0.125);
+        assert_eq!(get("sizes_sum"), 14.0);
+        assert_eq!(get("sizes_count"), 2.0);
+        assert_eq!(get("sizes_bucket{le=\"8\"}"), 1.0);
+        assert_eq!(get("sizes_bucket{le=\"+Inf\"}"), 2.0);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = parse_exposition("valid 1\nnot-a-pair\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse_exposition("name notanumber\n").unwrap_err();
+        assert!(err.message.contains("bad sample value"));
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let pairs = parse_exposition("# HELP x y\n\n# TYPE x counter\nx 1\n").unwrap();
+        assert_eq!(pairs, vec![("x".to_string(), 1.0)]);
+    }
+}

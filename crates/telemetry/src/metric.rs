@@ -1,0 +1,330 @@
+//! The three metric primitives: counter, gauge, log2 histogram.
+//!
+//! All are lock-free over relaxed atomics. Relaxed is enough: metrics are
+//! independent statistics, no reader infers cross-metric ordering from
+//! them, and the snapshot path tolerates seeing counts mid-flight.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event count.
+///
+/// ```
+/// let c = sbf_telemetry::Counter::new();
+/// c.inc();
+/// c.add(9);
+/// assert_eq!(c.get(), 10);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `by`.
+    #[inline]
+    pub fn add(&self, by: u64) {
+        self.value.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous value that can move both ways (occupancy ratio, shard
+/// total, queue depth). Stored as the bit pattern of an `f64` in an
+/// `AtomicU64`, so reads and writes stay lock-free.
+///
+/// ```
+/// let g = sbf_telemetry::Gauge::new();
+/// g.set(0.25);
+/// assert_eq!(g.get(), 0.25);
+/// g.set_u64(1500);
+/// assert_eq!(g.get(), 1500.0);
+/// ```
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl Gauge {
+    /// A gauge at `0.0`.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Sets the value from an integer (convenience for totals).
+    #[inline]
+    pub fn set_u64(&self, v: u64) {
+        self.set(v as f64);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of histogram buckets: `le = 0, 1, 2, 4, …, 2^62`, plus `+Inf`.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-bucket base-2 histogram over `u64` observations.
+///
+/// Bucket `0` holds observations equal to zero; bucket `i ≥ 1` holds
+/// observations in `(2^{i-2}, 2^{i-1}]` (upper bound `2^{i-1}`); the last
+/// bucket is `+Inf`. Fixed buckets mean `observe` is a shift, a branch and
+/// one relaxed `fetch_add` — cheap enough for per-operation use.
+///
+/// ```
+/// let h = sbf_telemetry::Histogram::new();
+/// h.observe(0);
+/// h.observe(3);
+/// h.observe(4);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.sum(), 7);
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The frozen state of a [`Histogram`] at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Cumulative bucket counts as `(upper_bound, observations ≤ bound)`;
+    /// the final entry has bound `f64::INFINITY` and equals `count`.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// The bucket index for a value: 0 for 0, else `⌈log2 v⌉ + 1` capped at
+    /// the `+Inf` slot.
+    #[inline]
+    fn slot(v: u64) -> usize {
+        if v == 0 {
+            return 0;
+        }
+        let bits = 64 - v.leading_zeros() as usize;
+        let slot = if v.is_power_of_two() { bits } else { bits + 1 };
+        slot.min(BUCKETS - 1)
+    }
+
+    /// The upper bound (`le`) of bucket `i`; the last bucket is `+Inf`.
+    fn bound(i: usize) -> f64 {
+        match i {
+            0 => 0.0,
+            _ if i == BUCKETS - 1 => f64::INFINITY,
+            _ => (1u64 << (i - 1)) as f64,
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.buckets[Self::slot(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Freezes the current state, converting per-bucket counts into the
+    /// cumulative form Prometheus exposition uses. Empty trailing buckets
+    /// (beyond the largest observation) are elided; the `+Inf` bucket is
+    /// always present.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let raw: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let last_used = raw.iter().rposition(|&c| c > 0).unwrap_or(0);
+        let mut cumulative = 0u64;
+        let mut buckets = Vec::with_capacity(last_used + 2);
+        for (i, &c) in raw.iter().enumerate().take(last_used + 1) {
+            cumulative += c;
+            buckets.push((Self::bound(i), cumulative));
+        }
+        let count = raw.iter().sum();
+        if buckets.last().is_none_or(|&(b, _)| b.is_finite()) {
+            buckets.push((f64::INFINITY, count));
+        }
+        HistogramSnapshot {
+            count,
+            sum: self.sum(),
+            buckets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn counter_is_safe_under_concurrent_increments() {
+        let c = Arc::new(Counter::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000, "increments must never be lost");
+    }
+
+    #[test]
+    fn gauge_roundtrips_floats_and_ints() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(0.625);
+        assert_eq!(g.get(), 0.625);
+        g.set_u64(u64::MAX);
+        assert_eq!(g.get(), u64::MAX as f64);
+        g.set(-1.5);
+        assert_eq!(g.get(), -1.5);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // Values land in the bucket whose upper bound is the smallest
+        // power of two ≥ value (0 has its own bucket).
+        assert_eq!(Histogram::slot(0), 0);
+        assert_eq!(Histogram::slot(1), 1); // le 1
+        assert_eq!(Histogram::slot(2), 2); // le 2
+        assert_eq!(Histogram::slot(3), 3); // le 4
+        assert_eq!(Histogram::slot(4), 3); // le 4
+        assert_eq!(Histogram::slot(5), 4); // le 8
+        assert_eq!(Histogram::slot(1 << 20), 21);
+        assert_eq!(Histogram::slot((1 << 20) + 1), 22);
+        assert_eq!(Histogram::slot(u64::MAX), BUCKETS - 1); // +Inf slot
+    }
+
+    #[test]
+    fn histogram_snapshot_is_cumulative() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 2, 3, 4, 100] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 7);
+        assert_eq!(snap.sum, 111);
+        // Cumulative counts at each bound.
+        let at = |bound: f64| {
+            snap.buckets
+                .iter()
+                .find(|&&(b, _)| b == bound)
+                .map(|&(_, c)| c)
+        };
+        assert_eq!(at(0.0), Some(1));
+        assert_eq!(at(1.0), Some(3));
+        assert_eq!(at(2.0), Some(4));
+        assert_eq!(at(4.0), Some(6));
+        assert_eq!(at(128.0), Some(7));
+        let (last_bound, last_count) = *snap.buckets.last().unwrap();
+        assert!(last_bound.is_infinite());
+        assert_eq!(last_count, 7);
+        // Monotone non-decreasing.
+        for w in snap.buckets.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_snapshot() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.sum, 0);
+        assert_eq!(
+            snap.buckets.last().map(|&(b, c)| (b.is_infinite(), c)),
+            Some((true, 0))
+        );
+    }
+
+    #[test]
+    fn concurrent_observations_preserve_count_and_sum() {
+        let h = Arc::new(Histogram::new());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..5_000u64 {
+                        h.observe(t + i % 7);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 20_000);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets.last().unwrap().1, 20_000);
+    }
+}

@@ -1,0 +1,317 @@
+//! Named metric storage, snapshots, and exposition.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+use crate::metric::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+/// A registered metric of any kind.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// A monotonically increasing counter.
+    Counter(Arc<Counter>),
+    /// An instantaneous value.
+    Gauge(Arc<Gauge>),
+    /// A log2-bucketed distribution.
+    Histogram(Arc<Histogram>),
+}
+
+/// Named get-or-register storage for metrics.
+///
+/// Registration takes a write lock once per metric *name*; hot paths hold
+/// the returned `Arc` and never touch the registry again. Names follow
+/// Prometheus conventions (`snake_case`, `_total` suffix for counters) and
+/// may carry a literal label set: `sbf_shard_ops_total{shard="3"}`. Series
+/// sharing a base name group together in the exposition because the map is
+/// ordered.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+/// One named value inside a [`Snapshot`].
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Full metric name, including any literal label set.
+    pub name: String,
+    /// The frozen value.
+    pub value: SampleValue,
+}
+
+/// The frozen value of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(f64),
+    /// Histogram state (cumulative buckets, sum, count).
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time copy of every registered metric, name-ordered.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// The frozen samples, ordered by name.
+    pub samples: Vec<Sample>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns the counter named `name`, registering it at zero on first
+    /// use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self.get_or_register(name, || Metric::Counter(Arc::new(Counter::new()))) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name} already registered as {}", kind_of(&other)),
+        }
+    }
+
+    /// Returns the gauge named `name`, registering it at zero on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.get_or_register(name, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name} already registered as {}", kind_of(&other)),
+        }
+    }
+
+    /// Returns the histogram named `name`, registering it empty on first
+    /// use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        match self.get_or_register(name, || Metric::Histogram(Arc::new(Histogram::new()))) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name} already registered as {}", kind_of(&other)),
+        }
+    }
+
+    fn get_or_register(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        if let Some(m) = self.metrics.read().expect("registry poisoned").get(name) {
+            return m.clone();
+        }
+        let mut map = self.metrics.write().expect("registry poisoned");
+        map.entry(name.to_string()).or_insert_with(make).clone()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.read().expect("registry poisoned").len()
+    }
+
+    /// Whether no metric has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Freezes every registered metric into a [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.metrics.read().expect("registry poisoned");
+        let samples = map
+            .iter()
+            .map(|(name, metric)| Sample {
+                name: name.clone(),
+                value: match metric {
+                    Metric::Counter(c) => SampleValue::Counter(c.get()),
+                    Metric::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Metric::Histogram(h) => SampleValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        Snapshot { samples }
+    }
+}
+
+fn kind_of(m: &Metric) -> &'static str {
+    match m {
+        Metric::Counter(_) => "a counter",
+        Metric::Gauge(_) => "a gauge",
+        Metric::Histogram(_) => "a histogram",
+    }
+}
+
+/// Splits a full series name into `(base name, label part)`; the label part
+/// includes the braces and is empty when there are no labels.
+fn split_labels(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(i) => name.split_at(i),
+        None => (name, ""),
+    }
+}
+
+impl Snapshot {
+    /// Looks up a sample by full name.
+    pub fn get(&self, name: &str) -> Option<&SampleValue> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| &s.value)
+    }
+
+    /// Convenience: the value of a counter sample, if present and a counter.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            SampleValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Convenience: the value of a gauge sample, if present and a gauge.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        match self.get(name)? {
+            SampleValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format:
+    /// one `# TYPE` line per metric base name, then one sample line per
+    /// series (histograms expand into `_bucket`/`_sum`/`_count`).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_base = "";
+        for sample in &self.samples {
+            let (base, labels) = split_labels(&sample.name);
+            if base != last_base {
+                let kind = match &sample.value {
+                    SampleValue::Counter(_) => "counter",
+                    SampleValue::Gauge(_) => "gauge",
+                    SampleValue::Histogram(_) => "histogram",
+                };
+                out.push_str(&format!("# TYPE {base} {kind}\n"));
+                last_base = base;
+            }
+            match &sample.value {
+                SampleValue::Counter(v) => {
+                    out.push_str(&format!("{base}{labels} {v}\n"));
+                }
+                SampleValue::Gauge(v) => {
+                    out.push_str(&format!("{base}{labels} {v}\n"));
+                }
+                SampleValue::Histogram(h) => {
+                    for &(bound, cum) in &h.buckets {
+                        let le = if bound.is_infinite() {
+                            "+Inf".to_string()
+                        } else {
+                            format!("{bound}")
+                        };
+                        out.push_str(&format!("{base}_bucket{{le=\"{le}\"}} {cum}\n"));
+                    }
+                    out.push_str(&format!("{base}_sum{labels} {}\n", h.sum));
+                    out.push_str(&format!("{base}_count{labels} {}\n", h.count));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_returns_the_same_metric() {
+        let r = Registry::new();
+        let a = r.counter("x_total");
+        let b = r.counter("x_total");
+        a.inc();
+        assert_eq!(b.get(), 1, "both handles must alias one counter");
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x_total");
+        let _ = r.gauge("x_total");
+    }
+
+    #[test]
+    fn snapshot_freezes_all_kinds() {
+        let r = Registry::new();
+        r.counter("ops_total").add(7);
+        r.gauge("occupancy_ratio").set(0.5);
+        r.histogram("estimate_values").observe(12);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter_value("ops_total"), Some(7));
+        assert_eq!(snap.gauge_value("occupancy_ratio"), Some(0.5));
+        match snap.get("estimate_values") {
+            Some(SampleValue::Histogram(h)) => {
+                assert_eq!(h.count, 1);
+                assert_eq!(h.sum, 12);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn labeled_series_share_one_type_line() {
+        let r = Registry::new();
+        r.gauge("shard_ops{shard=\"0\"}").set_u64(10);
+        r.gauge("shard_ops{shard=\"1\"}").set_u64(20);
+        let text = r.snapshot().to_prometheus();
+        assert_eq!(text.matches("# TYPE shard_ops gauge").count(), 1);
+        assert!(text.contains("shard_ops{shard=\"0\"} 10"));
+        assert!(text.contains("shard_ops{shard=\"1\"} 20"));
+    }
+
+    #[test]
+    fn exposition_golden_format() {
+        let r = Registry::new();
+        r.counter("a_total").add(3);
+        r.gauge("b_ratio").set(0.25);
+        let h = r.histogram("c_sizes");
+        h.observe(1);
+        h.observe(3);
+        let text = r.snapshot().to_prometheus();
+        let expected = "\
+# TYPE a_total counter
+a_total 3
+# TYPE b_ratio gauge
+b_ratio 0.25
+# TYPE c_sizes histogram
+c_sizes_bucket{le=\"0\"} 0
+c_sizes_bucket{le=\"1\"} 1
+c_sizes_bucket{le=\"2\"} 1
+c_sizes_bucket{le=\"4\"} 2
+c_sizes_bucket{le=\"+Inf\"} 2
+c_sizes_sum 4
+c_sizes_count 2
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn registrations_race_safely() {
+        let r = std::sync::Arc::new(Registry::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let r = std::sync::Arc::clone(&r);
+                s.spawn(move || {
+                    for i in 0..100 {
+                        r.counter(&format!("m{}_total", i % 10)).inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(r.len(), 10);
+        let snap = r.snapshot();
+        let total: u64 = (0..10)
+            .map(|i| snap.counter_value(&format!("m{i}_total")).unwrap())
+            .sum();
+        assert_eq!(total, 400);
+    }
+}

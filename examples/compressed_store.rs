@@ -6,7 +6,9 @@
 use sbf_hash::MixFamily;
 use sbf_sai::{CompactCounterArray, StaticCounterArray};
 use sbf_workloads::ZipfWorkload;
-use spectral_bloom::{CompressedCounters, CounterStore, MsSbf, MultisetSketch, PlainCounters};
+use spectral_bloom::{
+    CompressedCounters, CounterStore, MsSbf, MultisetSketch, PlainCounters, SketchReader,
+};
 
 fn main() {
     let m = 100_000;

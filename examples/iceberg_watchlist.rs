@@ -10,7 +10,9 @@
 
 use sbf_hash::SplitMix64;
 use sbf_workloads::ZipfWorkload;
-use spectral_bloom::{ad_hoc_iceberg, multiscan_iceberg, MsSbf, MultiscanConfig, MultisetSketch};
+use spectral_bloom::{
+    ad_hoc_iceberg, multiscan_iceberg, MsSbf, MultiscanConfig, MultisetSketch, SketchReader,
+};
 
 fn main() {
     // 50k contact events over 5k customers, heavy-tailed (a few customers

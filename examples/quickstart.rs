@@ -3,7 +3,9 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use spectral_bloom::{bloom_error_rate, MiSbf, MsSbf, MultisetSketch, RmSbf, SbfParams};
+use spectral_bloom::{
+    bloom_error_rate, MiSbf, MsSbf, MultisetSketch, RmSbf, SbfParams, SketchReader,
+};
 
 fn main() {
     // --- Sizing -----------------------------------------------------------

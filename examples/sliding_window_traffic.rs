@@ -16,7 +16,7 @@ use std::collections::VecDeque;
 use std::sync::mpsc;
 
 use sbf_workloads::ZipfWorkload;
-use spectral_bloom::{MultisetSketch, RmSbf, SharedSketch};
+use spectral_bloom::{RmSbf, SharedSketch, SketchReader};
 
 const WINDOW: usize = 20_000;
 

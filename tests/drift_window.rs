@@ -4,7 +4,9 @@
 //! *current* ones while the whole-stream filter stays stuck on history.
 
 use sbf_workloads::DriftStream;
-use spectral_bloom::{ad_hoc_iceberg, MsSbf, MultisetSketch, RmSbf, SlidingWindowSbf};
+use spectral_bloom::{
+    ad_hoc_iceberg, MsSbf, MultisetSketch, RmSbf, SketchReader, SlidingWindowSbf,
+};
 
 #[test]
 fn windowed_sbf_tracks_drifting_heavy_hitters() {

@@ -7,7 +7,7 @@ use sbf_db::wire;
 use sbf_hash::{BlockedFamily, HashFamily, MixFamily};
 use sbf_workloads::{SlidingWindowStream, StreamEvent, ZipfWorkload};
 use spectral_bloom::{
-    CompressedCounters, CounterStore, MsSbf, MultisetSketch, PlainCounters, RmSbf,
+    CompressedCounters, CounterStore, MsSbf, MultisetSketch, PlainCounters, RmSbf, SketchReader,
 };
 
 #[test]

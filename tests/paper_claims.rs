@@ -4,6 +4,7 @@ use proptest::prelude::*;
 use sbf_workloads::{DeletionPhaseStream, ZipfWorkload};
 use spectral_bloom::{
     ad_hoc_iceberg, bloom_error_rate, unbiased_estimate, MiSbf, MsSbf, MultisetSketch, RmSbf,
+    SketchReader,
 };
 
 /// Claim 1 (§2.2): `f_x ≤ m_x` for all keys, under arbitrary insert

@@ -6,7 +6,7 @@ use std::collections::HashMap;
 
 use spectral_bloom::{
     ad_hoc_iceberg, multiscan_iceberg, BloomFilter, MiSbf, MsSbf, MultiscanConfig, MultisetSketch,
-    RangeTreeSketch, RmSbf,
+    RangeTreeSketch, RmSbf, SketchReader,
 };
 
 proptest! {
