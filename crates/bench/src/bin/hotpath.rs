@@ -1,0 +1,325 @@
+//! Guardrail: the batched, prefetch-pipelined hot path must beat (or at
+//! worst match) the item-at-a-time loop on every backend.
+//!
+//! Each combo races two loops over the same key stream:
+//!
+//! * **single** — `insert`/`estimate` called once per key, the classic
+//!   pointer-chasing inner loop whose `k` counter loads miss serially;
+//! * **batch** — `insert_batch`/`estimate_batch_into` in chunks, where the
+//!   software pipeline hashes item `i + D` and prefetches its counter
+//!   cache lines while item `i` is applied.
+//!
+//! The figure of merit per combo is the **speedup** `batch / single`.
+//! Comparing speedups rather than Melem/s keeps the `--check` baseline
+//! portable between machines of different speeds: a drop in the ratio
+//! means the batch path got slower *relative to the single path on the
+//! same machine* — exactly the regression a broken pipeline depth, a lost
+//! prefetch, or an accidental per-item allocation would cause.
+//!
+//! Measurement protocol, tuned for noisy shared-CPU runners: each round
+//! times the single loop and the batch loop back to back over one
+//! long-lived sketch (no allocation or page faults in the timed region
+//! after the discarded warm-up round), and the reported speedup is the
+//! **median of the per-round paired ratios** — frequency drift or a noisy
+//! neighbour perturbs both halves of a pair about equally and drops out,
+//! where a best-of-N over independent timings would compare two different
+//! moments.
+//!
+//! The filter is sized at `m = 2^20` counters (8 MiB of `u64`s) so the
+//! working set comfortably exceeds L2 and the prefetches have real misses
+//! to hide; the streams are Zipf (hot keys resident in cache) and uniform
+//! (every access a likely miss) to bracket the realistic range.
+//!
+//! ```text
+//! hotpath                             # measure and print
+//! hotpath --record BENCH_hotpath.json # write the baseline
+//! hotpath --check  BENCH_hotpath.json # exit 1 on >10% speedup regression
+//! ```
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use sbf_hash::SplitMix64;
+use sbf_workloads::ZipfWorkload;
+use spectral_bloom::{
+    AtomicMsSbf, BlockedMsSbf, MiSbf, MsSbf, MultisetSketch, ShardedSketch, SketchReader,
+};
+
+const M: usize = 1 << 20;
+const K: usize = 5;
+const SEED: u64 = 42;
+const STREAM: usize = 400_000;
+const DISTINCT: usize = 60_000;
+/// Batch-call granularity: large enough to amortise the pipeline warm-up,
+/// small enough to model a streaming consumer draining a bounded queue.
+const CHUNK: usize = 4096;
+const ROUNDS: usize = 9;
+const SHARDS: usize = 4;
+const BLOCK: usize = 64;
+/// Allowed relative drop of a combo's speedup before `--check` fails.
+const TOLERANCE: f64 = 0.10;
+
+struct Combo {
+    name: &'static str,
+    single_melem_s: f64,
+    batch_melem_s: f64,
+    speedup: f64,
+}
+
+/// One timed round of either loop; `batch` selects which. The closure owns
+/// whatever sketch state the combo needs, so the timed region is pure
+/// hot-path work.
+fn race(keys: &[u64], mut run: impl FnMut(&[u64], bool)) -> (f64, f64, f64) {
+    // Warm-up: touch every page of the sketch and the stream once, untimed.
+    run(keys, false);
+    run(keys, true);
+    let mut single_times = Vec::with_capacity(ROUNDS);
+    let mut batch_times = Vec::with_capacity(ROUNDS);
+    for round in 0..ROUNDS {
+        // Alternate which loop goes first: if CPU conditions drift within
+        // a pair (throttling, a noisy neighbour), the penalty alternates
+        // sides instead of always taxing the second loop.
+        let order = [round % 2 == 1, round % 2 == 0];
+        for batched in order {
+            let t = Instant::now();
+            run(keys, batched);
+            let elapsed = t.elapsed().as_secs_f64();
+            if batched {
+                batch_times.push(elapsed);
+            } else {
+                single_times.push(elapsed);
+            }
+        }
+    }
+    let mut ratios: Vec<f64> = single_times
+        .iter()
+        .zip(&batch_times)
+        .map(|(s, b)| s / b)
+        .collect();
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let speedup = ratios[ratios.len() / 2];
+    let best =
+        |ts: &[f64]| keys.len() as f64 / ts.iter().copied().fold(f64::INFINITY, f64::min) / 1e6;
+    (best(&single_times), best(&batch_times), speedup)
+}
+
+fn combo(name: &'static str, keys: &[u64], run: impl FnMut(&[u64], bool)) -> Combo {
+    let (single_melem_s, batch_melem_s, speedup) = race(keys, run);
+    Combo {
+        name,
+        single_melem_s,
+        batch_melem_s,
+        speedup,
+    }
+}
+
+/// Insert rounds keep feeding one long-lived sketch: increment cost does
+/// not depend on the values already in the counters, and reusing the
+/// allocation keeps page faults out of the timed region.
+fn insert_combo<SK: MultisetSketch + SketchReader>(
+    name: &'static str,
+    keys: &[u64],
+    mut s: SK,
+) -> Combo {
+    let c = combo(name, keys, |keys, batched| {
+        if batched {
+            for chunk in keys.chunks(CHUNK) {
+                s.insert_batch(chunk);
+            }
+        } else {
+            for key in keys {
+                s.insert(key);
+            }
+        }
+    });
+    black_box(s.total_count());
+    c
+}
+
+fn estimate_combo<SK: SketchReader>(name: &'static str, keys: &[u64], sketch: &SK) -> Combo {
+    let mut out = Vec::with_capacity(CHUNK);
+    let mut acc = 0u64;
+    let c = combo(name, keys, |keys, batched| {
+        if batched {
+            for chunk in keys.chunks(CHUNK) {
+                sketch.estimate_batch_into(chunk, &mut out);
+                acc = acc.wrapping_add(out.iter().sum::<u64>());
+            }
+        } else {
+            for key in keys {
+                acc = acc.wrapping_add(sketch.estimate(key));
+            }
+        }
+    });
+    black_box(acc);
+    c
+}
+
+fn uniform_keys(n: usize, total: usize, seed: u64) -> Vec<u64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..total).map(|_| rng.next_u64() % n as u64).collect()
+}
+
+fn measure() -> Vec<Combo> {
+    let zipf = ZipfWorkload::generate(DISTINCT, STREAM, 1.1, 7).stream;
+    let uniform = uniform_keys(DISTINCT, STREAM, 0xfeed);
+
+    // Insert path, every mutable backend, Zipf stream — then the uniform
+    // stream (the cache-hostile end of the range) on the MS layouts.
+    let mut combos = vec![
+        insert_combo("ms_insert_zipf", &zipf, MsSbf::new(M, K, SEED)),
+        insert_combo(
+            "blocked_insert_zipf",
+            &zipf,
+            BlockedMsSbf::new_blocked(BLOCK, M / BLOCK, K, SEED),
+        ),
+        insert_combo("mi_insert_zipf", &zipf, MiSbf::new(M, K, SEED)),
+        insert_combo("ms_insert_uniform", &uniform, MsSbf::new(M, K, SEED)),
+        insert_combo(
+            "blocked_insert_uniform",
+            &uniform,
+            BlockedMsSbf::new_blocked(BLOCK, M / BLOCK, K, SEED),
+        ),
+    ];
+
+    // Shared-reference backends insert through `&self`.
+    {
+        let s = AtomicMsSbf::new(M, K, SEED);
+        combos.push(combo("atomic_insert_zipf", &zipf, |keys, batched| {
+            if batched {
+                for chunk in keys.chunks(CHUNK) {
+                    s.insert_batch(chunk);
+                }
+            } else {
+                for key in keys {
+                    s.insert(key);
+                }
+            }
+        }));
+        black_box(s.total_count());
+    }
+    {
+        let s = ShardedSketch::with_shards(SHARDS, |_| MsSbf::new(M / SHARDS, K, SEED));
+        combos.push(combo("sharded_insert_zipf", &zipf, |keys, batched| {
+            if batched {
+                for chunk in keys.chunks(CHUNK) {
+                    s.insert_batch(chunk);
+                }
+            } else {
+                for key in keys {
+                    s.insert(key);
+                }
+            }
+        }));
+        black_box(s.total_count());
+    }
+
+    // Estimate path over pre-built filters.
+    let mut ms = MsSbf::new(M, K, SEED);
+    ms.insert_batch(&zipf);
+    combos.push(estimate_combo("ms_estimate_zipf", &zipf, &ms));
+    combos.push(estimate_combo("ms_estimate_uniform", &uniform, &ms));
+
+    let mut blocked = BlockedMsSbf::new_blocked(BLOCK, M / BLOCK, K, SEED);
+    blocked.insert_batch(&zipf);
+    combos.push(estimate_combo("blocked_estimate_zipf", &zipf, &blocked));
+    combos.push(estimate_combo(
+        "blocked_estimate_uniform",
+        &uniform,
+        &blocked,
+    ));
+
+    let atomic = AtomicMsSbf::new(M, K, SEED);
+    atomic.insert_batch(&zipf);
+    combos.push(estimate_combo("atomic_estimate_zipf", &zipf, &atomic));
+
+    let sharded = ShardedSketch::with_shards(SHARDS, |_| MsSbf::new(M / SHARDS, K, SEED));
+    sharded.insert_batch(&zipf);
+    combos.push(estimate_combo("sharded_estimate_zipf", &zipf, &sharded));
+
+    combos
+}
+
+fn to_json(combos: &[Combo]) -> String {
+    let mut out = String::from("{\n");
+    for (i, c) in combos.iter().enumerate() {
+        let sep = if i + 1 == combos.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  \"{}_single_melem_s\": {:.3},\n  \"{}_batch_melem_s\": {:.3},\n  \"{}_speedup\": {:.4}{sep}\n",
+            c.name, c.single_melem_s, c.name, c.batch_melem_s, c.name, c.speedup
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Pulls `"name": <number>` out of the baseline file (the JSON here is flat
+/// and self-produced, so a scanner beats a parser dependency).
+fn json_field(text: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"{name}\"");
+    let rest = &text[text.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let combos = measure();
+    println!(
+        "{:<26} {:>10} {:>10} {:>9}",
+        "combo", "single", "batch", "speedup"
+    );
+    for c in &combos {
+        println!(
+            "{:<26} {:>7.2} M/s {:>6.2} M/s {:>8.3}x",
+            c.name, c.single_melem_s, c.batch_melem_s, c.speedup
+        );
+    }
+    match args.first().map(String::as_str) {
+        None => {}
+        Some("--record") => {
+            let path = args.get(1).expect("--record needs a path");
+            std::fs::write(path, to_json(&combos)).expect("write baseline");
+            println!("baseline recorded to {path}");
+        }
+        Some("--check") => {
+            let path = args.get(1).expect("--check needs a path");
+            let text = std::fs::read_to_string(path).expect("read baseline");
+            let mut failed = false;
+            for c in &combos {
+                let field = format!("{}_speedup", c.name);
+                let Some(baseline) = json_field(&text, &field) else {
+                    eprintln!("FAIL: baseline missing {field}");
+                    failed = true;
+                    continue;
+                };
+                let floor = baseline * (1.0 - TOLERANCE);
+                let status = if c.speedup < floor {
+                    failed = true;
+                    "FAIL"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "{status:>4} {:<26} speedup {:.3} vs baseline {baseline:.3} (floor {floor:.3})",
+                    c.name, c.speedup
+                );
+            }
+            if failed {
+                eprintln!(
+                    "FAIL: batch hot path regressed >{:.0}% vs {path}",
+                    TOLERANCE * 100.0
+                );
+                std::process::exit(1);
+            }
+            println!("OK: batch hot path within tolerance on every combo");
+        }
+        Some(other) => {
+            eprintln!("usage: hotpath [--record <path> | --check <path>] ({other}?)");
+            std::process::exit(2);
+        }
+    }
+}

@@ -255,6 +255,158 @@ pub fn rehydrate(env: &FilterEnvelope) -> MsSbf {
     sbf
 }
 
+/// Parsed `bench` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchOpts {
+    /// Counters in the benchmarked filter.
+    pub m: usize,
+    /// Hash functions.
+    pub k: usize,
+    /// Hash seed.
+    pub seed: u64,
+    /// Stream length (keys inserted, then estimated).
+    pub keys: usize,
+    /// Distinct keys in the stream.
+    pub distinct: usize,
+    /// Keys per `insert_batch` / `estimate_batch_into` call.
+    pub batch_size: usize,
+    /// Algorithm under test.
+    pub kind: FilterKind,
+}
+
+/// Parses `bench` arguments.
+pub fn parse_bench(mut args: Vec<String>) -> Result<BenchOpts, CliError> {
+    fn num<T: std::str::FromStr>(
+        args: &mut Vec<String>,
+        flag: &str,
+        default: T,
+    ) -> Result<T, CliError> {
+        take_flag(args, flag).map_or(Ok(default), |v| {
+            v.parse::<T>()
+                .map_err(|_| CliError::Usage(format!("{flag} must be an integer")))
+        })
+    }
+    let m = num(&mut args, "--m", 1usize << 20)?;
+    let k = num(&mut args, "--k", 5usize)?;
+    let seed = num(&mut args, "--seed", 42u64)?;
+    let keys = num(&mut args, "--keys", 400_000usize)?;
+    let distinct = num(&mut args, "--distinct", 60_000usize)?;
+    let batch_size = num(&mut args, "--batch-size", 4096usize)?;
+    let kind = match take_flag(&mut args, "--algo").as_deref() {
+        None | Some("ms") => FilterKind::MinimumSelection,
+        Some("mi") => FilterKind::MinimalIncrease,
+        Some(other) => {
+            return Err(CliError::Usage(format!("unknown --algo {other} (ms|mi)")));
+        }
+    };
+    if !args.is_empty() {
+        return Err(CliError::Usage(format!("unrecognized arguments: {args:?}")));
+    }
+    if m == 0 || k == 0 || keys == 0 || distinct == 0 || batch_size == 0 {
+        return Err(CliError::Usage(
+            "--m, --k, --keys, --distinct and --batch-size must be positive".into(),
+        ));
+    }
+    Ok(BenchOpts {
+        m,
+        k,
+        seed,
+        keys,
+        distinct,
+        batch_size,
+        kind,
+    })
+}
+
+/// Best-of-three timing of `f`, as a throughput in Melem/s over `n` items.
+fn melem_per_s(n: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = std::time::Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    n as f64 / best / 1e6
+}
+
+/// Insert/estimate micro-benchmark of one sketch: single-item loop vs the
+/// batched (prefetch-pipelined) path, in `batch_size` chunks.
+fn bench_sketch<SK: MultisetSketch + SketchReader>(
+    mut sketch: SK,
+    keys: &[u64],
+    batch_size: usize,
+) -> [(&'static str, f64, f64); 2] {
+    let insert_single = melem_per_s(keys.len(), || {
+        for key in keys {
+            sketch.insert(key);
+        }
+    });
+    let insert_batch = melem_per_s(keys.len(), || {
+        for chunk in keys.chunks(batch_size) {
+            sketch.insert_batch(chunk);
+        }
+    });
+    let mut acc = 0u64;
+    let estimate_single = melem_per_s(keys.len(), || {
+        for key in keys {
+            acc = acc.wrapping_add(sketch.estimate(key));
+        }
+    });
+    let mut out = Vec::with_capacity(batch_size);
+    let estimate_batch = melem_per_s(keys.len(), || {
+        for chunk in keys.chunks(batch_size) {
+            sketch.estimate_batch_into(chunk, &mut out);
+            acc = acc.wrapping_add(out.iter().sum::<u64>());
+        }
+    });
+    std::hint::black_box(acc);
+    [
+        ("insert", insert_single, insert_batch),
+        ("estimate", estimate_single, estimate_batch),
+    ]
+}
+
+/// Runs `bench`: races the batched hot path against the item-at-a-time
+/// loop on an in-memory filter and prints a throughput table.
+pub fn run_bench(opts: &BenchOpts, mut stdout: impl Write) -> Result<String, CliError> {
+    let mut rng = sbf_hash::SplitMix64::new(opts.seed ^ 0xb37c);
+    let keys: Vec<u64> = (0..opts.keys)
+        .map(|_| rng.next_u64() % opts.distinct as u64)
+        .collect();
+    let rows = match opts.kind {
+        FilterKind::MinimalIncrease => bench_sketch(
+            MiSbf::new(opts.m, opts.k, opts.seed),
+            &keys,
+            opts.batch_size,
+        ),
+        _ => bench_sketch(
+            MsSbf::new(opts.m, opts.k, opts.seed),
+            &keys,
+            opts.batch_size,
+        ),
+    };
+    writeln!(
+        stdout,
+        "{:<10} {:>12} {:>12} {:>9}",
+        "op", "single", "batch", "speedup"
+    )?;
+    let mut speedups = Vec::new();
+    for (op, single, batch) in rows {
+        writeln!(
+            stdout,
+            "{op:<10} {single:>8.2} M/s {batch:>8.2} M/s {:>8.2}x",
+            batch / single
+        )?;
+        speedups.push(format!("{op} {:.2}x", batch / single));
+    }
+    Ok(format!(
+        "bench: {} (batch size {}, {} keys)",
+        speedups.join(", "),
+        opts.batch_size,
+        opts.keys
+    ))
+}
+
 /// Runs `query`: prints `key<TAB>estimate` for every input key whose
 /// estimate reaches `threshold` (0 = print all).
 pub fn run_query(
@@ -457,17 +609,24 @@ fn dispatch(
             writeln!(stdout, "{}", info_string(&env))?;
             Ok(String::new())
         }
+        "bench" => {
+            let opts = parse_bench(args)?;
+            run_bench(&opts, &mut stdout)
+        }
         other => Err(CliError::Usage(format!("unknown command {other}\n{USAGE}"))),
     }
 }
 
 /// Top-level usage text.
-pub const USAGE: &str = "usage: sbf [--metrics <path>] <build|query|merge|info|stats> [options]\n\
+pub const USAGE: &str =
+    "usage: sbf [--metrics <path>] <build|query|merge|info|bench|stats> [options]\n\
   build --out <path> --m <counters> [--k 5] [--seed 42] [--algo ms|mi]\n\
         [--ingest-threads 1]                                              keys on stdin\n\
   query --filter <path> [--threshold T]                                   keys on stdin\n\
   merge --out <path> <in1.sbf> <in2.sbf> ...\n\
   info  <path>\n\
+  bench [--m 1048576] [--k 5] [--seed 42] [--keys 400000] [--distinct 60000]\n\
+        [--batch-size 4096] [--algo ms|mi]     race batched vs single-item hot path\n\
   stats [<command> ...]      run <command> with telemetry on; print metrics on stdout\n\
   --metrics <path>           global: enable telemetry, dump exposition to <path>";
 
@@ -754,5 +913,66 @@ mod tests {
         assert!(text.contains("k1\t2"));
         assert!(text.contains("k3\t0"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_bench_defaults_and_overrides() {
+        let o = parse_bench(vec![]).unwrap();
+        assert_eq!(o.m, 1 << 20);
+        assert_eq!(o.batch_size, 4096);
+        assert_eq!(o.kind, FilterKind::MinimumSelection);
+        let o = parse_bench(
+            [
+                "--m",
+                "8192",
+                "--keys",
+                "1000",
+                "--distinct",
+                "100",
+                "--batch-size",
+                "64",
+                "--algo",
+                "mi",
+            ]
+            .map(String::from)
+            .to_vec(),
+        )
+        .unwrap();
+        assert_eq!(
+            (o.m, o.keys, o.distinct, o.batch_size),
+            (8192, 1000, 100, 64)
+        );
+        assert_eq!(o.kind, FilterKind::MinimalIncrease);
+        assert!(parse_bench(["--batch-size", "0"].map(String::from).to_vec()).is_err());
+        assert!(parse_bench(["--bogus", "1"].map(String::from).to_vec()).is_err());
+    }
+
+    #[test]
+    fn bench_runs_and_reports_both_ops() {
+        let mut out = Vec::new();
+        let msg = run(
+            [
+                "bench",
+                "--m",
+                "4096",
+                "--keys",
+                "2000",
+                "--distinct",
+                "200",
+                "--batch-size",
+                "128",
+            ]
+            .map(String::from)
+            .to_vec(),
+            Cursor::new(""),
+            &mut out,
+        )
+        .unwrap();
+        assert!(msg.contains("bench: insert"), "{msg}");
+        assert!(msg.contains("estimate"), "{msg}");
+        let table = String::from_utf8(out).unwrap();
+        assert!(table.contains("speedup"));
+        assert!(table.contains("insert"));
+        assert!(table.contains("estimate"));
     }
 }

@@ -20,8 +20,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use sbf_hash::{HashFamily, Key};
+use sbf_hash::{HashFamily, IndexBuf, Key};
 
+use crate::core_ops::pipelined_batch;
 use crate::metrics;
 use crate::ms::MsSbf;
 use crate::params::{FromParams, SbfParams};
@@ -60,6 +61,16 @@ pub trait ConcurrentCounterStore: Send + Sync {
 
     /// Atomically raises counter `i` to at least `floor`.
     fn fetch_max(&self, i: usize, floor: u64);
+
+    /// Hints that counter `i` will be accessed shortly (see
+    /// [`crate::CounterStore::prefetch`]). Advisory; default no-op.
+    #[inline]
+    fn prefetch(&self, _i: usize) {}
+
+    /// Write-intent prefetch hint (see `CounterStore::prefetch_write`):
+    /// the line is about to be the target of an atomic RMW, which needs
+    /// exclusive ownership. Advisory; defaults to a no-op.
+    fn prefetch_write(&self, _i: usize) {}
 
     /// Storage footprint in bits.
     fn storage_bits(&self) -> usize;
@@ -150,6 +161,16 @@ impl ConcurrentCounterStore for AtomicCounters {
         self.counters[i].fetch_max(floor, Ordering::Relaxed);
     }
 
+    #[inline]
+    fn prefetch(&self, i: usize) {
+        sbf_hash::prefetch_slice(&self.counters, i);
+    }
+
+    #[inline]
+    fn prefetch_write(&self, i: usize) {
+        sbf_hash::prefetch_slice_write(&self.counters, i);
+    }
+
     fn storage_bits(&self) -> usize {
         self.counters.len() * 64
     }
@@ -232,10 +253,45 @@ impl<F: HashFamily, S: ConcurrentCounterStore> AtomicMsSbf<F, S> {
         &self.store
     }
 
+    /// The distinct counter indices of `key`, sorted — the same §3.1
+    /// canonicalisation [`crate::SbfCore::key_indexes`] applies, so the
+    /// atomic filter and [`MsSbf`] built from equal parameters stay
+    /// counter-for-counter identical under identical operations.
+    #[inline]
+    fn key_indexes<K: Key + ?Sized>(&self, key: &K) -> IndexBuf {
+        let mut idx = self.family.indexes(key);
+        idx.sort_dedup();
+        idx
+    }
+
+    /// [`AtomicMsSbf::key_indexes`] written into a caller-owned buffer (the
+    /// pipelines' copy-free ring refill; see `IndexBuf::fill`).
+    #[inline]
+    fn key_indexes_into<K: Key + ?Sized>(&self, key: &K, out: &mut IndexBuf) {
+        out.fill(self.family.k(), |slots| {
+            self.family.indexes_into(key, slots)
+        });
+        out.sort_dedup();
+    }
+
+    #[inline]
+    fn prefetch_idx(&self, idx: &IndexBuf) {
+        for &i in idx.as_slice() {
+            self.store.prefetch(i);
+        }
+    }
+
+    #[inline]
+    fn prefetch_idx_write(&self, idx: &IndexBuf) {
+        for &i in idx.as_slice() {
+            self.store.prefetch_write(i);
+        }
+    }
+
     /// Adds `count` occurrences of `key` (lock-free).
     pub fn insert_by<K: Key + ?Sized>(&self, key: &K, count: u64) {
         metrics::on(|m| m.inserts.inc());
-        for &i in self.family.indexes(key).as_slice() {
+        for &i in self.key_indexes(key).as_slice() {
             self.store.fetch_add(i, count);
         }
         self.total_count.fetch_add(count, Ordering::Relaxed);
@@ -246,14 +302,32 @@ impl<F: HashFamily, S: ConcurrentCounterStore> AtomicMsSbf<F, S> {
         self.insert_by(key, 1);
     }
 
-    /// Adds a batch of keys. Equivalent to inserting each in turn — the
-    /// lock-free path has no lock traffic to amortize, but the method
-    /// mirrors [`crate::ShardedSketch::insert_batch`] so callers can swap
-    /// backends without code changes.
+    /// Adds a batch of keys. The final state equals inserting each key in
+    /// turn; the running total is published once at the end of the batch,
+    /// so a concurrent [`AtomicMsSbf::total_count`] read may lag mid-batch
+    /// (counter reads were always racy in that window anyway).
+    ///
+    /// Pipelined with **write-intent** prefetch: `fetch_add` needs the
+    /// line in exclusive state, which a read-intent hint does not provide
+    /// (and can actively delay by fetching the line shared first), but a
+    /// `PREFETCHW`-class hint requests ownership up front — exactly what a
+    /// `lock xadd` wants. The batch also hashes once per key, hoists the
+    /// metrics guard, and publishes one total-count RMW per batch instead
+    /// of per item.
     pub fn insert_batch<K: Key>(&self, keys: &[K]) {
-        for key in keys {
-            self.insert(key);
-        }
+        metrics::on(|m| m.inserts.add(keys.len() as u64));
+        pipelined_batch!(
+            keys,
+            hash = |key, slot| self.key_indexes_into(key, slot),
+            prefetch = |idx| self.prefetch_idx_write(idx),
+            apply = |_i, idx| {
+                for &i in idx.as_slice() {
+                    self.store.fetch_add(i, 1);
+                }
+            }
+        );
+        self.total_count
+            .fetch_add(keys.len() as u64, Ordering::Relaxed);
     }
 
     /// Removes `count` occurrences of `key`, clamping counters at zero.
@@ -265,7 +339,7 @@ impl<F: HashFamily, S: ConcurrentCounterStore> AtomicMsSbf<F, S> {
     /// negatives — the same §3.2 caveat as Minimal Increase deletions.
     pub fn remove_saturating<K: Key + ?Sized>(&self, key: &K, count: u64) {
         metrics::on(|m| m.removes.inc());
-        for &i in self.family.indexes(key).as_slice() {
+        for &i in self.key_indexes(key).as_slice() {
             self.store.fetch_sub_saturating(i, count);
         }
         // Total stays monotone-consistent: clamp like the counters do.
@@ -290,8 +364,7 @@ impl<F: HashFamily, S: ConcurrentCounterStore> AtomicMsSbf<F, S> {
     /// Estimates the multiplicity of `key` (minimum over its counters).
     pub fn estimate<K: Key + ?Sized>(&self, key: &K) -> u64 {
         let est = self
-            .family
-            .indexes(key)
+            .key_indexes(key)
             .as_slice()
             .iter()
             .map(|&i| self.store.load(i))
@@ -302,6 +375,32 @@ impl<F: HashFamily, S: ConcurrentCounterStore> AtomicMsSbf<F, S> {
             m.estimate_values.observe(est);
         });
         est
+    }
+
+    /// Estimates every key, software-pipelined; `out` is cleared first and
+    /// `out[i]` answers `keys[i]`, exactly as [`AtomicMsSbf::estimate`]
+    /// would at the same moment.
+    pub fn estimate_batch_into<K: Key>(&self, keys: &[K], out: &mut Vec<u64>) {
+        out.clear();
+        out.reserve(keys.len());
+        pipelined_batch!(
+            keys,
+            hash = |key, slot| self.key_indexes_into(key, slot),
+            prefetch = |idx| self.prefetch_idx(idx),
+            apply = |_i, idx| out.push(
+                idx.as_slice()
+                    .iter()
+                    .map(|&i| self.store.load(i))
+                    .min()
+                    .unwrap_or(0)
+            )
+        );
+        metrics::on(|m| {
+            m.estimates.add(keys.len() as u64);
+            for &est in out.iter() {
+                m.estimate_values.observe(est);
+            }
+        });
     }
 
     /// Membership test: `f̂ > 0`.
@@ -341,6 +440,11 @@ impl<F: HashFamily, S: ConcurrentCounterStore> SketchReader for AtomicMsSbf<F, S
     fn estimate<K: Key + ?Sized>(&self, key: &K) -> u64 {
         // Inherent method resolution picks the instrumented `&self` version.
         self.estimate(key)
+    }
+
+    fn estimate_batch_into<K: Key>(&self, keys: &[K], out: &mut Vec<u64>) {
+        // Route to the pipelined inherent version.
+        AtomicMsSbf::estimate_batch_into(self, keys, out);
     }
 
     fn total_count(&self) -> u64 {

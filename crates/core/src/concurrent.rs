@@ -19,7 +19,7 @@ use sbf_hash::Key;
 
 use crate::params::{FromParams, SbfParams};
 use crate::sharded::{ShardMerge, ShardedSketch};
-use crate::sketch::{MultisetSketch, SketchReader};
+use crate::sketch::{BatchRemoveError, MultisetSketch, SketchReader};
 use crate::store::RemoveError;
 
 /// A cheaply-cloneable, thread-safe handle to a (possibly sharded) sketch.
@@ -100,9 +100,26 @@ impl<SK: MultisetSketch> SharedSketch<SK> {
         self.remove_by(key, 1)
     }
 
+    /// Removes one occurrence of every key, in order, stopping at the first
+    /// failure (see [`ShardedSketch::remove_batch`]).
+    pub fn remove_batch<K: Key>(&self, keys: &[K]) -> Result<(), BatchRemoveError> {
+        self.inner.remove_batch(keys)
+    }
+
     /// Estimates the multiplicity of `key`.
     pub fn estimate<K: Key + ?Sized>(&self, key: &K) -> u64 {
         self.inner.estimate(key)
+    }
+
+    /// Estimates every key through the partitioned batch path (see
+    /// [`ShardedSketch::estimate_batch_into`]).
+    pub fn estimate_batch_into<K: Key>(&self, keys: &[K], out: &mut Vec<u64>) {
+        self.inner.estimate_batch_into(keys, out);
+    }
+
+    /// Convenience form of [`SharedSketch::estimate_batch_into`].
+    pub fn estimate_batch<K: Key>(&self, keys: &[K]) -> Vec<u64> {
+        self.inner.estimate_batch(keys)
     }
 
     /// Spectral threshold test.
@@ -156,6 +173,10 @@ impl<SK: MultisetSketch> SharedSketch<SK> {
 impl<SK: MultisetSketch> SketchReader for SharedSketch<SK> {
     fn estimate<K: Key + ?Sized>(&self, key: &K) -> u64 {
         self.inner.estimate(key)
+    }
+
+    fn estimate_batch_into<K: Key>(&self, keys: &[K], out: &mut Vec<u64>) {
+        self.inner.estimate_batch_into(keys, out);
     }
 
     fn total_count(&self) -> u64 {

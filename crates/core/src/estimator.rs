@@ -53,11 +53,15 @@ where
     let n_total = core.total_count() as f64;
     let kc = core.key_counters(key);
     let values = kc.values();
-    let per = k / groups;
+    // A key whose hash functions collide has fewer than `k` *distinct*
+    // counters (the core deduplicates them); split what actually exists.
+    let kd = values.len();
+    let groups = groups.min(kd);
+    let per = kd / groups;
     let mut estimates: Vec<f64> = Vec::with_capacity(groups);
     for g in 0..groups {
         let lo = g * per;
-        let hi = if g == groups - 1 { k } else { lo + per };
+        let hi = if g == groups - 1 { kd } else { lo + per };
         let mean: f64 = values[lo..hi].iter().map(|&v| v as f64).sum::<f64>() / (hi - lo) as f64;
         let kf = core.k() as f64;
         let est = if (1.0 - kf / m).abs() < f64::EPSILON {

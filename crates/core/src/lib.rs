@@ -79,7 +79,7 @@ pub mod window;
 pub use atomic_store::{AtomicCounters, AtomicMsSbf, ConcurrentCounterStore};
 pub use bloom::BloomFilter;
 pub use concurrent::SharedSketch;
-pub use core_ops::SbfCore;
+pub use core_ops::{SbfCore, PIPELINE_DEPTH};
 pub use estimator::{median_of_means_estimate, rm_combined_estimate, unbiased_estimate};
 pub use iceberg::{
     ad_hoc_iceberg, adaptive_multiscan_iceberg, multiscan_iceberg, MultiscanConfig,
@@ -87,13 +87,13 @@ pub use iceberg::{
 };
 pub use metrics::{core_metrics, CoreMetrics};
 pub use mi::MiSbf;
-pub use ms::MsSbf;
+pub use ms::{BlockedMsSbf, MsSbf};
 pub use paged::{IoStats, PagedCounters};
 pub use params::{bloom_error_rate, optimal_k, FromParams, SbfParams};
 pub use range::RangeTreeSketch;
 pub use rm::RmSbf;
 pub use sharded::{ShardMerge, ShardedSketch};
-pub use sketch::{MultisetSketch, SketchReader};
+pub use sketch::{BatchRemoveError, MultisetSketch, SketchReader};
 pub use spectrum::{frequency_histogram, profile, SpectrumProfile};
 pub use store::{CompactCounters, CompressedCounters, CounterStore, PlainCounters, RemoveError};
 pub use trap::TrappingRmSbf;

@@ -2,7 +2,7 @@
 
 use sbf_hash::{HashFamily, Key};
 
-use crate::core_ops::SbfCore;
+use crate::core_ops::{pipelined_batch, SbfCore};
 use crate::metrics;
 use crate::params::{FromParams, SbfParams};
 use crate::sketch::{MultisetSketch, SketchReader};
@@ -106,6 +106,33 @@ impl<F: HashFamily, S: CounterStore> SketchReader for MiSbf<F, S> {
         est
     }
 
+    fn estimate_batch_into<K: Key>(&self, keys: &[K], out: &mut Vec<u64>) {
+        self.core.min_batch_into(keys, out);
+        metrics::on(|m| {
+            m.estimates.add(keys.len() as u64);
+            for &est in out.iter() {
+                m.estimate_values.observe(est);
+            }
+        });
+    }
+
+    fn estimate_batch_picked_into<K: Key>(&self, keys: &[K], picks: &[u32], out: &mut Vec<u64>) {
+        out.reserve(picks.len());
+        let before = out.len();
+        pipelined_batch!(
+            picks,
+            hash = |j, slot| self.core.key_indexes_into(&keys[*j as usize], slot),
+            prefetch = |idx| self.core.prefetch_idx(idx),
+            apply = |_i, idx| out.push(self.core.min_of_idx(idx))
+        );
+        metrics::on(|m| {
+            m.estimates.add(picks.len() as u64);
+            for &est in out[before..].iter() {
+                m.estimate_values.observe(est);
+            }
+        });
+    }
+
     fn total_count(&self) -> u64 {
         self.core.total_count()
     }
@@ -124,9 +151,40 @@ impl<F: HashFamily, S: CounterStore> MultisetSketch for MiSbf<F, S> {
         metrics::on(|m| m.inserts.inc());
         // §3.2: "increase the smallest counter(s) by r, and update every
         // other counter to the maximum of its old value and m_x + r".
-        let mx = self.core.key_counters(key).min();
-        self.core.raise_to_floor(key, mx + count);
+        let idx = self.core.key_indexes(key);
+        let mx = self.core.key_counters_idx(&idx).min();
+        self.core.raise_to_floor_idx(&idx, mx + count);
         self.core.add_to_total(count);
+    }
+
+    fn insert_batch<K: Key>(&mut self, keys: &[K]) {
+        metrics::on(|m| m.inserts.add(keys.len() as u64));
+        // MI's floor rule is order-dependent; the pipeline only hashes and
+        // prefetches ahead, each floor update still sees every earlier one.
+        pipelined_batch!(
+            keys,
+            hash = |key, slot| self.core.key_indexes_into(key, slot),
+            prefetch = |idx| self.core.prefetch_idx_write(idx),
+            apply = |_i, idx| {
+                let mx = self.core.key_counters_idx(idx).min();
+                self.core.raise_to_floor_idx(idx, mx + 1);
+                self.core.add_to_total(1);
+            }
+        );
+    }
+
+    fn insert_batch_picked<K: Key>(&mut self, keys: &[K], picks: &[u32]) {
+        metrics::on(|m| m.inserts.add(picks.len() as u64));
+        pipelined_batch!(
+            picks,
+            hash = |j, slot| self.core.key_indexes_into(&keys[*j as usize], slot),
+            prefetch = |idx| self.core.prefetch_idx_write(idx),
+            apply = |_i, idx| {
+                let mx = self.core.key_counters_idx(idx).min();
+                self.core.raise_to_floor_idx(idx, mx + 1);
+                self.core.add_to_total(1);
+            }
+        );
     }
 
     fn remove_by<K: Key + ?Sized>(&mut self, key: &K, count: u64) -> Result<(), RemoveError> {

@@ -26,8 +26,63 @@ use crate::mi::MiSbf;
 use crate::ms::MsSbf;
 use crate::params::{FromParams, SbfParams};
 use crate::rm::RmSbf;
-use crate::sketch::{MultisetSketch, SketchReader};
+use crate::sketch::{BatchRemoveError, MultisetSketch, SketchReader};
 use crate::store::{CounterStore, RemoveError};
+
+/// Reusable buffers for partitioning one batch of keys across shards.
+///
+/// Holding plain indices (not borrowed keys) keeps the struct lifetime-free
+/// so one instance can live inside [`ShardedSketch`] and be reused across
+/// batches — the steady-state batch path performs **zero** heap
+/// allocations once the buffers have grown to the working batch size.
+#[derive(Debug, Default)]
+struct PartitionScratch {
+    /// `shard_ids[i]` = owning shard of `keys[i]`.
+    shard_ids: Vec<u32>,
+    /// Per-shard offsets into `order` (`counts[s]..counts[s + 1]`).
+    counts: Vec<usize>,
+    /// Item indices grouped by shard, input order preserved within a shard.
+    order: Vec<u32>,
+    /// Per-item results in `order` order (query path).
+    vals: Vec<u64>,
+}
+
+impl PartitionScratch {
+    /// Counting-sort partition: fills `order` with `0..len` grouped by
+    /// shard (stable within each shard) and `counts` with the group
+    /// boundaries. `shard_of` is evaluated once per item.
+    fn partition(&mut self, len: usize, num_shards: usize, mut shard_of: impl FnMut(usize) -> u32) {
+        self.shard_ids.clear();
+        self.shard_ids.reserve(len);
+        self.counts.clear();
+        self.counts.resize(num_shards + 1, 0);
+        for i in 0..len {
+            let s = shard_of(i);
+            self.shard_ids.push(s);
+            self.counts[s as usize + 1] += 1;
+        }
+        for s in 0..num_shards {
+            self.counts[s + 1] += self.counts[s];
+        }
+        self.order.clear();
+        self.order.resize(len, 0);
+        // `vals` doubles as the scatter cursor here; the query path
+        // overwrites it afterwards anyway.
+        self.vals.clear();
+        self.vals
+            .extend(self.counts[..num_shards].iter().map(|&c| c as u64));
+        for (i, &s) in self.shard_ids.iter().enumerate() {
+            let c = &mut self.vals[s as usize];
+            self.order[*c as usize] = i as u32;
+            *c += 1;
+        }
+    }
+
+    /// The item indices owned by shard `s`.
+    fn picks(&self, s: usize) -> &[u32] {
+        &self.order[self.counts[s]..self.counts[s + 1]]
+    }
+}
 
 /// Sketches that can absorb a disjoint peer by counter addition (§5).
 ///
@@ -92,6 +147,10 @@ pub struct ShardedSketch<SK> {
     /// cause a spurious rebuild, never a stale cache hit.
     versions: Vec<AtomicU64>,
     snapshot_cache: Mutex<Option<SnapshotCache<SK>>>,
+    /// Reused partition buffers for the batch paths. `try_lock`ed: if
+    /// another thread is mid-batch, the loser falls back to a transient
+    /// local scratch rather than serialising batches on this mutex.
+    scratch: Mutex<PartitionScratch>,
 }
 
 /// A cached §5 union plus the per-shard versions it was built from.
@@ -127,6 +186,7 @@ impl<SK> ShardedSketch<SK> {
             route_seed: 0x5ba2_d911_c3b1_70a4,
             versions,
             snapshot_cache: Mutex::new(None),
+            scratch: Mutex::new(PartitionScratch::default()),
         }
     }
 
@@ -179,35 +239,110 @@ impl<SK: MultisetSketch> ShardedSketch<SK> {
         self.insert_by(key, 1);
     }
 
-    /// Adds a batch of keys, grouped per shard so each shard's lock is
-    /// taken once per batch instead of once per key. Grouping also improves
+    /// Adds a batch of keys, partitioned once so each shard's lock is taken
+    /// once per batch instead of once per key, and applied through the
+    /// shard's software-pipelined batch path. Grouping also improves
     /// locality: consecutive inserts touch one shard's counters.
+    ///
+    /// Relative input order is preserved *within* each shard, and keys in
+    /// different shards never share counters, so the final state equals
+    /// inserting every key in turn. The partition buffers are reused across
+    /// batches: the steady state allocates nothing.
     pub fn insert_batch<K: Key>(&self, keys: &[K]) {
         metrics::on(|m| m.sharded_ops.add(keys.len() as u64));
         if self.shards.len() == 1 {
             let mut shard = self.shards[0].write().expect("shard lock poisoned");
-            for key in keys {
-                shard.insert(key);
-            }
+            shard.insert_batch(keys);
             drop(shard);
             self.versions[0].fetch_add(1, Ordering::Release);
             return;
         }
-        let mut buckets: Vec<Vec<&K>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
-        for key in keys {
-            buckets[self.shard_of(key)].push(key);
+        self.with_partitioned(keys, |s, picks| {
+            let mut shard = self.shards[s].write().expect("shard lock poisoned");
+            shard.insert_batch_picked(keys, picks);
+            drop(shard);
+            self.versions[s].fetch_add(1, Ordering::Release);
+        });
+    }
+
+    /// Partitions `keys` across shards (reusing the shared scratch when
+    /// uncontended) and runs `per_shard(s, picks)` for every shard with at
+    /// least one key.
+    fn with_partitioned<K: Key>(&self, keys: &[K], mut per_shard: impl FnMut(usize, &[u32])) {
+        let mut local = PartitionScratch::default();
+        let mut guard = self.scratch.try_lock().ok();
+        let scratch = match guard.as_mut() {
+            Some(g) => &mut **g,
+            None => &mut local,
+        };
+        scratch.partition(keys.len(), self.shards.len(), |i| {
+            self.shard_of(&keys[i]) as u32
+        });
+        for s in 0..self.shards.len() {
+            let picks = scratch.picks(s);
+            if !picks.is_empty() {
+                per_shard(s, picks);
+            }
         }
-        for (i, (shard, bucket)) in self.shards.iter().zip(buckets).enumerate() {
-            if bucket.is_empty() {
+    }
+
+    /// Estimates every key, writing `out[i]` for `keys[i]` — results are
+    /// exactly per-key [`ShardedSketch::estimate`] calls. The batch is
+    /// partitioned once, each owning shard is read-locked once and queried
+    /// through its pipelined batch path, and the answers are scattered back
+    /// into input order. Steady-state allocation-free (shared scratch +
+    /// caller-reused `out`).
+    pub fn estimate_batch_into<K: Key>(&self, keys: &[K], out: &mut Vec<u64>) {
+        out.clear();
+        if self.shards.len() == 1 {
+            let shard = self.shards[0].read().expect("shard lock poisoned");
+            shard.estimate_batch_into(keys, out);
+            return;
+        }
+        let mut local = PartitionScratch::default();
+        let mut guard = self.scratch.try_lock().ok();
+        let scratch = match guard.as_mut() {
+            Some(g) => &mut **g,
+            None => &mut local,
+        };
+        scratch.partition(keys.len(), self.shards.len(), |i| {
+            self.shard_of(&keys[i]) as u32
+        });
+        scratch.vals.clear();
+        for s in 0..self.shards.len() {
+            let picks = &scratch.order[scratch.counts[s]..scratch.counts[s + 1]];
+            if picks.is_empty() {
                 continue;
             }
-            let mut shard = shard.write().expect("shard lock poisoned");
-            for key in bucket {
-                shard.insert(key);
-            }
-            drop(shard);
-            self.versions[i].fetch_add(1, Ordering::Release);
+            let shard = self.shards[s].read().expect("shard lock poisoned");
+            shard.estimate_batch_picked_into(keys, picks, &mut scratch.vals);
         }
+        out.resize(keys.len(), 0);
+        for (pos, &i) in scratch.order.iter().enumerate() {
+            out[i as usize] = scratch.vals[pos];
+        }
+    }
+
+    /// Convenience form of [`ShardedSketch::estimate_batch_into`].
+    pub fn estimate_batch<K: Key>(&self, keys: &[K]) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.estimate_batch_into(keys, &mut out);
+        out
+    }
+
+    /// Removes one occurrence of every key, in input order, stopping at the
+    /// first failure (see [`BatchRemoveError`]).
+    ///
+    /// Unlike [`ShardedSketch::insert_batch`] this does **not** partition:
+    /// the stop-at-first-failure contract promises that exactly the input
+    /// prefix before the failing item is applied, and regrouping by shard
+    /// would apply a different subset. Removals therefore lock per key.
+    pub fn remove_batch<K: Key>(&self, keys: &[K]) -> Result<(), BatchRemoveError> {
+        for (index, key) in keys.iter().enumerate() {
+            self.remove(key)
+                .map_err(|error| BatchRemoveError { index, error })?;
+        }
+        Ok(())
     }
 
     /// Removes `count` occurrences of `key` from its owning shard.
@@ -370,6 +505,11 @@ impl<SK: MultisetSketch> SketchReader for ShardedSketch<SK> {
     fn estimate<K: Key + ?Sized>(&self, key: &K) -> u64 {
         // Inherent resolution picks the instrumented routing methods.
         self.estimate(key)
+    }
+
+    fn estimate_batch_into<K: Key>(&self, keys: &[K], out: &mut Vec<u64>) {
+        // Route to the partition-once, one-read-lock-per-shard version.
+        ShardedSketch::estimate_batch_into(self, keys, out);
     }
 
     fn total_count(&self) -> u64 {

@@ -67,6 +67,25 @@ pub trait CounterStore {
     /// Overwrites counter `i`.
     fn set(&mut self, i: usize, v: u64);
 
+    /// Hints that counter `i` will be read or written shortly.
+    ///
+    /// The batched hot path calls this for item `i+D`'s counters while item
+    /// `i` is being applied, hiding cache-miss latency behind useful work.
+    /// Purely advisory: the default is a no-op, which is also the right
+    /// answer for encoded stores ([`CompressedCounters`],
+    /// [`CompactCounters`]) whose counter position in memory is not an
+    /// affine function of `i`.
+    #[inline]
+    fn prefetch(&self, _i: usize) {}
+
+    /// Write-intent form of [`CounterStore::prefetch`]: hints that counter
+    /// `i` will be *stored to* shortly, so the line should be acquired in
+    /// exclusive state (skipping the read-for-ownership upgrade a plain
+    /// read hint would leave behind). Defaults to a no-op for the same
+    /// reasons as `prefetch`.
+    #[inline]
+    fn prefetch_write(&self, _i: usize) {}
+
     /// Adds `by` to counter `i`, saturating at `u64::MAX`.
     ///
     /// Saturating (rather than panicking) semantics are deliberate: the
@@ -149,6 +168,16 @@ impl CounterStore for PlainCounters {
     #[inline]
     fn set(&mut self, i: usize, v: u64) {
         self.counters[i] = v;
+    }
+
+    #[inline]
+    fn prefetch(&self, i: usize) {
+        sbf_hash::prefetch_slice(&self.counters, i);
+    }
+
+    #[inline]
+    fn prefetch_write(&self, i: usize) {
+        sbf_hash::prefetch_slice_write(&self.counters, i);
     }
 
     #[inline]

@@ -9,7 +9,7 @@
 //! filters, adds the counters, and answers global multiplicity and
 //! threshold queries without touching a single remote tuple.
 
-use spectral_bloom::{CounterStore, MsSbf, MultisetSketch};
+use spectral_bloom::{CounterStore, MsSbf, MultisetSketch, SketchReader};
 
 use crate::network::Network;
 use crate::relation::Relation;
@@ -86,15 +86,18 @@ pub fn build_global_synopsis(
         // Ship and unite. (The union precondition — identical parameters
         // and hash functions — is guaranteed by the shared plan.)
         let frame = wire::encode_counters((0..m).map(|i| local.core().store().get(i)));
-        network.send(frame.len());
+        // One message per site: the coded counters plus the site's exact
+        // total (8 bytes). The total cannot be recovered from counter mass:
+        // keys whose hash functions collide touch fewer than `k` distinct
+        // counters (the per-item dedup of the insert path), so `mass / k`
+        // undercounts.
+        network.send(frame.len() + 8);
         let decoded = wire::decode_counters(&frame).expect("self-produced frame");
         let mut remote: MsSbf = MsSbf::new(m, k, seed);
         for (i, &c) in decoded.iter().enumerate() {
             remote.core_mut().store_mut().set(i, c);
         }
-        // Totals travel implicitly: counter mass / k.
-        let mass: u64 = decoded.iter().sum();
-        remote.core_mut().add_to_total(mass / k.max(1) as u64);
+        remote.core_mut().add_to_total(local.total_count());
         union.union_assign(&remote);
     }
     GlobalSynopsis {

@@ -105,17 +105,19 @@ pub fn threshold_groups<SK: SketchReader>(
     r: &Relation,
     threshold: u64,
 ) -> HashMap<u64, u64> {
+    // One batched probe over R's distinct values: backends with a pipelined
+    // `estimate_batch_into` (and sharded ones, which take each shard lock
+    // once instead of once per key) answer the whole scan in one pass.
+    let candidates: Vec<u64> = r.group_counts().keys().copied().collect();
+    let estimates = sketch.estimate_batch(&candidates);
     let mut groups = HashMap::new();
-    let mut candidates = 0u64;
-    for key in r.group_counts().keys() {
-        candidates += 1;
-        let est = sketch.estimate(key);
-        if est >= threshold {
-            groups.insert(*key, est);
+    for (key, est) in candidates.iter().zip(&estimates) {
+        if *est >= threshold {
+            groups.insert(*key, *est);
         }
     }
     metrics::on(|m| {
-        m.join_candidates.add(candidates);
+        m.join_candidates.add(candidates.len() as u64);
         m.join_reported.add(groups.len() as u64);
     });
     groups

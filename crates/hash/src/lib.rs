@@ -24,13 +24,19 @@
 //! equal parameters can be united or multiplied counter-wise as the paper
 //! requires for distributed processing.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `prefetch` module narrowly re-allows
+// unsafe for the one architecture intrinsic it wraps (a faultless cache
+// hint); everything else in the crate remains statically unsafe-free, and
+// downstream crates (`spectral-bloom` among them) keep their own
+// `#![forbid(unsafe_code)]`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod blocked;
 pub mod family;
 pub mod key;
 pub mod mix;
+pub mod prefetch;
 pub mod quality;
 pub mod tabulation;
 
@@ -38,6 +44,7 @@ pub use blocked::BlockedFamily;
 pub use family::{DoubleHashFamily, HashFamily, MixFamily, MultiplyFamily};
 pub use key::Key;
 pub use mix::{fmix64, splitmix64, SplitMix64};
+pub use prefetch::{prefetch_read, prefetch_slice, prefetch_slice_write, prefetch_write};
 pub use quality::{collision_rate, stride_correlation, uniformity, UniformityReport};
 pub use tabulation::TabulationFamily;
 
@@ -92,6 +99,52 @@ impl IndexBuf {
     pub fn as_slice(&self) -> &[usize] {
         &self.buf[..self.len]
     }
+
+    /// Overwrites the buffer in place: sets the length to `k` and hands
+    /// the writer `f` the `k` slots to fill.
+    ///
+    /// This is the allocation- and copy-free way to refill a long-lived
+    /// buffer (the batch pipelines keep a ring of these and refill one
+    /// slot per item): building a fresh `IndexBuf` on the stack and
+    /// assigning it would copy the full `MAX_K`-sized struct — two cache
+    /// lines — per item, where this touches only the `k` slots actually
+    /// used.
+    #[inline]
+    pub fn fill(&mut self, k: usize, f: impl FnOnce(&mut [usize])) {
+        assert!(k <= MAX_K, "more than MAX_K hash functions requested");
+        self.len = k;
+        f(&mut self.buf[..k]);
+    }
+
+    /// Sorts the indices and removes duplicates in place.
+    ///
+    /// Two hash functions of a family can collide on the same counter
+    /// (`h_i(x) = h_j(x)`, `i ≠ j`). The paper's §3.1 model increments each
+    /// *distinct* counter of a key once per occurrence, so the filter cores
+    /// canonicalise every per-key index set through this method before
+    /// touching counters — otherwise a single insert would bump the shared
+    /// counter twice and inflate `min`-based estimates. Insertion sort: `k`
+    /// is at most [`MAX_K`], where it beats the general-purpose sorts.
+    #[inline]
+    pub fn sort_dedup(&mut self) {
+        for i in 1..self.len {
+            let v = self.buf[i];
+            let mut j = i;
+            while j > 0 && self.buf[j - 1] > v {
+                self.buf[j] = self.buf[j - 1];
+                j -= 1;
+            }
+            self.buf[j] = v;
+        }
+        let mut w = 0;
+        for r in 0..self.len {
+            if w == 0 || self.buf[r] != self.buf[w - 1] {
+                self.buf[w] = self.buf[r];
+                w += 1;
+            }
+        }
+        self.len = w;
+    }
 }
 
 impl Default for IndexBuf {
@@ -131,6 +184,26 @@ mod tests {
         assert_eq!(b.len(), 2);
         assert_eq!(b.as_slice(), &[3, 7]);
         assert_eq!((&b).into_iter().collect::<Vec<_>>(), vec![3, 7]);
+    }
+
+    #[test]
+    fn sort_dedup_orders_and_uniquifies() {
+        let mut b = IndexBuf::new();
+        for i in [9usize, 3, 9, 1, 3, 7, 1] {
+            b.push(i);
+        }
+        b.sort_dedup();
+        assert_eq!(b.as_slice(), &[1, 3, 7, 9]);
+        // Idempotent, and harmless on the boundary cases.
+        b.sort_dedup();
+        assert_eq!(b.as_slice(), &[1, 3, 7, 9]);
+        let mut empty = IndexBuf::new();
+        empty.sort_dedup();
+        assert!(empty.is_empty());
+        let mut one = IndexBuf::new();
+        one.push(5);
+        one.sort_dedup();
+        assert_eq!(one.as_slice(), &[5]);
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! Steady-state allocation guard for the batched hot path (ISSUE 3,
+//! satellite 2): once warm, `insert_batch` and `estimate_batch_into` with a
+//! reused output buffer must allocate **nothing** — the sharded wrapper
+//! reuses one scratch partition buffer, and the pipelined cores keep their
+//! index rings on the stack.
+//!
+//! This file is its own integration-test binary because it installs a
+//! counting `#[global_allocator]`; it holds a single `#[test]` so no other
+//! test's allocations can race the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use spectral_bloom::{MsSbf, MultisetSketch, ShardedSketch, SketchReader};
+
+/// Wraps the system allocator, counting every allocation (and
+/// reallocation — growing a scratch buffer mid-batch must show up too).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns how many allocations it performed.
+fn allocs_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn batched_hot_path_is_allocation_free_once_warm() {
+    let keys: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(0x9e37) % 600).collect();
+
+    // Plain MS sketch: batch insert is stack-only; batch estimate into a
+    // reused, pre-grown buffer must not touch the allocator either.
+    let mut ms = MsSbf::new(1 << 14, 4, 42);
+    let mut out = Vec::new();
+    ms.insert_batch(&keys);
+    ms.estimate_batch_into(&keys, &mut out);
+
+    let n = allocs_during(|| ms.insert_batch(&keys));
+    assert_eq!(n, 0, "warm MsSbf::insert_batch allocated {n} times");
+    let n = allocs_during(|| ms.estimate_batch_into(&keys, &mut out));
+    assert_eq!(n, 0, "warm MsSbf::estimate_batch_into allocated {n} times");
+
+    // Sharded wrapper: the first batch may grow the shared partition
+    // scratch; every batch after that must reuse it.
+    let sharded = ShardedSketch::with_shards(4, |i| MsSbf::new(1 << 12, 4, 42 ^ i as u64));
+    sharded.insert_batch(&keys);
+    sharded.estimate_batch_into(&keys, &mut out);
+
+    let n = allocs_during(|| sharded.insert_batch(&keys));
+    assert_eq!(n, 0, "warm ShardedSketch::insert_batch allocated {n} times");
+    let n = allocs_during(|| sharded.estimate_batch_into(&keys, &mut out));
+    assert_eq!(
+        n, 0,
+        "warm ShardedSketch::estimate_batch_into allocated {n} times"
+    );
+}

@@ -1,0 +1,166 @@
+//! Batch/single equivalence: every backend's `insert_batch` /
+//! `estimate_batch` / `remove_batch` must be **bit-identical** to the
+//! item-at-a-time loop — the pipelined implementations are allowed to go
+//! faster, never to answer differently (ISSUE 3, satellite 3).
+
+use proptest::prelude::*;
+
+use spectral_bloom::{
+    AtomicMsSbf, BlockedMsSbf, BloomFilter, CompactCounters, CompressedCounters, DefaultFamily,
+    MiSbf, MsSbf, MultisetSketch, RmSbf, ShardedSketch, SketchReader,
+};
+
+/// Probe set: the inserted keys plus a band of keys that were never
+/// inserted (batch and single must agree on zeros/false positives too).
+fn probes(keys: &[u64]) -> Vec<u64> {
+    let mut p = keys.to_vec();
+    p.extend(10_000u64..10_064);
+    p
+}
+
+/// Feeds `keys` into `a` one at a time and into `b` via `insert_batch`,
+/// then checks that every probe estimates identically (batch query path on
+/// `b`, single query path on `a`) and the totals match.
+fn assert_insert_equiv<S: MultisetSketch>(a: &mut S, b: &mut S, keys: &[u64]) {
+    for key in keys {
+        a.insert(key);
+    }
+    b.insert_batch(keys);
+    assert_queries_equiv(a, b, keys);
+}
+
+/// Checks single-path estimates on `a` against batch-path estimates on `b`.
+fn assert_queries_equiv<S: SketchReader>(a: &S, b: &S, keys: &[u64]) {
+    let probes = probes(keys);
+    let singles: Vec<u64> = probes.iter().map(|k| a.estimate(k)).collect();
+    let mut batched = Vec::new();
+    b.estimate_batch_into(&probes, &mut batched);
+    assert_eq!(singles, batched, "estimate_batch diverged from estimate");
+    // And the cross-check: batch on `a` matches singles on `b`.
+    let batched_a = a.estimate_batch(&probes);
+    let singles_b: Vec<u64> = probes.iter().map(|k| b.estimate(k)).collect();
+    assert_eq!(batched_a, singles_b);
+    assert_eq!(a.total_count(), b.total_count());
+}
+
+/// Removes the first half of `keys` from both sketches — one at a time on
+/// `a`, via `remove_batch` on `b`. Each occurrence in the prefix also
+/// occurs in the full insert stream, so every removal is of a truly
+/// present key and must succeed on both paths.
+fn assert_remove_equiv<S: MultisetSketch>(a: &mut S, b: &mut S, keys: &[u64]) {
+    let removes = &keys[..keys.len() / 2];
+    for key in removes {
+        a.remove(key).expect("single remove of present key");
+    }
+    b.remove_batch(removes)
+        .expect("batch remove of present keys");
+    assert_queries_equiv(a, b, keys);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Minimum Selection, plain counters: insert + remove equivalence.
+    #[test]
+    fn ms_plain(keys in prop::collection::vec(0u64..500, 0..400), seed in any::<u64>()) {
+        let mut a = MsSbf::new(1 << 12, 4, seed);
+        let mut b = MsSbf::new(1 << 12, 4, seed);
+        assert_insert_equiv(&mut a, &mut b, &keys);
+        assert_remove_equiv(&mut a, &mut b, &keys);
+    }
+
+    /// Minimum Selection over the Elias-γ compressed store.
+    #[test]
+    fn ms_compressed(keys in prop::collection::vec(0u64..500, 0..400), seed in any::<u64>()) {
+        let fam = DefaultFamily::new(1 << 12, 4, seed);
+        let mut a = MsSbf::<DefaultFamily, CompressedCounters>::from_family(fam.clone());
+        let mut b = MsSbf::<DefaultFamily, CompressedCounters>::from_family(fam);
+        assert_insert_equiv(&mut a, &mut b, &keys);
+        assert_remove_equiv(&mut a, &mut b, &keys);
+    }
+
+    /// Minimum Selection over the 4-bit compact store.
+    #[test]
+    fn ms_compact(keys in prop::collection::vec(0u64..2000, 0..300), seed in any::<u64>()) {
+        let fam = DefaultFamily::new(1 << 13, 4, seed);
+        let mut a = MsSbf::<DefaultFamily, CompactCounters>::from_family(fam.clone());
+        let mut b = MsSbf::<DefaultFamily, CompactCounters>::from_family(fam);
+        assert_insert_equiv(&mut a, &mut b, &keys);
+    }
+
+    /// Cache-blocked MS layout.
+    #[test]
+    fn ms_blocked(keys in prop::collection::vec(0u64..500, 0..400), seed in any::<u64>()) {
+        let mut a = BlockedMsSbf::new_blocked(64, 64, 4, seed);
+        let mut b = BlockedMsSbf::new_blocked(64, 64, 4, seed);
+        assert_insert_equiv(&mut a, &mut b, &keys);
+        assert_remove_equiv(&mut a, &mut b, &keys);
+    }
+
+    /// Minimal Increase — the floor rule makes results depend on insertion
+    /// order, so bit-identity here pins that the pipeline applies strictly
+    /// in order.
+    #[test]
+    fn mi_order_dependent(keys in prop::collection::vec(0u64..500, 0..400), seed in any::<u64>()) {
+        let mut a = MiSbf::new(1 << 12, 4, seed);
+        let mut b = MiSbf::new(1 << 12, 4, seed);
+        assert_insert_equiv(&mut a, &mut b, &keys);
+    }
+
+    /// Recurring Minimum (primary + secondary + marker): insert + remove.
+    #[test]
+    fn rm_insert_remove(keys in prop::collection::vec(0u64..500, 0..400), seed in any::<u64>()) {
+        let mut a = RmSbf::new(1 << 13, 4, seed);
+        let mut b = RmSbf::new(1 << 13, 4, seed);
+        assert_insert_equiv(&mut a, &mut b, &keys);
+        assert_remove_equiv(&mut a, &mut b, &keys);
+    }
+
+    /// Classic Bloom filter: insert_batch / contains_batch.
+    #[test]
+    fn bloom(keys in prop::collection::vec(any::<u64>(), 0..400), seed in any::<u64>()) {
+        let mut a = BloomFilter::new(1 << 12, 5, seed);
+        let mut b = BloomFilter::new(1 << 12, 5, seed);
+        for key in &keys {
+            a.insert(key);
+        }
+        b.insert_batch(&keys);
+        let probes = probes(&keys);
+        let singles: Vec<bool> = probes.iter().map(|k| a.contains(k)).collect();
+        assert_eq!(singles, b.contains_batch(&probes));
+        assert_eq!(a.inserted(), b.inserted());
+    }
+
+    /// Lock-free atomic MS backend, driven single-threaded so batch and
+    /// single paths see identical interleavings.
+    #[test]
+    fn atomic_ms(keys in prop::collection::vec(0u64..500, 0..400), seed in any::<u64>()) {
+        let a = AtomicMsSbf::new(1 << 12, 4, seed);
+        let b = AtomicMsSbf::new(1 << 12, 4, seed);
+        for key in &keys {
+            a.insert(key);
+        }
+        b.insert_batch(&keys);
+        assert_queries_equiv(&a, &b, &keys);
+    }
+
+    /// Sharded wrapper: partitioned batch application must equal the
+    /// key-at-a-time routing, including removals.
+    #[test]
+    fn sharded(keys in prop::collection::vec(0u64..500, 0..400), seed in any::<u64>()) {
+        let a = ShardedSketch::with_shards(4, |i| MsSbf::new(1 << 11, 4, seed ^ i as u64));
+        let b = ShardedSketch::with_shards(4, |i| MsSbf::new(1 << 11, 4, seed ^ i as u64));
+        for key in &keys {
+            a.insert(key);
+        }
+        b.insert_batch(&keys);
+        assert_queries_equiv(&a, &b, &keys);
+
+        let removes = &keys[..keys.len() / 2];
+        for key in removes {
+            a.remove(key).expect("single remove of present key");
+        }
+        b.remove_batch(removes).expect("batch remove of present keys");
+        assert_queries_equiv(&a, &b, &keys);
+    }
+}
