@@ -16,6 +16,9 @@
 //! * sequential bit readers/writers ([`BitWriter`], [`BitReader`]) used by
 //!   the Elias and "steps" encodings of §4.5.
 
+// Library code must surface failures as `Result`/documented panics, never
+// ad-hoc `unwrap`/`expect` (ISSUE 4 lint wall); tests keep idiomatic unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -8,6 +8,7 @@
 
 use sbf_hash::Key;
 
+use crate::num;
 use crate::sketch::MultisetSketch;
 
 /// Summary statistics over the estimated multiplicities of a key set.
@@ -54,7 +55,7 @@ where
         sum,
         max,
         avg_present: if present > 0 {
-            sum as f64 / present as f64
+            num::to_f64(sum) / num::to_f64(present)
         } else {
             0.0
         },

@@ -18,13 +18,14 @@
 //! Increase, Recurring Minimum) cannot run lock-free; they go through
 //! [`crate::ShardedSketch`]'s per-shard locks instead.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 use sbf_hash::{HashFamily, IndexBuf, Key};
 
 use crate::core_ops::pipelined_batch;
 use crate::metrics;
 use crate::ms::MsSbf;
+use crate::num;
 use crate::params::{FromParams, SbfParams};
 use crate::sketch::SketchReader;
 use crate::store::{CounterStore, PlainCounters};
@@ -315,7 +316,7 @@ impl<F: HashFamily, S: ConcurrentCounterStore> AtomicMsSbf<F, S> {
     /// metrics guard, and publishes one total-count RMW per batch instead
     /// of per item.
     pub fn insert_batch<K: Key>(&self, keys: &[K]) {
-        metrics::on(|m| m.inserts.add(keys.len() as u64));
+        metrics::on(|m| m.inserts.add(num::to_u64(keys.len())));
         pipelined_batch!(
             keys,
             hash = |key, slot| self.key_indexes_into(key, slot),
@@ -327,7 +328,7 @@ impl<F: HashFamily, S: ConcurrentCounterStore> AtomicMsSbf<F, S> {
             }
         );
         self.total_count
-            .fetch_add(keys.len() as u64, Ordering::Relaxed);
+            .fetch_add(num::to_u64(keys.len()), Ordering::Relaxed);
     }
 
     /// Removes `count` occurrences of `key`, clamping counters at zero.
@@ -396,7 +397,7 @@ impl<F: HashFamily, S: ConcurrentCounterStore> AtomicMsSbf<F, S> {
             )
         );
         metrics::on(|m| {
-            m.estimates.add(keys.len() as u64);
+            m.estimates.add(num::to_u64(keys.len()));
             for &est in out.iter() {
                 m.estimate_values.observe(est);
             }
@@ -432,7 +433,7 @@ impl<F: HashFamily, S: ConcurrentCounterStore> AtomicMsSbf<F, S> {
             return 0.0;
         }
         let nonzero = (0..m).filter(|&i| self.store.load(i) > 0).count();
-        nonzero as f64 / m as f64
+        num::to_f64(nonzero) / num::to_f64(m)
     }
 }
 
@@ -478,7 +479,7 @@ impl<F: HashFamily> AtomicMsSbf<F, AtomicCounters> {
 mod tests {
     use super::*;
     use crate::sketch::MultisetSketch;
-    use std::sync::Arc;
+    use crate::sync::Arc;
 
     #[test]
     fn store_contract() {

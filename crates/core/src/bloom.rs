@@ -5,6 +5,7 @@ use sbf_bitvec::BitVec;
 use sbf_hash::{HashFamily, IndexBuf, Key};
 
 use crate::core_ops::pipelined_batch;
+use crate::num;
 use crate::DefaultFamily;
 
 /// A plain bit-vector Bloom filter over `m` bits and `k` hash functions.
@@ -154,7 +155,7 @@ impl<F: HashFamily> BloomFilter<F> {
         if self.bits.is_empty() {
             return 0.0;
         }
-        self.bits.count_ones() as f64 / self.bits.len() as f64
+        num::to_f64(self.bits.count_ones()) / num::to_f64(self.bits.len())
     }
 
     /// Storage in bits.

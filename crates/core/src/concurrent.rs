@@ -13,7 +13,7 @@
 //! and cannot go lock-free. For Minimum Selection, which *can* go
 //! lock-free, prefer [`crate::AtomicMsSbf`].
 
-use std::sync::Arc;
+use crate::sync::Arc;
 
 use sbf_hash::Key;
 

@@ -4,6 +4,7 @@
 
 use sbf_hash::{HashFamily, IndexBuf, Key, MAX_K};
 
+use crate::num;
 use crate::sketch::BatchRemoveError;
 use crate::store::{CounterStore, RemoveError};
 use crate::DefaultFamily;
@@ -139,7 +140,7 @@ impl KeyCounters {
         if self.k == 0 {
             return 0.0;
         }
-        self.values().iter().map(|&v| v as f64).sum::<f64>() / self.k as f64
+        self.values().iter().map(|&v| num::to_f64(v)).sum::<f64>() / num::to_f64(self.k)
     }
 }
 
@@ -222,7 +223,7 @@ impl<F: HashFamily, S: CounterStore> SbfCore<F, S> {
         let nz = (0..self.store.len())
             .filter(|&i| self.store.get(i) > 0)
             .count();
-        nz as f64 / self.store.len() as f64
+        num::to_f64(nz) / num::to_f64(self.store.len())
     }
 
     /// The distinct counter indices of `key`, sorted.
@@ -342,7 +343,7 @@ impl<F: HashFamily, S: CounterStore> SbfCore<F, S> {
         for &i in idx.as_slice() {
             self.store
                 .decrement(i, by)
-                .expect("pre-checked decrement cannot underflow");
+                .unwrap_or_else(|_| unreachable!("pre-checked decrement cannot underflow"));
         }
         self.total_count = self.total_count.saturating_sub(by);
         Ok(())
@@ -481,17 +482,15 @@ impl<F: HashFamily, S: CounterStore> SbfCore<F, S> {
         );
         let mut total = 0u64;
         for i in 0..self.store.len() {
-            let v = self
-                .store
-                .get(i)
-                .checked_mul(other.store.get(i))
-                .expect("join counter overflow");
+            let Some(v) = self.store.get(i).checked_mul(other.store.get(i)) else {
+                panic!("join counter overflow")
+            };
             self.store.set(i, v);
             total = total.saturating_add(v);
         }
         // Multiplicity accounting is heuristic after a multiply; expose the
         // counter mass divided by k as the best available figure.
-        self.total_count = total / self.k().max(1) as u64;
+        self.total_count = total / num::to_u64(self.k().max(1));
     }
 }
 

@@ -14,6 +14,7 @@
 use sbf_hash::{HashFamily, Key};
 
 use crate::core_ops::SbfCore;
+use crate::num;
 use crate::store::CounterStore;
 
 /// The Lemma 3 unbiased estimate of `f_key` from any SBF core.
@@ -25,9 +26,9 @@ where
     S: CounterStore,
     K: Key + ?Sized,
 {
-    let m = core.m() as f64;
-    let k = core.k() as f64;
-    let n_total = core.total_count() as f64;
+    let m = num::to_f64(core.m());
+    let k = num::to_f64(core.k());
+    let n_total = num::to_f64(core.total_count());
     let mean = core.key_counters(key).mean();
     if (1.0 - k / m).abs() < f64::EPSILON {
         return mean; // degenerate k = m; no de-biasing possible
@@ -49,8 +50,8 @@ where
 {
     let k = core.k();
     assert!(groups >= 1 && groups <= k, "groups must be in 1..=k");
-    let m = core.m() as f64;
-    let n_total = core.total_count() as f64;
+    let m = num::to_f64(core.m());
+    let n_total = num::to_f64(core.total_count());
     let kc = core.key_counters(key);
     let values = kc.values();
     // A key whose hash functions collide has fewer than `k` *distinct*
@@ -62,8 +63,9 @@ where
     for g in 0..groups {
         let lo = g * per;
         let hi = if g == groups - 1 { kd } else { lo + per };
-        let mean: f64 = values[lo..hi].iter().map(|&v| v as f64).sum::<f64>() / (hi - lo) as f64;
-        let kf = core.k() as f64;
+        let mean: f64 =
+            values[lo..hi].iter().map(|&v| num::to_f64(v)).sum::<f64>() / num::to_f64(hi - lo);
+        let kf = num::to_f64(core.k());
         let est = if (1.0 - kf / m).abs() < f64::EPSILON {
             mean
         } else {
@@ -71,7 +73,7 @@ where
         };
         estimates.push(est);
     }
-    estimates.sort_by(|a, b| a.partial_cmp(b).expect("estimates are finite"));
+    estimates.sort_by(f64::total_cmp);
     let mid = estimates.len() / 2;
     if estimates.len() % 2 == 1 {
         estimates[mid]
@@ -100,9 +102,9 @@ where
 {
     let kc = core.key_counters(key);
     if kc.has_recurring_min() {
-        return kc.min() as f64;
+        return num::to_f64(kc.min());
     }
-    unbiased_estimate(core, key).clamp(0.0, kc.min() as f64)
+    unbiased_estimate(core, key).clamp(0.0, num::to_f64(kc.min()))
 }
 
 #[cfg(test)]

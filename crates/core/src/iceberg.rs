@@ -18,6 +18,7 @@ use sbf_hash::Key;
 use std::collections::HashSet;
 
 use crate::ms::MsSbf;
+use crate::num;
 use crate::sketch::{MultisetSketch, SketchReader};
 
 /// Scans `candidates` against a built sketch and returns the distinct keys
@@ -85,7 +86,7 @@ pub fn multiscan_iceberg(data: &[u64], threshold: u64, config: &MultiscanConfig)
         .stages
         .iter()
         .enumerate()
-        .map(|(i, &(m, k))| MsSbf::new(m, k, config.seed ^ (i as u64) << 32))
+        .map(|(i, &(m, k))| MsSbf::new(m, k, config.seed ^ num::to_u64(i) << 32))
         .collect();
 
     for (si, _) in config.stages.iter().enumerate() {
@@ -133,7 +134,7 @@ pub fn adaptive_multiscan_iceberg(
     let mut trace = Vec::new();
     let mut next_m = initial_m;
     for si in 0..max_stages {
-        let mut stage = MsSbf::new(next_m, k, seed ^ (si as u64) << 32);
+        let mut stage = MsSbf::new(next_m, k, seed ^ num::to_u64(si) << 32);
         for &x in data {
             let passed = stages.iter().all(|s| s.passes_threshold(&x, threshold));
             if passed {
@@ -141,12 +142,12 @@ pub fn adaptive_multiscan_iceberg(
             }
         }
         // Mean counter value = inserted mass × k / m.
-        let mean = stage.total_count() as f64 * k as f64 / next_m as f64;
+        let mean = num::to_f64(stage.total_count()) * num::to_f64(k) / num::to_f64(next_m);
         trace.push((next_m, mean));
         stages.push(stage);
-        if mean >= threshold as f64 {
+        if mean >= num::to_f64(threshold) {
             next_m = next_m.saturating_mul(2);
-        } else if mean < threshold as f64 / 10.0 {
+        } else if mean < num::to_f64(threshold) / 10.0 {
             next_m = (next_m / 2).max(8);
         }
     }
@@ -260,7 +261,7 @@ impl<SK: MultisetSketch> TopKTracker<SK> {
             .candidates
             .iter()
             .min_by_key(|&(_, &e)| e)
-            .expect("capacity >= 1");
+            .unwrap_or_else(|| unreachable!("capacity >= 1"));
         if est > weakest_est {
             self.candidates.remove(&weakest);
             self.candidates.insert(canon, est);

@@ -52,6 +52,10 @@
 //! [`metrics`] for the metric-name table and
 //! [`ShardedSketch::publish_metrics`] for per-shard gauges.
 
+// Library code must surface failures as `Result`/documented panics, never
+// ad-hoc `unwrap`/`expect` (ISSUE 4 lint wall); tests keep idiomatic unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![cfg_attr(not(test), warn(clippy::as_conversions))]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -65,6 +69,7 @@ pub mod iceberg;
 pub mod metrics;
 pub mod mi;
 pub mod ms;
+pub(crate) mod num;
 pub mod paged;
 pub mod params;
 pub mod range;
@@ -73,6 +78,7 @@ pub mod sharded;
 pub mod sketch;
 pub mod spectrum;
 pub mod store;
+pub mod sync;
 pub mod trap;
 pub mod window;
 

@@ -32,7 +32,7 @@
 //! gauges `sbf_shard_occupancy_ratio{shard="i"}`,
 //! `sbf_shard_total_count{shard="i"}` and `sbf_shard_ops{shard="i"}`.
 
-use std::sync::{Arc, OnceLock};
+use crate::sync::{Arc, OnceLock};
 
 use sbf_telemetry::{Counter, Histogram};
 

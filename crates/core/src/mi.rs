@@ -4,6 +4,7 @@ use sbf_hash::{HashFamily, Key};
 
 use crate::core_ops::{pipelined_batch, SbfCore};
 use crate::metrics;
+use crate::num;
 use crate::params::{FromParams, SbfParams};
 use crate::sketch::{MultisetSketch, SketchReader};
 use crate::store::{CounterStore, PlainCounters, RemoveError};
@@ -109,7 +110,7 @@ impl<F: HashFamily, S: CounterStore> SketchReader for MiSbf<F, S> {
     fn estimate_batch_into<K: Key>(&self, keys: &[K], out: &mut Vec<u64>) {
         self.core.min_batch_into(keys, out);
         metrics::on(|m| {
-            m.estimates.add(keys.len() as u64);
+            m.estimates.add(num::to_u64(keys.len()));
             for &est in out.iter() {
                 m.estimate_values.observe(est);
             }
@@ -121,12 +122,12 @@ impl<F: HashFamily, S: CounterStore> SketchReader for MiSbf<F, S> {
         let before = out.len();
         pipelined_batch!(
             picks,
-            hash = |j, slot| self.core.key_indexes_into(&keys[*j as usize], slot),
+            hash = |j, slot| self.core.key_indexes_into(&keys[num::to_usize(*j)], slot),
             prefetch = |idx| self.core.prefetch_idx(idx),
             apply = |_i, idx| out.push(self.core.min_of_idx(idx))
         );
         metrics::on(|m| {
-            m.estimates.add(picks.len() as u64);
+            m.estimates.add(num::to_u64(picks.len()));
             for &est in out[before..].iter() {
                 m.estimate_values.observe(est);
             }
@@ -158,7 +159,7 @@ impl<F: HashFamily, S: CounterStore> MultisetSketch for MiSbf<F, S> {
     }
 
     fn insert_batch<K: Key>(&mut self, keys: &[K]) {
-        metrics::on(|m| m.inserts.add(keys.len() as u64));
+        metrics::on(|m| m.inserts.add(num::to_u64(keys.len())));
         // MI's floor rule is order-dependent; the pipeline only hashes and
         // prefetches ahead, each floor update still sees every earlier one.
         pipelined_batch!(
@@ -174,10 +175,10 @@ impl<F: HashFamily, S: CounterStore> MultisetSketch for MiSbf<F, S> {
     }
 
     fn insert_batch_picked<K: Key>(&mut self, keys: &[K], picks: &[u32]) {
-        metrics::on(|m| m.inserts.add(picks.len() as u64));
+        metrics::on(|m| m.inserts.add(num::to_u64(picks.len())));
         pipelined_batch!(
             picks,
-            hash = |j, slot| self.core.key_indexes_into(&keys[*j as usize], slot),
+            hash = |j, slot| self.core.key_indexes_into(&keys[num::to_usize(*j)], slot),
             prefetch = |idx| self.core.prefetch_idx_write(idx),
             apply = |_i, idx| {
                 let mx = self.core.key_counters_idx(idx).min();

@@ -4,6 +4,7 @@ use sbf_hash::{BlockedFamily, HashFamily, Key};
 
 use crate::core_ops::{pipelined_batch, SbfCore};
 use crate::metrics;
+use crate::num;
 use crate::params::{FromParams, SbfParams};
 use crate::sketch::{MultisetSketch, SketchReader};
 use crate::store::{CounterStore, PlainCounters, RemoveError};
@@ -119,7 +120,7 @@ impl<F: HashFamily, S: CounterStore> SketchReader for MsSbf<F, S> {
     fn estimate_batch_into<K: Key>(&self, keys: &[K], out: &mut Vec<u64>) {
         self.core.min_batch_into(keys, out);
         metrics::on(|m| {
-            m.estimates.add(keys.len() as u64);
+            m.estimates.add(num::to_u64(keys.len()));
             for &est in out.iter() {
                 m.estimate_values.observe(est);
             }
@@ -131,12 +132,12 @@ impl<F: HashFamily, S: CounterStore> SketchReader for MsSbf<F, S> {
         let before = out.len();
         pipelined_batch!(
             picks,
-            hash = |j, slot| self.core.key_indexes_into(&keys[*j as usize], slot),
+            hash = |j, slot| self.core.key_indexes_into(&keys[num::to_usize(*j)], slot),
             prefetch = |idx| self.core.prefetch_idx(idx),
             apply = |_i, idx| out.push(self.core.min_of_idx(idx))
         );
         metrics::on(|m| {
-            m.estimates.add(picks.len() as u64);
+            m.estimates.add(num::to_u64(picks.len()));
             for &est in out[before..].iter() {
                 m.estimate_values.observe(est);
             }
@@ -163,15 +164,15 @@ impl<F: HashFamily, S: CounterStore> MultisetSketch for MsSbf<F, S> {
     }
 
     fn insert_batch<K: Key>(&mut self, keys: &[K]) {
-        metrics::on(|m| m.inserts.add(keys.len() as u64));
+        metrics::on(|m| m.inserts.add(num::to_u64(keys.len())));
         self.core.increment_batch(keys);
     }
 
     fn insert_batch_picked<K: Key>(&mut self, keys: &[K], picks: &[u32]) {
-        metrics::on(|m| m.inserts.add(picks.len() as u64));
+        metrics::on(|m| m.inserts.add(num::to_u64(picks.len())));
         pipelined_batch!(
             picks,
-            hash = |j, slot| self.core.key_indexes_into(&keys[*j as usize], slot),
+            hash = |j, slot| self.core.key_indexes_into(&keys[num::to_usize(*j)], slot),
             prefetch = |idx| self.core.prefetch_idx_write(idx),
             apply = |_i, idx| self.core.increment_idx(idx, 1)
         );
@@ -187,8 +188,8 @@ impl<F: HashFamily, S: CounterStore> MultisetSketch for MsSbf<F, S> {
         // Count attempts, like the item-at-a-time loop would: every applied
         // item plus the one that failed.
         let attempts = match &result {
-            Ok(()) => keys.len() as u64,
-            Err(e) => e.index as u64 + 1,
+            Ok(()) => num::to_u64(keys.len()),
+            Err(e) => num::to_u64(e.index) + 1,
         };
         metrics::on(|m| m.removes.add(attempts));
         result

@@ -1,0 +1,154 @@
+//! Checked-intent numeric conversions.
+//!
+//! `crates/core` warns on raw `as` casts (`clippy::as_conversions`, part of
+//! the ISSUE 4 lint wall): a silent `as` hides whether a conversion is a
+//! lossless widening, a deliberate truncation, or an estimator-math
+//! precision trade. Every conversion core needs is named here instead, with
+//! its loss contract documented once; a new raw `as` anywhere else in the
+//! crate still warns.
+
+#![allow(clippy::as_conversions)]
+
+/// Source types [`to_f64`] accepts.
+pub(crate) trait F64Src {
+    fn cast(self) -> f64;
+}
+
+impl F64Src for u64 {
+    fn cast(self) -> f64 {
+        self as f64
+    }
+}
+impl F64Src for usize {
+    fn cast(self) -> f64 {
+        self as f64
+    }
+}
+impl F64Src for u32 {
+    fn cast(self) -> f64 {
+        f64::from(self)
+    }
+}
+
+/// Integer → `f64` for estimator math: exact below 2⁵³, rounds to nearest
+/// above — the paper's estimators are themselves approximate at that
+/// magnitude, so the rounding is immaterial.
+#[inline(always)]
+pub(crate) fn to_f64<T: F64Src>(x: T) -> f64 {
+    x.cast()
+}
+
+/// Source types [`to_usize`] accepts losslessly.
+pub(crate) trait UsizeSrc {
+    fn cast(self) -> usize;
+}
+
+impl UsizeSrc for u32 {
+    // All supported targets have `usize ≥ 32` bits; used for the `u32`
+    // pick/index buffers on the batched hot path.
+    fn cast(self) -> usize {
+        self as usize
+    }
+}
+impl UsizeSrc for u16 {
+    fn cast(self) -> usize {
+        usize::from(self)
+    }
+}
+impl UsizeSrc for u8 {
+    fn cast(self) -> usize {
+        usize::from(self)
+    }
+}
+impl UsizeSrc for u64 {
+    // Counter indexes and counts are bounded by `m : usize` on every
+    // construction path; debug builds assert the bound on 32-bit targets.
+    fn cast(self) -> usize {
+        debug_assert!(self <= usize::MAX as u64, "value {self} exceeds usize");
+        self as usize
+    }
+}
+
+/// Integer → `usize`: lossless widening (or caller-bounded narrowing from
+/// `u64`, debug-asserted).
+#[inline(always)]
+pub(crate) fn to_usize<T: UsizeSrc>(x: T) -> usize {
+    x.cast()
+}
+
+/// `usize → u64`: lossless on every supported target (`usize` is at most
+/// 64 bits).
+#[inline(always)]
+pub(crate) fn to_u64(x: usize) -> u64 {
+    x as u64
+}
+
+/// `usize → u128`: lossless widening (multiply-shift shard mixing).
+#[inline(always)]
+pub(crate) fn to_u128(x: usize) -> u128 {
+    x as u128
+}
+
+/// `f64 → usize` for sizing math (`m = ceil(n · bits)` and friends):
+/// saturating, NaN → 0.
+#[inline(always)]
+pub(crate) fn sat_usize(x: f64) -> usize {
+    x as usize
+}
+
+/// `usize → u32`, caller-bounded: the value indexes a buffer whose length
+/// the caller already capped below `u32::MAX` (batch sizes, shard counts).
+/// Debug builds assert the bound.
+#[inline(always)]
+pub(crate) fn idx_u32(x: usize) -> u32 {
+    debug_assert!(x <= u32::MAX as usize, "index {x} exceeds u32 range");
+    x as u32
+}
+
+/// `usize → i32` for `f64::powi` exponents (`k` is a small hash-family
+/// arity). Debug builds assert the bound.
+#[inline(always)]
+pub(crate) fn powi_exp(x: usize) -> i32 {
+    debug_assert!(x <= i32::MAX as usize, "exponent {x} exceeds i32 range");
+    x as i32
+}
+
+/// Upper-64-bits multiply-shift: maps hash `h` uniformly onto `0..n`
+/// (Lemire's fast range reduction). The shift keeps the product `< n`, so
+/// the narrowing is lossless.
+#[inline(always)]
+pub(crate) fn mul_shift_range(h: u64, n: usize) -> usize {
+    let wide = (u128::from(h) * to_u128(n)) >> 64;
+    debug_assert!(wide <= usize::MAX as u128, "range product exceeds usize");
+    wide as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widening_roundtrips() {
+        assert_eq!(to_u64(usize::MAX), usize::MAX as u64);
+        assert_eq!(to_usize(u32::MAX), u32::MAX as usize);
+        assert_eq!(idx_u32(7), 7);
+        assert_eq!(powi_exp(5), 5);
+    }
+
+    #[test]
+    fn float_conversions_saturate() {
+        assert_eq!(sat_usize(-1.0), 0);
+        assert_eq!(sat_usize(f64::NAN), 0);
+        assert_eq!(sat_usize(2.9), 2);
+        assert_eq!(to_f64(1u64 << 52), (1u64 << 52) as f64);
+    }
+
+    #[test]
+    fn mul_shift_range_stays_in_range() {
+        for n in [1usize, 2, 3, 7, 64] {
+            for h in [0u64, 1, u64::MAX / 2, u64::MAX] {
+                assert!(mul_shift_range(h, n) < n);
+            }
+        }
+    }
+}

@@ -1,14 +1,16 @@
 //! Parameter selection: the error formulas of §2.1 and a builder that
 //! turns capacity/error targets into `(m, k)`.
 
+use crate::num;
+
 /// The Bloom error `E_b = (1 − e^{−kn/m})^k` (§2.1) — the probability the
 /// basic SBF misestimates an arbitrary key.
 pub fn bloom_error_rate(n: usize, m: usize, k: usize) -> f64 {
     if m == 0 {
         return 1.0;
     }
-    let gamma = k as f64 * n as f64 / m as f64;
-    (1.0 - (-gamma).exp()).powi(k as i32)
+    let gamma = num::to_f64(k) * num::to_f64(n) / num::to_f64(m);
+    (1.0 - (-gamma).exp()).powi(num::powi_exp(k))
 }
 
 /// The error-minimizing number of hash functions `k = ln 2 · m/n` (§2.1),
@@ -17,8 +19,8 @@ pub fn optimal_k(n: usize, m: usize) -> usize {
     if n == 0 {
         return 1;
     }
-    let k = (m as f64 / n as f64) * std::f64::consts::LN_2;
-    (k.round() as usize).max(1)
+    let k = (num::to_f64(m) / num::to_f64(n)) * std::f64::consts::LN_2;
+    num::sat_usize(k.round()).max(1)
 }
 
 /// The load ratio `γ = nk/m` of §2.1 (optimal ≈ ln 2 ≈ 0.693).
@@ -26,7 +28,7 @@ pub fn gamma(n: usize, m: usize, k: usize) -> f64 {
     if m == 0 {
         return f64::INFINITY;
     }
-    n as f64 * k as f64 / m as f64
+    num::to_f64(n) * num::to_f64(k) / num::to_f64(m)
 }
 
 /// Sizing helper: capacity and error-rate targets → `(m, k)`.
@@ -64,7 +66,7 @@ impl SbfParams {
     /// so `m/n = log₂(1/E)/ln 2` and `k = ln 2 · m/n`.
     pub fn dimensions(&self) -> (usize, usize) {
         let bits_per_key = -self.target_error.log2() / std::f64::consts::LN_2;
-        let m = ((self.n as f64) * bits_per_key).ceil() as usize;
+        let m = num::sat_usize((num::to_f64(self.n) * bits_per_key).ceil());
         let m = m.max(8);
         (m, optimal_k(self.n.max(1), m))
     }

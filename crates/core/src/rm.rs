@@ -5,6 +5,7 @@ use sbf_hash::{HashFamily, IndexBuf, Key};
 use crate::bloom::BloomFilter;
 use crate::core_ops::{pipelined_batch, KeyCounters, SbfCore};
 use crate::metrics;
+use crate::num;
 use crate::params::{FromParams, SbfParams};
 use crate::sketch::{BatchRemoveError, MultisetSketch, SketchReader};
 use crate::store::{CounterStore, PlainCounters, RemoveError};
@@ -223,7 +224,7 @@ impl<F: HashFamily, S: CounterStore> RmSbf<F, S> {
             if s_min >= count {
                 self.secondary
                     .decrement_all(key, count)
-                    .expect("secondary min pre-checked");
+                    .unwrap_or_else(|_| unreachable!("secondary min pre-checked"));
             }
         }
         Ok(())
@@ -262,7 +263,7 @@ impl<F: HashFamily, S: CounterStore> SketchReader for RmSbf<F, S> {
             }
         );
         metrics::on(|m| {
-            m.estimates.add(keys.len() as u64);
+            m.estimates.add(num::to_u64(keys.len()));
             for &est in out.iter() {
                 m.estimate_values.observe(est);
             }
@@ -274,15 +275,17 @@ impl<F: HashFamily, S: CounterStore> SketchReader for RmSbf<F, S> {
         let before = out.len();
         pipelined_batch!(
             picks,
-            hash = |j, slot| self.primary.key_indexes_into(&keys[*j as usize], slot),
+            hash = |j, slot| self
+                .primary
+                .key_indexes_into(&keys[num::to_usize(*j)], slot),
             prefetch = |idx| self.primary.prefetch_idx(idx),
             apply = |i, idx| {
                 let kc = self.primary.key_counters_idx(idx);
-                out.push(self.estimate_from_primary(&keys[picks[i] as usize], &kc));
+                out.push(self.estimate_from_primary(&keys[num::to_usize(picks[i])], &kc));
             }
         );
         metrics::on(|m| {
-            m.estimates.add(picks.len() as u64);
+            m.estimates.add(num::to_u64(picks.len()));
             for &est in out[before..].iter() {
                 m.estimate_values.observe(est);
             }
@@ -318,8 +321,8 @@ impl<F: HashFamily, S: CounterStore> MultisetSketch for RmSbf<F, S> {
 
     fn insert_batch<K: Key>(&mut self, keys: &[K]) {
         metrics::on(|m| {
-            m.inserts.add(keys.len() as u64);
-            m.rm_inserts.add(keys.len() as u64);
+            m.inserts.add(num::to_u64(keys.len()));
+            m.rm_inserts.add(num::to_u64(keys.len()));
         });
         pipelined_batch!(
             keys,
@@ -331,14 +334,16 @@ impl<F: HashFamily, S: CounterStore> MultisetSketch for RmSbf<F, S> {
 
     fn insert_batch_picked<K: Key>(&mut self, keys: &[K], picks: &[u32]) {
         metrics::on(|m| {
-            m.inserts.add(picks.len() as u64);
-            m.rm_inserts.add(picks.len() as u64);
+            m.inserts.add(num::to_u64(picks.len()));
+            m.rm_inserts.add(num::to_u64(picks.len()));
         });
         pipelined_batch!(
             picks,
-            hash = |j, slot| self.primary.key_indexes_into(&keys[*j as usize], slot),
+            hash = |j, slot| self
+                .primary
+                .key_indexes_into(&keys[num::to_usize(*j)], slot),
             prefetch = |idx| self.primary.prefetch_idx_write(idx),
-            apply = |i, idx| self.insert_prehashed(&keys[picks[i] as usize], idx, 1)
+            apply = |i, idx| self.insert_prehashed(&keys[num::to_usize(picks[i])], idx, 1)
         );
     }
 

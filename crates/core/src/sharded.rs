@@ -16,14 +16,16 @@
 //! adds the shard counter vectors. Queries don't need the union — they
 //! route to the owning shard, touching one lock in read mode.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::lock_unpoisoned;
+use crate::sync::{Arc, Mutex, RwLock};
 
 use sbf_hash::{fmix64, HashFamily, Key};
 
 use crate::metrics;
 use crate::mi::MiSbf;
 use crate::ms::MsSbf;
+use crate::num;
 use crate::params::{FromParams, SbfParams};
 use crate::rm::RmSbf;
 use crate::sketch::{BatchRemoveError, MultisetSketch, SketchReader};
@@ -59,7 +61,7 @@ impl PartitionScratch {
         for i in 0..len {
             let s = shard_of(i);
             self.shard_ids.push(s);
-            self.counts[s as usize + 1] += 1;
+            self.counts[num::to_usize(s) + 1] += 1;
         }
         for s in 0..num_shards {
             self.counts[s + 1] += self.counts[s];
@@ -70,10 +72,10 @@ impl PartitionScratch {
         // overwrites it afterwards anyway.
         self.vals.clear();
         self.vals
-            .extend(self.counts[..num_shards].iter().map(|&c| c as u64));
+            .extend(self.counts[..num_shards].iter().map(|&c| num::to_u64(c)));
         for (i, &s) in self.shard_ids.iter().enumerate() {
-            let c = &mut self.vals[s as usize];
-            self.order[*c as usize] = i as u32;
+            let c = &mut self.vals[num::to_usize(s)];
+            self.order[num::to_usize(*c)] = num::idx_u32(i);
             *c += 1;
         }
     }
@@ -213,13 +215,14 @@ impl<SK> ShardedSketch<SK> {
     pub fn shard_of<K: Key + ?Sized>(&self, key: &K) -> usize {
         let h = fmix64(key.canonical() ^ self.route_seed);
         // Widening multiply maps uniformly onto {0..S-1} without modulo bias.
-        ((u128::from(h) * self.shards.len() as u128) >> 64) as usize
+        num::mul_shift_range(h, self.shards.len())
     }
 
     /// Runs `f` with shared read access to shard `i` (bulk queries against
     /// one shard without per-call lock traffic).
     pub fn with_shard_read<R>(&self, i: usize, f: impl FnOnce(&SK) -> R) -> R {
-        f(&self.shards[i].read().expect("shard lock poisoned"))
+        let guard = lock_unpoisoned(self.shards[i].read());
+        f(&guard)
     }
 }
 
@@ -228,7 +231,7 @@ impl<SK: MultisetSketch> ShardedSketch<SK> {
     pub fn insert_by<K: Key + ?Sized>(&self, key: &K, count: u64) {
         metrics::on(|m| m.sharded_ops.inc());
         let shard = self.shard_of(key);
-        let mut guard = self.shards[shard].write().expect("shard lock poisoned");
+        let mut guard = lock_unpoisoned(self.shards[shard].write());
         guard.insert_by(key, count);
         self.versions[shard].fetch_add(1, Ordering::Release);
         drop(guard);
@@ -249,19 +252,26 @@ impl<SK: MultisetSketch> ShardedSketch<SK> {
     /// inserting every key in turn. The partition buffers are reused across
     /// batches: the steady state allocates nothing.
     pub fn insert_batch<K: Key>(&self, keys: &[K]) {
-        metrics::on(|m| m.sharded_ops.add(keys.len() as u64));
+        metrics::on(|m| m.sharded_ops.add(num::to_u64(keys.len())));
         if self.shards.len() == 1 {
-            let mut shard = self.shards[0].write().expect("shard lock poisoned");
+            let mut shard = lock_unpoisoned(self.shards[0].write());
             shard.insert_batch(keys);
-            drop(shard);
+            // The stamp must be bumped while the write lock is still held:
+            // bumping after the unlock lets a snapshotter read the new data
+            // under the lock yet pair it with the old stamp, caching a
+            // stale-as-fresh snapshot (caught by
+            // `stamp_protocol_never_serves_stale_snapshot_as_fresh` in
+            // tests/modelcheck_suite.rs).
             self.versions[0].fetch_add(1, Ordering::Release);
+            drop(shard);
             return;
         }
         self.with_partitioned(keys, |s, picks| {
-            let mut shard = self.shards[s].write().expect("shard lock poisoned");
+            let mut shard = lock_unpoisoned(self.shards[s].write());
             shard.insert_batch_picked(keys, picks);
-            drop(shard);
+            // Bump inside the lock — see the single-shard path above.
             self.versions[s].fetch_add(1, Ordering::Release);
+            drop(shard);
         });
     }
 
@@ -276,7 +286,7 @@ impl<SK: MultisetSketch> ShardedSketch<SK> {
             None => &mut local,
         };
         scratch.partition(keys.len(), self.shards.len(), |i| {
-            self.shard_of(&keys[i]) as u32
+            num::idx_u32(self.shard_of(&keys[i]))
         });
         for s in 0..self.shards.len() {
             let picks = scratch.picks(s);
@@ -295,7 +305,7 @@ impl<SK: MultisetSketch> ShardedSketch<SK> {
     pub fn estimate_batch_into<K: Key>(&self, keys: &[K], out: &mut Vec<u64>) {
         out.clear();
         if self.shards.len() == 1 {
-            let shard = self.shards[0].read().expect("shard lock poisoned");
+            let shard = lock_unpoisoned(self.shards[0].read());
             shard.estimate_batch_into(keys, out);
             return;
         }
@@ -306,7 +316,7 @@ impl<SK: MultisetSketch> ShardedSketch<SK> {
             None => &mut local,
         };
         scratch.partition(keys.len(), self.shards.len(), |i| {
-            self.shard_of(&keys[i]) as u32
+            num::idx_u32(self.shard_of(&keys[i]))
         });
         scratch.vals.clear();
         for s in 0..self.shards.len() {
@@ -314,12 +324,12 @@ impl<SK: MultisetSketch> ShardedSketch<SK> {
             if picks.is_empty() {
                 continue;
             }
-            let shard = self.shards[s].read().expect("shard lock poisoned");
+            let shard = lock_unpoisoned(self.shards[s].read());
             shard.estimate_batch_picked_into(keys, picks, &mut scratch.vals);
         }
         out.resize(keys.len(), 0);
         for (pos, &i) in scratch.order.iter().enumerate() {
-            out[i as usize] = scratch.vals[pos];
+            out[num::to_usize(i)] = scratch.vals[pos];
         }
     }
 
@@ -349,12 +359,14 @@ impl<SK: MultisetSketch> ShardedSketch<SK> {
     pub fn remove_by<K: Key + ?Sized>(&self, key: &K, count: u64) -> Result<(), RemoveError> {
         metrics::on(|m| m.sharded_ops.inc());
         let shard = self.shard_of(key);
-        let mut guard = self.shards[shard].write().expect("shard lock poisoned");
+        let mut guard = lock_unpoisoned(self.shards[shard].write());
         let result = guard.remove_by(key, count);
-        drop(guard);
         if result.is_ok() {
+            // Bump inside the lock, for the same snapshot-staleness reason
+            // as `insert_batch`.
             self.versions[shard].fetch_add(1, Ordering::Release);
         }
+        drop(guard);
         result
     }
 
@@ -366,10 +378,7 @@ impl<SK: MultisetSketch> ShardedSketch<SK> {
     /// Estimates the multiplicity of `key` (read-locks the owning shard).
     pub fn estimate<K: Key + ?Sized>(&self, key: &K) -> u64 {
         let shard = self.shard_of(key);
-        self.shards[shard]
-            .read()
-            .expect("shard lock poisoned")
-            .estimate(key)
+        lock_unpoisoned(self.shards[shard].read()).estimate(key)
     }
 
     /// Membership test: `f̂ > 0`.
@@ -380,10 +389,7 @@ impl<SK: MultisetSketch> ShardedSketch<SK> {
     /// Spectral threshold test against the owning shard.
     pub fn passes_threshold<K: Key + ?Sized>(&self, key: &K, threshold: u64) -> bool {
         let shard = self.shard_of(key);
-        self.shards[shard]
-            .read()
-            .expect("shard lock poisoned")
-            .passes_threshold(key, threshold)
+        lock_unpoisoned(self.shards[shard].read()).passes_threshold(key, threshold)
     }
 
     /// Total multiplicity across all shards.
@@ -399,7 +405,7 @@ impl<SK: MultisetSketch> ShardedSketch<SK> {
     pub fn shard_totals(&self) -> Vec<u64> {
         self.shards
             .iter()
-            .map(|s| s.read().expect("shard lock poisoned").total_count())
+            .map(|s| lock_unpoisoned(s.read()).total_count())
             .collect()
     }
 
@@ -407,7 +413,7 @@ impl<SK: MultisetSketch> ShardedSketch<SK> {
     pub fn storage_bits(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().expect("shard lock poisoned").storage_bits())
+            .map(|s| lock_unpoisoned(s.read()).storage_bits())
             .sum()
     }
 
@@ -446,7 +452,7 @@ impl<SK: MultisetSketch> ShardedSketch<SK> {
             .iter()
             .map(|v| v.load(Ordering::Acquire))
             .collect();
-        let mut cache = self.snapshot_cache.lock().expect("snapshot cache poisoned");
+        let mut cache = lock_unpoisoned(self.snapshot_cache.lock());
         if let Some(c) = cache.as_ref() {
             if c.versions == stamps {
                 metrics::on(|m| m.snapshot_cache_hits.inc());
@@ -466,9 +472,10 @@ impl<SK: MultisetSketch> ShardedSketch<SK> {
     where
         SK: ShardMerge + Clone,
     {
-        let mut merged = self.shards[0].read().expect("shard lock poisoned").clone();
+        let mut merged = lock_unpoisoned(self.shards[0].read()).clone();
         for shard in &self.shards[1..] {
-            merged.absorb(&shard.read().expect("shard lock poisoned"));
+            let guard = lock_unpoisoned(shard.read());
+            merged.absorb(&guard);
         }
         merged
     }
@@ -487,8 +494,13 @@ impl<SK: MultisetSketch> ShardedSketch<SK> {
         }
         let reg = sbf_telemetry::global();
         for (i, shard) in self.shards.iter().enumerate() {
+            // Read the stamp *before* the data, with Acquire: the pair then
+            // reports ops no newer than the occupancy/total it is published
+            // with. The old order (data first, stamp after, Relaxed) could
+            // attribute ops to a snapshot that does not contain them yet.
+            let ops = self.versions[i].load(Ordering::Acquire);
             let (occ, total) = {
-                let guard = shard.read().expect("shard lock poisoned");
+                let guard = lock_unpoisoned(shard.read());
                 (guard.occupancy(), guard.total_count())
             };
             reg.gauge(&format!("sbf_shard_occupancy_ratio{{shard=\"{i}\"}}"))
@@ -496,7 +508,7 @@ impl<SK: MultisetSketch> ShardedSketch<SK> {
             reg.gauge(&format!("sbf_shard_total_count{{shard=\"{i}\"}}"))
                 .set_u64(total);
             reg.gauge(&format!("sbf_shard_ops{{shard=\"{i}\"}}"))
-                .set_u64(self.versions[i].load(Ordering::Relaxed));
+                .set_u64(ops);
         }
     }
 }
@@ -524,9 +536,9 @@ impl<SK: MultisetSketch> SketchReader for ShardedSketch<SK> {
         let n = self.shards.len();
         self.shards
             .iter()
-            .map(|s| s.read().expect("shard lock poisoned").occupancy())
+            .map(|s| lock_unpoisoned(s.read()).occupancy())
             .sum::<f64>()
-            / n as f64
+            / num::to_f64(n)
     }
 }
 

@@ -4,6 +4,7 @@
 
 use sbf_hash::Key;
 
+use crate::num;
 use crate::store::RemoveError;
 
 /// A removal inside a batch failed.
@@ -95,7 +96,7 @@ pub trait SketchReader {
     fn estimate_batch_picked_into<K: Key>(&self, keys: &[K], picks: &[u32], out: &mut Vec<u64>) {
         out.reserve(picks.len());
         for &j in picks {
-            out.push(self.estimate(&keys[j as usize]));
+            out.push(self.estimate(&keys[num::to_usize(j)]));
         }
     }
 
@@ -170,7 +171,7 @@ pub trait MultisetSketch: SketchReader {
     /// without materialising per-shard key slices.
     fn insert_batch_picked<K: Key>(&mut self, keys: &[K], picks: &[u32]) {
         for &j in picks {
-            self.insert(&keys[j as usize]);
+            self.insert(&keys[num::to_usize(j)]);
         }
     }
 

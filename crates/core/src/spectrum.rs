@@ -23,6 +23,7 @@
 use sbf_hash::{HashFamily, Key};
 
 use crate::core_ops::SbfCore;
+use crate::num;
 use crate::store::CounterStore;
 
 /// Vector-level profile of a filter.
@@ -57,14 +58,14 @@ pub fn profile<F: HashFamily, S: CounterStore>(core: &SbfCore<F, S>) -> Spectrum
     let distinct = if zeros == 0 || m == 0 {
         None
     } else {
-        Some(-(m as f64 / k as f64) * (zeros as f64 / m as f64).ln())
+        Some(-(num::to_f64(m) / num::to_f64(k)) * (num::to_f64(zeros) / num::to_f64(m)).ln())
     };
-    let gamma = distinct.map(|n| n * k as f64 / m as f64);
-    let err = gamma.map(|g| (1.0 - (-g).exp()).powi(k as i32));
+    let gamma = distinct.map(|n| n * num::to_f64(k) / num::to_f64(m));
+    let err = gamma.map(|g| (1.0 - (-g).exp()).powi(num::powi_exp(k)));
     SpectrumProfile {
         zero_counters: zeros,
         distinct_estimate: distinct,
-        total_multiplicity: mass / k.max(1) as u64,
+        total_multiplicity: mass / num::to_u64(k.max(1)),
         gamma_estimate: gamma,
         predicted_error: err,
     }

@@ -34,6 +34,7 @@ use sbf_hash::{HashFamily, Key};
 
 use crate::core_ops::SbfCore;
 use crate::metrics;
+use crate::num;
 use crate::params::{FromParams, SbfParams};
 use crate::sketch::{MultisetSketch, SketchReader};
 use crate::store::{CounterStore, PlainCounters, RemoveError};
@@ -125,7 +126,7 @@ impl<F: HashFamily, S: CounterStore> TrappingRmSbf<F, S> {
                 .iter()
                 .enumerate()
                 .map(|(slot, &i)| {
-                    let mult = oidx.as_slice().iter().filter(|&&j| j == i).count() as u64;
+                    let mult = num::to_u64(oidx.as_slice().iter().filter(|&&j| j == i).count());
                     okc.values()[slot] / mult
                 })
                 .min()
@@ -134,7 +135,9 @@ impl<F: HashFamily, S: CounterStore> TrappingRmSbf<F, S> {
             if back > 0 {
                 self.secondary
                     .decrement_all(&owner, back)
-                    .expect("bounded by the owner's per-counter capacity");
+                    .unwrap_or_else(|_| {
+                        unreachable!("bounded by the owner's per-counter capacity")
+                    });
                 self.compensations += 1;
             }
             self.traps[i] = false;
@@ -212,7 +215,9 @@ impl<F: HashFamily, S: CounterStore> MultisetSketch for TrappingRmSbf<F, S> {
         // estimate, arm the trap on the minimal counter.
         metrics::on(|m| m.rm_secondary_spills.inc());
         let mx = kc.min();
-        let slot = kc.single_min_slot().expect("single minimum by branch");
+        let slot = kc
+            .single_min_slot()
+            .unwrap_or_else(|| unreachable!("single minimum by branch"));
         let min_counter = kc.indexes[slot];
         self.secondary.increment_all(key, mx);
         self.traps[min_counter] = true;
@@ -228,7 +233,7 @@ impl<F: HashFamily, S: CounterStore> MultisetSketch for TrappingRmSbf<F, S> {
             if s_min >= count {
                 self.secondary
                     .decrement_all(key, count)
-                    .expect("secondary min pre-checked");
+                    .unwrap_or_else(|_| unreachable!("secondary min pre-checked"));
             }
         }
         Ok(())

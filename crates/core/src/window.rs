@@ -54,10 +54,13 @@ impl<SK: MultisetSketch> SlidingWindowSbf<SK> {
         self.sketch.insert(&canon);
         self.window.push_back(canon);
         if self.window.len() > self.capacity {
-            let leaver = self.window.pop_front().expect("over capacity");
+            let leaver = self
+                .window
+                .pop_front()
+                .unwrap_or_else(|| unreachable!("over capacity"));
             self.sketch
                 .remove(&leaver)
-                .expect("window leavers were inserted on arrival");
+                .unwrap_or_else(|_| unreachable!("window leavers were inserted on arrival"));
             return Some(leaver);
         }
         None

@@ -239,7 +239,7 @@ impl SbfCacheNode {
         if self.contents.remove(&object) {
             self.summary
                 .remove(&object)
-                .expect("every stored object was inserted into the summary");
+                .unwrap_or_else(|_| unreachable!("stored objects are in the summary"));
         }
     }
 

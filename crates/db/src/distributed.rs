@@ -92,7 +92,8 @@ pub fn build_global_synopsis(
         // counters (the per-item dedup of the insert path), so `mass / k`
         // undercounts.
         network.send(frame.len() + 8);
-        let decoded = wire::decode_counters(&frame).expect("self-produced frame");
+        let decoded = wire::decode_counters(&frame)
+            .unwrap_or_else(|e| unreachable!("self-produced frame: {e}"));
         let mut remote: MsSbf = MsSbf::new(m, k, seed);
         for (i, &c) in decoded.iter().enumerate() {
             remote.core_mut().store_mut().set(i, c);

@@ -187,7 +187,8 @@ pub fn spectral_bloomjoin(r: &Relation, s: &Relation, plan: &JoinPlan) -> JoinOu
     );
     network.send(frame.len());
     // Site 1: decode, rebuild, multiply with the local SBF(R.a).
-    let decoded = wire::decode_counters(&frame).expect("self-produced frame");
+    let decoded =
+        wire::decode_counters(&frame).unwrap_or_else(|e| unreachable!("self-produced frame: {e}"));
     let mut sbf_s_remote = MsSbf::new(plan.m, plan.k, plan.seed);
     for (i, &c) in decoded.iter().enumerate() {
         spectral_bloom::CounterStore::set(sbf_s_remote.core_mut().store_mut(), i, c);
@@ -270,7 +271,8 @@ pub fn multiway_spectral_join(relations: &[&Relation], plan: &JoinPlan) -> JoinO
             (0..plan.m).map(|i| spectral_bloom::CounterStore::get(local.core().store(), i)),
         );
         network.send(frame.len());
-        let decoded = wire::decode_counters(&frame).expect("self-produced frame");
+        let decoded = wire::decode_counters(&frame)
+            .unwrap_or_else(|e| unreachable!("self-produced frame: {e}"));
         let mut remote = MsSbf::new(plan.m, plan.k, plan.seed);
         for (i, &c) in decoded.iter().enumerate() {
             spectral_bloom::CounterStore::set(remote.core_mut().store_mut(), i, c);

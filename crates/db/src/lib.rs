@@ -22,6 +22,9 @@
 //!   schemes the paper's introduction surveys (§1.1.1),
 //! * [`diff_file`] — the Bloom-guarded differential file of §1.1.2.
 
+// Library code must surface failures as `Result`/documented panics, never
+// ad-hoc `unwrap`/`expect` (ISSUE 4 lint wall); tests keep idiomatic unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

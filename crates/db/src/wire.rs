@@ -44,13 +44,27 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// Reads a little-endian `u64` from a length-checked 8-byte sub-slice.
+fn le_u64(bytes: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(bytes);
+    u64::from_le_bytes(b)
+}
+
+/// Reads a little-endian `u32` from a length-checked 4-byte sub-slice.
+fn le_u32(bytes: &[u8]) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(bytes);
+    u32::from_le_bytes(b)
+}
+
 /// Decodes a framed counter vector.
 pub fn decode_counters(frame: &[u8]) -> Result<Vec<u64>, WireError> {
     if frame.len() < 16 {
         return Err(WireError::Truncated);
     }
-    let m = u64::from_le_bytes(frame[0..8].try_into().expect("sized slice")) as usize;
-    let bit_len = u64::from_le_bytes(frame[8..16].try_into().expect("sized slice")) as usize;
+    let m = le_u64(&frame[0..8]) as usize;
+    let bit_len = le_u64(&frame[8..16]) as usize;
     let need_words = bit_len.div_ceil(64);
     if frame.len() < 16 + need_words * 8 {
         return Err(WireError::Truncated);
@@ -68,7 +82,7 @@ pub fn decode_counters(frame: &[u8]) -> Result<Vec<u64>, WireError> {
 fn sbf_bitvec_from_words(bytes: &[u8], bit_len: usize) -> sbf_bitvec::BitVec {
     let mut v = sbf_bitvec::BitVec::zeros(bit_len);
     for (w, chunk) in bytes.chunks_exact(8).enumerate() {
-        let word = u64::from_le_bytes(chunk.try_into().expect("sized chunk"));
+        let word = le_u64(chunk);
         let lo = w * 64;
         if lo >= bit_len {
             break;
@@ -163,7 +177,7 @@ impl FilterEnvelope {
         if frame.len() < 18 {
             return Err(WireError::Truncated);
         }
-        let magic = u32::from_le_bytes(frame[0..4].try_into().expect("sized"));
+        let magic = le_u32(&frame[0..4]);
         if magic != 0x5BF0_CAFE {
             return Err(WireError::BadCodeword);
         }
@@ -171,8 +185,8 @@ impl FilterEnvelope {
             return Err(WireError::BadCodeword); // unknown version
         }
         let kind = FilterKind::from_byte(frame[5]).ok_or(WireError::BadCodeword)?;
-        let k = u32::from_le_bytes(frame[6..10].try_into().expect("sized"));
-        let seed = u64::from_le_bytes(frame[10..18].try_into().expect("sized"));
+        let k = le_u32(&frame[6..10]);
+        let seed = le_u64(&frame[10..18]);
         let counters = decode_counters(&frame[18..])?;
         Ok(FilterEnvelope {
             kind,

@@ -21,6 +21,9 @@
 //! All codecs implement [`Codec`], writing to / reading from the sequential
 //! bit cursors of `sbf-bitvec`.
 
+// Library code must surface failures as `Result`/documented panics, never
+// ad-hoc `unwrap`/`expect` (ISSUE 4 lint wall); tests keep idiomatic unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

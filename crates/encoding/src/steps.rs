@@ -39,9 +39,10 @@ impl StepsCode {
         let mut acc = 0u64;
         offsets.push(acc);
         for &w in widths {
-            acc = acc
-                .checked_add(1u64 << w)
-                .expect("steps cover more than u64");
+            let Some(next) = acc.checked_add(1u64 << w) else {
+                panic!("steps cover more than u64")
+            };
+            acc = next;
             offsets.push(acc);
         }
         StepsCode {

@@ -24,6 +24,9 @@
 //! equal parameters can be united or multiplied counter-wise as the paper
 //! requires for distributed processing.
 
+// Library code must surface failures as `Result`/documented panics, never
+// ad-hoc `unwrap`/`expect` (ISSUE 4 lint wall); tests keep idiomatic unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 // `deny` rather than `forbid`: the `prefetch` module narrowly re-allows
 // unsafe for the one architecture intrinsic it wraps (a faultless cache
 // hint); everything else in the crate remains statically unsafe-free, and

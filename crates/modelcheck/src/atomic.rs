@@ -1,0 +1,524 @@
+//! Model atomics: every location keeps its full store history, and weak
+//! loads *choose* which sufficiently-recent store to return.
+//!
+//! The visibility rule is the checker's core: a store is pruned from a
+//! load's candidate set only when a *newer* store to the same location
+//! already happens-before the loading thread (vector-clock comparison), or
+//! when per-thread read coherence forbids going backwards. A missing
+//! `Release`/`Acquire` edge therefore surfaces as a stale value an x86 TSan
+//! run could never produce: the scheduler simply picks the old store.
+//!
+//! Read-modify-writes (`fetch_add`, `compare_exchange`, `fetch_max`) read
+//! the latest store in modification order, as C11 requires — that is what
+//! makes CAS loops lose no increments. Release sequences follow the C++20
+//! rule: an RMW extends the release clock of the store it replaced, a
+//! plain store starts fresh.
+//!
+//! Outside an active model execution every operation falls back to plain
+//! sequential semantics on the latest value, so `cfg(sbf_modelcheck)`
+//! builds still run ordinary code (including statics) correctly.
+
+use std::sync::Mutex as StdMutex;
+
+pub use std::sync::atomic::Ordering;
+
+use crate::clock::{VClock, MAX_THREADS};
+use crate::exec::{current_ctx, decide, ExecState, Kind, StepOutcome};
+
+const NO_WRITER: usize = usize::MAX;
+
+/// One entry in a location's modification order.
+#[derive(Debug, Clone)]
+struct StoreEntry {
+    value: u64,
+    /// Global sequence number (total modification order across locations).
+    seq: u64,
+    /// Writing thread (`NO_WRITER` for the initial value).
+    writer: usize,
+    /// The writer's own clock component at the store — the event id a
+    /// reader's clock is compared against for forced visibility.
+    writer_ts: u32,
+    /// Release clock: what an acquire load reading this store joins.
+    /// `None` for relaxed stores outside any release sequence.
+    rel: Option<VClock>,
+    /// Whether the store was `SeqCst`: a `SeqCst` load may not read past
+    /// the newest such store (single total order, per location).
+    sc: bool,
+}
+
+/// Per-location state, lazily reset when a new execution (epoch) first
+/// touches it — this is what lets model atomics live in `static`s.
+#[derive(Debug)]
+struct Cell {
+    epoch: u64,
+    init: u64,
+    stores: Vec<StoreEntry>,
+    /// Per-thread coherence floor: the seq each thread last read or wrote,
+    /// below which it may never read again.
+    last_seen: [u64; MAX_THREADS],
+}
+
+impl Cell {
+    /// Latest value regardless of visibility (fallback + reset helper).
+    fn latest(&self) -> u64 {
+        self.stores.last().map_or(self.init, |s| s.value)
+    }
+
+    /// Ensures the cell's history belongs to the current epoch.
+    fn fresh(&mut self, epoch: u64) {
+        if self.epoch != epoch {
+            self.init = self.latest();
+            self.stores.clear();
+            self.stores.push(StoreEntry {
+                value: self.init,
+                seq: 0,
+                writer: NO_WRITER,
+                writer_ts: 0,
+                rel: None,
+                sc: false,
+            });
+            self.last_seen = [0; MAX_THREADS];
+            self.epoch = epoch;
+        }
+    }
+
+    /// Collapses to a single plain value (sequential fallback mode).
+    fn collapse(&mut self) -> u64 {
+        let v = self.latest();
+        self.init = v;
+        self.stores.clear();
+        self.epoch = 0;
+        v
+    }
+}
+
+#[inline]
+fn is_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+#[inline]
+fn is_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// The shared untyped model atomic ( `u64` payload; `bool`/`usize` wrap it).
+#[derive(Debug)]
+pub(crate) struct AtomicWord {
+    cell: StdMutex<Cell>,
+}
+
+impl AtomicWord {
+    pub(crate) const fn new(v: u64) -> Self {
+        AtomicWord {
+            cell: StdMutex::new(Cell {
+                epoch: 0,
+                init: v,
+                stores: Vec::new(),
+                last_seen: [0; MAX_THREADS],
+            }),
+        }
+    }
+
+    fn with_cell<R>(&self, f: impl FnOnce(&mut Cell) -> R) -> R {
+        let mut c = self.cell.lock().unwrap_or_else(|e| e.into_inner());
+        f(&mut c)
+    }
+
+    pub(crate) fn load(&self, ord: Ordering) -> u64 {
+        match current_ctx() {
+            None => self.with_cell(|c| c.collapse()),
+            Some((exec, me)) => {
+                let epoch = exec.epoch;
+                exec.step(me, |st| {
+                    StepOutcome::Done(self.with_cell(|c| model_load(st, c, me, epoch, ord)))
+                })
+            }
+        }
+    }
+
+    pub(crate) fn store(&self, value: u64, ord: Ordering) {
+        match current_ctx() {
+            None => self.with_cell(|c| {
+                c.collapse();
+                c.init = value;
+            }),
+            Some((exec, me)) => {
+                let epoch = exec.epoch;
+                exec.step(me, |st| {
+                    self.with_cell(|c| {
+                        c.fresh(epoch);
+                        push_store(
+                            st,
+                            c,
+                            me,
+                            value,
+                            is_release(ord),
+                            None,
+                            ord == Ordering::SeqCst,
+                        );
+                    });
+                    StepOutcome::Done(())
+                })
+            }
+        }
+    }
+
+    /// Generic read-modify-write: applies `f` to the latest value. Returns
+    /// the previous value.
+    pub(crate) fn rmw(&self, ord: Ordering, f: impl Fn(u64) -> u64) -> u64 {
+        match current_ctx() {
+            None => self.with_cell(|c| {
+                let old = c.collapse();
+                c.init = f(old);
+                old
+            }),
+            Some((exec, me)) => {
+                let epoch = exec.epoch;
+                exec.step(me, |st| {
+                    StepOutcome::Done(self.with_cell(|c| {
+                        c.fresh(epoch);
+                        let latest = c.stores.last().expect("fresh cell has a store").clone();
+                        if is_acquire(ord) {
+                            if let Some(rel) = &latest.rel {
+                                st.threads[me].vc.join(rel);
+                            }
+                        }
+                        push_store(
+                            st,
+                            c,
+                            me,
+                            f(latest.value),
+                            is_release(ord),
+                            latest.rel,
+                            ord == Ordering::SeqCst,
+                        );
+                        latest.value
+                    }))
+                })
+            }
+        }
+    }
+
+    pub(crate) fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        match current_ctx() {
+            None => self.with_cell(|c| {
+                let old = c.collapse();
+                if old == current {
+                    c.init = new;
+                    Ok(old)
+                } else {
+                    Err(old)
+                }
+            }),
+            Some((exec, me)) => {
+                let epoch = exec.epoch;
+                exec.step(me, |st| {
+                    StepOutcome::Done(self.with_cell(|c| {
+                        c.fresh(epoch);
+                        let latest = c.stores.last().expect("fresh cell has a store").clone();
+                        if latest.value == current {
+                            if is_acquire(success) {
+                                if let Some(rel) = &latest.rel {
+                                    st.threads[me].vc.join(rel);
+                                }
+                            }
+                            push_store(
+                                st,
+                                c,
+                                me,
+                                new,
+                                is_release(success),
+                                latest.rel,
+                                success == Ordering::SeqCst,
+                            );
+                            Ok(latest.value)
+                        } else {
+                            // Failure is a load of the latest value with the
+                            // failure ordering.
+                            if is_acquire(failure) {
+                                if let Some(rel) = &latest.rel {
+                                    st.threads[me].vc.join(rel);
+                                }
+                            }
+                            c.last_seen[me] = c.last_seen[me].max(latest.seq);
+                            Err(latest.value)
+                        }
+                    }))
+                })
+            }
+        }
+    }
+}
+
+/// Model load: gathers the candidate stores, lets the scheduler pick one
+/// (newest first, so the default path is the sequentially consistent one),
+/// applies coherence and acquire synchronization.
+fn model_load(st: &mut ExecState, c: &mut Cell, me: usize, epoch: u64, ord: Ordering) -> u64 {
+    c.fresh(epoch);
+    let vc = st.threads[me].vc;
+    let mut floor = c.last_seen[me];
+    for s in &c.stores {
+        if s.writer != NO_WRITER && vc.get(s.writer) >= s.writer_ts {
+            // The store happens-before this load: anything older is stale.
+            floor = floor.max(s.seq);
+        }
+        if ord == Ordering::SeqCst && s.sc {
+            // SC total order: a SeqCst load cannot read past the newest
+            // SeqCst store to this location.
+            floor = floor.max(s.seq);
+        }
+    }
+    let mut candidates: Vec<usize> = c
+        .stores
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.seq >= floor)
+        .map(|(i, _)| i)
+        .collect();
+    // Newest first: index 0 (the DFS default) is the latest store.
+    candidates.sort_by_key(|&i| std::cmp::Reverse(c.stores[i].seq));
+    let pick = if candidates.len() > 1 {
+        let alts: Vec<usize> = (0..candidates.len()).collect();
+        decide(st, Kind::Value, &alts)
+    } else {
+        0
+    };
+    let entry = &c.stores[candidates[pick]];
+    c.last_seen[me] = entry.seq;
+    if is_acquire(ord) {
+        if let Some(rel) = &entry.rel {
+            st.threads[me].vc.join(rel);
+        }
+    }
+    entry.value
+}
+
+/// Appends a store to the modification order. `prev_rel` carries the
+/// release sequence for RMWs (C++20: only RMWs extend a release sequence).
+fn push_store(
+    st: &mut ExecState,
+    c: &mut Cell,
+    me: usize,
+    value: u64,
+    release: bool,
+    prev_rel: Option<VClock>,
+    sc: bool,
+) {
+    st.threads[me].vc.bump(me);
+    let vc = st.threads[me].vc;
+    let rel = if release {
+        let mut r = vc;
+        if let Some(p) = &prev_rel {
+            r.join(p);
+        }
+        Some(r)
+    } else {
+        prev_rel
+    };
+    let seq = st.take_seq();
+    c.stores.push(StoreEntry {
+        value,
+        seq,
+        writer: me,
+        writer_ts: vc.get(me),
+        rel,
+        sc,
+    });
+    c.last_seen[me] = seq;
+}
+
+/// Model `AtomicU64` — the drop-in for `std::sync::atomic::AtomicU64`.
+#[derive(Debug)]
+pub struct AtomicU64 {
+    word: AtomicWord,
+}
+
+impl Default for AtomicU64 {
+    fn default() -> Self {
+        AtomicU64::new(0)
+    }
+}
+
+impl AtomicU64 {
+    /// A new atomic with initial `value`.
+    pub const fn new(value: u64) -> Self {
+        AtomicU64 {
+            word: AtomicWord::new(value),
+        }
+    }
+
+    /// Atomic load; with a weak ordering the checker may return any
+    /// coherent stale value.
+    pub fn load(&self, ord: Ordering) -> u64 {
+        self.word.load(ord)
+    }
+
+    /// Atomic store.
+    pub fn store(&self, value: u64, ord: Ordering) {
+        self.word.store(value, ord)
+    }
+
+    /// Wrapping atomic add; returns the previous value.
+    pub fn fetch_add(&self, value: u64, ord: Ordering) -> u64 {
+        self.word.rmw(ord, |v| v.wrapping_add(value))
+    }
+
+    /// Wrapping atomic subtract; returns the previous value.
+    pub fn fetch_sub(&self, value: u64, ord: Ordering) -> u64 {
+        self.word.rmw(ord, |v| v.wrapping_sub(value))
+    }
+
+    /// Atomic maximum; returns the previous value.
+    pub fn fetch_max(&self, value: u64, ord: Ordering) -> u64 {
+        self.word.rmw(ord, |v| v.max(value))
+    }
+
+    /// Atomic swap; returns the previous value.
+    pub fn swap(&self, value: u64, ord: Ordering) -> u64 {
+        self.word.rmw(ord, |_| value)
+    }
+
+    /// Strong compare-and-exchange on the latest value in modification
+    /// order.
+    pub fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        self.word.compare_exchange(current, new, success, failure)
+    }
+
+    /// Weak compare-and-exchange. The model never fails spuriously (a
+    /// spurious failure only adds a retry iteration, which the surrounding
+    /// loop already explores via real conflicts).
+    pub fn compare_exchange_weak(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        self.word.compare_exchange(current, new, success, failure)
+    }
+}
+
+/// Model `AtomicUsize`.
+#[derive(Debug)]
+pub struct AtomicUsize {
+    word: AtomicWord,
+}
+
+impl Default for AtomicUsize {
+    fn default() -> Self {
+        AtomicUsize::new(0)
+    }
+}
+
+#[allow(clippy::as_conversions)] // usize <-> u64 is lossless on every supported target
+impl AtomicUsize {
+    /// A new atomic with initial `value`.
+    pub const fn new(value: usize) -> Self {
+        AtomicUsize {
+            word: AtomicWord::new(value as u64),
+        }
+    }
+
+    /// Atomic load (see [`AtomicU64::load`]).
+    pub fn load(&self, ord: Ordering) -> usize {
+        self.word.load(ord) as usize
+    }
+
+    /// Atomic store.
+    pub fn store(&self, value: usize, ord: Ordering) {
+        self.word.store(value as u64, ord)
+    }
+
+    /// Wrapping atomic add; returns the previous value.
+    pub fn fetch_add(&self, value: usize, ord: Ordering) -> usize {
+        self.word.rmw(ord, |v| v.wrapping_add(value as u64)) as usize
+    }
+
+    /// Strong compare-and-exchange.
+    pub fn compare_exchange(
+        &self,
+        current: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize> {
+        self.word
+            .compare_exchange(current as u64, new as u64, success, failure)
+            .map(|v| v as usize)
+            .map_err(|v| v as usize)
+    }
+
+    /// Weak compare-and-exchange (never fails spuriously in the model).
+    pub fn compare_exchange_weak(
+        &self,
+        current: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize> {
+        self.compare_exchange(current, new, success, failure)
+    }
+}
+
+/// Model `AtomicBool`.
+#[derive(Debug)]
+pub struct AtomicBool {
+    word: AtomicWord,
+}
+
+impl Default for AtomicBool {
+    fn default() -> Self {
+        AtomicBool::new(false)
+    }
+}
+
+impl AtomicBool {
+    /// A new atomic with initial `value`.
+    pub const fn new(value: bool) -> Self {
+        AtomicBool {
+            word: AtomicWord::new(value as u64),
+        }
+    }
+
+    /// Atomic load (see [`AtomicU64::load`]).
+    pub fn load(&self, ord: Ordering) -> bool {
+        self.word.load(ord) != 0
+    }
+
+    /// Atomic store.
+    pub fn store(&self, value: bool, ord: Ordering) {
+        self.word.store(value as u64, ord)
+    }
+
+    /// Atomic swap; returns the previous value.
+    pub fn swap(&self, value: bool, ord: Ordering) -> bool {
+        self.word.rmw(ord, |_| value as u64) != 0
+    }
+
+    /// Strong compare-and-exchange.
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.word
+            .compare_exchange(current as u64, new as u64, success, failure)
+            .map(|v| v != 0)
+            .map_err(|v| v != 0)
+    }
+}

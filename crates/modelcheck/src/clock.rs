@@ -1,0 +1,78 @@
+//! Vector clocks: the happens-before lattice the checker prunes stale
+//! reads with.
+//!
+//! Every model thread carries a [`VClock`]; synchronizing operations
+//! (release stores read by acquire loads, lock hand-offs, spawn and join
+//! edges) join clocks, and a store is *forced visible* to a load exactly
+//! when the store event is ≤ the loading thread's clock. Everything the
+//! checker knows about the C11 happens-before relation is encoded here.
+
+/// Maximum number of model threads per execution (root included).
+///
+/// A fixed bound keeps clocks `Copy`-cheap and lets per-location reader
+/// state live in flat arrays. Model tests are tiny by design (exhaustive
+/// interleaving exploration is exponential in events), so five threads is
+/// generous.
+pub const MAX_THREADS: usize = 5;
+
+/// A fixed-width vector clock over the execution's threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct VClock {
+    t: [u32; MAX_THREADS],
+}
+
+impl VClock {
+    /// The zero clock (happens-before everything).
+    pub const fn new() -> Self {
+        VClock {
+            t: [0; MAX_THREADS],
+        }
+    }
+
+    /// This clock's component for thread `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u32 {
+        self.t[i]
+    }
+
+    /// Advances thread `i`'s own component (a new event on that thread).
+    #[inline]
+    pub fn bump(&mut self, i: usize) {
+        self.t[i] += 1;
+    }
+
+    /// Joins `other` into `self` (component-wise max) — the effect of a
+    /// synchronizes-with edge.
+    #[inline]
+    pub fn join(&mut self, other: &VClock) {
+        for i in 0..MAX_THREADS {
+            self.t[i] = self.t[i].max(other.t[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_componentwise_max() {
+        let mut a = VClock::new();
+        a.bump(0);
+        a.bump(0);
+        let mut b = VClock::new();
+        b.bump(1);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 1);
+        assert_eq!(a.get(2), 0);
+    }
+
+    #[test]
+    fn bump_orders_events_on_one_thread() {
+        let mut a = VClock::new();
+        let before = a.get(3);
+        a.bump(3);
+        assert_eq!(a.get(3), before + 1);
+    }
+}

@@ -1,0 +1,482 @@
+//! The deterministic scheduler: one execution = one replayable sequence of
+//! choices.
+//!
+//! Model threads are real OS threads, but only one ever runs at a time: a
+//! baton (`ExecState::current`) names the thread allowed to take its next
+//! *step* (one atomic operation, lock transition, spawn, join or finish).
+//! After each step the scheduler picks who runs next; that pick — and the
+//! pick of which store a weak load returns — is a [`Decision`] recorded on
+//! a trail. Re-running the closure while replaying a trail prefix
+//! reproduces an interleaving exactly; depth-first search over trail
+//! suffixes enumerates them all.
+//!
+//! Exploration is bounded by *preemptions* (the CHESS discipline): at
+//! budget `b`, at most `b` decisions switch away from a thread that could
+//! have kept running. Forced switches (the runner blocked or finished) are
+//! free, so every execution terminates, and iterative deepening over `b`
+//! finds minimal-preemption counterexamples first.
+
+use std::cell::RefCell;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::clock::{VClock, MAX_THREADS};
+use crate::Failure;
+
+/// Sentinel "no thread" id (execution finished).
+pub(crate) const NO_THREAD: usize = usize::MAX;
+
+/// Monotone epoch counter; every execution gets a fresh epoch so model
+/// atomics living in `static`s can detect and reset stale per-execution
+/// state lazily.
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// What a blocked thread is waiting for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BlockOn {
+    /// A model lock, identified by the address of its state cell.
+    Lock(usize),
+    /// Another model thread finishing (join).
+    Thread(usize),
+}
+
+/// Scheduling status of one model thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Status {
+    Runnable,
+    Blocked(BlockOn),
+    Finished,
+}
+
+/// Per-thread scheduler state.
+#[derive(Debug)]
+pub(crate) struct ThreadSt {
+    pub status: Status,
+    pub vc: VClock,
+}
+
+/// The kind of a recorded choice (shapes the replay string).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Kind {
+    /// Which thread steps next; `pick` is the chosen thread id.
+    Thread,
+    /// Which visible store a load returns; `pick` is the candidate index.
+    Value,
+}
+
+/// One explored choice point: what was picked and what the alternatives
+/// were (the alternatives drive DFS backtracking).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct Decision {
+    pub kind: Kind,
+    pub pick: usize,
+    /// All alternatives at this point, `pick` included. Empty on trails
+    /// parsed from a replay string; filled in during the replay run.
+    pub alts: Vec<usize>,
+}
+
+/// The shared mutable state of one execution.
+#[derive(Debug)]
+pub(crate) struct ExecState {
+    pub trail: Vec<Decision>,
+    pub cursor: usize,
+    pub threads: Vec<ThreadSt>,
+    pub current: usize,
+    pub preempt_budget: u32,
+    pub next_seq: u64,
+    pub failure: Option<Failure>,
+    pub abort: bool,
+    pub os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ExecState {
+    /// Allocates the next global store sequence number.
+    pub fn take_seq(&mut self) -> u64 {
+        self.next_seq += 1;
+        self.next_seq
+    }
+}
+
+/// One execution: shared state plus the condvar the baton is passed on.
+#[derive(Debug)]
+pub(crate) struct Execution {
+    pub state: Mutex<ExecState>,
+    pub cv: Condvar,
+    pub epoch: u64,
+}
+
+/// Outcome of one step attempt.
+pub(crate) enum StepOutcome<R> {
+    Done(R),
+    Block(BlockOn),
+}
+
+/// Panic payload used to unwind model threads once an execution aborts.
+/// Recognized (and swallowed) by the thread wrapper and the panic hook.
+pub(crate) struct Aborted;
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The calling OS thread's model context, if it is a model thread.
+pub(crate) fn current_ctx() -> Option<(Arc<Execution>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_ctx(ctx: Option<(Arc<Execution>, usize)>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Records a failure (first one wins) and aborts the execution.
+pub(crate) fn fail(st: &mut ExecState, message: String) {
+    if st.failure.is_none() {
+        st.failure = Some(Failure {
+            schedule: format_trail(&st.trail[..st.cursor.min(st.trail.len())]),
+            message,
+        });
+    }
+    st.abort = true;
+}
+
+/// Renders a trail as the replay string (`t<thread>` / `v<candidate>`).
+pub(crate) fn format_trail(trail: &[Decision]) -> String {
+    let mut out = String::new();
+    for (i, d) in trail.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match d.kind {
+            Kind::Thread => out.push('t'),
+            Kind::Value => out.push('v'),
+        }
+        out.push_str(&d.pick.to_string());
+    }
+    out
+}
+
+/// Parses a replay string back into a forced trail (alternatives are left
+/// empty and re-derived during the run).
+pub(crate) fn parse_trail(s: &str) -> Result<Vec<Decision>, String> {
+    let mut trail = Vec::new();
+    for part in s.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (kind, rest) = part.split_at(1);
+        let kind = match kind {
+            "t" => Kind::Thread,
+            "v" => Kind::Value,
+            other => return Err(format!("bad decision kind {other:?} in schedule")),
+        };
+        let pick: usize = rest
+            .parse()
+            .map_err(|_| format!("bad decision index {rest:?} in schedule"))?;
+        trail.push(Decision {
+            kind,
+            pick,
+            alts: Vec::new(),
+        });
+    }
+    Ok(trail)
+}
+
+/// Consumes (replay) or appends (explore) one decision; returns the index
+/// into `alts` that was chosen.
+pub(crate) fn decide(st: &mut ExecState, kind: Kind, alts: &[usize]) -> usize {
+    debug_assert!(!alts.is_empty());
+    if st.cursor < st.trail.len() {
+        let d = &mut st.trail[st.cursor];
+        let consistent = d.kind == kind && (d.alts.is_empty() || d.alts == alts);
+        let pos = alts.iter().position(|&a| a == d.pick);
+        match (consistent, pos) {
+            (true, Some(idx)) => {
+                if d.alts.is_empty() {
+                    // A parsed replay trail: fill the alternatives in so a
+                    // continued exploration stays consistent.
+                    d.alts = alts.to_vec();
+                }
+                st.cursor += 1;
+                idx
+            }
+            _ => {
+                st.cursor += 1;
+                fail(
+                    st,
+                    "replay divergence: the closure made different choices than \
+                     the recorded schedule (nondeterministic test body?)"
+                        .to_string(),
+                );
+                0
+            }
+        }
+    } else {
+        st.trail.push(Decision {
+            kind,
+            pick: alts[0],
+            alts: alts.to_vec(),
+        });
+        st.cursor += 1;
+        0
+    }
+}
+
+/// Picks the next thread to run after `just_ran`'s step. Staying on the
+/// same thread is always the first alternative (DFS explores
+/// run-to-completion first); switching away while `just_ran` could
+/// continue costs one unit of preemption budget.
+pub(crate) fn schedule_next(st: &mut ExecState, just_ran: usize) {
+    if st.abort {
+        return;
+    }
+    let enabled: Vec<usize> = st
+        .threads
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.status == Status::Runnable)
+        .map(|(i, _)| i)
+        .collect();
+    if enabled.is_empty() {
+        if st.threads.iter().all(|t| t.status == Status::Finished) {
+            st.current = NO_THREAD;
+        } else {
+            let waiting: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| match t.status {
+                    Status::Blocked(on) => Some(format!("thread {i} blocked on {on:?}")),
+                    _ => None,
+                })
+                .collect();
+            fail(st, format!("deadlock: {}", waiting.join(", ")));
+        }
+        return;
+    }
+    let me_enabled = enabled.contains(&just_ran);
+    let alts: Vec<usize> = if me_enabled {
+        if st.preempt_budget == 0 {
+            vec![just_ran]
+        } else {
+            let mut v = vec![just_ran];
+            v.extend(enabled.iter().copied().filter(|&t| t != just_ran));
+            v
+        }
+    } else {
+        enabled
+    };
+    let idx = decide(st, Kind::Thread, &alts);
+    if st.abort {
+        return;
+    }
+    let chosen = alts[idx];
+    if me_enabled && chosen != just_ran {
+        st.preempt_budget -= 1;
+    }
+    st.current = chosen;
+}
+
+/// Wakes every thread blocked on `on`.
+pub(crate) fn wake(st: &mut ExecState, on: BlockOn) {
+    for t in &mut st.threads {
+        if t.status == Status::Blocked(on) {
+            t.status = Status::Runnable;
+        }
+    }
+}
+
+impl Execution {
+    /// Runs `op` as one atomic step of thread `me`: waits for the baton,
+    /// applies `op` under the state lock, then schedules the next thread.
+    /// `op` may return [`StepOutcome::Block`] to suspend; it is retried
+    /// once the thread is woken and rescheduled. Panics with [`Aborted`]
+    /// if the execution has been aborted.
+    pub(crate) fn step<R>(
+        self: &Arc<Self>,
+        me: usize,
+        mut op: impl FnMut(&mut ExecState) -> StepOutcome<R>,
+    ) -> R {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if st.abort {
+                drop(st);
+                std::panic::panic_any(Aborted);
+            }
+            if st.current == me && st.threads[me].status == Status::Runnable {
+                match op(&mut st) {
+                    StepOutcome::Done(r) => {
+                        schedule_next(&mut st, me);
+                        self.cv.notify_all();
+                        return r;
+                    }
+                    StepOutcome::Block(on) => {
+                        st.threads[me].status = Status::Blocked(on);
+                        schedule_next(&mut st, me);
+                        self.cv.notify_all();
+                        // Fall through to wait; retried once runnable again.
+                    }
+                }
+            } else {
+                st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    /// Like [`Execution::step`] but silently a no-op once the execution
+    /// aborted — for guard drops that run while a panic is already
+    /// unwinding (a second panic would abort the process).
+    pub(crate) fn step_quiet(self: &Arc<Self>, me: usize, mut op: impl FnMut(&mut ExecState)) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if st.abort {
+                return;
+            }
+            if st.current == me && st.threads[me].status == Status::Runnable {
+                op(&mut st);
+                schedule_next(&mut st, me);
+                self.cv.notify_all();
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Marks `me` finished (normal completion): wakes joiners and hands
+    /// the baton on. Abort-safe.
+    fn finish(self: &Arc<Self>, me: usize) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if st.abort {
+                st.threads[me].status = Status::Finished;
+                self.cv.notify_all();
+                return;
+            }
+            if st.current == me && st.threads[me].status == Status::Runnable {
+                st.threads[me].status = Status::Finished;
+                wake(&mut st, BlockOn::Thread(me));
+                schedule_next(&mut st, me);
+                self.cv.notify_all();
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Marks `me` finished without scheduling (abort/panic path).
+    fn finish_quiet(&self, me: usize) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.threads[me].status = Status::Finished;
+        self.cv.notify_all();
+    }
+}
+
+/// Body wrapper for every model OS thread: installs the context, runs the
+/// body, and routes panics (user assertion vs. abort unwinding) into the
+/// execution state.
+pub(crate) fn thread_wrapper(exec: Arc<Execution>, tid: usize, body: impl FnOnce()) {
+    set_ctx(Some((Arc::clone(&exec), tid)));
+    let result = std::panic::catch_unwind(AssertUnwindSafe(body));
+    match result {
+        Ok(()) => exec.finish(tid),
+        Err(payload) => {
+            if payload.downcast_ref::<Aborted>().is_none() {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "model thread panicked".to_string());
+                let mut st = exec.state.lock().unwrap_or_else(|e| e.into_inner());
+                fail(&mut st, message);
+                drop(st);
+            }
+            exec.finish_quiet(tid);
+            exec.cv.notify_all();
+        }
+    }
+    set_ctx(None);
+}
+
+/// The result of driving one execution to completion.
+pub(crate) struct ExecOutcome {
+    pub trail: Vec<Decision>,
+    pub failure: Option<Failure>,
+}
+
+/// Runs the closure once under the scheduler, replaying `prefix` and
+/// extending it with fresh first-alternative decisions.
+pub(crate) fn run_once(
+    f: &Arc<dyn Fn() + Send + Sync>,
+    prefix: Vec<Decision>,
+    preempt_budget: u32,
+) -> ExecOutcome {
+    let epoch = EPOCH.fetch_add(1, Ordering::SeqCst) + 1;
+    let mut root_vc = VClock::new();
+    root_vc.bump(0);
+    let exec = Arc::new(Execution {
+        state: Mutex::new(ExecState {
+            trail: prefix,
+            cursor: 0,
+            threads: vec![ThreadSt {
+                status: Status::Runnable,
+                vc: root_vc,
+            }],
+            current: 0,
+            preempt_budget,
+            next_seq: 0,
+            failure: None,
+            abort: false,
+            os_handles: Vec::new(),
+        }),
+        cv: Condvar::new(),
+        epoch,
+    });
+    let body = Arc::clone(f);
+    let exec_root = Arc::clone(&exec);
+    let root = std::thread::Builder::new()
+        .name("mc-root".to_string())
+        .spawn(move || thread_wrapper(exec_root, 0, move || body()))
+        .expect("failed to spawn model root thread");
+    // Wait for every model thread (root and spawned) to finish, then join
+    // the OS threads so nothing leaks into the next execution.
+    let handles = {
+        let mut st = exec.state.lock().unwrap_or_else(|e| e.into_inner());
+        while !st.threads.iter().all(|t| t.status == Status::Finished) {
+            st = exec.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        std::mem::take(&mut st.os_handles)
+    };
+    let _ = root.join();
+    for h in handles {
+        let _ = h.join();
+    }
+    let st = exec.state.lock().unwrap_or_else(|e| e.into_inner());
+    ExecOutcome {
+        trail: st.trail.clone(),
+        failure: st.failure.clone(),
+    }
+}
+
+/// Registers a spawned model thread and returns its id; the OS thread is
+/// created by the caller (see `crate::thread::spawn`).
+pub(crate) fn register_thread(exec: &Arc<Execution>, parent: usize) -> usize {
+    exec.step(parent, |st| {
+        let id = st.threads.len();
+        if id >= MAX_THREADS {
+            fail(
+                st,
+                format!("too many model threads (MAX_THREADS = {MAX_THREADS})"),
+            );
+            return StepOutcome::Done(NO_THREAD);
+        }
+        st.threads[parent].vc.bump(parent);
+        let mut child_vc = st.threads[parent].vc;
+        child_vc.bump(id);
+        st.threads.push(ThreadSt {
+            status: Status::Runnable,
+            vc: child_vc,
+        });
+        StepOutcome::Done(id)
+    })
+}

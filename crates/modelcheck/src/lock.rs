@@ -1,0 +1,382 @@
+//! Model `Mutex` and `RwLock`: blocking is a scheduler event, lock
+//! hand-off is a happens-before edge.
+//!
+//! Acquiring joins the lock's release clock (everything previous holders
+//! did is visible); releasing joins the holder's clock into it. Contended
+//! acquires park the thread in the scheduler (`Blocked`), so lock-order
+//! deadlocks are detected exhaustively and reported with a replay
+//! schedule. The guarded data itself lives in a real `std` lock that is
+//! never contended under the model (the scheduler admits one writer at a
+//! time), so `Deref` works without `unsafe`.
+//!
+//! Poisoning is not modeled: a panicking model execution aborts as a
+//! whole, so lock methods always return `Ok` — callers written against
+//! `std`'s `LockResult` API compile unchanged.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::Mutex as StdMutex;
+use std::sync::RwLock as StdRwLock;
+use std::sync::{LockResult, TryLockError, TryLockResult};
+
+use crate::clock::{VClock, MAX_THREADS};
+use crate::exec::{current_ctx, wake, BlockOn, Execution, StepOutcome};
+
+/// Shared model state for one lock (mutex or rwlock).
+#[derive(Debug)]
+struct LockCell {
+    epoch: u64,
+    writer: Option<usize>,
+    readers: [bool; MAX_THREADS],
+    nreaders: u32,
+    rel: VClock,
+}
+
+#[derive(Debug)]
+struct LockCore {
+    cell: StdMutex<LockCell>,
+}
+
+enum Acquire {
+    Read,
+    Write,
+}
+
+impl LockCore {
+    const fn new() -> Self {
+        LockCore {
+            cell: StdMutex::new(LockCell {
+                epoch: 0,
+                writer: None,
+                readers: [false; MAX_THREADS],
+                nreaders: 0,
+                rel: VClock::new(),
+            }),
+        }
+    }
+
+    /// Stable identity for the scheduler's blocked-on bookkeeping.
+    fn key(&self) -> usize {
+        std::ptr::from_ref(self) as usize
+    }
+
+    fn fresh(cell: &mut LockCell, epoch: u64) {
+        if cell.epoch != epoch {
+            cell.writer = None;
+            cell.readers = [false; MAX_THREADS];
+            cell.nreaders = 0;
+            cell.rel = VClock::new();
+            cell.epoch = epoch;
+        }
+    }
+
+    /// One acquire attempt as a scheduler step; blocks until admitted.
+    fn acquire(&self, exec: &std::sync::Arc<Execution>, me: usize, mode: Acquire) {
+        let key = self.key();
+        let epoch = exec.epoch;
+        exec.step(me, |st| {
+            let mut c = self.cell.lock().unwrap_or_else(|e| e.into_inner());
+            Self::fresh(&mut c, epoch);
+            let busy = match mode {
+                Acquire::Read => c.writer.is_some(),
+                Acquire::Write => c.writer.is_some() || c.nreaders > 0,
+            };
+            if busy {
+                return StepOutcome::Block(BlockOn::Lock(key));
+            }
+            match mode {
+                Acquire::Read => {
+                    c.readers[me] = true;
+                    c.nreaders += 1;
+                }
+                Acquire::Write => c.writer = Some(me),
+            }
+            let rel = c.rel;
+            st.threads[me].vc.join(&rel);
+            st.threads[me].vc.bump(me);
+            StepOutcome::Done(())
+        })
+    }
+
+    /// Non-blocking acquire attempt (still a scheduler step).
+    fn try_acquire(&self, exec: &std::sync::Arc<Execution>, me: usize, mode: Acquire) -> bool {
+        let epoch = exec.epoch;
+        exec.step(me, |st| {
+            let mut c = self.cell.lock().unwrap_or_else(|e| e.into_inner());
+            Self::fresh(&mut c, epoch);
+            let busy = match mode {
+                Acquire::Read => c.writer.is_some(),
+                Acquire::Write => c.writer.is_some() || c.nreaders > 0,
+            };
+            if busy {
+                return StepOutcome::Done(false);
+            }
+            match mode {
+                Acquire::Read => {
+                    c.readers[me] = true;
+                    c.nreaders += 1;
+                }
+                Acquire::Write => c.writer = Some(me),
+            }
+            let rel = c.rel;
+            st.threads[me].vc.join(&rel);
+            st.threads[me].vc.bump(me);
+            StepOutcome::Done(true)
+        })
+    }
+
+    /// Release as a (quiet, abort-safe) scheduler step.
+    fn release(&self, exec: &std::sync::Arc<Execution>, me: usize, mode: Acquire) {
+        let key = self.key();
+        exec.step_quiet(me, |st| {
+            let mut c = self.cell.lock().unwrap_or_else(|e| e.into_inner());
+            match mode {
+                Acquire::Read => {
+                    if c.readers[me] {
+                        c.readers[me] = false;
+                        c.nreaders -= 1;
+                    }
+                }
+                Acquire::Write => c.writer = None,
+            }
+            st.threads[me].vc.bump(me);
+            let vc = st.threads[me].vc;
+            c.rel.join(&vc);
+            wake(st, BlockOn::Lock(key));
+        })
+    }
+}
+
+/// Model drop-in for [`std::sync::Mutex`].
+pub struct Mutex<T: ?Sized> {
+    core: LockCore,
+    data: StdMutex<T>,
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T> Mutex<T> {
+    /// A new unlocked mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            core: LockCore::new(),
+            data: StdMutex::new(value),
+        }
+    }
+
+    /// Acquires the mutex, blocking (in the scheduler) until available.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let model = match current_ctx() {
+            Some((exec, me)) => {
+                self.core.acquire(&exec, me, Acquire::Write);
+                true
+            }
+            None => false,
+        };
+        let inner = self.data.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(MutexGuard {
+            inner: Some(inner),
+            lock: self,
+            model,
+        })
+    }
+
+    /// Attempts the lock without blocking.
+    pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+        match current_ctx() {
+            Some((exec, me)) => {
+                if self.core.try_acquire(&exec, me, Acquire::Write) {
+                    let inner = self.data.lock().unwrap_or_else(|e| e.into_inner());
+                    Ok(MutexGuard {
+                        inner: Some(inner),
+                        lock: self,
+                        model: true,
+                    })
+                } else {
+                    Err(TryLockError::WouldBlock)
+                }
+            }
+            None => match self.data.try_lock() {
+                Ok(inner) => Ok(MutexGuard {
+                    inner: Some(inner),
+                    lock: self,
+                    model: false,
+                }),
+                Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+                Err(TryLockError::Poisoned(_)) => {
+                    let inner = self.data.lock().unwrap_or_else(|e| e.into_inner());
+                    Ok(MutexGuard {
+                        inner: Some(inner),
+                        lock: self,
+                        model: false,
+                    })
+                }
+            },
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.data.try_lock() {
+            Ok(g) => f.debug_struct("Mutex").field("data", &*g).finish(),
+            Err(_) => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// Guard for a model [`Mutex`]; releasing is a scheduler step.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    lock: &'a Mutex<T>,
+    model: bool,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if self.model {
+            if let Some((exec, me)) = current_ctx() {
+                self.lock.core.release(&exec, me, Acquire::Write);
+            }
+        }
+    }
+}
+
+/// Model drop-in for [`std::sync::RwLock`].
+pub struct RwLock<T: ?Sized> {
+    core: LockCore,
+    data: StdRwLock<T>,
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T> RwLock<T> {
+    /// A new unlocked rwlock holding `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            core: LockCore::new(),
+            data: StdRwLock::new(value),
+        }
+    }
+
+    /// Acquires shared read access.
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        let model = match current_ctx() {
+            Some((exec, me)) => {
+                self.core.acquire(&exec, me, Acquire::Read);
+                true
+            }
+            None => false,
+        };
+        let inner = self.data.read().unwrap_or_else(|e| e.into_inner());
+        Ok(RwLockReadGuard {
+            inner: Some(inner),
+            lock: self,
+            model,
+        })
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        let model = match current_ctx() {
+            Some((exec, me)) => {
+                self.core.acquire(&exec, me, Acquire::Write);
+                true
+            }
+            None => false,
+        };
+        let inner = self.data.write().unwrap_or_else(|e| e.into_inner());
+        Ok(RwLockWriteGuard {
+            inner: Some(inner),
+            lock: self,
+            model,
+        })
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.data.try_read() {
+            Ok(g) => f.debug_struct("RwLock").field("data", &*g).finish(),
+            Err(_) => f.debug_struct("RwLock").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// Shared-read guard for a model [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    lock: &'a RwLock<T>,
+    model: bool,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if self.model {
+            if let Some((exec, me)) = current_ctx() {
+                self.lock.core.release(&exec, me, Acquire::Read);
+            }
+        }
+    }
+}
+
+/// Exclusive-write guard for a model [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    lock: &'a RwLock<T>,
+    model: bool,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if self.model {
+            if let Some((exec, me)) = current_ctx() {
+                self.lock.core.release(&exec, me, Acquire::Write);
+            }
+        }
+    }
+}

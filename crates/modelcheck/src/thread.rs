@@ -1,0 +1,112 @@
+//! Model `thread::spawn` / `JoinHandle`: spawn and join are
+//! happens-before edges and scheduler events.
+//!
+//! A spawned closure runs on a real OS thread, but it only ever executes
+//! while holding the scheduler baton, so the interleaving is fully
+//! controlled. Outside a model execution, `spawn` falls through to
+//! [`std::thread::spawn`] so code written against this module also runs
+//! normally.
+
+use std::sync::{Arc, Mutex as StdMutex};
+
+use crate::exec::{
+    current_ctx, register_thread, thread_wrapper, Aborted, BlockOn, Execution, Status, StepOutcome,
+    NO_THREAD,
+};
+
+/// Handle to a spawned thread, mirroring [`std::thread::JoinHandle`].
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+enum Inner<T> {
+    /// A model thread inside an execution.
+    Model {
+        exec: Arc<Execution>,
+        tid: usize,
+        slot: Arc<StdMutex<Option<T>>>,
+    },
+    /// Plain std thread (no execution active at spawn time).
+    Std(std::thread::JoinHandle<T>),
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    ///
+    /// Joining is a synchronizes-with edge: everything the joined thread
+    /// did happens-before everything after the join.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Std(h) => h.join(),
+            Inner::Model { exec, tid, slot } => {
+                let (_, me) = current_ctx().expect("model join outside a model thread");
+                exec.step(me, |st| {
+                    if st.threads[tid].status != Status::Finished {
+                        return StepOutcome::Block(BlockOn::Thread(tid));
+                    }
+                    let target_vc = st.threads[tid].vc;
+                    st.threads[me].vc.join(&target_vc);
+                    st.threads[me].vc.bump(me);
+                    StepOutcome::Done(())
+                });
+                let value = slot
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("joined model thread left no result");
+                Ok(value)
+            }
+        }
+    }
+}
+
+/// Spawns a thread, model-scheduled when an execution is active.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match current_ctx() {
+        None => JoinHandle {
+            inner: Inner::Std(std::thread::spawn(f)),
+        },
+        Some((exec, me)) => {
+            let tid = register_thread(&exec, me);
+            if tid == NO_THREAD {
+                // Thread table overflow: the execution is aborted; unwind
+                // like any other model thread observing the abort.
+                std::panic::panic_any(Aborted);
+            }
+            let slot = Arc::new(StdMutex::new(None));
+            let slot_in = Arc::clone(&slot);
+            let exec_in = Arc::clone(&exec);
+            let os = std::thread::Builder::new()
+                .name(format!("mc-{tid}"))
+                .spawn(move || {
+                    thread_wrapper(Arc::clone(&exec_in), tid, move || {
+                        let value = f();
+                        *slot_in.lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
+                    });
+                })
+                .expect("failed to spawn model thread");
+            exec.state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .os_handles
+                .push(os);
+            JoinHandle {
+                inner: Inner::Model { exec, tid, slot },
+            }
+        }
+    }
+}
+
+/// Voluntary yield point: gives the scheduler an extra interleaving
+/// opportunity without touching shared state.
+pub fn yield_now() {
+    if let Some((exec, me)) = current_ctx() {
+        exec.step(me, |_st| StepOutcome::<()>::Done(()));
+    } else {
+        std::thread::yield_now();
+    }
+}

@@ -103,9 +103,13 @@ impl<C: Codec> CompactCounterArray<C> {
         let start = self.c1.get(j) as usize + self.c2.get(j * p.chunks_per_group + c) as usize;
         let mut reader = BitReader::with_range(&self.payload, start, self.payload.len());
         for _ in 0..q {
-            self.codec.decode(&mut reader).expect("payload truncated");
+            self.codec
+                .decode(&mut reader)
+                .unwrap_or_else(|| unreachable!("payload truncated"));
         }
-        self.codec.decode(&mut reader).expect("payload truncated")
+        self.codec
+            .decode(&mut reader)
+            .unwrap_or_else(|| unreachable!("payload truncated"))
     }
 
     /// Bits of encoded payload (the "N" of this representation).

@@ -163,7 +163,7 @@ impl<C: Codec> DynamicCompactArray<C> {
             .map(|_| {
                 self.codec
                     .decode(&mut reader)
-                    .expect("group payload intact")
+                    .unwrap_or_else(|| unreachable!("group payload intact"))
             })
             .collect()
     }
@@ -178,11 +178,11 @@ impl<C: Codec> DynamicCompactArray<C> {
         for _ in lo..i {
             self.codec
                 .decode(&mut reader)
-                .expect("group payload intact");
+                .unwrap_or_else(|| unreachable!("group payload intact"));
         }
         self.codec
             .decode(&mut reader)
-            .expect("group payload intact")
+            .unwrap_or_else(|| unreachable!("group payload intact"))
     }
 
     /// All values.
@@ -235,7 +235,9 @@ impl<C: Codec> DynamicCompactArray<C> {
 
     /// Adds `by`; panics on overflow.
     pub fn increment(&mut self, i: usize, by: u64) {
-        let v = self.get(i).checked_add(by).expect("counter overflow");
+        let Some(v) = self.get(i).checked_add(by) else {
+            panic!("counter overflow")
+        };
         self.set(i, v);
     }
 

@@ -297,7 +297,9 @@ impl DynamicCounterArray {
 
     /// Adds `by` to counter `i`. Panics on `u64` overflow.
     pub fn increment(&mut self, i: usize, by: u64) {
-        let v = self.get(i).checked_add(by).expect("counter overflow");
+        let Some(v) = self.get(i).checked_add(by) else {
+            panic!("counter overflow")
+        };
         self.set(i, v);
     }
 

@@ -25,6 +25,9 @@
 //! the paper's evaluation. The whole static structure serializes into one
 //! continuous buffer for node-to-node shipping (§4.7.1, [`serialize`]).
 
+// Library code must surface failures as `Result`/documented panics, never
+// ad-hoc `unwrap`/`expect` (ISSUE 4 lint wall); tests keep idiomatic unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -59,7 +59,10 @@ impl SelectCounterArray {
     /// Start bit of item `i` in the base array (`start(m) = N`).
     pub fn start(&self, i: usize) -> usize {
         assert!(i <= self.m, "item {i} out of range {}", self.m);
-        self.markers.select1(i).expect("marker accounting broken") - i
+        self.markers
+            .select1(i)
+            .unwrap_or_else(|| unreachable!("marker accounting broken"))
+            - i
     }
 
     /// Reads counter `i` via two `select` probes.

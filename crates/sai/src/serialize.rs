@@ -91,7 +91,9 @@ impl<'a> Reader<'a> {
         if end > self.buf.len() {
             return Err(SerializeError::Truncated);
         }
-        let v = u64::from_le_bytes(self.buf[self.pos..end].try_into().expect("sized"));
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(&self.buf[self.pos..end]);
+        let v = u64::from_le_bytes(bytes);
         self.pos = end;
         Ok(v)
     }

@@ -191,9 +191,10 @@ impl StringArrayIndex {
         let mut acc = 0usize;
         off.push(0);
         for &l in lengths {
-            acc = acc
-                .checked_add(l)
-                .expect("total bit length overflows usize");
+            let Some(next) = acc.checked_add(l) else {
+                panic!("total bit length overflows usize")
+            };
+            acc = next;
             off.push(acc);
         }
         let n_bits = acc;
@@ -210,9 +211,10 @@ impl StringArrayIndex {
         let mut acc = 0usize;
         off.push(0);
         for &l in lengths {
-            acc = acc
-                .checked_add(l)
-                .expect("total bit length overflows usize");
+            let Some(next) = acc.checked_add(l) else {
+                panic!("total bit length overflows usize")
+            };
+            acc = next;
             off.push(acc);
         }
         let params = IndexParams::compute_reduced(acc, m, c);

@@ -32,19 +32,23 @@
 //! assert!(snap.to_prometheus().contains("sbf_core_inserts_total 42"));
 //! ```
 
+// Library code must surface failures as `Result`/documented panics, never
+// ad-hoc `unwrap`/`expect` (ISSUE 4 lint wall); tests keep idiomatic unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod expose;
 mod metric;
 mod registry;
+mod sync;
 
 pub use expose::{parse_exposition, ParseError};
 pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
 pub use registry::{Metric, Registry, Sample, SampleValue, Snapshot};
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::OnceLock;
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::OnceLock;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static GLOBAL: OnceLock<Registry> = OnceLock::new();

@@ -4,7 +4,7 @@
 //! independent statistics, no reader infers cross-metric ordering from
 //! them, and the snapshot path tolerates seeing counts mid-flight.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 /// A monotonically increasing event count.
 ///
@@ -215,7 +215,7 @@ impl Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use crate::sync::Arc;
 
     #[test]
     fn counter_counts() {

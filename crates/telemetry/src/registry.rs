@@ -1,7 +1,7 @@
 //! Named metric storage, snapshots, and exposition.
 
+use crate::sync::{Arc, RwLock};
 use std::collections::BTreeMap;
-use std::sync::{Arc, RwLock};
 
 use crate::metric::{Counter, Gauge, Histogram, HistogramSnapshot};
 
@@ -97,17 +97,26 @@ impl Registry {
         }
     }
 
+    // Lock poisoning is deliberately recovered from (`PoisonError::into_inner`)
+    // throughout: a panic elsewhere must not cascade into every metric call,
+    // and the map holds only `Arc` handles, so a poisoned guard still sees a
+    // structurally intact map.
     fn get_or_register(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
-        if let Some(m) = self.metrics.read().expect("registry poisoned").get(name) {
+        if let Some(m) = self
+            .metrics
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+        {
             return m.clone();
         }
-        let mut map = self.metrics.write().expect("registry poisoned");
+        let mut map = self.metrics.write().unwrap_or_else(|e| e.into_inner());
         map.entry(name.to_string()).or_insert_with(make).clone()
     }
 
     /// Number of registered metrics.
     pub fn len(&self) -> usize {
-        self.metrics.read().expect("registry poisoned").len()
+        self.metrics.read().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// Whether no metric has been registered.
@@ -117,7 +126,7 @@ impl Registry {
 
     /// Freezes every registered metric into a [`Snapshot`].
     pub fn snapshot(&self) -> Snapshot {
-        let map = self.metrics.read().expect("registry poisoned");
+        let map = self.metrics.read().unwrap_or_else(|e| e.into_inner());
         let samples = map
             .iter()
             .map(|(name, metric)| Sample {

@@ -1,0 +1,26 @@
+//! Synchronization facade for the telemetry crate (see
+//! `spectral-bloom`'s `sync` module for the full rationale).
+//!
+//! Telemetry sits below the core crate in the dependency graph, so it
+//! carries its own tiny facade rather than importing core's. Normal
+//! builds bind to `std::sync`; `RUSTFLAGS='--cfg sbf_modelcheck'` binds
+//! to the model types so the enable-gate and counter hot paths can be
+//! exhaustively interleaved.
+
+#[cfg(not(sbf_modelcheck))]
+pub(crate) use std::sync::{Arc, OnceLock, RwLock};
+
+/// Atomic types, mirroring `std::sync::atomic`.
+#[cfg(not(sbf_modelcheck))]
+pub(crate) mod atomic {
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+}
+
+#[cfg(sbf_modelcheck)]
+pub(crate) use sbf_modelcheck::sync::{Arc, OnceLock, RwLock};
+
+/// Model atomic types (checker build).
+#[cfg(sbf_modelcheck)]
+pub(crate) mod atomic {
+    pub use sbf_modelcheck::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+}

@@ -42,7 +42,10 @@ impl ZipfDistribution {
     /// Probability of rank `i` (1-based).
     pub fn probability(&self, rank: usize) -> f64 {
         assert!(rank >= 1 && rank <= self.n(), "rank out of range");
-        let total = *self.cumulative.last().expect("non-empty");
+        let total = *self
+            .cumulative
+            .last()
+            .unwrap_or_else(|| unreachable!("constructor rejects n = 0"));
         let lo = if rank == 1 {
             0.0
         } else {
@@ -58,7 +61,10 @@ impl ZipfDistribution {
 
     /// Samples one rank (1-based) using the provided generator.
     pub fn sample(&self, rng: &mut SplitMix64) -> usize {
-        let total = *self.cumulative.last().expect("non-empty");
+        let total = *self
+            .cumulative
+            .last()
+            .unwrap_or_else(|| unreachable!("constructor rejects n = 0"));
         let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * total;
         match self.cumulative.partition_point(|&c| c < u) {
             p if p >= self.n() => self.n(),

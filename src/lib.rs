@@ -5,6 +5,9 @@
 //! crate under short names for convenience. Library users should depend
 //! on the member crates directly (`spectral-bloom` first).
 
+// Library code must surface failures as `Result`/documented panics, never
+// ad-hoc `unwrap`/`expect` (ISSUE 4 lint wall); tests keep idiomatic unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 
 pub use sbf_analysis as analysis;

@@ -19,6 +19,9 @@ struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: pure pass-through to `System` (which upholds the `GlobalAlloc`
+// contract); the only addition is a relaxed counter bump with no effect on
+// the returned memory.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
