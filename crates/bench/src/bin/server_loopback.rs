@@ -1,0 +1,286 @@
+//! Guardrail for the serving layer: batched frames must keep beating
+//! one-op-per-frame roundtrips over a real loopback socket.
+//!
+//! An in-process `sbfd` serves `127.0.0.1:0`; one client drives a Zipf
+//! stream through it two ways:
+//!
+//! * **single** — one INSERT/ESTIMATE frame per key: every key pays a full
+//!   write→read roundtrip (syscalls + scheduler), the worst case a naive
+//!   client produces;
+//! * **batch** — INSERT_BATCH/ESTIMATE_BATCH frames of `CHUNK` keys: one
+//!   roundtrip amortized over the chunk, the protocol's reason to exist.
+//!
+//! The figure of merit per op is the **speedup** `batch / single`
+//! (throughput ratio). As in `hotpath`, comparing ratios rather than
+//! kop/s keeps the `--check` baseline portable across machines: both
+//! halves of each pair ride the same kernel and scheduler, so a drop
+//! means the protocol or server got slower relative to its own roundtrip
+//! floor — a lost batched path, a per-request allocation, an accidental
+//! extra write per frame — not that CI bought slower hardware. Speedups
+//! are the median of per-round paired ratios; single-op latency
+//! percentiles (p50/p99) are printed and recorded for observability but
+//! not gated, since absolute microseconds are machine-bound.
+//!
+//! Even the ratio is scheduler-noisy (the single side is dominated by
+//! roundtrip wakeups), so the gate is deliberately asymmetric: `--record`
+//! stores the **minimum** paired ratio seen across rounds as
+//! `{op}_speedup_floor`, and `--check` compares the measured **median**
+//! against that floor minus the tolerance. The typical speedup has to
+//! fall 10% below the worst round ever seen at record time before the
+//! gate trips — noise can't fail it, a lost batched path still will.
+//!
+//! ```text
+//! server_loopback                            # measure and print
+//! server_loopback --record BENCH_server.json # write the baseline
+//! server_loopback --check  BENCH_server.json # exit 1 on >10% regression
+//! ```
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use sbf_server::{SbfClient, SbfServer, ServerConfig};
+use sbf_workloads::ZipfWorkload;
+
+const M: usize = 1 << 16;
+const K: usize = 5;
+const SEED: u64 = 42;
+/// Stream length per timed round. Small relative to `hotpath`: every
+/// single-op key costs a full socket roundtrip (tens of µs), so 20k keys
+/// already gives ~1 s rounds on a shared runner.
+const STREAM: usize = 20_000;
+const DISTINCT: usize = 8_192;
+const CHUNK: usize = 1_024;
+const ROUNDS: usize = 5;
+/// Allowed relative drop of an op's speedup before `--check` fails.
+const TOLERANCE: f64 = 0.10;
+
+struct OpResult {
+    name: &'static str,
+    single_kops: f64,
+    batch_kops: f64,
+    /// Median of the per-round paired ratios — the typical speedup.
+    speedup: f64,
+    /// Minimum paired ratio — the conservative floor `--record` stores.
+    speedup_floor: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn percentile(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() as f64 * q).ceil() as usize).clamp(1, sorted_ns.len()) - 1;
+    sorted_ns[idx] as f64 / 1_000.0
+}
+
+/// Races one op both ways for `ROUNDS` alternating-order pairs (same
+/// protocol as `hotpath`'s `race`); per-request latencies are harvested
+/// from the single side's timed rounds.
+fn race(
+    name: &'static str,
+    keys: &[Vec<u8>],
+    mut run: impl FnMut(&[Vec<u8>], bool, &mut Vec<u64>),
+) -> OpResult {
+    // Warm-up round each way, untimed (connection buffers, sketch pages,
+    // branch predictors).
+    let mut latencies_ns = Vec::with_capacity(STREAM * (ROUNDS + 1));
+    run(keys, false, &mut latencies_ns);
+    run(keys, true, &mut latencies_ns);
+    latencies_ns.clear();
+
+    let mut single_times = Vec::with_capacity(ROUNDS);
+    let mut batch_times = Vec::with_capacity(ROUNDS);
+    for round in 0..ROUNDS {
+        // Alternate which loop goes first so drift taxes both sides evenly.
+        let order = [round % 2 == 1, round % 2 == 0];
+        for batched in order {
+            let t = Instant::now();
+            run(keys, batched, &mut latencies_ns);
+            let elapsed = t.elapsed().as_secs_f64();
+            if batched {
+                batch_times.push(elapsed);
+            } else {
+                single_times.push(elapsed);
+            }
+        }
+    }
+    let mut ratios: Vec<f64> = single_times
+        .iter()
+        .zip(&batch_times)
+        .map(|(s, b)| s / b)
+        .collect();
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let speedup = ratios[ratios.len() / 2];
+    let speedup_floor = ratios[0];
+    let best =
+        |ts: &[f64]| keys.len() as f64 / ts.iter().copied().fold(f64::INFINITY, f64::min) / 1e3;
+    latencies_ns.sort_unstable();
+    OpResult {
+        name,
+        single_kops: best(&single_times),
+        batch_kops: best(&batch_times),
+        speedup,
+        speedup_floor,
+        p50_us: percentile(&latencies_ns, 0.50),
+        p99_us: percentile(&latencies_ns, 0.99),
+    }
+}
+
+fn measure() -> Vec<OpResult> {
+    let handle = SbfServer::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        m: M,
+        k: K,
+        seed: SEED,
+        shards: 4,
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback")
+    .spawn()
+    .expect("spawn server");
+
+    let keys: Vec<Vec<u8>> = ZipfWorkload::generate(DISTINCT, STREAM, 1.07, 0xBE7C)
+        .stream
+        .into_iter()
+        .map(|k| k.to_le_bytes().to_vec())
+        .collect();
+    let mut client = SbfClient::connect(handle.addr()).expect("connect");
+
+    let insert = race("insert", &keys, |keys, batched, lat| {
+        if batched {
+            for chunk in keys.chunks(CHUNK) {
+                client.insert_batch(chunk).expect("insert_batch");
+            }
+        } else {
+            for key in keys {
+                let t = Instant::now();
+                client.insert(key, 1).expect("insert");
+                lat.push(t.elapsed().as_nanos() as u64);
+            }
+        }
+    });
+
+    let mut acc = 0u64;
+    let estimate = race("estimate", &keys, |keys, batched, lat| {
+        if batched {
+            for chunk in keys.chunks(CHUNK) {
+                let out = client.estimate_batch(chunk).expect("estimate_batch");
+                acc = acc.wrapping_add(out.iter().sum::<u64>());
+            }
+        } else {
+            for key in keys {
+                let t = Instant::now();
+                acc = acc.wrapping_add(client.estimate(key).expect("estimate"));
+                lat.push(t.elapsed().as_nanos() as u64);
+            }
+        }
+    });
+    black_box(acc);
+
+    client.shutdown().expect("shutdown");
+    drop(client);
+    handle.join().expect("server drain");
+    vec![insert, estimate]
+}
+
+fn to_json(results: &[OpResult]) -> String {
+    let mut out = String::from("{\n");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  \"{}_single_kops\": {:.3},\n  \"{}_batch_kops\": {:.3},\n  \
+             \"{}_p50_us\": {:.2},\n  \"{}_p99_us\": {:.2},\n  \"{}_speedup\": {:.4},\n  \
+             \"{}_speedup_floor\": {:.4}{sep}\n",
+            r.name,
+            r.single_kops,
+            r.name,
+            r.batch_kops,
+            r.name,
+            r.p50_us,
+            r.name,
+            r.p99_us,
+            r.name,
+            r.speedup,
+            r.name,
+            r.speedup_floor
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Pulls `"name": <number>` out of the baseline file (flat, self-produced
+/// JSON — a scanner beats a parser dependency).
+fn json_field(text: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"{name}\"");
+    let rest = &text[text.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let results = measure();
+    println!(
+        "{:<10} {:>12} {:>12} {:>9} {:>9} {:>9}",
+        "op", "single", "batch", "speedup", "p50", "p99"
+    );
+    for r in &results {
+        println!(
+            "{:<10} {:>7.1} k/s {:>7.1} k/s {:>8.2}x {:>6.1}µs {:>6.1}µs",
+            r.name, r.single_kops, r.batch_kops, r.speedup, r.p50_us, r.p99_us
+        );
+    }
+    match args.first().map(String::as_str) {
+        None => {}
+        Some("--record") => {
+            let path = args.get(1).expect("--record needs a path");
+            std::fs::write(path, to_json(&results)).expect("write baseline");
+            println!("baseline recorded to {path}");
+        }
+        Some("--check") => {
+            let path = args.get(1).expect("--check needs a path");
+            let text = std::fs::read_to_string(path).expect("read baseline");
+            let mut failed = false;
+            for r in &results {
+                let field = format!("{}_speedup_floor", r.name);
+                let Some(baseline) = json_field(&text, &field) else {
+                    eprintln!("FAIL: baseline missing {field}");
+                    failed = true;
+                    continue;
+                };
+                let floor = baseline * (1.0 - TOLERANCE);
+                // Median measured vs recorded worst-round floor: asymmetric
+                // on purpose, see the module docs.
+                let status = if r.speedup < floor {
+                    failed = true;
+                    "FAIL"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "{status:>4} {:<10} speedup {:.3} vs baseline floor {baseline:.3} \
+                     (gate {floor:.3})",
+                    r.name, r.speedup
+                );
+            }
+            if failed {
+                eprintln!(
+                    "FAIL: batched serving path regressed >{:.0}% vs {path}",
+                    TOLERANCE * 100.0
+                );
+                std::process::exit(1);
+            }
+            println!("OK: batched serving path within tolerance on every op");
+        }
+        Some(other) => {
+            eprintln!("usage: server_loopback [--record <path> | --check <path>] ({other}?)");
+            std::process::exit(2);
+        }
+    }
+}

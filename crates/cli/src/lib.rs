@@ -51,6 +51,8 @@ pub enum CliError {
     BadFilter(String),
     /// Incompatible filters for a merge.
     Incompatible(String),
+    /// The `sbfd` server (or the connection to it) failed.
+    Server(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -60,6 +62,7 @@ impl std::fmt::Display for CliError {
             CliError::Io(e) => write!(f, "i/o error: {e}"),
             CliError::BadFilter(msg) => write!(f, "bad filter file: {msg}"),
             CliError::Incompatible(msg) => write!(f, "incompatible filters: {msg}"),
+            CliError::Server(msg) => write!(f, "server: {msg}"),
         }
     }
 }
@@ -69,6 +72,12 @@ impl std::error::Error for CliError {}
 impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> Self {
         CliError::Io(e)
+    }
+}
+
+impl From<sbf_server::ClientError> for CliError {
+    fn from(e: sbf_server::ClientError) -> Self {
+        CliError::Server(e.to_string())
     }
 }
 
@@ -613,13 +622,168 @@ fn dispatch(
             let opts = parse_bench(args)?;
             run_bench(&opts, &mut stdout)
         }
+        "serve" => run_serve(args, &mut stdout),
+        "client" => run_client(args, stdin, &mut stdout),
         other => Err(CliError::Usage(format!("unknown command {other}\n{USAGE}"))),
+    }
+}
+
+/// Runs `serve`: binds an `sbfd` daemon and blocks until a client sends
+/// SHUTDOWN (or the process is killed). The listening line is printed and
+/// flushed *before* the accept loop starts, so wrappers (CI smoke tests,
+/// `examples/remote_union.rs`) can parse the bound port from a `:0` bind.
+fn run_serve(mut args: Vec<String>, stdout: &mut impl Write) -> Result<String, CliError> {
+    fn num<T: std::str::FromStr>(
+        args: &mut Vec<String>,
+        flag: &str,
+        default: T,
+    ) -> Result<T, CliError> {
+        take_flag(args, flag).map_or(Ok(default), |v| {
+            v.parse::<T>()
+                .map_err(|_| CliError::Usage(format!("{flag} must be an integer")))
+        })
+    }
+    let defaults = sbf_server::ServerConfig::default();
+    let config = sbf_server::ServerConfig {
+        addr: take_flag(&mut args, "--addr").unwrap_or_else(|| "127.0.0.1:7070".into()),
+        m: num(&mut args, "--m", defaults.m)?,
+        k: num(&mut args, "--k", defaults.k)?,
+        seed: num(&mut args, "--seed", defaults.seed)?,
+        shards: num(&mut args, "--shards", defaults.shards)?,
+        workers: num(&mut args, "--workers", defaults.workers)?,
+        read_timeout: Some(std::time::Duration::from_secs(num(
+            &mut args,
+            "--timeout-secs",
+            30u64,
+        )?)),
+        snapshot_path: take_flag(&mut args, "--snapshot-path").map(Into::into),
+        ..defaults
+    };
+    if !args.is_empty() {
+        return Err(CliError::Usage(format!("unrecognized arguments: {args:?}")));
+    }
+    // A daemon exists to be observed: telemetry on, full schema registered.
+    enable_telemetry();
+    let _ = sbf_server::metrics::server_metrics();
+    let server =
+        sbf_server::SbfServer::bind(config).map_err(|e| CliError::Server(format!("bind: {e}")))?;
+    let addr = server.local_addr()?;
+    writeln!(stdout, "sbfd listening on {addr}")?;
+    stdout.flush()?;
+    server.run().map_err(|e| CliError::Server(e.to_string()))?;
+    Ok(format!("sbfd on {addr} drained and exited"))
+}
+
+/// Runs `client`: one `sbfd` command over a fresh connection.
+fn run_client(
+    mut args: Vec<String>,
+    stdin: impl BufRead,
+    stdout: &mut impl Write,
+) -> Result<String, CliError> {
+    let addr = take_flag(&mut args, "--addr")
+        .ok_or_else(|| CliError::Usage("client requires --addr <host:port>".into()))?;
+    if args.is_empty() {
+        return Err(CliError::Usage(
+            "client requires a command (ping|insert|remove|estimate|merge|snapshot|stats|shutdown)"
+                .into(),
+        ));
+    }
+    let op = args.remove(0);
+    let mut client =
+        sbf_server::SbfClient::connect_timeout(&addr as &str, std::time::Duration::from_secs(30))
+            .map_err(|e| CliError::Server(format!("connect {addr}: {e}")))?;
+    // Keys arrive one per line, like every other stdin-driven subcommand.
+    let read_keys = |stdin: &mut dyn BufRead| -> Result<Vec<Vec<u8>>, CliError> {
+        let mut keys = Vec::new();
+        for line in stdin.lines() {
+            let line = line?;
+            let key = line.trim();
+            if !key.is_empty() {
+                keys.push(key.as_bytes().to_vec());
+            }
+        }
+        Ok(keys)
+    };
+    let mut stdin = stdin;
+    match op.as_str() {
+        "ping" => {
+            client.ping()?;
+            Ok("pong".into())
+        }
+        "insert" => {
+            let count = take_flag(&mut args, "--count").map_or(Ok(1u64), |v| {
+                v.parse()
+                    .map_err(|_| CliError::Usage("--count must be an integer".into()))
+            })?;
+            let keys = read_keys(&mut stdin)?;
+            let n = keys.len();
+            if count == 1 {
+                // The batched frame is the hot path; use it when counts
+                // allow.
+                for chunk in keys.chunks(4096) {
+                    client.insert_batch(chunk)?;
+                }
+            } else {
+                for key in &keys {
+                    client.insert(key, count)?;
+                }
+            }
+            Ok(format!("inserted {n} keys (count {count})"))
+        }
+        "remove" => {
+            let count = take_flag(&mut args, "--count").map_or(Ok(1u64), |v| {
+                v.parse()
+                    .map_err(|_| CliError::Usage("--count must be an integer".into()))
+            })?;
+            let keys = read_keys(&mut stdin)?;
+            let n = keys.len();
+            for key in &keys {
+                client.remove(key, count)?;
+            }
+            Ok(format!("removed {n} keys (count {count})"))
+        }
+        "estimate" => {
+            let keys = read_keys(&mut stdin)?;
+            for chunk in keys.chunks(4096) {
+                let estimates = client.estimate_batch(chunk)?;
+                for (key, est) in chunk.iter().zip(estimates) {
+                    writeln!(stdout, "{}\t{est}", String::from_utf8_lossy(key))?;
+                }
+            }
+            Ok(format!("{} keys estimated", keys.len()))
+        }
+        "merge" => {
+            let path = args
+                .first()
+                .ok_or_else(|| CliError::Usage("client merge requires a filter file".into()))?;
+            let bytes = std::fs::read(path)?;
+            client.merge(&bytes)?;
+            Ok(format!("merged {path} into the server"))
+        }
+        "snapshot" => {
+            let out = take_flag(&mut args, "--out")
+                .ok_or_else(|| CliError::Usage("client snapshot requires --out <path>".into()))?;
+            let bytes = client.snapshot()?;
+            let env = FilterEnvelope::decode(&bytes)
+                .map_err(|e| CliError::Server(format!("snapshot did not decode: {e}")))?;
+            std::fs::write(&out, &bytes)?;
+            Ok(format!("wrote {out} ({} counters)", env.counters.len()))
+        }
+        "stats" => {
+            write!(stdout, "{}", client.stats()?)?;
+            Ok(String::new())
+        }
+        "shutdown" => {
+            client.shutdown()?;
+            Ok("server draining".into())
+        }
+        other => Err(CliError::Usage(format!("unknown client command {other}"))),
     }
 }
 
 /// Top-level usage text.
 pub const USAGE: &str =
-    "usage: sbf [--metrics <path>] <build|query|merge|info|bench|stats> [options]\n\
+    "usage: sbf [--metrics <path>] <build|query|merge|info|bench|serve|client|stats> [options]\n\
   build --out <path> --m <counters> [--k 5] [--seed 42] [--algo ms|mi]\n\
         [--ingest-threads 1]                                              keys on stdin\n\
   query --filter <path> [--threshold T]                                   keys on stdin\n\
@@ -627,6 +791,10 @@ pub const USAGE: &str =
   info  <path>\n\
   bench [--m 1048576] [--k 5] [--seed 42] [--keys 400000] [--distinct 60000]\n\
         [--batch-size 4096] [--algo ms|mi]     race batched vs single-item hot path\n\
+  serve [--addr 127.0.0.1:7070] [--m 65536] [--k 5] [--seed 42] [--shards 4]\n\
+        [--workers 4] [--timeout-secs 30] [--snapshot-path <path>]   run the sbfd daemon\n\
+  client --addr <host:port> <ping|insert|remove|estimate|merge|snapshot|stats|shutdown>\n\
+        [--count N] [--out <path>] [<file.sbf>]        keys on stdin where applicable\n\
   stats [<command> ...]      run <command> with telemetry on; print metrics on stdout\n\
   --metrics <path>           global: enable telemetry, dump exposition to <path>";
 
@@ -913,6 +1081,169 @@ mod tests {
         assert!(text.contains("k1\t2"));
         assert!(text.contains("k3\t0"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `Write` that ships each flushed chunk through a channel — lets a
+    /// test read `serve`'s listening line while `run` is still blocked in
+    /// the accept loop.
+    struct ChannelWriter {
+        tx: std::sync::mpsc::Sender<String>,
+        buf: Vec<u8>,
+    }
+
+    impl Write for ChannelWriter {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            self.buf.extend_from_slice(data);
+            Ok(data.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            if !self.buf.is_empty() {
+                let text = String::from_utf8_lossy(&self.buf).into_owned();
+                self.buf.clear();
+                let _ = self.tx.send(text);
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn serve_and_client_roundtrip_through_the_cli() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let server = std::thread::spawn(move || {
+            run(
+                [
+                    "serve",
+                    "--addr",
+                    "127.0.0.1:0",
+                    "--m",
+                    "4096",
+                    "--shards",
+                    "2",
+                    "--workers",
+                    "2",
+                ]
+                .map(String::from)
+                .to_vec(),
+                Cursor::new(""),
+                ChannelWriter {
+                    tx,
+                    buf: Vec::new(),
+                },
+            )
+        });
+        let banner = rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("serve must announce its address");
+        let addr = banner
+            .trim()
+            .strip_prefix("sbfd listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+            .to_string();
+
+        let client = |args: Vec<String>, input: &str| {
+            let mut out = Vec::new();
+            let msg = run(args, Cursor::new(input.to_string()), &mut out).unwrap();
+            (msg, String::from_utf8(out).unwrap())
+        };
+        let base = vec!["client".to_string(), "--addr".to_string(), addr];
+
+        let (msg, _) = client(
+            base.clone().into_iter().chain(["ping".into()]).collect(),
+            "",
+        );
+        assert_eq!(msg, "pong");
+
+        let (msg, _) = client(
+            base.clone().into_iter().chain(["insert".into()]).collect(),
+            "apple\napple\nbanana\n",
+        );
+        assert!(msg.contains("inserted 3 keys"), "{msg}");
+
+        let (_, table) = client(
+            base.clone()
+                .into_iter()
+                .chain(["estimate".into()])
+                .collect(),
+            "apple\nbanana\ncherry\n",
+        );
+        assert!(table.contains("apple\t"), "{table}");
+        let apple: u64 = table
+            .lines()
+            .find_map(|l| l.strip_prefix("apple\t"))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(apple >= 2, "one-sided over the CLI: {apple}");
+
+        let (_, stats) = client(
+            base.clone().into_iter().chain(["stats".into()]).collect(),
+            "",
+        );
+        assert!(stats.contains("sbfd_connections_total"), "{stats}");
+
+        let dir = std::env::temp_dir().join(format!("sbf-cli-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("snap.sbf");
+        let (msg, _) = client(
+            base.clone()
+                .into_iter()
+                .chain([
+                    "snapshot".into(),
+                    "--out".into(),
+                    snap.to_str().unwrap().into(),
+                ])
+                .collect(),
+            "",
+        );
+        assert!(msg.contains("4096 counters"), "{msg}");
+        // The snapshot file is a normal filter file: `sbf info` reads it.
+        let mut out = Vec::new();
+        run(
+            vec!["info".into(), snap.to_str().unwrap().into()],
+            Cursor::new(""),
+            &mut out,
+        )
+        .unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("m: 4096"));
+
+        let (msg, _) = client(base.into_iter().chain(["shutdown".into()]).collect(), "");
+        assert_eq!(msg, "server draining");
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.contains("drained"), "{summary}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn client_usage_errors_are_typed() {
+        assert!(matches!(
+            run(
+                vec!["client".into(), "ping".into()],
+                Cursor::new(""),
+                Vec::new()
+            ),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(
+                ["client", "--addr", "127.0.0.1:1", "ping"]
+                    .map(String::from)
+                    .to_vec(),
+                Cursor::new(""),
+                Vec::new()
+            ),
+            Err(CliError::Server(_))
+        ));
+        assert!(matches!(
+            run(
+                ["serve", "--addr", "not-an-address"]
+                    .map(String::from)
+                    .to_vec(),
+                Cursor::new(""),
+                Vec::new()
+            ),
+            Err(CliError::Server(_))
+        ));
     }
 
     #[test]

@@ -31,6 +31,12 @@ pub enum WireError {
     Truncated,
     /// A counter codeword was malformed.
     BadCodeword,
+    /// A header field claims more counters than the decoder's cap allows.
+    ///
+    /// Raised *before* any allocation sized by untrusted input, so a
+    /// hostile frame cannot drive the decoder into a huge `Vec` reserve
+    /// (see [`decode_counters_capped`]).
+    Oversized,
 }
 
 impl std::fmt::Display for WireError {
@@ -38,6 +44,7 @@ impl std::fmt::Display for WireError {
         match self {
             WireError::Truncated => write!(f, "wire frame truncated"),
             WireError::BadCodeword => write!(f, "malformed counter codeword"),
+            WireError::Oversized => write!(f, "wire frame exceeds counter cap"),
         }
     }
 }
@@ -58,15 +65,59 @@ fn le_u32(bytes: &[u8]) -> u32 {
     u32::from_le_bytes(b)
 }
 
-/// Decodes a framed counter vector.
+/// Default counter-count cap for [`decode_counters`]: far above any filter
+/// this workspace builds (`2^26` counters = 512 MiB of decoded `u64`s), far
+/// below what a length-inflated header could otherwise request.
+pub const DEFAULT_COUNTER_CAP: usize = 1 << 26;
+
+/// Decodes a framed counter vector with the [`DEFAULT_COUNTER_CAP`].
+///
+/// Trusted-file callers (CLI filter files, in-process messages) use this
+/// form; anything decoding attacker-controlled bytes (the `sbf-server`
+/// request path) should pick its own cap via [`decode_counters_capped`].
 pub fn decode_counters(frame: &[u8]) -> Result<Vec<u64>, WireError> {
+    decode_counters_capped(frame, DEFAULT_COUNTER_CAP)
+}
+
+/// Decodes a framed counter vector, validating the untrusted header against
+/// `max_counters` and the actual frame length **before any allocation**.
+///
+/// The header carries two attacker-controlled sizes: `m` (counter count,
+/// which sizes the output `Vec`) and `bit_len` (payload bits, which sizes
+/// the decode buffer). Checks, in order:
+///
+/// 1. `m ≤ max_counters`, else [`WireError::Oversized`] — the caller's
+///    allocation budget;
+/// 2. `m ≤ bit_len` — every Elias-δ codeword costs ≥ 1 bit, so a header
+///    claiming more counters than payload bits is lying
+///    ([`WireError::Truncated`]);
+/// 3. `bit_len` fits inside the bytes actually present, so the bit buffer
+///    is bounded by the frame the caller already holds
+///    ([`WireError::Truncated`]).
+///
+/// Never panics on malformed input, and never allocates more than
+/// `O(frame.len() + max_counters)` (fuzzed in `tests/wire_adversarial.rs`).
+pub fn decode_counters_capped(frame: &[u8], max_counters: usize) -> Result<Vec<u64>, WireError> {
     if frame.len() < 16 {
         return Err(WireError::Truncated);
     }
-    let m = le_u64(&frame[0..8]) as usize;
-    let bit_len = le_u64(&frame[8..16]) as usize;
+    let m = le_u64(&frame[0..8]);
+    let bit_len = le_u64(&frame[8..16]);
+    if m > max_counters as u64 {
+        return Err(WireError::Oversized);
+    }
+    // `m` is now known small; `bit_len` must cover ≥ 1 bit per codeword and
+    // must itself be covered by the bytes present. The second check also
+    // bounds `need_words * 8` before it is used as a slice length.
+    if m > bit_len {
+        return Err(WireError::Truncated);
+    }
+    let Ok(bit_len) = usize::try_from(bit_len) else {
+        return Err(WireError::Truncated);
+    };
+    let m = m as usize; // ≤ max_counters: usize on every supported target
     let need_words = bit_len.div_ceil(64);
-    if frame.len() < 16 + need_words * 8 {
+    if frame.len() < 16 || (frame.len() - 16) / 8 < need_words {
         return Err(WireError::Truncated);
     }
     let mut bits = sbf_bitvec_from_words(&frame[16..16 + need_words * 8], bit_len);
@@ -172,8 +223,16 @@ impl FilterEnvelope {
     }
 
     /// Deserializes, validating magic/version/kind and the counter frame.
-    /// Never panics on malformed input (fuzzed in the tests).
+    /// Never panics on malformed input (fuzzed in the tests). Uses the
+    /// [`DEFAULT_COUNTER_CAP`]; network-facing callers should pass their
+    /// own budget via [`FilterEnvelope::decode_capped`].
     pub fn decode(frame: &[u8]) -> Result<Self, WireError> {
+        Self::decode_capped(frame, DEFAULT_COUNTER_CAP)
+    }
+
+    /// Like [`FilterEnvelope::decode`], but with a caller-supplied cap on
+    /// the decoded counter count (see [`decode_counters_capped`]).
+    pub fn decode_capped(frame: &[u8], max_counters: usize) -> Result<Self, WireError> {
         if frame.len() < 18 {
             return Err(WireError::Truncated);
         }
@@ -187,7 +246,7 @@ impl FilterEnvelope {
         let kind = FilterKind::from_byte(frame[5]).ok_or(WireError::BadCodeword)?;
         let k = le_u32(&frame[6..10]);
         let seed = le_u64(&frame[10..18]);
-        let counters = decode_counters(&frame[18..])?;
+        let counters = decode_counters_capped(&frame[18..], max_counters)?;
         Ok(FilterEnvelope {
             kind,
             k,
@@ -280,6 +339,54 @@ mod tests {
             let frame = encode_counters(counters.iter().copied());
             prop_assert_eq!(decode_counters(&frame).unwrap(), counters);
         }
+    }
+
+    #[test]
+    fn oversized_headers_are_rejected_before_allocation() {
+        let counters: Vec<u64> = (0..64).collect();
+        let mut frame = encode_counters(counters.iter().copied());
+        // Inflate the claimed counter count to u64::MAX: must fail with
+        // Oversized (not attempt a huge Vec reserve, not panic).
+        frame[0..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(decode_counters(&frame), Err(WireError::Oversized));
+        // A claimed count above the caller's cap but below the payload's
+        // bit budget still trips the cap.
+        let frame = encode_counters((0..64u64).collect::<Vec<_>>().iter().copied());
+        assert_eq!(
+            decode_counters_capped(&frame, 63),
+            Err(WireError::Oversized)
+        );
+        // At the exact cap it decodes fine.
+        assert_eq!(
+            decode_counters_capped(&frame, 64).unwrap(),
+            (0..64).collect::<Vec<u64>>()
+        );
+    }
+
+    #[test]
+    fn counter_count_above_bit_budget_is_truncated() {
+        // Claim more counters than payload bits: each δ codeword costs at
+        // least one bit, so the header is lying about the frame length.
+        let counters: Vec<u64> = vec![0; 10];
+        let mut frame = encode_counters(counters.iter().copied());
+        frame[0..8].copy_from_slice(&1000u64.to_le_bytes());
+        assert_eq!(decode_counters(&frame), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn envelope_honours_the_cap() {
+        let env = FilterEnvelope {
+            kind: FilterKind::MinimumSelection,
+            k: 5,
+            seed: 3,
+            counters: (0..256).collect(),
+        };
+        let frame = env.encode();
+        assert_eq!(
+            FilterEnvelope::decode_capped(&frame, 100),
+            Err(WireError::Oversized)
+        );
+        assert_eq!(FilterEnvelope::decode_capped(&frame, 256).unwrap(), env);
     }
 
     #[test]

@@ -447,6 +447,11 @@ impl AtomicUsize {
         self.word.rmw(ord, |v| v.wrapping_add(value as u64)) as usize
     }
 
+    /// Wrapping atomic subtract; returns the previous value.
+    pub fn fetch_sub(&self, value: usize, ord: Ordering) -> usize {
+        self.word.rmw(ord, |v| v.wrapping_sub(value as u64)) as usize
+    }
+
     /// Strong compare-and-exchange.
     pub fn compare_exchange(
         &self,

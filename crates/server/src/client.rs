@@ -1,0 +1,241 @@
+//! A blocking client for `sbfd`: one request, one response, over a
+//! persistent connection.
+//!
+//! Each method writes a single pre-assembled frame (`Request::encode`
+//! builds header + body in one buffer) and blocks for the matching
+//! response frame. The client enforces the same frame-size cap on
+//! responses that the server enforces on requests — a client talking to a
+//! hostile or broken endpoint never allocates more than the cap.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::proto::{ErrorCode, ProtoError, Request, Response, MAX_FRAME_DEFAULT};
+
+/// A client-side failure: transport, framing, or a server error frame.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The server's bytes did not parse as a response frame.
+    Proto(ProtoError),
+    /// The server answered with a typed error frame.
+    Server {
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Human-readable context from the server.
+        message: String,
+    },
+    /// The server answered with a well-formed response of the wrong kind
+    /// for the request (e.g. `Ok` where a value was expected).
+    Unexpected(&'static str),
+    /// The server declared a response frame larger than the client's cap.
+    Oversized {
+        /// Declared frame length.
+        declared: usize,
+        /// The client's cap.
+        cap: usize,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol: {e}"),
+            ClientError::Server { code, message } => write!(f, "server error ({code}): {message}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response kind: {what}"),
+            ClientError::Oversized { declared, cap } => {
+                write!(f, "response frame of {declared} bytes exceeds cap {cap}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+/// A blocking `sbfd` connection.
+#[derive(Debug)]
+pub struct SbfClient {
+    stream: TcpStream,
+    max_frame: usize,
+}
+
+impl SbfClient {
+    /// Connects with no I/O timeouts and the default frame cap.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(SbfClient {
+            stream,
+            max_frame: MAX_FRAME_DEFAULT,
+        })
+    }
+
+    /// Connects and applies one timeout to reads and writes.
+    pub fn connect_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> Result<Self, ClientError> {
+        let client = Self::connect(addr)?;
+        client.stream.set_read_timeout(Some(timeout))?;
+        client.stream.set_write_timeout(Some(timeout))?;
+        Ok(client)
+    }
+
+    /// Caps how large a response frame this client will accept.
+    pub fn set_max_frame(&mut self, cap: usize) {
+        self.max_frame = cap;
+    }
+
+    /// Sends one request and reads one response, surfacing server error
+    /// frames as [`ClientError::Server`].
+    pub fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.stream.write_all(&req.encode())?;
+        self.stream.flush()?;
+        match self.read_response()? {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            resp => Ok(resp),
+        }
+    }
+
+    fn read_response(&mut self) -> Result<Response, ClientError> {
+        let mut header = [0u8; 4];
+        self.stream.read_exact(&mut header)?;
+        let len = u32::from_le_bytes(header) as usize;
+        if len == 0 {
+            return Err(ProtoError::Truncated.into());
+        }
+        if len > self.max_frame {
+            return Err(ClientError::Oversized {
+                declared: len,
+                cap: self.max_frame,
+            });
+        }
+        let mut body = vec![0u8; len];
+        self.stream.read_exact(&mut body)?;
+        Ok(Response::decode(body[0], &body[1..])?)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Ping)? {
+            Response::Ok => Ok(()),
+            _ => Err(ClientError::Unexpected("ping expects Ok")),
+        }
+    }
+
+    /// Adds `count` occurrences of `key`.
+    pub fn insert(&mut self, key: &[u8], count: u64) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Insert {
+            count,
+            key: key.to_vec(),
+        })? {
+            Response::Ok => Ok(()),
+            _ => Err(ClientError::Unexpected("insert expects Ok")),
+        }
+    }
+
+    /// Removes `count` occurrences of `key`; underflow comes back as a
+    /// [`ClientError::Server`] with [`ErrorCode::Underflow`].
+    pub fn remove(&mut self, key: &[u8], count: u64) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Remove {
+            count,
+            key: key.to_vec(),
+        })? {
+            Response::Ok => Ok(()),
+            _ => Err(ClientError::Unexpected("remove expects Ok")),
+        }
+    }
+
+    /// The server's one-sided multiplicity estimate for `key`.
+    pub fn estimate(&mut self, key: &[u8]) -> Result<u64, ClientError> {
+        match self.roundtrip(&Request::Estimate { key: key.to_vec() })? {
+            Response::Value(v) => Ok(v),
+            _ => Err(ClientError::Unexpected("estimate expects Value")),
+        }
+    }
+
+    /// Adds one occurrence of every key in one frame (the hot path).
+    pub fn insert_batch(&mut self, keys: &[Vec<u8>]) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::InsertBatch {
+            keys: keys.to_vec(),
+        })? {
+            Response::Ok => Ok(()),
+            _ => Err(ClientError::Unexpected("insert_batch expects Ok")),
+        }
+    }
+
+    /// Estimates every key in one frame; answers come back in input order.
+    pub fn estimate_batch(&mut self, keys: &[Vec<u8>]) -> Result<Vec<u64>, ClientError> {
+        match self.roundtrip(&Request::EstimateBatch {
+            keys: keys.to_vec(),
+        })? {
+            Response::Values(vs) => {
+                if vs.len() == keys.len() {
+                    Ok(vs)
+                } else {
+                    Err(ClientError::Unexpected("estimate_batch answer count"))
+                }
+            }
+            _ => Err(ClientError::Unexpected("estimate_batch expects Values")),
+        }
+    }
+
+    /// Ships a wire-encoded [`sbf_db::wire::FilterEnvelope`] for §5 union
+    /// into the server's filter.
+    pub fn merge(&mut self, envelope: &[u8]) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Merge {
+            envelope: envelope.to_vec(),
+        })? {
+            Response::Ok => Ok(()),
+            _ => Err(ClientError::Unexpected("merge expects Ok")),
+        }
+    }
+
+    /// Fetches the server's whole filter as an encoded envelope.
+    pub fn snapshot(&mut self) -> Result<Vec<u8>, ClientError> {
+        match self.roundtrip(&Request::Snapshot)? {
+            Response::Frame(bytes) => Ok(bytes),
+            _ => Err(ClientError::Unexpected("snapshot expects Frame")),
+        }
+    }
+
+    /// Fetches the server's telemetry as Prometheus exposition text.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Text(text) => Ok(text),
+            _ => Err(ClientError::Unexpected("stats expects Text")),
+        }
+    }
+
+    /// Asks the server to drain and exit; the Ok answer confirms the
+    /// drain has begun, not that it has finished.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::Ok => Ok(()),
+            _ => Err(ClientError::Unexpected("shutdown expects Ok")),
+        }
+    }
+
+    /// Sends pre-encoded frame bytes verbatim — test hook for driving the
+    /// server with malformed input — then reads one response frame.
+    pub fn raw_roundtrip(&mut self, frame: &[u8]) -> Result<Response, ClientError> {
+        self.stream.write_all(frame)?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+}

@@ -1,0 +1,216 @@
+//! Per-connection request loop: framed reads, typed error answers,
+//! timeout and oversize enforcement.
+//!
+//! A worker owns one [`TcpStream`] at a time and runs [`serve`] to
+//! completion. The loop's contract, in order of precedence:
+//!
+//! 1. **Malformed bytes never kill the server.** A frame that fails to
+//!    decode is answered with a typed [`Response::Error`] frame and the
+//!    connection keeps serving; only transport-level failures close it.
+//! 2. **Oversized frames are refused before allocation.** A declared
+//!    length above the cap gets an `Oversized` error; the payload is then
+//!    read and discarded in bounded chunks so the stream stays framed.
+//! 3. **Timeouts reclaim dead peers.** A peer that goes silent between
+//!    frames, or stalls mid-frame (slowloris), is dropped after the
+//!    configured read timeout.
+//! 4. **Drain finishes in-flight work.** Once shutdown begins, the
+//!    current request is answered, then the connection closes.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use crate::metrics;
+use crate::proto::{ErrorCode, ProtoError, Request, Response};
+use crate::server::SharedState;
+
+/// How a framed read ended, beyond successfully producing a frame.
+enum ReadEnd {
+    /// Peer closed cleanly between frames.
+    Closed,
+    /// Read timed out (idle peer or mid-frame stall).
+    TimedOut,
+    /// Any other transport failure.
+    Io,
+}
+
+/// Reads exactly `buf.len()` bytes. `Ok(false)` means the peer closed
+/// before the first byte (clean EOF at a frame boundary — only possible
+/// when `buf` is the frame header and nothing was read yet).
+fn read_full(stream: &mut TcpStream, buf: &mut [u8]) -> Result<bool, ReadEnd> {
+    let mut got = 0;
+    while got < buf.len() {
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(false)
+                } else {
+                    // Peer died mid-frame; nothing to answer.
+                    Err(ReadEnd::Closed)
+                };
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Err(ReadEnd::TimedOut);
+            }
+            Err(_) => return Err(ReadEnd::Io),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads and throws away `n` payload bytes in bounded chunks, so an
+/// oversized frame can be refused without ever buffering it.
+fn discard(stream: &mut TcpStream, mut n: usize) -> Result<(), ReadEnd> {
+    let mut sink = [0u8; 16 * 1024];
+    while n > 0 {
+        let take = n.min(sink.len());
+        read_full(stream, &mut sink[..take]).and_then(|ok| {
+            if ok {
+                Ok(())
+            } else {
+                Err(ReadEnd::Closed)
+            }
+        })?;
+        n -= take;
+    }
+    Ok(())
+}
+
+/// Sends one response frame, updating traffic metrics. Returns `false`
+/// if the transport failed (connection should close).
+fn send(stream: &mut TcpStream, resp: &Response) -> bool {
+    let bytes = resp.encode();
+    if matches!(resp, Response::Error { .. }) {
+        metrics::on(|m| m.errors.inc());
+    }
+    match stream.write_all(&bytes).and_then(|()| stream.flush()) {
+        Ok(()) => {
+            metrics::on(|m| m.bytes_written.add(bytes.len() as u64));
+            true
+        }
+        Err(e) => {
+            if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut {
+                metrics::on(|m| m.timeouts.inc());
+            }
+            false
+        }
+    }
+}
+
+/// Serves one connection to completion. Never panics on peer input; all
+/// exits are clean socket closes (the response, if any, was flushed).
+pub(crate) fn serve(mut stream: TcpStream, state: &SharedState) {
+    state.connection_started();
+    // Latency over loopback is dominated by Nagle delays otherwise.
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(state.read_timeout);
+    let _ = stream.set_write_timeout(state.write_timeout);
+    serve_inner(&mut stream, state);
+    state.connection_finished();
+}
+
+fn serve_inner(stream: &mut TcpStream, state: &SharedState) {
+    loop {
+        // A connection picked up (or kept) after drain began gets no new
+        // requests served; close so the pool can finish joining.
+        if state.draining() {
+            return;
+        }
+        let mut header = [0u8; 4];
+        match read_full(stream, &mut header) {
+            Ok(true) => {}
+            Ok(false) => return, // clean EOF between frames
+            Err(ReadEnd::TimedOut) => {
+                metrics::on(|m| m.timeouts.inc());
+                return;
+            }
+            Err(_) => return,
+        }
+        let len = u32::from_le_bytes(header) as usize;
+        if len == 0 {
+            // A zero-length frame has no opcode to answer; still typed.
+            if !send(
+                stream,
+                &Response::Error {
+                    code: ErrorCode::BadFrame,
+                    message: "zero-length frame".into(),
+                },
+            ) {
+                return;
+            }
+            continue;
+        }
+        if len > state.max_frame {
+            metrics::on(|m| m.frames_oversized.inc());
+            if !send(
+                stream,
+                &Response::Error {
+                    code: ErrorCode::Oversized,
+                    message: format!("frame of {len} bytes exceeds cap {}", state.max_frame),
+                },
+            ) {
+                return;
+            }
+            // Resynchronize: consume the declared payload without
+            // buffering it, then keep serving.
+            match discard(stream, len) {
+                Ok(()) => continue,
+                Err(ReadEnd::TimedOut) => {
+                    metrics::on(|m| m.timeouts.inc());
+                    return;
+                }
+                Err(_) => return,
+            }
+        }
+        let mut body = vec![0u8; len];
+        match read_full(stream, &mut body) {
+            Ok(true) => {}
+            // EOF inside the body (got==0 can report Ok(false)): peer died
+            // mid-frame either way.
+            Ok(false) => return,
+            Err(ReadEnd::TimedOut) => {
+                metrics::on(|m| m.timeouts.inc());
+                return;
+            }
+            Err(_) => return,
+        }
+        metrics::on(|m| m.bytes_read.add(4 + len as u64));
+        let started = Instant::now();
+        let (opcode, payload) = (body[0], &body[1..]);
+        let req = match Request::decode(opcode, payload) {
+            Ok(req) => req,
+            Err(e) => {
+                let code = match e {
+                    ProtoError::UnknownOpcode(_) => ErrorCode::UnknownOp,
+                    ProtoError::Truncated | ProtoError::Malformed(_) => ErrorCode::BadFrame,
+                };
+                if !send(
+                    stream,
+                    &Response::Error {
+                        code,
+                        message: e.to_string(),
+                    },
+                ) {
+                    return;
+                }
+                continue;
+            }
+        };
+        metrics::on(|m| m.requests_for(req.op_name()).inc());
+        let was_shutdown = matches!(req, Request::Shutdown);
+        let resp = state.handle(&req);
+        let ok = send(stream, &resp);
+        metrics::on(|m| {
+            m.request_latency_ns
+                .observe(started.elapsed().as_nanos() as u64);
+        });
+        if !ok || was_shutdown {
+            // Shutdown was acknowledged; close so the drain can complete.
+            return;
+        }
+    }
+}

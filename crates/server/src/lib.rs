@@ -1,0 +1,39 @@
+//! `sbfd`: a concurrent TCP sketch server and its client — the paper's
+//! distributed scenarios (§4.7.1 "filter as a message", §5 unions across
+//! sites) over a real socket instead of the simulated network layer in
+//! `sbf-db::network`.
+//!
+//! * [`proto`] — the length-prefixed binary frame protocol; SNAPSHOT and
+//!   MERGE bodies are [`sbf_db::wire::FilterEnvelope`]s, so bytes move
+//!   between servers, CLI files, and this daemon unchanged,
+//! * [`server`] — [`ServerConfig`] / [`SbfServer`]: a fixed worker pool
+//!   over a sharded live sketch plus a §5-union "remote" filter, with
+//!   per-connection timeouts, frame-size caps, typed error frames, and
+//!   graceful drain (finish in-flight, flush a final snapshot),
+//! * [`client`] — [`SbfClient`], a blocking one-request-one-response
+//!   client enforcing the same frame cap on responses,
+//! * [`pool`] — the worker pool whose join *is* the drain barrier,
+//! * [`metrics`] — `sbfd_*` telemetry published to [`sbf_telemetry`].
+//!
+//! The estimate contract survives the network: for any key, the answer to
+//! ESTIMATE is ≥ the true number of inserts acknowledged for that key
+//! (socket inserts plus merged remote mass) — same one-sidedness as the
+//! in-process sketches, verified end-to-end in `tests/loopback.rs`.
+
+// Library code must surface failures as `Result`/documented panics, never
+// ad-hoc `unwrap`/`expect` (ISSUE 4 lint wall); tests keep idiomatic unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+mod conn;
+pub mod metrics;
+pub mod pool;
+pub mod proto;
+pub mod server;
+pub(crate) mod sync;
+
+pub use client::{ClientError, SbfClient};
+pub use proto::{ErrorCode, ProtoError, Request, Response, MAX_FRAME_DEFAULT};
+pub use server::{SbfServer, ServerConfig, ServerHandle, SharedState};

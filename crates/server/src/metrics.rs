@@ -1,0 +1,135 @@
+//! Server telemetry: connection, request, latency and traffic metrics,
+//! published to the process-global [`sbf_telemetry`] registry.
+//!
+//! Same overhead contract as `spectral_bloom::metrics`: every update is
+//! guarded by [`sbf_telemetry::enabled`] (one relaxed load + a predictable
+//! branch when disabled). The daemon flips telemetry on at startup — a
+//! server exists to be observed — but embedded/test uses can leave it off.
+//!
+//! # Metric names
+//!
+//! | name | kind | measures |
+//! |---|---|---|
+//! | `sbfd_connections_total` | counter | accepted TCP connections |
+//! | `sbfd_connections_active` | gauge | connections currently held by workers |
+//! | `sbfd_requests_total{op="…"}` | counter | decoded requests, per command |
+//! | `sbfd_request_latency_ns` | histogram | decode→respond wall time per request |
+//! | `sbfd_bytes_read_total` | counter | request frame bytes received |
+//! | `sbfd_bytes_written_total` | counter | response frame bytes sent |
+//! | `sbfd_errors_total` | counter | error frames answered (all codes) |
+//! | `sbfd_frames_oversized_total` | counter | frames rejected for exceeding the size cap |
+//! | `sbfd_timeouts_total` | counter | connections closed by read/write timeout |
+//! | `sbfd_batch_keys_total` | counter | keys carried by batched insert/estimate requests |
+
+use crate::sync::{Arc, OnceLock};
+
+use sbf_telemetry::{Counter, Gauge, Histogram};
+
+/// Per-command request counters, indexed by [`op_slot`].
+const OPS: [&str; 10] = [
+    "ping",
+    "insert",
+    "remove",
+    "estimate",
+    "insert_batch",
+    "estimate_batch",
+    "merge",
+    "snapshot",
+    "stats",
+    "shutdown",
+];
+
+/// Handles to every metric this crate publishes (see the module table).
+#[derive(Debug)]
+pub struct ServerMetrics {
+    /// `sbfd_connections_total`.
+    pub connections: Arc<Counter>,
+    /// `sbfd_connections_active`.
+    pub connections_active: Arc<Gauge>,
+    /// `sbfd_requests_total{op="…"}`, one handle per command in `OPS` order.
+    pub requests: Vec<Arc<Counter>>,
+    /// `sbfd_request_latency_ns`.
+    pub request_latency_ns: Arc<Histogram>,
+    /// `sbfd_bytes_read_total`.
+    pub bytes_read: Arc<Counter>,
+    /// `sbfd_bytes_written_total`.
+    pub bytes_written: Arc<Counter>,
+    /// `sbfd_errors_total`.
+    pub errors: Arc<Counter>,
+    /// `sbfd_frames_oversized_total`.
+    pub frames_oversized: Arc<Counter>,
+    /// `sbfd_timeouts_total`.
+    pub timeouts: Arc<Counter>,
+    /// `sbfd_batch_keys_total`.
+    pub batch_keys: Arc<Counter>,
+}
+
+impl ServerMetrics {
+    /// The request counter for a command name from
+    /// [`crate::proto::Request::op_name`]; unknown names fall back to slot
+    /// 0 (cannot happen for decoded requests).
+    pub fn requests_for(&self, op: &str) -> &Counter {
+        let slot = OPS.iter().position(|&o| o == op).unwrap_or(0);
+        &self.requests[slot]
+    }
+}
+
+static SERVER: OnceLock<ServerMetrics> = OnceLock::new();
+
+/// The crate's metric handles, registered in [`sbf_telemetry::global`] on
+/// first call. Calling this pre-registers every metric name, so a STATS
+/// response shows the full schema even before any event fires.
+pub fn server_metrics() -> &'static ServerMetrics {
+    SERVER.get_or_init(|| {
+        let reg = sbf_telemetry::global();
+        ServerMetrics {
+            connections: reg.counter("sbfd_connections_total"),
+            connections_active: reg.gauge("sbfd_connections_active"),
+            requests: OPS
+                .iter()
+                .map(|op| reg.counter(&format!("sbfd_requests_total{{op=\"{op}\"}}")))
+                .collect(),
+            request_latency_ns: reg.histogram("sbfd_request_latency_ns"),
+            bytes_read: reg.counter("sbfd_bytes_read_total"),
+            bytes_written: reg.counter("sbfd_bytes_written_total"),
+            errors: reg.counter("sbfd_errors_total"),
+            frames_oversized: reg.counter("sbfd_frames_oversized_total"),
+            timeouts: reg.counter("sbfd_timeouts_total"),
+            batch_keys: reg.counter("sbfd_batch_keys_total"),
+        }
+    })
+}
+
+/// Runs `f` against the metric handles iff telemetry is enabled.
+#[inline]
+pub(crate) fn on(f: impl FnOnce(&ServerMetrics)) {
+    if sbf_telemetry::enabled() {
+        f(server_metrics());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_registered_once() {
+        let a = server_metrics() as *const ServerMetrics;
+        let b = server_metrics() as *const ServerMetrics;
+        assert_eq!(a, b);
+        let snap = sbf_telemetry::global().snapshot();
+        assert!(snap.get("sbfd_connections_total").is_some());
+        assert!(snap
+            .get("sbfd_requests_total{op=\"insert_batch\"}")
+            .is_some());
+        assert!(snap.get("sbfd_request_latency_ns").is_some());
+    }
+
+    #[test]
+    fn per_op_counters_resolve_by_name() {
+        let m = server_metrics();
+        let before = m.requests_for("merge").get();
+        m.requests_for("merge").inc();
+        assert_eq!(m.requests_for("merge").get(), before + 1);
+    }
+}

@@ -1,0 +1,605 @@
+//! The `sbfd` wire protocol: length-prefixed binary frames.
+//!
+//! Every message — request or response — is one frame:
+//!
+//! ```text
+//! +----------------+--------+---------------------+
+//! | len: u32 LE    | opcode | payload (len−1 B)   |
+//! +----------------+--------+---------------------+
+//! ```
+//!
+//! `len` counts the opcode byte plus the payload, so an empty-payload
+//! message is `len = 1`. All integers are little-endian. Keys are opaque
+//! byte strings (the sketches canonicalize them via `sbf_hash::Key` for
+//! `[u8]`), counter payloads reuse `sbf_db::wire`'s Elias-δ framed form —
+//! the SNAPSHOT response body and the MERGE request body are exactly a
+//! [`sbf_db::wire::FilterEnvelope`], so a snapshot pulled over the socket
+//! can be fed to `sbf merge`, `sbf info`, or another server's MERGE
+//! unchanged.
+//!
+//! Decoders here face attacker-controlled bytes. They validate every
+//! length field against the bytes actually present *before* allocating
+//! (the batch paths additionally bound element counts by the payload
+//! size), return [`ProtoError`] instead of panicking, and are fuzzed in
+//! `tests/wire_adversarial.rs` alongside the counter decoder.
+
+use sbf_db::wire::FilterEnvelope;
+
+/// Default cap on a single frame's length field, requests and responses
+/// alike (8 MiB — a 64 Ki-key batch of 100-byte keys fits comfortably).
+pub const MAX_FRAME_DEFAULT: usize = 8 << 20;
+
+/// A client-to-server command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Ok`].
+    Ping,
+    /// Add `count` occurrences of `key`.
+    Insert {
+        /// Multiplicity to add.
+        count: u64,
+        /// Opaque key bytes.
+        key: Vec<u8>,
+    },
+    /// Remove `count` occurrences of `key` (may fail with `Underflow`).
+    Remove {
+        /// Multiplicity to remove.
+        count: u64,
+        /// Opaque key bytes.
+        key: Vec<u8>,
+    },
+    /// Query the multiplicity estimate of `key`.
+    Estimate {
+        /// Opaque key bytes.
+        key: Vec<u8>,
+    },
+    /// Add one occurrence of every key (the batched hot path).
+    InsertBatch {
+        /// Opaque keys, applied in order.
+        keys: Vec<Vec<u8>>,
+    },
+    /// Query every key; answered with [`Response::Values`] in input order.
+    EstimateBatch {
+        /// Opaque keys.
+        keys: Vec<Vec<u8>>,
+    },
+    /// §5 union: add a client-shipped counter frame into the live sketch.
+    /// The body is a [`FilterEnvelope`], kept as raw bytes here so the
+    /// expensive decode happens once, under the server's counter cap.
+    Merge {
+        /// Encoded [`FilterEnvelope`] bytes.
+        envelope: Vec<u8>,
+    },
+    /// Fetch the server's whole filter as a wire-encoded envelope.
+    Snapshot,
+    /// Fetch the server's telemetry as Prometheus exposition text.
+    Stats,
+    /// Begin graceful shutdown: stop accepting, drain in-flight requests,
+    /// flush a final snapshot if configured.
+    Shutdown,
+}
+
+/// A server-to-client answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Command applied.
+    Ok,
+    /// A single numeric answer (ESTIMATE).
+    Value(u64),
+    /// Numeric answers in request order (ESTIMATE batch).
+    Values(Vec<u64>),
+    /// An encoded [`FilterEnvelope`] (SNAPSHOT).
+    Frame(Vec<u8>),
+    /// UTF-8 text (STATS).
+    Text(String),
+    /// A typed protocol or command error; the connection stays usable.
+    Error {
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Human-readable context.
+        message: String,
+    },
+}
+
+/// Failure classes carried in [`Response::Error`] frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request frame did not parse.
+    BadFrame,
+    /// A frame or embedded structure exceeded the server's size caps.
+    Oversized,
+    /// The opcode byte is not a known request.
+    UnknownOp,
+    /// A remove would drive a counter below zero; nothing was applied.
+    Underflow,
+    /// A MERGE envelope disagrees with the server's `(m, k, seed)`.
+    Incompatible,
+    /// The server is draining and no longer accepts mutations.
+    Draining,
+}
+
+impl ErrorCode {
+    fn to_byte(self) -> u8 {
+        match self {
+            ErrorCode::BadFrame => 1,
+            ErrorCode::Oversized => 2,
+            ErrorCode::UnknownOp => 3,
+            ErrorCode::Underflow => 4,
+            ErrorCode::Incompatible => 5,
+            ErrorCode::Draining => 6,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(ErrorCode::BadFrame),
+            2 => Some(ErrorCode::Oversized),
+            3 => Some(ErrorCode::UnknownOp),
+            4 => Some(ErrorCode::Underflow),
+            5 => Some(ErrorCode::Incompatible),
+            6 => Some(ErrorCode::Draining),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ErrorCode::BadFrame => "bad frame",
+            ErrorCode::Oversized => "oversized",
+            ErrorCode::UnknownOp => "unknown op",
+            ErrorCode::Underflow => "underflow",
+            ErrorCode::Incompatible => "incompatible",
+            ErrorCode::Draining => "draining",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Why a frame failed to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Payload shorter than a length field inside it claims.
+    Truncated,
+    /// The opcode byte names no known message.
+    UnknownOpcode(u8),
+    /// A structurally invalid field (bad UTF-8, bad error code, …).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "frame truncated"),
+            ProtoError::UnknownOpcode(b) => write!(f, "unknown opcode {b:#04x}"),
+            ProtoError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+// Request opcodes.
+const OP_PING: u8 = 0x01;
+const OP_INSERT: u8 = 0x02;
+const OP_REMOVE: u8 = 0x03;
+const OP_ESTIMATE: u8 = 0x04;
+const OP_INSERT_BATCH: u8 = 0x05;
+const OP_ESTIMATE_BATCH: u8 = 0x06;
+const OP_MERGE: u8 = 0x07;
+const OP_SNAPSHOT: u8 = 0x08;
+const OP_STATS: u8 = 0x09;
+const OP_SHUTDOWN: u8 = 0x0A;
+// Response opcodes (high bit set).
+const OP_OK: u8 = 0x80;
+const OP_VALUE: u8 = 0x81;
+const OP_VALUES: u8 = 0x82;
+const OP_FRAME: u8 = 0x83;
+const OP_TEXT: u8 = 0x84;
+const OP_ERROR: u8 = 0xEE;
+
+/// A cursor over an untrusted payload; every read is length-checked.
+struct Scan<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Scan<'a> {
+    fn new(rest: &'a [u8]) -> Self {
+        Scan { rest }
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        let (head, tail) = self
+            .rest
+            .split_first_chunk::<4>()
+            .ok_or(ProtoError::Truncated)?;
+        self.rest = tail;
+        Ok(u32::from_le_bytes(*head))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        let (head, tail) = self
+            .rest
+            .split_first_chunk::<8>()
+            .ok_or(ProtoError::Truncated)?;
+        self.rest = tail;
+        Ok(u64::from_le_bytes(*head))
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.rest.len() < n {
+            return Err(ProtoError::Truncated);
+        }
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        Ok(head)
+    }
+
+    /// A `u32`-length-prefixed byte string.
+    fn lstring(&mut self) -> Result<&'a [u8], ProtoError> {
+        let n = self.u32()? as usize;
+        self.bytes(n)
+    }
+
+    /// A batch of length-prefixed byte strings. The element count is
+    /// validated against the minimum bytes it implies (4 per element)
+    /// before the output vector is reserved, so a hostile count cannot
+    /// drive a huge allocation.
+    fn key_batch(&mut self) -> Result<Vec<Vec<u8>>, ProtoError> {
+        let n = self.u32()? as usize;
+        if n > self.rest.len() / 4 {
+            return Err(ProtoError::Truncated);
+        }
+        let mut keys = Vec::with_capacity(n);
+        for _ in 0..n {
+            keys.push(self.lstring()?.to_vec());
+        }
+        Ok(keys)
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(ProtoError::Malformed("trailing bytes after payload"))
+        }
+    }
+}
+
+/// Appends one `u32`-length-prefixed byte string.
+fn put_lstring(buf: &mut Vec<u8>, bytes: &[u8]) {
+    buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    buf.extend_from_slice(bytes);
+}
+
+/// Wraps `opcode` + `payload` in a length-prefixed frame.
+fn frame(opcode: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + payload.len());
+    out.extend_from_slice(&(1 + payload.len() as u32).to_le_bytes());
+    out.push(opcode);
+    out.extend_from_slice(payload);
+    out
+}
+
+impl Request {
+    /// Serializes into a complete frame (header included), ready for one
+    /// `write_all` — single-syscall sends keep loopback latency flat.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Ping => frame(OP_PING, &[]),
+            Request::Insert { count, key } => {
+                let mut p = Vec::with_capacity(8 + key.len());
+                p.extend_from_slice(&count.to_le_bytes());
+                p.extend_from_slice(key);
+                frame(OP_INSERT, &p)
+            }
+            Request::Remove { count, key } => {
+                let mut p = Vec::with_capacity(8 + key.len());
+                p.extend_from_slice(&count.to_le_bytes());
+                p.extend_from_slice(key);
+                frame(OP_REMOVE, &p)
+            }
+            Request::Estimate { key } => frame(OP_ESTIMATE, key),
+            Request::InsertBatch { keys } => frame(OP_INSERT_BATCH, &encode_key_batch(keys)),
+            Request::EstimateBatch { keys } => frame(OP_ESTIMATE_BATCH, &encode_key_batch(keys)),
+            Request::Merge { envelope } => frame(OP_MERGE, envelope),
+            Request::Snapshot => frame(OP_SNAPSHOT, &[]),
+            Request::Stats => frame(OP_STATS, &[]),
+            Request::Shutdown => frame(OP_SHUTDOWN, &[]),
+        }
+    }
+
+    /// Parses the body of a frame whose header the transport has already
+    /// consumed and length-checked.
+    pub fn decode(opcode: u8, payload: &[u8]) -> Result<Self, ProtoError> {
+        let mut s = Scan::new(payload);
+        let req = match opcode {
+            OP_PING => Request::Ping,
+            OP_INSERT => Request::Insert {
+                count: s.u64()?,
+                key: s.bytes(s.rest.len())?.to_vec(),
+            },
+            OP_REMOVE => Request::Remove {
+                count: s.u64()?,
+                key: s.bytes(s.rest.len())?.to_vec(),
+            },
+            OP_ESTIMATE => Request::Estimate {
+                key: s.bytes(s.rest.len())?.to_vec(),
+            },
+            OP_INSERT_BATCH => Request::InsertBatch {
+                keys: s.key_batch()?,
+            },
+            OP_ESTIMATE_BATCH => Request::EstimateBatch {
+                keys: s.key_batch()?,
+            },
+            OP_MERGE => Request::Merge {
+                envelope: s.bytes(s.rest.len())?.to_vec(),
+            },
+            OP_SNAPSHOT => Request::Snapshot,
+            OP_STATS => Request::Stats,
+            OP_SHUTDOWN => Request::Shutdown,
+            other => return Err(ProtoError::UnknownOpcode(other)),
+        };
+        s.finish()?;
+        Ok(req)
+    }
+
+    /// The metric label for this command (see `metrics.rs`).
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Insert { .. } => "insert",
+            Request::Remove { .. } => "remove",
+            Request::Estimate { .. } => "estimate",
+            Request::InsertBatch { .. } => "insert_batch",
+            Request::EstimateBatch { .. } => "estimate_batch",
+            Request::Merge { .. } => "merge",
+            Request::Snapshot => "snapshot",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
+    /// Whether the command mutates the sketch (refused while draining).
+    pub fn is_mutation(&self) -> bool {
+        matches!(
+            self,
+            Request::Insert { .. }
+                | Request::Remove { .. }
+                | Request::InsertBatch { .. }
+                | Request::Merge { .. }
+        )
+    }
+}
+
+fn encode_key_batch(keys: &[Vec<u8>]) -> Vec<u8> {
+    let total: usize = keys.iter().map(|k| 4 + k.len()).sum();
+    let mut p = Vec::with_capacity(4 + total);
+    p.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+    for key in keys {
+        put_lstring(&mut p, key);
+    }
+    p
+}
+
+impl Response {
+    /// Serializes into a complete frame (header included).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Ok => frame(OP_OK, &[]),
+            Response::Value(v) => frame(OP_VALUE, &v.to_le_bytes()),
+            Response::Values(vs) => {
+                let mut p = Vec::with_capacity(4 + vs.len() * 8);
+                p.extend_from_slice(&(vs.len() as u32).to_le_bytes());
+                for v in vs {
+                    p.extend_from_slice(&v.to_le_bytes());
+                }
+                frame(OP_VALUES, &p)
+            }
+            Response::Frame(bytes) => frame(OP_FRAME, bytes),
+            Response::Text(text) => frame(OP_TEXT, text.as_bytes()),
+            Response::Error { code, message } => {
+                let mut p = Vec::with_capacity(1 + message.len());
+                p.push(code.to_byte());
+                p.extend_from_slice(message.as_bytes());
+                frame(OP_ERROR, &p)
+            }
+        }
+    }
+
+    /// Parses the body of a response frame.
+    pub fn decode(opcode: u8, payload: &[u8]) -> Result<Self, ProtoError> {
+        let mut s = Scan::new(payload);
+        let resp = match opcode {
+            OP_OK => Response::Ok,
+            OP_VALUE => Response::Value(s.u64()?),
+            OP_VALUES => {
+                let n = s.u32()? as usize;
+                if n > s.rest.len() / 8 {
+                    return Err(ProtoError::Truncated);
+                }
+                let mut vs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    vs.push(s.u64()?);
+                }
+                Response::Values(vs)
+            }
+            OP_FRAME => Response::Frame(s.bytes(s.rest.len())?.to_vec()),
+            OP_TEXT => {
+                let bytes = s.bytes(s.rest.len())?;
+                Response::Text(
+                    String::from_utf8(bytes.to_vec())
+                        .map_err(|_| ProtoError::Malformed("text response is not UTF-8"))?,
+                )
+            }
+            OP_ERROR => {
+                let code_byte = s.bytes(1)?.first().copied().ok_or(ProtoError::Truncated)?;
+                let code = ErrorCode::from_byte(code_byte)
+                    .ok_or(ProtoError::Malformed("unknown error code"))?;
+                let bytes = s.bytes(s.rest.len())?;
+                Response::Error {
+                    code,
+                    message: String::from_utf8_lossy(bytes).into_owned(),
+                }
+            }
+            other => return Err(ProtoError::UnknownOpcode(other)),
+        };
+        s.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Decodes a MERGE body into an envelope, mapping decode failures onto
+/// protocol error codes. `max_counters` is the server's own `m` — any
+/// compatible envelope has exactly that many counters, so a larger claim
+/// is rejected before allocation.
+pub fn decode_merge_envelope(
+    bytes: &[u8],
+    max_counters: usize,
+) -> Result<FilterEnvelope, (ErrorCode, String)> {
+    FilterEnvelope::decode_capped(bytes, max_counters).map_err(|e| {
+        let code = match e {
+            sbf_db::wire::WireError::Oversized => ErrorCode::Oversized,
+            _ => ErrorCode::BadFrame,
+        };
+        (code, format!("merge envelope: {e}"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let bytes = req.encode();
+        let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        assert_eq!(len, bytes.len() - 4, "header length must match body");
+        let back = Request::decode(bytes[4], &bytes[5..]).expect("decode");
+        assert_eq!(back, req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let bytes = resp.encode();
+        let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        assert_eq!(len, bytes.len() - 4);
+        let back = Response::decode(bytes[4], &bytes[5..]).expect("decode");
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::Insert {
+            count: 3,
+            key: b"hello".to_vec(),
+        });
+        roundtrip_request(Request::Remove {
+            count: 1,
+            key: vec![],
+        });
+        roundtrip_request(Request::Estimate {
+            key: b"\x00\xff".to_vec(),
+        });
+        roundtrip_request(Request::InsertBatch {
+            keys: vec![b"a".to_vec(), vec![], b"ccc".to_vec()],
+        });
+        roundtrip_request(Request::EstimateBatch { keys: vec![] });
+        roundtrip_request(Request::Merge {
+            envelope: vec![1, 2, 3],
+        });
+        roundtrip_request(Request::Snapshot);
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::Ok);
+        roundtrip_response(Response::Value(u64::MAX));
+        roundtrip_response(Response::Values(vec![0, 1, 2, 3]));
+        roundtrip_response(Response::Values(vec![]));
+        roundtrip_response(Response::Frame(vec![9; 100]));
+        roundtrip_response(Response::Text("sbf_requests_total 7\n".into()));
+        roundtrip_response(Response::Error {
+            code: ErrorCode::Underflow,
+            message: "counter 3".into(),
+        });
+    }
+
+    #[test]
+    fn unknown_opcodes_are_rejected() {
+        assert_eq!(
+            Request::decode(0x7F, &[]),
+            Err(ProtoError::UnknownOpcode(0x7F))
+        );
+        assert_eq!(
+            Response::decode(0x01, &[]),
+            Err(ProtoError::UnknownOpcode(0x01))
+        );
+    }
+
+    #[test]
+    fn truncated_payloads_are_rejected() {
+        assert_eq!(
+            Request::decode(OP_INSERT, &[1, 2, 3]),
+            Err(ProtoError::Truncated)
+        );
+        // Batch claiming 100 keys with 4 bytes of payload.
+        let mut p = Vec::new();
+        p.extend_from_slice(&100u32.to_le_bytes());
+        assert_eq!(
+            Request::decode(OP_INSERT_BATCH, &p),
+            Err(ProtoError::Truncated)
+        );
+        // Values response claiming more entries than bytes.
+        let mut p = Vec::new();
+        p.extend_from_slice(&5u32.to_le_bytes());
+        p.extend_from_slice(&7u64.to_le_bytes());
+        assert_eq!(Response::decode(OP_VALUES, &p), Err(ProtoError::Truncated));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = Request::Ping.encode();
+        bytes.extend_from_slice(&[0, 0]);
+        // Re-frame by hand: opcode + oversized payload.
+        assert_eq!(
+            Request::decode(bytes[4], &bytes[5..]),
+            Err(ProtoError::Malformed("trailing bytes after payload"))
+        );
+    }
+
+    #[test]
+    fn mutation_classification() {
+        assert!(Request::Insert {
+            count: 1,
+            key: vec![]
+        }
+        .is_mutation());
+        assert!(Request::Merge { envelope: vec![] }.is_mutation());
+        assert!(!Request::Estimate { key: vec![] }.is_mutation());
+        assert!(!Request::Snapshot.is_mutation());
+        assert!(!Request::Shutdown.is_mutation());
+    }
+
+    #[test]
+    fn merge_decode_maps_error_codes() {
+        let env = FilterEnvelope {
+            kind: sbf_db::wire::FilterKind::MinimumSelection,
+            k: 4,
+            seed: 9,
+            counters: (0..512).collect(),
+        };
+        let bytes = env.encode();
+        assert_eq!(decode_merge_envelope(&bytes, 512).map(|e| e.k), Ok(4));
+        assert_eq!(
+            decode_merge_envelope(&bytes, 128).map_err(|(c, _)| c),
+            Err(ErrorCode::Oversized)
+        );
+        assert_eq!(
+            decode_merge_envelope(&bytes[..10], 512).map_err(|(c, _)| c),
+            Err(ErrorCode::BadFrame)
+        );
+    }
+}

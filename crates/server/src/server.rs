@@ -1,0 +1,550 @@
+//! The `sbfd` daemon: configuration, shared sketch state, command
+//! dispatch, and the accept/drain loop.
+//!
+//! # State model
+//!
+//! The server holds **two** filters over the same `(m, k, seed)` geometry:
+//!
+//! - the *live* sketch — a [`ShardedSketch`]`<MsSbf>` taking all
+//!   socket-driven inserts/removes (keys route to their owning shard, so
+//!   concurrent workers rarely contend), and
+//! - the *remote* filter — a plain [`MsSbf`] behind an `RwLock`,
+//!   accumulating §5 unions of client-shipped counter frames.
+//!
+//! MERGE mass cannot go into the sharded sketch: a key's estimate there
+//! reads only its owning shard, while an external frame carries mass for
+//! *every* key, so folding it into one shard would hide it from most
+//! queries and break the one-sided contract. Keeping it in a separate
+//! whole-range filter and answering ESTIMATE with `live + remote`
+//! preserves one-sidedness: each term upper-bounds the mass ingested on
+//! its side, so the sum upper-bounds the true total frequency.
+//! SNAPSHOT returns the counter-wise sum of both (the §5 union), which is
+//! exactly what a client would get by merging the two envelopes itself.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use sbf_db::wire::{FilterEnvelope, FilterKind};
+use spectral_bloom::{CounterStore, MsSbf, ShardedSketch, SketchReader};
+
+use crate::conn;
+use crate::metrics;
+use crate::pool::WorkerPool;
+use crate::proto::{self, ErrorCode, Request, Response, MAX_FRAME_DEFAULT};
+use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::sync::{lock_unpoisoned, Arc, RwLock};
+
+/// Everything `sbfd` needs to start serving.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `"127.0.0.1:7070"`; port `0` picks a free one.
+    pub addr: String,
+    /// Counters per filter.
+    pub m: usize,
+    /// Hash functions per filter.
+    pub k: usize,
+    /// Hash seed; MERGE requires clients to match it.
+    pub seed: u64,
+    /// Shards in the live sketch.
+    pub shards: usize,
+    /// Worker threads (= max concurrently served connections).
+    pub workers: usize,
+    /// Per-connection read timeout. An idle or stalled peer is dropped
+    /// after this long; `None` waits forever.
+    pub read_timeout: Option<Duration>,
+    /// Per-connection write timeout.
+    pub write_timeout: Option<Duration>,
+    /// Hard cap on any frame's declared length, either direction.
+    pub max_frame: usize,
+    /// Where to flush the final union snapshot during graceful shutdown.
+    pub snapshot_path: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            m: 1 << 16,
+            k: 5,
+            seed: 42,
+            shards: 4,
+            workers: 4,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_frame: MAX_FRAME_DEFAULT,
+            snapshot_path: None,
+        }
+    }
+}
+
+/// Rebuilds a concrete MS sketch from a decoded envelope so it can be
+/// unioned into the remote filter. Mirrors `sbf-cli`'s rehydration: both
+/// MS and MI wire frames are plain counter vectors queried the same way.
+fn rehydrate(env: &FilterEnvelope) -> MsSbf {
+    let mut sbf = MsSbf::new(env.counters.len().max(1), env.k as usize, env.seed);
+    for (i, &c) in env.counters.iter().enumerate() {
+        sbf.core_mut().store_mut().set(i, c);
+    }
+    sbf
+}
+
+/// State shared by every worker: the filters, the drain flag, and the
+/// limits connections enforce.
+#[derive(Debug)]
+pub struct SharedState {
+    /// Socket-driven mass, sharded for concurrent ingest.
+    sketch: ShardedSketch<MsSbf>,
+    /// Client-shipped §5 union mass (see the module docs for why this is
+    /// a separate whole-range filter).
+    remote: RwLock<MsSbf>,
+    /// Set once by SHUTDOWN (or [`ServerHandle::shutdown`]); never cleared.
+    shutdown: AtomicBool,
+    /// Connections currently inside a worker (feeds the active gauge).
+    active: AtomicUsize,
+    m: usize,
+    k: usize,
+    seed: u64,
+    pub(crate) max_frame: usize,
+    pub(crate) read_timeout: Option<Duration>,
+    pub(crate) write_timeout: Option<Duration>,
+}
+
+impl SharedState {
+    fn new(config: &ServerConfig) -> Self {
+        let m = config.m.max(1);
+        let k = config.k.max(1);
+        SharedState {
+            sketch: ShardedSketch::with_shards(config.shards.max(1), |_| {
+                MsSbf::new(m, k, config.seed)
+            }),
+            remote: RwLock::new(MsSbf::new(m, k, config.seed)),
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            m,
+            k,
+            seed: config.seed,
+            max_frame: config.max_frame,
+            read_timeout: config.read_timeout,
+            write_timeout: config.write_timeout,
+        }
+    }
+
+    /// Whether graceful shutdown has begun. Draining servers answer
+    /// mutations with [`ErrorCode::Draining`] and close connections after
+    /// the in-flight response.
+    pub fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Begins graceful shutdown: the accept loop stops, workers finish
+    /// their in-flight request and close.
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn connection_started(&self) {
+        let now = self.active.fetch_add(1, Ordering::AcqRel) + 1;
+        metrics::on(|m| {
+            m.connections.inc();
+            m.connections_active.set_u64(now as u64);
+        });
+    }
+
+    pub(crate) fn connection_finished(&self) {
+        let now = self.active.fetch_sub(1, Ordering::AcqRel) - 1;
+        metrics::on(|m| m.connections_active.set_u64(now as u64));
+    }
+
+    /// One-sided estimate across both filters (see the module docs).
+    fn estimate_one(&self, key: &[u8]) -> u64 {
+        let live = self.sketch.estimate(key);
+        let remote = lock_unpoisoned(self.remote.read()).estimate(key);
+        live.saturating_add(remote)
+    }
+
+    /// The full filter — live shards unioned with the remote mass — as a
+    /// wire-encoded envelope, byte-compatible with `sbf-db` files and
+    /// `sbf` CLI subcommands.
+    pub fn snapshot_envelope(&self) -> Vec<u8> {
+        let mut merged = (*self.sketch.snapshot_cached()).clone();
+        let remote = lock_unpoisoned(self.remote.read());
+        merged.union_assign(&remote);
+        let store = merged.core().store();
+        FilterEnvelope {
+            kind: FilterKind::MinimumSelection,
+            k: self.k as u32,
+            seed: self.seed,
+            counters: (0..self.m).map(|i| store.get(i)).collect(),
+        }
+        .encode()
+    }
+
+    /// Total mass held (socket inserts plus merged remote mass).
+    pub fn total_count(&self) -> u64 {
+        let remote = lock_unpoisoned(self.remote.read()).core().total_count();
+        self.sketch.total_count().saturating_add(remote)
+    }
+
+    /// Applies one decoded request and produces its response. Protocol
+    /// errors never reach here — `conn` answers those itself — so every
+    /// arm speaks for a well-formed command.
+    pub fn handle(&self, req: &Request) -> Response {
+        if req.is_mutation() && self.draining() {
+            return Response::Error {
+                code: ErrorCode::Draining,
+                message: "server is draining; mutation refused".into(),
+            };
+        }
+        match req {
+            Request::Ping => Response::Ok,
+            Request::Insert { count, key } => {
+                self.sketch.insert_by(key.as_slice(), *count);
+                Response::Ok
+            }
+            Request::Remove { count, key } => match self.sketch.remove_by(key.as_slice(), *count) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Error {
+                    code: ErrorCode::Underflow,
+                    message: e.to_string(),
+                },
+            },
+            Request::Estimate { key } => Response::Value(self.estimate_one(key)),
+            Request::InsertBatch { keys } => {
+                metrics::on(|m| m.batch_keys.add(keys.len() as u64));
+                self.sketch.insert_batch(keys);
+                Response::Ok
+            }
+            Request::EstimateBatch { keys } => {
+                metrics::on(|m| m.batch_keys.add(keys.len() as u64));
+                let mut out = Vec::new();
+                self.sketch.estimate_batch_into(keys, &mut out);
+                let remote = lock_unpoisoned(self.remote.read());
+                for (v, key) in out.iter_mut().zip(keys) {
+                    *v = v.saturating_add(remote.estimate(key));
+                }
+                Response::Values(out)
+            }
+            Request::Merge { envelope } => self.apply_merge(envelope),
+            Request::Snapshot => Response::Frame(self.snapshot_envelope()),
+            Request::Stats => {
+                self.sketch.publish_metrics();
+                Response::Text(sbf_telemetry::global().snapshot().to_prometheus())
+            }
+            Request::Shutdown => {
+                self.begin_shutdown();
+                Response::Ok
+            }
+        }
+    }
+
+    fn apply_merge(&self, envelope: &[u8]) -> Response {
+        // The cap is the server's own m: a compatible envelope has exactly
+        // m counters, so anything claiming more dies before allocation.
+        let env = match proto::decode_merge_envelope(envelope, self.m) {
+            Ok(env) => env,
+            Err((code, message)) => return Response::Error { code, message },
+        };
+        if env.counters.len() != self.m || env.k as usize != self.k || env.seed != self.seed {
+            return Response::Error {
+                code: ErrorCode::Incompatible,
+                message: format!(
+                    "envelope geometry (m={}, k={}, seed={}) != server (m={}, k={}, seed={})",
+                    env.counters.len(),
+                    env.k,
+                    env.seed,
+                    self.m,
+                    self.k,
+                    self.seed
+                ),
+            };
+        }
+        // Any FilterKind is accepted: MS and MI frames are both plain
+        // counter vectors, and counter addition keeps estimates one-sided
+        // regardless of which insertion policy built them.
+        let incoming = rehydrate(&env);
+        lock_unpoisoned(self.remote.write()).union_assign(&incoming);
+        Response::Ok
+    }
+}
+
+/// A bound-but-not-yet-running server. Split from [`SbfServer::run`] so
+/// callers can learn the OS-assigned port (`addr: "127.0.0.1:0"`) before
+/// the accept loop starts.
+#[derive(Debug)]
+pub struct SbfServer {
+    listener: TcpListener,
+    state: Arc<SharedState>,
+    workers: usize,
+    snapshot_path: Option<PathBuf>,
+}
+
+impl SbfServer {
+    /// Binds the listen socket and builds the shared state.
+    pub fn bind(config: ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(SbfServer {
+            listener,
+            state: Arc::new(SharedState::new(&config)),
+            workers: config.workers.max(1),
+            snapshot_path: config.snapshot_path,
+        })
+    }
+
+    /// The bound address (with the real port when `addr` asked for `:0`).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared state, for embedding (tests assert against it directly).
+    pub fn state(&self) -> Arc<SharedState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Serves until a SHUTDOWN request (or [`SharedState::begin_shutdown`])
+    /// flips the drain flag, then drains: stop accepting, let every queued
+    /// and in-flight connection finish, and flush the final union snapshot
+    /// if a path was configured.
+    pub fn run(self) -> io::Result<()> {
+        // Non-blocking accept so the loop can observe the drain flag
+        // promptly; 5 ms idle sleep keeps the wait cheap.
+        self.listener.set_nonblocking(true)?;
+        let mut pool = WorkerPool::new(self.workers);
+        while !self.state.draining() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    // Hand the socket back to blocking mode: workers use
+                    // SO_RCVTIMEO/SO_SNDTIMEO, not spin loops.
+                    stream.set_nonblocking(false)?;
+                    let state = Arc::clone(&self.state);
+                    if !pool.execute(move || conn::serve(stream, &state)) {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                // Transient accept failure (peer reset mid-handshake, fd
+                // pressure): keep serving.
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        // Drain: close the queue and wait for every connection to finish.
+        pool.join();
+        if let Some(path) = &self.snapshot_path {
+            std::fs::write(path, self.state.snapshot_envelope())?;
+        }
+        Ok(())
+    }
+
+    /// Runs the server on a background thread; the returned handle knows
+    /// the bound address and can stop and join it.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let state = self.state();
+        let thread = std::thread::Builder::new()
+            .name("sbfd-accept".into())
+            .spawn(move || self.run())?;
+        Ok(ServerHandle {
+            addr,
+            state,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// Handle to a server running on a background thread.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<SharedState>,
+    thread: Option<std::thread::JoinHandle<io::Result<()>>>,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's shared state.
+    pub fn state(&self) -> Arc<SharedState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Flips the drain flag and waits for the full drain (accept loop
+    /// exit, in-flight connections finished, snapshot flushed).
+    pub fn shutdown_and_join(mut self) -> io::Result<()> {
+        self.state.begin_shutdown();
+        self.join_inner()
+    }
+
+    /// Waits for the server to finish on its own (e.g. after a client
+    /// sent SHUTDOWN).
+    pub fn join(mut self) -> io::Result<()> {
+        self.join_inner()
+    }
+
+    fn join_inner(&mut self) -> io::Result<()> {
+        match self.thread.take() {
+            Some(t) => t
+                .join()
+                .map_err(|_| io::Error::other("server thread panicked"))?,
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.state.begin_shutdown();
+        let _ = self.join_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spectral_bloom::MultisetSketch;
+
+    fn state(m: usize) -> SharedState {
+        SharedState::new(&ServerConfig {
+            m,
+            shards: 2,
+            ..ServerConfig::default()
+        })
+    }
+
+    #[test]
+    fn insert_then_estimate_is_one_sided() {
+        let st = state(1 << 12);
+        for _ in 0..5 {
+            assert_eq!(
+                st.handle(&Request::Insert {
+                    count: 2,
+                    key: b"apple".to_vec()
+                }),
+                Response::Ok
+            );
+        }
+        match st.handle(&Request::Estimate {
+            key: b"apple".to_vec(),
+        }) {
+            Response::Value(v) => assert!(v >= 10, "one-sided: got {v}"),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_adds_mass_visible_to_every_key() {
+        let st = state(1 << 12);
+        // Build a remote site's filter with mass on keys the live sketch
+        // never saw.
+        let mut site_b = MsSbf::new(1 << 12, st.k, st.seed);
+        site_b.insert_by(&b"pear".as_slice(), 7);
+        let store = site_b.core().store();
+        let env = FilterEnvelope {
+            kind: FilterKind::MinimumSelection,
+            k: st.k as u32,
+            seed: st.seed,
+            counters: (0..1 << 12).map(|i| store.get(i)).collect(),
+        };
+        assert_eq!(
+            st.handle(&Request::Merge {
+                envelope: env.encode()
+            }),
+            Response::Ok
+        );
+        match st.handle(&Request::Estimate {
+            key: b"pear".to_vec(),
+        }) {
+            Response::Value(v) => assert!(v >= 7, "merged mass must be visible: got {v}"),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_geometry() {
+        let st = state(1 << 12);
+        let env = FilterEnvelope {
+            kind: FilterKind::MinimumSelection,
+            k: 3, // server uses a different k
+            seed: st.seed,
+            counters: vec![0; 1 << 12],
+        };
+        match st.handle(&Request::Merge {
+            envelope: env.encode(),
+        }) {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::Incompatible),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_rejects_oversized_envelopes_as_oversized() {
+        let st = state(256);
+        let env = FilterEnvelope {
+            kind: FilterKind::MinimumSelection,
+            k: st.k as u32,
+            seed: st.seed,
+            counters: vec![1; 4096],
+        };
+        match st.handle(&Request::Merge {
+            envelope: env.encode(),
+        }) {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::Oversized),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_decodes_to_live_plus_remote() {
+        let st = state(1 << 12);
+        st.handle(&Request::Insert {
+            count: 3,
+            key: b"x".to_vec(),
+        });
+        let bytes = match st.handle(&Request::Snapshot) {
+            Response::Frame(b) => b,
+            other => panic!("unexpected response {other:?}"),
+        };
+        let env = FilterEnvelope::decode(&bytes).expect("snapshot must decode");
+        assert_eq!(env.counters.len(), 1 << 12);
+        let total: u64 = env.counters.iter().sum();
+        assert_eq!(total, 3 * st.k as u64);
+    }
+
+    #[test]
+    fn draining_refuses_mutations_but_answers_reads() {
+        let st = state(1 << 10);
+        st.handle(&Request::Insert {
+            count: 1,
+            key: b"y".to_vec(),
+        });
+        st.begin_shutdown();
+        match st.handle(&Request::Insert {
+            count: 1,
+            key: b"y".to_vec(),
+        }) {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::Draining),
+            other => panic!("unexpected response {other:?}"),
+        }
+        match st.handle(&Request::Estimate { key: b"y".to_vec() }) {
+            Response::Value(v) => assert!(v >= 1),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn remove_underflow_is_a_typed_error() {
+        let st = state(1 << 10);
+        match st.handle(&Request::Remove {
+            count: 5,
+            key: b"never-inserted".to_vec(),
+        }) {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::Underflow),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+}

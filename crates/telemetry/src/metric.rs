@@ -138,6 +138,29 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(f64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// Upper-bound estimate of the `q`-quantile (`0.0 ≤ q ≤ 1.0`).
+    ///
+    /// Returns the upper bound of the first bucket whose cumulative count
+    /// reaches `⌈q · count⌉`. With log2 buckets the answer is within 2× of
+    /// the true quantile — the right resolution for latency SLO gauges
+    /// (p50/p99 "order of magnitude" questions), not for fine comparisons.
+    /// Returns `None` for an empty histogram; `Some(f64::INFINITY)` when
+    /// the quantile falls in the overflow bucket.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ⌈q·count⌉, but at least 1 so q = 0 means "smallest observation".
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        self.buckets
+            .iter()
+            .find(|&&(_, cum)| cum >= target)
+            .map(|&(bound, _)| bound)
+    }
+}
+
 impl Histogram {
     /// An empty histogram.
     pub fn new() -> Self {
@@ -297,6 +320,32 @@ mod tests {
         for w in snap.buckets.windows(2) {
             assert!(w[0].1 <= w[1].1);
         }
+    }
+
+    #[test]
+    fn quantiles_come_from_bucket_upper_bounds() {
+        let h = Histogram::new();
+        // 90 fast observations (≤ 8), 10 slow ones (≤ 1024).
+        for _ in 0..90 {
+            h.observe(7);
+        }
+        for _ in 0..10 {
+            h.observe(1000);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(0.5), Some(8.0));
+        assert_eq!(snap.quantile(0.9), Some(8.0));
+        assert_eq!(snap.quantile(0.99), Some(1024.0));
+        assert_eq!(snap.quantile(1.0), Some(1024.0));
+        assert_eq!(snap.quantile(0.0), Some(8.0));
+        // A value past every finite bucket lands in +Inf.
+        h.observe(u64::MAX);
+        assert_eq!(h.snapshot().quantile(1.0), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_none() {
+        assert_eq!(Histogram::new().snapshot().quantile(0.5), None);
     }
 
     #[test]

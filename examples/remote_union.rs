@@ -1,0 +1,168 @@
+//! §5 counter-addition union between two real processes over TCP.
+//!
+//! The paper's distributed story (§5): each site maintains its own SBF
+//! over local traffic, and a union site combines them by *adding
+//! counters* — for minimum-selection sketches the sum upper-bounds every
+//! key's combined frequency, so the merged filter stays one-sided.
+//!
+//! This example makes that story literal. It re-executes itself as a
+//! child process running a real `sbfd` (site A), then the parent plays
+//! two roles against it over loopback TCP:
+//!
+//! * **site A's ingest client** — streams A's event log through batched
+//!   INSERT frames, so A's filter lives inside the daemon;
+//! * **site B** — builds its filter locally, serialises it into the
+//!   Elias-δ wire envelope, and ships it with one MERGE frame.
+//!
+//! The parent then verifies, over the socket, that every estimate
+//! upper-bounds the *combined* true frequency, pulls a SNAPSHOT and
+//! checks its counter mass equals both sites' mass, and finally asks the
+//! daemon to drain.
+//!
+//! Run with: `cargo run --example remote_union`
+
+use std::io::BufRead;
+use std::process::{Command, Stdio};
+
+use sbf_db::wire::{FilterEnvelope, FilterKind};
+use sbf_server::{SbfClient, SbfServer, ServerConfig};
+use sbf_workloads::ZipfWorkload;
+use spectral_bloom::{CounterStore, MsSbf, MultisetSketch};
+
+// Both processes share these: MERGE requires identical geometry, and the
+// server answers `Incompatible` otherwise.
+const M: usize = 1 << 16;
+const K: usize = 5;
+const SEED: u64 = 42;
+
+const CHILD_FLAG: &str = "--site-a-server";
+
+/// Child role: a real daemon on an ephemeral port. Prints the bound
+/// address on the first stdout line (the parent's service discovery),
+/// then serves until a SHUTDOWN frame drains it.
+fn run_site_a_server() {
+    let server = SbfServer::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        m: M,
+        k: K,
+        seed: SEED,
+        ..ServerConfig::default()
+    })
+    .expect("bind site A server");
+    println!("{}", server.local_addr().expect("local addr"));
+    server.run().expect("serve site A");
+}
+
+fn main() {
+    if std::env::args().nth(1).as_deref() == Some(CHILD_FLAG) {
+        run_site_a_server();
+        return;
+    }
+
+    // Re-execute this same binary as the site-A daemon.
+    let exe = std::env::current_exe().expect("current exe");
+    let mut child = Command::new(exe)
+        .arg(CHILD_FLAG)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn site A process");
+    let mut addr = String::new();
+    std::io::BufReader::new(child.stdout.take().expect("child stdout"))
+        .read_line(&mut addr)
+        .expect("read site A address");
+    let addr = addr.trim();
+    println!("site A daemon up in pid {} at {addr}", child.id());
+
+    // Site A's traffic: a skewed event log, ingested over the wire in
+    // batched frames. Site B's overlaps on the hot keys (ids 0..256) and
+    // adds its own tail (ids 10_000..), so the union exercises both
+    // counter addition on shared keys and disjoint mass.
+    let site_a = ZipfWorkload::generate(4_096, 60_000, 1.07, 0xA11CE);
+    let site_b_keys: Vec<u64> = ZipfWorkload::generate(256, 20_000, 1.2, 0xB0B)
+        .stream
+        .into_iter()
+        .chain((0..20_000u64).map(|i| 10_000 + i % 2_048))
+        .collect();
+
+    let mut client = SbfClient::connect(addr).expect("connect to site A");
+    let frames_a: Vec<Vec<u8>> = site_a
+        .stream
+        .iter()
+        .map(|k| k.to_le_bytes().to_vec())
+        .collect();
+    for chunk in frames_a.chunks(2_048) {
+        client.insert_batch(chunk).expect("ingest site A batch");
+    }
+    println!("site A: streamed {} events over TCP", frames_a.len());
+
+    // Snapshot site A alone first: §5 union is *counter addition*, so the
+    // post-merge snapshot's mass must be exactly this plus site B's mass.
+    let mass_a: u64 = FilterEnvelope::decode(&client.snapshot().expect("snapshot site A"))
+        .expect("decode site A snapshot")
+        .counters
+        .iter()
+        .sum();
+
+    // Site B builds locally, then ships its whole filter as one envelope.
+    let mut site_b = MsSbf::new(M, K, SEED);
+    for key in &site_b_keys {
+        site_b.insert_by(&key.to_le_bytes().as_slice(), 1);
+    }
+    let store = site_b.core().store();
+    let counters_b: Vec<u64> = (0..M).map(|i| store.get(i)).collect();
+    let mass_b: u64 = counters_b.iter().sum();
+    let envelope = FilterEnvelope {
+        kind: FilterKind::MinimumSelection,
+        k: K as u32,
+        seed: SEED,
+        counters: counters_b,
+    }
+    .encode();
+    client.merge(&envelope).expect("merge site B");
+    println!(
+        "site B: {} events merged via one {}-byte envelope",
+        site_b_keys.len(),
+        envelope.len()
+    );
+
+    // Combined ground truth, then the one-sided check over the socket.
+    let mut truth = std::collections::HashMap::new();
+    for key in site_a.stream.iter().chain(&site_b_keys) {
+        *truth.entry(*key).or_insert(0u64) += 1;
+    }
+    let distinct: Vec<Vec<u8>> = truth.keys().map(|k| k.to_le_bytes().to_vec()).collect();
+    let estimates = client.estimate_batch(&distinct).expect("estimate union");
+    let mut overestimated = 0usize;
+    for (key_bytes, est) in distinct.iter().zip(&estimates) {
+        let key = u64::from_le_bytes(key_bytes[..8].try_into().expect("8-byte key"));
+        let exact = truth[&key];
+        assert!(
+            *est >= exact,
+            "union undercounted key {key}: estimate {est} < exact {exact}"
+        );
+        if *est > exact {
+            overestimated += 1;
+        }
+    }
+    println!(
+        "union is one-sided over {} distinct keys ({overestimated} overestimates)",
+        distinct.len()
+    );
+
+    // Counter addition is exact on mass: the union's snapshot must weigh
+    // precisely what the two sites weighed apart.
+    let snapshot = FilterEnvelope::decode(&client.snapshot().expect("snapshot"))
+        .expect("decode snapshot envelope");
+    let mass: u64 = snapshot.counters.iter().sum();
+    assert_eq!(
+        mass,
+        mass_a + mass_b,
+        "union snapshot mass must be the sum of both sites' masses"
+    );
+    println!("snapshot counter mass {mass} = site A ({mass_a}) + site B ({mass_b})");
+
+    client.shutdown().expect("shutdown site A");
+    let status = child.wait().expect("wait for site A");
+    assert!(status.success(), "site A daemon exited with {status}");
+    println!("site A drained cleanly — two processes, one spectral union");
+}

@@ -143,7 +143,11 @@ fn version_stamps_are_never_relaxed() {
 #[test]
 fn guarded_facades_exist() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    for facade in ["crates/core/src/sync.rs", "crates/telemetry/src/sync.rs"] {
+    for facade in [
+        "crates/core/src/sync.rs",
+        "crates/telemetry/src/sync.rs",
+        "crates/server/src/sync.rs",
+    ] {
         let text = fs::read_to_string(root.join(facade))
             .unwrap_or_else(|e| panic!("{facade} missing: {e}"));
         assert!(

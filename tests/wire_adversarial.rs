@@ -1,0 +1,200 @@
+//! Adversarial property tests for every decoder that faces bytes from the
+//! network: the Elias-δ counter frame (`sbf_db::wire`), the filter
+//! envelope, and the `sbfd` request/response framing (`sbf_server::proto`).
+//!
+//! The contract under test, for arbitrary hostile input:
+//!
+//! * decoding returns `Err` — it never panics, and
+//! * no allocation is sized by an unvalidated header field, so a 16-byte
+//!   frame claiming 2^60 counters dies in `O(1)` (`WireError::Oversized` /
+//!   `Truncated`), and
+//! * well-formed frames still roundtrip after the hardening.
+
+use proptest::prelude::*;
+
+use sbf_db::wire::{
+    decode_counters, decode_counters_capped, encode_counters, FilterEnvelope, FilterKind, WireError,
+};
+use sbf_server::{Request, Response};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Well-formed frames still decode to the exact counters.
+    #[test]
+    fn counter_frames_roundtrip(
+        counters in prop::collection::vec(0u64..1 << 20, 0..256),
+    ) {
+        let frame = encode_counters(counters.iter().copied());
+        prop_assert_eq!(decode_counters(&frame), Ok(counters.clone()));
+        prop_assert_eq!(
+            decode_counters_capped(&frame, counters.len()),
+            Ok(counters)
+        );
+    }
+
+    /// Truncating a valid frame anywhere yields `Err`, never a panic and
+    /// never a partial success.
+    #[test]
+    fn truncated_counter_frames_error(
+        counters in prop::collection::vec(0u64..1 << 16, 1..128),
+        cut in 0usize..1000,
+    ) {
+        let frame = encode_counters(counters.iter().copied());
+        let cut = cut % frame.len();
+        prop_assert!(decode_counters(&frame[..cut]).is_err());
+    }
+
+    /// Flipping any single bit of a valid frame either still decodes (the
+    /// flip landed in padding or produced another valid stream) or errors
+    /// — it never panics, and a success never exceeds the cap.
+    #[test]
+    fn bit_flipped_counter_frames_never_panic(
+        counters in prop::collection::vec(0u64..1 << 16, 1..64),
+        flip in 0usize..100_000,
+    ) {
+        let mut frame = encode_counters(counters.iter().copied());
+        let bit = flip % (frame.len() * 8);
+        frame[bit / 8] ^= 1 << (bit % 8);
+        if let Ok(decoded) = decode_counters_capped(&frame, counters.len()) {
+            prop_assert!(decoded.len() <= counters.len());
+        }
+    }
+
+    /// Inflating the header's counter count beyond the cap is refused
+    /// before allocation: a tiny frame claiming up to `u64::MAX` counters
+    /// must come back `Oversized` (cap breach) in O(1).
+    #[test]
+    fn length_inflated_headers_are_refused(
+        counters in prop::collection::vec(0u64..1 << 16, 1..64),
+        claim in (1u64 << 32)..u64::MAX,
+    ) {
+        let mut frame = encode_counters(counters.iter().copied());
+        frame[0..8].copy_from_slice(&claim.to_le_bytes());
+        prop_assert_eq!(
+            decode_counters_capped(&frame, 1 << 20),
+            Err(WireError::Oversized)
+        );
+    }
+
+    /// Inflating the bit-length field instead is caught by the
+    /// bytes-present check: `Truncated`, not a huge buffer.
+    #[test]
+    fn bit_length_inflated_headers_are_refused(
+        counters in prop::collection::vec(0u64..1 << 16, 1..64),
+        claim in (1u64 << 32)..u64::MAX,
+    ) {
+        let mut frame = encode_counters(counters.iter().copied());
+        frame[8..16].copy_from_slice(&claim.to_le_bytes());
+        prop_assert_eq!(
+            decode_counters_capped(&frame, 1 << 20),
+            Err(WireError::Truncated)
+        );
+    }
+
+    /// Completely random bytes never panic any wire decoder.
+    #[test]
+    fn random_bytes_never_panic_the_decoders(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = decode_counters_capped(&bytes, 1 << 16);
+        let _ = FilterEnvelope::decode_capped(&bytes, 1 << 16);
+        if let Some((&opcode, payload)) = bytes.split_first() {
+            let _ = Request::decode(opcode, payload);
+            let _ = Response::decode(opcode, payload);
+        }
+    }
+
+    /// Envelope roundtrip survives the hardened decode path.
+    #[test]
+    fn envelopes_roundtrip_under_cap(
+        counters in prop::collection::vec(0u64..1 << 12, 1..128),
+        k in 1u32..16,
+        seed in any::<u64>(),
+    ) {
+        let env = FilterEnvelope {
+            kind: FilterKind::MinimumSelection,
+            k,
+            seed,
+            counters: counters.clone(),
+        };
+        let bytes = env.encode();
+        let back = FilterEnvelope::decode_capped(&bytes, counters.len()).unwrap();
+        prop_assert_eq!(back.counters, counters);
+        prop_assert_eq!(back.k, k);
+        prop_assert_eq!(back.seed, seed);
+        // One fewer than needed: the cap must bite.
+        prop_assert_eq!(
+            FilterEnvelope::decode_capped(&bytes, env.counters.len() - 1).err(),
+            Some(WireError::Oversized)
+        );
+    }
+
+    /// Request frames roundtrip for arbitrary keys and batches, and the
+    /// decoded form equals the encoded one (no silent truncation).
+    #[test]
+    fn request_frames_roundtrip(
+        key in prop::collection::vec(any::<u8>(), 0..64),
+        keys in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..32), 0..32),
+        count in any::<u64>(),
+    ) {
+        for req in [
+            Request::Insert { count, key: key.clone() },
+            Request::Remove { count, key: key.clone() },
+            Request::Estimate { key: key.clone() },
+            Request::InsertBatch { keys: keys.clone() },
+            Request::EstimateBatch { keys: keys.clone() },
+            Request::Merge { envelope: key.clone() },
+        ] {
+            let bytes = req.encode();
+            let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+            prop_assert_eq!(len, bytes.len() - 4);
+            let back = Request::decode(bytes[4], &bytes[5..]);
+            prop_assert_eq!(back, Ok(req));
+        }
+    }
+
+    /// A batch header claiming more elements than the payload could hold
+    /// is refused before the output vector is reserved.
+    #[test]
+    fn hostile_batch_counts_are_refused(
+        claim in (1u32 << 16)..u32::MAX,
+        tail in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut payload = claim.to_le_bytes().to_vec();
+        payload.extend_from_slice(&tail);
+        // Opcode 0x05 = INSERT_BATCH, 0x06 = ESTIMATE_BATCH.
+        for opcode in [0x05u8, 0x06] {
+            prop_assert!(Request::decode(opcode, &payload).is_err());
+        }
+    }
+}
+
+/// Deterministic regression cases pinned outside the property loop.
+#[test]
+fn pinned_hostile_frames() {
+    // The original allocation hole: 16 header bytes claiming 2^60
+    // counters with no payload at all.
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&(1u64 << 60).to_le_bytes());
+    frame.extend_from_slice(&u64::MAX.to_le_bytes());
+    assert_eq!(decode_counters(&frame), Err(WireError::Oversized));
+
+    // Sub-header frames.
+    for n in 0..16 {
+        assert_eq!(
+            decode_counters_capped(&vec![0xFF; n], 1 << 10),
+            Err(WireError::Truncated)
+        );
+    }
+
+    // m > bit_len: more counters than payload bits can possibly encode.
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&100u64.to_le_bytes());
+    frame.extend_from_slice(&10u64.to_le_bytes());
+    frame.extend_from_slice(&[0u8; 8]);
+    assert_eq!(
+        decode_counters_capped(&frame, 1 << 10),
+        Err(WireError::Truncated)
+    );
+}
