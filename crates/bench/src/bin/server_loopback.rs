@@ -53,6 +53,12 @@ const CHUNK: usize = 1_024;
 const ROUNDS: usize = 5;
 /// Allowed relative drop of an op's speedup before `--check` fails.
 const TOLERANCE: f64 = 0.10;
+/// Allowed relative growth of the WAL ingest tax before `--check` fails.
+/// Much wider than `TOLERANCE`: the tax is dominated by `fsync`, whose
+/// latency swings wildly across filesystems and runner storage, so only a
+/// gross regression (an extra fsync per frame, a lost batched append)
+/// should trip the gate.
+const WAL_TOLERANCE: f64 = 0.50;
 
 struct OpResult {
     name: &'static str,
@@ -185,10 +191,102 @@ fn measure() -> Vec<OpResult> {
     vec![insert, estimate]
 }
 
-fn to_json(results: &[OpResult]) -> String {
+/// The durability tax: the same batched insert stream against a durable
+/// server (one fsynced WAL append per INSERT_BATCH frame) versus the
+/// in-memory one.
+struct WalResult {
+    nowal_kops: f64,
+    wal_kops: f64,
+    /// Median per-round paired ratio `wal_time / nowal_time` (≥ 1 ⇒ tax).
+    overhead: f64,
+    /// Maximum paired ratio — the conservative ceiling `--record` stores.
+    overhead_ceiling: f64,
+}
+
+fn measure_wal() -> WalResult {
+    let wal_dir = std::env::temp_dir().join(format!("sbf-bench-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let base = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        m: M,
+        k: K,
+        seed: SEED,
+        shards: 4,
+        workers: 2,
+        ..ServerConfig::default()
+    };
+    let plain = SbfServer::bind(base.clone())
+        .expect("bind plain")
+        .spawn()
+        .expect("spawn plain");
+    let durable = SbfServer::bind(ServerConfig {
+        wal_dir: Some(wal_dir.clone()),
+        // No background checkpoints: measure the append path alone.
+        wal_checkpoint_interval: None,
+        ..base
+    })
+    .expect("bind durable")
+    .spawn()
+    .expect("spawn durable");
+
+    let keys: Vec<Vec<u8>> = ZipfWorkload::generate(DISTINCT, STREAM, 1.07, 0xBE7C)
+        .stream
+        .into_iter()
+        .map(|k| k.to_le_bytes().to_vec())
+        .collect();
+    let mut plain_client = SbfClient::connect(plain.addr()).expect("connect plain");
+    let mut wal_client = SbfClient::connect(durable.addr()).expect("connect durable");
+
+    let ingest = |client: &mut SbfClient| {
+        let t = Instant::now();
+        for chunk in keys.chunks(CHUNK) {
+            client.insert_batch(chunk).expect("insert_batch");
+        }
+        t.elapsed().as_secs_f64()
+    };
+    // Untimed warm-up each way.
+    ingest(&mut plain_client);
+    ingest(&mut wal_client);
+
+    let mut nowal_times = Vec::with_capacity(ROUNDS);
+    let mut wal_times = Vec::with_capacity(ROUNDS);
+    for round in 0..ROUNDS {
+        if round % 2 == 0 {
+            wal_times.push(ingest(&mut wal_client));
+            nowal_times.push(ingest(&mut plain_client));
+        } else {
+            nowal_times.push(ingest(&mut plain_client));
+            wal_times.push(ingest(&mut wal_client));
+        }
+    }
+    let mut ratios: Vec<f64> = wal_times
+        .iter()
+        .zip(&nowal_times)
+        .map(|(w, n)| w / n)
+        .collect();
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let best =
+        |ts: &[f64]| keys.len() as f64 / ts.iter().copied().fold(f64::INFINITY, f64::min) / 1e3;
+
+    plain_client.shutdown().expect("shutdown plain");
+    wal_client.shutdown().expect("shutdown durable");
+    drop((plain_client, wal_client));
+    plain.join().expect("plain drain");
+    durable.join().expect("durable drain");
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
+    WalResult {
+        nowal_kops: best(&nowal_times),
+        wal_kops: best(&wal_times),
+        overhead: ratios[ratios.len() / 2],
+        overhead_ceiling: ratios[ratios.len() - 1],
+    }
+}
+
+fn to_json(results: &[OpResult], wal: &WalResult) -> String {
     let mut out = String::from("{\n");
-    for (i, r) in results.iter().enumerate() {
-        let sep = if i + 1 == results.len() { "" } else { "," };
+    for r in results.iter() {
+        let sep = ",";
         out.push_str(&format!(
             "  \"{}_single_kops\": {:.3},\n  \"{}_batch_kops\": {:.3},\n  \
              \"{}_p50_us\": {:.2},\n  \"{}_p99_us\": {:.2},\n  \"{}_speedup\": {:.4},\n  \
@@ -207,6 +305,11 @@ fn to_json(results: &[OpResult]) -> String {
             r.speedup_floor
         ));
     }
+    out.push_str(&format!(
+        "  \"nowal_batch_kops\": {:.3},\n  \"wal_batch_kops\": {:.3},\n  \
+         \"wal_overhead\": {:.4},\n  \"wal_overhead_ceiling\": {:.4}\n",
+        wal.nowal_kops, wal.wal_kops, wal.overhead, wal.overhead_ceiling
+    ));
     out.push_str("}\n");
     out
 }
@@ -226,6 +329,7 @@ fn json_field(text: &str, name: &str) -> Option<f64> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let results = measure();
+    let wal = measure_wal();
     println!(
         "{:<10} {:>12} {:>12} {:>9} {:>9} {:>9}",
         "op", "single", "batch", "speedup", "p50", "p99"
@@ -236,11 +340,15 @@ fn main() {
             r.name, r.single_kops, r.batch_kops, r.speedup, r.p50_us, r.p99_us
         );
     }
+    println!(
+        "{:<10} {:>7.1} k/s {:>7.1} k/s {:>8.2}x  (wal vs no-wal batched ingest)",
+        "wal tax", wal.nowal_kops, wal.wal_kops, wal.overhead
+    );
     match args.first().map(String::as_str) {
         None => {}
         Some("--record") => {
             let path = args.get(1).expect("--record needs a path");
-            std::fs::write(path, to_json(&results)).expect("write baseline");
+            std::fs::write(path, to_json(&results, &wal)).expect("write baseline");
             println!("baseline recorded to {path}");
         }
         Some("--check") => {
@@ -268,6 +376,29 @@ fn main() {
                      (gate {floor:.3})",
                     r.name, r.speedup
                 );
+            }
+            // The WAL gate mirrors the speedup gates with the opposite
+            // sign: the measured *median* tax must stay under the recorded
+            // worst-round *ceiling* plus the (wide) tolerance.
+            match json_field(&text, "wal_overhead_ceiling") {
+                Some(baseline) => {
+                    let gate = baseline * (1.0 + WAL_TOLERANCE);
+                    let status = if wal.overhead > gate {
+                        failed = true;
+                        "FAIL"
+                    } else {
+                        "ok"
+                    };
+                    println!(
+                        "{status:>4} {:<10} overhead {:.3} vs baseline ceiling {baseline:.3} \
+                         (gate {gate:.3})",
+                        "wal tax", wal.overhead
+                    );
+                }
+                None => {
+                    eprintln!("FAIL: baseline missing wal_overhead_ceiling");
+                    failed = true;
+                }
             }
             if failed {
                 eprintln!(

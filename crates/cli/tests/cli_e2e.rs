@@ -204,6 +204,100 @@ fn stats_merge_reports_per_input_occupancy() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Spawns `sbf serve` as a real child process and reads stdout lines
+/// until the listening banner, returning the child and the bound address.
+fn spawn_serve(dir: &std::path::Path) -> (std::process::Child, String) {
+    use std::io::BufRead;
+    let mut child = Command::new(sbf_bin())
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--m",
+            "4096",
+            "--shards",
+            "2",
+            "--workers",
+            "2",
+            "--wal-dir",
+            dir.to_str().unwrap(),
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn sbf serve");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("serve exited before announcing its address")
+            .expect("read serve stdout");
+        // A recovery summary may precede the banner; skip to it.
+        if let Some(addr) = line.strip_prefix("sbfd listening on ") {
+            break addr.to_string();
+        }
+    };
+    (child, addr)
+}
+
+/// The durability acceptance test against the real binary: ingest over a
+/// socket, SIGKILL the daemon (no drain, no final snapshot), restart on
+/// the same WAL directory, and every acknowledged count must still be
+/// dominated by the estimates.
+#[test]
+fn sigkill_mid_ingest_recovers_acked_counts() {
+    let dir = tmpdir("sigkill");
+
+    let (mut child, addr) = spawn_serve(&dir);
+    let (_, err, ok) = run_with_stdin(
+        &["client", "--addr", &addr, "insert"],
+        "apple\napple\nbanana\napple\ncherry\n",
+    );
+    assert!(ok, "ingest failed: {err}");
+    // The summary line lands on stderr (stdout is for data).
+    assert!(err.contains("inserted 5 keys"), "{err}");
+
+    // SIGKILL: the daemon gets no chance to flush anything at exit.
+    child.kill().expect("kill sbfd");
+    child.wait().expect("reap sbfd");
+
+    // The log is readable offline and holds the acknowledged batch (the
+    // CLI client ships stdin keys as one INSERT_BATCH frame).
+    let (stdout, err, ok) = run_with_stdin(&["wal", "inspect", dir.to_str().unwrap()], "");
+    assert!(ok, "wal inspect failed: {err}");
+    assert!(
+        stdout.contains("insert_batch×1"),
+        "inspect output: {stdout}"
+    );
+    assert!(stdout.contains("clean"), "inspect output: {stdout}");
+
+    let (child, addr) = spawn_serve(&dir);
+    let (stdout, err, ok) = run_with_stdin(
+        &["client", "--addr", &addr, "estimate"],
+        "apple\nbanana\ncherry\n",
+    );
+    assert!(ok, "estimate after recovery failed: {err}");
+    let count = |key: &str| -> u64 {
+        stdout
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{key}\t")))
+            .unwrap_or_else(|| panic!("{key} missing from: {stdout}"))
+            .parse()
+            .unwrap()
+    };
+    assert!(count("apple") >= 3, "apple lost mass: {stdout}");
+    assert!(count("banana") >= 1, "banana lost mass: {stdout}");
+    assert!(count("cherry") >= 1, "cherry lost mass: {stdout}");
+
+    let (_, _, ok) = run_with_stdin(&["client", "--addr", &addr, "shutdown"], "");
+    assert!(ok);
+    let mut child = child;
+    child.wait().expect("drained exit");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn bad_usage_exits_nonzero() {
     let (_, err, ok) = run_with_stdin(&["frobnicate"], "");

@@ -69,7 +69,7 @@ pub mod iceberg;
 pub mod metrics;
 pub mod mi;
 pub mod ms;
-pub(crate) mod num;
+pub mod num;
 pub mod paged;
 pub mod params;
 pub mod range;

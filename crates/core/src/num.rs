@@ -6,8 +6,33 @@
 //! precision trade. Every conversion core needs is named here instead, with
 //! its loss contract documented once; a new raw `as` anywhere else in the
 //! crate still warns.
+//!
+//! The checked narrowings ([`try_u32`], [`try_usize`]) are public: other
+//! workspace crates that face attacker-sized values (the `sbf-server` frame
+//! encoder, the WAL record codec) route through them instead of growing
+//! their own ad-hoc `as` casts.
 
 #![allow(clippy::as_conversions)]
+
+/// `usize → u32`, checked: `None` when the value exceeds `u32::MAX`.
+///
+/// For length/count fields in wire and log frames, where a silent `as`
+/// truncation would declare a frame shorter than its payload — callers map
+/// `None` to their protocol's `Oversized` error instead of wrapping.
+#[inline]
+pub fn try_u32(x: usize) -> Option<u32> {
+    u32::try_from(x).ok()
+}
+
+/// `u64 → usize`, checked: `None` when the value does not fit the target's
+/// address width (only possible on 32-bit targets).
+///
+/// For untrusted 64-bit size fields that are about to become slice bounds
+/// or allocation sizes.
+#[inline]
+pub fn try_usize(x: u64) -> Option<usize> {
+    usize::try_from(x).ok()
+}
 
 /// Source types [`to_f64`] accepts.
 pub(crate) trait F64Src {

@@ -13,6 +13,8 @@
 //!   site-to-site transfers (the currency Bloomjoins optimize),
 //! * [`wire`] — compact wire encoding of SBF counter vectors (Elias δ), so
 //!   the "filter as a message" scenario of §4.7.1 is exercised end-to-end,
+//! * [`logrec`] — CRC-framed log records layered on the wire encoding, the
+//!   on-disk grammar of the `sbfd` write-ahead log,
 //! * [`join`] — three distributed join/aggregation strategies over two
 //!   sites: ship-everything, classic Bloomjoin \[ML86\], and the paper's
 //!   Spectral Bloomjoin (one SBF transfer, zero feedback rounds),
@@ -34,6 +36,7 @@ pub mod diff_file;
 pub mod distributed;
 pub mod hashtable;
 pub mod join;
+pub mod logrec;
 pub mod metrics;
 pub mod network;
 pub mod relation;

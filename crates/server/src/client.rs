@@ -102,9 +102,11 @@ impl SbfClient {
     }
 
     /// Sends one request and reads one response, surfacing server error
-    /// frames as [`ClientError::Server`].
+    /// frames as [`ClientError::Server`]. A request too large for its
+    /// `u32` length prefix fails client-side as [`ClientError::Proto`]
+    /// (`Oversized`) before any bytes are written.
     pub fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
-        self.stream.write_all(&req.encode())?;
+        self.stream.write_all(&req.encode()?)?;
         self.stream.flush()?;
         match self.read_response()? {
             Response::Error { code, message } => Err(ClientError::Server { code, message }),

@@ -83,7 +83,22 @@ fn discard(stream: &mut TcpStream, mut n: usize) -> Result<(), ReadEnd> {
 /// Sends one response frame, updating traffic metrics. Returns `false`
 /// if the transport failed (connection should close).
 fn send(stream: &mut TcpStream, resp: &Response) -> bool {
-    let bytes = resp.encode();
+    let bytes = match resp.encode() {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            // The response body cannot fit its u32 length field. Degrade
+            // to a small typed error so the peer stays framed; this tiny
+            // frame itself always encodes.
+            let fallback = Response::Error {
+                code: ErrorCode::Oversized,
+                message: format!("response could not be framed: {e}"),
+            };
+            match fallback.encode() {
+                Ok(bytes) => bytes,
+                Err(_) => return false,
+            }
+        }
+    };
     if matches!(resp, Response::Error { .. }) {
         metrics::on(|m| m.errors.inc());
     }
@@ -101,15 +116,37 @@ fn send(stream: &mut TcpStream, resp: &Response) -> bool {
     }
 }
 
+/// Arms the configured read/write timeouts. Failure here is not
+/// ignorable: a connection whose timeout never armed would serve with
+/// *no* timeout, handing any stalled peer a worker thread forever.
+fn arm_timeouts(stream: &TcpStream, state: &SharedState) -> io::Result<()> {
+    stream.set_read_timeout(state.read_timeout)?;
+    stream.set_write_timeout(state.write_timeout)?;
+    Ok(())
+}
+
 /// Serves one connection to completion. Never panics on peer input; all
 /// exits are clean socket closes (the response, if any, was flushed).
 pub(crate) fn serve(mut stream: TcpStream, state: &SharedState) {
     state.connection_started();
-    // Latency over loopback is dominated by Nagle delays otherwise.
+    // Latency over loopback is dominated by Nagle delays otherwise;
+    // correctness is not (best-effort is fine for nodelay alone).
     let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(state.read_timeout);
-    let _ = stream.set_write_timeout(state.write_timeout);
-    serve_inner(&mut stream, state);
+    match arm_timeouts(&stream, state) {
+        Ok(()) => serve_inner(&mut stream, state),
+        Err(e) => {
+            // Refuse to serve untimed: answer with a typed error, count
+            // it where operators watch for stuck peers, and close.
+            metrics::on(|m| m.timeouts.inc());
+            send(
+                &mut stream,
+                &Response::Error {
+                    code: ErrorCode::Io,
+                    message: format!("could not arm socket timeouts: {e}"),
+                },
+            );
+        }
+    }
     state.connection_finished();
 }
 
@@ -186,6 +223,7 @@ fn serve_inner(stream: &mut TcpStream, state: &SharedState) {
             Err(e) => {
                 let code = match e {
                     ProtoError::UnknownOpcode(_) => ErrorCode::UnknownOp,
+                    ProtoError::Oversized => ErrorCode::Oversized,
                     ProtoError::Truncated | ProtoError::Malformed(_) => ErrorCode::BadFrame,
                 };
                 if !send(
@@ -202,7 +240,9 @@ fn serve_inner(stream: &mut TcpStream, state: &SharedState) {
         };
         metrics::on(|m| m.requests_for(req.op_name()).inc());
         let was_shutdown = matches!(req, Request::Shutdown);
-        let resp = state.handle(&req);
+        // `body` is the frame minus its length prefix — exactly the WAL
+        // record payload — so mutations are logged without re-encoding.
+        let resp = state.handle_framed(&req, Some(&body));
         let ok = send(stream, &resp);
         metrics::on(|m| {
             m.request_latency_ns

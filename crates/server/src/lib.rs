@@ -13,6 +13,10 @@
 //! * [`client`] — [`SbfClient`], a blocking one-request-one-response
 //!   client enforcing the same frame cap on responses,
 //! * [`pool`] — the worker pool whose join *is* the drain barrier,
+//! * [`wal`] — the write-ahead log: CRC-framed mutation records fsynced
+//!   before acknowledgement, atomic snapshots, log compaction,
+//! * [`recovery`] — replay-on-boot (snapshot, then log tails, truncating
+//!   torn records) and the offline `sbf wal inspect` reader,
 //! * [`metrics`] — `sbfd_*` telemetry published to [`sbf_telemetry`].
 //!
 //! The estimate contract survives the network: for any key, the answer to
@@ -31,9 +35,13 @@ mod conn;
 pub mod metrics;
 pub mod pool;
 pub mod proto;
+pub mod recovery;
 pub mod server;
 pub(crate) mod sync;
+pub mod wal;
 
 pub use client::{ClientError, SbfClient};
 pub use proto::{ErrorCode, ProtoError, Request, Response, MAX_FRAME_DEFAULT};
+pub use recovery::{RecoveryError, RecoveryReport, WalInspection};
 pub use server::{SbfServer, ServerConfig, ServerHandle, SharedState};
+pub use wal::{atomic_write, Wal};

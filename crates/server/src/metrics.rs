@@ -18,8 +18,15 @@
 //! | `sbfd_bytes_written_total` | counter | response frame bytes sent |
 //! | `sbfd_errors_total` | counter | error frames answered (all codes) |
 //! | `sbfd_frames_oversized_total` | counter | frames rejected for exceeding the size cap |
-//! | `sbfd_timeouts_total` | counter | connections closed by read/write timeout |
+//! | `sbfd_timeouts_total` | counter | connections closed by read/write timeout (or refused because the timeout failed to arm) |
 //! | `sbfd_batch_keys_total` | counter | keys carried by batched insert/estimate requests |
+//! | `sbfd_wal_appends_total` | counter | mutations fsynced to the write-ahead log |
+//! | `sbfd_wal_bytes_total` | counter | record bytes (headers included) appended to the log |
+//! | `sbfd_wal_fsync_ns` | histogram | per-append `fsync` wall time |
+//! | `sbfd_wal_log_bytes` | gauge | bytes in the current generation log |
+//! | `sbfd_wal_compactions_total` | counter | checkpoints cut (snapshot written, log rotated) |
+//! | `sbfd_wal_replayed_records_total` | counter | log records re-applied during boot recovery |
+//! | `sbfd_wal_torn_tails_total` | counter | torn log tails truncated during boot recovery |
 
 use crate::sync::{Arc, OnceLock};
 
@@ -62,6 +69,20 @@ pub struct ServerMetrics {
     pub timeouts: Arc<Counter>,
     /// `sbfd_batch_keys_total`.
     pub batch_keys: Arc<Counter>,
+    /// `sbfd_wal_appends_total`.
+    pub wal_appends: Arc<Counter>,
+    /// `sbfd_wal_bytes_total`.
+    pub wal_bytes: Arc<Counter>,
+    /// `sbfd_wal_fsync_ns`.
+    pub wal_fsync_ns: Arc<Histogram>,
+    /// `sbfd_wal_log_bytes`.
+    pub wal_log_bytes: Arc<Gauge>,
+    /// `sbfd_wal_compactions_total`.
+    pub wal_compactions: Arc<Counter>,
+    /// `sbfd_wal_replayed_records_total`.
+    pub wal_replayed: Arc<Counter>,
+    /// `sbfd_wal_torn_tails_total`.
+    pub wal_torn_tails: Arc<Counter>,
 }
 
 impl ServerMetrics {
@@ -96,6 +117,13 @@ pub fn server_metrics() -> &'static ServerMetrics {
             frames_oversized: reg.counter("sbfd_frames_oversized_total"),
             timeouts: reg.counter("sbfd_timeouts_total"),
             batch_keys: reg.counter("sbfd_batch_keys_total"),
+            wal_appends: reg.counter("sbfd_wal_appends_total"),
+            wal_bytes: reg.counter("sbfd_wal_bytes_total"),
+            wal_fsync_ns: reg.histogram("sbfd_wal_fsync_ns"),
+            wal_log_bytes: reg.gauge("sbfd_wal_log_bytes"),
+            wal_compactions: reg.counter("sbfd_wal_compactions_total"),
+            wal_replayed: reg.counter("sbfd_wal_replayed_records_total"),
+            wal_torn_tails: reg.counter("sbfd_wal_torn_tails_total"),
         }
     })
 }

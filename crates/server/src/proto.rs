@@ -24,6 +24,7 @@
 //! `tests/wire_adversarial.rs` alongside the counter decoder.
 
 use sbf_db::wire::FilterEnvelope;
+use spectral_bloom::num::try_u32;
 
 /// Default cap on a single frame's length field, requests and responses
 /// alike (8 MiB — a 64 Ki-key batch of 100-byte keys fits comfortably).
@@ -116,6 +117,9 @@ pub enum ErrorCode {
     Incompatible,
     /// The server is draining and no longer accepts mutations.
     Draining,
+    /// A server-side I/O failure (WAL append, fsync): the mutation was NOT
+    /// durably logged and must not be treated as acknowledged.
+    Io,
 }
 
 impl ErrorCode {
@@ -127,6 +131,7 @@ impl ErrorCode {
             ErrorCode::Underflow => 4,
             ErrorCode::Incompatible => 5,
             ErrorCode::Draining => 6,
+            ErrorCode::Io => 7,
         }
     }
 
@@ -138,6 +143,7 @@ impl ErrorCode {
             4 => Some(ErrorCode::Underflow),
             5 => Some(ErrorCode::Incompatible),
             6 => Some(ErrorCode::Draining),
+            7 => Some(ErrorCode::Io),
             _ => None,
         }
     }
@@ -152,6 +158,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::Underflow => "underflow",
             ErrorCode::Incompatible => "incompatible",
             ErrorCode::Draining => "draining",
+            ErrorCode::Io => "io",
         };
         f.write_str(s)
     }
@@ -166,6 +173,10 @@ pub enum ProtoError {
     UnknownOpcode(u8),
     /// A structurally invalid field (bad UTF-8, bad error code, …).
     Malformed(&'static str),
+    /// An *encode*-side failure: a field is too large for its `u32` length
+    /// prefix. Returned instead of letting `as u32` silently wrap, which
+    /// would emit a frame whose header lies about its own length.
+    Oversized,
 }
 
 impl std::fmt::Display for ProtoError {
@@ -174,6 +185,7 @@ impl std::fmt::Display for ProtoError {
             ProtoError::Truncated => write!(f, "frame truncated"),
             ProtoError::UnknownOpcode(b) => write!(f, "unknown opcode {b:#04x}"),
             ProtoError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            ProtoError::Oversized => write!(f, "field exceeds u32 length prefix"),
         }
     }
 }
@@ -267,25 +279,36 @@ impl<'a> Scan<'a> {
     }
 }
 
-/// Appends one `u32`-length-prefixed byte string.
-fn put_lstring(buf: &mut Vec<u8>, bytes: &[u8]) {
-    buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+/// Appends one `u32`-length-prefixed byte string; refuses a string whose
+/// length cannot fit the prefix (a wrapped prefix would desynchronize every
+/// later field in the frame).
+fn put_lstring(buf: &mut Vec<u8>, bytes: &[u8]) -> Result<(), ProtoError> {
+    let len = try_u32(bytes.len()).ok_or(ProtoError::Oversized)?;
+    buf.extend_from_slice(&len.to_le_bytes());
     buf.extend_from_slice(bytes);
+    Ok(())
 }
 
-/// Wraps `opcode` + `payload` in a length-prefixed frame.
-fn frame(opcode: u8, payload: &[u8]) -> Vec<u8> {
+/// Wraps `opcode` + `payload` in a length-prefixed frame. The length field
+/// is a checked conversion: a payload past `u32::MAX − 1` bytes is
+/// [`ProtoError::Oversized`], not a frame that silently declares itself
+/// ~4 GiB shorter than it is.
+fn frame(opcode: u8, payload: &[u8]) -> Result<Vec<u8>, ProtoError> {
+    let len = try_u32(1 + payload.len()).ok_or(ProtoError::Oversized)?;
     let mut out = Vec::with_capacity(5 + payload.len());
-    out.extend_from_slice(&(1 + payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&len.to_le_bytes());
     out.push(opcode);
     out.extend_from_slice(payload);
-    out
+    Ok(out)
 }
 
 impl Request {
     /// Serializes into a complete frame (header included), ready for one
     /// `write_all` — single-syscall sends keep loopback latency flat.
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// Fails with [`ProtoError::Oversized`] when a key, batch, or payload
+    /// cannot be described by its `u32` length field.
+    pub fn encode(&self) -> Result<Vec<u8>, ProtoError> {
         match self {
             Request::Ping => frame(OP_PING, &[]),
             Request::Insert { count, key } => {
@@ -301,8 +324,8 @@ impl Request {
                 frame(OP_REMOVE, &p)
             }
             Request::Estimate { key } => frame(OP_ESTIMATE, key),
-            Request::InsertBatch { keys } => frame(OP_INSERT_BATCH, &encode_key_batch(keys)),
-            Request::EstimateBatch { keys } => frame(OP_ESTIMATE_BATCH, &encode_key_batch(keys)),
+            Request::InsertBatch { keys } => frame(OP_INSERT_BATCH, &encode_key_batch(keys)?),
+            Request::EstimateBatch { keys } => frame(OP_ESTIMATE_BATCH, &encode_key_batch(keys)?),
             Request::Merge { envelope } => frame(OP_MERGE, envelope),
             Request::Snapshot => frame(OP_SNAPSHOT, &[]),
             Request::Stats => frame(OP_STATS, &[]),
@@ -373,25 +396,30 @@ impl Request {
     }
 }
 
-fn encode_key_batch(keys: &[Vec<u8>]) -> Vec<u8> {
+fn encode_key_batch(keys: &[Vec<u8>]) -> Result<Vec<u8>, ProtoError> {
     let total: usize = keys.iter().map(|k| 4 + k.len()).sum();
     let mut p = Vec::with_capacity(4 + total);
-    p.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+    let n = try_u32(keys.len()).ok_or(ProtoError::Oversized)?;
+    p.extend_from_slice(&n.to_le_bytes());
     for key in keys {
-        put_lstring(&mut p, key);
+        put_lstring(&mut p, key)?;
     }
-    p
+    Ok(p)
 }
 
 impl Response {
     /// Serializes into a complete frame (header included).
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// Fails with [`ProtoError::Oversized`] when the body cannot be
+    /// described by its `u32` length field.
+    pub fn encode(&self) -> Result<Vec<u8>, ProtoError> {
         match self {
             Response::Ok => frame(OP_OK, &[]),
             Response::Value(v) => frame(OP_VALUE, &v.to_le_bytes()),
             Response::Values(vs) => {
                 let mut p = Vec::with_capacity(4 + vs.len() * 8);
-                p.extend_from_slice(&(vs.len() as u32).to_le_bytes());
+                let n = try_u32(vs.len()).ok_or(ProtoError::Oversized)?;
+                p.extend_from_slice(&n.to_le_bytes());
                 for v in vs {
                     p.extend_from_slice(&v.to_le_bytes());
                 }
@@ -472,7 +500,7 @@ mod tests {
     use super::*;
 
     fn roundtrip_request(req: Request) {
-        let bytes = req.encode();
+        let bytes = req.encode().expect("encode");
         let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
         assert_eq!(len, bytes.len() - 4, "header length must match body");
         let back = Request::decode(bytes[4], &bytes[5..]).expect("decode");
@@ -480,7 +508,7 @@ mod tests {
     }
 
     fn roundtrip_response(resp: Response) {
-        let bytes = resp.encode();
+        let bytes = resp.encode().expect("encode");
         let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
         assert_eq!(len, bytes.len() - 4);
         let back = Response::decode(bytes[4], &bytes[5..]).expect("decode");
@@ -525,6 +553,10 @@ mod tests {
             code: ErrorCode::Underflow,
             message: "counter 3".into(),
         });
+        roundtrip_response(Response::Error {
+            code: ErrorCode::Io,
+            message: "wal append failed".into(),
+        });
     }
 
     #[test]
@@ -561,7 +593,7 @@ mod tests {
 
     #[test]
     fn trailing_bytes_are_rejected() {
-        let mut bytes = Request::Ping.encode();
+        let mut bytes = Request::Ping.encode().expect("encode");
         bytes.extend_from_slice(&[0, 0]);
         // Re-frame by hand: opcode + oversized payload.
         assert_eq!(

@@ -24,7 +24,7 @@
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use sbf_db::wire::{FilterEnvelope, FilterKind};
 use spectral_bloom::{CounterStore, MsSbf, ShardedSketch, SketchReader};
@@ -33,8 +33,10 @@ use crate::conn;
 use crate::metrics;
 use crate::pool::WorkerPool;
 use crate::proto::{self, ErrorCode, Request, Response, MAX_FRAME_DEFAULT};
+use crate::recovery::{self, RecoveryError, RecoveryReport};
 use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use crate::sync::{lock_unpoisoned, Arc, RwLock};
+use crate::sync::{lock_unpoisoned, Arc, OnceLock, RwLock};
+use crate::wal::{self, Wal};
 
 /// Everything `sbfd` needs to start serving.
 #[derive(Debug, Clone)]
@@ -60,6 +62,20 @@ pub struct ServerConfig {
     pub max_frame: usize,
     /// Where to flush the final union snapshot during graceful shutdown.
     pub snapshot_path: Option<PathBuf>,
+    /// Durability directory. `Some` makes every acknowledged mutation
+    /// fsynced to a write-ahead log before its Ok frame, recovers state
+    /// from snapshot + logs on bind, and checkpoints in the background
+    /// (see [`crate::wal`]). `None` keeps the pre-WAL in-memory behavior.
+    pub wal_dir: Option<PathBuf>,
+    /// Compaction trigger: checkpoint once the log exceeds this multiple
+    /// of the last snapshot's size.
+    pub wal_compact_ratio: u64,
+    /// Floor (in bytes) for the compaction threshold, so a near-empty
+    /// filter does not checkpoint after every few records.
+    pub wal_compact_min_bytes: u64,
+    /// Periodic checkpoint interval; `None` checkpoints only on the size
+    /// trigger and at graceful drain.
+    pub wal_checkpoint_interval: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +91,10 @@ impl Default for ServerConfig {
             write_timeout: Some(Duration::from_secs(30)),
             max_frame: MAX_FRAME_DEFAULT,
             snapshot_path: None,
+            wal_dir: None,
+            wal_compact_ratio: 4,
+            wal_compact_min_bytes: 1 << 20,
+            wal_checkpoint_interval: Some(Duration::from_secs(60)),
         }
     }
 }
@@ -90,6 +110,22 @@ fn rehydrate(env: &FilterEnvelope) -> MsSbf {
     sbf
 }
 
+/// Appends one acknowledged mutation to the WAL. The logged payload is
+/// the wire body (`opcode + payload`, no length prefix) — taken verbatim
+/// from the transport when it still holds the frame, re-encoded otherwise
+/// (embedded callers going through [`SharedState::handle`]).
+fn log_mutation(wal: &Wal, req: &Request, raw_body: Option<&[u8]>) -> io::Result<()> {
+    match raw_body {
+        Some(body) => wal.append(body),
+        None => {
+            let frame = req
+                .encode()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+            wal.append(&frame[4..])
+        }
+    }
+}
+
 /// State shared by every worker: the filters, the drain flag, and the
 /// limits connections enforce.
 #[derive(Debug)]
@@ -101,8 +137,13 @@ pub struct SharedState {
     remote: RwLock<MsSbf>,
     /// Set once by SHUTDOWN (or [`ServerHandle::shutdown`]); never cleared.
     shutdown: AtomicBool,
+    /// Crash-simulation flag: drain skips the final checkpoint/snapshot
+    /// flush, leaving exactly the on-disk state a SIGKILL would.
+    crash: AtomicBool,
     /// Connections currently inside a worker (feeds the active gauge).
     active: AtomicUsize,
+    /// The write-ahead log, attached after recovery when configured.
+    wal: OnceLock<Arc<Wal>>,
     m: usize,
     k: usize,
     seed: u64,
@@ -121,7 +162,9 @@ impl SharedState {
             }),
             remote: RwLock::new(MsSbf::new(m, k, config.seed)),
             shutdown: AtomicBool::new(false),
+            crash: AtomicBool::new(false),
             active: AtomicUsize::new(0),
+            wal: OnceLock::new(),
             m,
             k,
             seed: config.seed,
@@ -142,6 +185,53 @@ impl SharedState {
     /// their in-flight request and close.
     pub fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// The attached write-ahead log, when durability is configured.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.get()
+    }
+
+    /// Whether [`SharedState::request_crash`] was called.
+    pub fn crash_requested(&self) -> bool {
+        self.crash.load(Ordering::Acquire)
+    }
+
+    /// Arms crash simulation: the next drain skips the final checkpoint
+    /// and snapshot flush. Because every acknowledged mutation was already
+    /// fsynced at append time, the resulting on-disk WAL state is exactly
+    /// what a SIGKILL at that moment leaves behind — recovery tests use
+    /// this to exercise the crash path deterministically in-process (the
+    /// CLI e2e suite additionally kills a real process).
+    pub fn request_crash(&self) {
+        self.crash.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn attach_wal(&self, wal: Arc<Wal>) {
+        // At most one WAL is ever attached (bind-time only); a second set
+        // is a no-op by OnceLock semantics.
+        let _ = self.wal.set(wal);
+    }
+
+    /// The server's filter geometry `(m, k, seed)` — what a snapshot or
+    /// MERGE envelope must match.
+    pub(crate) fn geometry(&self) -> (usize, usize, u64) {
+        (self.m, self.k, self.seed)
+    }
+
+    /// Unions an already-validated envelope into the remote filter
+    /// (recovery's snapshot restore; same mass placement as MERGE).
+    pub(crate) fn absorb_envelope(&self, env: &FilterEnvelope) {
+        let incoming = rehydrate(env);
+        lock_unpoisoned(self.remote.write()).union_assign(&incoming);
+    }
+
+    /// Re-applies one logged mutation during replay, without re-logging
+    /// and without the drain gate. Returns whether it applied; a remove
+    /// that would underflow is skipped (skipping only over-counts, which
+    /// keeps estimates one-sided).
+    pub(crate) fn apply_replay(&self, req: &Request) -> bool {
+        matches!(self.apply(req), Response::Ok)
     }
 
     pub(crate) fn connection_started(&self) {
@@ -190,13 +280,44 @@ impl SharedState {
     /// Applies one decoded request and produces its response. Protocol
     /// errors never reach here — `conn` answers those itself — so every
     /// arm speaks for a well-formed command.
+    ///
+    /// When a WAL is attached, a successful mutation is fsynced to the log
+    /// *before* its Ok frame is produced (apply → append → acknowledge;
+    /// see [`crate::wal`] for why that order makes recovery one-sided). A
+    /// failed append is answered with [`ErrorCode::Io`] — the mutation is
+    /// in memory but not durable, so it must not be acknowledged.
     pub fn handle(&self, req: &Request) -> Response {
+        self.handle_framed(req, None)
+    }
+
+    /// [`SharedState::handle`] with the request's already-encoded frame
+    /// body (`opcode + payload`, no length prefix) when the transport has
+    /// it — the WAL logs those bytes verbatim instead of re-encoding.
+    pub(crate) fn handle_framed(&self, req: &Request, raw_body: Option<&[u8]>) -> Response {
         if req.is_mutation() && self.draining() {
             return Response::Error {
                 code: ErrorCode::Draining,
                 message: "server is draining; mutation refused".into(),
             };
         }
+        let resp = self.apply(req);
+        if let Some(wal) = self.wal.get() {
+            if req.is_mutation() && !matches!(resp, Response::Error { .. }) {
+                if let Err(e) = log_mutation(wal, req, raw_body) {
+                    return Response::Error {
+                        code: ErrorCode::Io,
+                        message: format!("mutation applied but not durably logged: {e}"),
+                    };
+                }
+            }
+        }
+        resp
+    }
+
+    /// The pure dispatch: applies `req` to the in-memory state. Shared by
+    /// the serving path (which adds drain gating + WAL logging around it)
+    /// and WAL replay (which must skip both).
+    fn apply(&self, req: &Request) -> Response {
         match req {
             Request::Ping => Response::Ok,
             Request::Insert { count, key } => {
@@ -278,18 +399,43 @@ pub struct SbfServer {
     state: Arc<SharedState>,
     workers: usize,
     snapshot_path: Option<PathBuf>,
+    checkpoint_interval: Option<Duration>,
+    recovery: Option<RecoveryReport>,
 }
 
 impl SbfServer {
-    /// Binds the listen socket and builds the shared state.
+    /// Binds the listen socket and builds the shared state. With
+    /// `wal_dir` configured, this is also where crash recovery happens:
+    /// the snapshot and logs are replayed into the fresh state *before*
+    /// the first connection can be accepted, then the WAL is opened for
+    /// appending. A snapshot with the wrong geometry refuses the boot
+    /// (`InvalidData`) rather than serving estimates that would break the
+    /// one-sided contract.
     pub fn bind(config: ServerConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
+        let state = Arc::new(SharedState::new(&config));
+        let mut report = None;
+        if let Some(dir) = &config.wal_dir {
+            report = Some(recovery::recover(dir, &state).map_err(|e| match e {
+                RecoveryError::Io(io_err) => io_err,
+                RecoveryError::Snapshot(msg) => io::Error::new(io::ErrorKind::InvalidData, msg),
+            })?);
+            let wal = Wal::open(dir, config.wal_compact_ratio, config.wal_compact_min_bytes)?;
+            state.attach_wal(Arc::new(wal));
+        }
         Ok(SbfServer {
             listener,
-            state: Arc::new(SharedState::new(&config)),
+            state,
             workers: config.workers.max(1),
             snapshot_path: config.snapshot_path,
+            checkpoint_interval: config.wal_checkpoint_interval,
+            recovery: report,
         })
+    }
+
+    /// What recovery restored, when the server was bound with a WAL.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     /// The bound address (with the real port when `addr` asked for `:0`).
@@ -310,6 +456,7 @@ impl SbfServer {
         // Non-blocking accept so the loop can observe the drain flag
         // promptly; 5 ms idle sleep keeps the wait cheap.
         self.listener.set_nonblocking(true)?;
+        let checkpointer = self.spawn_checkpointer()?;
         let mut pool = WorkerPool::new(self.workers);
         while !self.state.draining() {
             match self.listener.accept() {
@@ -330,12 +477,56 @@ impl SbfServer {
                 Err(_) => std::thread::sleep(Duration::from_millis(5)),
             }
         }
-        // Drain: close the queue and wait for every connection to finish.
+        // Drain: close the queue and wait for every connection to finish,
+        // then let the checkpointer notice the drain flag and exit.
         pool.join();
+        if let Some(t) = checkpointer {
+            t.join()
+                .map_err(|_| io::Error::other("checkpoint thread panicked"))?;
+        }
+        if self.state.crash_requested() {
+            // Crash simulation: stop exactly as a SIGKILL would have left
+            // us — every acknowledged mutation is already fsynced in the
+            // WAL, and nothing else gets flushed.
+            return Ok(());
+        }
+        if let Some(wal) = self.state.wal() {
+            // Final checkpoint: all workers are done, so the snapshot is
+            // exact and the logs it supersedes can go — a clean restart
+            // replays nothing.
+            wal.checkpoint(|| self.state.snapshot_envelope())?;
+        }
         if let Some(path) = &self.snapshot_path {
-            std::fs::write(path, self.state.snapshot_envelope())?;
+            wal::atomic_write(path, &self.state.snapshot_envelope())?;
         }
         Ok(())
+    }
+
+    /// Starts the background checkpoint thread when a WAL is attached:
+    /// cuts a snapshot and compacts the log on the size trigger, and on
+    /// the configured interval. Checkpoint I/O failures are swallowed —
+    /// durability does not regress (the logs stay), compaction just waits
+    /// for the next tick.
+    fn spawn_checkpointer(&self) -> io::Result<Option<std::thread::JoinHandle<()>>> {
+        let Some(wal) = self.state.wal().map(Arc::clone) else {
+            return Ok(None);
+        };
+        let state = Arc::clone(&self.state);
+        let interval = self.checkpoint_interval;
+        let thread = std::thread::Builder::new()
+            .name("sbfd-checkpoint".into())
+            .spawn(move || {
+                let mut last = Instant::now();
+                while !state.draining() {
+                    std::thread::sleep(Duration::from_millis(10));
+                    let interval_due = interval.is_some_and(|iv| last.elapsed() >= iv);
+                    if interval_due || wal.wants_checkpoint() {
+                        let _ = wal.checkpoint(|| state.snapshot_envelope());
+                        last = Instant::now();
+                    }
+                }
+            })?;
+        Ok(Some(thread))
     }
 
     /// Runs the server on a background thread; the returned handle knows
@@ -376,6 +567,16 @@ impl ServerHandle {
     /// Flips the drain flag and waits for the full drain (accept loop
     /// exit, in-flight connections finished, snapshot flushed).
     pub fn shutdown_and_join(mut self) -> io::Result<()> {
+        self.state.begin_shutdown();
+        self.join_inner()
+    }
+
+    /// Stops the server as a crash would: in-flight work finishes, but no
+    /// final checkpoint or snapshot is flushed — the WAL directory is left
+    /// exactly as a SIGKILL at this instant would leave it (acknowledged
+    /// mutations fsynced, nothing else). See [`SharedState::request_crash`].
+    pub fn crash_and_join(mut self) -> io::Result<()> {
+        self.state.request_crash();
         self.state.begin_shutdown();
         self.join_inner()
     }

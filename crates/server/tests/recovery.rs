@@ -1,0 +1,328 @@
+//! Durability suite: a real `sbfd` with a write-ahead log on a temp
+//! directory, killed (simulated SIGKILL via [`ServerHandle::crash_and_join`],
+//! which skips every drain-time flush) and restarted against the same
+//! directory. The acceptance bar from the durability issue:
+//!
+//! * no acknowledged mutation is lost across a crash — every estimate
+//!   after recovery is ≥ the pre-crash ground truth,
+//! * torn log tails are detected, truncated, and counted,
+//! * stale `snapshot.sbf.tmp` files (a crash between write and rename)
+//!   are swept on boot and never restored from,
+//! * clean shutdown compacts to a snapshot and restarts with exactly the
+//!   pre-shutdown mass,
+//! * a socket whose timeouts cannot be armed is refused with a typed
+//!   `Io` error instead of being served untimed.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use sbf_db::wire::FilterEnvelope;
+use sbf_server::{ClientError, ErrorCode, SbfClient, SbfServer, ServerConfig};
+
+const M: usize = 1 << 14;
+const K: usize = 5;
+const SEED: u64 = 42;
+
+/// Fresh scratch directory for one test's WAL.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sbfd-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn wal_config(dir: &Path) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        m: M,
+        k: K,
+        seed: SEED,
+        shards: 4,
+        workers: 4,
+        read_timeout: Some(Duration::from_secs(10)),
+        write_timeout: Some(Duration::from_secs(10)),
+        wal_dir: Some(dir.to_path_buf()),
+        // Tests drive checkpoints explicitly (or not at all) so each can
+        // pin down which recovery path it exercises.
+        wal_checkpoint_interval: None,
+        ..ServerConfig::default()
+    }
+}
+
+/// Inserts a deterministic workload and returns its ground truth.
+fn ingest(client: &mut SbfClient, keys: u64, reps: u64) -> HashMap<Vec<u8>, u64> {
+    let mut truth = HashMap::new();
+    for rep in 0..reps {
+        for key in 0..keys {
+            let k = format!("key-{key}").into_bytes();
+            let count = 1 + (key + rep) % 3;
+            client.insert(&k, count).unwrap();
+            *truth.entry(k).or_insert(0) += count;
+        }
+    }
+    truth
+}
+
+fn assert_one_sided(client: &mut SbfClient, truth: &HashMap<Vec<u8>, u64>) {
+    for (key, &count) in truth {
+        let est = client.estimate(key).unwrap();
+        assert!(
+            est >= count,
+            "estimate {est} < true count {count} for {key:?}: acked mutation lost"
+        );
+    }
+}
+
+/// The headline guarantee: SIGKILL mid-ingest loses no acknowledged
+/// mutation. Every insert was fsynced to the log before its OK frame, so
+/// replaying the log alone (no snapshot was ever cut) rebuilds a sketch
+/// whose estimates dominate the pre-crash truth.
+#[test]
+fn crash_mid_ingest_loses_no_acked_mutation() {
+    let dir = scratch("crash");
+    let cfg = wal_config(&dir);
+
+    let handle = SbfServer::bind(cfg.clone()).unwrap().spawn().unwrap();
+    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    let truth = ingest(&mut client, 64, 3);
+    drop(client);
+    handle.crash_and_join().unwrap();
+
+    let server = SbfServer::bind(cfg).unwrap();
+    let report = server.recovery_report().expect("wal dir implies recovery");
+    assert!(!report.snapshot_loaded, "no checkpoint ever ran");
+    assert_eq!(report.records_replayed, 64 * 3, "one record per insert");
+    assert_eq!(report.torn_tails, 0);
+    let handle = server.spawn().unwrap();
+    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    assert_one_sided(&mut client, &truth);
+    drop(client);
+    handle.shutdown_and_join().unwrap();
+}
+
+/// Crashing *after* a checkpoint exercises the snapshot-restore path plus
+/// replay of only the post-checkpoint records.
+#[test]
+fn crash_after_checkpoint_recovers_snapshot_plus_tail() {
+    let dir = scratch("checkpoint");
+    let cfg = wal_config(&dir);
+
+    let handle = SbfServer::bind(cfg.clone()).unwrap().spawn().unwrap();
+    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    let mut truth = ingest(&mut client, 48, 2);
+    // Cut a checkpoint at this point in the stream, then keep writing.
+    let state = handle.state();
+    let wal = state.wal().expect("wal attached").clone();
+    wal.checkpoint(|| state.snapshot_envelope()).unwrap();
+    for (key, count) in ingest(&mut client, 16, 1) {
+        *truth.entry(key).or_insert(0) += count;
+    }
+    drop(client);
+    handle.crash_and_join().unwrap();
+
+    let server = SbfServer::bind(cfg).unwrap();
+    let report = server.recovery_report().unwrap();
+    assert!(report.snapshot_loaded, "checkpoint wrote a snapshot");
+    assert!(report.snapshot_mass > 0);
+    assert_eq!(report.records_replayed, 16, "only the post-checkpoint tail");
+    let handle = server.spawn().unwrap();
+    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    assert_one_sided(&mut client, &truth);
+    drop(client);
+    handle.shutdown_and_join().unwrap();
+}
+
+/// A torn tail — the crash landed mid-append — is truncated at the last
+/// CRC-valid record boundary and counted, and everything before the tear
+/// still replays.
+#[test]
+fn torn_log_tail_is_truncated_and_survivors_replay() {
+    let dir = scratch("torn");
+    let cfg = wal_config(&dir);
+
+    let handle = SbfServer::bind(cfg.clone()).unwrap().spawn().unwrap();
+    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    let truth = ingest(&mut client, 32, 1);
+    drop(client);
+    handle.crash_and_join().unwrap();
+
+    // Tear the tail: a partial header, as if the process died mid-write.
+    let log = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .find(|p| p.extension().is_some_and(|e| e == "log"))
+        .expect("one generation log exists");
+    let clean_len = std::fs::metadata(&log).unwrap().len();
+    let mut f = std::fs::OpenOptions::new().append(true).open(&log).unwrap();
+    f.write_all(&[0xDE, 0xAD, 0xBE]).unwrap();
+    drop(f);
+
+    let server = SbfServer::bind(cfg).unwrap();
+    let report = server.recovery_report().unwrap();
+    assert_eq!(report.torn_tails, 1, "the tear is detected and counted");
+    assert_eq!(
+        report.records_replayed, 32,
+        "records before the tear survive"
+    );
+    assert_eq!(
+        std::fs::metadata(&log).unwrap().len(),
+        clean_len,
+        "recovery truncates the log back to the last valid boundary"
+    );
+    let handle = server.spawn().unwrap();
+    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    assert_one_sided(&mut client, &truth);
+    drop(client);
+    handle.shutdown_and_join().unwrap();
+}
+
+/// A crash between writing `snapshot.sbf.tmp` and renaming it leaves a
+/// stale tmp file. Boot must sweep it (it was never acknowledged as a
+/// snapshot) and restore from the last *renamed* snapshot, if any.
+#[test]
+fn stale_snapshot_tmp_is_swept_not_restored() {
+    let dir = scratch("staletmp");
+    let cfg = wal_config(&dir);
+
+    let handle = SbfServer::bind(cfg.clone()).unwrap().spawn().unwrap();
+    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    let truth = ingest(&mut client, 16, 1);
+    drop(client);
+    handle.crash_and_join().unwrap();
+
+    // Simulate the torn checkpoint: garbage under the tmp name.
+    let stale = dir.join("snapshot.sbf.tmp");
+    std::fs::write(&stale, b"half-written snapshot").unwrap();
+
+    let server = SbfServer::bind(cfg).unwrap();
+    let report = server.recovery_report().unwrap();
+    assert_eq!(report.stale_tmp_removed, 1);
+    assert!(
+        !report.snapshot_loaded,
+        "garbage tmp is never restored from"
+    );
+    assert!(!stale.exists(), "the stale tmp was deleted");
+    let handle = server.spawn().unwrap();
+    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    assert_one_sided(&mut client, &truth);
+    drop(client);
+    handle.shutdown_and_join().unwrap();
+}
+
+/// Clean shutdown cuts a final checkpoint: the restart restores the
+/// snapshot with *exactly* the pre-shutdown mass and replays nothing.
+#[test]
+fn clean_shutdown_then_restart_is_exact() {
+    let dir = scratch("clean");
+    let cfg = wal_config(&dir);
+
+    let handle = SbfServer::bind(cfg.clone()).unwrap().spawn().unwrap();
+    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    let truth = ingest(&mut client, 32, 2);
+    // Cell mass of the full filter at shutdown, in the same units the
+    // recovery report uses (sum over all counters).
+    let env = FilterEnvelope::decode(&handle.state().snapshot_envelope()).unwrap();
+    let mass_before: u64 = env.counters.iter().sum();
+    drop(client);
+    handle.shutdown_and_join().unwrap();
+
+    let server = SbfServer::bind(cfg).unwrap();
+    let report = server.recovery_report().unwrap();
+    assert!(report.snapshot_loaded);
+    assert_eq!(report.records_replayed, 0, "drain checkpoint covered all");
+    assert_eq!(
+        report.snapshot_mass, mass_before,
+        "no mass lost or invented"
+    );
+    let handle = server.spawn().unwrap();
+    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    assert_one_sided(&mut client, &truth);
+    drop(client);
+    handle.shutdown_and_join().unwrap();
+}
+
+/// Compaction under live ingest: with an aggressive ratio and a fast
+/// checkpointer the log is rotated while clients write, and a crash
+/// afterwards still recovers a dominating sketch.
+#[test]
+fn compaction_under_live_ingest_stays_one_sided() {
+    let dir = scratch("compact");
+    let cfg = ServerConfig {
+        wal_compact_ratio: 1,
+        wal_compact_min_bytes: 256,
+        wal_checkpoint_interval: Some(Duration::from_millis(20)),
+        ..wal_config(&dir)
+    };
+
+    let handle = SbfServer::bind(cfg.clone()).unwrap().spawn().unwrap();
+    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    let truth = ingest(&mut client, 128, 4);
+    // Give the checkpointer a beat to cut at least one snapshot.
+    std::thread::sleep(Duration::from_millis(120));
+    drop(client);
+    handle.crash_and_join().unwrap();
+
+    assert!(
+        dir.join("snapshot.sbf").exists(),
+        "the background checkpointer compacted the log"
+    );
+    let server = SbfServer::bind(cfg).unwrap();
+    let report = server.recovery_report().unwrap();
+    assert!(report.snapshot_loaded);
+    let handle = server.spawn().unwrap();
+    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    assert_one_sided(&mut client, &truth);
+    drop(client);
+    handle.shutdown_and_join().unwrap();
+}
+
+/// A WAL directory written with one geometry refuses to boot a server
+/// with another: silently re-hashing into different cells would break
+/// the one-sided guarantee.
+#[test]
+fn geometry_mismatch_refuses_to_boot() {
+    let dir = scratch("geometry");
+    let cfg = wal_config(&dir);
+
+    let handle = SbfServer::bind(cfg.clone()).unwrap().spawn().unwrap();
+    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    ingest(&mut client, 8, 1);
+    drop(client);
+    handle.shutdown_and_join().unwrap();
+
+    let wrong = ServerConfig { m: M * 2, ..cfg };
+    let err = SbfServer::bind(wrong).expect_err("mismatched geometry must refuse");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+}
+
+/// Satellite fix: a connection whose read/write timeouts cannot be armed
+/// is answered with a typed `Io` error and closed, never served untimed.
+/// A zero `Duration` is rejected by `set_read_timeout`, which makes the
+/// failure injectable through public config.
+#[test]
+fn unarmable_timeouts_close_with_typed_io_error() {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        m: M,
+        k: K,
+        seed: SEED,
+        shards: 2,
+        workers: 2,
+        read_timeout: Some(Duration::ZERO),
+        write_timeout: Some(Duration::from_secs(10)),
+        ..ServerConfig::default()
+    };
+    let handle = SbfServer::bind(cfg).unwrap().spawn().unwrap();
+    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    match client.ping() {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Io),
+        // The server may close before the request is even written; a
+        // transport error is an acceptable shape for that race.
+        Err(ClientError::Io(_)) => {}
+        other => panic!("untimed connection was served: {other:?}"),
+    }
+    drop(client);
+    handle.shutdown_and_join().unwrap();
+}

@@ -196,6 +196,15 @@ impl Histogram {
         self.count.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a [`std::time::Duration`] in nanoseconds (saturating at
+    /// `u64::MAX` ≈ 584 years — the `+Inf` bucket either way). Log2 buckets
+    /// give ~1.4 significant digits, exactly the resolution wanted for
+    /// latency histograms like `sbfd_wal_fsync_ns`.
+    #[inline]
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
     /// Total number of observations.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
@@ -340,6 +349,18 @@ mod tests {
         assert_eq!(snap.quantile(0.0), Some(8.0));
         // A value past every finite bucket lands in +Inf.
         h.observe(u64::MAX);
+        assert_eq!(h.snapshot().quantile(1.0), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn durations_observe_as_nanoseconds() {
+        let h = Histogram::new();
+        h.observe_duration(std::time::Duration::from_nanos(1500));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 1500);
+        // A duration too large for u64 nanoseconds saturates instead of
+        // panicking and lands in +Inf.
+        h.observe_duration(std::time::Duration::from_secs(u64::MAX / 1000));
         assert_eq!(h.snapshot().quantile(1.0), Some(f64::INFINITY));
     }
 
