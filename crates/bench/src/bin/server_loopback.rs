@@ -29,16 +29,26 @@
 //! fall 10% below the worst round ever seen at record time before the
 //! gate trips — noise can't fail it, a lost batched path still will.
 //!
+//! A second, reactor-era scenario measures the **connection-scaling
+//! matrix**: the speedup of depth-32 pipelined INSERT frames over depth-1
+//! (same `pipeline()` path, only the frames-per-roundtrip varies), and
+//! the **idle-connection tax** — batched ESTIMATE throughput with 512
+//! parked connections versus none. Both gate as ratios like the rest:
+//! the pipelining speedup has a recorded floor, the idle tax a recorded
+//! ceiling with a wide tolerance (it should sit at ~1.0; only idle
+//! connections landing back on the hot path should trip it).
+//!
 //! ```text
 //! server_loopback                            # measure and print
 //! server_loopback --record BENCH_server.json # write the baseline
 //! server_loopback --check  BENCH_server.json # exit 1 on >10% regression
+//! server_loopback --check-scale BENCH_server.json # scaling gates only
 //! ```
 
 use std::hint::black_box;
 use std::time::Instant;
 
-use sbf_server::{SbfClient, SbfServer, ServerConfig};
+use sbf_server::{Request, SbfClient, SbfServer, ServerConfig, ServerConfigBuilder};
 use sbf_workloads::ZipfWorkload;
 
 const M: usize = 1 << 16;
@@ -59,6 +69,34 @@ const TOLERANCE: f64 = 0.10;
 /// gross regression (an extra fsync per frame, a lost batched append)
 /// should trip the gate.
 const WAL_TOLERANCE: f64 = 0.50;
+/// Keys per round for the pipelining scenario. Smaller than `STREAM`:
+/// the depth-1 side pays a full roundtrip per key, and the scenario runs
+/// twice per round.
+const PIPE_STREAM: usize = 8_192;
+/// Frames per pipelined write in the scaling scenario. Matches the
+/// server's default `pipeline_depth` so one client burst maps onto one
+/// dispatch batch.
+const PIPE_DEPTH: usize = 32;
+/// Idle connections parked on the reactor while the idle-tax scenario
+/// re-times batched ESTIMATE traffic.
+const IDLE_CONNS: usize = 512;
+/// Allowed relative growth of the idle-connection tax before `--check`
+/// fails. The tax should sit near 1.0 (parked connections are wait-set
+/// entries, not threads), so the ratio is all scheduler noise; like the
+/// WAL gate, only a gross regression — idle connections back on the hot
+/// path — should trip it.
+const IDLE_TOLERANCE: f64 = 0.50;
+
+/// Shared server shape for every scenario in this binary.
+fn base_config() -> ServerConfigBuilder {
+    ServerConfig::builder()
+        .addr("127.0.0.1:0")
+        .m(M)
+        .k(K)
+        .seed(SEED)
+        .shards(4)
+        .workers(2)
+}
 
 struct OpResult {
     name: &'static str,
@@ -134,25 +172,19 @@ fn race(
 }
 
 fn measure() -> Vec<OpResult> {
-    let handle = SbfServer::bind(ServerConfig {
-        addr: "127.0.0.1:0".into(),
-        m: M,
-        k: K,
-        seed: SEED,
-        shards: 4,
-        workers: 2,
-        ..ServerConfig::default()
-    })
-    .expect("bind loopback")
-    .spawn()
-    .expect("spawn server");
+    let handle = SbfServer::bind(base_config().build().expect("valid config"))
+        .expect("bind loopback")
+        .spawn()
+        .expect("spawn server");
 
     let keys: Vec<Vec<u8>> = ZipfWorkload::generate(DISTINCT, STREAM, 1.07, 0xBE7C)
         .stream
         .into_iter()
         .map(|k| k.to_le_bytes().to_vec())
         .collect();
-    let mut client = SbfClient::connect(handle.addr()).expect("connect");
+    let mut client = SbfClient::builder(handle.addr())
+        .connect()
+        .expect("connect");
 
     let insert = race("insert", &keys, |keys, batched, lat| {
         if batched {
@@ -206,25 +238,18 @@ struct WalResult {
 fn measure_wal() -> WalResult {
     let wal_dir = std::env::temp_dir().join(format!("sbf-bench-wal-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&wal_dir);
-    let base = ServerConfig {
-        addr: "127.0.0.1:0".into(),
-        m: M,
-        k: K,
-        seed: SEED,
-        shards: 4,
-        workers: 2,
-        ..ServerConfig::default()
-    };
-    let plain = SbfServer::bind(base.clone())
+    let plain = SbfServer::bind(base_config().build().expect("valid config"))
         .expect("bind plain")
         .spawn()
         .expect("spawn plain");
-    let durable = SbfServer::bind(ServerConfig {
-        wal_dir: Some(wal_dir.clone()),
-        // No background checkpoints: measure the append path alone.
-        wal_checkpoint_interval: None,
-        ..base
-    })
+    let durable = SbfServer::bind(
+        base_config()
+            .wal_dir(wal_dir.clone())
+            // No background checkpoints: measure the append path alone.
+            .wal_checkpoint_interval(None)
+            .build()
+            .expect("valid config"),
+    )
     .expect("bind durable")
     .spawn()
     .expect("spawn durable");
@@ -234,8 +259,12 @@ fn measure_wal() -> WalResult {
         .into_iter()
         .map(|k| k.to_le_bytes().to_vec())
         .collect();
-    let mut plain_client = SbfClient::connect(plain.addr()).expect("connect plain");
-    let mut wal_client = SbfClient::connect(durable.addr()).expect("connect durable");
+    let mut plain_client = SbfClient::builder(plain.addr())
+        .connect()
+        .expect("connect plain");
+    let mut wal_client = SbfClient::builder(durable.addr())
+        .connect()
+        .expect("connect durable");
 
     let ingest = |client: &mut SbfClient| {
         let t = Instant::now();
@@ -283,7 +312,134 @@ fn measure_wal() -> WalResult {
     }
 }
 
-fn to_json(results: &[OpResult], wal: &WalResult) -> String {
+/// The connection-scaling matrix: what pipelining depth buys a single
+/// client, and what parked idle connections cost everyone else.
+struct ScaleResult {
+    depth1_kops: f64,
+    pipelined_kops: f64,
+    /// Median per-round paired ratio `depth1_time / pipelined_time`.
+    pipeline_speedup: f64,
+    /// Minimum paired ratio — the conservative floor `--record` stores.
+    pipeline_speedup_floor: f64,
+    idle0_kops: f64,
+    idle_kops: f64,
+    /// Median per-round paired ratio `idle_time / idle0_time` (≥ 1 ⇒ tax).
+    idle_tax: f64,
+    /// Maximum paired ratio — the conservative ceiling `--record` stores.
+    idle_tax_ceiling: f64,
+}
+
+fn measure_scale() -> ScaleResult {
+    let handle = SbfServer::bind(base_config().build().expect("valid config"))
+        .expect("bind scale")
+        .spawn()
+        .expect("spawn scale");
+
+    let keys: Vec<Vec<u8>> = ZipfWorkload::generate(DISTINCT, PIPE_STREAM, 1.07, 0xD1CE)
+        .stream
+        .into_iter()
+        .map(|k| k.to_le_bytes().to_vec())
+        .collect();
+    let reqs: Vec<Request> = keys
+        .iter()
+        .map(|k| Request::Insert {
+            count: 1,
+            key: k.clone(),
+        })
+        .collect();
+    let mut client = SbfClient::builder(handle.addr())
+        .connect()
+        .expect("connect");
+
+    // --- Pipelining depth: the same INSERT stream, one frame per write
+    // versus PIPE_DEPTH frames per write. Both sides ride `pipeline()`,
+    // so the only variable is how many frames share a roundtrip.
+    let run = |client: &mut SbfClient, depth: usize| {
+        let t = Instant::now();
+        for chunk in reqs.chunks(depth) {
+            let resps = client.pipeline(chunk).expect("pipeline");
+            assert_eq!(resps.len(), chunk.len(), "pipelined responses match");
+        }
+        t.elapsed().as_secs_f64()
+    };
+    run(&mut client, 1);
+    run(&mut client, PIPE_DEPTH);
+    let mut depth1_times = Vec::with_capacity(ROUNDS);
+    let mut pipe_times = Vec::with_capacity(ROUNDS);
+    for round in 0..ROUNDS {
+        if round % 2 == 0 {
+            pipe_times.push(run(&mut client, PIPE_DEPTH));
+            depth1_times.push(run(&mut client, 1));
+        } else {
+            depth1_times.push(run(&mut client, 1));
+            pipe_times.push(run(&mut client, PIPE_DEPTH));
+        }
+    }
+    let mut ratios: Vec<f64> = depth1_times
+        .iter()
+        .zip(&pipe_times)
+        .map(|(s, p)| s / p)
+        .collect();
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let pipeline_speedup = ratios[ratios.len() / 2];
+    let pipeline_speedup_floor = ratios[0];
+    let best =
+        |ts: &[f64]| PIPE_STREAM as f64 / ts.iter().copied().fold(f64::INFINITY, f64::min) / 1e3;
+    let depth1_kops = best(&depth1_times);
+    let pipelined_kops = best(&pipe_times);
+
+    // --- Idle-connection tax: the same batched ESTIMATE stream with the
+    // reactor empty versus IDLE_CONNS parked (connected, silent) clients.
+    let mut acc = 0u64;
+    let mut est = |client: &mut SbfClient| {
+        let t = Instant::now();
+        for chunk in keys.chunks(CHUNK) {
+            let out = client.estimate_batch(chunk).expect("estimate_batch");
+            acc = acc.wrapping_add(out.iter().sum::<u64>());
+        }
+        t.elapsed().as_secs_f64()
+    };
+    est(&mut client);
+    let mut idle0_times = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        idle0_times.push(est(&mut client));
+    }
+    let idlers: Vec<std::net::TcpStream> = (0..IDLE_CONNS)
+        .map(|_| std::net::TcpStream::connect(handle.addr()).expect("idle connect"))
+        .collect();
+    // Untimed settle round: the first round after the burst would race
+    // the reactor still accepting and registering 512 sockets.
+    est(&mut client);
+    let mut idle_times = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        idle_times.push(est(&mut client));
+    }
+    drop(idlers);
+    black_box(acc);
+    let mut taxes: Vec<f64> = idle_times
+        .iter()
+        .zip(&idle0_times)
+        .map(|(i, z)| i / z)
+        .collect();
+    taxes.sort_by(|a, b| a.total_cmp(b));
+
+    client.shutdown().expect("shutdown");
+    drop(client);
+    handle.join().expect("scale drain");
+
+    ScaleResult {
+        depth1_kops,
+        pipelined_kops,
+        pipeline_speedup,
+        pipeline_speedup_floor,
+        idle0_kops: best(&idle0_times),
+        idle_kops: best(&idle_times),
+        idle_tax: taxes[taxes.len() / 2],
+        idle_tax_ceiling: taxes[taxes.len() - 1],
+    }
+}
+
+fn to_json(results: &[OpResult], wal: &WalResult, scale: &ScaleResult) -> String {
     let mut out = String::from("{\n");
     for r in results.iter() {
         let sep = ",";
@@ -307,8 +463,22 @@ fn to_json(results: &[OpResult], wal: &WalResult) -> String {
     }
     out.push_str(&format!(
         "  \"nowal_batch_kops\": {:.3},\n  \"wal_batch_kops\": {:.3},\n  \
-         \"wal_overhead\": {:.4},\n  \"wal_overhead_ceiling\": {:.4}\n",
+         \"wal_overhead\": {:.4},\n  \"wal_overhead_ceiling\": {:.4},\n",
         wal.nowal_kops, wal.wal_kops, wal.overhead, wal.overhead_ceiling
+    ));
+    out.push_str(&format!(
+        "  \"pipeline_depth1_kops\": {:.3},\n  \"pipeline_batch_kops\": {:.3},\n  \
+         \"pipeline_speedup\": {:.4},\n  \"pipeline_speedup_floor\": {:.4},\n  \
+         \"idle0_batch_kops\": {:.3},\n  \"idle_batch_kops\": {:.3},\n  \
+         \"idle_tax\": {:.4},\n  \"idle_tax_ceiling\": {:.4}\n",
+        scale.depth1_kops,
+        scale.pipelined_kops,
+        scale.pipeline_speedup,
+        scale.pipeline_speedup_floor,
+        scale.idle0_kops,
+        scale.idle_kops,
+        scale.idle_tax,
+        scale.idle_tax_ceiling
     ));
     out.push_str("}\n");
     out
@@ -326,10 +496,96 @@ fn json_field(text: &str, name: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// One floor-style gate: the measured *median* speedup must stay above
+/// the recorded worst-round floor minus the tolerance (asymmetric on
+/// purpose, see the module docs). Returns whether the gate failed.
+fn check_floor(text: &str, field: &str, label: &str, measured: f64) -> bool {
+    let Some(baseline) = json_field(text, field) else {
+        eprintln!("FAIL: baseline missing {field}");
+        return true;
+    };
+    let floor = baseline * (1.0 - TOLERANCE);
+    let status = if measured < floor { "FAIL" } else { "ok" };
+    println!(
+        "{status:>4} {label:<10} speedup {measured:.3} vs baseline floor {baseline:.3} \
+         (gate {floor:.3})"
+    );
+    measured < floor
+}
+
+/// One ceiling-style gate, mirroring [`check_floor`] with the opposite
+/// sign: the measured *median* tax must stay under the recorded
+/// worst-round ceiling plus the (wide) tolerance.
+fn check_ceiling(text: &str, field: &str, label: &str, measured: f64, tol: f64) -> bool {
+    let Some(baseline) = json_field(text, field) else {
+        eprintln!("FAIL: baseline missing {field}");
+        return true;
+    };
+    let gate = baseline * (1.0 + tol);
+    let status = if measured > gate { "FAIL" } else { "ok" };
+    println!(
+        "{status:>4} {label:<10} overhead {measured:.3} vs baseline \
+         ceiling {baseline:.3} (gate {gate:.3})"
+    );
+    measured > gate
+}
+
+/// Shared check epilogue: banner plus exit status.
+fn verdict(failed: bool, path: &str) -> ! {
+    if failed {
+        eprintln!(
+            "FAIL: batched serving path regressed >{:.0}% vs {path}",
+            TOLERANCE * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("OK: batched serving path within tolerance on every op");
+    std::process::exit(0);
+}
+
+fn print_scale(scale: &ScaleResult) {
+    println!(
+        "{:<10} {:>7.1} k/s {:>7.1} k/s {:>8.2}x  (depth {PIPE_DEPTH} vs depth 1 pipelining)",
+        "pipeline", scale.depth1_kops, scale.pipelined_kops, scale.pipeline_speedup
+    );
+    println!(
+        "{:<10} {:>7.1} k/s {:>7.1} k/s {:>8.2}x  ({IDLE_CONNS} idle conns vs none, batched estimate)",
+        "idle tax", scale.idle0_kops, scale.idle_kops, scale.idle_tax
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // `--check-scale` runs only the connection-scaling matrix (pipelining
+    // depth + idle-connection fan-in) against the recorded baseline, so a
+    // CI job can gate reactor scaling without paying for the full op and
+    // WAL sweep.
+    if args.first().map(String::as_str) == Some("--check-scale") {
+        let path = args.get(1).expect("--check-scale needs a path");
+        let text = std::fs::read_to_string(path).expect("read baseline");
+        let scale = measure_scale();
+        print_scale(&scale);
+        let mut failed = false;
+        failed |= check_floor(
+            &text,
+            "pipeline_speedup_floor",
+            "pipeline",
+            scale.pipeline_speedup,
+        );
+        failed |= check_ceiling(
+            &text,
+            "idle_tax_ceiling",
+            "idle tax",
+            scale.idle_tax,
+            IDLE_TOLERANCE,
+        );
+        verdict(failed, path);
+    }
+
     let results = measure();
     let wal = measure_wal();
+    let scale = measure_scale();
     println!(
         "{:<10} {:>12} {:>12} {:>9} {:>9} {:>9}",
         "op", "single", "batch", "speedup", "p50", "p99"
@@ -344,11 +600,12 @@ fn main() {
         "{:<10} {:>7.1} k/s {:>7.1} k/s {:>8.2}x  (wal vs no-wal batched ingest)",
         "wal tax", wal.nowal_kops, wal.wal_kops, wal.overhead
     );
+    print_scale(&scale);
     match args.first().map(String::as_str) {
         None => {}
         Some("--record") => {
             let path = args.get(1).expect("--record needs a path");
-            std::fs::write(path, to_json(&results, &wal)).expect("write baseline");
+            std::fs::write(path, to_json(&results, &wal, &scale)).expect("write baseline");
             println!("baseline recorded to {path}");
         }
         Some("--check") => {
@@ -357,60 +614,38 @@ fn main() {
             let mut failed = false;
             for r in &results {
                 let field = format!("{}_speedup_floor", r.name);
-                let Some(baseline) = json_field(&text, &field) else {
-                    eprintln!("FAIL: baseline missing {field}");
-                    failed = true;
-                    continue;
-                };
-                let floor = baseline * (1.0 - TOLERANCE);
-                // Median measured vs recorded worst-round floor: asymmetric
-                // on purpose, see the module docs.
-                let status = if r.speedup < floor {
-                    failed = true;
-                    "FAIL"
-                } else {
-                    "ok"
-                };
-                println!(
-                    "{status:>4} {:<10} speedup {:.3} vs baseline floor {baseline:.3} \
-                     (gate {floor:.3})",
-                    r.name, r.speedup
-                );
+                failed |= check_floor(&text, &field, r.name, r.speedup);
             }
-            // The WAL gate mirrors the speedup gates with the opposite
-            // sign: the measured *median* tax must stay under the recorded
-            // worst-round *ceiling* plus the (wide) tolerance.
-            match json_field(&text, "wal_overhead_ceiling") {
-                Some(baseline) => {
-                    let gate = baseline * (1.0 + WAL_TOLERANCE);
-                    let status = if wal.overhead > gate {
-                        failed = true;
-                        "FAIL"
-                    } else {
-                        "ok"
-                    };
-                    println!(
-                        "{status:>4} {:<10} overhead {:.3} vs baseline ceiling {baseline:.3} \
-                         (gate {gate:.3})",
-                        "wal tax", wal.overhead
-                    );
-                }
-                None => {
-                    eprintln!("FAIL: baseline missing wal_overhead_ceiling");
-                    failed = true;
-                }
-            }
-            if failed {
-                eprintln!(
-                    "FAIL: batched serving path regressed >{:.0}% vs {path}",
-                    TOLERANCE * 100.0
-                );
-                std::process::exit(1);
-            }
-            println!("OK: batched serving path within tolerance on every op");
+            // The pipelining gate works exactly like the per-op speedup
+            // gates; the WAL and idle-connection gates mirror them with
+            // the opposite sign.
+            failed |= check_floor(
+                &text,
+                "pipeline_speedup_floor",
+                "pipeline",
+                scale.pipeline_speedup,
+            );
+            failed |= check_ceiling(
+                &text,
+                "wal_overhead_ceiling",
+                "wal tax",
+                wal.overhead,
+                WAL_TOLERANCE,
+            );
+            failed |= check_ceiling(
+                &text,
+                "idle_tax_ceiling",
+                "idle tax",
+                scale.idle_tax,
+                IDLE_TOLERANCE,
+            );
+            verdict(failed, path);
         }
         Some(other) => {
-            eprintln!("usage: server_loopback [--record <path> | --check <path>] ({other}?)");
+            eprintln!(
+                "usage: server_loopback [--record <path> | --check <path> | \
+                 --check-scale <path>] ({other}?)"
+            );
             std::process::exit(2);
         }
     }

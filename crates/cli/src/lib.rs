@@ -645,37 +645,61 @@ fn run_serve(mut args: Vec<String>, stdout: &mut impl Write) -> Result<String, C
         })
     }
     let defaults = sbf_server::ServerConfig::default();
-    let config = sbf_server::ServerConfig {
-        addr: take_flag(&mut args, "--addr").unwrap_or_else(|| "127.0.0.1:7070".into()),
-        m: num(&mut args, "--m", defaults.m)?,
-        k: num(&mut args, "--k", defaults.k)?,
-        seed: num(&mut args, "--seed", defaults.seed)?,
-        shards: num(&mut args, "--shards", defaults.shards)?,
-        workers: num(&mut args, "--workers", defaults.workers)?,
-        read_timeout: Some(std::time::Duration::from_secs(num(
+    let mut builder = sbf_server::ServerConfig::builder()
+        .addr(take_flag(&mut args, "--addr").unwrap_or_else(|| "127.0.0.1:7070".into()))
+        .m(num(&mut args, "--m", defaults.m)?)
+        .k(num(&mut args, "--k", defaults.k)?)
+        .seed(num(&mut args, "--seed", defaults.seed)?)
+        .shards(num(&mut args, "--shards", defaults.shards)?)
+        .workers(num(&mut args, "--workers", defaults.workers)?)
+        .read_timeout(Some(std::time::Duration::from_secs(num(
             &mut args,
             "--timeout-secs",
             30u64,
-        )?)),
-        snapshot_path: take_flag(&mut args, "--snapshot-path").map(Into::into),
-        wal_dir: take_flag(&mut args, "--wal-dir").map(Into::into),
-        wal_compact_ratio: num(&mut args, "--wal-compact-ratio", defaults.wal_compact_ratio)?,
-        wal_compact_min_bytes: num(
+        )?)))
+        // Reactor knobs, 1:1 with the ServerConfig fields.
+        .max_connections(num(
+            &mut args,
+            "--max-connections",
+            defaults.max_connections,
+        )?)
+        .poll_timeout(std::time::Duration::from_millis(num(
+            &mut args,
+            "--poll-timeout-ms",
+            defaults.poll_timeout.as_millis() as u64,
+        )?))
+        .pipeline_depth(num(&mut args, "--pipeline-depth", defaults.pipeline_depth)?)
+        .max_frame(num(&mut args, "--max-frame", defaults.max_frame)?)
+        .wal_compact_ratio(num(
+            &mut args,
+            "--wal-compact-ratio",
+            defaults.wal_compact_ratio,
+        )?)
+        .wal_compact_min_bytes(num(
             &mut args,
             "--wal-compact-min-bytes",
             defaults.wal_compact_min_bytes,
-        )?,
+        )?)
         // 0 disables the background checkpointer (the drain-time
         // checkpoint still runs; compaction then only happens at exit).
-        wal_checkpoint_interval: match num(&mut args, "--wal-checkpoint-secs", 60u64)? {
+        .wal_checkpoint_interval(match num(&mut args, "--wal-checkpoint-secs", 60u64)? {
             0 => None,
             secs => Some(std::time::Duration::from_secs(secs)),
-        },
-        ..defaults
-    };
+        });
+    if let Some(path) = take_flag(&mut args, "--snapshot-path") {
+        builder = builder.snapshot_path(path);
+    }
+    if let Some(dir) = take_flag(&mut args, "--wal-dir") {
+        builder = builder.wal_dir(dir);
+    }
     if !args.is_empty() {
         return Err(CliError::Usage(format!("unrecognized arguments: {args:?}")));
     }
+    // Nonsense knob combinations are usage errors, caught before any
+    // socket exists.
+    let config = builder
+        .build()
+        .map_err(|e| CliError::Usage(e.to_string()))?;
     // A daemon exists to be observed: telemetry on, full schema registered.
     enable_telemetry();
     let _ = sbf_server::metrics::server_metrics();
@@ -765,9 +789,10 @@ fn run_client(
         ));
     }
     let op = args.remove(0);
-    let mut client =
-        sbf_server::SbfClient::connect_timeout(&addr as &str, std::time::Duration::from_secs(30))
-            .map_err(|e| CliError::Server(format!("connect {addr}: {e}")))?;
+    let mut client = sbf_server::SbfClient::builder(&addr as &str)
+        .io_timeout(Some(std::time::Duration::from_secs(30)))
+        .connect()
+        .map_err(|e| CliError::Server(format!("connect {addr}: {e}")))?;
     // Keys arrive one per line, like every other stdin-driven subcommand.
     let read_keys = |stdin: &mut dyn BufRead| -> Result<Vec<Vec<u8>>, CliError> {
         let mut keys = Vec::new();
@@ -869,6 +894,8 @@ pub const USAGE: &str =
         [--batch-size 4096] [--algo ms|mi]     race batched vs single-item hot path\n\
   serve [--addr 127.0.0.1:7070] [--m 65536] [--k 5] [--seed 42] [--shards 4]\n\
         [--workers 4] [--timeout-secs 30] [--snapshot-path <path>]   run the sbfd daemon\n\
+        [--max-connections 4096] [--poll-timeout-ms 100] [--pipeline-depth 32]\n\
+        [--max-frame 1048576]       reactor knobs: capacity, wait bound, batch, frame cap\n\
         [--wal-dir <dir>] [--wal-compact-ratio 4] [--wal-compact-min-bytes 1048576]\n\
         [--wal-checkpoint-secs 60]          durable mode: fsynced log + crash recovery\n\
   client --addr <host:port> <ping|insert|remove|estimate|merge|snapshot|stats|shutdown>\n\
@@ -1201,6 +1228,12 @@ mod tests {
                     "2",
                     "--workers",
                     "2",
+                    "--max-connections",
+                    "64",
+                    "--poll-timeout-ms",
+                    "50",
+                    "--pipeline-depth",
+                    "16",
                 ]
                 .map(String::from)
                 .to_vec(),
@@ -1323,6 +1356,25 @@ mod tests {
             ),
             Err(CliError::Server(_))
         ));
+        // Nonsense reactor knobs are usage errors, refused before binding.
+        for flags in [
+            ["--pipeline-depth", "0"],
+            ["--max-connections", "0"],
+            ["--poll-timeout-ms", "0"],
+            ["--timeout-secs", "0"],
+            ["--max-frame", "0"],
+        ] {
+            let argv: Vec<String> = ["serve", "--addr", "127.0.0.1:0", flags[0], flags[1]]
+                .map(String::from)
+                .to_vec();
+            assert!(
+                matches!(
+                    run(argv, Cursor::new(""), Vec::new()),
+                    Err(CliError::Usage(_))
+                ),
+                "{flags:?} should be a usage error"
+            );
+        }
     }
 
     /// `wal inspect` reads a directory a durable server actually wrote:
@@ -1331,17 +1383,19 @@ mod tests {
     fn wal_inspect_reads_a_real_wal_directory() {
         let dir = std::env::temp_dir().join(format!("sbf-cli-wal-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let cfg = sbf_server::ServerConfig {
-            addr: "127.0.0.1:0".into(),
-            m: 4096,
-            shards: 2,
-            workers: 2,
-            wal_dir: Some(dir.clone()),
-            wal_checkpoint_interval: None,
-            ..sbf_server::ServerConfig::default()
-        };
+        let cfg = sbf_server::ServerConfig::builder()
+            .addr("127.0.0.1:0")
+            .m(4096)
+            .shards(2)
+            .workers(2)
+            .wal_dir(dir.clone())
+            .wal_checkpoint_interval(None)
+            .build()
+            .unwrap();
         let handle = sbf_server::SbfServer::bind(cfg).unwrap().spawn().unwrap();
-        let mut client = sbf_server::SbfClient::connect(handle.addr()).unwrap();
+        let mut client = sbf_server::SbfClient::builder(handle.addr())
+            .connect()
+            .unwrap();
         client.insert(b"apple", 2).unwrap();
         client.insert(b"banana", 1).unwrap();
         drop(client);

@@ -8,6 +8,7 @@
 //! paper's precondition for union/multiply is that both sites already
 //! agreed on `(m, k, seed)`.
 
+use crate::framing::{EncodeError, WireEncode};
 use sbf_encoding::{Codec, EliasDelta};
 
 /// Encodes a counter vector into a framed byte message.
@@ -208,17 +209,29 @@ pub struct FilterEnvelope {
     pub counters: Vec<u64>,
 }
 
+impl WireEncode for FilterEnvelope {
+    /// Infallible arm of the shared encode trait: the envelope frames its
+    /// counter *count* as `u64`, so no `u32` narrowing ever happens and
+    /// this never returns [`EncodeError`].
+    fn encode_into(&self, out: &mut Vec<u8>) -> Result<(), EncodeError> {
+        let payload = encode_counters(self.counters.iter().copied());
+        out.reserve(18 + payload.len());
+        out.extend_from_slice(&0x5BF0_CAFEu32.to_le_bytes()); // magic
+        out.push(1); // version
+        out.push(self.kind.to_byte());
+        out.extend_from_slice(&self.k.to_le_bytes());
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(&payload);
+        Ok(())
+    }
+}
+
 impl FilterEnvelope {
     /// Serializes: magic, version, kind, k, seed, then the counter frame.
     pub fn encode(&self) -> Vec<u8> {
-        let payload = encode_counters(self.counters.iter().copied());
-        let mut buf = Vec::with_capacity(24 + payload.len());
-        buf.extend_from_slice(&0x5BF0_CAFEu32.to_le_bytes()); // magic
-        buf.push(1); // version
-        buf.push(self.kind.to_byte());
-        buf.extend_from_slice(&self.k.to_le_bytes());
-        buf.extend_from_slice(&self.seed.to_le_bytes());
-        buf.extend_from_slice(&payload);
+        let mut buf = Vec::new();
+        // Infallible by construction (see the `WireEncode` impl above).
+        let _ = self.encode_into(&mut buf);
         buf
     }
 
@@ -302,6 +315,17 @@ mod tests {
         };
         let frame = env.encode();
         assert_eq!(FilterEnvelope::decode(&frame).unwrap(), env);
+    }
+
+    #[test]
+    fn envelope_trait_encode_matches_inherent_encode() {
+        let env = FilterEnvelope {
+            kind: FilterKind::MinimalIncrease,
+            k: 4,
+            seed: 99,
+            counters: (0..128).map(|i| i % 7).collect(),
+        };
+        assert_eq!(env.encode_vec().unwrap(), env.encode());
     }
 
     #[test]

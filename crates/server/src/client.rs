@@ -1,17 +1,114 @@
-//! A blocking client for `sbfd`: one request, one response, over a
-//! persistent connection.
+//! A blocking client for `sbfd`, built by [`ClientBuilder`].
 //!
-//! Each method writes a single pre-assembled frame (`Request::encode`
-//! builds header + body in one buffer) and blocks for the matching
-//! response frame. The client enforces the same frame-size cap on
-//! responses that the server enforces on requests — a client talking to a
-//! hostile or broken endpoint never allocates more than the cap.
+//! Each typed method writes a single pre-assembled frame
+//! (`Request::encode` builds header + body in one buffer) and blocks for
+//! the matching response frame; [`SbfClient::pipeline`] writes a whole
+//! batch of frames in one syscall and reads the responses back in order —
+//! the client side of the server's pipelined parsing. The client enforces
+//! the same frame-size cap on responses that the server enforces on
+//! requests — a client talking to a hostile or broken endpoint never
+//! allocates more than the cap.
+//!
+//! Construction goes through the builder:
+//!
+//! ```no_run
+//! use std::time::Duration;
+//! use sbf_server::SbfClient;
+//!
+//! let mut client = SbfClient::builder("127.0.0.1:7070")
+//!     .io_timeout(Some(Duration::from_secs(5)))
+//!     .max_frame(1 << 20)
+//!     .connect()?;
+//! client.ping()?;
+//! # Ok::<(), sbf_server::ClientError>(())
+//! ```
 
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::proto::{ErrorCode, ProtoError, Request, Response, MAX_FRAME_DEFAULT};
+
+/// Configures and opens an [`SbfClient`] connection. Obtained from
+/// [`SbfClient::builder`]; every knob is optional.
+#[derive(Debug)]
+pub struct ClientBuilder<A: ToSocketAddrs> {
+    addr: A,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    connect_timeout: Option<Duration>,
+    max_frame: usize,
+    nodelay: bool,
+}
+
+impl<A: ToSocketAddrs> ClientBuilder<A> {
+    /// Blocking-read timeout on the open connection; `None` (default)
+    /// waits forever.
+    pub fn read_timeout(mut self, t: Option<Duration>) -> Self {
+        self.read_timeout = t;
+        self
+    }
+
+    /// Blocking-write timeout on the open connection; `None` (default)
+    /// waits forever.
+    pub fn write_timeout(mut self, t: Option<Duration>) -> Self {
+        self.write_timeout = t;
+        self
+    }
+
+    /// Sets read and write timeouts together (the common case).
+    pub fn io_timeout(self, t: Option<Duration>) -> Self {
+        self.read_timeout(t).write_timeout(t)
+    }
+
+    /// Bounds the TCP connect itself; `None` (default) uses the OS
+    /// default. With a timeout set, the address must resolve to at least
+    /// one endpoint (only the first is tried, matching
+    /// [`TcpStream::connect_timeout`]).
+    pub fn connect_timeout(mut self, t: Option<Duration>) -> Self {
+        self.connect_timeout = t;
+        self
+    }
+
+    /// Caps how large a response frame the client will accept (defaults
+    /// to [`MAX_FRAME_DEFAULT`]).
+    pub fn max_frame(mut self, cap: usize) -> Self {
+        self.max_frame = cap;
+        self
+    }
+
+    /// Whether to set `TCP_NODELAY` (default `true`; request/response
+    /// traffic is latency-bound, not throughput-bound).
+    pub fn nodelay(mut self, on: bool) -> Self {
+        self.nodelay = on;
+        self
+    }
+
+    /// Opens the connection with the configured knobs.
+    pub fn connect(self) -> Result<SbfClient, ClientError> {
+        let stream = match self.connect_timeout {
+            None => TcpStream::connect(&self.addr)?,
+            Some(t) => {
+                let addr = self.addr.to_socket_addrs()?.next().ok_or_else(|| {
+                    ClientError::Io(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        "address resolved to no endpoints",
+                    ))
+                })?;
+                TcpStream::connect_timeout(&addr, t)?
+            }
+        };
+        if self.nodelay {
+            stream.set_nodelay(true)?;
+        }
+        stream.set_read_timeout(self.read_timeout)?;
+        stream.set_write_timeout(self.write_timeout)?;
+        Ok(SbfClient {
+            stream,
+            max_frame: self.max_frame,
+        })
+    }
+}
 
 /// A client-side failure: transport, framing, or a server error frame.
 #[derive(Debug)]
@@ -75,28 +172,41 @@ pub struct SbfClient {
 }
 
 impl SbfClient {
-    /// Connects with no I/O timeouts and the default frame cap.
-    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(SbfClient {
-            stream,
+    /// Starts configuring a connection to `addr`; see [`ClientBuilder`].
+    pub fn builder<A: ToSocketAddrs>(addr: A) -> ClientBuilder<A> {
+        ClientBuilder {
+            addr,
+            read_timeout: None,
+            write_timeout: None,
+            connect_timeout: None,
             max_frame: MAX_FRAME_DEFAULT,
-        })
+            nodelay: true,
+        }
+    }
+
+    /// Connects with no I/O timeouts and the default frame cap.
+    #[deprecated(since = "0.1.0", note = "use `SbfClient::builder(addr).connect()`")]
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        Self::builder(addr).connect()
     }
 
     /// Connects and applies one timeout to reads and writes.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `SbfClient::builder(addr).io_timeout(Some(t)).connect()`"
+    )]
     pub fn connect_timeout(
         addr: impl ToSocketAddrs,
         timeout: Duration,
     ) -> Result<Self, ClientError> {
-        let client = Self::connect(addr)?;
-        client.stream.set_read_timeout(Some(timeout))?;
-        client.stream.set_write_timeout(Some(timeout))?;
-        Ok(client)
+        Self::builder(addr).io_timeout(Some(timeout)).connect()
     }
 
     /// Caps how large a response frame this client will accept.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set the cap at construction: `SbfClient::builder(addr).max_frame(cap)`"
+    )]
     pub fn set_max_frame(&mut self, cap: usize) {
         self.max_frame = cap;
     }
@@ -231,6 +341,30 @@ impl SbfClient {
             Response::Ok => Ok(()),
             _ => Err(ClientError::Unexpected("shutdown expects Ok")),
         }
+    }
+
+    /// Pipelines a batch: writes every request's frame back-to-back in
+    /// one buffer (one `write(2)` for the lot — the client side of the
+    /// server's pipelined parsing), then reads the responses back in
+    /// request order.
+    ///
+    /// Unlike [`roundtrip`](Self::roundtrip), a server error frame does
+    /// **not** abort the batch: it comes back in place as
+    /// [`Response::Error`], because responses for the requests after it
+    /// are already on the wire. Only transport/framing failures error the
+    /// call.
+    pub fn pipeline(&mut self, reqs: &[Request]) -> Result<Vec<Response>, ClientError> {
+        let mut wire = Vec::new();
+        for req in reqs {
+            wire.extend_from_slice(&req.encode()?);
+        }
+        self.stream.write_all(&wire)?;
+        self.stream.flush()?;
+        let mut out = Vec::with_capacity(reqs.len());
+        for _ in reqs {
+            out.push(self.read_response()?);
+        }
+        Ok(out)
     }
 
     /// Sends pre-encoded frame bytes verbatim — test hook for driving the

@@ -6,13 +6,20 @@
 //! * [`proto`] — the length-prefixed binary frame protocol; SNAPSHOT and
 //!   MERGE bodies are [`sbf_db::wire::FilterEnvelope`]s, so bytes move
 //!   between servers, CLI files, and this daemon unchanged,
-//! * [`server`] — [`ServerConfig`] / [`SbfServer`]: a fixed worker pool
-//!   over a sharded live sketch plus a §5-union "remote" filter, with
-//!   per-connection timeouts, frame-size caps, typed error frames, and
-//!   graceful drain (finish in-flight, flush a final snapshot),
-//! * [`client`] — [`SbfClient`], a blocking one-request-one-response
-//!   client enforcing the same frame cap on responses,
-//! * [`pool`] — the worker pool whose join *is* the drain barrier,
+//! * [`server`] — [`ServerConfig`] (builder + typed validation) /
+//!   [`SbfServer`]: a sharded live sketch plus a §5-union "remote"
+//!   filter, served by an event-driven reactor with per-connection
+//!   timeouts, frame-size caps, typed error frames, and graceful drain
+//!   (finish in-flight, flush a final snapshot),
+//! * `reactor` (private) — the nonblocking core: a std-only epoll shim,
+//!   per-connection read→split→dispatch→write state machines with
+//!   pipelined parsing (N frames per read), a timer wheel for timeouts,
+//!   and a worker completion queue — thousands of idle connections cost
+//!   slab slots, not threads,
+//! * [`client`] — [`SbfClient`], a blocking client built by
+//!   [`ClientBuilder`], enforcing the same frame cap on responses and
+//!   able to pipeline request batches over one socket,
+//! * [`pool`] — the worker pool (CPU work only; no sockets),
 //! * [`wal`] — the write-ahead log: CRC-framed mutation records fsynced
 //!   before acknowledgement, atomic snapshots, log compaction,
 //! * [`recovery`] — replay-on-boot (snapshot, then log tails, truncating
@@ -27,21 +34,26 @@
 // Library code must surface failures as `Result`/documented panics, never
 // ad-hoc `unwrap`/`expect` (ISSUE 4 lint wall); tests keep idiomatic unwraps.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the reactor's epoll shim (`reactor::sys`)
+// opts back in at module scope for its four raw syscalls, exactly like
+// `sbf-hash`'s `prefetch.rs`. Everything else stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
-mod conn;
 pub mod metrics;
 pub mod pool;
 pub mod proto;
+mod reactor;
 pub mod recovery;
 pub mod server;
 pub(crate) mod sync;
 pub mod wal;
 
-pub use client::{ClientError, SbfClient};
+pub use client::{ClientBuilder, ClientError, SbfClient};
 pub use proto::{ErrorCode, ProtoError, Request, Response, MAX_FRAME_DEFAULT};
 pub use recovery::{RecoveryError, RecoveryReport, WalInspection};
-pub use server::{SbfServer, ServerConfig, ServerHandle, SharedState};
+pub use server::{
+    ConfigError, SbfServer, ServerConfig, ServerConfigBuilder, ServerHandle, SharedState,
+};
 pub use wal::{atomic_write, Wal};

@@ -11,14 +11,14 @@
 //! | name | kind | measures |
 //! |---|---|---|
 //! | `sbfd_connections_total` | counter | accepted TCP connections |
-//! | `sbfd_connections_active` | gauge | connections currently held by workers |
+//! | `sbfd_connections_active` | gauge | connections currently registered with the reactor |
 //! | `sbfd_requests_total{op="…"}` | counter | decoded requests, per command |
 //! | `sbfd_request_latency_ns` | histogram | decode→respond wall time per request |
 //! | `sbfd_bytes_read_total` | counter | request frame bytes received |
 //! | `sbfd_bytes_written_total` | counter | response frame bytes sent |
 //! | `sbfd_errors_total` | counter | error frames answered (all codes) |
 //! | `sbfd_frames_oversized_total` | counter | frames rejected for exceeding the size cap |
-//! | `sbfd_timeouts_total` | counter | connections closed by read/write timeout (or refused because the timeout failed to arm) |
+//! | `sbfd_timeouts_total` | counter | connections closed by the timer wheel (read/write timeout) |
 //! | `sbfd_batch_keys_total` | counter | keys carried by batched insert/estimate requests |
 //! | `sbfd_wal_appends_total` | counter | mutations fsynced to the write-ahead log |
 //! | `sbfd_wal_bytes_total` | counter | record bytes (headers included) appended to the log |
@@ -27,6 +27,9 @@
 //! | `sbfd_wal_compactions_total` | counter | checkpoints cut (snapshot written, log rotated) |
 //! | `sbfd_wal_replayed_records_total` | counter | log records re-applied during boot recovery |
 //! | `sbfd_wal_torn_tails_total` | counter | torn log tails truncated during boot recovery |
+//! | `sbfd_pipeline_batches_total` | counter | worker jobs dispatched (one per pipelined batch) |
+//! | `sbfd_pipeline_frames_total` | counter | frames carried by those batches (`frames / batches` = achieved pipelining depth) |
+//! | `sbfd_backpressure_stalls_total` | counter | reads paused (queue or write buffer full) and listener parks (connection cap) |
 
 use crate::sync::{Arc, OnceLock};
 
@@ -83,6 +86,12 @@ pub struct ServerMetrics {
     pub wal_replayed: Arc<Counter>,
     /// `sbfd_wal_torn_tails_total`.
     pub wal_torn_tails: Arc<Counter>,
+    /// `sbfd_pipeline_batches_total`.
+    pub pipeline_batches: Arc<Counter>,
+    /// `sbfd_pipeline_frames_total`.
+    pub pipeline_frames: Arc<Counter>,
+    /// `sbfd_backpressure_stalls_total`.
+    pub backpressure_stalls: Arc<Counter>,
 }
 
 impl ServerMetrics {
@@ -124,6 +133,9 @@ pub fn server_metrics() -> &'static ServerMetrics {
             wal_compactions: reg.counter("sbfd_wal_compactions_total"),
             wal_replayed: reg.counter("sbfd_wal_replayed_records_total"),
             wal_torn_tails: reg.counter("sbfd_wal_torn_tails_total"),
+            pipeline_batches: reg.counter("sbfd_pipeline_batches_total"),
+            pipeline_frames: reg.counter("sbfd_pipeline_frames_total"),
+            backpressure_stalls: reg.counter("sbfd_backpressure_stalls_total"),
         }
     })
 }

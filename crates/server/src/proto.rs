@@ -23,8 +23,8 @@
 //! size), return [`ProtoError`] instead of panicking, and are fuzzed in
 //! `tests/wire_adversarial.rs` alongside the counter decoder.
 
+use sbf_db::framing::{self, EncodeError, WireEncode};
 use sbf_db::wire::FilterEnvelope;
-use spectral_bloom::num::try_u32;
 
 /// Default cap on a single frame's length field, requests and responses
 /// alike (8 MiB — a 64 Ki-key batch of 100-byte keys fits comfortably).
@@ -192,6 +192,14 @@ impl std::fmt::Display for ProtoError {
 
 impl std::error::Error for ProtoError {}
 
+impl From<EncodeError> for ProtoError {
+    fn from(e: EncodeError) -> Self {
+        match e {
+            EncodeError::Oversized => ProtoError::Oversized,
+        }
+    }
+}
+
 // Request opcodes.
 const OP_PING: u8 = 0x01;
 const OP_INSERT: u8 = 0x02;
@@ -279,22 +287,19 @@ impl<'a> Scan<'a> {
     }
 }
 
-/// Appends one `u32`-length-prefixed byte string; refuses a string whose
-/// length cannot fit the prefix (a wrapped prefix would desynchronize every
-/// later field in the frame).
+/// Appends one `u32`-length-prefixed byte string; the checked narrowing
+/// lives in [`sbf_db::framing`] (satellite 3's single chokepoint).
 fn put_lstring(buf: &mut Vec<u8>, bytes: &[u8]) -> Result<(), ProtoError> {
-    let len = try_u32(bytes.len()).ok_or(ProtoError::Oversized)?;
-    buf.extend_from_slice(&len.to_le_bytes());
-    buf.extend_from_slice(bytes);
+    framing::put_lstring(buf, bytes)?;
     Ok(())
 }
 
 /// Wraps `opcode` + `payload` in a length-prefixed frame. The length field
-/// is a checked conversion: a payload past `u32::MAX − 1` bytes is
-/// [`ProtoError::Oversized`], not a frame that silently declares itself
-/// ~4 GiB shorter than it is.
+/// is a checked conversion via [`framing::u32_len`]: a payload past
+/// `u32::MAX − 1` bytes is [`ProtoError::Oversized`], not a frame that
+/// silently declares itself ~4 GiB shorter than it is.
 fn frame(opcode: u8, payload: &[u8]) -> Result<Vec<u8>, ProtoError> {
-    let len = try_u32(1 + payload.len()).ok_or(ProtoError::Oversized)?;
+    let len = framing::u32_len(1 + payload.len())?;
     let mut out = Vec::with_capacity(5 + payload.len());
     out.extend_from_slice(&len.to_le_bytes());
     out.push(opcode);
@@ -399,7 +404,7 @@ impl Request {
 fn encode_key_batch(keys: &[Vec<u8>]) -> Result<Vec<u8>, ProtoError> {
     let total: usize = keys.iter().map(|k| 4 + k.len()).sum();
     let mut p = Vec::with_capacity(4 + total);
-    let n = try_u32(keys.len()).ok_or(ProtoError::Oversized)?;
+    let n = framing::u32_len(keys.len())?;
     p.extend_from_slice(&n.to_le_bytes());
     for key in keys {
         put_lstring(&mut p, key)?;
@@ -418,7 +423,7 @@ impl Response {
             Response::Value(v) => frame(OP_VALUE, &v.to_le_bytes()),
             Response::Values(vs) => {
                 let mut p = Vec::with_capacity(4 + vs.len() * 8);
-                let n = try_u32(vs.len()).ok_or(ProtoError::Oversized)?;
+                let n = framing::u32_len(vs.len())?;
                 p.extend_from_slice(&n.to_le_bytes());
                 for v in vs {
                     p.extend_from_slice(&v.to_le_bytes());
@@ -475,6 +480,26 @@ impl Response {
         };
         s.finish()?;
         Ok(resp)
+    }
+}
+
+impl WireEncode for Request {
+    /// [`WireEncode`] arm of [`Request::encode`]: same bytes, shared error
+    /// type, so generic framing code can treat requests, WAL records and
+    /// filter envelopes uniformly.
+    fn encode_into(&self, out: &mut Vec<u8>) -> Result<(), EncodeError> {
+        let bytes = self.encode().map_err(|_| EncodeError::Oversized)?;
+        out.extend_from_slice(&bytes);
+        Ok(())
+    }
+}
+
+impl WireEncode for Response {
+    /// [`WireEncode`] arm of [`Response::encode`].
+    fn encode_into(&self, out: &mut Vec<u8>) -> Result<(), EncodeError> {
+        let bytes = self.encode().map_err(|_| EncodeError::Oversized)?;
+        out.extend_from_slice(&bytes);
+        Ok(())
     }
 }
 
@@ -613,6 +638,16 @@ mod tests {
         assert!(!Request::Estimate { key: vec![] }.is_mutation());
         assert!(!Request::Snapshot.is_mutation());
         assert!(!Request::Shutdown.is_mutation());
+    }
+
+    #[test]
+    fn wire_encode_trait_matches_inherent_encode() {
+        let req = Request::InsertBatch {
+            keys: vec![b"a".to_vec(), b"bb".to_vec()],
+        };
+        assert_eq!(req.encode_vec().unwrap(), req.encode().unwrap());
+        let resp = Response::Values(vec![1, 2, 3]);
+        assert_eq!(resp.encode_vec().unwrap(), resp.encode().unwrap());
     }
 
     #[test]

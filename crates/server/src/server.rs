@@ -1,5 +1,6 @@
 //! The `sbfd` daemon: configuration, shared sketch state, command
-//! dispatch, and the accept/drain loop.
+//! dispatch, and the reactor that serves it (see the private `reactor`
+//! module for the event loop itself).
 //!
 //! # State model
 //!
@@ -29,17 +30,29 @@ use std::time::{Duration, Instant};
 use sbf_db::wire::{FilterEnvelope, FilterKind};
 use spectral_bloom::{CounterStore, MsSbf, ShardedSketch, SketchReader};
 
-use crate::conn;
 use crate::metrics;
 use crate::pool::WorkerPool;
 use crate::proto::{self, ErrorCode, Request, Response, MAX_FRAME_DEFAULT};
+use crate::reactor::{Reactor, ReactorConfig, Waker};
 use crate::recovery::{self, RecoveryError, RecoveryReport};
 use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use crate::sync::{lock_unpoisoned, Arc, OnceLock, RwLock};
 use crate::wal::{self, Wal};
 
 /// Everything `sbfd` needs to start serving.
+///
+/// Marked `#[non_exhaustive]`: construct it with
+/// [`ServerConfig::builder`] (or start from [`ServerConfig::default`] and
+/// set fields) so new knobs can ship without breaking callers. The fields
+/// split into a **workload** section (geometry, shards, workers, WAL) and
+/// a **reactor** section ([`max_connections`](Self::max_connections),
+/// [`poll_timeout`](Self::poll_timeout),
+/// [`pipeline_depth`](Self::pipeline_depth)) — worker count sizes CPU
+/// parallelism only; connection capacity is the reactor's business.
+/// Nonsense combinations are rejected with a typed [`ConfigError`] at
+/// build/bind time rather than misbehaving at runtime.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ServerConfig {
     /// Listen address, e.g. `"127.0.0.1:7070"`; port `0` picks a free one.
     pub addr: String,
@@ -76,6 +89,18 @@ pub struct ServerConfig {
     /// Periodic checkpoint interval; `None` checkpoints only on the size
     /// trigger and at graceful drain.
     pub wal_checkpoint_interval: Option<Duration>,
+    /// Most sockets the reactor keeps open at once; the listener is
+    /// parked (stops accepting) while at the cap and resumes on the next
+    /// close. Idle connections cost a slab slot and a timer entry, not a
+    /// thread.
+    pub max_connections: usize,
+    /// Upper bound on one `epoll_wait`; bounds how stale the drain check
+    /// can get when nothing else wakes the reactor.
+    pub poll_timeout: Duration,
+    /// Most pipelined frames dispatched to a worker as one job, and the
+    /// per-connection parsed-frame queue depth beyond which the reactor
+    /// stops reading that socket (backpressure).
+    pub pipeline_depth: usize,
 }
 
 impl Default for ServerConfig {
@@ -95,7 +120,218 @@ impl Default for ServerConfig {
             wal_compact_ratio: 4,
             wal_compact_min_bytes: 1 << 20,
             wal_checkpoint_interval: Some(Duration::from_secs(60)),
+            max_connections: 4096,
+            poll_timeout: Duration::from_millis(100),
+            pipeline_depth: 32,
         }
+    }
+}
+
+impl ServerConfig {
+    /// Starts a builder seeded with [`ServerConfig::default`].
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            cfg: ServerConfig::default(),
+        }
+    }
+
+    /// Rejects configurations the reactor cannot honor. Called by
+    /// [`ServerConfigBuilder::build`] and again by [`SbfServer::bind`]
+    /// (fields are public, so a config can be mutated after building).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.read_timeout == Some(Duration::ZERO) {
+            return Err(ConfigError::ZeroReadTimeout);
+        }
+        if self.write_timeout == Some(Duration::ZERO) {
+            return Err(ConfigError::ZeroWriteTimeout);
+        }
+        if self.max_connections == 0 {
+            return Err(ConfigError::ZeroMaxConnections);
+        }
+        if self.pipeline_depth == 0 {
+            return Err(ConfigError::ZeroPipelineDepth);
+        }
+        if self.poll_timeout == Duration::ZERO {
+            return Err(ConfigError::ZeroPollTimeout);
+        }
+        if self.max_frame == 0 {
+            return Err(ConfigError::ZeroMaxFrame);
+        }
+        Ok(())
+    }
+
+    fn reactor_config(&self) -> ReactorConfig {
+        ReactorConfig {
+            max_connections: self.max_connections,
+            poll_timeout: self.poll_timeout,
+            pipeline_depth: self.pipeline_depth,
+            max_frame: self.max_frame,
+            read_timeout: self.read_timeout,
+            write_timeout: self.write_timeout,
+        }
+    }
+}
+
+/// A configuration the server refuses to start with. Timeouts of zero
+/// would mark every connection dead on arrival; zero capacities would
+/// serve nothing — all five are caller bugs worth naming, not values to
+/// silently clamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `read_timeout` was `Some(0)`; use `None` to wait forever.
+    ZeroReadTimeout,
+    /// `write_timeout` was `Some(0)`; use `None` to wait forever.
+    ZeroWriteTimeout,
+    /// `max_connections` was zero — the server could never accept.
+    ZeroMaxConnections,
+    /// `pipeline_depth` was zero — no frame could ever dispatch.
+    ZeroPipelineDepth,
+    /// `poll_timeout` was zero — the reactor would spin hot.
+    ZeroPollTimeout,
+    /// `max_frame` was zero — every frame would be refused as oversized.
+    ZeroMaxFrame,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroReadTimeout => {
+                write!(f, "read_timeout must be nonzero (use None to wait forever)")
+            }
+            ConfigError::ZeroWriteTimeout => {
+                write!(
+                    f,
+                    "write_timeout must be nonzero (use None to wait forever)"
+                )
+            }
+            ConfigError::ZeroMaxConnections => write!(f, "max_connections must be at least 1"),
+            ConfigError::ZeroPipelineDepth => write!(f, "pipeline_depth must be at least 1"),
+            ConfigError::ZeroPollTimeout => write!(f, "poll_timeout must be nonzero"),
+            ConfigError::ZeroMaxFrame => write!(f, "max_frame must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`ServerConfig`]; the supported way to construct one now
+/// that the struct is `#[non_exhaustive]`. Every method is a plain
+/// setter; [`build`](Self::build) validates the combination.
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
+    cfg: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Listen address, e.g. `"127.0.0.1:7070"`; port `0` picks a free one.
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.cfg.addr = addr.into();
+        self
+    }
+
+    /// Counters per filter.
+    pub fn m(mut self, m: usize) -> Self {
+        self.cfg.m = m;
+        self
+    }
+
+    /// Hash functions per filter.
+    pub fn k(mut self, k: usize) -> Self {
+        self.cfg.k = k;
+        self
+    }
+
+    /// Hash seed; MERGE requires clients to match it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Shards in the live sketch.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.cfg.shards = shards;
+        self
+    }
+
+    /// Worker threads (CPU parallelism; connection capacity is
+    /// [`max_connections`](Self::max_connections)).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.workers = workers;
+        self
+    }
+
+    /// Per-connection read timeout; `None` waits forever.
+    pub fn read_timeout(mut self, t: Option<Duration>) -> Self {
+        self.cfg.read_timeout = t;
+        self
+    }
+
+    /// Per-connection write timeout; `None` waits forever.
+    pub fn write_timeout(mut self, t: Option<Duration>) -> Self {
+        self.cfg.write_timeout = t;
+        self
+    }
+
+    /// Hard cap on any frame's declared length, either direction.
+    pub fn max_frame(mut self, max_frame: usize) -> Self {
+        self.cfg.max_frame = max_frame;
+        self
+    }
+
+    /// Where to flush the final union snapshot during graceful shutdown.
+    pub fn snapshot_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.cfg.snapshot_path = Some(path.into());
+        self
+    }
+
+    /// Durability directory (see [`ServerConfig::wal_dir`]).
+    pub fn wal_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cfg.wal_dir = Some(dir.into());
+        self
+    }
+
+    /// Compaction trigger ratio (see [`ServerConfig::wal_compact_ratio`]).
+    pub fn wal_compact_ratio(mut self, ratio: u64) -> Self {
+        self.cfg.wal_compact_ratio = ratio;
+        self
+    }
+
+    /// Compaction threshold floor in bytes.
+    pub fn wal_compact_min_bytes(mut self, bytes: u64) -> Self {
+        self.cfg.wal_compact_min_bytes = bytes;
+        self
+    }
+
+    /// Periodic checkpoint interval; `None` checkpoints only on the size
+    /// trigger and at graceful drain.
+    pub fn wal_checkpoint_interval(mut self, interval: Option<Duration>) -> Self {
+        self.cfg.wal_checkpoint_interval = interval;
+        self
+    }
+
+    /// Most sockets kept open at once (reactor knob).
+    pub fn max_connections(mut self, n: usize) -> Self {
+        self.cfg.max_connections = n;
+        self
+    }
+
+    /// Upper bound on one poll wait (reactor knob).
+    pub fn poll_timeout(mut self, t: Duration) -> Self {
+        self.cfg.poll_timeout = t;
+        self
+    }
+
+    /// Most pipelined frames per worker job (reactor knob).
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.cfg.pipeline_depth = depth;
+        self
+    }
+
+    /// Validates the combination and produces the config.
+    pub fn build(self) -> Result<ServerConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -140,16 +376,20 @@ pub struct SharedState {
     /// Crash-simulation flag: drain skips the final checkpoint/snapshot
     /// flush, leaving exactly the on-disk state a SIGKILL would.
     crash: AtomicBool,
-    /// Connections currently inside a worker (feeds the active gauge).
+    /// Connections currently registered with the reactor (feeds the
+    /// active gauge).
     active: AtomicUsize,
     /// The write-ahead log, attached after recovery when configured.
     wal: OnceLock<Arc<Wal>>,
+    /// The reactor's poll-interrupt handle, attached when the reactor is
+    /// built; lets `begin_shutdown` from any thread cut the poll wait
+    /// short instead of waiting out the poll timeout.
+    reactor_waker: OnceLock<Arc<Waker>>,
     m: usize,
     k: usize,
     seed: u64,
+    /// Frame cap, also bounding WAL records accepted during replay.
     pub(crate) max_frame: usize,
-    pub(crate) read_timeout: Option<Duration>,
-    pub(crate) write_timeout: Option<Duration>,
 }
 
 impl SharedState {
@@ -165,12 +405,11 @@ impl SharedState {
             crash: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             wal: OnceLock::new(),
+            reactor_waker: OnceLock::new(),
             m,
             k,
             seed: config.seed,
             max_frame: config.max_frame,
-            read_timeout: config.read_timeout,
-            write_timeout: config.write_timeout,
         }
     }
 
@@ -181,10 +420,15 @@ impl SharedState {
         self.shutdown.load(Ordering::Acquire)
     }
 
-    /// Begins graceful shutdown: the accept loop stops, workers finish
-    /// their in-flight request and close.
+    /// Begins graceful shutdown: the reactor stops accepting, in-flight
+    /// requests finish and their responses flush, then every connection
+    /// closes. Wakes the reactor out of its poll wait so the drain starts
+    /// immediately.
     pub fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::Release);
+        if let Some(w) = self.reactor_waker.get() {
+            w.wake();
+        }
     }
 
     /// The attached write-ahead log, when durability is configured.
@@ -211,6 +455,12 @@ impl SharedState {
         // At most one WAL is ever attached (bind-time only); a second set
         // is a no-op by OnceLock semantics.
         let _ = self.wal.set(wal);
+    }
+
+    pub(crate) fn attach_waker(&self, waker: Arc<Waker>) {
+        // Set once when the reactor is built (run-time only); OnceLock
+        // makes a second set a no-op.
+        let _ = self.reactor_waker.set(waker);
     }
 
     /// The server's filter geometry `(m, k, seed)` — what a snapshot or
@@ -398,6 +648,7 @@ pub struct SbfServer {
     listener: TcpListener,
     state: Arc<SharedState>,
     workers: usize,
+    reactor_cfg: ReactorConfig,
     snapshot_path: Option<PathBuf>,
     checkpoint_interval: Option<Duration>,
     recovery: Option<RecoveryReport>,
@@ -412,6 +663,9 @@ impl SbfServer {
     /// (`InvalidData`) rather than serving estimates that would break the
     /// one-sided contract.
     pub fn bind(config: ServerConfig) -> io::Result<Self> {
+        config
+            .validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
         let listener = TcpListener::bind(&config.addr)?;
         let state = Arc::new(SharedState::new(&config));
         let mut report = None;
@@ -427,6 +681,7 @@ impl SbfServer {
             listener,
             state,
             workers: config.workers.max(1),
+            reactor_cfg: config.reactor_config(),
             snapshot_path: config.snapshot_path,
             checkpoint_interval: config.wal_checkpoint_interval,
             recovery: report,
@@ -453,37 +708,30 @@ impl SbfServer {
     /// and in-flight connection finish, and flush the final union snapshot
     /// if a path was configured.
     pub fn run(self) -> io::Result<()> {
-        // Non-blocking accept so the loop can observe the drain flag
-        // promptly; 5 ms idle sleep keeps the wait cheap.
-        self.listener.set_nonblocking(true)?;
         let checkpointer = self.spawn_checkpointer()?;
         let mut pool = WorkerPool::new(self.workers);
-        while !self.state.draining() {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    // Hand the socket back to blocking mode: workers use
-                    // SO_RCVTIMEO/SO_SNDTIMEO, not spin loops.
-                    stream.set_nonblocking(false)?;
-                    let state = Arc::clone(&self.state);
-                    if !pool.execute(move || conn::serve(stream, &state)) {
-                        break;
-                    }
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-                // Transient accept failure (peer reset mid-handshake, fd
-                // pressure): keep serving.
-                Err(_) => std::thread::sleep(Duration::from_millis(5)),
-            }
+        // The reactor owns the listener and every connection socket; the
+        // pool does only CPU work. `Reactor::run` returns once the drain
+        // flag is up *and* the last connection has flushed and closed.
+        let served = Reactor::new(
+            self.listener,
+            Arc::clone(&self.state),
+            self.reactor_cfg.clone(),
+        )
+        .and_then(|mut reactor| reactor.run(&pool));
+        if served.is_err() {
+            // A reactor failure (epoll setup, poll error) must still take
+            // the drain path, or the checkpointer would spin forever.
+            self.state.begin_shutdown();
         }
-        // Drain: close the queue and wait for every connection to finish,
+        // Drain: close the queue and wait for every worker to finish,
         // then let the checkpointer notice the drain flag and exit.
         pool.join();
         if let Some(t) = checkpointer {
             t.join()
                 .map_err(|_| io::Error::other("checkpoint thread panicked"))?;
         }
+        served?;
         if self.state.crash_requested() {
             // Crash simulation: stop exactly as a SIGKILL would have left
             // us — every acknowledged mutation is already fsynced in the
@@ -735,6 +983,83 @@ mod tests {
             Response::Value(v) => assert!(v >= 1),
             other => panic!("unexpected response {other:?}"),
         }
+    }
+
+    #[test]
+    fn builder_sets_reactor_and_workload_knobs() {
+        let cfg = ServerConfig::builder()
+            .addr("127.0.0.1:0")
+            .m(1 << 10)
+            .k(3)
+            .seed(7)
+            .workers(2)
+            .max_connections(128)
+            .pipeline_depth(8)
+            .poll_timeout(Duration::from_millis(50))
+            .read_timeout(None)
+            .build()
+            .expect("valid config");
+        assert_eq!(cfg.m, 1 << 10);
+        assert_eq!(cfg.max_connections, 128);
+        assert_eq!(cfg.pipeline_depth, 8);
+        assert_eq!(cfg.poll_timeout, Duration::from_millis(50));
+        assert_eq!(cfg.read_timeout, None);
+    }
+
+    #[test]
+    fn builder_rejects_nonsense_combinations_with_typed_errors() {
+        assert_eq!(
+            ServerConfig::builder()
+                .read_timeout(Some(Duration::ZERO))
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroReadTimeout
+        );
+        assert_eq!(
+            ServerConfig::builder()
+                .write_timeout(Some(Duration::ZERO))
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroWriteTimeout
+        );
+        assert_eq!(
+            ServerConfig::builder()
+                .max_connections(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroMaxConnections
+        );
+        assert_eq!(
+            ServerConfig::builder()
+                .pipeline_depth(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroPipelineDepth
+        );
+        assert_eq!(
+            ServerConfig::builder()
+                .poll_timeout(Duration::ZERO)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroPollTimeout
+        );
+        assert_eq!(
+            ServerConfig::builder().max_frame(0).build().unwrap_err(),
+            ConfigError::ZeroMaxFrame
+        );
+    }
+
+    #[test]
+    fn bind_revalidates_mutated_configs() {
+        // FRU is legal in-crate despite `#[non_exhaustive]`; external
+        // crates mutate public fields instead (see the integration tests).
+        let cfg = ServerConfig {
+            read_timeout: Some(Duration::ZERO),
+            ..ServerConfig::default()
+        };
+        let err = SbfServer::bind(cfg).expect_err("zero read timeout must refuse to bind");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("read_timeout"));
     }
 
     #[test]

@@ -18,17 +18,21 @@ const K: usize = 5;
 const SEED: u64 = 42;
 
 fn test_config() -> ServerConfig {
-    ServerConfig {
-        addr: "127.0.0.1:0".into(),
-        m: M,
-        k: K,
-        seed: SEED,
-        shards: 4,
-        workers: 6,
-        read_timeout: Some(Duration::from_secs(10)),
-        write_timeout: Some(Duration::from_secs(10)),
-        ..ServerConfig::default()
-    }
+    ServerConfig::builder()
+        .addr("127.0.0.1:0")
+        .m(M)
+        .k(K)
+        .seed(SEED)
+        .shards(4)
+        .workers(6)
+        .read_timeout(Some(Duration::from_secs(10)))
+        .write_timeout(Some(Duration::from_secs(10)))
+        .build()
+        .expect("test config is valid")
+}
+
+fn connect(addr: std::net::SocketAddr) -> SbfClient {
+    SbfClient::builder(addr).connect().expect("client connects")
 }
 
 fn key_bytes(key: u64) -> Vec<u8> {
@@ -38,7 +42,7 @@ fn key_bytes(key: u64) -> Vec<u8> {
 #[test]
 fn ping_and_basic_ops_over_a_real_socket() {
     let handle = SbfServer::bind(test_config()).unwrap().spawn().unwrap();
-    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    let mut client = connect(handle.addr());
     client.ping().unwrap();
     client.insert(b"alpha", 3).unwrap();
     client.insert(b"alpha", 2).unwrap();
@@ -74,7 +78,7 @@ fn concurrent_zipf_ingest_stays_one_sided() {
     std::thread::scope(|scope| {
         for part in w.stream.chunks(chunk) {
             scope.spawn(move || {
-                let mut client = SbfClient::connect(addr).unwrap();
+                let mut client = connect(addr);
                 for batch in part.chunks(BATCH) {
                     let keys: Vec<Vec<u8>> = batch.iter().map(|&k| key_bytes(k)).collect();
                     client.insert_batch(&keys).unwrap();
@@ -83,7 +87,7 @@ fn concurrent_zipf_ingest_stays_one_sided() {
         }
     });
 
-    let mut client = SbfClient::connect(addr).unwrap();
+    let mut client = connect(addr);
 
     // One-sidedness for every key in the universe, via batched estimates.
     let all_keys: Vec<Vec<u8>> = (0..UNIVERSE as u64).map(key_bytes).collect();
@@ -134,7 +138,7 @@ fn concurrent_zipf_ingest_stays_one_sided() {
 #[test]
 fn merge_unions_a_remote_site() {
     let handle = SbfServer::bind(test_config()).unwrap().spawn().unwrap();
-    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    let mut client = connect(handle.addr());
     client.insert(b"local-key", 4).unwrap();
 
     let mut site_b = MsSbf::new(M, K, SEED);
@@ -173,7 +177,7 @@ fn merge_unions_a_remote_site() {
 fn stats_exposes_server_metrics() {
     sbf_telemetry::set_enabled(true);
     let handle = SbfServer::bind(test_config()).unwrap().spawn().unwrap();
-    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    let mut client = connect(handle.addr());
     client.insert(b"observed", 1).unwrap();
     let text = client.stats().unwrap();
     assert!(
@@ -191,7 +195,7 @@ fn stats_exposes_server_metrics() {
 #[test]
 fn malformed_frames_get_typed_errors_and_the_connection_survives() {
     let handle = SbfServer::bind(test_config()).unwrap().spawn().unwrap();
-    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    let mut client = connect(handle.addr());
 
     // Unknown opcode.
     let frame = [5u8, 0, 0, 0, 0x7F, 1, 2, 3, 4];
@@ -237,7 +241,7 @@ fn oversized_frames_are_refused_and_discarded() {
     let mut config = test_config();
     config.max_frame = 1024;
     let handle = SbfServer::bind(config).unwrap().spawn().unwrap();
-    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    let mut client = connect(handle.addr());
 
     // Declared length 4096 > cap 1024; ship the whole payload so the
     // discard path has real bytes to consume.
@@ -263,14 +267,14 @@ fn idle_connections_time_out_but_the_server_lives_on() {
     config.read_timeout = Some(Duration::from_millis(100));
     let handle = SbfServer::bind(config).unwrap().spawn().unwrap();
 
-    let mut idle = SbfClient::connect(handle.addr()).unwrap();
+    let mut idle = connect(handle.addr());
     idle.ping().unwrap();
     std::thread::sleep(Duration::from_millis(400));
     // The server has dropped us; the next roundtrip fails at transport
     // level (EOF reading the response, or a reset write).
     assert!(idle.ping().is_err(), "idle connection should be reclaimed");
 
-    let mut fresh = SbfClient::connect(handle.addr()).unwrap();
+    let mut fresh = connect(handle.addr());
     fresh.ping().unwrap();
     handle.shutdown_and_join().unwrap();
 }
@@ -288,13 +292,16 @@ fn shutdown_drains_and_flushes_a_snapshot() {
     let handle = SbfServer::bind(config).unwrap().spawn().unwrap();
     let addr = handle.addr();
 
-    let mut client = SbfClient::connect(addr).unwrap();
+    let mut client = connect(addr);
     client.insert(b"persist-me", 6).unwrap();
     client.shutdown().unwrap();
     handle.join().unwrap();
 
     // Post-drain: new connections are refused or die unanswered.
-    if let Ok(mut c) = SbfClient::connect_timeout(addr, Duration::from_millis(200)) {
+    if let Ok(mut c) = SbfClient::builder(addr)
+        .io_timeout(Some(Duration::from_millis(200)))
+        .connect()
+    {
         assert!(c.ping().is_err(), "drained server must not serve");
     }
 
@@ -319,7 +326,7 @@ fn shutdown_drains_and_flushes_a_snapshot() {
 fn draining_refuses_new_mutations() {
     let handle = SbfServer::bind(test_config()).unwrap().spawn().unwrap();
     let state = handle.state();
-    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    let mut client = connect(handle.addr());
     client.insert(b"before", 1).unwrap();
     state.begin_shutdown();
     // This request may race the worker noticing the flag; both outcomes
@@ -341,7 +348,7 @@ fn draining_refuses_new_mutations() {
 #[test]
 fn every_request_kind_is_answered() {
     let handle = SbfServer::bind(test_config()).unwrap().spawn().unwrap();
-    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    let mut client = connect(handle.addr());
     for req in [
         Request::Ping,
         Request::Insert {

@@ -10,8 +10,9 @@
 //!   are swept on boot and never restored from,
 //! * clean shutdown compacts to a snapshot and restarts with exactly the
 //!   pre-shutdown mass,
-//! * a socket whose timeouts cannot be armed is refused with a typed
-//!   `Io` error instead of being served untimed.
+//! * a timeout that could never be armed (`Some(0)`) is refused at
+//!   build/bind time with a typed config error instead of any connection
+//!   being served untimed.
 
 use std::collections::HashMap;
 use std::io::Write;
@@ -19,7 +20,7 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use sbf_db::wire::FilterEnvelope;
-use sbf_server::{ClientError, ErrorCode, SbfClient, SbfServer, ServerConfig};
+use sbf_server::{SbfClient, SbfServer, ServerConfig};
 
 const M: usize = 1 << 14;
 const K: usize = 5;
@@ -34,21 +35,25 @@ fn scratch(tag: &str) -> PathBuf {
 }
 
 fn wal_config(dir: &Path) -> ServerConfig {
-    ServerConfig {
-        addr: "127.0.0.1:0".into(),
-        m: M,
-        k: K,
-        seed: SEED,
-        shards: 4,
-        workers: 4,
-        read_timeout: Some(Duration::from_secs(10)),
-        write_timeout: Some(Duration::from_secs(10)),
-        wal_dir: Some(dir.to_path_buf()),
+    ServerConfig::builder()
+        .addr("127.0.0.1:0")
+        .m(M)
+        .k(K)
+        .seed(SEED)
+        .shards(4)
+        .workers(4)
+        .read_timeout(Some(Duration::from_secs(10)))
+        .write_timeout(Some(Duration::from_secs(10)))
+        .wal_dir(dir)
         // Tests drive checkpoints explicitly (or not at all) so each can
         // pin down which recovery path it exercises.
-        wal_checkpoint_interval: None,
-        ..ServerConfig::default()
-    }
+        .wal_checkpoint_interval(None)
+        .build()
+        .expect("wal config is valid")
+}
+
+fn connect(addr: std::net::SocketAddr) -> SbfClient {
+    SbfClient::builder(addr).connect().expect("client connects")
 }
 
 /// Inserts a deterministic workload and returns its ground truth.
@@ -85,7 +90,7 @@ fn crash_mid_ingest_loses_no_acked_mutation() {
     let cfg = wal_config(&dir);
 
     let handle = SbfServer::bind(cfg.clone()).unwrap().spawn().unwrap();
-    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    let mut client = connect(handle.addr());
     let truth = ingest(&mut client, 64, 3);
     drop(client);
     handle.crash_and_join().unwrap();
@@ -96,7 +101,7 @@ fn crash_mid_ingest_loses_no_acked_mutation() {
     assert_eq!(report.records_replayed, 64 * 3, "one record per insert");
     assert_eq!(report.torn_tails, 0);
     let handle = server.spawn().unwrap();
-    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    let mut client = connect(handle.addr());
     assert_one_sided(&mut client, &truth);
     drop(client);
     handle.shutdown_and_join().unwrap();
@@ -110,7 +115,7 @@ fn crash_after_checkpoint_recovers_snapshot_plus_tail() {
     let cfg = wal_config(&dir);
 
     let handle = SbfServer::bind(cfg.clone()).unwrap().spawn().unwrap();
-    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    let mut client = connect(handle.addr());
     let mut truth = ingest(&mut client, 48, 2);
     // Cut a checkpoint at this point in the stream, then keep writing.
     let state = handle.state();
@@ -128,7 +133,7 @@ fn crash_after_checkpoint_recovers_snapshot_plus_tail() {
     assert!(report.snapshot_mass > 0);
     assert_eq!(report.records_replayed, 16, "only the post-checkpoint tail");
     let handle = server.spawn().unwrap();
-    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    let mut client = connect(handle.addr());
     assert_one_sided(&mut client, &truth);
     drop(client);
     handle.shutdown_and_join().unwrap();
@@ -143,7 +148,7 @@ fn torn_log_tail_is_truncated_and_survivors_replay() {
     let cfg = wal_config(&dir);
 
     let handle = SbfServer::bind(cfg.clone()).unwrap().spawn().unwrap();
-    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    let mut client = connect(handle.addr());
     let truth = ingest(&mut client, 32, 1);
     drop(client);
     handle.crash_and_join().unwrap();
@@ -172,7 +177,7 @@ fn torn_log_tail_is_truncated_and_survivors_replay() {
         "recovery truncates the log back to the last valid boundary"
     );
     let handle = server.spawn().unwrap();
-    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    let mut client = connect(handle.addr());
     assert_one_sided(&mut client, &truth);
     drop(client);
     handle.shutdown_and_join().unwrap();
@@ -187,7 +192,7 @@ fn stale_snapshot_tmp_is_swept_not_restored() {
     let cfg = wal_config(&dir);
 
     let handle = SbfServer::bind(cfg.clone()).unwrap().spawn().unwrap();
-    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    let mut client = connect(handle.addr());
     let truth = ingest(&mut client, 16, 1);
     drop(client);
     handle.crash_and_join().unwrap();
@@ -205,7 +210,7 @@ fn stale_snapshot_tmp_is_swept_not_restored() {
     );
     assert!(!stale.exists(), "the stale tmp was deleted");
     let handle = server.spawn().unwrap();
-    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    let mut client = connect(handle.addr());
     assert_one_sided(&mut client, &truth);
     drop(client);
     handle.shutdown_and_join().unwrap();
@@ -219,7 +224,7 @@ fn clean_shutdown_then_restart_is_exact() {
     let cfg = wal_config(&dir);
 
     let handle = SbfServer::bind(cfg.clone()).unwrap().spawn().unwrap();
-    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    let mut client = connect(handle.addr());
     let truth = ingest(&mut client, 32, 2);
     // Cell mass of the full filter at shutdown, in the same units the
     // recovery report uses (sum over all counters).
@@ -237,7 +242,7 @@ fn clean_shutdown_then_restart_is_exact() {
         "no mass lost or invented"
     );
     let handle = server.spawn().unwrap();
-    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    let mut client = connect(handle.addr());
     assert_one_sided(&mut client, &truth);
     drop(client);
     handle.shutdown_and_join().unwrap();
@@ -249,15 +254,13 @@ fn clean_shutdown_then_restart_is_exact() {
 #[test]
 fn compaction_under_live_ingest_stays_one_sided() {
     let dir = scratch("compact");
-    let cfg = ServerConfig {
-        wal_compact_ratio: 1,
-        wal_compact_min_bytes: 256,
-        wal_checkpoint_interval: Some(Duration::from_millis(20)),
-        ..wal_config(&dir)
-    };
+    let mut cfg = wal_config(&dir);
+    cfg.wal_compact_ratio = 1;
+    cfg.wal_compact_min_bytes = 256;
+    cfg.wal_checkpoint_interval = Some(Duration::from_millis(20));
 
     let handle = SbfServer::bind(cfg.clone()).unwrap().spawn().unwrap();
-    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    let mut client = connect(handle.addr());
     let truth = ingest(&mut client, 128, 4);
     // Give the checkpointer a beat to cut at least one snapshot.
     std::thread::sleep(Duration::from_millis(120));
@@ -272,7 +275,7 @@ fn compaction_under_live_ingest_stays_one_sided() {
     let report = server.recovery_report().unwrap();
     assert!(report.snapshot_loaded);
     let handle = server.spawn().unwrap();
-    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    let mut client = connect(handle.addr());
     assert_one_sided(&mut client, &truth);
     drop(client);
     handle.shutdown_and_join().unwrap();
@@ -287,42 +290,37 @@ fn geometry_mismatch_refuses_to_boot() {
     let cfg = wal_config(&dir);
 
     let handle = SbfServer::bind(cfg.clone()).unwrap().spawn().unwrap();
-    let mut client = SbfClient::connect(handle.addr()).unwrap();
+    let mut client = connect(handle.addr());
     ingest(&mut client, 8, 1);
     drop(client);
     handle.shutdown_and_join().unwrap();
 
-    let wrong = ServerConfig { m: M * 2, ..cfg };
+    let mut wrong = cfg;
+    wrong.m = M * 2;
     let err = SbfServer::bind(wrong).expect_err("mismatched geometry must refuse");
     assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
 }
 
-/// Satellite fix: a connection whose read/write timeouts cannot be armed
-/// is answered with a typed `Io` error and closed, never served untimed.
-/// A zero `Duration` is rejected by `set_read_timeout`, which makes the
-/// failure injectable through public config.
+/// Satellite fix, reactor edition: a timeout that could never be armed
+/// (`Some(0)`) is a config bug, and the redesigned surface rejects it
+/// *before* any socket exists — `build()` and `bind()` both answer with
+/// the typed [`sbf_server::ConfigError`] instead of serving untimed
+/// connections (the old per-socket `set_read_timeout` failure path no
+/// longer exists: the reactor enforces timeouts with its own timer wheel).
 #[test]
-fn unarmable_timeouts_close_with_typed_io_error() {
-    let cfg = ServerConfig {
-        addr: "127.0.0.1:0".into(),
-        m: M,
-        k: K,
-        seed: SEED,
-        shards: 2,
-        workers: 2,
-        read_timeout: Some(Duration::ZERO),
-        write_timeout: Some(Duration::from_secs(10)),
-        ..ServerConfig::default()
-    };
-    let handle = SbfServer::bind(cfg).unwrap().spawn().unwrap();
-    let mut client = SbfClient::connect(handle.addr()).unwrap();
-    match client.ping() {
-        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Io),
-        // The server may close before the request is even written; a
-        // transport error is an acceptable shape for that race.
-        Err(ClientError::Io(_)) => {}
-        other => panic!("untimed connection was served: {other:?}"),
-    }
-    drop(client);
-    handle.shutdown_and_join().unwrap();
+fn zero_timeouts_are_typed_config_errors_not_untimed_service() {
+    assert_eq!(
+        ServerConfig::builder()
+            .read_timeout(Some(Duration::ZERO))
+            .build()
+            .unwrap_err(),
+        sbf_server::ConfigError::ZeroReadTimeout
+    );
+    // A config mutated after build is caught at bind, with the same
+    // typed error carried inside the io::Error.
+    let mut cfg = ServerConfig::default();
+    cfg.write_timeout = Some(Duration::ZERO);
+    let err = SbfServer::bind(cfg).expect_err("zero write timeout must refuse to bind");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    assert!(err.to_string().contains("write_timeout"));
 }

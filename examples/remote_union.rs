@@ -41,14 +41,14 @@ const CHILD_FLAG: &str = "--site-a-server";
 /// address on the first stdout line (the parent's service discovery),
 /// then serves until a SHUTDOWN frame drains it.
 fn run_site_a_server() {
-    let server = SbfServer::bind(ServerConfig {
-        addr: "127.0.0.1:0".into(),
-        m: M,
-        k: K,
-        seed: SEED,
-        ..ServerConfig::default()
-    })
-    .expect("bind site A server");
+    let config = ServerConfig::builder()
+        .addr("127.0.0.1:0")
+        .m(M)
+        .k(K)
+        .seed(SEED)
+        .build()
+        .expect("valid site A config");
+    let server = SbfServer::bind(config).expect("bind site A server");
     println!("{}", server.local_addr().expect("local addr"));
     server.run().expect("serve site A");
 }
@@ -84,7 +84,9 @@ fn main() {
         .chain((0..20_000u64).map(|i| 10_000 + i % 2_048))
         .collect();
 
-    let mut client = SbfClient::connect(addr).expect("connect to site A");
+    let mut client = SbfClient::builder(addr)
+        .connect()
+        .expect("connect to site A");
     let frames_a: Vec<Vec<u8>> = site_a
         .stream
         .iter()
