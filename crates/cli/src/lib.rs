@@ -480,20 +480,31 @@ pub fn merge_envelopes(envelopes: &[FilterEnvelope]) -> Result<FilterEnvelope, C
     })
 }
 
-/// Renders `info` for an envelope.
+/// Renders `info` for an envelope, including what the counter vector
+/// would cost per counter under each replica encoding (`raw` `u64` words,
+/// the §4 String-Array Index, the §4.5 Elias-δ compact array) — the same
+/// figures `sbfd` publishes as `sbfd_compressed_bytes_per_counter` and the
+/// `compressed_frontier` bench records.
 pub fn info_string(env: &FilterEnvelope) -> String {
     let m = env.counters.len();
     let nonzero = env.counters.iter().filter(|&&c| c > 0).count();
     let total: u64 = env.counters.iter().sum();
     let wire = env.encode().len();
+    let bits_per_counter = |bits: usize| bits as f64 / 8.0 / m.max(1) as f64;
+    let sai = sbf_sai::StaticCounterArray::from_counters(&env.counters);
+    let elias = sbf_sai::CompactCounterArray::from_counters(&env.counters);
     format!(
         "kind: {:?}\nm: {m}\nk: {}\nseed: {}\nnon-zero counters: {nonzero} ({:.1}%)\n\
-         counter mass: {total} (≈ {} insertions)\nwire size: {wire} bytes",
+         counter mass: {total} (≈ {} insertions)\nwire size: {wire} bytes\n\
+         bytes/counter: raw {:.3}, sai {:.3}, elias {:.3}",
         env.kind,
         env.k,
         env.seed,
         100.0 * nonzero as f64 / m.max(1) as f64,
         total / u64::from(env.k.max(1)),
+        8.0,
+        bits_per_counter(sai.size_breakdown().total_bits()),
+        bits_per_counter(elias.total_bits()),
     )
 }
 
@@ -691,6 +702,23 @@ fn run_serve(mut args: Vec<String>, stdout: &mut impl Write) -> Result<String, C
     }
     if let Some(dir) = take_flag(&mut args, "--wal-dir") {
         builder = builder.wal_dir(dir);
+    }
+    // Compressed read replica: ESTIMATEs are served from an immutable
+    // SAI/Elias-encoded copy of the sketch while it is fresh, rebuilt in
+    // the background every --replica-rebuild-ms once writes stale it.
+    if let Some(enc) = take_flag(&mut args, "--compressed-replica") {
+        let encoding = sbf_server::ReplicaEncoding::parse(&enc).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown --compressed-replica {enc} (raw|sai|elias)"
+            ))
+        })?;
+        builder = builder
+            .compressed_replica(encoding)
+            .replica_rebuild_interval(std::time::Duration::from_millis(num(
+                &mut args,
+                "--replica-rebuild-ms",
+                100u64,
+            )?));
     }
     if !args.is_empty() {
         return Err(CliError::Usage(format!("unrecognized arguments: {args:?}")));
@@ -898,6 +926,8 @@ pub const USAGE: &str =
         [--max-frame 1048576]       reactor knobs: capacity, wait bound, batch, frame cap\n\
         [--wal-dir <dir>] [--wal-compact-ratio 4] [--wal-compact-min-bytes 1048576]\n\
         [--wal-checkpoint-secs 60]          durable mode: fsynced log + crash recovery\n\
+        [--compressed-replica raw|sai|elias] [--replica-rebuild-ms 100]\n\
+                    serve ESTIMATE from an immutable compressed replica while fresh\n\
   client --addr <host:port> <ping|insert|remove|estimate|merge|snapshot|stats|shutdown>\n\
         [--count N] [--out <path>] [<file.sbf>]        keys on stdin where applicable\n\
   wal inspect <dir> [--max-record N]   read-only dump of a WAL directory's recovery view\n\
@@ -1071,6 +1101,25 @@ mod tests {
         assert!(info.contains("m: 4096"));
         assert!(info.contains("k: 5"));
         assert!(info.contains("≈ 2 insertions"));
+        // The storage frontier line names every replica encoding with its
+        // per-counter cost; on a nearly-empty filter the compressed forms
+        // must undercut raw's 8 bytes.
+        let line = info
+            .lines()
+            .find(|l| l.starts_with("bytes/counter:"))
+            .expect("info must report bytes/counter");
+        assert!(line.contains("raw 8.000"), "{line}");
+        for enc in ["sai", "elias"] {
+            let cost: f64 = line
+                .split(&format!("{enc} "))
+                .nth(1)
+                .and_then(|rest| rest.split(&[',', '\n'][..]).next())
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap();
+            assert!(cost < 8.0, "{enc} should compress a sparse filter: {line}");
+        }
     }
 
     #[test]
@@ -1234,6 +1283,10 @@ mod tests {
                     "50",
                     "--pipeline-depth",
                     "16",
+                    "--compressed-replica",
+                    "sai",
+                    "--replica-rebuild-ms",
+                    "20",
                 ]
                 .map(String::from)
                 .to_vec(),
@@ -1293,6 +1346,13 @@ mod tests {
             "",
         );
         assert!(stats.contains("sbfd_connections_total"), "{stats}");
+        // --compressed-replica was passed: the replica metrics must be in
+        // the schema and at least the initial build must have run.
+        assert!(stats.contains("sbfd_compressed_rebuilds_total"), "{stats}");
+        assert!(
+            stats.contains("sbfd_estimates_served_compressed_total"),
+            "{stats}"
+        );
 
         let dir = std::env::temp_dir().join(format!("sbf-cli-serve-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -1363,6 +1423,7 @@ mod tests {
             ["--poll-timeout-ms", "0"],
             ["--timeout-secs", "0"],
             ["--max-frame", "0"],
+            ["--compressed-replica", "zstd"],
         ] {
             let argv: Vec<String> = ["serve", "--addr", "127.0.0.1:0", flags[0], flags[1]]
                 .map(String::from)

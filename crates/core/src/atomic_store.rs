@@ -20,9 +20,9 @@
 
 use crate::sync::atomic::{AtomicU64, Ordering};
 
-use sbf_hash::{HashFamily, IndexBuf, Key};
+use sbf_hash::{BlockedFamily, HashFamily, IndexBuf, Key};
 
-use crate::core_ops::pipelined_batch;
+use crate::core_ops::{lane_pipeline, lanes_worthwhile, pipelined_batch, LaneOp};
 use crate::metrics;
 use crate::ms::MsSbf;
 use crate::num;
@@ -381,21 +381,48 @@ impl<F: HashFamily, S: ConcurrentCounterStore> AtomicMsSbf<F, S> {
     /// Estimates every key, software-pipelined; `out` is cleared first and
     /// `out[i]` answers `keys[i]`, exactly as [`AtomicMsSbf::estimate`]
     /// would at the same moment.
+    ///
+    /// This backend cannot take the SIMD gathered-min path: a vector
+    /// gather over `AtomicU64` memory would be a non-atomic access racing
+    /// concurrent writers (TSan would rightly flag it). The counter reads
+    /// stay per-element atomic loads; the lane pass still pays off here
+    /// because dedup is skipped (the minimum over a multiset equals the
+    /// minimum over its distinct values), which the per-key scalar hash
+    /// path cannot do without a dedicated no-dedup pipeline.
     pub fn estimate_batch_into<K: Key>(&self, keys: &[K], out: &mut Vec<u64>) {
         out.clear();
         out.reserve(keys.len());
-        pipelined_batch!(
-            keys,
-            hash = |key, slot| self.key_indexes_into(key, slot),
-            prefetch = |idx| self.prefetch_idx(idx),
-            apply = |_i, idx| out.push(
-                idx.as_slice()
-                    .iter()
-                    .map(|&i| self.store.load(i))
-                    .min()
-                    .unwrap_or(0)
-            )
-        );
+        if lanes_worthwhile(keys.len()) {
+            lane_pipeline(
+                &self.family,
+                keys.len(),
+                |i| keys[i].canonical(),
+                false,
+                |op| match op {
+                    LaneOp::Prefetch(idx) => self.prefetch_idx(idx),
+                    LaneOp::Apply(idx) => out.push(
+                        idx.as_slice()
+                            .iter()
+                            .map(|&i| self.store.load(i))
+                            .min()
+                            .unwrap_or(0),
+                    ),
+                },
+            );
+        } else {
+            pipelined_batch!(
+                keys,
+                hash = |key, slot| self.key_indexes_into(key, slot),
+                prefetch = |idx| self.prefetch_idx(idx),
+                apply = |_i, idx| out.push(
+                    idx.as_slice()
+                        .iter()
+                        .map(|&i| self.store.load(i))
+                        .min()
+                        .unwrap_or(0)
+                )
+            );
+        }
         metrics::on(|m| {
             m.estimates.add(num::to_u64(keys.len()));
             for &est in out.iter() {
@@ -458,6 +485,27 @@ impl<F: HashFamily, S: ConcurrentCounterStore> SketchReader for AtomicMsSbf<F, S
 
     fn occupancy(&self) -> f64 {
         self.occupancy()
+    }
+}
+
+/// Lock-free Minimum Selection over the cache-blocked layout: the same
+/// two-level hashing as [`crate::BlockedMsSbf`] (first-level hash picks a
+/// block, the `k` functions hash within it), so one key's counters share
+/// 1–2 cache lines — one prefetch or miss per concurrent insert instead of
+/// `k` scattered ones. Same accuracy trade-off as the locked variant
+/// (negligible for blocks ≳ 64 counters).
+pub type BlockedAtomicMsSbf = AtomicMsSbf<BlockedFamily<DefaultFamily>, AtomicCounters>;
+
+impl BlockedAtomicMsSbf {
+    /// A blocked atomic MS filter of `num_blocks × block_size` counters
+    /// with `k` hash functions per block (see
+    /// [`crate::BlockedMsSbf::new_blocked`] for block-size guidance).
+    pub fn new_blocked(block_size: usize, num_blocks: usize, k: usize, seed: u64) -> Self {
+        Self::from_family(BlockedFamily::new(
+            DefaultFamily::new(block_size, k, seed),
+            num_blocks,
+            seed,
+        ))
     }
 }
 
@@ -538,6 +586,25 @@ mod tests {
                 assert!(sbf.estimate(&(t * 1_000_000 + i)) >= 1);
             }
         }
+    }
+
+    #[test]
+    fn blocked_atomic_matches_blocked_locked() {
+        // Same (block_size, num_blocks, k, seed) ⇒ identical index streams,
+        // so single-threaded the lock-free blocked backend must agree with
+        // the sequential one, batch and single paths alike.
+        let atomic = BlockedAtomicMsSbf::new_blocked(128, 32, 5, 17);
+        let mut locked = crate::ms::BlockedMsSbf::new_blocked(128, 32, 5, 17);
+        let keys: Vec<u64> = (0..400).map(|i| i * 13 + 1).collect();
+        atomic.insert_batch(&keys);
+        locked.insert_batch(&keys);
+        let mut got = Vec::new();
+        atomic.estimate_batch_into(&keys, &mut got);
+        for (key, est) in keys.iter().zip(&got) {
+            assert_eq!(*est, locked.estimate(key), "key {key}");
+            assert_eq!(atomic.estimate(key), *est, "batch vs single, key {key}");
+        }
+        assert_eq!(atomic.total_count(), locked.total_count());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! bulk increment/decrement, minima inspection, union and multiply — plus
 //! the software-pipelined batch engine the batched trait methods build on.
 
-use sbf_hash::{HashFamily, IndexBuf, Key, MAX_K};
+use sbf_hash::{dispatch, HashFamily, IndexBuf, Key, SimdLevel, LANES, MAX_K};
 
 use crate::num;
 use crate::sketch::BatchRemoveError;
@@ -85,6 +85,135 @@ macro_rules! pipelined_batch {
     }};
 }
 pub(crate) use pipelined_batch;
+
+/// One step of the lane-pass pipeline ([`lane_pipeline`]): either a freshly
+/// hashed item whose counter lines should be requested now (a chunk ahead
+/// of use), or the current item to consume, in order.
+pub(crate) enum LaneOp<'a> {
+    /// Hashed a chunk ahead — issue the prefetch hints for this item.
+    Prefetch(&'a IndexBuf),
+    /// The current item's (optionally deduplicated) indices.
+    Apply(&'a IndexBuf),
+}
+
+/// Hashes one full lane group of [`LANES`] canonical key values through the
+/// family's SIMD kernel and transposes the seed-major output into per-item
+/// [`IndexBuf`]s (`bufs[lane]`), optionally canonicalising each through
+/// [`IndexBuf::sort_dedup`].
+#[inline]
+fn fill_lane_group<F: HashFamily>(
+    family: &F,
+    vs: [u64; LANES],
+    bufs: &mut [IndexBuf],
+    dedup: bool,
+) {
+    let k = family.k();
+    let mut stage = [0usize; LANES * MAX_K];
+    family.indexes_lanes(vs, &mut stage[..k * LANES]);
+    for (lane, buf) in bufs.iter_mut().enumerate().take(LANES) {
+        buf.fill(k, |slots| {
+            for (f, slot) in slots.iter_mut().enumerate() {
+                *slot = stage[f * LANES + lane];
+            }
+        });
+        if dedup {
+            buf.sort_dedup();
+        }
+    }
+}
+
+/// The lane-pass analogue of [`pipelined_batch!`]: items are hashed in
+/// groups of [`LANES`] through the family's SIMD kernel (scalar remainder
+/// per chunk), one chunk of [`PIPELINE_DEPTH`] items ahead of consumption,
+/// and applied strictly in order — so results stay bit-identical to the
+/// item-at-a-time path.
+///
+/// `canon` maps an item position to its canonical key value (the
+/// [`Key::canonical`] contract every family hashes from); `op` receives
+/// [`LaneOp::Prefetch`] once per item as its chunk is hashed — a chunk
+/// before the matching [`LaneOp::Apply`] — and may capture mutable state
+/// (a `&mut` store, an output vector): hashing needs only `family` and
+/// `canon`, so the borrows never overlap.
+///
+/// Worth it only for read paths that can also skip [`IndexBuf::sort_dedup`]
+/// (`dedup = false`): with dedup on, the transpose + canonicalisation per
+/// item costs more than the vector hash saves, which is why the write
+/// paths stay on the scalar [`pipelined_batch!`] pipeline (measured
+/// 10–25 % slower with lanes on every backend — see the `hotpath` bench
+/// and DESIGN.md §4i).
+pub(crate) fn lane_pipeline<F: HashFamily>(
+    family: &F,
+    n: usize,
+    canon: impl Fn(usize) -> u64,
+    dedup: bool,
+    mut op: impl FnMut(LaneOp<'_>),
+) {
+    if n == 0 {
+        return;
+    }
+    let fill = |bufs: &mut [IndexBuf; PIPELINE_DEPTH], base: usize, len: usize| {
+        let mut i = 0;
+        while i + LANES <= len {
+            let b = base + i;
+            let vs = [canon(b), canon(b + 1), canon(b + 2), canon(b + 3)];
+            fill_lane_group(family, vs, &mut bufs[i..], dedup);
+            i += LANES;
+        }
+        for (j, buf) in bufs.iter_mut().enumerate().take(len).skip(i) {
+            let v = canon(base + j);
+            buf.fill(family.k(), |slots| family.indexes_into(&v, slots));
+            if dedup {
+                buf.sort_dedup();
+            }
+        }
+    };
+    let mut cur = [IndexBuf::new(); PIPELINE_DEPTH];
+    let mut nxt = [IndexBuf::new(); PIPELINE_DEPTH];
+    let mut base = 0usize;
+    let mut cur_len = PIPELINE_DEPTH.min(n);
+    fill(&mut cur, 0, cur_len);
+    for buf in cur.iter().take(cur_len) {
+        op(LaneOp::Prefetch(buf));
+    }
+    loop {
+        let next_base = base + cur_len;
+        let next_len = PIPELINE_DEPTH.min(n - next_base);
+        if next_len > 0 {
+            fill(&mut nxt, next_base, next_len);
+            for buf in nxt.iter().take(next_len) {
+                op(LaneOp::Prefetch(buf));
+            }
+        }
+        for buf in cur.iter().take(cur_len) {
+            op(LaneOp::Apply(buf));
+        }
+        if next_len == 0 {
+            return;
+        }
+        std::mem::swap(&mut cur, &mut nxt);
+        base = next_base;
+        cur_len = next_len;
+    }
+}
+
+/// Whether the lane-pass estimate engines are worth dispatching for a
+/// batch of `n` items: a SIMD level is active and the batch covers at
+/// least one lane group.
+///
+/// Only the *read* paths consult this. The write paths (insert/remove)
+/// deliberately stay on the scalar [`pipelined_batch!`] pipeline: they are
+/// bound by the `k` read-modify-writes per item, which no gather kernel
+/// can vectorise, and they must deduplicate indices — so lane hashing
+/// would only add a seed-major→per-item transpose per key, measured
+/// 10–25 % *slower* than the scalar write-intent pipeline on every
+/// backend (see the `hotpath` bench and DESIGN.md §4i). The estimate
+/// paths win because the minimum over a multiset equals the minimum over
+/// its distinct values: dedup is skipped, and (where the store exposes a
+/// plain `u64` slice) the hashes feed the gathered-min kernel directly.
+#[inline]
+pub(crate) fn lanes_worthwhile(n: usize) -> bool {
+    n >= LANES && sbf_hash::simd_level() != SimdLevel::Scalar
+}
 
 /// The counter values of one key, in hash-function order, plus the derived
 /// minimum statistics the algorithms of §2–§3 decide on.
@@ -400,18 +529,109 @@ impl<F: HashFamily, S: CounterStore> SbfCore<F, S> {
         );
     }
 
+    /// [`SbfCore::increment_batch`] addressed through `picks` (indices into
+    /// `keys`) — the sharded backend's per-shard ingest path.
+    pub fn increment_batch_picked<K: Key>(&mut self, keys: &[K], picks: &[u32]) {
+        pipelined_batch!(
+            picks,
+            hash = |j, slot| self.key_indexes_into(&keys[num::to_usize(*j)], slot),
+            prefetch = |idx| self.prefetch_idx_write(idx),
+            apply = |_i, idx| self.increment_idx(idx, 1)
+        );
+    }
+
     /// The per-key minimum counter (the Minimum Selection estimate `m_x`)
     /// for every key, software-pipelined. `out` is cleared first; `out[i]`
     /// answers `keys[i]`, exactly as `key_counters(keys[i]).min()` would.
     pub fn min_batch_into<K: Key>(&self, keys: &[K], out: &mut Vec<u64>) {
         out.clear();
         out.reserve(keys.len());
+        if lanes_worthwhile(keys.len()) {
+            if let Some(counters) = self.store.as_u64_slice() {
+                self.min_lanes_run(counters, keys.len(), |i| keys[i].canonical(), out);
+                return;
+            }
+        }
         pipelined_batch!(
             keys,
             hash = |key, slot| self.key_indexes_into(key, slot),
             prefetch = |idx| self.prefetch_idx(idx),
             apply = |_i, idx| out.push(self.min_of_idx(idx))
         );
+    }
+
+    /// [`SbfCore::min_batch_into`] addressed through `picks`, *appending*
+    /// to `out` (the sharded estimate scatters per-shard answers back into
+    /// request order afterwards).
+    pub fn min_batch_picked_into<K: Key>(&self, keys: &[K], picks: &[u32], out: &mut Vec<u64>) {
+        out.reserve(picks.len());
+        if lanes_worthwhile(picks.len()) {
+            if let Some(counters) = self.store.as_u64_slice() {
+                self.min_lanes_run(
+                    counters,
+                    picks.len(),
+                    |i| keys[num::to_usize(picks[i])].canonical(),
+                    out,
+                );
+                return;
+            }
+        }
+        pipelined_batch!(
+            picks,
+            hash = |j, slot| self.key_indexes_into(&keys[num::to_usize(*j)], slot),
+            prefetch = |idx| self.prefetch_idx(idx),
+            apply = |_i, idx| out.push(self.min_of_idx(idx))
+        );
+    }
+
+    /// The SIMD estimate worker: hashes lane groups through the family's
+    /// vector kernel straight into seed-major stages (no [`IndexBuf`], no
+    /// [`IndexBuf::sort_dedup`] — the minimum over a multiset equals the
+    /// minimum over its distinct values, so the answers stay bit-identical
+    /// to the scalar path) and reduces each group with the gathered-min
+    /// kernel. Two lane groups stay hashed-and-prefetched ahead, matching
+    /// [`PIPELINE_DEPTH`] items in flight.
+    fn min_lanes_run(
+        &self,
+        counters: &[u64],
+        n: usize,
+        canon: impl Fn(usize) -> u64,
+        out: &mut Vec<u64>,
+    ) {
+        let k = self.family.k();
+        let groups = n / LANES;
+        // Ring of 3 so the refill (2 groups ahead) never lands on a stage
+        // that is still unconsumed.
+        let mut stages = [[0usize; LANES * MAX_K]; 3];
+        let ahead = 2.min(groups);
+        for (g, stage) in stages.iter_mut().enumerate().take(ahead) {
+            let b = g * LANES;
+            let vs = [canon(b), canon(b + 1), canon(b + 2), canon(b + 3)];
+            self.family.indexes_lanes(vs, &mut stage[..k * LANES]);
+            for &i in &stage[..k * LANES] {
+                sbf_hash::prefetch_slice(counters, i);
+            }
+        }
+        for g in 0..groups {
+            let refill = g + ahead;
+            if refill < groups {
+                let b = refill * LANES;
+                let vs = [canon(b), canon(b + 1), canon(b + 2), canon(b + 3)];
+                let stage = &mut stages[refill % 3];
+                self.family.indexes_lanes(vs, &mut stage[..k * LANES]);
+                for &i in &stage[..k * LANES] {
+                    sbf_hash::prefetch_slice(counters, i);
+                }
+            }
+            let mins = dispatch::min_gather_lanes(counters, &stages[g % 3][..k * LANES], k);
+            out.extend_from_slice(&mins);
+        }
+        for j in groups * LANES..n {
+            let v = canon(j);
+            let mut idx = [0usize; MAX_K];
+            self.family.indexes_into(&v, &mut idx[..k]);
+            out.push(idx[..k].iter().map(|&i| counters[i]).min().unwrap_or(0));
+        }
     }
 
     /// Removes one occurrence of every key in order, software-pipelined,

@@ -82,7 +82,7 @@ pub mod sync;
 pub mod trap;
 pub mod window;
 
-pub use atomic_store::{AtomicCounters, AtomicMsSbf, ConcurrentCounterStore};
+pub use atomic_store::{AtomicCounters, AtomicMsSbf, BlockedAtomicMsSbf, ConcurrentCounterStore};
 pub use bloom::BloomFilter;
 pub use concurrent::SharedSketch;
 pub use core_ops::{SbfCore, PIPELINE_DEPTH};
@@ -98,7 +98,7 @@ pub use paged::{IoStats, PagedCounters};
 pub use params::{bloom_error_rate, optimal_k, FromParams, SbfParams};
 pub use range::RangeTreeSketch;
 pub use rm::RmSbf;
-pub use sharded::{ShardMerge, ShardedSketch};
+pub use sharded::{BlockedShardedSketch, ShardMerge, ShardedSketch};
 pub use sketch::{BatchRemoveError, MultisetSketch, SketchReader};
 pub use spectrum::{frequency_histogram, profile, SpectrumProfile};
 pub use store::{CompactCounters, CompressedCounters, CounterStore, PlainCounters, RemoveError};

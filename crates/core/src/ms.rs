@@ -2,7 +2,7 @@
 
 use sbf_hash::{BlockedFamily, HashFamily, Key};
 
-use crate::core_ops::{pipelined_batch, SbfCore};
+use crate::core_ops::SbfCore;
 use crate::metrics;
 use crate::num;
 use crate::params::{FromParams, SbfParams};
@@ -128,14 +128,8 @@ impl<F: HashFamily, S: CounterStore> SketchReader for MsSbf<F, S> {
     }
 
     fn estimate_batch_picked_into<K: Key>(&self, keys: &[K], picks: &[u32], out: &mut Vec<u64>) {
-        out.reserve(picks.len());
         let before = out.len();
-        pipelined_batch!(
-            picks,
-            hash = |j, slot| self.core.key_indexes_into(&keys[num::to_usize(*j)], slot),
-            prefetch = |idx| self.core.prefetch_idx(idx),
-            apply = |_i, idx| out.push(self.core.min_of_idx(idx))
-        );
+        self.core.min_batch_picked_into(keys, picks, out);
         metrics::on(|m| {
             m.estimates.add(num::to_u64(picks.len()));
             for &est in out[before..].iter() {
@@ -170,12 +164,7 @@ impl<F: HashFamily, S: CounterStore> MultisetSketch for MsSbf<F, S> {
 
     fn insert_batch_picked<K: Key>(&mut self, keys: &[K], picks: &[u32]) {
         metrics::on(|m| m.inserts.add(num::to_u64(picks.len())));
-        pipelined_batch!(
-            picks,
-            hash = |j, slot| self.core.key_indexes_into(&keys[num::to_usize(*j)], slot),
-            prefetch = |idx| self.core.prefetch_idx_write(idx),
-            apply = |_i, idx| self.core.increment_idx(idx, 1)
-        );
+        self.core.increment_batch_picked(keys, picks);
     }
 
     fn remove_by<K: Key + ?Sized>(&mut self, key: &K, count: u64) -> Result<(), RemoveError> {

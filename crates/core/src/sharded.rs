@@ -24,7 +24,7 @@ use sbf_hash::{fmix64, HashFamily, Key};
 
 use crate::metrics;
 use crate::mi::MiSbf;
-use crate::ms::MsSbf;
+use crate::ms::{BlockedMsSbf, MsSbf};
 use crate::num;
 use crate::params::{FromParams, SbfParams};
 use crate::rm::RmSbf;
@@ -223,6 +223,57 @@ impl<SK> ShardedSketch<SK> {
     pub fn with_shard_read<R>(&self, i: usize, f: impl FnOnce(&SK) -> R) -> R {
         let guard = lock_unpoisoned(self.shards[i].read());
         f(&guard)
+    }
+
+    /// The per-shard mutation stamps, read with `Acquire` — the raw
+    /// material of the [`ShardedSketch::snapshot_cached`] staleness
+    /// protocol, exposed so external caches (e.g. a compressed read
+    /// replica) can run the same check. Capture the stamps *before*
+    /// reading shard data, then later compare with
+    /// [`ShardedSketch::versions_match`]: a racing writer can at worst
+    /// make fresh data look stale (one spurious rebuild), never the
+    /// reverse.
+    pub fn version_stamps(&self) -> Vec<u64> {
+        self.versions
+            .iter()
+            .map(|v| v.load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// Whether no shard has mutated since `stamps` was captured by
+    /// [`ShardedSketch::version_stamps`]. `false` for stamp vectors of the
+    /// wrong length (a cache built against a different sketch is stale by
+    /// definition).
+    pub fn versions_match(&self, stamps: &[u64]) -> bool {
+        stamps.len() == self.versions.len()
+            && self
+                .versions
+                .iter()
+                .zip(stamps)
+                .all(|(v, &s)| v.load(Ordering::Acquire) == s)
+    }
+}
+
+/// Sharded blocked variant: combines the per-shard locking of
+/// [`ShardedSketch`] with the 1-cache-miss-per-item blocked layout of
+/// [`BlockedMsSbf`], so both the routing hash *and* the counter probes stay
+/// cache-friendly under concurrency.
+pub type BlockedShardedSketch = ShardedSketch<BlockedMsSbf>;
+
+impl BlockedShardedSketch {
+    /// Builds `num_shards` identical blocked MS shards, each with
+    /// `num_blocks` cache-line-sized blocks of `block_size` counters (see
+    /// [`BlockedMsSbf::new_blocked`] for the layout invariants).
+    pub fn blocked_ms(
+        num_shards: usize,
+        block_size: usize,
+        num_blocks: usize,
+        k: usize,
+        seed: u64,
+    ) -> Self {
+        Self::with_shards(num_shards, |_| {
+            BlockedMsSbf::new_blocked(block_size, num_blocks, k, seed)
+        })
     }
 }
 
@@ -693,6 +744,26 @@ mod tests {
         let merged = sketch.snapshot();
         for key in 0u64..100 {
             assert!(merged.estimate(&key) >= 2);
+        }
+    }
+
+    #[test]
+    fn blocked_sharded_matches_single_blocked_sketch() {
+        // Union of blocked shards must equal one blocked sketch fed the same
+        // stream: per-key routing keeps each shard exact over its own
+        // sub-multiset, and identical (block_size, num_blocks, k, seed) make
+        // the counter layouts line up for §5 addition.
+        let sharded = BlockedShardedSketch::blocked_ms(4, 128, 64, 4, 9);
+        let mut single = BlockedMsSbf::new_blocked(128, 64, 4, 9);
+        let keys: Vec<u64> = (0..500).map(|i| i * 31 + 7).collect();
+        sharded.insert_batch(&keys);
+        for key in &keys {
+            single.insert(key);
+        }
+        let merged = sharded.snapshot();
+        for key in &keys {
+            assert_eq!(merged.estimate(key), single.estimate(key));
+            assert!(sharded.estimate(key) >= 1);
         }
     }
 

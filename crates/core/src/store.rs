@@ -128,6 +128,16 @@ pub trait CounterStore {
 
     /// Storage footprint in bits (for the paper's size comparisons).
     fn storage_bits(&self) -> usize;
+
+    /// The counters as one contiguous `u64` slice, when the store has that
+    /// layout. The batched estimate uses this to dispatch its SIMD
+    /// gather-min kernel; encoded stores (whose counter positions are not
+    /// an affine function of the index) return `None` and take the scalar
+    /// path. Must view the same values `get` reports.
+    #[inline]
+    fn as_u64_slice(&self) -> Option<&[u64]> {
+        None
+    }
 }
 
 /// One machine word per counter.
@@ -195,6 +205,11 @@ impl CounterStore for PlainCounters {
 
     fn storage_bits(&self) -> usize {
         self.counters.len() * 64
+    }
+
+    #[inline]
+    fn as_u64_slice(&self) -> Option<&[u64]> {
+        Some(&self.counters)
     }
 }
 

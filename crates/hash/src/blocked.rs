@@ -8,6 +8,7 @@
 //! negligibly for large enough blocks; the `blocked_vs_flat` ablation bench
 //! measures exactly that.
 
+use crate::dispatch::{self, LANES};
 use crate::family::HashFamily;
 use crate::key::Key;
 use crate::mix::fmix64;
@@ -17,7 +18,7 @@ use crate::mix::fmix64;
 /// Wraps an inner family that spans a single block of `block_size` counters;
 /// the final index is `block_base + inner_index`. The total range is
 /// `num_blocks · block_size`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockedFamily<F: HashFamily> {
     inner: F,
     num_blocks: usize,
@@ -81,6 +82,22 @@ impl<F: HashFamily> HashFamily for BlockedFamily<F> {
             *slot += base;
         }
     }
+
+    #[inline]
+    fn indexes_lanes(&self, vs: [u64; LANES], out: &mut [usize]) {
+        // First level: pick the four blocks in one lane pass (the same
+        // seeded mix + widening reduce `block_of` computes per key).
+        let blocks = dispatch::mix_reduce_lanes(vs, self.block_seed, self.num_blocks as u64);
+        // Second level: the inner family's lane kernel within one block.
+        self.inner.indexes_lanes(vs, out);
+        let bs = self.inner.m();
+        let k = self.inner.k();
+        for i in 0..k {
+            for (lane, &b) in blocks.iter().enumerate() {
+                out[i * LANES + lane] += b * bs;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -141,5 +158,38 @@ mod tests {
     #[should_panic(expected = "at least one block")]
     fn zero_blocks_rejected() {
         let _ = blocked(64, 0, 4);
+    }
+
+    /// The two-level lane kernel (vector block pick + inner lane pass) must
+    /// agree with the per-key scalar path at every dispatch level.
+    #[test]
+    fn lanes_match_scalar() {
+        use crate::dispatch::{set_simd_level, simd_level, SimdLevel};
+        use crate::mix::SplitMix64;
+        use crate::{LANES, MAX_K};
+        let initial = simd_level();
+        let f = blocked(128, 32, 5);
+        let mut rng = SplitMix64::new(0xb10c);
+        for _ in 0..100 {
+            let vs = [
+                rng.next_u64(),
+                rng.next_u64(),
+                rng.next_u64(),
+                rng.next_u64(),
+            ];
+            for level in [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2] {
+                set_simd_level(level);
+                let mut lanes = [0usize; MAX_K * LANES];
+                f.indexes_lanes(vs, &mut lanes[..f.k() * LANES]);
+                for (lane, &v) in vs.iter().enumerate() {
+                    let mut want = [0usize; MAX_K];
+                    f.indexes_into(&v, &mut want[..f.k()]);
+                    for i in 0..f.k() {
+                        assert_eq!(lanes[i * LANES + lane], want[i], "lane {lane} fn {i}");
+                    }
+                }
+            }
+        }
+        set_simd_level(initial);
     }
 }

@@ -1,5 +1,6 @@
 //! Hash-function families mapping keys to `k` counter positions.
 
+use crate::dispatch::{self, LANES};
 use crate::key::Key;
 use crate::mix::{fmix64, SplitMix64};
 use crate::{IndexBuf, MAX_K};
@@ -33,6 +34,31 @@ pub trait HashFamily: Clone {
             buf.push(i);
         }
         buf
+    }
+
+    /// Hashes [`LANES`] canonical key values in one pass, writing the
+    /// indices seed-major: `out[i * LANES + lane]` receives `h_i` of lane
+    /// `lane`. `out` must hold at least `k() * LANES` slots.
+    ///
+    /// The inputs are *canonical* values ([`Key::canonical`]), not keys —
+    /// every family in this crate derives its indices solely from that
+    /// 64-bit value, and `u64::canonical` is the identity, so
+    /// `indexes_lanes([key.canonical(); ..])` agrees exactly with
+    /// `indexes_into(&key, ..)` lane by lane. The default implementation is
+    /// that scalar loop; [`MixFamily`], [`MultiplyFamily`] and
+    /// `BlockedFamily` override it with runtime-dispatched SIMD kernels
+    /// (`crate::dispatch`) that are bit-identical to the scalar path.
+    #[inline]
+    fn indexes_lanes(&self, vs: [u64; LANES], out: &mut [usize]) {
+        let k = self.k();
+        debug_assert!(out.len() >= k * LANES);
+        let mut tmp = [0usize; MAX_K];
+        for (lane, v) in vs.into_iter().enumerate() {
+            self.indexes_into(&v, &mut tmp[..k]);
+            for (i, &idx) in tmp[..k].iter().enumerate() {
+                out[i * LANES + lane] = idx;
+            }
+        }
     }
 }
 
@@ -99,6 +125,11 @@ impl HashFamily for MultiplyFamily {
             *slot = ((u128::from(frac) * u128::from(m)) >> 64) as usize;
         }
     }
+
+    #[inline]
+    fn indexes_lanes(&self, vs: [u64; LANES], out: &mut [usize]) {
+        dispatch::multiply_indexes_lanes(vs, &self.alphas, self.m as u64, out);
+    }
 }
 
 /// A SplitMix64/Murmur-finalizer family with strong diffusion.
@@ -142,6 +173,11 @@ impl HashFamily for MixFamily {
             let h = fmix64(v ^ s);
             *slot = ((u128::from(h) * u128::from(m)) >> 64) as usize;
         }
+    }
+
+    #[inline]
+    fn indexes_lanes(&self, vs: [u64; LANES], out: &mut [usize]) {
+        dispatch::mix_indexes_lanes(vs, &self.seeds, self.m as u64, out);
     }
 }
 
@@ -336,5 +372,55 @@ mod tests {
     #[should_panic(expected = "at most")]
     fn huge_k_rejected() {
         let _ = MixFamily::new(10, MAX_K + 1, 1);
+    }
+
+    /// Lane kernels must agree with the per-key scalar path, family by
+    /// family, at every dispatch level the machine supports.
+    #[test]
+    fn lanes_match_scalar_per_family() {
+        use crate::dispatch::{set_simd_level, simd_level, SimdLevel};
+        let initial = simd_level();
+        for m in [1usize, 2, 97, 1 << 16, 1 << 20] {
+            let k = 5;
+            let mul = MultiplyFamily::new(m, k, 13);
+            let mix = MixFamily::new(m, k, 13);
+            let dh = DoubleHashFamily::new(m, k, 13);
+            let mut rng = SplitMix64::new(0xfeed);
+            for _ in 0..50 {
+                let vs = [
+                    rng.next_u64(),
+                    rng.next_u64(),
+                    rng.next_u64(),
+                    rng.next_u64(),
+                ];
+                for level in [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2] {
+                    set_simd_level(level);
+                    check_lanes(&mul, vs);
+                    check_lanes(&mix, vs);
+                    // DoubleHashFamily has no vector override; the default
+                    // lane method must still agree with the scalar path.
+                    check_lanes(&dh, vs);
+                }
+            }
+        }
+        set_simd_level(initial);
+    }
+
+    fn check_lanes<F: HashFamily>(f: &F, vs: [u64; crate::LANES]) {
+        let k = f.k();
+        let mut lanes = [0usize; MAX_K * crate::LANES];
+        f.indexes_lanes(vs, &mut lanes[..k * crate::LANES]);
+        for (lane, &v) in vs.iter().enumerate() {
+            let mut want = [0usize; MAX_K];
+            f.indexes_into(&v, &mut want[..k]);
+            for i in 0..k {
+                assert_eq!(
+                    lanes[i * crate::LANES + lane],
+                    want[i],
+                    "lane {lane} fn {i} diverged (m={}, k={k})",
+                    f.m()
+                );
+            }
+        }
     }
 }

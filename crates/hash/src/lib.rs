@@ -27,23 +27,27 @@
 // Library code must surface failures as `Result`/documented panics, never
 // ad-hoc `unwrap`/`expect` (ISSUE 4 lint wall); tests keep idiomatic unwraps.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
-// `deny` rather than `forbid`: the `prefetch` module narrowly re-allows
-// unsafe for the one architecture intrinsic it wraps (a faultless cache
-// hint); everything else in the crate remains statically unsafe-free, and
-// downstream crates (`spectral-bloom` among them) keep their own
-// `#![forbid(unsafe_code)]`.
+// `deny` rather than `forbid`: the `prefetch` and `dispatch` modules
+// narrowly re-allow unsafe for the architecture intrinsics they wrap (a
+// faultless cache hint; runtime-feature-gated SIMD kernels with documented
+// safety arguments); everything else in the crate remains statically
+// unsafe-free, and downstream crates (`spectral-bloom` among them) keep
+// their own `#![forbid(unsafe_code)]`.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod blocked;
+pub mod dispatch;
 pub mod family;
 pub mod key;
 pub mod mix;
 pub mod prefetch;
 pub mod quality;
+pub(crate) mod sync;
 pub mod tabulation;
 
 pub use blocked::BlockedFamily;
+pub use dispatch::{set_simd_level, simd_level, SimdLevel, LANES};
 pub use family::{DoubleHashFamily, HashFamily, MixFamily, MultiplyFamily};
 pub use key::Key;
 pub use mix::{fmix64, splitmix64, SplitMix64};

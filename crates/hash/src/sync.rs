@@ -1,0 +1,29 @@
+//! Synchronization facade: the single point where this crate binds to
+//! either `std::sync` or the in-workspace model checker.
+//!
+//! The only concurrent state in `sbf-hash` is the process-global SIMD
+//! dispatch level ([`crate::dispatch`]) — a monotone configuration cache,
+//! not a protocol — but it still imports its primitives from here, never
+//! from `std::sync` directly (enforced by the repo's `static_guards`
+//! test), so `RUSTFLAGS='--cfg sbf_modelcheck'` builds see the model
+//! types like every other crate.
+
+// The Mutex is used only by the test-level lock, so its re-export is
+// test-gated to stay warning-free in library builds.
+#[cfg(all(test, not(sbf_modelcheck)))]
+pub use std::sync::{Mutex, MutexGuard};
+
+/// Atomic integer types, mirroring `std::sync::atomic`.
+#[cfg(not(sbf_modelcheck))]
+pub mod atomic {
+    pub use std::sync::atomic::{AtomicUsize, Ordering};
+}
+
+#[cfg(all(test, sbf_modelcheck))]
+pub use sbf_modelcheck::sync::{Mutex, MutexGuard};
+
+/// Model atomic integer types (checker build).
+#[cfg(sbf_modelcheck)]
+pub mod atomic {
+    pub use sbf_modelcheck::sync::atomic::{AtomicUsize, Ordering};
+}

@@ -46,6 +46,7 @@ pub mod pool;
 pub mod proto;
 mod reactor;
 pub mod recovery;
+pub mod replica;
 pub mod server;
 pub(crate) mod sync;
 pub mod wal;
@@ -53,6 +54,7 @@ pub mod wal;
 pub use client::{ClientBuilder, ClientError, SbfClient};
 pub use proto::{ErrorCode, ProtoError, Request, Response, MAX_FRAME_DEFAULT};
 pub use recovery::{RecoveryError, RecoveryReport, WalInspection};
+pub use replica::{CompressedReplica, ReplicaEncoding};
 pub use server::{
     ConfigError, SbfServer, ServerConfig, ServerConfigBuilder, ServerHandle, SharedState,
 };

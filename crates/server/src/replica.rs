@@ -1,0 +1,290 @@
+//! The compressed read replica: an immutable, SAI- or Elias-encoded copy
+//! of the live sharded sketch that ESTIMATE can be served from (§4 of the
+//! paper — "the SBF is stored in compressed form and queried in place").
+//!
+//! # Freshness protocol
+//!
+//! The replica rides on the same per-shard version stamps that
+//! [`ShardedSketch::snapshot_cached`] uses:
+//!
+//! 1. **Build**: capture the stamp vector ([`ShardedSketch::version_stamps`],
+//!    `Acquire`) *before* reading any shard data, then union the shards
+//!    and encode the counter vector.
+//! 2. **Serve**: a replica answers only while
+//!    [`ShardedSketch::versions_match`] still holds for its captured
+//!    stamps; any mismatch routes the query back to the live sketch.
+//!
+//! Because stamps are bumped (`Release`) *after* a shard's data write
+//! completes and captured *before* the build reads data, a racing writer
+//! can at worst make the replica carry mass newer than its stamps claim —
+//! an over-count, which the one-sided estimate contract permits. The
+//! reverse (serving data older than the stamps admit) is impossible: the
+//! moment a mutation is acknowledged its stamp is bumped and every
+//! subsequent freshness check fails. Stale stamp ⇒ rebuild, never a stale
+//! hit.
+//!
+//! The daemon pairs this with a background rebuilder thread (see
+//! [`crate::server`]) that re-encodes the replica on a configurable
+//! interval whenever it has gone stale — the same pattern as the WAL
+//! checkpointer.
+
+use sbf_hash::{HashFamily, MAX_K};
+use sbf_sai::{CompactCounterArray, StaticCounterArray};
+use spectral_bloom::{CounterStore, DefaultFamily, MsSbf, ShardedSketch};
+
+/// How the replica's counter vector is stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaEncoding {
+    /// One `u64` word per counter — no compression, fastest lookups;
+    /// useful as the frontier baseline.
+    Raw,
+    /// The §4 String-Array Index: `N + o(N) + O(m)` bits with O(1)
+    /// lookups.
+    Sai,
+    /// The §4.5 "alternative approach": Elias-δ payload under two coarse
+    /// index levels — smallest, `O(log log N)` average lookups.
+    Elias,
+}
+
+impl ReplicaEncoding {
+    /// The canonical lowercase name (`raw` / `sai` / `elias`), as accepted
+    /// by [`ReplicaEncoding::parse`] and reported by `sbf info`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplicaEncoding::Raw => "raw",
+            ReplicaEncoding::Sai => "sai",
+            ReplicaEncoding::Elias => "elias",
+        }
+    }
+
+    /// Parses a CLI-style encoding name; `None` for anything unknown.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "raw" => Some(ReplicaEncoding::Raw),
+            "sai" => Some(ReplicaEncoding::Sai),
+            "elias" | "elias-delta" => Some(ReplicaEncoding::Elias),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ReplicaEncoding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The encoded counter vector, behind one enum so the estimate path is a
+/// single match away from any representation.
+#[derive(Debug)]
+enum EncodedCounters {
+    Raw(Vec<u64>),
+    Sai(Box<StaticCounterArray>),
+    Elias(Box<CompactCounterArray>),
+}
+
+impl EncodedCounters {
+    fn get(&self, i: usize) -> u64 {
+        match self {
+            EncodedCounters::Raw(v) => v[i],
+            EncodedCounters::Sai(a) => a.get(i),
+            EncodedCounters::Elias(a) => a.get(i),
+        }
+    }
+
+    fn storage_bits(&self) -> usize {
+        match self {
+            EncodedCounters::Raw(v) => v.len() * 64,
+            EncodedCounters::Sai(a) => a.size_breakdown().total_bits(),
+            EncodedCounters::Elias(a) => a.total_bits(),
+        }
+    }
+}
+
+/// An immutable compressed snapshot of the live sketch, stamped with the
+/// shard versions it was built from (see the module docs for the
+/// freshness protocol).
+#[derive(Debug)]
+pub struct CompressedReplica {
+    /// Shard stamps captured *before* the union was read.
+    stamps: Vec<u64>,
+    /// Same `(m, k, seed)` family as every live shard, so the replica
+    /// probes the same counter indices the writers incremented.
+    family: DefaultFamily,
+    counters: EncodedCounters,
+    encoding: ReplicaEncoding,
+}
+
+impl CompressedReplica {
+    /// Encodes the current union of `sketch` under `encoding`. `k` and
+    /// `seed` must be the geometry the shards were built with — the
+    /// replica derives its hash family from them, and a mismatch would
+    /// probe the wrong counters.
+    pub fn build(
+        sketch: &ShardedSketch<MsSbf>,
+        k: usize,
+        seed: u64,
+        encoding: ReplicaEncoding,
+    ) -> Self {
+        // Stamps strictly before data: a write landing in between makes
+        // the replica look stale (spurious rebuild), never fresh-but-old.
+        let stamps = sketch.version_stamps();
+        let merged = sketch.snapshot_cached();
+        let store = merged.core().store();
+        let m = store.len();
+        let counters: Vec<u64> = (0..m).map(|i| store.get(i)).collect();
+        let counters = match encoding {
+            ReplicaEncoding::Raw => EncodedCounters::Raw(counters),
+            ReplicaEncoding::Sai => {
+                EncodedCounters::Sai(Box::new(StaticCounterArray::from_counters(&counters)))
+            }
+            ReplicaEncoding::Elias => {
+                EncodedCounters::Elias(Box::new(CompactCounterArray::from_counters(&counters)))
+            }
+        };
+        CompressedReplica {
+            stamps,
+            family: DefaultFamily::new(m, k, seed),
+            counters,
+            encoding,
+        }
+    }
+
+    /// Whether no shard has mutated since this replica was built — the
+    /// serve gate. `false` routes the query to the live sketch.
+    pub fn is_fresh(&self, sketch: &ShardedSketch<MsSbf>) -> bool {
+        sketch.versions_match(&self.stamps)
+    }
+
+    /// Min-of-`k` over the encoded counters — the §2.2 Minimum Selection
+    /// estimate against the *union* of the shards (§5 counter addition),
+    /// bit-identical to querying [`ShardedSketch::snapshot`] while fresh.
+    /// Because every summed counter dominates the owning shard's counter,
+    /// this also dominates the live sketch's shard-routed estimate:
+    /// strictly one-sided, possibly looser by cross-shard collision
+    /// noise.
+    pub fn estimate(&self, key: &[u8]) -> u64 {
+        let k = self.family.k();
+        let mut idx = [0usize; MAX_K];
+        self.family.indexes_into(&key, &mut idx[..k]);
+        idx[..k]
+            .iter()
+            .map(|&i| self.counters.get(i))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// The representation this replica was encoded under.
+    pub fn encoding(&self) -> ReplicaEncoding {
+        self.encoding
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.family.m()
+    }
+
+    /// Whether the replica holds no counters.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total storage of the encoded representation, indexes included.
+    pub fn storage_bits(&self) -> usize {
+        self.counters.storage_bits()
+    }
+
+    /// Storage cost in bytes per counter (the frontier metric reported by
+    /// `sbfd_compressed_bytes_per_counter` and `BENCH_compressed.json`).
+    pub fn bytes_per_counter(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        #[allow(clippy::as_conversions)]
+        {
+            self.storage_bits() as f64 / 8.0 / self.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spectral_bloom::SketchReader;
+
+    fn sketch(m: usize, k: usize, seed: u64) -> ShardedSketch<MsSbf> {
+        ShardedSketch::with_shards(4, |_| MsSbf::new(m, k, seed))
+    }
+
+    #[test]
+    fn encoding_names_roundtrip() {
+        for enc in [
+            ReplicaEncoding::Raw,
+            ReplicaEncoding::Sai,
+            ReplicaEncoding::Elias,
+        ] {
+            assert_eq!(ReplicaEncoding::parse(enc.name()), Some(enc));
+        }
+        assert_eq!(ReplicaEncoding::parse("zstd"), None);
+    }
+
+    #[test]
+    fn fresh_replica_matches_union_and_dominates_routed_estimates() {
+        let live = sketch(1 << 12, 4, 7);
+        for i in 0u64..400 {
+            live.insert_by(&i.to_le_bytes().as_slice(), i % 5 + 1);
+        }
+        let union = live.snapshot();
+        for enc in [
+            ReplicaEncoding::Raw,
+            ReplicaEncoding::Sai,
+            ReplicaEncoding::Elias,
+        ] {
+            let rep = CompressedReplica::build(&live, 4, 7, enc);
+            assert!(rep.is_fresh(&live), "{enc}: just built, nothing mutated");
+            for i in 0u64..400 {
+                let key = i.to_le_bytes();
+                // Bit-identical to the §5 union it encodes…
+                assert_eq!(
+                    rep.estimate(&key),
+                    union.estimate(&key.as_slice()),
+                    "{enc}: key {i}"
+                );
+                // …and therefore one-sided over the shard-routed answer
+                // (summed counters dominate the owning shard's).
+                assert!(
+                    rep.estimate(&key) >= live.estimate(&key.as_slice()),
+                    "{enc}: key {i}"
+                );
+            }
+            assert!(rep.bytes_per_counter() > 0.0);
+        }
+    }
+
+    #[test]
+    fn any_mutation_stales_the_replica() {
+        let live = sketch(1 << 10, 3, 1);
+        live.insert(&b"a".as_slice());
+        let rep = CompressedReplica::build(&live, 3, 1, ReplicaEncoding::Sai);
+        assert!(rep.is_fresh(&live));
+        live.insert(&b"b".as_slice());
+        assert!(!rep.is_fresh(&live), "stamp bump must stale the replica");
+        // The rebuilt replica picks the new mass up.
+        let rep2 = CompressedReplica::build(&live, 3, 1, ReplicaEncoding::Sai);
+        assert!(rep2.is_fresh(&live));
+        assert!(rep2.estimate(b"b") >= 1);
+    }
+
+    #[test]
+    fn compressed_encodings_cost_fewer_bits_than_raw_on_sparse_data() {
+        let live = sketch(1 << 13, 4, 9);
+        for i in 0u64..200 {
+            live.insert(&i.to_le_bytes().as_slice());
+        }
+        let raw = CompressedReplica::build(&live, 4, 9, ReplicaEncoding::Raw);
+        let sai = CompressedReplica::build(&live, 4, 9, ReplicaEncoding::Sai);
+        let elias = CompressedReplica::build(&live, 4, 9, ReplicaEncoding::Elias);
+        assert!(sai.storage_bits() < raw.storage_bits());
+        assert!(elias.storage_bits() < raw.storage_bits());
+    }
+}

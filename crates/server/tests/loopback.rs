@@ -373,3 +373,88 @@ fn every_request_kind_is_answered() {
     }
     handle.shutdown_and_join().unwrap();
 }
+
+/// The compressed-replica acceptance test: ESTIMATE over a real socket is
+/// served from the SAI-encoded replica while it is fresh, stays one-sided
+/// against the true insert counts, falls back to the live sketch the
+/// moment a write stales the replica, and resumes compressed serving once
+/// the background rebuilder catches up.
+#[test]
+fn estimates_serve_from_compressed_replica_one_sided() {
+    sbf_telemetry::set_enabled(true);
+    let config = ServerConfig::builder()
+        .addr("127.0.0.1:0")
+        .m(M)
+        .k(K)
+        .seed(SEED)
+        .shards(4)
+        .workers(4)
+        .compressed_replica(sbf_server::ReplicaEncoding::Sai)
+        .replica_rebuild_interval(Duration::from_millis(20))
+        .build()
+        .expect("replica config is valid");
+    let handle = SbfServer::bind(config).unwrap().spawn().unwrap();
+    let state = handle.state();
+    let mut client = connect(handle.addr());
+
+    const KEYS: u64 = 500;
+    for i in 0..KEYS {
+        client.insert(&key_bytes(i), i % 7 + 1).unwrap();
+    }
+    // Deterministic swap (the background rebuilder does the same on its
+    // cadence; forcing it here removes timing from the assertions).
+    assert!(state.rebuild_replica());
+    assert!(state.replica_serving(), "fresh replica must serve");
+
+    let served_before = sbf_server::metrics::server_metrics()
+        .estimates_served_compressed
+        .get();
+    for i in 0..KEYS {
+        let est = client.estimate(&key_bytes(i)).unwrap();
+        let true_count = i % 7 + 1;
+        assert!(
+            est >= true_count,
+            "one-sided from the replica: key {i} → {est}"
+        );
+    }
+    let batch: Vec<Vec<u8>> = (0..KEYS).map(key_bytes).collect();
+    let ests = client.estimate_batch(&batch).unwrap();
+    for (i, est) in ests.iter().enumerate() {
+        let true_count = i as u64 % 7 + 1;
+        assert!(*est >= true_count, "one-sided batch: key {i} → {est}");
+    }
+    assert!(state.replica_serving(), "reads must not stale the replica");
+    let served_after = sbf_server::metrics::server_metrics()
+        .estimates_served_compressed
+        .get();
+    assert!(
+        served_after >= served_before + 2 * KEYS,
+        "all {KEYS} singles + {KEYS} batch keys answered compressed \
+         ({served_before} → {served_after})"
+    );
+    let stats = client.stats().unwrap();
+    assert!(stats.contains("sbfd_compressed_rebuilds_total"));
+    assert!(stats.contains("sbfd_compressed_bytes_per_counter"));
+    assert!(stats.contains("sbfd_estimates_served_compressed_total"));
+
+    // A write stales the replica: the very next estimate takes the live
+    // path (never a stale hit) and still sees the new mass.
+    client.insert(b"staler", 3).unwrap();
+    assert!(
+        !state.replica_serving(),
+        "stamp bump must stale the replica"
+    );
+    assert!(client.estimate(b"staler").unwrap() >= 3);
+
+    // The background rebuilder re-encodes within its 20 ms cadence.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while !state.replica_serving() && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(state.replica_serving(), "rebuilder must catch up");
+    assert!(
+        client.estimate(b"staler").unwrap() >= 3,
+        "rebuilt replica carries the write"
+    );
+    handle.shutdown_and_join().unwrap();
+}

@@ -1,74 +1,103 @@
-//! The Section 4 machinery in action: counters stored at `⌈log C⌉` bits
-//! behind the String-Array Index, versus one machine word per counter.
+//! The Section 4 machinery in action, measured the way the CI gate
+//! measures it: the same live sketch frozen into each [`ReplicaEncoding`]
+//! (raw words, the §4 String-Array Index, the §4.5 Elias-δ compact
+//! array), with the storage cost read off [`CompressedReplica`] — the
+//! exact figure the `compressed_frontier` bench records into
+//! `BENCH_compressed.json` — instead of hand-rolled size math.
 //!
 //! Run with: `cargo run --example compressed_store --release`
 
-use sbf_hash::MixFamily;
-use sbf_sai::{CompactCounterArray, StaticCounterArray};
+use sbf_server::{CompressedReplica, ReplicaEncoding};
 use sbf_workloads::ZipfWorkload;
-use spectral_bloom::{
-    CompressedCounters, CounterStore, MsSbf, MultisetSketch, PlainCounters, SketchReader,
-};
+use spectral_bloom::{MsSbf, ShardedSketch};
+
+const M: usize = 100_000;
+const K: usize = 5;
+const SEED: u64 = 1;
 
 fn main() {
-    let m = 100_000;
+    // The live store a production `sbfd` would mutate.
+    let live = ShardedSketch::with_shards(4, |_| MsSbf::new(M, K, SEED));
     let workload = ZipfWorkload::generate(10_000, 200_000, 1.0, 9);
+    live.insert_batch(&workload.stream);
 
-    // The same SBF over two storage backends.
-    let mut plain: MsSbf<MixFamily, PlainCounters> = MsSbf::from_family(MixFamily::new(m, 5, 1));
-    let mut packed: MsSbf<MixFamily, CompressedCounters> =
-        MsSbf::from_family(MixFamily::new(m, 5, 1));
-    for &x in &workload.stream {
-        plain.insert(&x);
-        packed.insert(&x);
-    }
+    // Freeze it three ways through the serving-path builder.
+    let encodings = [
+        ReplicaEncoding::Raw,
+        ReplicaEncoding::Sai,
+        ReplicaEncoding::Elias,
+    ];
+    let replicas: Vec<CompressedReplica> = encodings
+        .iter()
+        .map(|&enc| CompressedReplica::build(&live, K, SEED, enc))
+        .collect();
 
-    // Identical answers (same hash family, same counters)...
+    // Identical answers — every encoding serves the same §5 union, and
+    // each replica estimate dominates the shard-routed live estimate for
+    // the same byte key (the one-sided guarantee survives compression).
     for key in (0u64..10_000).step_by(97) {
-        assert_eq!(plain.estimate(&key), packed.estimate(&key));
+        let bytes = key.to_le_bytes();
+        let want = replicas[0].estimate(&bytes);
+        for rep in &replicas[1..] {
+            assert_eq!(want, rep.estimate(&bytes), "encodings must agree");
+        }
+        assert!(
+            want >= live.estimate(&bytes.as_slice()),
+            "replica must stay one-sided"
+        );
     }
-    // ...very different footprints.
-    println!(
-        "plain  store: {:>9} bits ({} KiB)",
-        plain.storage_bits(),
-        plain.storage_bits() / 8192
-    );
-    println!(
-        "packed store: {:>9} bits ({} KiB)",
-        packed.storage_bits(),
-        packed.storage_bits() / 8192
-    );
-    println!(
-        "compression: {:.1}x",
-        plain.storage_bits() as f64 / packed.storage_bits() as f64
-    );
 
-    // The static representations, frozen from the final counters.
-    let counters: Vec<u64> = (0..m).map(|i| plain.core().store().get(i)).collect();
-    let static_arr = StaticCounterArray::from_counters(&counters);
-    let sz = static_arr.size_breakdown();
-    println!("\nstatic string-array index over the frozen counters:");
-    println!("  base array : {:>9} bits (N = Σ⌈log C⌉)", sz.base_bits);
-    println!("  C1 level   : {:>9} bits", sz.c1_bits);
-    println!("  L2 vectors : {:>9} bits", sz.l2_bits);
-    println!("  L3 vectors : {:>9} bits", sz.l3_bits);
-    println!("  lookup tbl : {:>9} bits", sz.table_bits);
-    println!("  flags+rank : {:>9} bits", sz.flags_bits);
-    println!(
-        "  total      : {:>9} bits ({:.2}x the base array)",
-        sz.total_bits(),
-        sz.total_bits() as f64 / sz.base_bits as f64
-    );
-
-    // The §4.5 alternative: even smaller, O(log log N) scan-decoded access.
-    let compact = CompactCounterArray::from_counters(&counters);
-    println!(
-        "\ncompact (Elias-coded) alternative: {} payload bits + {} index bits",
-        compact.payload_bits(),
-        compact.index_bits()
-    );
-    for i in (0..m).step_by(9973) {
-        assert_eq!(compact.get(i), counters[i], "compact array must agree");
+    // ...very different footprints, read off the same accessor the
+    // frontier bench gates on.
+    println!("{:<8} {:>12} {:>14}", "encoding", "bits", "bytes/counter");
+    for rep in &replicas {
+        println!(
+            "{:<8} {:>12} {:>14.4}",
+            rep.encoding().name(),
+            rep.storage_bits(),
+            rep.bytes_per_counter()
+        );
     }
-    println!("spot-checked agreement across all representations ✓");
+    let raw = replicas[0].bytes_per_counter();
+    for rep in &replicas[1..] {
+        println!(
+            "{}: {:.1}x smaller than raw",
+            rep.encoding().name(),
+            raw / rep.bytes_per_counter()
+        );
+    }
+
+    // The throughput side of the frontier comes from the recorded bench
+    // baseline — the numbers CI holds steady — when it is present.
+    let baseline = format!("{}/BENCH_compressed.json", env!("CARGO_MANIFEST_DIR"));
+    match std::fs::read_to_string(&baseline) {
+        Err(_) => println!(
+            "\n(no BENCH_compressed.json — run `cargo run --release --bin \
+             compressed_frontier -- --record BENCH_compressed.json` for the \
+             throughput axis)"
+        ),
+        Ok(text) => {
+            println!("\nrecorded frontier ({baseline}):");
+            for enc in ["raw", "sai", "elias"] {
+                let melem = json_field(&text, &format!("{enc}_melem_s"));
+                let vs_raw = json_field(&text, &format!("{enc}_vs_raw"));
+                if let (Some(melem), Some(vs_raw)) = (melem, vs_raw) {
+                    println!("  {enc:<6} {melem:>8.2} Melem/s ({vs_raw:.3}x raw)");
+                }
+            }
+        }
+    }
+    println!("\nspot-checked agreement across all encodings ✓");
+}
+
+/// Pulls `"name": <number>` out of the flat JSON the frontier bench
+/// records (same scanner the bench's `--check` mode uses).
+fn json_field(text: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"{name}\"");
+    let rest = &text[text.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }

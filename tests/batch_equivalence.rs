@@ -2,6 +2,15 @@
 //! `estimate_batch` / `remove_batch` must be **bit-identical** to the
 //! item-at-a-time loop — the pipelined implementations are allowed to go
 //! faster, never to answer differently (ISSUE 3, satellite 3).
+//!
+//! The `simd_*` properties extend the contract across dispatch levels
+//! (ISSUE 8): the same batch answered with the dispatch level forced to
+//! scalar ([`sbf_hash::set_simd_level`]) and at the machine's full level
+//! must agree bit for bit, and both must equal the single-item loop. On a
+//! machine without SIMD the two legs collapse to the same code path and
+//! the assertions hold trivially.
+
+use std::sync::Mutex;
 
 use proptest::prelude::*;
 
@@ -55,6 +64,33 @@ fn assert_remove_equiv<S: MultisetSketch>(a: &mut S, b: &mut S, keys: &[u64]) {
     b.remove_batch(removes)
         .expect("batch remove of present keys");
     assert_queries_equiv(a, b, keys);
+}
+
+/// Serialises tests that toggle the process-global SIMD dispatch level so
+/// a forced-scalar window in one test cannot leak into another's timing of
+/// the full level (results are identical at every level by contract — the
+/// lock keeps the *legs* of each comparison honest).
+static SIMD_LOCK: Mutex<()> = Mutex::new(());
+
+/// Answers `probes` three ways — batch at the machine's full dispatch
+/// level, batch with the level forced to scalar, and the single-item
+/// loop — and requires all three to agree exactly.
+fn assert_simd_scalar_equiv<S: SketchReader>(sketch: &S, keys: &[u64]) {
+    let _guard = SIMD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let probes = probes(keys);
+    let full = sbf_hash::simd_level();
+    let mut vectored = Vec::new();
+    sketch.estimate_batch_into(&probes, &mut vectored);
+    sbf_hash::set_simd_level(sbf_hash::SimdLevel::Scalar);
+    let mut scalar = Vec::new();
+    sketch.estimate_batch_into(&probes, &mut scalar);
+    sbf_hash::set_simd_level(full);
+    assert_eq!(
+        vectored, scalar,
+        "estimate_batch at {full:?} diverged from forced-scalar"
+    );
+    let singles: Vec<u64> = probes.iter().map(|k| sketch.estimate(k)).collect();
+    assert_eq!(vectored, singles, "batch diverged from single-item loop");
 }
 
 proptest! {
@@ -162,5 +198,38 @@ proptest! {
         }
         b.remove_batch(removes).expect("batch remove of present keys");
         assert_queries_equiv(&a, &b, &keys);
+    }
+
+    /// SIMD vs scalar, plain MS store — the gathered-min kernel path.
+    #[test]
+    fn simd_ms(keys in prop::collection::vec(0u64..500, 0..400), seed in any::<u64>()) {
+        let mut s = MsSbf::new(1 << 12, 4, seed);
+        s.insert_batch(&keys);
+        assert_simd_scalar_equiv(&s, &keys);
+    }
+
+    /// SIMD vs scalar, cache-blocked layout — block-local gathered min.
+    #[test]
+    fn simd_blocked(keys in prop::collection::vec(0u64..500, 0..400), seed in any::<u64>()) {
+        let mut s = BlockedMsSbf::new_blocked(64, 64, 4, seed);
+        s.insert_batch(&keys);
+        assert_simd_scalar_equiv(&s, &keys);
+    }
+
+    /// SIMD vs scalar through the sharded wrapper's partitioned batches.
+    #[test]
+    fn simd_sharded(keys in prop::collection::vec(0u64..500, 0..400), seed in any::<u64>()) {
+        let s = ShardedSketch::with_shards(4, |i| MsSbf::new(1 << 11, 4, seed ^ i as u64));
+        s.insert_batch(&keys);
+        assert_simd_scalar_equiv(&s, &keys);
+    }
+
+    /// SIMD vs scalar, atomic backend — lane hashing with per-element
+    /// atomic loads (no vector gather over atomics).
+    #[test]
+    fn simd_atomic(keys in prop::collection::vec(0u64..500, 0..400), seed in any::<u64>()) {
+        let s = AtomicMsSbf::new(1 << 12, 4, seed);
+        s.insert_batch(&keys);
+        assert_simd_scalar_equiv(&s, &keys);
     }
 }
