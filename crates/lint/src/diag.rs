@@ -1,0 +1,52 @@
+//! Diagnostics: what a pass reports and how it is rendered.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// One finding from one pass, anchored to a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Short pass name (`sync-facade`, `ordering-audit`, …).
+    pub pass: &'static str,
+    /// Path as reported (workspace-relative where possible).
+    pub path: PathBuf,
+    /// 1-based line; 0 when the finding is file-level.
+    pub line: u32,
+    /// 1-based column; 0 when the finding is file- or line-level.
+    pub col: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.col,
+            self.pass,
+            self.message
+        )
+    }
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic at an explicit location.
+    pub fn new(
+        pass: &'static str,
+        path: impl Into<PathBuf>,
+        line: u32,
+        col: u32,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            pass,
+            path: path.into(),
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+}

@@ -1,0 +1,636 @@
+//! A hand-rolled Rust lexer, built for *analysis*, not compilation.
+//!
+//! The point of lexing (rather than substring matching, which this crate
+//! retires) is that the token stream cannot be fooled by surface syntax:
+//! a `std::sync::Mutex` inside a raw string, a block comment, or a doc
+//! example is not a token, while `use std::sync:: /* sneaky */ Mutex` is
+//! three path tokens regardless of layout. The tricky corners this lexer
+//! must get right for that to hold:
+//!
+//! * raw strings with `#` fences (`r##"…"##`), byte strings (`b"…"`),
+//!   raw byte strings (`br#"…"#`), and C strings (`c"…"`, `cr"…"`);
+//! * nested block comments (`/* /* */ */`) — Rust nests them, C does not;
+//! * `'a` (lifetime) vs `'a'` (char literal) vs `b'x'` (byte char);
+//! * float literals vs field/method access and ranges (`1.5`, `1.max(2)`,
+//!   `1..2`) so a `.` is never mis-attributed;
+//! * raw identifiers (`r#fn`).
+//!
+//! The lexer never panics on any input (fuzzed in `tests/lexer_fuzz.rs`):
+//! unterminated literals and comments extend to end of input, and bytes
+//! that start no known token become one-byte [`TokenKind::Punct`] tokens.
+//! Every token carries its byte span, and spans are strictly increasing
+//! and in-bounds — the properties the fuzz suite pins.
+
+/// The classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword, including raw identifiers (`r#fn`).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// A char or byte-char literal (`'x'`, `'\n'`, `b'0'`).
+    Char,
+    /// Any string literal form: plain, raw, byte, raw-byte, C string.
+    Str,
+    /// An integer literal (`42`, `0xFF_u64`, `0b10`).
+    Int,
+    /// A float literal (`1.5`, `2e10`, `1f32`).
+    Float,
+    /// Punctuation. Multi-byte only for `::`, which paths care about;
+    /// everything else is a single byte.
+    Punct,
+}
+
+/// One lexed token: kind, source text, and location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// The exact source slice (e.g. `r#"x"#` for a raw string).
+    pub text: String,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based byte column of the token's first byte.
+    pub col: u32,
+    /// Byte offset of the token's first byte in the source.
+    pub start: usize,
+    /// Byte offset one past the token's last byte.
+    pub end: usize,
+}
+
+impl Token {
+    /// `true` for an identifier with exactly this text (raw-identifier
+    /// form `r#name` matches `name` too, as the compiler treats them).
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.ident_text() == name
+    }
+
+    /// The identifier's name with any `r#` prefix stripped; empty for
+    /// non-identifiers.
+    pub fn ident_text(&self) -> &str {
+        if self.kind != TokenKind::Ident {
+            return "";
+        }
+        self.text.strip_prefix("r#").unwrap_or(&self.text)
+    }
+
+    /// `true` for a punctuation token with exactly this text.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == p
+    }
+}
+
+/// Decodes the *value* of a plain or raw string literal token, as far as
+/// this crate needs it (metric names are ASCII): returns `None` for
+/// byte/C strings or escapes that do not influence our checks.
+pub fn str_value(tok: &Token) -> Option<String> {
+    if tok.kind != TokenKind::Str {
+        return None;
+    }
+    let t = tok.text.as_str();
+    if let Some(rest) = t.strip_prefix('r') {
+        // Raw string: strip fences, contents are literal.
+        let hashes = rest.bytes().take_while(|&b| b == b'#').count();
+        let inner = &rest[hashes..];
+        let inner = inner.strip_prefix('"')?;
+        let inner = inner.strip_suffix(&t[t.len().saturating_sub(hashes + 1)..])?;
+        return Some(inner.strip_suffix('"').unwrap_or(inner).to_string());
+    }
+    let inner = t.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('0') => out.push('\0'),
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('\'') => out.push('\''),
+            // \xNN, \u{...}, line continuations: not needed for metric
+            // names; bail rather than decode wrong.
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Maps byte offsets to 1-based (line, column) pairs.
+struct LineMap {
+    /// Byte offset of the start of each line.
+    starts: Vec<usize>,
+}
+
+impl LineMap {
+    fn new(src: &str) -> Self {
+        let mut starts = vec![0];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        LineMap { starts }
+    }
+
+    fn locate(&self, offset: usize) -> (u32, u32) {
+        let line = match self.starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let col = offset - self.starts[line];
+        (to_u32(line + 1), to_u32(col + 1))
+    }
+}
+
+/// Saturating narrowing for line/column numbers; a 4 GiB source line is
+/// not worth an error path.
+fn to_u32(v: usize) -> u32 {
+    u32::try_from(v).unwrap_or(u32::MAX)
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into tokens, skipping whitespace and all comment forms
+/// (line, block, doc). Never panics; see the module docs for guarantees.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        text: src,
+        map: LineMap::new(src),
+        pos: 0,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    text: &'a str,
+    map: LineMap,
+    pos: usize,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' | b'b' | b'c' if self.try_string_prefix() => {}
+                _ if is_ident_start(b) => self.ident(),
+                _ if b.is_ascii_digit() => self.number(),
+                b'"' => self.plain_string(self.pos),
+                b'\'' => self.quote(),
+                b':' if self.peek(1) == Some(b':') => {
+                    self.emit(TokenKind::Punct, self.pos, self.pos + 2);
+                    self.pos += 2;
+                }
+                _ => {
+                    // One byte of punctuation — but never split a UTF-8
+                    // sequence (only reachable for stray non-ASCII bytes
+                    // outside literals, which valid `&str` input makes
+                    // ident-continue bytes anyway).
+                    self.emit(TokenKind::Punct, self.pos, self.pos + 1);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn emit(&mut self, kind: TokenKind, start: usize, end: usize) {
+        let end = end.min(self.src.len());
+        let (line, col) = self.map.locate(start);
+        self.out.push(Token {
+            kind,
+            text: self.text.get(start..end).unwrap_or("").to_string(),
+            line,
+            col,
+            start,
+            end,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+    }
+
+    /// Nested block comment; unterminated comments run to end of input.
+    fn block_comment(&mut self) {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.src[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// Handles every literal form that begins with `r`, `b`, or `c`:
+    /// `r"…"`, `r#"…"#`, `b"…"`, `b'…'`, `br#"…"#`, `c"…"`, `cr"…"`, and
+    /// raw identifiers `r#name`. Returns `false` when the text is a plain
+    /// identifier that merely *starts* with one of those letters, leaving
+    /// the position untouched for [`Lexer::ident`].
+    fn try_string_prefix(&mut self) -> bool {
+        let start = self.pos;
+        let first = self.src[self.pos];
+        let second = self.peek(1);
+        match (first, second) {
+            // b'x' byte char.
+            (b'b', Some(b'\'')) => {
+                self.pos += 1;
+                self.char_literal(start);
+                true
+            }
+            // b"…" / c"…" byte or C string.
+            (b'b' | b'c', Some(b'"')) => {
+                self.pos += 1;
+                self.plain_string(start);
+                true
+            }
+            // br"…" / br#"…"# / cr"…" / cr#"…"#.
+            (b'b' | b'c', Some(b'r'))
+                if matches!(self.peek(2), Some(b'"') | Some(b'#'))
+                    && self.raw_start(self.pos + 2).is_some() =>
+            {
+                self.pos += 2;
+                self.raw_string(start);
+                true
+            }
+            // r"…" / r#"…"# raw string — or r#ident raw identifier.
+            (b'r', Some(b'"') | Some(b'#')) => {
+                if self.raw_start(self.pos + 1).is_some() {
+                    self.pos += 1;
+                    self.raw_string(start);
+                    true
+                } else if second == Some(b'#') && self.peek(2).is_some_and(is_ident_start) {
+                    // `r#` with no quote after the fences: raw identifier.
+                    self.pos += 2;
+                    while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+                        self.pos += 1;
+                    }
+                    self.emit(TokenKind::Ident, start, self.pos);
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// From `at` (which points at `#`s or `"`), returns the fence size if
+    /// a raw-string opener (`#`* then `"`) is present. A fence of 0 means
+    /// `r"`. Returns `None` when the `#`s never reach a quote (e.g.
+    /// `r#ident`).
+    fn raw_start(&self, at: usize) -> Option<usize> {
+        let mut i = at;
+        while self.src.get(i) == Some(&b'#') {
+            i += 1;
+        }
+        (self.src.get(i) == Some(&b'"')).then_some(i - at)
+    }
+
+    /// Consumes a raw string whose `r` (and any `b`/`c`) is already
+    /// consumed; `self.pos` points at the first `#` or the quote.
+    fn raw_string(&mut self, start: usize) {
+        let mut fence = 0usize;
+        while self.src.get(self.pos) == Some(&b'#') {
+            fence += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote, validated by the caller
+        loop {
+            match self.src.get(self.pos) {
+                None => break, // unterminated: runs to EOF
+                Some(b'"') => {
+                    let closed = (1..=fence).all(|k| self.src.get(self.pos + k) == Some(&b'#'));
+                    if closed {
+                        self.pos += 1 + fence;
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+        self.emit(TokenKind::Str, start, self.pos);
+    }
+
+    /// Consumes a `"…"` string with escapes; `self.pos` points at the
+    /// opening quote, `start` at the literal's first byte (which may be a
+    /// `b`/`c` prefix).
+    fn plain_string(&mut self, start: usize) {
+        self.pos += 1;
+        while let Some(&b) = self.src.get(self.pos) {
+            match b {
+                b'\\' => self.pos += 2, // skip escaped byte (may be a quote)
+                b'"' => {
+                    self.pos += 1;
+                    self.emit(TokenKind::Str, start, self.pos);
+                    return;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.pos = self.src.len();
+        self.emit(TokenKind::Str, start, self.pos); // unterminated
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+            self.pos += 1;
+        }
+        self.emit(TokenKind::Ident, start, self.pos);
+    }
+
+    /// `'` is the hardest dispatch: `'a` (lifetime), `'a'` (char),
+    /// `'\n'` (escaped char), `'😀'` (multibyte char). The rule mirrors
+    /// rustc: an escape or a closing quote right after one "character"
+    /// makes it a char literal; an identifier run with no closing quote
+    /// is a lifetime.
+    fn quote(&mut self) {
+        let start = self.pos;
+        match self.peek(1) {
+            Some(b'\\') => {
+                self.char_literal(start);
+            }
+            Some(b) if is_ident_start(b) || b.is_ascii_digit() => {
+                // Scan the identifier-ish run after the quote.
+                let mut i = self.pos + 1;
+                while i < self.src.len() && is_ident_continue(self.src[i]) {
+                    i += 1;
+                }
+                if self.src.get(i) == Some(&b'\'') {
+                    // 'x'  or  'abc' (invalid Rust, still one char token).
+                    self.pos = i + 1;
+                    self.emit(TokenKind::Char, start, self.pos);
+                } else {
+                    // Lifetime: consume quote + run.
+                    self.pos = i;
+                    self.emit(TokenKind::Lifetime, start, self.pos);
+                }
+            }
+            Some(b'\'') => {
+                // `''`: empty char literal (invalid Rust); one token.
+                self.pos += 2;
+                self.emit(TokenKind::Char, start, self.pos);
+            }
+            Some(_) => {
+                // Punctuation char like '+' — must have a closing quote.
+                self.char_literal(start);
+            }
+            None => {
+                self.pos += 1;
+                self.emit(TokenKind::Punct, start, self.pos);
+            }
+        }
+    }
+
+    /// Consumes the remainder of a char literal whose opening quote is at
+    /// `self.pos`; handles escapes (`'\''`, `'\\'`, `'\u{1F600}'`).
+    fn char_literal(&mut self, start: usize) {
+        self.pos += 1;
+        while let Some(&b) = self.src.get(self.pos) {
+            match b {
+                b'\\' => self.pos += 2,
+                b'\'' => {
+                    self.pos += 1;
+                    self.emit(TokenKind::Char, start, self.pos);
+                    return;
+                }
+                b'\n' => break, // never span lines: treat as unterminated
+                _ => self.pos += 1,
+            }
+        }
+        self.pos = self.pos.min(self.src.len());
+        self.emit(TokenKind::Char, start, self.pos);
+    }
+
+    /// Numeric literal. The delicate part is the byte after a digit run:
+    /// `.5` continues a float, `..` is a range, `.method()` is a call,
+    /// and a bare trailing `1.` is a float.
+    fn number(&mut self) {
+        let start = self.pos;
+        let mut kind = TokenKind::Int;
+        if self.src[self.pos] == b'0'
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'))
+        {
+            self.pos += 2;
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                self.pos += 1;
+            }
+            self.emit(TokenKind::Int, start, self.pos);
+            return;
+        }
+        self.digits();
+        if self.peek(0) == Some(b'.') {
+            match self.peek(1) {
+                // `1..2` range, `1.max()` method, `1.e` field: int.
+                Some(b'.') => {}
+                Some(b) if is_ident_start(b) => {}
+                // `1.5` or trailing `1.`: float.
+                _ => {
+                    kind = TokenKind::Float;
+                    self.pos += 1;
+                    self.digits();
+                }
+            }
+        }
+        if matches!(self.peek(0), Some(b'e' | b'E')) {
+            let (sign, first_digit) = match self.peek(1) {
+                Some(b'+') | Some(b'-') => (1, self.peek(2)),
+                other => (0, other),
+            };
+            if first_digit.is_some_and(|b| b.is_ascii_digit()) {
+                kind = TokenKind::Float;
+                self.pos += 1 + sign;
+                self.digits();
+            }
+        }
+        // Type suffix (`u64`, `f32`, `usize`) — `f32`/`f64` force Float.
+        let suffix_start = self.pos;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        if matches!(&self.text[suffix_start..self.pos], "f32" | "f64") {
+            kind = TokenKind::Float;
+        }
+        self.emit(kind, start, self.pos);
+    }
+
+    fn digits(&mut self) {
+        while self
+            .peek(0)
+            .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+        {
+            self.pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("'a 'static 'x' '\\'' '\\\\' b'0' '+' '_'"),
+            vec![
+                (Lifetime, "'a".into()),
+                (Lifetime, "'static".into()),
+                (Char, "'x'".into()),
+                (Char, "'\\''".into()),
+                (Char, "'\\\\'".into()),
+                (Char, "b'0'".into()),
+                (Char, "'+'".into()),
+                (Char, "'_'".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn generic_lifetime_bound_is_not_a_char() {
+        let toks = lex("fn f<'a, T: 'a>(x: &'a T) {}");
+        assert!(toks.iter().all(|t| t.kind != TokenKind::Char));
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::Lifetime)
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_fences_hide_their_contents() {
+        let toks = lex(r####"let x = r##"use std::sync::Mutex; "# inner"##;"####);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.contains("Mutex"));
+        // The Mutex inside the raw string is not an Ident token.
+        assert!(!toks.iter().any(|t| t.is_ident("Mutex")));
+    }
+
+    #[test]
+    fn nested_block_comments_are_skipped() {
+        let toks = lex("a /* x /* y */ z */ b");
+        assert_eq!(
+            toks.iter().map(|t| t.text.as_str()).collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let toks = lex("r#fn r#match regular");
+        assert_eq!(toks.len(), 3);
+        assert!(toks.iter().all(|t| t.kind == TokenKind::Ident));
+        assert!(toks[0].is_ident("fn"));
+    }
+
+    #[test]
+    fn numbers_floats_ranges_and_methods() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("1.5 1..2 1.max(2) 0xFF_u64 1e5 1.5e-3 2f64 7usize 1."),
+            vec![
+                (Float, "1.5".into()),
+                (Int, "1".into()),
+                (Punct, ".".into()),
+                (Punct, ".".into()),
+                (Int, "2".into()),
+                (Int, "1".into()),
+                (Punct, ".".into()),
+                (Ident, "max".into()),
+                (Punct, "(".into()),
+                (Int, "2".into()),
+                (Punct, ")".into()),
+                (Int, "0xFF_u64".into()),
+                (Float, "1e5".into()),
+                (Float, "1.5e-3".into()),
+                (Float, "2f64".into()),
+                (Int, "7usize".into()),
+                (Float, "1.".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn path_separator_is_one_token() {
+        let toks = lex("std::sync::Mutex");
+        assert_eq!(toks.len(), 5);
+        assert!(toks[1].is_punct("::"));
+        assert!(toks[3].is_punct("::"));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds(r##"b"bytes" br#"raw"# c"c" cr"craw""##),
+            vec![
+                (Str, "b\"bytes\"".into()),
+                (Str, "br#\"raw\"#".into()),
+                (Str, "c\"c\"".into()),
+                (Str, "cr\"craw\"".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn str_value_decodes_plain_and_raw() {
+        let toks = lex(r###""a\"b" r#"c"d"# "sbf_x{{y}}""###);
+        let vals: Vec<_> = toks.iter().filter_map(str_value).collect();
+        assert_eq!(vals, vec!["a\"b", "c\"d", "sbf_x{{y}}"]);
+    }
+
+    #[test]
+    fn unterminated_forms_never_panic() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'", "'\\", "b'", "r#"] {
+            let _ = lex(src);
+        }
+    }
+
+    #[test]
+    fn spans_locate_lines_and_cols() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,204 @@
+//! Pass 2: memory-ordering audit.
+//!
+//! Every `Ordering::{Relaxed, Acquire, Release, AcqRel, SeqCst}` use
+//! site in production source must be blessed in the checked-in manifest
+//! (`crates/lint/ordering_audit.toml`) with the invariant that makes the
+//! ordering sufficient (the §4e table's prose). Sites are grouped by
+//! `(file, enclosing fn, ordering)` and the group's site *count* is
+//! pinned too, so adding one more Relaxed store to an already-blessed
+//! function still fails until a human re-blesses it. `#[cfg(test)]`
+//! items are stripped — the audit covers shipping code only — and the
+//! modelcheck crate is exempt (it *implements* orderings; it does not
+//! rely on them).
+
+use crate::diag::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+use crate::manifest::{self, SiteEntry};
+use crate::resolver::{CfgView, FnSpans};
+use crate::workspace::Workspace;
+use crate::LintConfig;
+use std::collections::BTreeMap;
+
+const PASS: &str = "ordering-audit";
+
+/// The atomic orderings; disjoint from `cmp::Ordering`'s variants, so
+/// matching the variant name suffices to avoid `Ordering::Less` noise.
+pub const VARIANTS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// One `(file, func, ordering)` group of use sites found in source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteGroup {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// Enclosing fn, or `<module>` for sites outside any fn body.
+    pub func: String,
+    /// Ordering variant name.
+    pub ordering: String,
+    /// Number of sites in the group.
+    pub count: u32,
+    /// Location of the first site, for diagnostics.
+    pub line: u32,
+    /// Column of the first site.
+    pub col: u32,
+}
+
+/// Scans the workspace for ordering use sites, grouped and sorted.
+pub fn collect_sites(ws: &Workspace, cfg: &LintConfig) -> Vec<SiteGroup> {
+    let view = CfgView {
+        modelcheck: cfg.modelcheck,
+        keep_tests: false,
+    };
+    let mut groups: BTreeMap<(String, String, String), SiteGroup> = BTreeMap::new();
+    for file in &ws.files {
+        let rel = file.rel.to_string_lossy().replace('\\', "/");
+        if cfg
+            .ordering_exempt
+            .iter()
+            .any(|prefix| rel.starts_with(prefix.as_str()))
+        {
+            continue;
+        }
+        let tokens = file.view(view);
+        let spans = FnSpans::collect(&tokens);
+        for (i, tok) in tokens.iter().enumerate() {
+            if !is_ordering_site(&tokens, i) {
+                continue;
+            }
+            let variant = tokens[i + 2].ident_text().to_string();
+            let func = spans
+                .enclosing(i)
+                .map(str::to_string)
+                .unwrap_or_else(|| "<module>".to_string());
+            let key = (rel.clone(), func.clone(), variant.clone());
+            groups
+                .entry(key)
+                .and_modify(|g| g.count += 1)
+                .or_insert(SiteGroup {
+                    file: rel.clone(),
+                    func,
+                    ordering: variant,
+                    count: 1,
+                    line: tok.line,
+                    col: tok.col,
+                });
+        }
+    }
+    groups.into_values().collect()
+}
+
+/// `tokens[i]` begins `Ordering::<atomic variant>`.
+fn is_ordering_site(tokens: &[Token], i: usize) -> bool {
+    tokens[i].is_ident("Ordering")
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct("::"))
+        && tokens
+            .get(i + 2)
+            .is_some_and(|t| t.kind == TokenKind::Ident && VARIANTS.contains(&t.ident_text()))
+}
+
+/// Audits the workspace's sites against the manifest.
+pub fn run(ws: &Workspace, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let Some(manifest_path) = &cfg.manifest_path else {
+        return Vec::new();
+    };
+    let mut diags = Vec::new();
+    let text = match std::fs::read_to_string(manifest_path) {
+        Ok(t) => t,
+        Err(e) => {
+            diags.push(Diagnostic::new(
+                PASS,
+                &cfg.manifest_rel,
+                0,
+                0,
+                format!("cannot read ordering manifest: {e}"),
+            ));
+            return diags;
+        }
+    };
+    let entries = match manifest::parse(&text) {
+        Ok(es) => es,
+        Err((line, msg)) => {
+            diags.push(Diagnostic::new(
+                PASS,
+                &cfg.manifest_rel,
+                line,
+                0,
+                format!("manifest parse error: {msg}"),
+            ));
+            return diags;
+        }
+    };
+    let mut blessed: BTreeMap<(String, String, String), &SiteEntry> = BTreeMap::new();
+    for entry in &entries {
+        if blessed.insert(entry.key(), entry).is_some() {
+            diags.push(Diagnostic::new(
+                PASS,
+                &cfg.manifest_rel,
+                entry.line,
+                0,
+                format!(
+                    "duplicate manifest entry for {}:{}:{}",
+                    entry.file, entry.func, entry.ordering
+                ),
+            ));
+        }
+        if entry.invariant.trim().is_empty() {
+            diags.push(Diagnostic::new(
+                PASS,
+                &cfg.manifest_rel,
+                entry.line,
+                0,
+                format!(
+                    "entry {}:{} has an empty invariant — state why `{}` suffices",
+                    entry.file, entry.func, entry.ordering
+                ),
+            ));
+        }
+    }
+    let groups = collect_sites(ws, cfg);
+    for group in &groups {
+        let key = (
+            group.file.clone(),
+            group.func.clone(),
+            group.ordering.clone(),
+        );
+        match blessed.remove(&key) {
+            None => diags.push(Diagnostic::new(
+                PASS,
+                &group.file,
+                group.line,
+                group.col,
+                format!(
+                    "Ordering::{} in fn `{}` is not blessed — add a [[site]] entry with \
+                     its invariant to {} and the DESIGN.md §4e table",
+                    group.ordering, group.func, cfg.manifest_rel
+                ),
+            )),
+            Some(entry) if entry.count != group.count => diags.push(Diagnostic::new(
+                PASS,
+                &group.file,
+                group.line,
+                group.col,
+                format!(
+                    "fn `{}` has {} Ordering::{} site(s) but the manifest blesses {} — \
+                     re-bless after reviewing the change",
+                    group.func, group.count, group.ordering, entry.count
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+    // Whatever is left in `blessed` matched no source group: stale.
+    for entry in blessed.values() {
+        diags.push(Diagnostic::new(
+            PASS,
+            &cfg.manifest_rel,
+            entry.line,
+            0,
+            format!(
+                "stale manifest entry: no Ordering::{} sites remain in {}:{}",
+                entry.ordering, entry.file, entry.func
+            ),
+        ));
+    }
+    diags
+}

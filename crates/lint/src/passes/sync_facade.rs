@@ -1,0 +1,173 @@
+//! Pass 1: sync-facade enforcement.
+//!
+//! Every crate must reach `std::sync` primitives through its `sync.rs`
+//! facade (which rebinds to `sbf-modelcheck` types under
+//! `--cfg sbf_modelcheck`). Outside a facade file or the modelcheck
+//! crate itself, any path that canonicalizes to
+//! `std::sync::{atomic, Mutex, RwLock, Condvar}` is a violation — the
+//! resolver sees through `use` renames (`use std::sync as s;
+//! s::Mutex::…`), braced trees, and glob imports, which the old regex
+//! guard could not. `Arc`, `mpsc`, `OnceLock`, and `LockResult` stay
+//! allowed: they carry no memory-ordering or lock-order obligations.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::resolver::{collect_uses, path_chain, starts_chain};
+use crate::workspace::{SourceFile, Workspace};
+use crate::LintConfig;
+
+const PASS: &str = "sync-facade";
+
+/// Segments under `std::sync` that must come through a facade.
+const FORBIDDEN: &[&str] = &["atomic", "Mutex", "RwLock", "Condvar"];
+
+/// Runs the pass over every non-exempt file, plus the facade-existence
+/// check for each configured facade path.
+pub fn run(ws: &Workspace, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in &ws.files {
+        if is_exempt(file, cfg) {
+            continue;
+        }
+        check_file(file, &mut diags);
+    }
+    for facade in &cfg.facades {
+        check_facade(ws, facade, &mut diags);
+    }
+    diags
+}
+
+fn is_exempt(file: &SourceFile, cfg: &LintConfig) -> bool {
+    let rel = file.rel.to_string_lossy().replace('\\', "/");
+    if rel.ends_with("/sync.rs") || rel == "sync.rs" {
+        return true;
+    }
+    cfg.facade_exempt
+        .iter()
+        .any(|prefix| rel.starts_with(prefix.as_str()))
+}
+
+fn check_file(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    // The full (unfiltered) token stream: a forbidden path is a
+    // violation under either cfg view.
+    let tokens = &file.tokens;
+    let uses = collect_uses(tokens);
+    let mut i = 0;
+    while i < tokens.len() {
+        // Absolute paths (`::std::sync::Mutex`) start at the ident after
+        // a leading `::` that no ident precedes.
+        let chain_at = if starts_chain(tokens, i) {
+            Some(i)
+        } else if tokens[i].is_punct("::")
+            && (i == 0 || tokens[i - 1].kind != TokenKind::Ident)
+            && tokens
+                .get(i + 1)
+                .is_some_and(|t| t.kind == TokenKind::Ident)
+        {
+            Some(i + 1)
+        } else {
+            None
+        };
+        let Some(start) = chain_at else {
+            i += 1;
+            continue;
+        };
+        let (segs, next) = path_chain(tokens, start);
+        let canonical = uses.resolve(&segs);
+        if let Some(offender) = forbidden_tail(&canonical) {
+            let tok = &tokens[start];
+            diags.push(Diagnostic::new(
+                PASS,
+                &file.rel,
+                tok.line,
+                tok.col,
+                format!(
+                    "path resolves to `{}` — go through the crate's `sync.rs` facade \
+                     (std::sync::{offender} may not be named outside a facade)",
+                    canonical.join("::")
+                ),
+            ));
+        }
+        i = next;
+    }
+    // Glob imports of std::sync or std::sync::atomic smuggle the same
+    // names in without ever spelling them.
+    for (prefix, line) in uses.globs() {
+        let resolved = uses.resolve(prefix);
+        let is_sync_root = resolved.len() == 2 && is_std_sync(&resolved);
+        let is_atomic = resolved.len() >= 3 && is_std_sync(&resolved) && resolved[2] == "atomic";
+        if is_sync_root || is_atomic {
+            diags.push(Diagnostic::new(
+                PASS,
+                &file.rel,
+                *line,
+                0,
+                format!(
+                    "glob import of `{}::*` pulls sync primitives past the facade",
+                    resolved.join("::")
+                ),
+            ));
+        }
+    }
+}
+
+fn is_std_sync(segs: &[String]) -> bool {
+    segs.len() >= 2 && (segs[0] == "std" || segs[0] == "core") && segs[1] == "sync"
+}
+
+/// If `segs` names something under the forbidden set, returns which.
+fn forbidden_tail(segs: &[String]) -> Option<&'static str> {
+    if !is_std_sync(segs) {
+        return None;
+    }
+    segs.iter()
+        .skip(2)
+        .find_map(|s| FORBIDDEN.iter().find(|f| *f == s).copied())
+}
+
+/// A configured facade must exist, name `std::sync`, and carry the
+/// `sbf_modelcheck` rebinding — this subsumes the old
+/// `guarded_facades_exist` regex guard.
+fn check_facade(ws: &Workspace, facade: &str, diags: &mut Vec<Diagnostic>) {
+    let Some(file) = ws.file(facade) else {
+        diags.push(Diagnostic::new(
+            PASS,
+            facade,
+            0,
+            0,
+            "declared sync facade is missing from the workspace",
+        ));
+        return;
+    };
+    let mut saw_std_sync = false;
+    let mut saw_modelcheck = false;
+    for (k, tok) in file.tokens.iter().enumerate() {
+        if tok.is_ident("sbf_modelcheck") {
+            saw_modelcheck = true;
+        }
+        if tok.is_ident("std")
+            && file.tokens.get(k + 1).is_some_and(|t| t.is_punct("::"))
+            && file.tokens.get(k + 2).is_some_and(|t| t.is_ident("sync"))
+        {
+            saw_std_sync = true;
+        }
+    }
+    if !saw_std_sync {
+        diags.push(Diagnostic::new(
+            PASS,
+            &file.rel,
+            1,
+            1,
+            "sync facade never re-exports from `std::sync`",
+        ));
+    }
+    if !saw_modelcheck {
+        diags.push(Diagnostic::new(
+            PASS,
+            &file.rel,
+            1,
+            1,
+            "sync facade has no `sbf_modelcheck` rebinding",
+        ));
+    }
+}

@@ -1,0 +1,147 @@
+//! Workspace loading: walking the source tree into lexed [`SourceFile`]s.
+
+use crate::lexer::{lex, Token};
+use crate::resolver::{active_tokens, CfgView};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One `.rs` file, lexed once; passes re-filter the tokens per view.
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// Path relative to the workspace root (what diagnostics print).
+    pub rel: PathBuf,
+    /// Crate the file belongs to (`sbf-lint` style package-dir name,
+    /// e.g. `core`, `server`; the root package is `sbf-repro`).
+    pub krate: String,
+    /// Raw source text.
+    pub text: String,
+    /// Full token stream (no cfg filtering applied).
+    pub tokens: Vec<Token>,
+}
+
+impl SourceFile {
+    /// Tokens visible under `view` (cfg-filtered).
+    pub fn view(&self, view: CfgView) -> Vec<Token> {
+        active_tokens(&self.tokens, view)
+    }
+}
+
+/// The loaded workspace: every library/binary source under analysis.
+pub struct Workspace {
+    /// Workspace root directory.
+    pub root: PathBuf,
+    /// All files, in stable (sorted) path order.
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Loads the real workspace rooted at `root`: every `.rs` file under
+    /// `crates/*/src` plus the root package's `src/`. Test trees
+    /// (`tests/`, `benches/`, `examples/`) are not analyzed — the
+    /// invariants the passes pin are production-source facts.
+    pub fn load(root: &Path) -> io::Result<Self> {
+        let mut files = Vec::new();
+        let crates_dir = root.join("crates");
+        if crates_dir.is_dir() {
+            let mut krates: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.is_dir())
+                .collect();
+            krates.sort();
+            for kdir in krates {
+                let src = kdir.join("src");
+                if src.is_dir() {
+                    let name = kdir
+                        .file_name()
+                        .map(|s| s.to_string_lossy().into_owned())
+                        .unwrap_or_default();
+                    walk(&src, root, &name, &mut files)?;
+                }
+            }
+        }
+        let root_src = root.join("src");
+        if root_src.is_dir() {
+            walk(&root_src, root, "sbf-repro", &mut files)?;
+        }
+        files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            files,
+        })
+    }
+
+    /// Loads a fixture tree: every `.rs` file under `dir`, all attributed
+    /// to crate `fixture` unless nested one level under a directory (then
+    /// that directory name is the crate). Paths are reported relative to
+    /// `dir`.
+    pub fn load_dir(dir: &Path) -> io::Result<Self> {
+        let mut files = Vec::new();
+        walk_fixture(dir, dir, &mut files)?;
+        files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        Ok(Workspace {
+            root: dir.to_path_buf(),
+            files,
+        })
+    }
+
+    /// The file whose workspace-relative path equals `rel`, if loaded.
+    pub fn file(&self, rel: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel == Path::new(rel))
+    }
+}
+
+fn walk(dir: &Path, root: &Path, krate: &str, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk(&path, root, krate, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let text = fs::read_to_string(&path)?;
+            let tokens = lex(&text);
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            out.push(SourceFile {
+                path: path.clone(),
+                rel,
+                krate: krate.to_string(),
+                text,
+                tokens,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn walk_fixture(dir: &Path, base: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk_fixture(&path, base, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let text = fs::read_to_string(&path)?;
+            let tokens = lex(&text);
+            let rel = path.strip_prefix(base).unwrap_or(&path).to_path_buf();
+            let krate = rel
+                .components()
+                .next()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .filter(|_| rel.components().count() > 1)
+                .unwrap_or_else(|| "fixture".to_string());
+            out.push(SourceFile {
+                path: path.clone(),
+                rel,
+                krate,
+                text,
+                tokens,
+            });
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,22 @@
+// Seeded AB/BA deadlock: `forward` takes alpha then beta, `backward`
+// takes beta then alpha.
+use crate::sync::Mutex;
+
+pub struct S {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl S {
+    pub fn forward(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        let _ = (a, b);
+    }
+
+    pub fn backward(&self) {
+        let b = self.beta.lock();
+        let a = self.alpha.lock(); //~ ERROR lock-order cycle
+        let _ = (a, b);
+    }
+}

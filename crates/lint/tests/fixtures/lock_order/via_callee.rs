@@ -1,0 +1,26 @@
+// Seeded cycle through a callee: `outer` holds gamma across a call to
+// `helper`, which takes delta; `reversed` takes delta then gamma
+// directly. The closing edge is the gamma-held call site in `outer`.
+use crate::sync::Mutex;
+
+pub struct T {
+    gamma: Mutex<u64>,
+    delta: Mutex<u64>,
+}
+
+fn helper(t: &T) {
+    let d = t.delta.lock();
+    let _ = d;
+}
+
+pub fn outer(t: &T) {
+    let g = t.gamma.lock();
+    helper(t); //~ ERROR lock-order cycle
+    let _ = g;
+}
+
+pub fn reversed(t: &T) {
+    let d = t.delta.lock();
+    let g = t.gamma.lock();
+    let _ = (d, g);
+}

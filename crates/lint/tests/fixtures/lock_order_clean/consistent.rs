@@ -1,0 +1,38 @@
+// Clean lock-order fixture: every function respects first → second,
+// and guards released by `drop` or scope exit must not leak edges —
+// mishandling either would fabricate a second → first edge and a cycle.
+use crate::sync::{Mutex, RwLock};
+
+pub struct U {
+    first: Mutex<u64>,
+    second: RwLock<u64>,
+}
+
+pub fn one(u: &U) {
+    let f = u.first.lock();
+    let s = u.second.read();
+    let _ = (f, s);
+}
+
+pub fn two(u: &U) {
+    let f = u.first.lock();
+    drop(f);
+    let s = u.second.write();
+    let _ = s;
+}
+
+pub fn three(u: &U) {
+    let s = u.second.read();
+    drop(s);
+    let f = u.first.lock();
+    let _ = f;
+}
+
+pub fn four(u: &U) {
+    {
+        let s = u.second.write();
+        let _ = s;
+    }
+    let f = u.first.lock();
+    let _ = f;
+}

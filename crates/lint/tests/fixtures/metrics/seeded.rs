@@ -1,0 +1,22 @@
+// Metric-name fixture: grammar, suffix, kind-conflict, and
+// documentation violations, plus clean decoys.
+pub fn register(reg: &Registry) {
+    let _ = reg.counter("http_requests_total"); //~ ERROR naming grammar
+    let _ = reg.counter("sbf_thing_total");
+    let _ = reg.gauge("sbf_thing_total"); //~ ERROR registered as
+    let _ = reg.counter("sbf_ghost_total"); //~ ERROR not documented
+    let _ = reg.counter("sbf_requests"); //~ ERROR must end in
+    let _ = reg.gauge("sbfd_conns_active");
+    for i in 0..4u64 {
+        let _ = reg.gauge(&format!("sbf_occupancy_ratio{{shard=\"{i}\"}}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Test-only registrations are stripped; this junk name must NOT be
+    // reported.
+    pub fn t(reg: &Registry) {
+        let _ = reg.counter("x_total");
+    }
+}

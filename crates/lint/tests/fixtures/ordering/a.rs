@@ -1,0 +1,25 @@
+// Ordering-audit fixture: one blessed group, one unlisted site, one
+// group whose site count drifted past its manifest entry.
+use crate::sync::{AtomicU64, Ordering};
+
+pub fn blessed(x: &AtomicU64) {
+    x.store(1, Ordering::Relaxed);
+}
+
+pub fn unlisted(x: &AtomicU64) -> u64 {
+    x.load(Ordering::Acquire) //~ ERROR not blessed
+}
+
+pub fn drifted(x: &AtomicU64) {
+    x.store(1, Ordering::Release); //~ ERROR manifest blesses 1
+    x.store(2, Ordering::Release);
+}
+
+#[cfg(test)]
+mod tests {
+    // Test-only sites are stripped before the audit; this SeqCst must
+    // NOT be reported.
+    pub fn test_only(x: &crate::sync::AtomicU64) {
+        x.store(3, crate::sync::Ordering::SeqCst);
+    }
+}

@@ -1,0 +1,17 @@
+// Decoys that must NOT be reported: the forbidden paths appear only in
+// comments, strings, and facade-routed imports.
+//
+// std::sync::Mutex in a comment is fine.
+use crate::sync::{AtomicU64, Mutex, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/* Block comment: std::sync::RwLock. /* nested: std::sync::Condvar */ */
+
+pub fn ok() -> Arc<Mutex<AtomicU64>> {
+    let banner = "std::sync::Mutex is spelled here harmlessly";
+    let raw = r#"std::sync::atomic::AtomicU64 hides in a raw string"#;
+    let (_tx, _rx) = mpsc::channel::<u8>();
+    let _ = (banner, raw, Ordering::Relaxed);
+    Arc::new(Mutex::new(AtomicU64::new(0)))
+}

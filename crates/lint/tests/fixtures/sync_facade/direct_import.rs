@@ -1,0 +1,6 @@
+// Seeded violation: importing a lock type straight from std::sync.
+use std::sync::Mutex; //~ ERROR std::sync::Mutex
+
+pub fn f() {
+    let _ = Mutex::new(0u64); //~ ERROR std::sync::Mutex
+}

@@ -1,0 +1,2 @@
+// Seeded violation: a glob smuggles the primitives in namelessly.
+use std::sync::atomic::*; //~ ERROR glob import

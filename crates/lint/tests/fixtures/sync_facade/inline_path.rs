@@ -1,0 +1,5 @@
+// Seeded violations: fully-qualified paths, relative and absolute.
+pub fn g() {
+    let _ = std::sync::RwLock::new(0u64); //~ ERROR std::sync::RwLock
+    let _ = ::std::sync::atomic::AtomicU64::new(0); //~ ERROR std::sync::atomic
+}

@@ -1,0 +1,8 @@
+// Seeded violations the old regex guard could not see: the forbidden
+// names never appear on the offending lines.
+use std::sync as ss;
+use std::sync::Condvar as Waiter; //~ ERROR std::sync::Condvar
+
+pub fn h() {
+    let _ = ss::Mutex::new(0u64); //~ ERROR std::sync::Mutex
+}

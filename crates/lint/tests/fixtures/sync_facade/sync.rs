@@ -1,0 +1,10 @@
+// A facade file: exempt from the pass, and (when configured) required
+// to re-export from std::sync with an sbf_modelcheck rebinding.
+#[cfg(not(sbf_modelcheck))]
+pub use std::sync::{
+    atomic::{AtomicU64, Ordering},
+    Mutex, RwLock,
+};
+
+#[cfg(sbf_modelcheck)]
+pub use sbf_modelcheck::sync::{AtomicU64, Mutex, Ordering, RwLock};

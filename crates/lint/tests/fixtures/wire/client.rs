@@ -1,0 +1,12 @@
+//~ ERROR Request::Flush
+// Seeded drift: the client never speaks Flush.
+pub fn ping() {
+    send(Request::Ping);
+}
+
+pub fn handle(r: Response) {
+    match r {
+        Response::Ok => {}
+        Response::Value(_) => {}
+    }
+}

@@ -1,0 +1,8 @@
+//~ ERROR Request::Ping
+// Seeded drift: dispatch handles Flush but forgot Ping.
+pub fn apply(req: Request) {
+    match req {
+        Request::Flush { hard } => flush(hard),
+        _ => {}
+    }
+}

@@ -1,0 +1,6 @@
+//~ ERROR is_mutation
+// Seeded drift: replay decodes frames but forgot the mutation filter,
+// so read-only records would be re-applied.
+pub fn replay(op: u8, body: &[u8]) {
+    let _ = Request::decode(op, body);
+}

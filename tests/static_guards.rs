@@ -55,7 +55,12 @@ fn workspace_sources() -> Vec<PathBuf> {
 /// replacement types.
 fn is_facade_or_checker(path: &Path) -> bool {
     let p = path.to_string_lossy().replace('\\', "/");
-    p.ends_with("/sync.rs") || p.contains("crates/modelcheck/src/")
+    // `crates/lint` is the token-level reimplementation of this guard; its
+    // tests quote `std::sync` paths inside string literals, which a line
+    // scanner cannot tell apart from code.
+    p.ends_with("/sync.rs")
+        || p.contains("crates/modelcheck/src/")
+        || p.contains("crates/lint/src/")
 }
 
 /// Strips line comments so a guard can't be tripped (or dodged) by prose.
