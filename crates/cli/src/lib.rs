@@ -53,6 +53,8 @@ pub enum CliError {
     Incompatible(String),
     /// The `sbfd` server (or the connection to it) failed.
     Server(String),
+    /// `sbf lint` found violations (already printed on stdout).
+    Lint(usize),
 }
 
 impl std::fmt::Display for CliError {
@@ -63,6 +65,7 @@ impl std::fmt::Display for CliError {
             CliError::BadFilter(msg) => write!(f, "bad filter file: {msg}"),
             CliError::Incompatible(msg) => write!(f, "incompatible filters: {msg}"),
             CliError::Server(msg) => write!(f, "server: {msg}"),
+            CliError::Lint(n) => write!(f, "lint: {n} violation(s)"),
         }
     }
 }
@@ -636,6 +639,7 @@ fn dispatch(
         "serve" => run_serve(args, &mut stdout),
         "client" => run_client(args, stdin, &mut stdout),
         "wal" => run_wal(args, &mut stdout),
+        "lint" => run_lint(args, &mut stdout),
         other => Err(CliError::Usage(format!("unknown command {other}\n{USAGE}"))),
     }
 }
@@ -802,6 +806,51 @@ fn run_wal(mut args: Vec<String>, stdout: &mut impl Write) -> Result<String, Cli
     ))
 }
 
+/// Runs `lint`: the sbf-lint static-analysis passes over the workspace
+/// this binary was built from (or `--root <dir>`). Diagnostics print on
+/// stdout as `file:line:col: [pass] message`; any finding exits 1.
+fn run_lint(mut args: Vec<String>, stdout: &mut impl Write) -> Result<String, CliError> {
+    let root = match take_flag(&mut args, "--root") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => {
+            let cwd = std::env::current_dir()?;
+            sbf_lint::find_workspace_root(&cwd).ok_or_else(|| {
+                CliError::Usage("no workspace root found (pass --root <dir>)".into())
+            })?
+        }
+    };
+    let modelcheck = match take_flag(&mut args, "--cfg") {
+        None => false,
+        Some(v) if v == "sbf_modelcheck" => true,
+        Some(v) => {
+            return Err(CliError::Usage(format!("unknown --cfg {v}")));
+        }
+    };
+    let mut passes = Vec::new();
+    while let Some(p) = take_flag(&mut args, "--pass") {
+        passes.push(p);
+    }
+    if let Some(stray) = args.first() {
+        return Err(CliError::Usage(format!("unknown lint option {stray}")));
+    }
+    let diags = sbf_lint::run_selected(&root, modelcheck, &passes)?;
+    for d in &diags {
+        writeln!(stdout, "{d}")?;
+    }
+    if diags.is_empty() {
+        Ok(format!(
+            "lint clean ({} view)",
+            if modelcheck {
+                "sbf_modelcheck"
+            } else {
+                "normal"
+            }
+        ))
+    } else {
+        Err(CliError::Lint(diags.len()))
+    }
+}
+
 /// Runs `client`: one `sbfd` command over a fresh connection.
 fn run_client(
     mut args: Vec<String>,
@@ -912,7 +961,7 @@ fn run_client(
 
 /// Top-level usage text.
 pub const USAGE: &str =
-    "usage: sbf [--metrics <path>] <build|query|merge|info|bench|serve|client|wal|stats> [options]\n\
+    "usage: sbf [--metrics <path>] <build|query|merge|info|bench|serve|client|wal|lint|stats> [options]\n\
   build --out <path> --m <counters> [--k 5] [--seed 42] [--algo ms|mi]\n\
         [--ingest-threads 1]                                              keys on stdin\n\
   query --filter <path> [--threshold T]                                   keys on stdin\n\
@@ -931,6 +980,8 @@ pub const USAGE: &str =
   client --addr <host:port> <ping|insert|remove|estimate|merge|snapshot|stats|shutdown>\n\
         [--count N] [--out <path>] [<file.sbf>]        keys on stdin where applicable\n\
   wal inspect <dir> [--max-record N]   read-only dump of a WAL directory's recovery view\n\
+  lint [--root <dir>] [--cfg sbf_modelcheck] [--pass <name>]...\n\
+                    run the sbf-lint static-analysis passes; any finding exits 1\n\
   stats [<command> ...]      run <command> with telemetry on; print metrics on stdout\n\
   --metrics <path>           global: enable telemetry, dump exposition to <path>";
 
@@ -1546,5 +1597,51 @@ mod tests {
         assert!(table.contains("speedup"));
         assert!(table.contains("insert"));
         assert!(table.contains("estimate"));
+    }
+
+    #[test]
+    fn lint_runs_a_single_pass_clean() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(std::path::Path::parent)
+            .unwrap();
+        let mut out = Vec::new();
+        let msg = run(
+            [
+                "lint",
+                "--root",
+                &root.to_string_lossy(),
+                "--pass",
+                "metric-names",
+            ]
+            .map(String::from)
+            .to_vec(),
+            Cursor::new(""),
+            &mut out,
+        )
+        .unwrap();
+        assert!(msg.contains("lint clean"), "{msg}");
+        assert!(out.is_empty(), "{}", String::from_utf8_lossy(&out));
+    }
+
+    #[test]
+    fn lint_rejects_unknown_passes_and_options() {
+        let mut out = Vec::new();
+        let err = run(
+            ["lint", "--pass", "bogus"].map(String::from).to_vec(),
+            Cursor::new(""),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Lint(1)), "{err}");
+        assert!(String::from_utf8_lossy(&out).contains("unknown pass"));
+
+        let err = run(
+            ["lint", "--frobnicate"].map(String::from).to_vec(),
+            Cursor::new(""),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
     }
 }
