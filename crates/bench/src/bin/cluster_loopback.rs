@@ -1,0 +1,499 @@
+//! Guardrail for the cluster layer: scatter-gather, replication, and the
+//! Bloomjoin's bytes-on-wire advantage, all over real loopback sockets.
+//!
+//! Three scenarios, each gated as a ratio so the recorded baseline stays
+//! portable across machines (both sides of every pair ride the same
+//! kernel and scheduler — see `server_loopback`'s rationale):
+//!
+//! * **scatter-gather overhead** — the same batched INSERT/ESTIMATE
+//!   stream through a 2-primary [`ClusterClient`] versus one `SbfClient`
+//!   against a single node. The cluster pays partitioning plus a second
+//!   socket; on a single-core runner it cannot win, so the figure of
+//!   merit is how *little* it loses: `cluster_time / single_time`,
+//!   gated against a recorded ceiling.
+//! * **replication tax** — batched ingest against a primary that ships
+//!   every acknowledged frame to a live replica (semi-synchronous, one
+//!   extra loopback roundtrip per INSERT_BATCH frame) versus a plain
+//!   primary: `repl_time / plain_time`, gated against a ceiling.
+//! * **join bytes-on-wire** — what a cross-node spectral Bloomjoin ships
+//!   (one JOIN_FILTER envelope, Elias-δ encoded) versus shipping the
+//!   remote relation's rows (64 B/row, the `sbf-db` model). This ratio is
+//!   deterministic for a fixed geometry, so its gate is tight; it trips
+//!   if the envelope encoding bloats.
+//!
+//! Ceilings follow the `server_loopback` convention: `--record` stores
+//! the **worst** (maximum) paired ratio across rounds, `--check` compares
+//! the measured **median** against that ceiling plus a wide tolerance —
+//! scheduler noise cannot trip the gate, a lost batched path or an
+//! accidental per-key roundtrip still will.
+//!
+//! ```text
+//! cluster_loopback                             # measure and print
+//! cluster_loopback --record BENCH_cluster.json # write the baseline
+//! cluster_loopback --check  BENCH_cluster.json # exit 1 on regression
+//! ```
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use sbf_server::{
+    ClusterClient, ClusterTopology, NodeSpec, SbfClient, SbfServer, ServerConfig,
+    ServerConfigBuilder, ServerHandle,
+};
+use sbf_workloads::ZipfWorkload;
+
+const M: usize = 1 << 16;
+const K: usize = 5;
+const SEED: u64 = 42;
+const STREAM: usize = 20_000;
+const DISTINCT: usize = 8_192;
+const CHUNK: usize = 1_024;
+const ROUNDS: usize = 5;
+/// Allowed relative growth of a measured overhead over its recorded
+/// ceiling. Wide like `server_loopback`'s WAL gate: both overheads are
+/// dominated by loopback roundtrip scheduling, so only a gross
+/// regression (per-key frames, a lost gather phase, per-frame fsync on
+/// the replica path) should trip.
+const OVERHEAD_TOLERANCE: f64 = 0.50;
+/// Allowed relative growth of the join bytes ratio. The envelope size is
+/// deterministic for fixed geometry and data, so this only absorbs
+/// deliberate encoding changes up to 10%.
+const BYTES_TOLERANCE: f64 = 0.10;
+/// Modeled row width for the ship-all baseline, matching `sbf-db`'s
+/// `Relation::from_keys(.., 64)` examples.
+const ROW_BYTES: u64 = 64;
+
+fn config() -> ServerConfigBuilder {
+    ServerConfig::builder()
+        .addr("127.0.0.1:0")
+        .m(M)
+        .k(K)
+        .seed(SEED)
+        .shards(4)
+        .workers(2)
+}
+
+fn spawn_node(builder: ServerConfigBuilder) -> ServerHandle {
+    SbfServer::bind(builder.build().expect("valid config"))
+        .expect("bind node")
+        .spawn()
+        .expect("spawn node")
+}
+
+fn zipf_keys(seed: u64) -> Vec<Vec<u8>> {
+    ZipfWorkload::generate(DISTINCT, STREAM, 1.07, seed)
+        .stream
+        .into_iter()
+        .map(|k| k.to_le_bytes().to_vec())
+        .collect()
+}
+
+/// Median and maximum of the paired ratios `slow[i] / fast[i]`.
+fn overhead_stats(slow: &[f64], fast: &[f64]) -> (f64, f64) {
+    let mut ratios: Vec<f64> = slow.iter().zip(fast).map(|(s, f)| s / f).collect();
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    (ratios[ratios.len() / 2], ratios[ratios.len() - 1])
+}
+
+fn best_kops(times: &[f64]) -> f64 {
+    STREAM as f64 / times.iter().copied().fold(f64::INFINITY, f64::min) / 1e3
+}
+
+struct ScatterResult {
+    single_insert_kops: f64,
+    cluster_insert_kops: f64,
+    insert_overhead: f64,
+    insert_overhead_ceiling: f64,
+    single_estimate_kops: f64,
+    cluster_estimate_kops: f64,
+    estimate_overhead: f64,
+    estimate_overhead_ceiling: f64,
+}
+
+/// Scenario 1: the same batched stream against one node and against a
+/// 2-primary cluster, ROUNDS alternating-order pairs each op.
+fn measure_scatter() -> ScatterResult {
+    let single = spawn_node(config());
+    let node_a = spawn_node(config());
+    let node_b = spawn_node(config());
+    let topology = ClusterTopology::new(
+        vec![
+            NodeSpec::solo(node_a.addr().to_string()),
+            NodeSpec::solo(node_b.addr().to_string()),
+        ],
+        M,
+        K,
+        SEED,
+    )
+    .expect("two-node topology");
+
+    let keys = zipf_keys(0xC1_05_7E);
+    let mut one = SbfClient::builder(single.addr())
+        .connect()
+        .expect("connect single");
+    let mut cluster = ClusterClient::connect(topology).expect("connect cluster");
+
+    let ingest_one = |c: &mut SbfClient| {
+        let t = Instant::now();
+        for chunk in keys.chunks(CHUNK) {
+            c.insert_batch(chunk).expect("single insert_batch");
+        }
+        t.elapsed().as_secs_f64()
+    };
+    let ingest_cluster = |c: &mut ClusterClient| {
+        let t = Instant::now();
+        for chunk in keys.chunks(CHUNK) {
+            c.insert_batch(chunk).expect("cluster insert_batch");
+        }
+        t.elapsed().as_secs_f64()
+    };
+    ingest_one(&mut one);
+    ingest_cluster(&mut cluster);
+    let mut single_times = Vec::with_capacity(ROUNDS);
+    let mut cluster_times = Vec::with_capacity(ROUNDS);
+    for round in 0..ROUNDS {
+        if round % 2 == 0 {
+            cluster_times.push(ingest_cluster(&mut cluster));
+            single_times.push(ingest_one(&mut one));
+        } else {
+            single_times.push(ingest_one(&mut one));
+            cluster_times.push(ingest_cluster(&mut cluster));
+        }
+    }
+    let (insert_overhead, insert_overhead_ceiling) = overhead_stats(&cluster_times, &single_times);
+    let single_insert_kops = best_kops(&single_times);
+    let cluster_insert_kops = best_kops(&cluster_times);
+
+    let mut acc = 0u64;
+    let est_one = |c: &mut SbfClient, acc: &mut u64| {
+        let t = Instant::now();
+        for chunk in keys.chunks(CHUNK) {
+            let out = c.estimate_batch(chunk).expect("single estimate_batch");
+            *acc = acc.wrapping_add(out.iter().sum::<u64>());
+        }
+        t.elapsed().as_secs_f64()
+    };
+    let est_cluster = |c: &mut ClusterClient, acc: &mut u64| {
+        let t = Instant::now();
+        for chunk in keys.chunks(CHUNK) {
+            let out = c.estimate_batch(chunk).expect("cluster estimate_batch");
+            *acc = acc.wrapping_add(out.iter().sum::<u64>());
+        }
+        t.elapsed().as_secs_f64()
+    };
+    est_one(&mut one, &mut acc);
+    est_cluster(&mut cluster, &mut acc);
+    let mut single_est = Vec::with_capacity(ROUNDS);
+    let mut cluster_est = Vec::with_capacity(ROUNDS);
+    for round in 0..ROUNDS {
+        if round % 2 == 0 {
+            cluster_est.push(est_cluster(&mut cluster, &mut acc));
+            single_est.push(est_one(&mut one, &mut acc));
+        } else {
+            single_est.push(est_one(&mut one, &mut acc));
+            cluster_est.push(est_cluster(&mut cluster, &mut acc));
+        }
+    }
+    black_box(acc);
+    let (estimate_overhead, estimate_overhead_ceiling) = overhead_stats(&cluster_est, &single_est);
+
+    one.shutdown().expect("shutdown single");
+    drop(one);
+    cluster.shutdown_all();
+    drop(cluster);
+    single.join().expect("single drain");
+    node_a.join().expect("node A drain");
+    node_b.join().expect("node B drain");
+
+    ScatterResult {
+        single_insert_kops,
+        cluster_insert_kops,
+        insert_overhead,
+        insert_overhead_ceiling,
+        single_estimate_kops: best_kops(&single_est),
+        cluster_estimate_kops: best_kops(&cluster_est),
+        estimate_overhead,
+        estimate_overhead_ceiling,
+    }
+}
+
+struct ReplResult {
+    plain_kops: f64,
+    repl_kops: f64,
+    overhead: f64,
+    overhead_ceiling: f64,
+}
+
+/// Scenario 2: batched ingest against a semi-synchronously replicating
+/// primary versus a plain one.
+fn measure_repl() -> ReplResult {
+    let plain = spawn_node(config());
+    let replica = spawn_node(config());
+    let primary = spawn_node(config().replicate_to(replica.addr().to_string()));
+
+    let keys = zipf_keys(0x2E71);
+    let mut plain_client = SbfClient::builder(plain.addr())
+        .connect()
+        .expect("connect plain");
+    let mut repl_client = SbfClient::builder(primary.addr())
+        .connect()
+        .expect("connect replicating primary");
+    // The primary answers Unavailable until its link to the replica is
+    // up; probe until the first insert is acknowledged.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while repl_client.insert(b"probe", 1).is_err() {
+        assert!(Instant::now() < deadline, "replication link never came up");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let ingest = |c: &mut SbfClient| {
+        let t = Instant::now();
+        for chunk in keys.chunks(CHUNK) {
+            c.insert_batch(chunk).expect("insert_batch");
+        }
+        t.elapsed().as_secs_f64()
+    };
+    ingest(&mut plain_client);
+    ingest(&mut repl_client);
+    let mut plain_times = Vec::with_capacity(ROUNDS);
+    let mut repl_times = Vec::with_capacity(ROUNDS);
+    for round in 0..ROUNDS {
+        if round % 2 == 0 {
+            repl_times.push(ingest(&mut repl_client));
+            plain_times.push(ingest(&mut plain_client));
+        } else {
+            plain_times.push(ingest(&mut plain_client));
+            repl_times.push(ingest(&mut repl_client));
+        }
+    }
+    let (overhead, overhead_ceiling) = overhead_stats(&repl_times, &plain_times);
+
+    plain_client.shutdown().expect("shutdown plain");
+    repl_client.shutdown().expect("shutdown primary");
+    drop((plain_client, repl_client));
+    plain.join().expect("plain drain");
+    primary.join().expect("primary drain");
+    // The replica only drains when asked directly.
+    let mut r = SbfClient::builder(replica.addr())
+        .connect()
+        .expect("connect replica");
+    r.shutdown().expect("shutdown replica");
+    drop(r);
+    replica.join().expect("replica drain");
+
+    ReplResult {
+        plain_kops: best_kops(&plain_times),
+        repl_kops: best_kops(&repl_times),
+        overhead,
+        overhead_ceiling,
+    }
+}
+
+struct JoinResult {
+    envelope_bytes: u64,
+    shipall_bytes: u64,
+    /// `envelope / ship-all` — the Bloomjoin's wire saving (< 1 is a win).
+    bytes_ratio: f64,
+    join_ms: f64,
+}
+
+/// Scenario 3: one cross-node Bloomjoin's bytes-on-wire versus shipping
+/// the remote relation, plus the join's wall-clock for observability.
+fn measure_join() -> JoinResult {
+    let node_a = spawn_node(config());
+    let node_b = spawn_node(config());
+    let topology = ClusterTopology::new(
+        vec![
+            NodeSpec::solo(node_a.addr().to_string()),
+            NodeSpec::solo(node_b.addr().to_string()),
+        ],
+        M,
+        K,
+        SEED,
+    )
+    .expect("two-node topology");
+
+    // R on node A, S on node B: the fact side is what ship-all would move.
+    let r_keys: Vec<Vec<u8>> = (0u64..DISTINCT as u64)
+        .map(|k| k.to_le_bytes().to_vec())
+        .collect();
+    let s_keys = zipf_keys(0x10_1A);
+    let mut a = SbfClient::builder(node_a.addr())
+        .connect()
+        .expect("connect A");
+    let mut b = SbfClient::builder(node_b.addr())
+        .connect()
+        .expect("connect B");
+    for chunk in r_keys.chunks(CHUNK) {
+        a.insert_batch(chunk).expect("ingest R");
+    }
+    for chunk in s_keys.chunks(CHUNK) {
+        b.insert_batch(chunk).expect("ingest S");
+    }
+    // The exact envelope a JOIN_PLAN on node A pulls from node B.
+    let envelope = b.join_filter(M, K, SEED).expect("fetch join filter");
+    let envelope_bytes = envelope.len() as u64;
+    let shipall_bytes = s_keys.len() as u64 * ROW_BYTES;
+
+    let mut cluster = ClusterClient::connect(topology).expect("connect cluster");
+    let t = Instant::now();
+    let answers = cluster.join(0, 1, 2, &r_keys).expect("cross-node join");
+    let join_ms = t.elapsed().as_secs_f64() * 1e3;
+    black_box(answers);
+
+    drop((a, b));
+    cluster.shutdown_all();
+    drop(cluster);
+    node_a.join().expect("node A drain");
+    node_b.join().expect("node B drain");
+
+    JoinResult {
+        envelope_bytes,
+        shipall_bytes,
+        bytes_ratio: envelope_bytes as f64 / shipall_bytes as f64,
+        join_ms,
+    }
+}
+
+fn to_json(scatter: &ScatterResult, repl: &ReplResult, join: &JoinResult) -> String {
+    format!(
+        "{{\n  \"single_insert_kops\": {:.3},\n  \"cluster_insert_kops\": {:.3},\n  \
+         \"scatter_insert_overhead\": {:.4},\n  \"scatter_insert_overhead_ceiling\": {:.4},\n  \
+         \"single_estimate_kops\": {:.3},\n  \"cluster_estimate_kops\": {:.3},\n  \
+         \"scatter_estimate_overhead\": {:.4},\n  \"scatter_estimate_overhead_ceiling\": {:.4},\n  \
+         \"plain_ingest_kops\": {:.3},\n  \"repl_ingest_kops\": {:.3},\n  \
+         \"repl_overhead\": {:.4},\n  \"repl_overhead_ceiling\": {:.4},\n  \
+         \"join_envelope_bytes\": {},\n  \"join_shipall_bytes\": {},\n  \
+         \"join_bytes_ratio\": {:.6},\n  \"join_bytes_ratio_ceiling\": {:.6},\n  \
+         \"join_ms\": {:.2}\n}}\n",
+        scatter.single_insert_kops,
+        scatter.cluster_insert_kops,
+        scatter.insert_overhead,
+        scatter.insert_overhead_ceiling,
+        scatter.single_estimate_kops,
+        scatter.cluster_estimate_kops,
+        scatter.estimate_overhead,
+        scatter.estimate_overhead_ceiling,
+        repl.plain_kops,
+        repl.repl_kops,
+        repl.overhead,
+        repl.overhead_ceiling,
+        join.envelope_bytes,
+        join.shipall_bytes,
+        join.bytes_ratio,
+        join.bytes_ratio,
+        join.join_ms,
+    )
+}
+
+/// Pulls `"name": <number>` out of the baseline file (flat, self-produced
+/// JSON — a scanner beats a parser dependency).
+fn json_field(text: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"{name}\"");
+    let rest = &text[text.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// One ceiling gate: the measured median must stay under the recorded
+/// worst-round ceiling plus the tolerance. Returns whether it failed.
+fn check_ceiling(text: &str, field: &str, label: &str, measured: f64, tol: f64) -> bool {
+    let Some(baseline) = json_field(text, field) else {
+        eprintln!("FAIL: baseline missing {field}");
+        return true;
+    };
+    let gate = baseline * (1.0 + tol);
+    let status = if measured > gate { "FAIL" } else { "ok" };
+    println!(
+        "{status:>4} {label:<16} {measured:.3} vs baseline ceiling {baseline:.3} (gate {gate:.3})"
+    );
+    measured > gate
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    let scatter = measure_scatter();
+    let repl = measure_repl();
+    let join = measure_join();
+    println!(
+        "{:<16} {:>7.1} k/s single {:>7.1} k/s cluster {:>7.2}x overhead",
+        "scatter insert",
+        scatter.single_insert_kops,
+        scatter.cluster_insert_kops,
+        scatter.insert_overhead
+    );
+    println!(
+        "{:<16} {:>7.1} k/s single {:>7.1} k/s cluster {:>7.2}x overhead",
+        "scatter estimate",
+        scatter.single_estimate_kops,
+        scatter.cluster_estimate_kops,
+        scatter.estimate_overhead
+    );
+    println!(
+        "{:<16} {:>7.1} k/s plain  {:>7.1} k/s repl    {:>7.2}x overhead",
+        "replication", repl.plain_kops, repl.repl_kops, repl.overhead
+    );
+    println!(
+        "{:<16} {} B envelope vs {} B ship-all ({:.1}% of the rows), join in {:.1} ms",
+        "join wire",
+        join.envelope_bytes,
+        join.shipall_bytes,
+        100.0 * join.bytes_ratio,
+        join.join_ms
+    );
+    match args.first().map(String::as_str) {
+        None => {}
+        Some("--record") => {
+            let path = args.get(1).expect("--record needs a path");
+            std::fs::write(path, to_json(&scatter, &repl, &join)).expect("write baseline");
+            println!("baseline recorded to {path}");
+        }
+        Some("--check") => {
+            let path = args.get(1).expect("--check needs a path");
+            let text = std::fs::read_to_string(path).expect("read baseline");
+            let mut failed = false;
+            failed |= check_ceiling(
+                &text,
+                "scatter_insert_overhead_ceiling",
+                "scatter insert",
+                scatter.insert_overhead,
+                OVERHEAD_TOLERANCE,
+            );
+            failed |= check_ceiling(
+                &text,
+                "scatter_estimate_overhead_ceiling",
+                "scatter estimate",
+                scatter.estimate_overhead,
+                OVERHEAD_TOLERANCE,
+            );
+            failed |= check_ceiling(
+                &text,
+                "repl_overhead_ceiling",
+                "replication",
+                repl.overhead,
+                OVERHEAD_TOLERANCE,
+            );
+            failed |= check_ceiling(
+                &text,
+                "join_bytes_ratio_ceiling",
+                "join bytes",
+                join.bytes_ratio,
+                BYTES_TOLERANCE,
+            );
+            if failed {
+                eprintln!("FAIL: cluster serving path regressed vs {path}");
+                std::process::exit(1);
+            }
+            println!("OK: cluster serving path within tolerance on every gate");
+            std::process::exit(0);
+        }
+        Some(other) => {
+            eprintln!("usage: cluster_loopback [--record <path> | --check <path>] ({other}?)");
+            std::process::exit(2);
+        }
+    }
+}

@@ -638,6 +638,7 @@ fn dispatch(
         }
         "serve" => run_serve(args, &mut stdout),
         "client" => run_client(args, stdin, &mut stdout),
+        "cluster" => run_cluster(args, stdin, &mut stdout),
         "wal" => run_wal(args, &mut stdout),
         "lint" => run_lint(args, &mut stdout),
         other => Err(CliError::Usage(format!("unknown command {other}\n{USAGE}"))),
@@ -647,7 +648,7 @@ fn dispatch(
 /// Runs `serve`: binds an `sbfd` daemon and blocks until a client sends
 /// SHUTDOWN (or the process is killed). The listening line is printed and
 /// flushed *before* the accept loop starts, so wrappers (CI smoke tests,
-/// `examples/remote_union.rs`) can parse the bound port from a `:0` bind.
+/// `examples/cluster_join.rs`) can parse the bound port from a `:0` bind.
 fn run_serve(mut args: Vec<String>, stdout: &mut impl Write) -> Result<String, CliError> {
     fn num<T: std::str::FromStr>(
         args: &mut Vec<String>,
@@ -707,6 +708,11 @@ fn run_serve(mut args: Vec<String>, stdout: &mut impl Write) -> Result<String, C
     if let Some(dir) = take_flag(&mut args, "--wal-dir") {
         builder = builder.wal_dir(dir);
     }
+    // Semi-synchronous replication: every acknowledged mutation is shipped
+    // to the sbfd at this address before the client sees Ok.
+    if let Some(replica) = take_flag(&mut args, "--replicate-to") {
+        builder = builder.replicate_to(replica);
+    }
     // Compressed read replica: ESTIMATEs are served from an immutable
     // SAI/Elias-encoded copy of the sketch while it is fresh, rebuilt in
     // the background every --replica-rebuild-ms once writes stale it.
@@ -745,6 +751,217 @@ fn run_serve(mut args: Vec<String>, stdout: &mut impl Write) -> Result<String, C
     stdout.flush()?;
     server.run().map_err(|e| CliError::Server(e.to_string()))?;
     Ok(format!("sbfd on {addr} drained and exited"))
+}
+
+/// Parses the `--nodes` topology list: comma-separated members, each
+/// `primary[/replica]`, e.g. `127.0.0.1:7070/127.0.0.1:7071,127.0.0.1:7072`.
+fn parse_nodes(list: &str) -> Result<Vec<sbf_server::NodeSpec>, CliError> {
+    let mut nodes = Vec::new();
+    for part in list.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        match part.split_once('/') {
+            Some((primary, replica)) if !primary.is_empty() && !replica.is_empty() => {
+                nodes.push(sbf_server::NodeSpec::replicated(primary, replica));
+            }
+            Some(_) => {
+                return Err(CliError::Usage(format!(
+                    "--nodes member {part:?} must be primary[/replica]"
+                )));
+            }
+            None => nodes.push(sbf_server::NodeSpec::solo(part)),
+        }
+    }
+    if nodes.is_empty() {
+        return Err(CliError::Usage(
+            "--nodes must list at least one primary[/replica] address".into(),
+        ));
+    }
+    Ok(nodes)
+}
+
+/// Runs `cluster`: the multi-node front end over [`sbf_server::ClusterClient`].
+///
+/// * `cluster serve` is `serve` verbatim (same flags, including
+///   `--replicate-to`) — it exists so cluster scripts read uniformly,
+/// * `cluster client --nodes ... <op>` scatter-gathers one operation
+///   across the whole topology (keys on stdin, one per line),
+/// * `cluster join --nodes ... --left I --right J` runs a cross-node
+///   spectral Bloomjoin between two members and prints `key<TAB>estimate`
+///   for every stdin key that survives the threshold.
+fn run_cluster(
+    mut args: Vec<String>,
+    stdin: impl BufRead,
+    stdout: &mut impl Write,
+) -> Result<String, CliError> {
+    fn num<T: std::str::FromStr>(
+        args: &mut Vec<String>,
+        flag: &str,
+        default: T,
+    ) -> Result<T, CliError> {
+        take_flag(args, flag).map_or(Ok(default), |v| {
+            v.parse::<T>()
+                .map_err(|_| CliError::Usage(format!("{flag} must be an integer")))
+        })
+    }
+    if args.is_empty() {
+        return Err(CliError::Usage(
+            "cluster requires: serve|client|join (see usage)".into(),
+        ));
+    }
+    let sub = args.remove(0);
+    if sub == "serve" {
+        return run_serve(args, stdout);
+    }
+    // Both remaining subcommands talk to a topology with one shared
+    // geometry; the HELLO handshake refuses any member that disagrees.
+    let defaults = sbf_server::ServerConfig::default();
+    let list = take_flag(&mut args, "--nodes").ok_or_else(|| {
+        CliError::Usage("cluster client/join require --nodes p1[/r1],p2,...".into())
+    })?;
+    let nodes = parse_nodes(&list)?;
+    let m = num(&mut args, "--m", defaults.m)?;
+    let k = num(&mut args, "--k", defaults.k)?;
+    let seed = num(&mut args, "--seed", defaults.seed)?;
+    let topology = sbf_server::ClusterTopology::new(nodes, m, k, seed)
+        .ok_or_else(|| CliError::Usage("--nodes must list at least one node".into()))?;
+    let connect = |topology: sbf_server::ClusterTopology| {
+        sbf_server::ClusterClient::connect(topology)
+            .map_err(|e| CliError::Server(format!("cluster connect: {e}")))
+    };
+    let read_keys = |stdin: &mut dyn BufRead| -> Result<Vec<Vec<u8>>, CliError> {
+        let mut keys = Vec::new();
+        for line in stdin.lines() {
+            let line = line?;
+            let key = line.trim();
+            if !key.is_empty() {
+                keys.push(key.as_bytes().to_vec());
+            }
+        }
+        Ok(keys)
+    };
+    let mut stdin = stdin;
+    match sub.as_str() {
+        "join" => {
+            let left: usize = num(&mut args, "--left", 0)?;
+            let right: usize = num(&mut args, "--right", 1)?;
+            let threshold: u64 = num(&mut args, "--threshold", 1)?;
+            let n = topology.num_nodes();
+            if left >= n || right >= n || left == right {
+                return Err(CliError::Usage(format!(
+                    "--left/--right must be two distinct node indices below {n}"
+                )));
+            }
+            let keys = read_keys(&mut stdin)?;
+            let mut cluster = connect(topology)?;
+            let estimates = cluster
+                .join(left, right, threshold, &keys)
+                .map_err(|e| CliError::Server(e.to_string()))?;
+            let mut survivors = 0u64;
+            for (key, est) in keys.iter().zip(estimates) {
+                if est > 0 {
+                    survivors += 1;
+                    writeln!(stdout, "{}\t{est}", String::from_utf8_lossy(key))?;
+                }
+            }
+            Ok(format!(
+                "{survivors} of {} keys joined (threshold {threshold})",
+                keys.len()
+            ))
+        }
+        "client" => {
+            if args.is_empty() {
+                return Err(CliError::Usage(
+                    "cluster client requires a command \
+                     (ping|insert|remove|estimate|snapshot|shutdown)"
+                        .into(),
+                ));
+            }
+            let op = args.remove(0);
+            match op.as_str() {
+                "ping" => {
+                    let mut cluster = connect(topology)?;
+                    cluster
+                        .ping_all()
+                        .map_err(|e| CliError::Server(e.to_string()))?;
+                    Ok(format!(
+                        "pong from {} node(s)",
+                        cluster.topology().num_nodes()
+                    ))
+                }
+                "insert" => {
+                    let count: u64 = num(&mut args, "--count", 1)?;
+                    let keys = read_keys(&mut stdin)?;
+                    let mut cluster = connect(topology)?;
+                    if count == 1 {
+                        for chunk in keys.chunks(4096) {
+                            cluster
+                                .insert_batch(chunk)
+                                .map_err(|e| CliError::Server(e.to_string()))?;
+                        }
+                    } else {
+                        for key in &keys {
+                            cluster
+                                .insert(key, count)
+                                .map_err(|e| CliError::Server(e.to_string()))?;
+                        }
+                    }
+                    Ok(format!("inserted {} keys (count {count})", keys.len()))
+                }
+                "remove" => {
+                    let count: u64 = num(&mut args, "--count", 1)?;
+                    let keys = read_keys(&mut stdin)?;
+                    let mut cluster = connect(topology)?;
+                    for key in &keys {
+                        cluster
+                            .remove(key, count)
+                            .map_err(|e| CliError::Server(e.to_string()))?;
+                    }
+                    Ok(format!("removed {} keys (count {count})", keys.len()))
+                }
+                "estimate" => {
+                    let keys = read_keys(&mut stdin)?;
+                    let mut cluster = connect(topology)?;
+                    for chunk in keys.chunks(4096) {
+                        let estimates = cluster
+                            .estimate_batch(chunk)
+                            .map_err(|e| CliError::Server(e.to_string()))?;
+                        for (key, est) in chunk.iter().zip(estimates) {
+                            writeln!(stdout, "{}\t{est}", String::from_utf8_lossy(key))?;
+                        }
+                    }
+                    Ok(format!("{} keys estimated", keys.len()))
+                }
+                "snapshot" => {
+                    let out = take_flag(&mut args, "--out").ok_or_else(|| {
+                        CliError::Usage("cluster client snapshot requires --out <path>".into())
+                    })?;
+                    let mut cluster = connect(topology)?;
+                    let env = cluster
+                        .snapshot_union()
+                        .map_err(|e| CliError::Server(e.to_string()))?;
+                    std::fs::write(&out, env.encode())?;
+                    Ok(format!(
+                        "wrote {out} ({} counters, cluster-wide union)",
+                        env.counters.len()
+                    ))
+                }
+                "shutdown" => {
+                    let mut cluster = connect(topology)?;
+                    cluster.shutdown_all();
+                    Ok("cluster draining".into())
+                }
+                other => Err(CliError::Usage(format!(
+                    "unknown cluster client command {other}"
+                ))),
+            }
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown cluster subcommand {other} (serve|client|join)"
+        ))),
+    }
 }
 
 /// Runs `wal inspect <dir>`: prints what a recovery from that directory
@@ -961,7 +1178,7 @@ fn run_client(
 
 /// Top-level usage text.
 pub const USAGE: &str =
-    "usage: sbf [--metrics <path>] <build|query|merge|info|bench|serve|client|wal|lint|stats> [options]\n\
+    "usage: sbf [--metrics <path>] <build|query|merge|info|bench|serve|client|cluster|wal|lint|stats> [options]\n\
   build --out <path> --m <counters> [--k 5] [--seed 42] [--algo ms|mi]\n\
         [--ingest-threads 1]                                              keys on stdin\n\
   query --filter <path> [--threshold T]                                   keys on stdin\n\
@@ -977,8 +1194,16 @@ pub const USAGE: &str =
         [--wal-checkpoint-secs 60]          durable mode: fsynced log + crash recovery\n\
         [--compressed-replica raw|sai|elias] [--replica-rebuild-ms 100]\n\
                     serve ESTIMATE from an immutable compressed replica while fresh\n\
+        [--replicate-to <host:port>]   ship every acknowledged mutation to a replica\n\
+                    sbfd before answering Ok (semi-synchronous; failover-safe reads)\n\
   client --addr <host:port> <ping|insert|remove|estimate|merge|snapshot|stats|shutdown>\n\
         [--count N] [--out <path>] [<file.sbf>]        keys on stdin where applicable\n\
+  cluster serve [serve options]                  alias for serve, for cluster scripts\n\
+  cluster client --nodes p1[/r1],p2,... [--m 65536] [--k 5] [--seed 42]\n\
+        <ping|insert|remove|estimate|snapshot|shutdown> [--count N] [--out <path>]\n\
+                    scatter-gather one op across the topology; keys on stdin\n\
+  cluster join --nodes ... --left 0 --right 1 [--threshold 1]\n\
+                    cross-node spectral Bloomjoin; stdin keys, key<TAB>est survivors\n\
   wal inspect <dir> [--max-record N]   read-only dump of a WAL directory's recovery view\n\
   lint [--root <dir>] [--cfg sbf_modelcheck] [--pass <name>]...\n\
                     run the sbf-lint static-analysis passes; any finding exits 1\n\
@@ -1059,6 +1284,19 @@ mod tests {
                 .collect()
         )
         .is_err());
+    }
+
+    #[test]
+    fn parse_nodes_topologies() {
+        let nodes = parse_nodes("127.0.0.1:1/127.0.0.1:2, 127.0.0.1:3").unwrap();
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(nodes[0].primary, "127.0.0.1:1");
+        assert_eq!(nodes[0].replica.as_deref(), Some("127.0.0.1:2"));
+        assert_eq!(nodes[1].primary, "127.0.0.1:3");
+        assert_eq!(nodes[1].replica, None);
+        assert!(parse_nodes("").is_err(), "empty topology");
+        assert!(parse_nodes("a/").is_err(), "empty replica");
+        assert!(parse_nodes("/b").is_err(), "empty primary");
     }
 
     #[test]

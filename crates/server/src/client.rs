@@ -184,33 +184,6 @@ impl SbfClient {
         }
     }
 
-    /// Connects with no I/O timeouts and the default frame cap.
-    #[deprecated(since = "0.1.0", note = "use `SbfClient::builder(addr).connect()`")]
-    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
-        Self::builder(addr).connect()
-    }
-
-    /// Connects and applies one timeout to reads and writes.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `SbfClient::builder(addr).io_timeout(Some(t)).connect()`"
-    )]
-    pub fn connect_timeout(
-        addr: impl ToSocketAddrs,
-        timeout: Duration,
-    ) -> Result<Self, ClientError> {
-        Self::builder(addr).io_timeout(Some(timeout)).connect()
-    }
-
-    /// Caps how large a response frame this client will accept.
-    #[deprecated(
-        since = "0.1.0",
-        note = "set the cap at construction: `SbfClient::builder(addr).max_frame(cap)`"
-    )]
-    pub fn set_max_frame(&mut self, cap: usize) {
-        self.max_frame = cap;
-    }
-
     /// Sends one request and reads one response, surfacing server error
     /// frames as [`ClientError::Server`]. A request too large for its
     /// `u32` length prefix fails client-side as [`ClientError::Proto`]
@@ -222,6 +195,23 @@ impl SbfClient {
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
             resp => Ok(resp),
         }
+    }
+
+    /// Writes one request frame without waiting for its response — the
+    /// scatter half of the cluster client's fan-out ([`recv`](Self::recv)
+    /// is the gather half). Pairs must stay balanced per connection or
+    /// responses desynchronize.
+    pub(crate) fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        self.stream.write_all(&req.encode()?)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Reads one response frame for a previously [`send`](Self::send)-ed
+    /// request. Server error frames come back as [`Response::Error`], not
+    /// `Err` — the caller decides per-node how to react.
+    pub(crate) fn recv(&mut self) -> Result<Response, ClientError> {
+        self.read_response()
     }
 
     fn read_response(&mut self) -> Result<Response, ClientError> {
@@ -340,6 +330,62 @@ impl SbfClient {
         match self.roundtrip(&Request::Shutdown)? {
             Response::Ok => Ok(()),
             _ => Err(ClientError::Unexpected("shutdown expects Ok")),
+        }
+    }
+
+    /// Cluster handshake: verifies the server's filter geometry matches
+    /// `(m, k, seed)` before any data flows. A mismatched server answers
+    /// with [`ErrorCode::Incompatible`], surfaced here as
+    /// [`ClientError::Server`].
+    pub fn hello(&mut self, m: usize, k: usize, seed: u64) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Hello {
+            m: m as u64,
+            k: k as u64,
+            seed,
+        })? {
+            Response::Ok => Ok(()),
+            _ => Err(ClientError::Unexpected("hello expects Ok")),
+        }
+    }
+
+    /// Fetches the server's filter envelope for a §5.3 Bloomjoin, with
+    /// the geometry check done server-side: a server whose filter is not
+    /// `(m, k, seed)` refuses with [`ErrorCode::Incompatible`] instead of
+    /// shipping an envelope the caller could not multiply into.
+    pub fn join_filter(&mut self, m: usize, k: usize, seed: u64) -> Result<Vec<u8>, ClientError> {
+        match self.roundtrip(&Request::JoinFilter {
+            m: m as u64,
+            k: k as u64,
+            seed,
+        })? {
+            Response::Frame(bytes) => Ok(bytes),
+            _ => Err(ClientError::Unexpected("join_filter expects Frame")),
+        }
+    }
+
+    /// Runs a cross-node spectral Bloomjoin: the server dials `peer`,
+    /// fetches its filter, multiplies it into its own (§5.3), and answers
+    /// one joined-frequency estimate per key in input order (zeroed below
+    /// `threshold`).
+    pub fn join_plan(
+        &mut self,
+        peer: &str,
+        threshold: u64,
+        keys: &[Vec<u8>],
+    ) -> Result<Vec<u64>, ClientError> {
+        match self.roundtrip(&Request::JoinPlan {
+            peer: peer.to_string(),
+            threshold,
+            keys: keys.to_vec(),
+        })? {
+            Response::Values(vs) => {
+                if vs.len() == keys.len() {
+                    Ok(vs)
+                } else {
+                    Err(ClientError::Unexpected("join_plan answer count"))
+                }
+            }
+            _ => Err(ClientError::Unexpected("join_plan expects Values")),
         }
     }
 

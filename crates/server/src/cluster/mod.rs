@@ -1,0 +1,38 @@
+//! `sbf-cluster`: key-partitioned multi-node `sbfd` (ROADMAP item 1).
+//!
+//! One `sbfd` process serves one filter; this module composes N of them
+//! into a cluster, the paper's §5 distributed deployment made literal:
+//!
+//! * [`topology`] — the static cluster map: an ordered node list (each a
+//!   primary address plus an optional replica) and hash-partitioned key
+//!   ownership. The router is [`ShardedSketch`]'s partitioner generalised
+//!   to node picking — `fmix64` over the key's canonical form, reduced by
+//!   a widening multiply — under a cluster-level route seed so node
+//!   assignment stays independent of both shard routing and the filters'
+//!   own hash functions,
+//! * [`client`] — [`ClusterClient`]: scatter-gather batches (partition
+//!   per-node with a counting sort, write every node's frame, then gather
+//!   responses so server work overlaps across nodes), read failover to
+//!   replicas, and cross-node spectral Bloomjoins via JOIN_PLAN,
+//! * [`repl`] — [`Replicator`]: the primary side of primary→replica
+//!   streaming. Bootstrap ships the atomic SNAPSHOT envelope through
+//!   MERGE; steady state ships each acknowledged mutation's wire frame
+//!   semi-synchronously (no ship, no acknowledgement), so a promoted
+//!   replica never under-counts an acknowledged mutation.
+//!
+//! Every per-node conversation opens with the HELLO geometry handshake:
+//! counter frames only compose across identical `(m, k, seed)`, so a node
+//! whose filter differs refuses with [`ErrorCode::Incompatible`] before
+//! any mass moves — a typed refusal at connect time instead of silent
+//! corruption at query time.
+//!
+//! [`ShardedSketch`]: spectral_bloom::ShardedSketch
+//! [`ErrorCode::Incompatible`]: crate::proto::ErrorCode::Incompatible
+
+pub mod client;
+pub mod repl;
+pub mod topology;
+
+pub use client::{ClusterClient, ClusterError};
+pub use repl::Replicator;
+pub use topology::{ClusterTopology, NodeSpec};

@@ -1,0 +1,159 @@
+//! The cluster map: which nodes exist, which keys each one owns, and the
+//! filter geometry every node must agree on.
+
+use sbf_hash::{fmix64, Key};
+
+/// One cluster member: where its primary serves, and (optionally) where a
+/// replica tails it for read scaling and failover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// The primary `sbfd` address, e.g. `"127.0.0.1:7070"`.
+    pub primary: String,
+    /// A replica `sbfd` the primary streams to (`--replicate-to` on the
+    /// primary points here); `None` leaves the node without failover.
+    pub replica: Option<String>,
+}
+
+impl NodeSpec {
+    /// A node with no replica.
+    pub fn solo(primary: impl Into<String>) -> Self {
+        NodeSpec {
+            primary: primary.into(),
+            replica: None,
+        }
+    }
+
+    /// A node with a failover replica.
+    pub fn replicated(primary: impl Into<String>, replica: impl Into<String>) -> Self {
+        NodeSpec {
+            primary: primary.into(),
+            replica: Some(replica.into()),
+        }
+    }
+}
+
+/// Routing must not correlate with shard picking inside any one node
+/// (`ShardedSketch` routes with its own fixed seed) nor with the counter
+/// indices the filters derive from the cluster seed — so the cluster
+/// router gets its own fixed, distinct constant.
+const CLUSTER_ROUTE_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// A static cluster: an ordered node list plus the shared filter geometry.
+///
+/// Key ownership is hash-partitioned exactly like [`ShardedSketch`]'s
+/// shard routing, lifted one level: `fmix64(canonical ⊕ route_seed)`
+/// reduced onto `{0..N-1}` by a widening multiply (uniform, no modulo
+/// bias). The map is static — every client must be constructed with the
+/// same node *order*, or keys route to different owners.
+///
+/// [`ShardedSketch`]: spectral_bloom::ShardedSketch
+#[derive(Debug, Clone)]
+pub struct ClusterTopology {
+    nodes: Vec<NodeSpec>,
+    m: usize,
+    k: usize,
+    seed: u64,
+}
+
+impl ClusterTopology {
+    /// Builds a topology over `nodes` (owning keys in list order) with the
+    /// filter geometry every member must match. Returns `None` for an
+    /// empty node list — a cluster of nothing owns nothing.
+    pub fn new(nodes: Vec<NodeSpec>, m: usize, k: usize, seed: u64) -> Option<Self> {
+        if nodes.is_empty() {
+            return None;
+        }
+        Some(ClusterTopology { nodes, m, k, seed })
+    }
+
+    /// The member list, in ownership order.
+    pub fn nodes(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    /// Number of nodes `N`.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The filter geometry `(m, k, seed)` every node must serve.
+    pub fn geometry(&self) -> (usize, usize, u64) {
+        (self.m, self.k, self.seed)
+    }
+
+    /// Which node owns `key`.
+    #[inline]
+    pub fn node_of<K: Key + ?Sized>(&self, key: &K) -> usize {
+        let h = fmix64(key.canonical() ^ CLUSTER_ROUTE_SEED);
+        // Widening multiply maps uniformly onto {0..N-1} without modulo
+        // bias — same reduction as `ShardedSketch::shard_of`.
+        ((u128::from(h) * self.nodes.len() as u128) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo(n: usize) -> ClusterTopology {
+        let nodes = (0..n)
+            .map(|i| NodeSpec::solo(format!("127.0.0.1:{}", 7000 + i)))
+            .collect();
+        ClusterTopology::new(nodes, 1 << 12, 5, 42).unwrap()
+    }
+
+    #[test]
+    fn empty_topology_is_refused() {
+        assert!(ClusterTopology::new(Vec::new(), 1 << 12, 5, 42).is_none());
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let t = topo(1);
+        for i in 0u64..1000 {
+            assert_eq!(t.node_of(&i.to_le_bytes().as_slice()), 0);
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let t = topo(3);
+        for i in 0u64..1000 {
+            let key = i.to_le_bytes();
+            let n = t.node_of(&key.as_slice());
+            assert!(n < 3);
+            assert_eq!(n, t.node_of(&key.as_slice()));
+        }
+    }
+
+    #[test]
+    fn routing_spreads_keys_across_nodes() {
+        let t = topo(4);
+        let mut counts = [0usize; 4];
+        for i in 0u64..4000 {
+            counts[t.node_of(&i.to_le_bytes().as_slice())] += 1;
+        }
+        // A uniform router puts ~1000 keys per node; anything above a
+        // loose floor proves no node is starved or overloaded.
+        for &c in &counts {
+            assert!((700..=1300).contains(&c), "skewed partition: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn node_routing_differs_from_shard_routing() {
+        // The cluster route seed must not mirror ShardedSketch's internal
+        // routing — with 4 nodes and 4 shards, identical seeds would pin
+        // every key's shard to its node and bias per-node shard load.
+        let t = topo(4);
+        let sharded =
+            spectral_bloom::ShardedSketch::with_shards(4, |_| spectral_bloom::MsSbf::new(64, 2, 1));
+        let mismatch = (0u64..256)
+            .filter(|i| {
+                let key = i.to_le_bytes();
+                t.node_of(&key.as_slice()) != sharded.shard_of(&key.as_slice())
+            })
+            .count();
+        assert!(mismatch > 0, "cluster routing mirrors shard routing");
+    }
+}

@@ -19,6 +19,12 @@
 //! * [`client`] — [`SbfClient`], a blocking client built by
 //!   [`ClientBuilder`], enforcing the same frame cap on responses and
 //!   able to pipeline request batches over one socket,
+//! * [`cluster`] — the multi-node layer: [`ClusterTopology`]
+//!   (hash-partitioned key ownership + geometry handshake),
+//!   [`ClusterClient`] (scatter-gather batching, replica failover,
+//!   cross-node spectral Bloomjoins), and [`Replicator`]
+//!   (primary→replica snapshot bootstrap + semi-synchronous frame
+//!   streaming),
 //! * [`pool`] — the worker pool (CPU work only; no sockets),
 //! * [`wal`] — the write-ahead log: CRC-framed mutation records fsynced
 //!   before acknowledgement, atomic snapshots, log compaction,
@@ -41,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod cluster;
 pub mod metrics;
 pub mod pool;
 pub mod proto;
@@ -52,6 +59,7 @@ pub(crate) mod sync;
 pub mod wal;
 
 pub use client::{ClientBuilder, ClientError, SbfClient};
+pub use cluster::{ClusterClient, ClusterError, ClusterTopology, NodeSpec, Replicator};
 pub use proto::{ErrorCode, ProtoError, Request, Response, MAX_FRAME_DEFAULT};
 pub use recovery::{RecoveryError, RecoveryReport, WalInspection};
 pub use replica::{CompressedReplica, ReplicaEncoding};

@@ -33,13 +33,19 @@
 //! | `sbfd_compressed_rebuilds_total` | counter | compressed read-replica rebuilds (initial build included) |
 //! | `sbfd_compressed_bytes_per_counter` | gauge | storage cost of the current replica, bytes per counter (indexes included) |
 //! | `sbfd_estimates_served_compressed_total` | counter | keys answered from the compressed replica instead of the live sketch |
+//! | `sbfd_cluster_fanout_nodes` | histogram | nodes touched per scatter-gather batch |
+//! | `sbfd_cluster_failovers_total` | counter | reads redirected from a dead primary to its replica |
+//! | `sbfd_cluster_join_bytes_total` | counter | filter-envelope bytes shipped between servers for JOIN_PLAN |
+//! | `sbfd_repl_shipped_total` | counter | mutation frames acknowledged by the replica |
+//! | `sbfd_repl_lag_bytes` | gauge | mutation bytes applied locally but not yet replicated (reset to zero by a resync) |
+//! | `sbfd_repl_resyncs_total` | counter | replica links (re)established via snapshot bootstrap |
 
 use crate::sync::{Arc, OnceLock};
 
 use sbf_telemetry::{Counter, Gauge, Histogram};
 
 /// Per-command request counters, indexed by [`op_slot`].
-const OPS: [&str; 10] = [
+const OPS: [&str; 13] = [
     "ping",
     "insert",
     "remove",
@@ -47,6 +53,9 @@ const OPS: [&str; 10] = [
     "insert_batch",
     "estimate_batch",
     "merge",
+    "hello",
+    "join_plan",
+    "join_filter",
     "snapshot",
     "stats",
     "shutdown",
@@ -101,6 +110,18 @@ pub struct ServerMetrics {
     pub compressed_bytes_per_counter: Arc<Gauge>,
     /// `sbfd_estimates_served_compressed_total`.
     pub estimates_served_compressed: Arc<Counter>,
+    /// `sbfd_cluster_fanout_nodes`.
+    pub cluster_fanout: Arc<Histogram>,
+    /// `sbfd_cluster_failovers_total`.
+    pub cluster_failovers: Arc<Counter>,
+    /// `sbfd_cluster_join_bytes_total`.
+    pub cluster_join_bytes: Arc<Counter>,
+    /// `sbfd_repl_shipped_total`.
+    pub repl_shipped: Arc<Counter>,
+    /// `sbfd_repl_lag_bytes`.
+    pub repl_lag_bytes: Arc<Gauge>,
+    /// `sbfd_repl_resyncs_total`.
+    pub repl_resyncs: Arc<Counter>,
 }
 
 impl ServerMetrics {
@@ -148,6 +169,12 @@ pub fn server_metrics() -> &'static ServerMetrics {
             compressed_rebuilds: reg.counter("sbfd_compressed_rebuilds_total"),
             compressed_bytes_per_counter: reg.gauge("sbfd_compressed_bytes_per_counter"),
             estimates_served_compressed: reg.counter("sbfd_estimates_served_compressed_total"),
+            cluster_fanout: reg.histogram("sbfd_cluster_fanout_nodes"),
+            cluster_failovers: reg.counter("sbfd_cluster_failovers_total"),
+            cluster_join_bytes: reg.counter("sbfd_cluster_join_bytes_total"),
+            repl_shipped: reg.counter("sbfd_repl_shipped_total"),
+            repl_lag_bytes: reg.gauge("sbfd_repl_lag_bytes"),
+            repl_resyncs: reg.counter("sbfd_repl_resyncs_total"),
         }
     })
 }

@@ -78,6 +78,44 @@ pub enum Request {
     /// Begin graceful shutdown: stop accepting, drain in-flight requests,
     /// flush a final snapshot if configured.
     Shutdown,
+    /// Cluster handshake: the client declares the geometry it expects.
+    /// Answered with [`Response::Ok`] on a match, `Incompatible` otherwise
+    /// — a scatter-gather client refuses to talk to a node whose estimates
+    /// it could not combine one-sidedly.
+    Hello {
+        /// Counters per filter the client expects.
+        m: u64,
+        /// Hash functions per filter the client expects.
+        k: u64,
+        /// Hash seed the client expects.
+        seed: u64,
+    },
+    /// Cross-node spectral Bloomjoin (§5.3 over live servers): the server
+    /// fetches the peer's filter via [`Request::JoinFilter`], multiplies it
+    /// counter-wise with its own snapshot, runs the verification round, and
+    /// answers [`Response::Values`] with one product estimate per candidate
+    /// key (entries below `threshold` zeroed).
+    JoinPlan {
+        /// The peer node's `host:port`, dialed by the serving node.
+        peer: String,
+        /// `HAVING count(*) >= threshold` cut; `0`/`1` reports everything.
+        threshold: u64,
+        /// Candidate join keys (site 1's distinct values), answered in order.
+        keys: Vec<Vec<u8>>,
+    },
+    /// Fetch the server's whole filter for a join, geometry-checked: the
+    /// body is the same envelope SNAPSHOT returns, but the server refuses
+    /// (`Incompatible`) unless `(m, k, seed)` match — multiplying filters
+    /// with different hash functions would be meaningless (§5.3's
+    /// "identical in their parameters" precondition).
+    JoinFilter {
+        /// Counters per filter the joining node expects.
+        m: u64,
+        /// Hash functions per filter the joining node expects.
+        k: u64,
+        /// Hash seed the joining node expects.
+        seed: u64,
+    },
 }
 
 /// A server-to-client answer.
@@ -120,6 +158,11 @@ pub enum ErrorCode {
     /// A server-side I/O failure (WAL append, fsync): the mutation was NOT
     /// durably logged and must not be treated as acknowledged.
     Io,
+    /// A cluster peer could not be reached: the replica refused or dropped
+    /// a replication ship (the mutation is applied and logged locally but
+    /// NOT acknowledged — retry once the replica link re-syncs), or a
+    /// JOIN_PLAN could not dial its peer node.
+    Unavailable,
 }
 
 impl ErrorCode {
@@ -132,6 +175,7 @@ impl ErrorCode {
             ErrorCode::Incompatible => 5,
             ErrorCode::Draining => 6,
             ErrorCode::Io => 7,
+            ErrorCode::Unavailable => 8,
         }
     }
 
@@ -144,6 +188,7 @@ impl ErrorCode {
             5 => Some(ErrorCode::Incompatible),
             6 => Some(ErrorCode::Draining),
             7 => Some(ErrorCode::Io),
+            8 => Some(ErrorCode::Unavailable),
             _ => None,
         }
     }
@@ -159,6 +204,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::Incompatible => "incompatible",
             ErrorCode::Draining => "draining",
             ErrorCode::Io => "io",
+            ErrorCode::Unavailable => "unavailable",
         };
         f.write_str(s)
     }
@@ -211,6 +257,9 @@ const OP_MERGE: u8 = 0x07;
 const OP_SNAPSHOT: u8 = 0x08;
 const OP_STATS: u8 = 0x09;
 const OP_SHUTDOWN: u8 = 0x0A;
+const OP_HELLO: u8 = 0x0B;
+const OP_JOIN_PLAN: u8 = 0x0C;
+const OP_JOIN_FILTER: u8 = 0x0D;
 // Response opcodes (high bit set).
 const OP_OK: u8 = 0x80;
 const OP_VALUE: u8 = 0x81;
@@ -335,6 +384,21 @@ impl Request {
             Request::Snapshot => frame(OP_SNAPSHOT, &[]),
             Request::Stats => frame(OP_STATS, &[]),
             Request::Shutdown => frame(OP_SHUTDOWN, &[]),
+            Request::Hello { m, k, seed } => frame(OP_HELLO, &encode_geometry(*m, *k, *seed)),
+            Request::JoinPlan {
+                peer,
+                threshold,
+                keys,
+            } => {
+                let mut p = Vec::with_capacity(8 + 4 + peer.len());
+                p.extend_from_slice(&threshold.to_le_bytes());
+                put_lstring(&mut p, peer.as_bytes())?;
+                p.extend_from_slice(&encode_key_batch(keys)?);
+                frame(OP_JOIN_PLAN, &p)
+            }
+            Request::JoinFilter { m, k, seed } => {
+                frame(OP_JOIN_FILTER, &encode_geometry(*m, *k, *seed))
+            }
         }
     }
 
@@ -367,6 +431,22 @@ impl Request {
             OP_SNAPSHOT => Request::Snapshot,
             OP_STATS => Request::Stats,
             OP_SHUTDOWN => Request::Shutdown,
+            OP_HELLO => Request::Hello {
+                m: s.u64()?,
+                k: s.u64()?,
+                seed: s.u64()?,
+            },
+            OP_JOIN_PLAN => Request::JoinPlan {
+                threshold: s.u64()?,
+                peer: String::from_utf8(s.lstring()?.to_vec())
+                    .map_err(|_| ProtoError::Malformed("join peer address is not UTF-8"))?,
+                keys: s.key_batch()?,
+            },
+            OP_JOIN_FILTER => Request::JoinFilter {
+                m: s.u64()?,
+                k: s.u64()?,
+                seed: s.u64()?,
+            },
             other => return Err(ProtoError::UnknownOpcode(other)),
         };
         s.finish()?;
@@ -386,6 +466,9 @@ impl Request {
             Request::Snapshot => "snapshot",
             Request::Stats => "stats",
             Request::Shutdown => "shutdown",
+            Request::Hello { .. } => "hello",
+            Request::JoinPlan { .. } => "join_plan",
+            Request::JoinFilter { .. } => "join_filter",
         }
     }
 
@@ -399,6 +482,15 @@ impl Request {
                 | Request::Merge { .. }
         )
     }
+}
+
+/// The 24-byte `(m, k, seed)` payload shared by HELLO and JOIN_FILTER.
+fn encode_geometry(m: u64, k: u64, seed: u64) -> [u8; 24] {
+    let mut p = [0u8; 24];
+    p[..8].copy_from_slice(&m.to_le_bytes());
+    p[8..16].copy_from_slice(&k.to_le_bytes());
+    p[16..].copy_from_slice(&seed.to_le_bytes());
+    p
 }
 
 fn encode_key_batch(keys: &[Vec<u8>]) -> Result<Vec<u8>, ProtoError> {
@@ -564,6 +656,39 @@ mod tests {
         roundtrip_request(Request::Snapshot);
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Hello {
+            m: 1 << 16,
+            k: 5,
+            seed: 42,
+        });
+        roundtrip_request(Request::JoinPlan {
+            peer: "127.0.0.1:7071".into(),
+            threshold: 8,
+            keys: vec![b"a".to_vec(), vec![], b"ccc".to_vec()],
+        });
+        roundtrip_request(Request::JoinFilter {
+            m: 64,
+            k: 3,
+            seed: u64::MAX,
+        });
+    }
+
+    #[test]
+    fn join_plan_rejects_non_utf8_peer() {
+        let bytes = Request::JoinPlan {
+            peer: "x".into(),
+            threshold: 1,
+            keys: vec![],
+        }
+        .encode()
+        .expect("encode");
+        // Corrupt the single peer byte into invalid UTF-8.
+        let mut body = bytes[5..].to_vec();
+        body[12] = 0xFF;
+        assert_eq!(
+            Request::decode(bytes[4], &body),
+            Err(ProtoError::Malformed("join peer address is not UTF-8"))
+        );
     }
 
     #[test]
@@ -581,6 +706,10 @@ mod tests {
         roundtrip_response(Response::Error {
             code: ErrorCode::Io,
             message: "wal append failed".into(),
+        });
+        roundtrip_response(Response::Error {
+            code: ErrorCode::Unavailable,
+            message: "replica unreachable".into(),
         });
     }
 
@@ -638,6 +767,26 @@ mod tests {
         assert!(!Request::Estimate { key: vec![] }.is_mutation());
         assert!(!Request::Snapshot.is_mutation());
         assert!(!Request::Shutdown.is_mutation());
+        // Cluster commands never mutate: HELLO and JOIN_FILTER are pure
+        // reads, and JOIN_PLAN only multiplies private copies.
+        assert!(!Request::Hello {
+            m: 1,
+            k: 1,
+            seed: 0
+        }
+        .is_mutation());
+        assert!(!Request::JoinPlan {
+            peer: String::new(),
+            threshold: 0,
+            keys: vec![]
+        }
+        .is_mutation());
+        assert!(!Request::JoinFilter {
+            m: 1,
+            k: 1,
+            seed: 0
+        }
+        .is_mutation());
     }
 
     #[test]

@@ -30,6 +30,8 @@ use std::time::{Duration, Instant};
 use sbf_db::wire::{FilterEnvelope, FilterKind};
 use spectral_bloom::{CounterStore, MsSbf, ShardedSketch, SketchReader};
 
+use crate::client::{ClientError, SbfClient};
+use crate::cluster::repl::Replicator;
 use crate::metrics;
 use crate::pool::WorkerPool;
 use crate::proto::{self, ErrorCode, Request, Response, MAX_FRAME_DEFAULT};
@@ -112,6 +114,16 @@ pub struct ServerConfig {
     /// Writes arriving faster than this cadence keep queries on the live
     /// sketch; pauses longer than it let reads migrate to the replica.
     pub replica_rebuild_interval: Duration,
+    /// Address of a replica `sbfd` to stream mutations to. `Some` makes
+    /// every acknowledged mutation semi-synchronously replicated: the
+    /// primary ships the mutation's wire frame to the replica *inside*
+    /// the acknowledgement path, and a mutation whose ship fails is
+    /// answered with [`ErrorCode::Unavailable`] instead of Ok (applied
+    /// and logged locally, but not acknowledged — so a failover to the
+    /// replica never loses an acknowledged mutation). A background
+    /// thread (re)connects and bootstraps the replica from a SNAPSHOT
+    /// envelope via MERGE; see [`crate::cluster::repl`].
+    pub replicate_to: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -136,6 +148,7 @@ impl Default for ServerConfig {
             pipeline_depth: 32,
             compressed_replica: None,
             replica_rebuild_interval: Duration::from_millis(100),
+            replicate_to: None,
         }
     }
 }
@@ -364,6 +377,13 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Stream every acknowledged mutation to the replica `sbfd` at
+    /// `addr` (see [`ServerConfig::replicate_to`]).
+    pub fn replicate_to(mut self, addr: impl Into<String>) -> Self {
+        self.cfg.replicate_to = Some(addr.into());
+        self
+    }
+
     /// Validates the combination and produces the config.
     pub fn build(self) -> Result<ServerConfig, ConfigError> {
         self.cfg.validate()?;
@@ -424,6 +444,8 @@ pub struct SharedState {
     active: AtomicUsize,
     /// The write-ahead log, attached after recovery when configured.
     wal: OnceLock<Arc<Wal>>,
+    /// The replica shipper, attached at bind when `replicate_to` is set.
+    replicator: OnceLock<Arc<Replicator>>,
     /// The reactor's poll-interrupt handle, attached when the reactor is
     /// built; lets `begin_shutdown` from any thread cut the poll wait
     /// short instead of waiting out the poll timeout.
@@ -436,7 +458,7 @@ pub struct SharedState {
 }
 
 impl SharedState {
-    fn new(config: &ServerConfig) -> Self {
+    pub(crate) fn new(config: &ServerConfig) -> Self {
         let m = config.m.max(1);
         let k = config.k.max(1);
         SharedState {
@@ -450,6 +472,7 @@ impl SharedState {
             crash: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             wal: OnceLock::new(),
+            replicator: OnceLock::new(),
             reactor_waker: OnceLock::new(),
             m,
             k,
@@ -500,6 +523,16 @@ impl SharedState {
         // At most one WAL is ever attached (bind-time only); a second set
         // is a no-op by OnceLock semantics.
         let _ = self.wal.set(wal);
+    }
+
+    /// The attached replica shipper, when `replicate_to` is configured.
+    pub fn replicator(&self) -> Option<&Arc<Replicator>> {
+        self.replicator.get()
+    }
+
+    pub(crate) fn attach_replicator(&self, repl: Arc<Replicator>) {
+        // Bind-time only, same OnceLock discipline as the WAL.
+        let _ = self.replicator.set(repl);
     }
 
     pub(crate) fn attach_waker(&self, waker: Arc<Waker>) {
@@ -604,13 +637,21 @@ impl SharedState {
         self.fresh_replica().is_some()
     }
 
+    /// The §5 union of both filters — live shards plus the remote mass —
+    /// as one whole-range sketch (the state SNAPSHOT and JOIN_PLAN both
+    /// answer from).
+    fn merged_filter(&self) -> MsSbf {
+        let mut merged = (*self.sketch.snapshot_cached()).clone();
+        let remote = lock_unpoisoned(self.remote.read());
+        merged.union_assign(&remote);
+        merged
+    }
+
     /// The full filter — live shards unioned with the remote mass — as a
     /// wire-encoded envelope, byte-compatible with `sbf-db` files and
     /// `sbf` CLI subcommands.
     pub fn snapshot_envelope(&self) -> Vec<u8> {
-        let mut merged = (*self.sketch.snapshot_cached()).clone();
-        let remote = lock_unpoisoned(self.remote.read());
-        merged.union_assign(&remote);
+        let merged = self.merged_filter();
         let store = merged.core().store();
         FilterEnvelope {
             kind: FilterKind::MinimumSelection,
@@ -651,12 +692,27 @@ impl SharedState {
             };
         }
         let resp = self.apply(req);
-        if let Some(wal) = self.wal.get() {
-            if req.is_mutation() && !matches!(resp, Response::Error { .. }) {
+        if req.is_mutation() && !matches!(resp, Response::Error { .. }) {
+            if let Some(wal) = self.wal.get() {
                 if let Err(e) = log_mutation(wal, req, raw_body) {
                     return Response::Error {
                         code: ErrorCode::Io,
                         message: format!("mutation applied but not durably logged: {e}"),
+                    };
+                }
+            }
+            // Semi-synchronous replication: the mutation's wire frame must
+            // reach the replica before the Ok frame is produced. A failed
+            // ship downgrades the answer to Unavailable — applied (and
+            // logged) locally, but NOT acknowledged, so a client failing
+            // over to the replica never misses an acknowledged mutation.
+            if let Some(repl) = self.replicator.get() {
+                if !repl.ship(req, raw_body) {
+                    return Response::Error {
+                        code: ErrorCode::Unavailable,
+                        message: "replica did not acknowledge; mutation applied locally but \
+                                  not acknowledged"
+                            .into(),
                     };
                 }
             }
@@ -707,6 +763,19 @@ impl SharedState {
                 Response::Values(out)
             }
             Request::Merge { envelope } => self.apply_merge(envelope),
+            Request::Hello { m, k, seed } => match self.check_geometry(*m, *k, *seed) {
+                Ok(()) => Response::Ok,
+                Err(resp) => resp,
+            },
+            Request::JoinFilter { m, k, seed } => match self.check_geometry(*m, *k, *seed) {
+                Ok(()) => Response::Frame(self.snapshot_envelope()),
+                Err(resp) => resp,
+            },
+            Request::JoinPlan {
+                peer,
+                threshold,
+                keys,
+            } => self.apply_join_plan(peer, *threshold, keys),
             Request::Snapshot => Response::Frame(self.snapshot_envelope()),
             Request::Stats => {
                 self.sketch.publish_metrics();
@@ -746,6 +815,93 @@ impl SharedState {
         let incoming = rehydrate(&env);
         lock_unpoisoned(self.remote.write()).union_assign(&incoming);
         Response::Ok
+    }
+
+    /// The HELLO/JOIN_FILTER geometry gate: counter frames only compose
+    /// across identical `(m, k, seed)`, so a mismatched peer is refused
+    /// with a typed [`ErrorCode::Incompatible`] before any data flows.
+    fn check_geometry(&self, m: u64, k: u64, seed: u64) -> Result<(), Response> {
+        if m as usize == self.m && k as usize == self.k && seed == self.seed {
+            Ok(())
+        } else {
+            Err(Response::Error {
+                code: ErrorCode::Incompatible,
+                message: format!(
+                    "peer geometry (m={}, k={}, seed={}) != server (m={}, k={}, seed={})",
+                    m, k, seed, self.m, self.k, self.seed
+                ),
+            })
+        }
+    }
+
+    /// Executes a §5.3 spectral Bloomjoin against a live peer: dial
+    /// `peer`, fetch its filter envelope (geometry-checked on the peer's
+    /// side), multiply it counter-wise into this server's merged filter,
+    /// and answer one joined-frequency estimate per key, zeroed below
+    /// `threshold`.
+    ///
+    /// The product estimate alone over-counts by collision noise squared;
+    /// a verification round of per-key estimates against the peer clamps
+    /// each answer to `min(product, local · peer)` — still an upper bound
+    /// on the true joined frequency (each factor is one-sided), but tight
+    /// enough that with sane geometry the reported group set matches the
+    /// exact join.
+    fn apply_join_plan(&self, peer: &str, threshold: u64, keys: &[Vec<u8>]) -> Response {
+        let unavailable = |message: String| Response::Error {
+            code: ErrorCode::Unavailable,
+            message,
+        };
+        let mut conn = match SbfClient::builder(peer)
+            .io_timeout(Some(Duration::from_secs(30)))
+            .connect()
+        {
+            Ok(c) => c,
+            Err(e) => return unavailable(format!("join peer {peer} unreachable: {e}")),
+        };
+        let envelope = match conn.join_filter(self.m, self.k, self.seed) {
+            Ok(bytes) => bytes,
+            Err(ClientError::Server { code, message }) => {
+                return Response::Error { code, message };
+            }
+            Err(e) => return unavailable(format!("join peer {peer} failed JOIN_FILTER: {e}")),
+        };
+        metrics::on(|m| m.cluster_join_bytes.add(envelope.len() as u64));
+        let env = match proto::decode_merge_envelope(&envelope, self.m) {
+            Ok(env) => env,
+            Err((code, message)) => return Response::Error { code, message },
+        };
+        if env.counters.len() != self.m || env.k as usize != self.k || env.seed != self.seed {
+            return Response::Error {
+                code: ErrorCode::Incompatible,
+                message: format!(
+                    "join peer {peer} shipped geometry (m={}, k={}, seed={}) != ours",
+                    env.counters.len(),
+                    env.k,
+                    env.seed
+                ),
+            };
+        }
+        let peer_ests = match conn.estimate_batch(keys) {
+            Ok(vs) => vs,
+            Err(e) => return unavailable(format!("join peer {peer} failed verification: {e}")),
+        };
+        let local = self.merged_filter();
+        let mut product = local.clone();
+        product.multiply_assign(&rehydrate(&env));
+        let values = keys
+            .iter()
+            .zip(&peer_ests)
+            .map(|(key, &peer_est)| {
+                let bound = local.estimate(key).saturating_mul(peer_est);
+                let v = product.estimate(key).min(bound);
+                if v >= threshold {
+                    v
+                } else {
+                    0
+                }
+            })
+            .collect();
+        Response::Values(values)
     }
 }
 
@@ -790,6 +946,9 @@ impl SbfServer {
         // Initial replica build (post-recovery, pre-accept): the very
         // first ESTIMATE can already be served compressed.
         state.rebuild_replica();
+        if let Some(target) = &config.replicate_to {
+            state.attach_replicator(Arc::new(Replicator::new(target.clone())));
+        }
         Ok(SbfServer {
             listener,
             state,
@@ -824,6 +983,7 @@ impl SbfServer {
     pub fn run(self) -> io::Result<()> {
         let checkpointer = self.spawn_checkpointer()?;
         let rebuilder = self.spawn_replica_rebuilder()?;
+        let replication = self.spawn_replication()?;
         let mut pool = WorkerPool::new(self.workers);
         // The reactor owns the listener and every connection socket; the
         // pool does only CPU work. `Reactor::run` returns once the drain
@@ -849,6 +1009,10 @@ impl SbfServer {
         if let Some(t) = rebuilder {
             t.join()
                 .map_err(|_| io::Error::other("replica rebuild thread panicked"))?;
+        }
+        if let Some(t) = replication {
+            t.join()
+                .map_err(|_| io::Error::other("replication thread panicked"))?;
         }
         served?;
         if self.state.crash_requested() {
@@ -918,6 +1082,27 @@ impl SbfServer {
                         state.rebuild_replica();
                         last = Instant::now();
                     }
+                }
+            })?;
+        Ok(Some(thread))
+    }
+
+    /// Starts the background replication thread when `replicate_to` is
+    /// configured: every 10ms it (re)connects a downed replica link —
+    /// geometry handshake, then a SNAPSHOT-envelope bootstrap via MERGE —
+    /// so mutations can resume shipping synchronously. Same lifecycle as
+    /// the checkpointer: polls the drain flag and exits with the drain.
+    fn spawn_replication(&self) -> io::Result<Option<std::thread::JoinHandle<()>>> {
+        let Some(repl) = self.state.replicator().map(Arc::clone) else {
+            return Ok(None);
+        };
+        let state = Arc::clone(&self.state);
+        let thread = std::thread::Builder::new()
+            .name("sbfd-repl".into())
+            .spawn(move || {
+                while !state.draining() {
+                    repl.tick(&state);
+                    std::thread::sleep(Duration::from_millis(10));
                 }
             })?;
         Ok(Some(thread))

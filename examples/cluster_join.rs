@@ -1,0 +1,276 @@
+//! A 3-process `sbfd` cluster: scatter-gather, wire Bloomjoins, failover.
+//!
+//! This example is the distributed story end-to-end over real sockets. It
+//! re-executes itself three times to build a loopback cluster:
+//!
+//! * **node A** — primary for half the key space, replicating every
+//!   acknowledged mutation to C (`--replicate-to` semantics),
+//! * **node B** — primary for the other half, standalone,
+//! * **node C** — A's replica, an ordinary `sbfd` bootstrapped over MERGE.
+//!
+//! The parent then drives three phases through [`ClusterClient`]:
+//!
+//! 1. **Wire Bloomjoin (§5.3)**: relation R is ingested into A, S into B,
+//!    and one JOIN_PLAN frame makes A fetch B's filter envelope, multiply
+//!    counter-wise, and answer joined-frequency estimates — compared
+//!    against the in-process `spectral_bloomjoin_verified` on the same
+//!    relations.
+//! 2. **Scatter-gather (§5)**: a batched multiset ingest hash-partitioned
+//!    across both primaries, with the one-sided `f̂ ≥ f` check and a
+//!    cluster-wide snapshot union.
+//! 3. **Failover**: node A is SIGKILLed mid-flight; reads fail over to C
+//!    and stay one-sided (C holds a superset of everything A ever
+//!    acknowledged), while mutations to the dead node are refused.
+//!
+//! Run with: `cargo run --example cluster_join`
+
+use std::io::BufRead;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use sbf_db::{spectral_bloomjoin_verified, JoinPlan, Relation};
+use sbf_server::{ClusterClient, ClusterTopology, NodeSpec, SbfClient, SbfServer, ServerConfig};
+
+// Every member must agree on geometry; HELLO refuses anything else.
+const M: usize = 1 << 16;
+const K: usize = 5;
+const SEED: u64 = 42;
+
+const CHILD_FLAG: &str = "--cluster-node";
+
+fn key_bytes(k: u64) -> Vec<u8> {
+    k.to_le_bytes().to_vec()
+}
+
+/// Child role: one `sbfd` on an ephemeral port, optionally replicating to
+/// an existing member. Prints the bound address on the first stdout line
+/// (the parent's service discovery), then serves until drained.
+fn run_node(replicate_to: Option<String>) {
+    let mut builder = ServerConfig::builder()
+        .addr("127.0.0.1:0")
+        .m(M)
+        .k(K)
+        .seed(SEED);
+    if let Some(addr) = replicate_to {
+        builder = builder.replicate_to(addr);
+    }
+    let config = builder.build().expect("valid node config");
+    let server = SbfServer::bind(config).expect("bind cluster node");
+    println!("{}", server.local_addr().expect("local addr"));
+    server.run().expect("serve cluster node");
+}
+
+fn spawn_node(replicate_to: Option<&str>) -> (Child, String) {
+    let exe = std::env::current_exe().expect("current exe");
+    let mut cmd = Command::new(exe);
+    cmd.arg(CHILD_FLAG);
+    if let Some(addr) = replicate_to {
+        cmd.arg(addr);
+    }
+    let mut child = cmd
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn cluster node");
+    let mut addr = String::new();
+    std::io::BufReader::new(child.stdout.take().expect("child stdout"))
+        .read_line(&mut addr)
+        .expect("read node address");
+    (child, addr.trim().to_string())
+}
+
+fn main() {
+    if std::env::args().nth(1).as_deref() == Some(CHILD_FLAG) {
+        run_node(std::env::args().nth(2));
+        return;
+    }
+
+    // C first (A dials it), then B, then A replicating to C.
+    let (mut c_child, c_addr) = spawn_node(None);
+    let (mut b_child, b_addr) = spawn_node(None);
+    let (a_child, a_addr) = spawn_node(Some(&c_addr));
+    let mut a_child = a_child;
+    println!("node A (primary)  {a_addr}  → replicates to C");
+    println!("node B (primary)  {b_addr}");
+    println!("node C (replica)  {c_addr}");
+
+    // A answers Unavailable until its replication link to C is up
+    // (semi-synchronous: no ack before the replica has the frame), so
+    // probe until the first insert is acknowledged.
+    let mut a_conn = SbfClient::builder(&a_addr as &str)
+        .connect()
+        .expect("connect node A");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while a_conn.insert(b"probe", 1).is_err() {
+        assert!(
+            Instant::now() < deadline,
+            "replication link A→C never came up"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    println!("replication link A→C established\n");
+
+    // ── Phase 1: cross-node spectral Bloomjoin (§5.3) ──────────────────
+    // R (customers, multiplicity 1 + i%3) lives on A; S (orders,
+    // multiplicity 1 + i%2) on B; the join groups are the 1500..4000
+    // overlap with group size f_R·f_S.
+    let mut r_keys = Vec::new();
+    for i in 0u64..4_000 {
+        for _ in 0..1 + i % 3 {
+            r_keys.push(i);
+        }
+    }
+    let mut s_keys = Vec::new();
+    for i in 1_500u64..5_500 {
+        for _ in 0..1 + i % 2 {
+            s_keys.push(i);
+        }
+    }
+    let threshold = 2u64;
+    let mut b_conn = SbfClient::builder(&b_addr as &str)
+        .connect()
+        .expect("connect node B");
+    for chunk in r_keys.chunks(2_048) {
+        let batch: Vec<Vec<u8>> = chunk.iter().map(|&k| key_bytes(k)).collect();
+        a_conn.insert_batch(&batch).expect("ingest R into node A");
+    }
+    for chunk in s_keys.chunks(2_048) {
+        let batch: Vec<Vec<u8>> = chunk.iter().map(|&k| key_bytes(k)).collect();
+        b_conn.insert_batch(&batch).expect("ingest S into node B");
+    }
+    println!(
+        "R: {} rows into node A | S: {} rows into node B",
+        r_keys.len(),
+        s_keys.len()
+    );
+
+    let topology = ClusterTopology::new(
+        vec![
+            NodeSpec::replicated(a_addr.clone(), c_addr.clone()),
+            NodeSpec::solo(b_addr.clone()),
+        ],
+        M,
+        K,
+        SEED,
+    )
+    .expect("non-empty topology");
+    let mut cluster = ClusterClient::connect(topology).expect("connect cluster");
+    cluster.ping_all().expect("ping all nodes");
+
+    let candidates: Vec<u64> = (0u64..5_500).collect();
+    let candidate_bytes: Vec<Vec<u8>> = candidates.iter().map(|&k| key_bytes(k)).collect();
+    let wire = cluster
+        .join(0, 1, threshold, &candidate_bytes)
+        .expect("cross-node join");
+
+    // The in-process reference on identical relations and geometry: the
+    // paper's verified Bloomjoin, whose groups are exact.
+    let r = Relation::from_keys("r", &r_keys, 64);
+    let s = Relation::from_keys("s", &s_keys, 64);
+    let plan = JoinPlan {
+        m: M,
+        k: K,
+        seed: SEED,
+        threshold: Some(threshold),
+    };
+    let verified = spectral_bloomjoin_verified(&r, &s, &plan);
+    let mut overcounted = 0usize;
+    let mut spurious = 0usize;
+    for (key, &got) in candidates.iter().zip(&wire) {
+        match verified.groups.get(key) {
+            Some(&exact) => {
+                assert!(
+                    got >= exact,
+                    "group {key}: wire join {got} under-counts exact {exact}"
+                );
+                if got > exact {
+                    overcounted += 1;
+                }
+            }
+            None if got > 0 => spurious += 1,
+            None => {}
+        }
+    }
+    println!(
+        "wire join: all {} true groups present, one-sided ({overcounted} overcounted, \
+         {spurious} spurious) — one filter envelope crossed the wire, not {} rows",
+        verified.groups.len(),
+        s_keys.len()
+    );
+
+    // ── Phase 2: scatter-gather ingest across the partitioned keyspace ─
+    // A disjoint key namespace (ids 1M+) so the join relations above stay
+    // interpretable; each key i carries multiplicity 1 + i%4.
+    let mut truth = std::collections::HashMap::new();
+    let mut stream = Vec::new();
+    for i in 0u64..6_000 {
+        let key = 1_000_000 + i;
+        for _ in 0..1 + i % 4 {
+            stream.push(key_bytes(key));
+            *truth.entry(key).or_insert(0u64) += 1;
+        }
+    }
+    for chunk in stream.chunks(2_048) {
+        cluster.insert_batch(chunk).expect("scatter-gather ingest");
+    }
+    let distinct: Vec<Vec<u8>> = truth.keys().map(|&k| key_bytes(k)).collect();
+    let estimates = cluster
+        .estimate_batch(&distinct)
+        .expect("scatter-gather estimate");
+    for (kb, est) in distinct.iter().zip(&estimates) {
+        let key = u64::from_le_bytes(kb[..8].try_into().expect("8-byte key"));
+        assert!(
+            *est >= truth[&key],
+            "cluster undercounted key {key}: {est} < {}",
+            truth[&key]
+        );
+    }
+    let union = cluster.snapshot_union().expect("cluster snapshot union");
+    let mass: u64 = union.counters.iter().sum();
+    println!(
+        "scatter-gather: {} events over {} keys, f̂ ≥ f on every key; \
+         cluster union holds {mass} counter mass",
+        stream.len(),
+        truth.len()
+    );
+
+    // ── Phase 3: SIGKILL node A, fail reads over to its replica ────────
+    a_child.kill().expect("SIGKILL node A");
+    a_child.wait().expect("reap node A");
+    println!("\nnode A killed (SIGKILL)");
+
+    let survivors = cluster
+        .estimate_batch(&distinct)
+        .expect("estimates after failover");
+    for (kb, est) in distinct.iter().zip(&survivors) {
+        let key = u64::from_le_bytes(kb[..8].try_into().expect("8-byte key"));
+        assert!(
+            *est >= truth[&key],
+            "failover undercounted key {key}: {est} < {}",
+            truth[&key]
+        );
+    }
+    assert!(
+        cluster.serving_from_replica(0),
+        "node 0 reads must now come from the replica"
+    );
+    // Mutations must not sneak onto a replica the primary's WAL never saw.
+    let node0_key = (0u64..)
+        .map(|i| key_bytes(2_000_000 + i))
+        .find(|k| cluster.topology().node_of(k.as_slice()) == 0)
+        .expect("some key routes to node 0");
+    assert!(
+        cluster.insert(&node0_key, 1).is_err(),
+        "mutations to a failed-over node must be refused"
+    );
+    println!(
+        "failover reads stay one-sided over all {} keys; mutations to the dead primary are refused",
+        truth.len()
+    );
+
+    cluster.shutdown_all();
+    let b_status = b_child.wait().expect("wait node B");
+    assert!(b_status.success(), "node B exited with {b_status}");
+    let c_status = c_child.wait().expect("wait node C");
+    assert!(c_status.success(), "node C exited with {c_status}");
+    println!("nodes B and C drained cleanly — three processes, one spectral cluster");
+}
